@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (see the experiment index
+in ``DESIGN.md``): it times the reproduction via pytest-benchmark and
+writes the rendered rows/series — the same ones the paper's table or
+figure reports — to ``benchmarks/_reports/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "_reports"
+
+
+@pytest.fixture
+def save_report():
+    """Persist an experiment's rendered report for inspection."""
+
+    def _save(name: str, text: str) -> None:
+        REPORT_DIR.mkdir(exist_ok=True)
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The reproductions are deterministic and seconds-long, so one round
+    is the honest measurement (re-running would only re-profile the same
+    seeded stream).
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

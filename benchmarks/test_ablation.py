@@ -1,0 +1,12 @@
+"""Bench: design-choice ablations (merge batching, b, combining)."""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_ablation(benchmark, save_report):
+    result = run_once(benchmark, ablation.run, events=120_000)
+    save_report("ablation", result.render())
+    assert result.same_hot_ranges
+    assert result.scan_ratio > 5.0

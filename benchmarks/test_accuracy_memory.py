@@ -1,0 +1,12 @@
+"""Bench: the 8 KB -> 98% and 64 KB -> 99.73% accuracy claims."""
+
+from conftest import run_once
+
+from repro.experiments import accuracy_memory
+
+
+def test_accuracy_memory(benchmark, save_report):
+    result = run_once(benchmark, accuracy_memory.run, events=120_000)
+    save_report("accuracy_memory", result.render())
+    assert result.accuracy_within(8 * 1024) >= 98.0
+    assert result.accuracy_within(64 * 1024) >= 99.0

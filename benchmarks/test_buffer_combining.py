@@ -1,0 +1,12 @@
+"""Bench: the stage-0 combining buffer (1k buffer ~ 10x for code)."""
+
+from conftest import run_once
+
+from repro.experiments import buffer
+
+
+def test_buffer_combining(benchmark, save_report):
+    result = run_once(benchmark, buffer.run, events=120_000)
+    save_report("buffer", result.render())
+    assert result.factor("code", 1024) >= 5.0
+    assert result.factor("code", 1024) > result.factor("value", 1024)

@@ -1,0 +1,13 @@
+"""Bench: profile quality under TCAM capacity pressure."""
+
+from conftest import run_once
+
+from repro.experiments import capacity
+
+
+def test_capacity_pressure(benchmark, save_report):
+    result = run_once(benchmark, capacity.run, events=60_000)
+    save_report("capacity", result.render())
+    ample = result.rows[-1]
+    assert ample.suppressed_splits == 0
+    assert ample.hot_recall == 1.0

@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the core data-structure operations.
+
+These are conventional repeated-timing benchmarks (not one-shot
+experiment reproductions): update throughput of the software tree with
+and without duplicate combining, hot-range extraction, merge passes, and
+the cycle-model engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RapConfig, RapTree, find_hot_ranges
+from repro.hardware import HardwareParams, PipelinedRapEngine
+from repro.workloads import benchmark as load_benchmark
+
+EVENTS = 50_000
+
+
+@pytest.fixture(scope="module")
+def code_values():
+    return [int(v) for v in
+            load_benchmark("gcc").code_stream(EVENTS, seed=1).values]
+
+
+@pytest.fixture(scope="module")
+def value_stream():
+    return load_benchmark("gzip").value_stream(EVENTS, seed=1)
+
+
+def test_tree_update_throughput(benchmark, code_values):
+    """Single-event adds: the software hot path."""
+
+    def run():
+        tree = RapTree(RapConfig(range_max=2**32, epsilon=0.05))
+        tree.extend(code_values)
+        return tree
+
+    tree = benchmark(run)
+    assert tree.events == EVENTS
+
+
+def test_tree_combined_update_throughput(benchmark, code_values):
+    """Duplicate-combined adds: the paper's software recommendation."""
+
+    def run():
+        tree = RapTree(RapConfig(range_max=2**32, epsilon=0.05))
+        tree.add_stream(code_values, combine_chunk=4096)
+        return tree
+
+    tree = benchmark(run)
+    assert tree.events == EVENTS
+
+
+def test_wide_universe_value_profiling(benchmark, value_stream):
+    """64-bit universe, eps = 1%: the heaviest realistic configuration."""
+
+    def run():
+        tree = RapTree(RapConfig(range_max=value_stream.universe,
+                                 epsilon=0.01))
+        tree.add_stream(iter(value_stream), combine_chunk=4096)
+        return tree
+
+    tree = benchmark(run)
+    assert tree.events == EVENTS
+
+
+def test_hot_range_extraction(benchmark, value_stream):
+    tree = RapTree(RapConfig(range_max=value_stream.universe, epsilon=0.01))
+    tree.add_stream(iter(value_stream), combine_chunk=4096)
+    hot = benchmark(find_hot_ranges, tree, 0.10)
+    assert hot
+
+
+def test_merge_pass(benchmark, value_stream):
+    def run():
+        tree = RapTree(
+            RapConfig(
+                range_max=value_stream.universe,
+                epsilon=0.01,
+                merge_initial_interval=10**9,  # defer all merging
+            )
+        )
+        tree.add_stream(iter(value_stream), combine_chunk=4096)
+        tree.merge_now()
+        return tree
+
+    tree = benchmark(run)
+    assert tree.node_count > 0
+
+
+def test_pipelined_engine_throughput(benchmark, code_values):
+    """The cycle-level engine model (TCAM search per record)."""
+    subset = code_values[:10_000]
+
+    def run():
+        engine = PipelinedRapEngine(
+            RapConfig(range_max=2**32, epsilon=0.05),
+            HardwareParams(buffer_capacity=1024, combine_events=True),
+        )
+        engine.process_stream(subset)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.events == len(subset)

@@ -1,0 +1,12 @@
+"""Bench: edge profiles and data-code correlation via 2-D RAP."""
+
+from conftest import run_once
+
+from repro.experiments import edges
+
+
+def test_edges_2d(benchmark, save_report):
+    result = run_once(benchmark, edges.run, events=60_000)
+    save_report("edges", result.render())
+    assert result.hot_edges
+    assert result.hot_correlations

@@ -1,0 +1,13 @@
+"""Bench: Figure 10 — zero-load memory ranges of gcc."""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_zeroload(benchmark, save_report):
+    result = run_once(benchmark, fig10.run, events=250_000)
+    save_report("fig10", result.render())
+    assert result.hot_coverage > 0.6  # paper: nodes 2-4 cover 85.2%
+    rates = [result.conditional_zero_rate(i) for i in result.hot_ranges]
+    assert all(0.3 <= r <= 0.46 for r in rates)  # paper: ~38%

@@ -1,0 +1,12 @@
+"""Bench: Figure 2 — branching factor and merge-interval trade-offs."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_branching(benchmark, save_report):
+    result = run_once(benchmark, fig2.run, events=60_000)
+    save_report("fig2", result.render())
+    assert result.chosen_branching == 4
+    assert result.chosen_growth == 2.0

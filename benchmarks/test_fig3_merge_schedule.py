@@ -1,0 +1,14 @@
+"""Bench: Figure 3 — bounded memory under exponentially batched merges."""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3_merge_schedule(benchmark, save_report):
+    result = run_once(benchmark, fig3.run, events=200_000)
+    save_report("fig3", result.render())
+    assert result.batches_for_2_32 == 22
+    assert result.batches_for_2_64 == 54
+    values = [value for _, value in result.sawtooth]
+    assert max(values) <= result.peak_bound * 1.05

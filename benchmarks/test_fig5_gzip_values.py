@@ -1,0 +1,13 @@
+"""Bench: Figure 5 — hot load-value ranges of gzip (eps = 1%)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_gzip_values(benchmark, save_report):
+    result = run_once(benchmark, fig5.run, events=300_000)
+    save_report("fig5", result.render())
+    assert 5 <= result.hot_count <= 9  # paper: 7
+    assert result.small_value_coverage > 0.45
+    assert result.pointer_band_coverage > 0.12

@@ -1,0 +1,12 @@
+"""Bench: Figure 6 — gcc code-profile tree size over time (eps = 10%)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_gcc_nodes(benchmark, save_report):
+    result = run_once(benchmark, fig6.run, events=300_000)
+    save_report("fig6", result.render())
+    assert result.max_nodes <= 1_000  # paper: 453 max for gcc
+    assert result.drops_at_merges >= len(result.merge_points) - 2

@@ -1,0 +1,13 @@
+"""Bench: Figure 7 — max/average RAP tree size across the suite."""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_memory(benchmark, save_report):
+    result = run_once(benchmark, fig7.run, events=150_000)
+    save_report("fig7", result.render())
+    assert result.max_of_panel("code", 0.10).benchmark == "gcc"
+    for row in result.panel("code", 0.10):
+        assert row.max_nodes <= 600  # paper: 500 nodes suffice

@@ -1,0 +1,13 @@
+"""Bench: Figure 8 — percent error on hot ranges across the suite."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8_error(benchmark, save_report):
+    result = run_once(benchmark, fig8.run, events=150_000)
+    save_report("fig8", result.render())
+    assert result.average_accuracy("code", 0.10) >= 96.0   # paper ~98%
+    assert result.average_accuracy("value", 0.10) >= 95.0  # paper ~96.6%
+    assert result.worst_epsilon_error() <= 0.10

@@ -1,0 +1,13 @@
+"""Bench: Figure 9 — value locality of cache misses vs all loads."""
+
+from conftest import run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9_missvalue(benchmark, save_report):
+    result = run_once(benchmark, fig9.run, events=200_000)
+    save_report("fig9", result.render())
+    order = result.locality_order()
+    assert order.index("dl1_misses") < order.index("all_loads")
+    assert order.index("dl2_misses") < order.index("all_loads")

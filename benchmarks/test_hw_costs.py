@@ -1,0 +1,18 @@
+"""Bench: Section 3.4 — hardware area/delay/energy and cycles/event."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import hw_costs
+
+
+def test_hw_costs(benchmark, save_report):
+    result = run_once(benchmark, hw_costs.run, events=60_000)
+    save_report("hw_costs", result.render())
+    engine = result.paper_engine
+    assert engine.total_area_mm2 == pytest.approx(24.73, rel=0.01)
+    assert engine.critical_path_ns == pytest.approx(7.0, rel=0.01)
+    assert engine.pipelined_critical_path_ns == pytest.approx(1.26, rel=0.01)
+    assert engine.energy_per_event_nj == pytest.approx(1.272, rel=0.01)
+    assert result.area_ratio > 10 and result.power_ratio > 10
+    assert 4.0 <= result.engine_stats.cycles_per_event < 6.0

@@ -1,0 +1,13 @@
+"""Bench: Section 4.4 — narrow-operand PC profiling (flow.c story)."""
+
+from conftest import run_once
+
+from repro.experiments import narrow_operands
+
+
+def test_narrow_operands(benchmark, save_report):
+    result = run_once(benchmark, narrow_operands.run, events=300_000)
+    save_report("narrow", result.render())
+    name, share = result.top_region
+    assert name == "flow.c"
+    assert 0.25 <= share <= 0.60  # paper: 38.7%

@@ -1,0 +1,12 @@
+"""Bench: phase identification from windowed RAP summaries."""
+
+from conftest import run_once
+
+from repro.experiments import phase_detection
+
+
+def test_phase_detection(benchmark, save_report):
+    result = run_once(benchmark, phase_detection.run, events=120_000)
+    save_report("phases", result.render())
+    assert 2 <= result.detected_phases <= 4
+    assert result.label_consistency() >= 0.75

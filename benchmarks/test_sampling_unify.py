@@ -1,0 +1,12 @@
+"""Bench: RAP unified with a sampling front end (Section 6)."""
+
+from conftest import run_once
+
+from repro.experiments import sampling_unify
+
+
+def test_sampling_unify(benchmark, save_report):
+    result = run_once(benchmark, sampling_unify.run, events=120_000)
+    save_report("sampling", result.render())
+    for row in result.rows:
+        assert row.hot_recall >= 0.8

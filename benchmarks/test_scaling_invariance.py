@@ -1,0 +1,14 @@
+"""Bench: stream-length invariance of memory and error (the scale claim)."""
+
+from conftest import run_once
+
+from repro.experiments import scaling
+
+
+def test_scaling_invariance(benchmark, save_report):
+    result = run_once(benchmark, scaling.run)
+    save_report("scaling", result.render())
+    assert result.memory_growth < 1.5       # memory independent of n
+    errors = [row.average_percent_error for row in result.rows]
+    assert errors[-1] <= errors[0]          # relative error non-increasing
+    assert len(result.stable_hot_core()) >= 4

@@ -1,0 +1,77 @@
+"""Bench: TCAM versus multibit-trie range lookup (Section 3.3, [36]).
+
+The paper assumes a TCAM but notes the tree "is really a multibit trie"
+implementable with network-algorithm techniques. This benchmark installs
+the same live RAP range set in both structures and compares lookup
+throughput and memory, reporting the trade: the TCAM answers in one
+(expensive, ternary) access, the trie in ``width/stride`` cheap SRAM
+steps at some prefix-expansion memory cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RapConfig, RapTree
+from repro.hardware.tcam import TernaryCam, range_to_entry
+from repro.hardware.trie import MultibitTrie, TrieEntry, range_to_prefix
+from repro.workloads import benchmark as load_benchmark
+
+WIDTH = 32
+KEYS = 5_000
+
+
+@pytest.fixture(scope="module")
+def installed():
+    stream = load_benchmark("gcc").code_stream(60_000, seed=4)
+    tree = RapTree(RapConfig(range_max=2**WIDTH, epsilon=0.05))
+    tree.add_stream(iter(stream), combine_chunk=4096)
+
+    cam = TernaryCam(capacity=8192, width_bits=WIDTH)
+    trie = MultibitTrie(width_bits=WIDTH, stride=4)
+    for index, node in enumerate(tree.nodes()):
+        cam.insert(range_to_entry(node.lo, node.hi, WIDTH))
+        value, prefix_len = range_to_prefix(node.lo, node.hi, WIDTH)
+        trie.insert(TrieEntry(value=value, prefix_len=prefix_len, item=index))
+
+    rng = np.random.default_rng(9)
+    keys = [int(v) for v in stream.values[
+        rng.integers(0, len(stream), size=KEYS)
+    ]]
+    return cam, trie, keys
+
+
+def test_tcam_lookup_throughput(benchmark, installed):
+    cam, _, keys = installed
+
+    def run():
+        total = 0
+        for key in keys:
+            total += cam.search(key)[-1]
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_trie_lookup_throughput(benchmark, installed, save_report):
+    cam, trie, keys = installed
+
+    def run():
+        total = 0
+        for key in keys:
+            total += trie.longest_match(key).item
+        return total
+
+    assert benchmark(run) >= 0
+    save_report(
+        "trie_vs_tcam",
+        (
+            f"range set: {len(cam.rows)} live ranges\n"
+            f"TCAM rows: {len(cam.rows)} ternary entries\n"
+            f"trie: {trie.node_count} nodes, "
+            f"{trie.stored_entries()} expanded entries "
+            f"({trie.expansions} total expansions), "
+            f"{trie.memory_bytes():,} bytes, "
+            f"{trie.average_lookup_steps:.1f} table steps/lookup "
+            f"(constant <= {trie.levels})"
+        ),
+    )

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Load-value range profiling — Figure 5 and the cache-miss study.
+
+Value profiles guide "code specialization, value prediction, and bus
+encoding" (Section 6). This example:
+
+1. builds the Figure 5 picture — gzip's hot load-value ranges at
+   epsilon = 1% — including the paper's inclusive-weight arithmetic
+   ("[0, fe] including the hot sub-range accounts for 30.3% of loads");
+2. repeats the Section 4.4 cache-miss value study: profile only the
+   values of loads that missed the cache and compare value locality.
+
+Run:  python examples/value_locality.py
+"""
+
+from repro import RapConfig, RapTree, find_hot_ranges
+from repro.analysis import coverage_curve, render_hot_tree
+from repro.simulator import simulate_loads
+from repro.workloads import benchmark
+
+
+def profile(stream, epsilon=0.01):
+    tree = RapTree(RapConfig(range_max=stream.universe, epsilon=epsilon))
+    tree.add_stream(iter(stream), combine_chunk=4096)
+    tree.merge_now()
+    return tree
+
+
+def figure5() -> None:
+    stream = benchmark("gzip").value_stream(300_000, seed=1)
+    tree = profile(stream)
+    print(render_hot_tree(
+        tree, 0.10,
+        title="gzip hot load-value ranges (eps=1%, the Figure 5 picture):",
+    ))
+    hot = find_hot_ranges(tree, 0.10)
+    nested = [item for item in hot
+              if item.inclusive_weight > item.weight]
+    if nested:
+        item = nested[0]
+        print(
+            f"\ninclusive arithmetic: [{item.lo:x}, {item.hi:x}] holds "
+            f"{100 * item.fraction:.1f}% exclusively and "
+            f"{100 * item.inclusive_weight / tree.events:.1f}% including "
+            "its hot sub-ranges"
+        )
+
+
+def cache_miss_study() -> None:
+    print("\n--- cache-miss value locality (Figure 9) ---")
+    trace = simulate_loads(benchmark("gcc"), 200_000, seed=2)
+    streams = {
+        "all_loads": trace.all_load_values(),
+        "dl1_misses": trace.dl1_miss_values(),
+        "dl2_misses": trace.dl2_miss_values(),
+    }
+    print(f"dl1 miss rate {trace.dl1_miss_rate:.1%}, "
+          f"dl2 miss rate {trace.dl2_miss_rate:.1%}")
+    curves = {}
+    for name, stream in streams.items():
+        curves[name] = coverage_curve(profile(stream), name)
+    header = "log2(width)  " + "  ".join(f"{n:>11s}" for n in curves)
+    print(header)
+    for bits in (8, 16, 32, 48):
+        row = f"{bits:>11d}  " + "  ".join(
+            f"{curves[name].coverage_at(bits):>10.1f}%" for name in curves
+        )
+        print(row)
+    print(
+        "\nmiss-value curves rise earlier than all_loads: the value "
+        "locality of cache misses exceeds that of all loads (the paper's "
+        "Figure 9 conclusion)."
+    )
+
+
+def main() -> None:
+    figure5()
+    cache_miss_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — Range Adaptive Profiling (RAP).
+
+A from-scratch reproduction of *"Profiling over Adaptive Ranges"*
+(Mysore, Agrawal, Sherwood, Shrivastava, Suri — CGO 2006): a streaming,
+one-pass profiler that summarizes billions of events (PCs, load values,
+memory addresses, ...) into a tree of adaptively refined ranges with a
+user-chosen error bound and stream-length-independent memory.
+
+Quick start::
+
+    from repro import RapConfig, RapTree, find_hot_ranges
+
+    tree = RapTree(RapConfig(range_max=2**32, epsilon=0.01))
+    for event in event_stream:
+        tree.add(event)
+    for hot in find_hot_ranges(tree, hot_fraction=0.10):
+        print(hot)
+
+Sub-packages:
+
+* :mod:`repro.core` — the RAP algorithm (trees, thresholds, merges,
+  hot ranges, bounds, the paper's C-style API, multi-dim extension).
+* :mod:`repro.hardware` — cycle-level model of the pipelined RAP engine
+  (TCAM, arbiter, SRAM, event buffer) plus an area/energy/delay model.
+* :mod:`repro.workloads` — synthetic SPEC-like benchmark programs that
+  generate the paper's code/value/address event streams.
+* :mod:`repro.simulator` — trace-driven CPU front end and two-level
+  cache simulator (for miss-value and zero-load studies).
+* :mod:`repro.baselines` — exact offline profiler, fixed-range profiler,
+  Space-Saving, sampling, and a continuous-merge RAP variant.
+* :mod:`repro.analysis` — error/memory/coverage metrics and hot-range
+  tree rendering.
+* :mod:`repro.experiments` — one module per paper figure/claim.
+"""
+
+from .core import (
+    HotRange,
+    MultiDimConfig,
+    MultiDimRapTree,
+    RapConfig,
+    RapNode,
+    RapProfile,
+    RapSummary,
+    RapTree,
+    dump_tree,
+    find_hot_ranges,
+    hot_tree,
+    load_tree,
+    rap_add_points,
+    rap_finalize,
+    rap_init,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HotRange",
+    "MultiDimConfig",
+    "MultiDimRapTree",
+    "RapConfig",
+    "RapNode",
+    "RapProfile",
+    "RapSummary",
+    "RapTree",
+    "__version__",
+    "dump_tree",
+    "find_hot_ranges",
+    "hot_tree",
+    "load_tree",
+    "rap_add_points",
+    "rap_finalize",
+    "rap_init",
+]

@@ -1,0 +1,81 @@
+"""Analysis: error/memory/coverage metrics and hot-range rendering."""
+
+from .compare import ProfileDiff, RangeDelta, diff_profiles
+from .coverage import CoverageCurve, coverage_curve, locality_ordering
+from .error import (
+    ErrorReport,
+    RangeError,
+    epsilon_error_of_range,
+    evaluate_errors,
+    exclusive_actual_count,
+)
+from .hot_report import (
+    HotNode,
+    build_hot_hierarchy,
+    hot_range_rows,
+    render_hot_tree,
+)
+from .memory import (
+    BITS_PER_NODE,
+    MemoryReport,
+    memory_report,
+    merge_points,
+    node_timeline,
+)
+from .phases import (
+    PhaseAnalysis,
+    PhaseDetector,
+    WindowProfile,
+    signature_distance,
+    tree_distance,
+    tree_signature,
+)
+from .report import Table, bar_chart, series_plot
+from .specialize import (
+    EncodingTable,
+    SpecializationCase,
+    SpecializationPlan,
+    WidthRecommendation,
+    encoding_table,
+    specialization_plan,
+    width_recommendation,
+)
+
+__all__ = [
+    "BITS_PER_NODE",
+    "CoverageCurve",
+    "ProfileDiff",
+    "RangeDelta",
+    "ErrorReport",
+    "HotNode",
+    "MemoryReport",
+    "PhaseAnalysis",
+    "PhaseDetector",
+    "EncodingTable",
+    "SpecializationCase",
+    "SpecializationPlan",
+    "WidthRecommendation",
+    "WindowProfile",
+    "RangeError",
+    "Table",
+    "bar_chart",
+    "build_hot_hierarchy",
+    "coverage_curve",
+    "diff_profiles",
+    "epsilon_error_of_range",
+    "evaluate_errors",
+    "exclusive_actual_count",
+    "hot_range_rows",
+    "locality_ordering",
+    "memory_report",
+    "merge_points",
+    "node_timeline",
+    "render_hot_tree",
+    "series_plot",
+    "signature_distance",
+    "specialization_plan",
+    "tree_distance",
+    "tree_signature",
+    "width_recommendation",
+    "encoding_table",
+]

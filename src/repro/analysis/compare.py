@@ -1,0 +1,124 @@
+"""Comparing two RAP profiles: what got hotter, what cooled down.
+
+A natural consumer of dumped summaries (Section 3.2's post-processing):
+profile two runs — before/after an optimization, two inputs, two program
+versions — and diff them range by range. Estimates are inclusive
+fractions over the union of both profiles' hot ranges, so the diff is
+robust to the two trees having refined to different granularities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.hot_ranges import DEFAULT_HOT_FRACTION, find_hot_ranges
+from ..core.tree import RapTree
+from .report import Table
+
+
+@dataclass(frozen=True)
+class RangeDelta:
+    """One range's change between the two profiles."""
+
+    lo: int
+    hi: int
+    before_fraction: float
+    after_fraction: float
+
+    @property
+    def delta(self) -> float:
+        return self.after_fraction - self.before_fraction
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Full diff between two profiles over one universe."""
+
+    before_events: int
+    after_events: int
+    deltas: Tuple[RangeDelta, ...]
+    hot_fraction: float
+
+    def hotter(self, min_delta: float = 0.01) -> List[RangeDelta]:
+        """Ranges that gained at least ``min_delta`` of relative weight."""
+        return [item for item in self.deltas if item.delta >= min_delta]
+
+    def cooler(self, min_delta: float = 0.01) -> List[RangeDelta]:
+        """Ranges that lost at least ``min_delta`` of relative weight."""
+        return [item for item in self.deltas if item.delta <= -min_delta]
+
+    def total_shift(self) -> float:
+        """Half the L1 distance between the profiles, in ``[0, 1]``.
+
+        0 = identical weight placement over the compared ranges; 1 =
+        completely relocated.
+        """
+        return sum(abs(item.delta) for item in self.deltas) / 2.0
+
+    def render(self) -> str:
+        table = Table(
+            ["range", "before %", "after %", "delta %"],
+            title=(
+                f"profile diff ({self.before_events:,} -> "
+                f"{self.after_events:,} events, hot>="
+                f"{self.hot_fraction:.0%} union)"
+            ),
+        )
+        ordered = sorted(
+            self.deltas, key=lambda item: abs(item.delta), reverse=True
+        )
+        for item in ordered:
+            table.add_row(
+                [
+                    f"[{item.lo:x}, {item.hi:x}]",
+                    100.0 * item.before_fraction,
+                    100.0 * item.after_fraction,
+                    100.0 * item.delta,
+                ]
+            )
+        return table.to_text()
+
+
+def diff_profiles(
+    before: RapTree,
+    after: RapTree,
+    hot_fraction: float = DEFAULT_HOT_FRACTION,
+) -> ProfileDiff:
+    """Diff two profiles over the union of their hot ranges.
+
+    Both trees must cover the same universe. Fractions are inclusive
+    estimates (lower bounds on both sides), normalized by each profile's
+    own stream length so runs of different length compare directly.
+    """
+    if before.config.range_max != after.config.range_max:
+        raise ValueError(
+            "profiles cover different universes: "
+            f"{before.config.range_max} vs {after.config.range_max}"
+        )
+    keys = {
+        (item.lo, item.hi)
+        for tree in (before, after)
+        for item in find_hot_ranges(tree, hot_fraction)
+    }
+    before_events = max(1, before.events)
+    after_events = max(1, after.events)
+    deltas = [
+        RangeDelta(
+            lo=lo,
+            hi=hi,
+            before_fraction=before.estimate(lo, hi) / before_events,
+            after_fraction=after.estimate(lo, hi) / after_events,
+        )
+        for lo, hi in sorted(keys)
+    ]
+    return ProfileDiff(
+        before_events=before.events,
+        after_events=after.events,
+        deltas=tuple(deltas),
+        hot_fraction=hot_fraction,
+    )

@@ -1,0 +1,83 @@
+"""Coverage-versus-range-width curves (Figure 9).
+
+Figure 9 plots, for each value stream (all loads, DL1 misses, DL2
+misses), the fraction of the stream covered by hot ranges of width at
+most ``2^x`` against ``x = log2(range width)``. Reading the paper's
+example: "Hot-ranges with a size of 2^16 or less account for about 56%
+of all DL1 misses". A curve that rises earlier means the stream's values
+are concentrated into narrower ranges — more value locality.
+
+Each event is attributed to the *smallest* hot range containing it
+(exclusive weights), so the curve is a proper CDF over hot weight; the
+final point appends the non-hot remainder at full universe width, where
+the root range trivially covers everything, closing the curve at 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.hot_ranges import DEFAULT_HOT_FRACTION, find_hot_ranges
+from ..core.tree import RapTree
+
+
+@dataclass(frozen=True)
+class CoverageCurve:
+    """One Figure 9 series: cumulative coverage by log2(range width)."""
+
+    name: str
+    points: Tuple[Tuple[int, float], ...]  # (log2 width, coverage percent)
+
+    def coverage_at(self, bits: int) -> float:
+        """Coverage percent from hot ranges of width <= ``2**bits``."""
+        best = 0.0
+        for width_bits, coverage in self.points:
+            if width_bits <= bits:
+                best = max(best, coverage)
+        return best
+
+    def area(self) -> float:
+        """Trapezoidal area under the curve — a scalar locality score.
+
+        Higher area = coverage rises earlier = narrower hot ranges =
+        more value locality. Used to compare the Figure 9 streams.
+        """
+        if len(self.points) < 2:
+            return 0.0
+        total = 0.0
+        for (x0, y0), (x1, y1) in zip(self.points, self.points[1:]):
+            total += (x1 - x0) * (y0 + y1) / 2.0
+        return total
+
+
+def coverage_curve(
+    tree: RapTree,
+    name: str,
+    hot_fraction: float = DEFAULT_HOT_FRACTION,
+) -> CoverageCurve:
+    """Build the Figure 9 curve for one profiled stream."""
+    universe_bits = max(1, (tree.config.range_max - 1).bit_length())
+    hot = find_hot_ranges(tree, hot_fraction)
+    by_bits: dict = {}
+    for item in hot:
+        bits = max(0, (item.width - 1).bit_length())
+        by_bits[bits] = by_bits.get(bits, 0.0) + 100.0 * item.fraction
+    points: List[Tuple[int, float]] = [(0, by_bits.get(0, 0.0))]
+    running = points[0][1]
+    for bits in range(1, universe_bits + 1):
+        if bits in by_bits:
+            running += by_bits[bits]
+            points.append((bits, running))
+    # The root range (full universe width) covers the non-hot remainder.
+    if not points or points[-1][0] != universe_bits:
+        points.append((universe_bits, 100.0))
+    else:
+        points[-1] = (universe_bits, 100.0)
+    return CoverageCurve(name=name, points=tuple(points))
+
+
+def locality_ordering(curves: List[CoverageCurve]) -> List[str]:
+    """Stream names ordered most-local first (by area under curve)."""
+    ranked = sorted(curves, key=lambda curve: curve.area(), reverse=True)
+    return [curve.name for curve in ranked]

@@ -1,0 +1,158 @@
+"""Error metrics: RAP estimates versus the perfect offline profiler.
+
+Section 4.3 defines the measurements reproduced here:
+
+* **percent error** — "error relative to the actual count of an event";
+  computed per hot range, against exact counts, then summarized as the
+  per-benchmark maximum and average (Figure 8's four bars).
+* **epsilon error** — "error with respect to the size of the entire
+  stream"; the guaranteed bound is ``epsilon * n``.
+* **accuracy** — ``100 - average percent error`` (the paper's "98%
+  accurate information" claims).
+
+The hot-range weights that RAP reports are *exclusive* (they do not
+include hot sub-ranges, Section 4.1), so the ground truth must be made
+exclusive the same way before comparing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..baselines.exact import ExactProfiler
+from ..core.hot_ranges import DEFAULT_HOT_FRACTION, HotRange, find_hot_ranges
+from ..core.tree import RapTree
+
+
+@dataclass(frozen=True)
+class RangeError:
+    """Estimate-versus-truth for one hot range."""
+
+    lo: int
+    hi: int
+    estimated: int
+    actual: int
+    percent_error: float
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Error summary for one (stream, epsilon) evaluation."""
+
+    hot_fraction: float
+    events: int
+    ranges: Tuple[RangeError, ...]
+    max_percent_error: float
+    average_percent_error: float
+    max_epsilon_error: float
+
+    @property
+    def accuracy(self) -> float:
+        """The paper's accuracy figure: ``100 - average percent error``."""
+        return 100.0 - self.average_percent_error
+
+    @property
+    def hot_count(self) -> int:
+        return len(self.ranges)
+
+
+def exclusive_actual_count(
+    exact: ExactProfiler, target: HotRange, hot: List[HotRange]
+) -> int:
+    """True count of ``target`` excluding its maximal hot sub-ranges.
+
+    This mirrors how RAP attributes weight: events inside a hot
+    descendant belong to that descendant, not to ``target``.
+    """
+    nested = [
+        other
+        for other in hot
+        if (target.lo <= other.lo and other.hi <= target.hi)
+        and not (other.lo == target.lo and other.hi == target.hi)
+    ]
+    maximal = [
+        other
+        for other in nested
+        if not any(
+            third is not other and third.lo <= other.lo and other.hi <= third.hi
+            for third in nested
+        )
+    ]
+    actual = exact.count(target.lo, target.hi)
+    for other in maximal:
+        actual -= exact.count(other.lo, other.hi)
+    return actual
+
+
+def evaluate_errors(
+    tree: RapTree,
+    exact: ExactProfiler,
+    hot_fraction: float = DEFAULT_HOT_FRACTION,
+) -> ErrorReport:
+    """Percent/epsilon error of every hot range RAP identified.
+
+    ``exact`` must have been fed the identical stream. Estimates are
+    lower bounds, so percent error is the (non-negative) undercount
+    relative to truth; degenerate zero-truth ranges (impossible when RAP
+    reported the range hot) are guarded to 0 error.
+    """
+    if exact.total != tree.events:
+        raise ValueError(
+            f"exact profiler saw {exact.total} events but tree saw "
+            f"{tree.events}; they must consume the same stream"
+        )
+    hot = find_hot_ranges(tree, hot_fraction)
+    rows: List[RangeError] = []
+    worst_epsilon = 0.0
+    events = tree.events
+    for item in hot:
+        actual = exclusive_actual_count(exact, item, hot)
+        estimated = item.weight
+        if actual <= 0:
+            percent = 0.0
+        else:
+            percent = abs(actual - estimated) / actual * 100.0
+        rows.append(
+            RangeError(
+                lo=item.lo,
+                hi=item.hi,
+                estimated=estimated,
+                actual=actual,
+                percent_error=percent,
+            )
+        )
+        if events:
+            inclusive_truth = exact.count(item.lo, item.hi)
+            inclusive_estimate = tree.estimate(item.lo, item.hi)
+            epsilon_error = (inclusive_truth - inclusive_estimate) / events
+            worst_epsilon = max(worst_epsilon, epsilon_error)
+    if rows:
+        max_percent = max(row.percent_error for row in rows)
+        avg_percent = sum(row.percent_error for row in rows) / len(rows)
+    else:
+        max_percent = 0.0
+        avg_percent = 0.0
+    return ErrorReport(
+        hot_fraction=hot_fraction,
+        events=events,
+        ranges=tuple(rows),
+        max_percent_error=max_percent,
+        average_percent_error=avg_percent,
+        max_epsilon_error=worst_epsilon,
+    )
+
+
+def epsilon_error_of_range(
+    tree: RapTree, exact: ExactProfiler, lo: int, hi: int
+) -> float:
+    """Undercount of ``[lo, hi]`` as a fraction of the stream length."""
+    if tree.events == 0:
+        return 0.0
+    truth = exact.count(lo, hi)
+    estimate = tree.estimate(lo, hi)
+    return (truth - estimate) / tree.events

@@ -1,0 +1,72 @@
+"""Memory metrics: node counts and byte footprints (Section 4.2).
+
+The paper measures memory as RAP tree node counts, "with each node
+requiring about 128 bits of memory": the *maximum* (tree size just
+before merge batches — the peaks of Figure 6) and the *average* over the
+run (the second bar of Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core import bounds
+from ..core.tree import RapTree
+
+BITS_PER_NODE = 128  # Section 4.2
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Memory summary of one profiling run."""
+
+    max_nodes: int
+    average_nodes: float
+    final_nodes: int
+    max_bytes: int
+    worst_case_nodes: float
+
+    @property
+    def headroom(self) -> float:
+        """Worst-case bound over observed max — the paper notes "in the
+        common case the number of nodes is a factor of 1000 less"."""
+        if self.max_nodes == 0:
+            return float("inf")
+        return self.worst_case_nodes / self.max_nodes
+
+
+def memory_report(tree: RapTree) -> MemoryReport:
+    """Summarize a finished run's memory behaviour."""
+    config = tree.config
+    worst = bounds.peak_nodes_bound(
+        config.epsilon,
+        config.range_max,
+        config.branching,
+        config.merge_growth,
+    )
+    return MemoryReport(
+        max_nodes=tree.stats.max_nodes,
+        average_nodes=tree.stats.average_nodes,
+        final_nodes=tree.node_count,
+        max_bytes=tree.stats.memory_bytes(BITS_PER_NODE),
+        worst_case_nodes=worst,
+    )
+
+
+def node_timeline(tree: RapTree) -> List[Tuple[int, int]]:
+    """The recorded ``(events, nodes)`` samples (Figure 6's series).
+
+    Requires the tree's config to have ``timeline_sample_every > 0``.
+    """
+    if tree.config.timeline_sample_every <= 0:
+        raise ValueError(
+            "tree was built without timeline recording; set "
+            "timeline_sample_every in RapConfig"
+        )
+    return list(tree.stats.timeline)
+
+
+def merge_points(tree: RapTree) -> List[int]:
+    """Event counts where merge batches fired (Figure 6's dashed lines)."""
+    return list(tree.stats.merge_points)

@@ -1,0 +1,268 @@
+"""Phase identification from windowed RAP profiles.
+
+Section 3.2 lists "phase identification" among the analyses the dumped
+RAP summaries feed. The method here follows the classic profile-vector
+approach: slice the stream into fixed-size windows, summarize each
+window with its own small RAP tree, reduce the tree to a *signature*
+(the distribution of weight over its hot ranges), and compare
+consecutive signatures. Windows whose signatures are close belong to the
+same phase; a recurring phase is recognized when a new window matches an
+old phase's centroid (leader clustering), so the output is a phase label
+per window plus the phase transition points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.config import RapConfig
+from ..core.hot_ranges import find_hot_ranges
+from ..core.tree import RapTree
+
+Signature = Dict[Tuple[int, int], float]
+
+
+def tree_signature(
+    tree: RapTree,
+    hot_fraction: float = 0.02,
+    coverage_cap: float = 0.85,
+) -> Signature:
+    """Reduce a profile tree to a weight-per-range signature.
+
+    Only *maximal* hot ranges (those not nested inside another hot
+    range) enter the signature, with their **inclusive** fractions —
+    inclusive weights are granularity-robust: two windows of the same
+    behaviour may split to different depths, but their inclusive counts
+    over the same range agree to within the error bound.
+
+    Near-universal ranges (inclusive fraction above ``coverage_cap``)
+    are excluded before the maximal filter: a range that covers almost
+    the whole stream — the root, or a wide ancestor band — scores ~1.0
+    for *every* window, so letting it shadow the discriminative ranges
+    beneath it would collapse all signatures together.
+    """
+    events = max(1, tree.events)
+    hot = [
+        item
+        for item in find_hot_ranges(tree, hot_fraction)
+        if item.inclusive_weight / events <= coverage_cap
+    ]
+    maximal = [
+        item
+        for item in hot
+        if not any(
+            other is not item
+            and other.lo <= item.lo
+            and item.hi <= other.hi
+            for other in hot
+        )
+    ]
+    return {
+        (item.lo, item.hi): item.inclusive_weight / events
+        for item in maximal
+    }
+
+
+def signature_distance(first: Signature, second: Signature) -> float:
+    """Manhattan distance between signatures, in ``[0, 2]``.
+
+    Ranges absent from a signature contribute their full weight — a
+    window that moved its mass to entirely new ranges is maximally far.
+    """
+    keys = set(first) | set(second)
+    return sum(
+        abs(first.get(key, 0.0) - second.get(key, 0.0)) for key in keys
+    )
+
+
+def tree_distance(
+    first: RapTree,
+    second: RapTree,
+    hot_fraction: float = 0.02,
+) -> float:
+    """Behaviour distance between two window profiles, in ``[0, 2]``.
+
+    Evaluates both trees' inclusive estimates over the union of their
+    maximal hot ranges. Because both trees answer *every* query range
+    (estimates, not key lookups), granularity differences between the
+    windows do not inflate the distance — the failure mode of comparing
+    raw hot-range keys.
+    """
+    keys = set(tree_signature(first, hot_fraction)) | set(
+        tree_signature(second, hot_fraction)
+    )
+    first_events = max(1, first.events)
+    second_events = max(1, second.events)
+    return sum(
+        abs(
+            first.estimate(lo, hi) / first_events
+            - second.estimate(lo, hi) / second_events
+        )
+        for lo, hi in keys
+    )
+
+
+@dataclass
+class WindowProfile:
+    """One window's summary: its profile tree and derived signature."""
+
+    index: int
+    start_event: int
+    events: int
+    signature: Signature
+    tree: RapTree
+    phase: int = -1
+
+
+@dataclass
+class PhaseAnalysis:
+    """Result of a phase-detection pass.
+
+    ``leaders`` holds one representative window tree per phase (leader
+    clustering): the first window that opened the phase.
+    """
+
+    windows: List[WindowProfile]
+    leaders: List[RapTree]
+    distance_threshold: float
+
+    @property
+    def labels(self) -> List[int]:
+        return [window.phase for window in self.windows]
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.leaders)
+
+    def transitions(self) -> List[int]:
+        """Window indices where the phase label changes."""
+        labels = self.labels
+        return [
+            index
+            for index in range(1, len(labels))
+            if labels[index] != labels[index - 1]
+        ]
+
+    def phase_spans(self) -> List[Tuple[int, int, int]]:
+        """Runs of equal phase: ``(phase, first_window, last_window)``."""
+        spans: List[Tuple[int, int, int]] = []
+        labels = self.labels
+        if not labels:
+            return spans
+        start = 0
+        for index in range(1, len(labels) + 1):
+            if index == len(labels) or labels[index] != labels[start]:
+                spans.append((labels[start], start, index - 1))
+                start = index
+        return spans
+
+    def render(self) -> str:
+        lines = [
+            f"{len(self.windows)} windows -> {self.num_phases} phases "
+            f"(threshold {self.distance_threshold})",
+            "timeline: " + "".join(
+                chr(ord("A") + min(25, window.phase))
+                for window in self.windows
+            ),
+        ]
+        for phase, first, last in self.phase_spans():
+            lines.append(
+                f"  phase {chr(ord('A') + min(25, phase))}: "
+                f"windows {first}..{last}"
+            )
+        return "\n".join(lines)
+
+
+class PhaseDetector:
+    """Windowed RAP profiling with leader-clustered phase labels."""
+
+    def __init__(
+        self,
+        config: RapConfig,
+        window_events: int,
+        distance_threshold: float = 0.6,
+        hot_fraction: float = 0.02,
+    ) -> None:
+        if window_events < 1:
+            raise ValueError(
+                f"window_events must be >= 1, got {window_events}"
+            )
+        if not 0.0 < distance_threshold <= 2.0:
+            raise ValueError(
+                "distance_threshold must be in (0, 2], got "
+                f"{distance_threshold}"
+            )
+        self.config = config
+        self.window_events = window_events
+        self.distance_threshold = distance_threshold
+        self.hot_fraction = hot_fraction
+
+    def analyze(self, events: Iterable[int]) -> PhaseAnalysis:
+        """Profile the stream window by window and label phases.
+
+        Assignment is average-linkage: a window joins the phase whose
+        members are closest *on average* (averaging absorbs per-window
+        noise without the chaining failure of nearest-member matching);
+        a window farther than the threshold from every phase opens a new
+        one.
+        """
+        windows: List[WindowProfile] = []
+        leaders: List[RapTree] = []
+        members: List[List[RapTree]] = []
+
+        tree = RapTree(self.config)
+        start_event = 0
+        index = 0
+
+        def close_window() -> None:
+            nonlocal tree, start_event, index
+            if tree.events == 0:
+                return
+            window = WindowProfile(
+                index=index,
+                start_event=start_event,
+                events=tree.events,
+                signature=tree_signature(tree, self.hot_fraction),
+                tree=tree,
+            )
+            window.phase = self._assign_phase(tree, leaders, members)
+            windows.append(window)
+            index += 1
+            start_event += tree.events
+            tree = RapTree(self.config)
+
+        for value in events:
+            tree.add(value)
+            if tree.events >= self.window_events:
+                close_window()
+        close_window()
+        return PhaseAnalysis(
+            windows=windows,
+            leaders=leaders,
+            distance_threshold=self.distance_threshold,
+        )
+
+    def _assign_phase(
+        self,
+        tree: RapTree,
+        leaders: List[RapTree],
+        members: List[List[RapTree]],
+    ) -> int:
+        best = -1
+        best_distance = float("inf")
+        for phase, phase_members in enumerate(members):
+            distances = [
+                tree_distance(tree, member, self.hot_fraction)
+                for member in phase_members
+            ]
+            distance = sum(distances) / len(distances)
+            if distance < best_distance:
+                best = phase
+                best_distance = distance
+        if best >= 0 and best_distance <= self.distance_threshold:
+            members[best].append(tree)
+            return best
+        leaders.append(tree)
+        members.append([tree])
+        return len(leaders) - 1

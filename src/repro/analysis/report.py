@@ -1,0 +1,119 @@
+"""Plain-text tables for experiment and benchmark output.
+
+Every experiment prints the same rows/series the paper's table or figure
+reports; this tiny formatter keeps that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+class Table:
+    """Left-aligned text table with numeric right-alignment."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(header) for header in headers]
+        self.rows: List[List[str]] = []
+        self._numeric = [True] * len(self.headers)
+
+    def add_row(self, cells: Sequence[Cell]) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} "
+                "columns"
+            )
+        rendered = []
+        for index, cell in enumerate(cells):
+            if isinstance(cell, float):
+                rendered.append(f"{cell:,.2f}")
+            elif isinstance(cell, int):
+                rendered.append(f"{cell:,}")
+            else:
+                rendered.append(str(cell))
+                self._numeric[index] = False
+        self.rows.append(rendered)
+
+    def add_rows(self, rows: Iterable[Sequence[Cell]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def to_text(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            parts = []
+            for index, cell in enumerate(cells):
+                if self._numeric[index] and cells is not self.headers:
+                    parts.append(cell.rjust(widths[index]))
+                else:
+                    parts.append(cell.ljust(widths[index]))
+            return "  ".join(parts).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append("  ".join("-" * width for width in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (for figure-shaped bench output)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title] if title else []
+    if not values:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    top = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / top))
+        lines.append(f"{str(label).ljust(label_width)}  {bar} {value:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def series_plot(
+    points: Sequence[Sequence[float]],
+    title: str = "",
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Coarse ASCII line plot of one ``(x, y)`` series (Figure 6 style)."""
+    lines = [title] if title else []
+    if len(points) < 2:
+        lines.append("(not enough points)")
+        return "\n".join(lines)
+    xs = [point[0] for point in points]
+    ys = [point[1] for point in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][column] = "*"
+    lines.append(f"y: {y_lo:,.0f} .. {y_hi:,.0f}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_lo:,.0f} .. {x_hi:,.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Turning value-range profiles into optimization advice.
+
+The paper motivates value-range profiles with concrete consumers: "These
+summaries ... could be used to guide optimizations such as value range
+specialization or to assist in value prediction" (Section 4.1), operand
+width prediction / bit-width optimized compilation (Section 4.4), and
+frequent-value bus encoding (Sections 1, 6). This module derives those
+artifacts from a profiled tree:
+
+* :func:`width_recommendation` — the narrowest operand width covering a
+  target fraction of values (bit-width optimized compilation);
+* :func:`specialization_plan` — the hot narrow ranges worth emitting
+  specialized code paths for, with guaranteed-hit-rate estimates;
+* :func:`encoding_table` — a frequent-value dictionary for bus/cache
+  compression, with the achievable compression ratio.
+
+All estimates inherit RAP's lower-bound property, so every quoted
+coverage is a *guaranteed floor* — the optimizer can only be positively
+surprised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.hot_ranges import find_hot_ranges
+from ..core.tree import RapTree
+
+
+@dataclass(frozen=True)
+class WidthRecommendation:
+    """Result of a bit-width query."""
+
+    bits: int
+    coverage: float          # guaranteed fraction of values below 2**bits
+    target: float
+    universe_bits: int
+
+    @property
+    def met(self) -> bool:
+        return self.coverage >= self.target
+
+
+def width_recommendation(
+    tree: RapTree, coverage_target: float = 0.95
+) -> WidthRecommendation:
+    """Smallest width ``w`` with at least ``coverage_target`` of values
+    in ``[0, 2**w)`` — by RAP's lower-bound estimates, a guarantee.
+
+    Returns the full universe width if no narrower width reaches the
+    target (``met`` is still True then, trivially).
+    """
+    if not 0.0 < coverage_target <= 1.0:
+        raise ValueError(
+            f"coverage_target must be in (0, 1], got {coverage_target}"
+        )
+    universe_bits = max(1, (tree.config.range_max - 1).bit_length())
+    events = tree.events
+    if events == 0:
+        return WidthRecommendation(
+            bits=universe_bits, coverage=1.0, target=coverage_target,
+            universe_bits=universe_bits,
+        )
+    for bits in range(1, universe_bits):
+        covered = tree.estimate(0, 2**bits - 1) / events
+        if covered >= coverage_target:
+            return WidthRecommendation(
+                bits=bits, coverage=covered, target=coverage_target,
+                universe_bits=universe_bits,
+            )
+    return WidthRecommendation(
+        bits=universe_bits, coverage=1.0, target=coverage_target,
+        universe_bits=universe_bits,
+    )
+
+
+@dataclass(frozen=True)
+class SpecializationCase:
+    """One specialized code path: a narrow value range and its hit rate."""
+
+    lo: int
+    hi: int
+    hit_rate: float          # guaranteed fraction of values in the range
+
+    @property
+    def width_bits(self) -> int:
+        return max(1, (self.hi - self.lo + 1 - 1).bit_length()) if self.hi > self.lo else 1
+
+
+@dataclass(frozen=True)
+class SpecializationPlan:
+    """Specialized paths plus the fall-through rate."""
+
+    cases: Tuple[SpecializationCase, ...]
+    fallthrough_rate: float
+
+    @property
+    def specialized_rate(self) -> float:
+        return 1.0 - self.fallthrough_rate
+
+
+def specialization_plan(
+    tree: RapTree,
+    hot_fraction: float = 0.10,
+    max_cases: int = 4,
+    max_width_bits: int = 16,
+) -> SpecializationPlan:
+    """Pick the hot *narrow* ranges worth a specialized code path.
+
+    Only ranges at most ``2**max_width_bits`` wide qualify (a special
+    case must be cheap to test); up to ``max_cases`` of them are chosen
+    heaviest-first. Hit rates are exclusive hot weights — disjoint by
+    construction once nested choices are filtered to the narrowest.
+    """
+    if max_cases < 1:
+        raise ValueError(f"max_cases must be >= 1, got {max_cases}")
+    events = tree.events
+    if events == 0:
+        return SpecializationPlan(cases=(), fallthrough_rate=1.0)
+    candidates = [
+        item
+        for item in find_hot_ranges(tree, hot_fraction)
+        if item.width <= 2**max_width_bits
+    ]
+    chosen: List[SpecializationCase] = []
+    covered: List[Tuple[int, int]] = []
+    for item in candidates:  # already heaviest-first
+        if len(chosen) >= max_cases:
+            break
+        if any(
+            not (item.hi < lo or hi < item.lo) for lo, hi in covered
+        ):
+            continue  # overlaps an already-specialized range
+        chosen.append(
+            SpecializationCase(
+                lo=item.lo, hi=item.hi, hit_rate=item.fraction
+            )
+        )
+        covered.append((item.lo, item.hi))
+    specialized = sum(case.hit_rate for case in chosen)
+    return SpecializationPlan(
+        cases=tuple(chosen),
+        fallthrough_rate=max(0.0, 1.0 - specialized),
+    )
+
+
+@dataclass(frozen=True)
+class EncodingTable:
+    """Frequent-value dictionary for bus / cache compression."""
+
+    values: Tuple[int, ...]      # dictionary entries (single values)
+    coverage: float              # guaranteed fraction of loads covered
+    index_bits: int              # bits to address the dictionary
+    word_bits: int               # uncompressed word width
+
+    @property
+    def expected_bits_per_value(self) -> float:
+        """1 flag bit + index for hits, 1 flag bit + word for misses."""
+        hit = 1 + self.index_bits
+        miss = 1 + self.word_bits
+        return self.coverage * hit + (1.0 - self.coverage) * miss
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.word_bits / self.expected_bits_per_value
+
+
+def encoding_table(
+    tree: RapTree,
+    max_entries: int = 8,
+    word_bits: int = 64,
+) -> EncodingTable:
+    """Build a frequent-value encoding table from an item-level profile.
+
+    Dictionary entries must be single values (width-1 hot ranges at a
+    low threshold); coverage is the guaranteed fraction of loads that
+    hit the dictionary.
+    """
+    if max_entries < 1:
+        raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+    events = tree.events
+    if events == 0:
+        return EncodingTable(values=(), coverage=0.0, index_bits=1,
+                             word_bits=word_bits)
+    singles: List[Tuple[int, int]] = []  # (count, value)
+    for node in tree.nodes():
+        if node.is_item:
+            weight = node.subtree_weight()
+            if weight:
+                singles.append((weight, node.lo))
+    singles.sort(reverse=True)
+    picked = singles[:max_entries]
+    coverage = sum(count for count, _ in picked) / events
+    index_bits = max(1, (max(1, len(picked)) - 1).bit_length() or 1)
+    return EncodingTable(
+        values=tuple(value for _, value in picked),
+        coverage=coverage,
+        index_bits=index_bits,
+        word_bits=word_bits,
+    )

@@ -1,0 +1,16 @@
+"""Comparison profilers: ground truth and the designs RAP is measured against."""
+
+from .continuous import ContinuousMergeRap, FixedIntervalScheduler
+from .exact import ExactProfiler
+from .fixed_range import FixedRangeProfiler
+from .sampling import SamplingProfiler
+from .space_saving import SpaceSaving
+
+__all__ = [
+    "ContinuousMergeRap",
+    "ExactProfiler",
+    "FixedIntervalScheduler",
+    "FixedRangeProfiler",
+    "SamplingProfiler",
+    "SpaceSaving",
+]

@@ -1,0 +1,136 @@
+"""The paper's "perfect profiler": exact offline counting.
+
+Section 4.3 evaluates RAP "with the actual count that was gathered by
+making multiple passes through the program's execution, tracking one hot
+range at a time (as a perfect offline profiler would)". This profiler
+keeps every distinct value's exact count (unbounded memory) and answers
+range-count queries exactly — the ground truth for every error metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+
+class ExactProfiler:
+    """Exact per-value counting with fast range queries.
+
+    Feed it the same stream RAP sees; after :meth:`freeze` (implicit on
+    first query) range counts are answered with a binary search over the
+    sorted distinct values plus prefix sums.
+    """
+
+    def __init__(self, universe: int) -> None:
+        if universe < 2:
+            raise ValueError(f"universe must be >= 2, got {universe}")
+        self.universe = universe
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sorted_values: Optional[np.ndarray] = None
+        self._prefix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def add(self, value: int, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if not 0 <= value < self.universe:
+            raise ValueError(f"value {value} outside universe")
+        self._counts[value] = self._counts.get(value, 0) + count
+        self._total += count
+        self._sorted_values = None
+
+    def extend(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    def feed_array(self, values: np.ndarray) -> None:
+        """Bulk ingestion of a numpy event array (the fast path)."""
+        if values.shape[0] == 0:
+            return
+        uniques, counts = np.unique(values, return_counts=True)
+        if int(uniques[-1]) >= self.universe:
+            raise ValueError(
+                f"value {int(uniques[-1])} outside universe {self.universe}"
+            )
+        counts_map = self._counts
+        for value, count in zip(uniques, counts):
+            key = int(value)
+            counts_map[key] = counts_map.get(key, 0) + int(count)
+        self._total += int(counts.sum())
+        self._sorted_values = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Number of events seen."""
+        return self._total
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct values seen."""
+        return len(self._counts)
+
+    def freeze(self) -> None:
+        """Build the sorted index (idempotent; queries call it lazily)."""
+        if self._sorted_values is not None:
+            return
+        if not self._counts:
+            self._sorted_values = np.empty(0, dtype=np.uint64)
+            self._prefix = np.zeros(1, dtype=np.int64)
+            return
+        values = np.fromiter(
+            self._counts.keys(), dtype=np.uint64, count=len(self._counts)
+        )
+        order = np.argsort(values)
+        values = values[order]
+        counts = np.fromiter(
+            self._counts.values(), dtype=np.int64, count=len(self._counts)
+        )[order]
+        self._sorted_values = values
+        self._prefix = np.concatenate([[0], np.cumsum(counts)])
+
+    def count(self, lo: int, hi: int) -> int:
+        """Exact number of events with value in ``[lo, hi]``."""
+        if lo > hi:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        self.freeze()
+        assert self._sorted_values is not None and self._prefix is not None
+        values = self._sorted_values
+        left = int(np.searchsorted(values, np.uint64(max(lo, 0)), side="left"))
+        right = int(np.searchsorted(values, np.uint64(hi), side="right"))
+        return int(self._prefix[right] - self._prefix[left])
+
+    def count_value(self, value: int) -> int:
+        """Exact count of one value."""
+        return self._counts.get(value, 0)
+
+    def top(self, k: int) -> List[Tuple[int, int]]:
+        """The ``k`` most frequent values as ``(value, count)`` pairs."""
+        ranked = sorted(
+            self._counts.items(), key=lambda item: item[1], reverse=True
+        )
+        return ranked[:k]
+
+    def memory_entries(self) -> int:
+        """Counters held — what RAP's bounded memory is measured against."""
+        return len(self._counts)
+
+    @classmethod
+    def from_stream(
+        cls, universe: int, values: Union[np.ndarray, Iterable[int]]
+    ) -> "ExactProfiler":
+        """Build directly from an event array or iterable."""
+        profiler = cls(universe)
+        if isinstance(values, np.ndarray):
+            profiler.feed_array(values)
+        else:
+            profiler.extend(values)
+        return profiler

@@ -1,0 +1,94 @@
+"""Fixed-range (flat) profiling — the paper's strawman baseline.
+
+Section 2 motivates RAP by contrast with dividing the universe "into N
+ranges for N counters": with few counters the profile has no precision,
+and tracking items individually "quickly gets out of hand". This profiler
+implements exactly that flat scheme so experiments can show what adaptive
+ranges buy at equal memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+
+class FixedRangeProfiler:
+    """``num_counters`` equal-width bins over ``[0, universe)``."""
+
+    def __init__(self, universe: int, num_counters: int) -> None:
+        if universe < 2:
+            raise ValueError(f"universe must be >= 2, got {universe}")
+        if num_counters < 1:
+            raise ValueError(f"num_counters must be >= 1, got {num_counters}")
+        self.universe = universe
+        self.num_counters = min(num_counters, universe)
+        self.bin_width = -(-universe // self.num_counters)  # ceil division
+        self.counters = np.zeros(self.num_counters, dtype=np.int64)
+        self.total = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        if not 0 <= value < self.universe:
+            raise ValueError(f"value {value} outside universe")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.counters[value // self.bin_width] += count
+        self.total += count
+
+    def extend(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    def feed_array(self, values: np.ndarray) -> None:
+        """Bulk ingestion via a vectorized histogram."""
+        if values.shape[0] == 0:
+            return
+        bins = (values // np.uint64(self.bin_width)).astype(np.int64)
+        if bins.max() >= self.num_counters or values.max() >= self.universe:
+            raise ValueError("value outside universe")
+        np.add.at(self.counters, bins, 1)
+        self.total += int(values.shape[0])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def bin_range(self, index: int) -> Tuple[int, int]:
+        """The ``[lo, hi]`` range covered by bin ``index``."""
+        lo = index * self.bin_width
+        hi = min(lo + self.bin_width - 1, self.universe - 1)
+        return lo, hi
+
+    def estimate_lower(self, lo: int, hi: int) -> int:
+        """Events surely inside ``[lo, hi]``: bins fully contained."""
+        first = -(-lo // self.bin_width)  # first bin starting at/after lo
+        last = (hi + 1) // self.bin_width - 1  # last bin ending at/before hi
+        if first > last:
+            return 0
+        return int(self.counters[first : last + 1].sum())
+
+    def estimate_upper(self, lo: int, hi: int) -> int:
+        """Events possibly inside ``[lo, hi]``: all overlapping bins."""
+        first = lo // self.bin_width
+        last = min(hi // self.bin_width, self.num_counters - 1)
+        return int(self.counters[first : last + 1].sum())
+
+    def hot_bins(self, hot_fraction: float = 0.10) -> List[Tuple[int, int, int]]:
+        """Bins holding at least ``hot_fraction`` of events.
+
+        Returns ``(lo, hi, count)`` triples, heaviest first. The contrast
+        with RAP: every hot bin is stuck at width ``bin_width`` — the flat
+        scheme can say a region is hot but never zoom into it.
+        """
+        cutoff = hot_fraction * self.total
+        rows = [
+            (*self.bin_range(index), int(count))
+            for index, count in enumerate(self.counters)
+            if count >= cutoff and count > 0
+        ]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows
+
+    def memory_entries(self) -> int:
+        return self.num_counters

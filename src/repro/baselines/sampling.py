@@ -1,0 +1,90 @@
+"""Sampling profiler baseline.
+
+The paper repeatedly contrasts RAP with sampling (Sections 1, 2, 5 and
+footnote 1: "Counters are never decremented which is why this is not a
+sampling scheme"). This baseline keeps exact counts of a Bernoulli
+sample of the stream and scales estimates by the inverse rate — cheap,
+unbiased, but with variance instead of RAP's one-sided bounded error.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+
+class SamplingProfiler:
+    """Bernoulli sampling at ``rate``, exact counting of the sample."""
+
+    def __init__(self, universe: int, rate: float, seed: int = 0) -> None:
+        if universe < 2:
+            raise ValueError(f"universe must be >= 2, got {universe}")
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.universe = universe
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._counts: dict = {}
+        self.total = 0
+        self.sampled = 0
+
+    def add(self, value: int) -> None:
+        if not 0 <= value < self.universe:
+            raise ValueError(f"value {value} outside universe")
+        self.total += 1
+        if self._rng.random() < self.rate:
+            self._counts[value] = self._counts.get(value, 0) + 1
+            self.sampled += 1
+
+    def extend(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    def feed_array(self, values: np.ndarray) -> None:
+        """Bulk ingestion: vectorized coin flips, then exact counting."""
+        count = int(values.shape[0])
+        if count == 0:
+            return
+        mask = self._rng.random(count) < self.rate
+        picked = values[mask]
+        uniques, counts = np.unique(picked, return_counts=True)
+        for value, value_count in zip(uniques, counts):
+            key = int(value)
+            self._counts[key] = self._counts.get(key, 0) + int(value_count)
+        self.total += count
+        self.sampled += int(picked.shape[0])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def estimate(self, lo: int, hi: int) -> float:
+        """Unbiased estimate of events in ``[lo, hi]`` (scaled sample)."""
+        if lo > hi:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        in_range = sum(
+            count for value, count in self._counts.items() if lo <= value <= hi
+        )
+        return in_range / self.rate
+
+    def estimate_value(self, value: int) -> float:
+        return self._counts.get(value, 0) / self.rate
+
+    def hot_values(self, hot_fraction: float = 0.10) -> List[Tuple[int, float]]:
+        """Values whose scaled estimate reaches the hot cutoff.
+
+        Unlike RAP's guarantee, these can be false positives (sampling
+        variance), and genuinely hot values can be missed.
+        """
+        cutoff = hot_fraction * self.total
+        rows = [
+            (value, count / self.rate)
+            for value, count in self._counts.items()
+            if count / self.rate >= cutoff
+        ]
+        rows.sort(key=lambda row: row[1], reverse=True)
+        return rows
+
+    def memory_entries(self) -> int:
+        return len(self._counts)

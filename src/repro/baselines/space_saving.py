@@ -1,0 +1,96 @@
+"""Space-Saving heavy-hitter baseline.
+
+RAP's related work situates it against stream heavy-hitter algorithms
+(the network monitoring line of work the paper cites in Section 5).
+Space-Saving (Metwally et al.) is the canonical *flat* heavy-hitter
+sketch: it finds hot individual items with bounded memory, but — unlike
+RAP — it reports no ranges and gives no picture of the cold remainder of
+the universe. The comparison experiments use it to show what RAP's
+hierarchy adds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Tuple
+
+
+class SpaceSaving:
+    """Classic Space-Saving with ``capacity`` counters.
+
+    Guarantees: tracked count is an over-estimate with error at most the
+    counter's recorded ``error``; any item with true count above
+    ``n / capacity`` is guaranteed to be tracked.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._counts: Dict[int, int] = {}
+        self._errors: Dict[int, int] = {}
+        self._heap: List[Tuple[int, int]] = []  # lazy (count, value) min-heap
+        self.total = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.total += count
+        counts = self._counts
+        if value in counts:
+            counts[value] += count
+            heapq.heappush(self._heap, (counts[value], value))
+            return
+        if len(counts) < self.capacity:
+            counts[value] = count
+            self._errors[value] = 0
+            heapq.heappush(self._heap, (count, value))
+            return
+        # Evict the minimum counter and inherit its count as error.
+        while True:
+            min_count, victim = self._heap[0]
+            if counts.get(victim) == min_count:
+                break
+            heapq.heappop(self._heap)  # stale entry
+        heapq.heappop(self._heap)
+        del counts[victim]
+        del self._errors[victim]
+        new_count = min_count + count
+        counts[value] = new_count
+        self._errors[value] = min_count
+        heapq.heappush(self._heap, (new_count, value))
+
+    def extend(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def estimate(self, value: int) -> int:
+        """Upper-bound estimate of ``value``'s count (0 if untracked)."""
+        return self._counts.get(value, 0)
+
+    def guaranteed(self, value: int) -> int:
+        """Lower-bound (count minus possible error)."""
+        if value not in self._counts:
+            return 0
+        return self._counts[value] - self._errors[value]
+
+    def heavy_hitters(self, hot_fraction: float = 0.10) -> List[Tuple[int, int]]:
+        """Items whose *guaranteed* count reaches the hot cutoff.
+
+        Mirrors RAP's "if identified as hot, guaranteed to be hot".
+        """
+        cutoff = hot_fraction * self.total
+        rows = [
+            (value, self._counts[value])
+            for value in self._counts
+            if self._counts[value] - self._errors[value] >= cutoff
+        ]
+        rows.sort(key=lambda row: row[1], reverse=True)
+        return rows
+
+    def memory_entries(self) -> int:
+        return len(self._counts)

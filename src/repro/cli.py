@@ -1,0 +1,183 @@
+"""Command-line interface: ``rap <command>``.
+
+Commands:
+
+* ``rap list`` — list the available experiment reproductions.
+* ``rap experiment <id> [--events N] [--seed S]`` — run one experiment
+  and print the paper-shaped report.
+* ``rap profile <benchmark> <kind> [--epsilon E] [--events N]`` — profile
+  a synthetic benchmark stream and print its hot-range tree.
+* ``rap benchmarks`` — list the synthetic SPEC-like benchmarks.
+* ``rap record <benchmark> <kind> <path>`` — write a binary trace file.
+* ``rap analyze <path> [--epsilon E]`` — post-process a trace file:
+  hot ranges, quantile brackets, memory stats (Section 3.2's offline
+  flow).
+* ``rap diff <path_a> <path_b>`` — profile two trace files and diff
+  them range by range.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.compare import diff_profiles
+from .analysis.hot_report import render_hot_tree
+from .core.quantiles import quantile_bounds
+from .experiments import runner
+from .experiments.common import DEFAULT_SEED, HOT_FRACTION, profile_stream
+from .workloads.spec import BENCHMARKS, benchmark
+from .workloads.tracefile import read_trace, trace_info, write_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rap",
+        description=(
+            "Range Adaptive Profiling (CGO 2006) — reproduction toolkit"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiment reproductions")
+    commands.add_parser("benchmarks", help="list synthetic benchmarks")
+
+    experiment = commands.add_parser(
+        "experiment", help="run one experiment reproduction"
+    )
+    experiment.add_argument("name", choices=runner.available())
+    experiment.add_argument("--events", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    profile = commands.add_parser(
+        "profile", help="profile one benchmark stream with RAP"
+    )
+    profile.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    profile.add_argument(
+        "kind", choices=["code", "value", "narrow"], help="event stream kind"
+    )
+    profile.add_argument("--epsilon", type=float, default=0.01)
+    profile.add_argument("--events", type=int, default=200_000)
+    profile.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    profile.add_argument("--hot", type=float, default=HOT_FRACTION)
+
+    record = commands.add_parser(
+        "record", help="record a benchmark stream to a binary trace file"
+    )
+    record.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    record.add_argument("kind", choices=["code", "value", "narrow"])
+    record.add_argument("path")
+    record.add_argument("--events", type=int, default=200_000)
+    record.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    analyze = commands.add_parser(
+        "analyze", help="post-process a recorded trace file with RAP"
+    )
+    analyze.add_argument("path")
+    analyze.add_argument("--epsilon", type=float, default=0.01)
+    analyze.add_argument("--hot", type=float, default=HOT_FRACTION)
+
+    diff = commands.add_parser(
+        "diff", help="diff the profiles of two trace files"
+    )
+    diff.add_argument("path_a")
+    diff.add_argument("path_b")
+    diff.add_argument("--epsilon", type=float, default=0.02)
+    diff.add_argument("--hot", type=float, default=HOT_FRACTION)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name, (_, description) in runner.EXPERIMENTS.items():
+            print(f"{name:16s} {description}")
+        return 0
+
+    if args.command == "benchmarks":
+        for name, spec in BENCHMARKS.items():
+            print(f"{name:8s} {spec.description}")
+        return 0
+
+    if args.command == "experiment":
+        kwargs = {"seed": args.seed}
+        if args.events is not None:
+            kwargs["events"] = args.events
+        print(runner.render_experiment(args.name, **kwargs))
+        return 0
+
+    if args.command == "profile":
+        spec = benchmark(args.benchmark)
+        if args.kind == "code":
+            stream = spec.code_stream(args.events, seed=args.seed)
+        elif args.kind == "value":
+            stream = spec.value_stream(args.events, seed=args.seed)
+        else:
+            stream = spec.narrow_operand_stream(args.events, seed=args.seed)
+        tree = profile_stream(stream, epsilon=args.epsilon)
+        print(
+            render_hot_tree(
+                tree,
+                args.hot,
+                title=(
+                    f"{stream.name}: {tree.events:,} events, "
+                    f"eps={args.epsilon:.0%}, {tree.node_count} nodes"
+                ),
+            )
+        )
+        return 0
+
+    if args.command == "record":
+        spec = benchmark(args.benchmark)
+        if args.kind == "code":
+            stream = spec.code_stream(args.events, seed=args.seed)
+        elif args.kind == "value":
+            stream = spec.value_stream(args.events, seed=args.seed)
+        else:
+            stream = spec.narrow_operand_stream(args.events, seed=args.seed)
+        write_trace(stream, args.path)
+        info = trace_info(args.path)
+        print(
+            f"recorded {info['events']:,} {info['kind']} events to "
+            f"{args.path}"
+        )
+        return 0
+
+    if args.command == "analyze":
+        stream = read_trace(args.path)
+        tree = profile_stream(stream, epsilon=args.epsilon)
+        print(
+            render_hot_tree(
+                tree,
+                args.hot,
+                title=(
+                    f"{args.path}: {tree.events:,} {stream.kind} events, "
+                    f"eps={args.epsilon:.0%}, {tree.node_count} nodes "
+                    f"({tree.memory_bytes() / 1024:.1f} KB)"
+                ),
+            )
+        )
+        if tree.events:
+            print("\nquantile brackets (guaranteed):")
+            for q in (0.5, 0.9, 0.99):
+                low, high = quantile_bounds(tree, q)
+                print(f"  p{int(q * 100):<3d} in [{low:#x}, {high:#x}]")
+        return 0
+
+    if args.command == "diff":
+        first = read_trace(args.path_a)
+        second = read_trace(args.path_b)
+        before = profile_stream(first, epsilon=args.epsilon)
+        after = profile_stream(second, epsilon=args.epsilon)
+        result = diff_profiles(before, after, args.hot)
+        print(result.render())
+        print(f"\ntotal weight shift: {100 * result.total_shift():.1f}%")
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""The paper's software API (Section 3.2).
+
+The authors shipped a C++ library with three entry points —
+``rap_init()``, ``rap_add_points()`` and ``rap_finalize()`` — usable both
+online and for post-processing trace files, and supporting several
+profiles at once. This module reproduces that surface on top of
+:class:`~repro.core.tree.RapTree`, including the ASCII dump that
+``rap_finalize`` produces "for further processing such as identifying
+hot-spots, range coverage, phase identification, and so on".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .config import RapConfig
+from .hot_ranges import DEFAULT_HOT_FRACTION, HotRange, find_hot_ranges
+from .serialize import dump_tree
+from .tree import RapTree
+
+
+@dataclass
+class RapProfile:
+    """Handle returned by :func:`rap_init`: a set of named RAP trees.
+
+    ``rap_init`` "initializes data structures to enable profiling
+    multiple events simultaneously" — e.g. one tree over PCs and one over
+    load values fed from the same instruction stream.
+    """
+
+    trees: Dict[str, RapTree] = field(default_factory=dict)
+    finalized: bool = False
+
+    def tree(self, name: str = "default") -> RapTree:
+        try:
+            return self.trees[name]
+        except KeyError:
+            raise KeyError(
+                f"no profile named {name!r}; available: {sorted(self.trees)}"
+            ) from None
+
+
+def rap_init(
+    range_max: Union[int, Dict[str, int]],
+    epsilon: float = 0.01,
+    branching: int = 4,
+    **config_overrides: object,
+) -> RapProfile:
+    """Create a RAP profile (Section 3.2's ``rap_init``).
+
+    Parameters
+    ----------
+    range_max:
+        Either a single universe size (creates one profile named
+        ``"default"``) or a mapping ``{profile_name: universe_size}`` to
+        profile multiple event kinds simultaneously.
+    epsilon, branching, config_overrides:
+        Forwarded to :class:`~repro.core.config.RapConfig`.
+    """
+    if isinstance(range_max, int):
+        universes = {"default": range_max}
+    else:
+        universes = dict(range_max)
+        if not universes:
+            raise ValueError("rap_init needs at least one profile universe")
+    profile = RapProfile()
+    for name, universe in universes.items():
+        config = RapConfig(
+            range_max=universe,
+            epsilon=epsilon,
+            branching=branching,
+            **config_overrides,  # type: ignore[arg-type]
+        )
+        profile.trees[name] = RapTree(config)
+    return profile
+
+
+def rap_add_points(
+    profile: RapProfile,
+    points: Iterable[Union[int, Tuple[int, int]]],
+    name: str = "default",
+) -> None:
+    """Feed events into one of the profile's trees.
+
+    Accepts plain values or ``(value, count)`` pairs (the latter matching
+    the combining event buffer). "rap_add_points looks up the appropriate
+    counter, updates the counter, and when needed calls the internal
+    functions rap_split() and rap_merge()" — splits and merges are
+    internal to :class:`RapTree`.
+    """
+    if profile.finalized:
+        raise RuntimeError("profile already finalized")
+    tree = profile.tree(name)
+    for point in points:
+        if isinstance(point, tuple):
+            value, count = point
+            tree.add(value, count)
+        else:
+            tree.add(point)
+
+
+@dataclass(frozen=True)
+class RapSummary:
+    """Result of :func:`rap_finalize` for one tree."""
+
+    name: str
+    events: int
+    node_count: int
+    max_nodes: int
+    average_nodes: float
+    splits: int
+    merge_batches: int
+    hot_ranges: List[HotRange]
+    dump: str
+
+
+def rap_finalize(
+    profile: RapProfile,
+    hot_fraction: float = DEFAULT_HOT_FRACTION,
+    dump_path: Optional[str] = None,
+) -> Dict[str, RapSummary]:
+    """Finalize the profile and derive stream statistics (Section 3.2).
+
+    Runs a final merge batch on every tree (so memory reflects the pruned
+    state), extracts hot ranges, and produces the ASCII dump. If
+    ``dump_path`` is given, each tree's dump is written to
+    ``<dump_path>.<name>.rap``.
+    """
+    summaries: Dict[str, RapSummary] = {}
+    for name, tree in profile.trees.items():
+        if tree.events:
+            tree.merge_now()
+        dump = dump_tree(tree)
+        if dump_path is not None:
+            with open(f"{dump_path}.{name}.rap", "w", encoding="ascii") as fh:
+                fh.write(dump)
+        summaries[name] = RapSummary(
+            name=name,
+            events=tree.events,
+            node_count=tree.node_count,
+            max_nodes=tree.stats.max_nodes,
+            average_nodes=tree.stats.average_nodes,
+            splits=tree.stats.splits,
+            merge_batches=tree.stats.merge_batches,
+            hot_ranges=find_hot_ranges(tree, hot_fraction),
+            dump=dump,
+        )
+    profile.finalized = True
+    return summaries

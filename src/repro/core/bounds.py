@@ -1,0 +1,251 @@
+"""Worst-case memory bounds for RAP trees (Sections 2.2 and 3.1).
+
+The paper states that a tree built with
+``SplitThreshold = epsilon * n / log(R)`` needs at most ``O(log(R) /
+epsilon)`` nodes, and uses two engineering plots derived from the bound:
+
+* **Figure 2** — worst-case node count versus branching factor ``b``
+  (they pick ``b = 4``) and a memory/cost curve versus the merge-interval
+  growth ratio ``q`` (they pick ``q = 2``).
+* **Figure 3** — the sawtooth of the worst-case node count over the
+  stream when merges are batched with exponentially growing spacing.
+
+The paper does not print its constant factors, so the formulas here are
+reconstructed from first principles; the derivations are in the
+docstrings, and the experiment suite checks the *shapes* the paper
+reports (a sweet spot at small ``b``, minimum cost at ``q = 2``, constant
+post-merge bound, logarithmic growth between merges).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .config import max_tree_height
+
+
+def height(range_max: int, branching: int) -> int:
+    """Maximum tree height ``ceil(log_b(R))`` (re-exported for symmetry)."""
+    return max_tree_height(range_max, branching)
+
+
+def heavy_nodes_bound(epsilon: float, range_max: int, branching: int) -> float:
+    """Maximum number of nodes whose subtree outweighs the split threshold.
+
+    Counters sum to ``n`` and the threshold is ``epsilon * n / H`` with
+    ``H = log_b(R)``; on each of the ``H`` levels of the tree at most
+    ``n / threshold = H / epsilon`` *disjoint* subtrees can carry that
+    much weight, but summed across a root-to-leaf nesting the standard
+    charging argument gives ``H / epsilon`` heavy nodes overall.
+    """
+    h = height(range_max, branching)
+    return h / epsilon
+
+
+def post_merge_nodes_bound(
+    epsilon: float, range_max: int, branching: int
+) -> float:
+    """Worst-case tree size immediately after a merge batch.
+
+    A merge keeps a node only if its subtree weight exceeds the
+    threshold, i.e. only heavy nodes survive — plus each survivor may
+    retain up to ``b`` children created by its own split. Hence at most
+    ``(1 + b) * H / epsilon`` nodes remain.
+    """
+    return (1 + branching) * heavy_nodes_bound(epsilon, range_max, branching)
+
+
+def growth_between_merges(
+    epsilon: float, range_max: int, branching: int, growth: float
+) -> float:
+    """Extra nodes the tree can gain between consecutive merge batches.
+
+    Between a merge at ``n`` events and the next at ``q * n`` events,
+    ``(q - 1) * n`` new events arrive and every split consumes at least
+    ``epsilon * n / H`` counter weight, so at most
+    ``(q - 1) * H / epsilon`` splits fire, each adding up to ``b`` nodes:
+    ``b * (q - 1) * H / epsilon`` extra nodes. Crucially this is
+    *independent of n* — which is why exponentially spaced batches keep
+    the worst case bounded forever (Figure 3).
+    """
+    h = height(range_max, branching)
+    return branching * (growth - 1.0) * h / epsilon
+
+
+def peak_nodes_bound(
+    epsilon: float,
+    range_max: int,
+    branching: int,
+    growth: float = 2.0,
+) -> float:
+    """Worst-case tree size just *before* a merge batch fires.
+
+    Post-merge bound plus the growth possible within one interval. This
+    is the flat ceiling that the sawtooth of Figure 3 touches.
+    """
+    return post_merge_nodes_bound(
+        epsilon, range_max, branching
+    ) + growth_between_merges(epsilon, range_max, branching, growth)
+
+
+def convergence_splits(range_max: int, branching: int) -> int:
+    """Splits needed before a single hot item is profiled individually.
+
+    "If one particular value in a range is accounting for 100% of the
+    profile data seen, it will take exactly log_b(R) splits to finally
+    start profiling this item individually" (Section 3.1). Small ``b``
+    converges slowly; large ``b`` wastes memory — the Figure 2 trade-off.
+    """
+    return height(range_max, branching)
+
+
+def branching_tradeoff(
+    epsilon: float,
+    range_max: int,
+    branchings: List[int],
+    growth: float = 2.0,
+) -> List[Tuple[int, float, int]]:
+    """The Figure 2 lower curve: ``(b, worst-case nodes, height)`` rows.
+
+    As ``b`` grows the height ``log_b(R)`` shrinks (faster convergence,
+    smaller threshold denominator) but every split creates ``b`` children
+    so memory grows; the product ``b / log(b)`` shape puts the minimum at
+    small ``b``, with ``b = 4`` nearly as cheap as the minimum while
+    halving the height compared to ``b = 2`` — the paper's pick.
+    """
+    rows = []
+    for b in branchings:
+        rows.append(
+            (
+                b,
+                peak_nodes_bound(epsilon, range_max, b, growth),
+                height(range_max, b),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class MergeCost:
+    """Cost components of a merge-interval growth choice ``q`` (Figure 2).
+
+    Attributes
+    ----------
+    growth:
+        The ``q`` under evaluation.
+    peak_nodes:
+        Worst-case memory (nodes) just before a merge.
+    merge_batches:
+        Number of merge batches over a stream of ``stream_events``.
+    scan_work:
+        Total node visits spent scanning for merge candidates across the
+        run (each batch walks the whole tree).
+    amortized_scan_per_event:
+        ``scan_work / stream_events`` — the per-event merge overhead,
+        which explodes as ``q`` approaches 1 (continuous merging) and is
+        why batches must at least roughly double the interval.
+    """
+
+    growth: float
+    peak_nodes: float
+    merge_batches: int
+    scan_work: float
+    amortized_scan_per_event: float
+
+
+def merge_interval_tradeoff(
+    epsilon: float,
+    range_max: int,
+    branching: int,
+    growths: List[float],
+    stream_events: int = 2**32,
+    initial_interval: int = 1024,
+) -> List[MergeCost]:
+    """The Figure 2 upper curve: memory requirement per ratio ``q``.
+
+    Peak memory grows monotonically with ``q`` (bigger intervals let the
+    tree balloon further before pruning), so among practical ratios
+    ``q >= 2`` the memory requirement is least at ``q = 2`` — the paper's
+    conclusion ("with q = 2 we see that the memory size is the least").
+    Ratios below 2 are impractical because the number of batches, hence
+    the total merge scan work, grows like ``1 / ln(q)``; the returned
+    rows expose both components so the trade-off is visible.
+    """
+    rows = []
+    for q in growths:
+        if q <= 1.0:
+            raise ValueError(f"growth ratios must be > 1, got {q}")
+        peak = peak_nodes_bound(epsilon, range_max, branching, q)
+        batches = max(
+            1,
+            int(math.ceil(math.log(stream_events / initial_interval, q))),
+        )
+        scan = batches * peak
+        rows.append(
+            MergeCost(
+                growth=q,
+                peak_nodes=peak,
+                merge_batches=batches,
+                scan_work=scan,
+                amortized_scan_per_event=scan / stream_events,
+            )
+        )
+    return rows
+
+
+def sawtooth_bound(
+    epsilon: float,
+    range_max: int,
+    branching: int,
+    growth: float,
+    initial_interval: int,
+    stream_events: int,
+    points_per_interval: int = 8,
+) -> List[Tuple[int, float]]:
+    """The Figure 3 series: worst-case nodes versus events processed.
+
+    Starts from the post-merge bound, grows logarithmically within each
+    interval (splits get geometrically more expensive as ``n`` rises),
+    and snaps back to the post-merge bound at each batch.
+    """
+    base = post_merge_nodes_bound(epsilon, range_max, branching)
+    h = height(range_max, branching)
+    series: List[Tuple[int, float]] = [(0, base)]
+    interval_start = 1
+    interval_end = initial_interval
+    while interval_start < stream_events:
+        end = min(interval_end, stream_events)
+        for step in range(1, points_per_interval + 1):
+            n = interval_start + (end - interval_start) * step // points_per_interval
+            if n <= interval_start:
+                continue
+            # Splits since the interval began: sum over events of
+            # 1/threshold(n) ~ (H / epsilon) * ln(n / start) — but never
+            # more than one split per event (the threshold floor), which
+            # caps the early intervals where the log ratio is huge.
+            splits = min(
+                (h / epsilon) * math.log(n / interval_start),
+                float(n - interval_start),
+            )
+            series.append((n, base + branching * splits))
+        series.append((end, base))  # merge snaps the bound back down
+        interval_start = end
+        interval_end = int(interval_end * growth)
+        if interval_end <= interval_start:
+            interval_end = interval_start + 1
+    return series
+
+
+def memory_bytes_bound(
+    epsilon: float,
+    range_max: int,
+    branching: int,
+    growth: float = 2.0,
+    bits_per_node: int = 128,
+) -> float:
+    """Worst-case bytes of profile memory (128 bits per node, §4.2)."""
+    return peak_nodes_bound(epsilon, range_max, branching, growth) * (
+        bits_per_node / 8.0
+    )

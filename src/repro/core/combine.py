@@ -1,0 +1,130 @@
+"""Combining RAP trees: merge profiles from separate runs or windows.
+
+The paper's software API is built for post-processing ("can either be
+called from online analysis or to post process trace files", Section
+3.2); combining summaries is the natural companion operation — profile
+shards of a long run (or different cores / trace files) independently,
+then merge the trees into one summary whose guarantees still hold:
+
+* the combined estimate for a range is at least the sum of the shard
+  estimates (weight only ever moves to *finer* placement, never coarser),
+  so it remains a lower bound on the true combined count;
+* the undercount of the combined tree is at most the sum of the shards'
+  undercounts, i.e. at most ``epsilon * (n1 + n2)`` when both shards ran
+  with the same epsilon;
+* memory is re-pruned with a final merge batch, so the result obeys the
+  same worst-case bound.
+
+The construction walks one tree and adds each node's *own* count into
+the other at the finest existing-or-creatable position: counts recorded
+for range ``[lo, hi]`` are added at the node for ``[lo, hi]`` itself
+(created on demand along the deterministic partition path, so structure
+stays valid).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .config import RapConfig
+from .node import RapNode, partition_range
+from .tree import RapTree
+
+
+def combine_trees(first: RapTree, second: RapTree) -> RapTree:
+    """Merge two RAP profiles over the same universe into a new tree.
+
+    Both trees must share ``range_max`` and ``branching`` (so their
+    range systems are identical). The result uses ``first``'s
+    configuration and ends with a merge batch to restore the memory
+    bound.
+    """
+    _check_compatible(first, second)
+    combined = RapTree(first.config)
+    for source in (first, second):
+        for node in source.nodes():
+            if node.count:
+                _add_at_range(combined, node.lo, node.hi, node.count)
+    combined._events = first.events + second.events  # noqa: SLF001
+    if combined.events:
+        combined.merge_now()
+        combined.check_invariants()
+    return combined
+
+
+def combine_many(trees: Iterable[RapTree]) -> RapTree:
+    """Fold :func:`combine_trees` over any number of shard profiles."""
+    trees = list(trees)
+    if not trees:
+        raise ValueError("combine_many needs at least one tree")
+    result = trees[0]
+    for tree in trees[1:]:
+        result = combine_trees(result, tree)
+    return result
+
+
+def _check_compatible(first: RapTree, second: RapTree) -> None:
+    if first.config.range_max != second.config.range_max:
+        raise ValueError(
+            "cannot combine trees over different universes: "
+            f"{first.config.range_max} vs {second.config.range_max}"
+        )
+    if first.config.branching != second.config.branching:
+        raise ValueError(
+            "cannot combine trees with different branching factors: "
+            f"{first.config.branching} vs {second.config.branching}"
+        )
+
+
+def _add_at_range(tree: RapTree, lo: int, hi: int, count: int) -> None:
+    """Add ``count`` onto the node for exactly ``[lo, hi]``.
+
+    Descends the deterministic partition from the root, materializing
+    the (at most ``log_b R``) missing siblings along the way; raises if
+    ``[lo, hi]`` is not a valid partition range of the universe (it
+    always is when the source is a compatible RAP tree).
+    """
+    node = tree.root
+    branching = tree.config.branching
+    created = 0
+    while not (node.lo == lo and node.hi == hi):
+        if node.is_leaf:
+            for cell in partition_range(node.lo, node.hi, branching):
+                node.attach_child(RapNode(cell[0], cell[1]))
+                created += 1
+        child = node.child_covering(lo)
+        if child is None or child.hi < hi:
+            # The target straddles a gap left by an earlier merge in the
+            # destination: materialize this node's partition cells too.
+            cells = partition_range(node.lo, node.hi, branching)
+            existing = {(kid.lo, kid.hi) for kid in node.children}
+            for cell in cells:
+                if cell not in existing:
+                    node.attach_child(RapNode(cell[0], cell[1]))
+                    created += 1
+            child = node.child_covering(lo)
+            if child is None or child.hi < hi:
+                raise ValueError(
+                    f"[{lo}, {hi}] is not a partition range of this universe"
+                )
+        node = child
+    node.count += count
+    tree._node_count += created  # noqa: SLF001
+
+
+def split_stream_profile(
+    config: RapConfig,
+    shards: List[List[int]],
+) -> RapTree:
+    """Convenience: profile each shard separately, then combine.
+
+    Models the distributed deployment (one profiler per core or per
+    trace file segment) and is what the combination tests exercise
+    against a single-pass reference.
+    """
+    trees = []
+    for shard in shards:
+        tree = RapTree(config)
+        tree.extend(shard)
+        trees.append(tree)
+    return combine_many(trees)

@@ -1,0 +1,198 @@
+"""Configuration for Range Adaptive Profiling trees.
+
+The paper exposes three user-facing knobs:
+
+* ``epsilon`` — the error parameter. For any range, the estimate produced
+  by RAP undercounts the true count by at most ``epsilon * n`` where ``n``
+  is the number of events processed so far (Section 2.2).
+* ``branching`` — the branching factor ``b`` used by split operations.
+  The paper settles on ``b = 4`` as the best trade-off between memory and
+  convergence speed (Section 3.1, Figure 2).
+* ``merge_growth`` — the ratio ``q`` by which the interval between batched
+  merges grows. The paper finds ``q = 2`` (doubling) most cost effective
+  (Section 3.1, Figures 2 and 3).
+
+Everything else here is an engineering constant that the paper leaves
+implicit; defaults follow the paper's hardware implementation where one is
+described (e.g. the first merge batch happens after about a thousand
+events, Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class RapConfig:
+    """Immutable parameter set for a :class:`~repro.core.tree.RapTree`.
+
+    Parameters
+    ----------
+    range_max:
+        Size ``R`` of the event universe. Events must be integers in
+        ``[0, range_max - 1]``. The root of the RAP tree covers exactly
+        this range.
+    epsilon:
+        Error parameter in ``(0, 1]``. Estimates undercount any range by
+        at most ``epsilon * n``.
+    branching:
+        Branching factor ``b >= 2`` used when a node splits.
+    merge_initial_interval:
+        Number of events before the first batched merge.
+    merge_growth:
+        Factor ``q > 1`` by which the merge interval grows after every
+        batch (``q = 2`` doubles it, as in the paper).
+    min_split_threshold:
+        Floor applied to the split threshold so that very short streams do
+        not burst every counter on its first event. ``1.0`` means a node
+        must count at least two events before it may split.
+    timeline_sample_every:
+        If positive, the tree records ``(events, node_count)`` samples
+        every this many events (used to regenerate Figure 6). ``0``
+        disables timeline recording.
+    """
+
+    range_max: int
+    epsilon: float = 0.01
+    branching: int = 4
+    merge_initial_interval: int = 1024
+    merge_growth: float = 2.0
+    min_split_threshold: float = 1.0
+    timeline_sample_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.range_max < 2:
+            raise ValueError(f"range_max must be >= 2, got {self.range_max}")
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in (0, 1], got {self.epsilon}")
+        if self.branching < 2:
+            raise ValueError(f"branching must be >= 2, got {self.branching}")
+        if self.merge_initial_interval < 1:
+            raise ValueError(
+                "merge_initial_interval must be >= 1, got "
+                f"{self.merge_initial_interval}"
+            )
+        if self.merge_growth <= 1.0:
+            raise ValueError(
+                f"merge_growth must be > 1, got {self.merge_growth}"
+            )
+        if self.min_split_threshold < 0.0:
+            raise ValueError(
+                "min_split_threshold must be >= 0, got "
+                f"{self.min_split_threshold}"
+            )
+        if self.timeline_sample_every < 0:
+            raise ValueError(
+                "timeline_sample_every must be >= 0, got "
+                f"{self.timeline_sample_every}"
+            )
+
+    @property
+    def max_height(self) -> int:
+        """Maximum possible height of the tree, ``ceil(log_b(R))``.
+
+        This is the ``log(R)`` term in the paper's split threshold
+        ``epsilon * n / log(R)``: the deepest chain of ranges from the
+        root down to a single item.
+        """
+        return max_tree_height(self.range_max, self.branching)
+
+    def split_threshold(self, events: int) -> float:
+        """The paper's ``SplitThreshold = epsilon * n / log(R)``.
+
+        Any node whose own counter exceeds this value is burst into
+        ``branching`` children. The same value is used as the merge
+        threshold (Section 3.3, stage 4: "the split and merge thresholds
+        can be the same, hence just one computation and one register is
+        sufficient").
+        """
+        raw = self.epsilon * events / self.max_height
+        if raw < self.min_split_threshold:
+            return self.min_split_threshold
+        return raw
+
+    def merge_threshold(self, events: int) -> float:
+        """Merge threshold; equal to the split threshold (Section 3.3)."""
+        return self.split_threshold(events)
+
+    def with_updates(self, **changes: object) -> "RapConfig":
+        """Return a copy of this configuration with fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def max_tree_height(range_max: int, branching: int) -> int:
+    """Number of b-ary refinements needed to reach single items.
+
+    ``ceil(log_b(range_max))``, but computed with integer arithmetic so
+    that huge universes (2**64 and beyond) are exact — ``math.log`` on
+    floats misrounds near power boundaries.
+    """
+    if range_max < 2:
+        return 1
+    height = 0
+    reach = 1
+    while reach < range_max:
+        reach *= branching
+        height += 1
+    return height
+
+
+def bits_for_range(range_max: int) -> int:
+    """Number of bits needed to address the universe ``[0, range_max-1]``."""
+    return max(1, (range_max - 1).bit_length())
+
+
+@dataclass
+class MergeScheduler:
+    """Decides *when* batched merges fire (Section 3.1, Figure 3).
+
+    Merges are performed periodically with exponentially growing spacing:
+    the first batch fires once ``initial_interval`` events have been
+    processed, and after every batch the trigger point is multiplied by
+    ``growth`` (the paper's ``q``). The paper shows that with ``q = 2``
+    profiling ``2**32`` events needs only ``32 - 10 = 22`` batches.
+    """
+
+    initial_interval: int = 1024
+    growth: float = 2.0
+    next_at: float = field(init=False)
+    batches_fired: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.initial_interval < 1:
+            raise ValueError(
+                f"initial_interval must be >= 1, got {self.initial_interval}"
+            )
+        if self.growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {self.growth}")
+        self.next_at = float(self.initial_interval)
+
+    def due(self, events: int) -> bool:
+        """True when a merge batch should fire at this event count."""
+        return events >= self.next_at
+
+    def fired(self, events: int) -> None:
+        """Advance the schedule after a batch has been performed.
+
+        The trigger grows geometrically; if processing jumped far past the
+        trigger (large counted adds), keep multiplying so the *next*
+        trigger is strictly in the future.
+        """
+        self.batches_fired += 1
+        while self.next_at <= events:
+            self.next_at *= self.growth
+
+    def schedule_preview(self, max_events: int) -> list:
+        """Trigger points strictly inside a stream of ``max_events``.
+
+        A batch due exactly at end-of-stream never fires, which makes the
+        count match the paper's arithmetic: 2**32 events with the first
+        batch at 2**10 gives ``32 - 10 = 22`` batches (Section 3.3).
+        """
+        points = []
+        at = float(self.initial_interval)
+        while at < max_events:
+            points.append(int(at))
+            at *= self.growth
+        return points

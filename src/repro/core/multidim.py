@@ -1,0 +1,372 @@
+"""Multi-dimensional Range Adaptive Profiling.
+
+The paper's conclusion sketches this extension: "The applicability of RAP
+can be further extended with multi-dimensional profiling which allows
+adaptive ranges over two or more variables. With this extension it is
+possible to handle edge profiles, data-code correlation studies, and
+general tuple space profiles."
+
+This module implements that extension for any dimensionality ``d``:
+nodes cover axis-aligned boxes of the product universe
+``[0, R_1) x ... x [0, R_d)``; a split bursts a box into the cross
+product of per-dimension partitions (``b^d`` cells for ``b``-ary splits,
+the quadtree layout of the Hershberger et al. adaptive spatial
+partitioning work the paper builds on); the split threshold uses the sum
+of the per-dimension heights as its ``log(R)`` term; merges batch exactly
+as in one dimension.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .config import MergeScheduler, max_tree_height
+from .node import partition_range
+
+Point = Tuple[int, ...]
+Box = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class MultiDimConfig:
+    """Parameters for a :class:`MultiDimRapTree`.
+
+    ``range_maxes`` holds one universe size per dimension; ``epsilon``,
+    ``branching`` and the merge schedule mean the same as in
+    :class:`~repro.core.config.RapConfig`.
+    """
+
+    range_maxes: Tuple[int, ...]
+    epsilon: float = 0.01
+    branching: int = 4
+    merge_initial_interval: int = 1024
+    merge_growth: float = 2.0
+    min_split_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.range_maxes:
+            raise ValueError("need at least one dimension")
+        for size in self.range_maxes:
+            if size < 2:
+                raise ValueError(f"every dimension needs size >= 2, got {size}")
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in (0, 1], got {self.epsilon}")
+        if self.branching < 2:
+            raise ValueError(f"branching must be >= 2, got {self.branching}")
+        if self.merge_growth <= 1.0:
+            raise ValueError(f"merge_growth must be > 1, got {self.merge_growth}")
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.range_maxes)
+
+    @property
+    def max_height(self) -> int:
+        """Sum of per-dimension heights: the ``log(R)`` of the threshold.
+
+        A root-to-point chain refines every dimension down to width one,
+        so its length is at most the sum of the per-dimension depths.
+        """
+        return sum(
+            max_tree_height(size, self.branching) for size in self.range_maxes
+        )
+
+    def split_threshold(self, events: int) -> float:
+        raw = self.epsilon * events / self.max_height
+        return raw if raw > self.min_split_threshold else self.min_split_threshold
+
+
+class MultiDimNode:
+    """A box-shaped counter in the multi-dimensional RAP tree."""
+
+    __slots__ = ("box", "count", "children", "parent")
+
+    def __init__(
+        self,
+        box: Box,
+        count: int = 0,
+        parent: Optional["MultiDimNode"] = None,
+    ) -> None:
+        for lo, hi in box:
+            if lo > hi:
+                raise ValueError(f"empty box side [{lo}, {hi}]")
+        self.box = box
+        self.count = count
+        self.children: List[MultiDimNode] = []
+        self.parent = parent
+
+    @property
+    def is_point(self) -> bool:
+        """True when every side has width one (cannot split further)."""
+        return all(lo == hi for lo, hi in self.box)
+
+    @property
+    def volume(self) -> int:
+        product = 1
+        for lo, hi in self.box:
+            product *= hi - lo + 1
+        return product
+
+    def covers(self, point: Point) -> bool:
+        return all(lo <= x <= hi for x, (lo, hi) in zip(point, self.box))
+
+    def contains_box(self, box: Box) -> bool:
+        return all(
+            self_lo <= lo and hi <= self_hi
+            for (self_lo, self_hi), (lo, hi) in zip(self.box, box)
+        )
+
+    def child_covering(self, point: Point) -> Optional["MultiDimNode"]:
+        for child in self.children:
+            if child.covers(point):
+                return child
+        return None
+
+    def subtree_weight(self) -> int:
+        total = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            total += node.count
+            stack.extend(node.children)
+        return total
+
+    def iter_subtree(self) -> Iterator["MultiDimNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sides = " x ".join(f"[{lo}, {hi}]" for lo, hi in self.box)
+        return f"MultiDimNode({sides}, count={self.count})"
+
+
+def partition_box(box: Box, branching: int) -> List[Box]:
+    """All cells of the b-ary grid partition of ``box``.
+
+    Dimensions already at width one are left unsplit, so a box never
+    produces more cells than it has points.
+    """
+    per_dimension: List[List[Tuple[int, int]]] = []
+    splittable = False
+    for lo, hi in box:
+        if lo == hi:
+            per_dimension.append([(lo, hi)])
+        else:
+            per_dimension.append(partition_range(lo, hi, branching))
+            splittable = True
+    if not splittable:
+        raise ValueError(f"cannot partition a single point box {box}")
+    return [tuple(cells) for cells in itertools.product(*per_dimension)]
+
+
+class MultiDimRapTree:
+    """Range adaptive profiling over tuples (the paper's future work).
+
+    The public surface mirrors :class:`~repro.core.tree.RapTree`:
+    ``add``, ``extend``, ``estimate``, ``merge_now``, ``hot_boxes``.
+
+    Examples
+    --------
+    >>> tree = MultiDimRapTree(MultiDimConfig(range_maxes=(256, 256)))
+    >>> tree.add((10, 20))
+    >>> tree.events
+    1
+    """
+
+    def __init__(self, config: MultiDimConfig) -> None:
+        self._config = config
+        root_box = tuple((0, size - 1) for size in config.range_maxes)
+        self._root = MultiDimNode(root_box)
+        self._node_count = 1
+        self._events = 0
+        self._scheduler = MergeScheduler(
+            initial_interval=config.merge_initial_interval,
+            growth=config.merge_growth,
+        )
+        self._splits = 0
+        self._merge_batches = 0
+        self._max_nodes = 1
+
+    @property
+    def config(self) -> MultiDimConfig:
+        return self._config
+
+    @property
+    def root(self) -> MultiDimNode:
+        return self._root
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    @property
+    def max_nodes(self) -> int:
+        return self._max_nodes
+
+    @property
+    def splits(self) -> int:
+        return self._splits
+
+    @property
+    def merge_batches(self) -> int:
+        return self._merge_batches
+
+    def add(self, point: Sequence[int], count: int = 1) -> None:
+        """Record ``count`` occurrences of the tuple ``point``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        point = tuple(point)
+        if len(point) != self._config.dimensions:
+            raise ValueError(
+                f"point has {len(point)} coordinates, tree has "
+                f"{self._config.dimensions} dimensions"
+            )
+        if not self._root.covers(point):
+            raise ValueError(f"point {point} outside universe")
+        node = self._root
+        while True:
+            child = node.child_covering(point)
+            if child is None:
+                break
+            node = child
+        node.count += count
+        self._events += count
+
+        if (
+            node.count > self._config.split_threshold(self._events)
+            and not node.is_point
+        ):
+            self._split(node)
+
+        if self._node_count > self._max_nodes:
+            self._max_nodes = self._node_count
+
+        if self._scheduler.due(self._events):
+            self.merge_now()
+
+    def extend(self, points: Iterable[Sequence[int]]) -> None:
+        for point in points:
+            self.add(point)
+
+    def _split(self, node: MultiDimNode) -> None:
+        existing = {child.box for child in node.children}
+        created = 0
+        for box in partition_box(node.box, self._config.branching):
+            if box in existing:
+                continue
+            child = MultiDimNode(box, parent=node)
+            node.children.append(child)
+            created += 1
+        self._node_count += created
+        self._splits += 1
+
+    def merge_now(self) -> int:
+        """Run one batched merge pass; returns nodes removed."""
+        threshold = self._config.split_threshold(self._events)
+        before = self._node_count
+        self._merge_subtree(self._root, threshold)
+        self._merge_batches += 1
+        self._scheduler.fired(self._events)
+        return before - self._node_count
+
+    def _merge_subtree(self, node: MultiDimNode, threshold: float) -> int:
+        weight = node.count
+        if node.children:
+            kept: List[MultiDimNode] = []
+            for child in node.children:
+                child_weight = self._merge_subtree(child, threshold)
+                weight += child_weight
+                if child_weight <= threshold:
+                    node.count += child_weight
+                    child.parent = None
+                    self._node_count -= 1
+                else:
+                    kept.append(child)
+            node.children = kept
+        return weight
+
+    def estimate(self, box: Box) -> int:
+        """Lower-bound estimate of events inside ``box``."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if _disjoint(node.box, box):
+                continue
+            if _contains(box, node.box):
+                total += node.subtree_weight()
+                continue
+            stack.extend(node.children)
+        return total
+
+    def hot_boxes(self, hot_fraction: float = 0.10) -> List[Tuple[Box, int]]:
+        """Hot boxes with their exclusive weights, heaviest first.
+
+        Same semantics as the one-dimensional hot ranges: a box is hot if
+        its own weight plus all non-hot sub-boxes reaches the cutoff.
+        """
+        if self._events == 0:
+            return []
+        cutoff = hot_fraction * self._events
+        found: List[Tuple[Box, int]] = []
+
+        def walk(node: MultiDimNode) -> int:
+            exclusive = node.count
+            for child in node.children:
+                child_exclusive = walk(child)
+                if child_exclusive < cutoff:
+                    exclusive += child_exclusive
+            if exclusive >= cutoff:
+                found.append((node.box, exclusive))
+            return exclusive
+
+        walk(self._root)
+        found.sort(key=lambda item: item[1], reverse=True)
+        return found
+
+    def total_weight(self) -> int:
+        return self._root.subtree_weight()
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on structural inconsistency."""
+        seen = 0
+        weight = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            seen += 1
+            weight += node.count
+            assert node.count >= 0
+            for child in node.children:
+                assert child.parent is node
+                assert node.contains_box(child.box)
+            for first, second in itertools.combinations(node.children, 2):
+                assert _disjoint(first.box, second.box), (
+                    f"overlapping children {first.box} and {second.box}"
+                )
+            stack.extend(node.children)
+        assert seen == self._node_count
+        assert weight == self._events
+
+
+def _disjoint(first: Box, second: Box) -> bool:
+    return any(
+        a_hi < b_lo or b_hi < a_lo
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(first, second)
+    )
+
+
+def _contains(outer: Box, inner: Box) -> bool:
+    return all(
+        o_lo <= i_lo and i_hi <= o_hi
+        for (o_lo, o_hi), (i_lo, i_hi) in zip(outer, inner)
+    )

@@ -1,0 +1,101 @@
+"""Approximate quantiles from a RAP profile.
+
+A hierarchical range summary answers more than hot-range queries: since
+every counter is attached to a known range, the cumulative distribution
+``F(v) = #events <= v`` is bracketed for every ``v``:
+
+* ``L(v)`` — counts of nodes whose range ends at or below ``v`` — is a
+  guaranteed lower bound;
+* ``U(v)`` — counts of nodes whose range starts at or below ``v`` — is a
+  guaranteed upper bound;
+
+and ``U(v) - L(v)`` is exactly the weight parked on ranges straddling
+``v``, which the split threshold keeps below ``epsilon * n`` per level.
+Quantiles therefore come with **deterministic value brackets**: the
+q-quantile lies in ``[quantile_bounds(tree, q)]``, always. This is the
+"range coverage" style of post-processing Section 3.2 anticipates, and
+it falls out of the tree with no extra state.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from .tree import RapTree
+
+
+def _cdf_arrays(tree: RapTree) -> Tuple[List[int], List[int], List[int], List[int]]:
+    """Sorted (hi, prefix-count) and (lo, prefix-count) arrays."""
+    by_hi: List[Tuple[int, int]] = []
+    by_lo: List[Tuple[int, int]] = []
+    for node in tree.nodes():
+        if node.count:
+            by_hi.append((node.hi, node.count))
+            by_lo.append((node.lo, node.count))
+    by_hi.sort()
+    by_lo.sort()
+    his = [hi for hi, _ in by_hi]
+    hi_prefix = []
+    running = 0
+    for _, count in by_hi:
+        running += count
+        hi_prefix.append(running)
+    los = [lo for lo, _ in by_lo]
+    lo_prefix = []
+    running = 0
+    for _, count in by_lo:
+        running += count
+        lo_prefix.append(running)
+    return his, hi_prefix, los, lo_prefix
+
+
+def cdf_bounds(tree: RapTree, value: int) -> Tuple[int, int]:
+    """Guaranteed bracket on ``#events <= value``: ``(lower, upper)``."""
+    if not 0 <= value < tree.config.range_max:
+        raise ValueError(f"value {value} outside universe")
+    his, hi_prefix, los, lo_prefix = _cdf_arrays(tree)
+    hi_index = bisect.bisect_right(his, value)
+    lower = hi_prefix[hi_index - 1] if hi_index else 0
+    lo_index = bisect.bisect_right(los, value)
+    upper = lo_prefix[lo_index - 1] if lo_index else 0
+    return lower, upper
+
+
+def quantile_bounds(tree: RapTree, q: float) -> Tuple[int, int]:
+    """Guaranteed value bracket containing the q-quantile.
+
+    Returns ``(v_low, v_high)`` such that the true q-quantile of the
+    profiled stream lies in ``[v_low, v_high]``:
+
+    * ``v_low`` — the smallest value whose *upper* CDF bound reaches the
+      target rank (the quantile cannot be below it);
+    * ``v_high`` — the smallest value whose *lower* CDF bound reaches it
+      (the quantile cannot be above it).
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    if tree.events == 0:
+        raise ValueError("cannot take quantiles of an empty profile")
+    target = q * tree.events
+    his, hi_prefix, los, lo_prefix = _cdf_arrays(tree)
+
+    # v_high: first node-end where the guaranteed-below mass >= target.
+    rank = bisect.bisect_left(hi_prefix, target)
+    v_high = his[rank] if rank < len(his) else tree.config.range_max - 1
+
+    # v_low: first node-start where even the optimistic mass >= target.
+    rank = bisect.bisect_left(lo_prefix, target)
+    v_low = los[rank] if rank < len(los) else tree.config.range_max - 1
+    return min(v_low, v_high), max(v_low, v_high)
+
+
+def quantile(tree: RapTree, q: float) -> int:
+    """Point estimate of the q-quantile (midpoint of the bracket)."""
+    low, high = quantile_bounds(tree, q)
+    return low + (high - low) // 2
+
+
+def median_bounds(tree: RapTree) -> Tuple[int, int]:
+    """Bracket on the median (convenience for the common case)."""
+    return quantile_bounds(tree, 0.5)

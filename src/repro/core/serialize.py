@@ -1,0 +1,130 @@
+"""ASCII serialization of RAP trees (Section 3.2).
+
+``rap_finalize`` "dumps the resulting RAP tree in ascii format for
+further processing". The format here is line oriented and versioned:
+
+.. code-block:: text
+
+    RAPTREE 1
+    config range_max=256 epsilon=0.01 branching=4
+    events 5
+    node 0 0 255 2
+    node 1 0 63 3
+    ...
+
+``node <depth> <lo> <hi> <count>`` lines appear in pre-order, so the
+parent of each node is the most recent shallower node — enough to rebuild
+the exact tree without pointers. Round-tripping is exact and is covered
+by property tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .config import RapConfig
+from .node import RapNode
+from .tree import RapTree
+
+_FORMAT_VERSION = 1
+
+
+def dump_tree(tree: RapTree) -> str:
+    """Serialize ``tree`` to the versioned ASCII format."""
+    config = tree.config
+    lines: List[str] = [
+        f"RAPTREE {_FORMAT_VERSION}",
+        (
+            "config"
+            f" range_max={config.range_max}"
+            f" epsilon={config.epsilon!r}"
+            f" branching={config.branching}"
+            f" merge_initial_interval={config.merge_initial_interval}"
+            f" merge_growth={config.merge_growth!r}"
+            f" min_split_threshold={config.min_split_threshold!r}"
+        ),
+        f"events {tree.events}",
+    ]
+    stack = [(tree.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        lines.append(f"node {depth} {node.lo} {node.hi} {node.count}")
+        for child in reversed(node.children):
+            stack.append((child, depth + 1))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def load_tree(text: str) -> RapTree:
+    """Rebuild a :class:`RapTree` from :func:`dump_tree` output."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or not lines[0].startswith("RAPTREE"):
+        raise ValueError("not a RAP tree dump (missing RAPTREE header)")
+    version = int(lines[0].split()[1])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported dump version {version}")
+    if len(lines) < 4:
+        raise ValueError("truncated RAP tree dump")
+
+    config_fields = {}
+    for token in lines[1].split()[1:]:
+        key, _, value = token.partition("=")
+        config_fields[key] = value
+    config = RapConfig(
+        range_max=int(config_fields["range_max"]),
+        epsilon=float(config_fields["epsilon"]),
+        branching=int(config_fields["branching"]),
+        merge_initial_interval=int(config_fields["merge_initial_interval"]),
+        merge_growth=float(config_fields["merge_growth"]),
+        min_split_threshold=float(config_fields["min_split_threshold"]),
+    )
+    events = int(lines[2].split()[1])
+
+    tree = RapTree(config)
+    path: List[RapNode] = []
+    node_count = 0
+    for line in lines[3:]:
+        parts = line.split()
+        if parts[0] != "node":
+            raise ValueError(f"unexpected line in dump: {line!r}")
+        depth, lo, hi, count = (int(part) for part in parts[1:])
+        if depth == 0:
+            root = tree.root
+            if (lo, hi) != (root.lo, root.hi):
+                raise ValueError(
+                    f"root range [{lo}, {hi}] does not match universe "
+                    f"[{root.lo}, {root.hi}]"
+                )
+            root.count = count
+            path = [root]
+        else:
+            if depth > len(path):
+                raise ValueError(f"node at depth {depth} has no parent: {line!r}")
+            parent = path[depth - 1]
+            child = RapNode(lo, hi, count=count)
+            parent.attach_child(child)
+            del path[depth:]
+            path.append(child)
+        node_count += 1
+
+    # Restore internal accounting that add() would normally maintain.
+    tree._events = events  # noqa: SLF001 - deliberate rebuild of internals
+    tree._node_count = node_count  # noqa: SLF001
+    if tree.total_weight() != events:
+        raise ValueError(
+            f"dump inconsistent: tree weight {tree.total_weight()} != "
+            f"declared events {events}"
+        )
+    return tree
+
+
+def dump_to_file(tree: RapTree, path: str) -> None:
+    """Write :func:`dump_tree` output to ``path``."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(dump_tree(tree))
+
+
+def load_from_file(path: str) -> RapTree:
+    """Read a tree previously written by :func:`dump_to_file`."""
+    with open(path, "r", encoding="ascii") as fh:
+        return load_tree(fh.read())

@@ -1,0 +1,432 @@
+"""The Range Adaptive Profiling tree (Sections 2 and 3 of the paper).
+
+``RapTree`` is the core data structure of the paper: a tree of counters
+over ranges of an integer universe ``[0, R-1]``. Three operations exist:
+
+* **update** — route an incoming event to the *smallest* existing range
+  that covers it and increment that counter (Section 2.1);
+* **split** — burst a counter that exceeded
+  ``SplitThreshold = epsilon * n / log_b(R)`` into ``b`` children so the
+  hot range is profiled more precisely (Section 2.2);
+* **merge** — collapse subtrees whose cumulative weight no longer
+  justifies separate counters back into their parent, in periodic batches
+  whose spacing grows geometrically (Sections 2.2 and 3.1).
+
+Counters are never decremented: RAP merges data rather than sampling or
+filtering it, so every event is accounted for in *some* range, and every
+range estimate is a lower bound on the truth (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .config import MergeScheduler, RapConfig
+from .node import RapNode, partition_range
+from .stats import TreeStats
+
+
+class RapTree:
+    """A range-adaptive profile over the universe ``[0, R-1]``.
+
+    Examples
+    --------
+    >>> from repro.core import RapConfig, RapTree
+    >>> tree = RapTree(RapConfig(range_max=256, epsilon=0.05))
+    >>> for value in [3, 3, 3, 7, 200]:
+    ...     tree.add(value)
+    >>> tree.events
+    5
+    >>> tree.estimate(0, 255)
+    5
+    """
+
+    def __init__(self, config: RapConfig) -> None:
+        self._config = config
+        self._root = RapNode(0, config.range_max - 1)
+        self._node_count = 1
+        self._events = 0
+        self._scheduler = MergeScheduler(
+            initial_interval=config.merge_initial_interval,
+            growth=config.merge_growth,
+        )
+        self._stats = TreeStats(sample_every=config.timeline_sample_every)
+        # Hoisted constants for the hot update path.
+        self._eps_over_height = config.epsilon / config.max_height
+        self._min_threshold = config.min_split_threshold
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> RapConfig:
+        return self._config
+
+    @property
+    def root(self) -> RapNode:
+        return self._root
+
+    @property
+    def events(self) -> int:
+        """Total event weight processed so far (the paper's ``n``)."""
+        return self._events
+
+    @property
+    def node_count(self) -> int:
+        """Current number of counters (nodes) in the tree."""
+        return self._node_count
+
+    @property
+    def stats(self) -> TreeStats:
+        return self._stats
+
+    @property
+    def split_threshold(self) -> float:
+        """Current value of ``epsilon * n / log_b(R)`` (with floor)."""
+        raw = self._eps_over_height * self._events
+        return raw if raw > self._min_threshold else self._min_threshold
+
+    def error_bound(self) -> float:
+        """Worst-case undercount of any range estimate: ``epsilon * n``."""
+        return self._config.epsilon * self._events
+
+    def memory_bytes(self, bits_per_node: int = 128) -> int:
+        """Current memory footprint at the paper's 128 bits/node (§4.2)."""
+        return (self._node_count * bits_per_node + 7) // 8
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``value``.
+
+        The event is routed to the smallest existing range covering it
+        and that counter is incremented; a split fires when the counter
+        crosses the split threshold, and a batched merge fires if the
+        schedule says one is due.
+
+        Counted adds *cascade*: when the target counter would blow past
+        the threshold, it absorbs only up to the threshold, splits, and
+        the remainder descends into the new child — exactly what the
+        hardware does by flushing the pipeline and re-entering buffered
+        events after a split (Section 3.3, stage 0). This keeps combined
+        updates equivalent to one-at-a-time arrival, so buffering does
+        not degrade the summarization accuracy.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        root = self._root
+        if value < 0 or value > root.hi:
+            raise ValueError(
+                f"value {value} outside universe [0, {root.hi}]"
+            )
+        node = root
+        while True:
+            kids = node.children
+            if not kids:
+                break
+            low, high = 0, len(kids) - 1
+            found = None
+            while low <= high:
+                mid = (low + high) // 2
+                kid = kids[mid]
+                if value < kid.lo:
+                    high = mid - 1
+                elif value > kid.hi:
+                    low = mid + 1
+                else:
+                    found = kid
+                    break
+            if found is None:
+                break
+            node = found
+        self._events += count
+
+        threshold = self._eps_over_height * self._events
+        if threshold < self._min_threshold:
+            threshold = self._min_threshold
+
+        remaining = count
+        while True:
+            if node.lo == node.hi:
+                node.count += remaining
+                break
+            if node.count + remaining > threshold:
+                absorb = int(threshold) + 1 - node.count
+                if absorb >= remaining:
+                    node.count += remaining
+                    self._split(node)
+                    break
+                if absorb > 0:
+                    node.count += absorb
+                    remaining -= absorb
+                self._split(node)
+                next_node = node.child_covering(value)
+                assert next_node is not None, "split left the value uncovered"
+                node = next_node
+            else:
+                node.count += remaining
+                break
+
+        self._stats.observe(count, self._node_count)
+
+        if self._scheduler.due(self._events):
+            self.merge_now()
+
+    def extend(self, values: Iterable[int]) -> None:
+        """Feed a stream of single events."""
+        add = self.add
+        for value in values:
+            add(value)
+
+    def add_counted(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Feed pre-combined ``(value, count)`` pairs.
+
+        This is the software analogue of the hardware event buffer that
+        combines duplicate events before they reach the RAP engine
+        (Section 3.3, stage 0).
+        """
+        add = self.add
+        for value, count in pairs:
+            add(value, count)
+
+    def add_stream(self, values: Iterable[int], combine_chunk: int = 0) -> None:
+        """Feed a stream, optionally combining duplicates per chunk.
+
+        With ``combine_chunk > 0`` the stream is consumed in chunks of
+        that many events; duplicates within a chunk are merged into one
+        counted update, mirroring the paper's software advice that "the
+        input data should be buffered to some extent and duplicate values
+        should be merged together" (Section 3).
+        """
+        if combine_chunk <= 0:
+            self.extend(values)
+            return
+        chunk: Dict[int, int] = {}
+        pending = 0
+        for value in values:
+            chunk[value] = chunk.get(value, 0) + 1
+            pending += 1
+            if pending >= combine_chunk:
+                self.add_counted(sorted(chunk.items()))
+                chunk.clear()
+                pending = 0
+        if chunk:
+            self.add_counted(sorted(chunk.items()))
+
+    # ------------------------------------------------------------------
+    # Split
+    # ------------------------------------------------------------------
+
+    def _split(self, node: RapNode) -> None:
+        """Burst ``node`` into up to ``b`` children (Section 2.2).
+
+        The node keeps its counter; children are created with zero counts
+        covering the cells of the deterministic partition of its range.
+        Cells already occupied by surviving children (possible after a
+        partial merge) are left alone — this is the paper's "identifying
+        the new parent of the existing children" case from Section 3.3.
+        """
+        existing = {(child.lo, child.hi) for child in node.children}
+        created = 0
+        for lo, hi in partition_range(node.lo, node.hi, self._config.branching):
+            if (lo, hi) in existing:
+                continue
+            node.attach_child(RapNode(lo, hi, count=0))
+            created += 1
+        self._node_count += created
+        self._stats.observe_split()
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+
+    def merge_now(self) -> int:
+        """Run one batched merge pass; returns the number of nodes removed.
+
+        A bottom-up walk collapses every subtree whose cumulative weight
+        is at most the merge threshold into its parent's counter. Because
+        weights are summed into the parent (a valid super-range), no
+        event is ever lost (Section 2.2, "Merge").
+        """
+        threshold = self._config.merge_threshold(self._events)
+        before = self._node_count
+        self._merge_subtree(self._root, threshold)
+        removed = before - self._node_count
+        # The walk visits every node once: scan work == pre-merge size.
+        self._stats.observe_merge_batch(removed, nodes_scanned=before)
+        self._scheduler.fired(self._events)
+        return removed
+
+    def _merge_subtree(self, node: RapNode, threshold: float) -> int:
+        """Post-order merge walk; returns the subtree weight of ``node``.
+
+        A child whose subtree weight is at most ``threshold`` has, by the
+        same test, already had all of *its* descendants collapsed into it,
+        so it is a leaf by the time it is absorbed here.
+        """
+        weight = node.count
+        if node.children:
+            kept: List[RapNode] = []
+            for child in node.children:
+                child_weight = self._merge_subtree(child, threshold)
+                weight += child_weight
+                if child_weight <= threshold:
+                    node.count += child_weight
+                    child.parent = None
+                    self._node_count -= 1
+                else:
+                    kept.append(child)
+            node.children = kept
+        return weight
+
+    @property
+    def merge_scheduler(self) -> MergeScheduler:
+        return self._scheduler
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def smallest_covering(self, value: int) -> RapNode:
+        """The deepest node whose range covers ``value``."""
+        node = self._root
+        if not node.covers(value):
+            raise ValueError(
+                f"value {value} outside universe [0, {node.hi}]"
+            )
+        while True:
+            child = node.child_covering(value)
+            if child is None:
+                return node
+            node = child
+
+    def find_node(self, lo: int, hi: int) -> Optional[RapNode]:
+        """The node with exactly the range ``[lo, hi]``, if present."""
+        node = self._root
+        while True:
+            if node.lo == lo and node.hi == hi:
+                return node
+            child = node.child_covering(lo)
+            if child is None or child.hi < hi:
+                return None
+            node = child
+
+    def estimate(self, lo: int, hi: int) -> int:
+        """Lower-bound estimate of events that fell in ``[lo, hi]``.
+
+        Sums the counters of every node whose range is fully contained in
+        the query. Counts recorded on coarser ancestors are excluded,
+        which is what makes the estimate a guaranteed lower bound with
+        undercount at most ``epsilon * n`` (Section 2.2).
+        """
+        if lo > hi:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.lo > hi or node.hi < lo:
+                continue
+            if lo <= node.lo and node.hi <= hi:
+                total += node.subtree_weight()
+                continue
+            stack.extend(node.children)
+        return total
+
+    def estimate_upper(self, lo: int, hi: int) -> int:
+        """Upper-bound estimate: adds counters of partially covering nodes."""
+        if lo > hi:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.lo > hi or node.hi < lo:
+                continue
+            if lo <= node.lo and node.hi <= hi:
+                total += node.subtree_weight()
+                continue
+            total += node.count
+            stack.extend(node.children)
+        return total
+
+    def nodes(self) -> Iterator[RapNode]:
+        """Pre-order iteration over every node in the tree."""
+        return self._root.iter_subtree()
+
+    def leaves(self) -> Iterator[RapNode]:
+        """Iteration over childless nodes."""
+        for node in self.nodes():
+            if node.is_leaf:
+                yield node
+
+    def total_weight(self) -> int:
+        """Sum of all counters; always equals :attr:`events`."""
+        return self._root.subtree_weight()
+
+    def depth(self) -> int:
+        """Height of the tree (root alone has depth 0)."""
+        best = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            stack.extend((child, depth + 1) for child in node.children)
+        return best
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any structural invariant is broken.
+
+        Used by the test suite after randomized operation sequences:
+
+        * children are sorted, disjoint cells of their parent's partition;
+        * parent pointers are consistent;
+        * all counters are non-negative and sum to ``events``;
+        * the cached node count matches the actual tree size.
+        """
+        seen = 0
+        weight = 0
+        stack = [self._root]
+        branching = self._config.branching
+        while stack:
+            node = stack.pop()
+            seen += 1
+            weight += node.count
+            assert node.count >= 0, f"negative counter at {node!r}"
+            assert node.lo <= node.hi, f"empty range at {node!r}"
+            if node.children:
+                cells = set(partition_range(node.lo, node.hi, branching))
+                previous_hi = node.lo - 1
+                for child in node.children:
+                    assert child.parent is node, "broken parent pointer"
+                    assert (child.lo, child.hi) in cells, (
+                        f"child [{child.lo}, {child.hi}] is not a partition "
+                        f"cell of [{node.lo}, {node.hi}]"
+                    )
+                    assert child.lo > previous_hi, "children overlap/unsorted"
+                    previous_hi = child.hi
+                stack.extend(node.children)
+        assert seen == self._node_count, (
+            f"cached node_count {self._node_count} != actual {seen}"
+        )
+        assert weight == self._events, (
+            f"tree weight {weight} != events {self._events}"
+        )
+
+    def __len__(self) -> int:
+        return self._node_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RapTree(R={self._config.range_max}, "
+            f"eps={self._config.epsilon}, nodes={self._node_count}, "
+            f"events={self._events})"
+        )

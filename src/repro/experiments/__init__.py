@@ -1,0 +1,56 @@
+"""Experiment reproductions: one module per paper figure/table/claim.
+
+See ``DESIGN.md`` for the experiment index (paper artifact → module →
+bench target) and ``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+from . import (
+    ablation,
+    capacity,
+    edges,
+    accuracy_memory,
+    buffer,
+    common,
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    hw_costs,
+    narrow_operands,
+    phase_detection,
+    runner,
+    sampling_unify,
+    scaling,
+)
+from .runner import available, render_experiment, run_all, run_experiment
+
+__all__ = [
+    "ablation",
+    "accuracy_memory",
+    "capacity",
+    "edges",
+    "available",
+    "buffer",
+    "common",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "hw_costs",
+    "narrow_operands",
+    "phase_detection",
+    "render_experiment",
+    "sampling_unify",
+    "scaling",
+    "run_all",
+    "run_experiment",
+    "runner",
+]

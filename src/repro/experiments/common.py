@@ -1,0 +1,64 @@
+"""Shared machinery for the experiment reproductions.
+
+Every experiment module exposes ``run(...) -> <Result>`` returning a
+structured result with a ``render()`` method that prints the same
+rows/series the paper's table or figure reports.
+
+Scale note: the paper profiles SPEC runs to completion (tens of billions
+of events); the reproductions default to a few hundred thousand events
+per stream. RAP's error and memory guarantees are *relative* to the
+stream length (``epsilon * n`` error, memory independent of ``n``), so
+the shapes are preserved; ``events`` can be raised on any ``run()`` for
+closer asymptotics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..baselines.exact import ExactProfiler
+from ..core.config import RapConfig
+from ..core.tree import RapTree
+from ..workloads.streams import EventStream
+
+DEFAULT_EVENTS = 300_000
+DEFAULT_SEED = 2006  # the paper's year; fixed for reproducibility
+PAPER_EPSILONS = (0.10, 0.01)  # the two epsilon settings of Figures 7/8
+HOT_FRACTION = 0.10  # "hot" threshold used throughout Section 4
+COMBINE_CHUNK = 4096  # software duplicate-combining window (Section 3)
+
+
+def profile_stream(
+    stream: EventStream,
+    epsilon: float,
+    branching: int = 4,
+    timeline_sample_every: int = 0,
+    combine_chunk: int = COMBINE_CHUNK,
+    final_merge: bool = True,
+) -> RapTree:
+    """Run one stream through a fresh RAP tree with standard settings."""
+    config = RapConfig(
+        range_max=stream.universe,
+        epsilon=epsilon,
+        branching=branching,
+        timeline_sample_every=timeline_sample_every,
+    )
+    tree = RapTree(config)
+    tree.add_stream(iter(stream), combine_chunk=combine_chunk)
+    if final_merge and tree.events:
+        tree.merge_now()
+    return tree
+
+
+def profile_with_truth(
+    stream: EventStream,
+    epsilon: float,
+    branching: int = 4,
+    combine_chunk: int = COMBINE_CHUNK,
+) -> Tuple[RapTree, ExactProfiler]:
+    """Profile a stream with RAP and the exact baseline side by side."""
+    tree = profile_stream(
+        stream, epsilon, branching=branching, combine_chunk=combine_chunk
+    )
+    exact = ExactProfiler.from_stream(stream.universe, stream.values)
+    return tree, exact

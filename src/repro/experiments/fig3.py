@@ -1,0 +1,104 @@
+"""Figure 3 — bounded memory under exponentially batched merges.
+
+Figure 3 plots the worst-case node bound against events processed: a
+sawtooth that grows logarithmically within each merge interval and snaps
+back to a constant post-merge bound, with intervals doubling so that the
+bound holds forever at a vanishing amortized merge cost. Section 3.3
+works the arithmetic: profiling 2^32 events with the first merge after
+2^10 needs ``32 - 10 = 22`` merge batches; 2^64 events need ``54``.
+
+The reproduction evaluates the analytic sawtooth and cross-checks the
+batch counts against the actual :class:`MergeScheduler`, plus an
+empirical run showing the same growth/collapse pattern on a real tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..analysis.report import Table, series_plot
+from ..core import bounds
+from ..core.config import MergeScheduler
+from ..workloads.spec import benchmark
+from .common import DEFAULT_SEED, profile_stream
+
+PAPER_EPSILON = 0.01
+PAPER_UNIVERSE = 2**32
+INITIAL_INTERVAL = 1024
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    epsilon: float
+    post_merge_bound: float
+    peak_bound: float
+    sawtooth: Tuple[Tuple[int, float], ...]
+    batches_for_2_32: int
+    batches_for_2_64: int
+    empirical_timeline: Tuple[Tuple[int, int], ...]
+    empirical_merge_points: Tuple[int, ...]
+
+    def render(self) -> str:
+        table = Table(
+            ["quantity", "value", "paper"],
+            title=f"Figure 3: batched-merge memory bound, eps={self.epsilon:.0%}",
+        )
+        table.add_row(
+            ["post-merge bound (nodes)", f"{self.post_merge_bound:,.0f}", "constant"]
+        )
+        table.add_row(
+            ["peak bound before merge", f"{self.peak_bound:,.0f}", "constant"]
+        )
+        table.add_row(
+            ["merge batches for 2^32 events", self.batches_for_2_32, "22"]
+        )
+        table.add_row(
+            ["merge batches for 2^64 events", self.batches_for_2_64, "54"]
+        )
+        plot = series_plot(
+            [(float(x), y) for x, y in self.sawtooth],
+            title="worst-case nodes vs events (analytic sawtooth)",
+        )
+        empirical = series_plot(
+            [(float(x), float(y)) for x, y in self.empirical_timeline],
+            title="empirical tree size vs events (gcc code, growth + merge drops)",
+        )
+        return "\n\n".join([table.to_text(), plot, empirical])
+
+
+def run(
+    events: int = 200_000,
+    seed: int = DEFAULT_SEED,
+    epsilon: float = PAPER_EPSILON,
+) -> Fig3Result:
+    """Analytic sawtooth plus scheduler batch counts plus empirical run."""
+    sawtooth = bounds.sawtooth_bound(
+        epsilon,
+        PAPER_UNIVERSE,
+        branching=4,
+        growth=2.0,
+        initial_interval=INITIAL_INTERVAL,
+        stream_events=2**22,
+    )
+    scheduler = MergeScheduler(initial_interval=INITIAL_INTERVAL, growth=2.0)
+    batches_32 = len(scheduler.schedule_preview(2**32))
+    batches_64 = len(scheduler.schedule_preview(2**64))
+
+    stream = benchmark("gcc").code_stream(events, seed=seed)
+    tree = profile_stream(
+        stream,
+        epsilon=epsilon,
+        timeline_sample_every=max(1, events // 400),
+        final_merge=False,
+    )
+    return Fig3Result(
+        epsilon=epsilon,
+        post_merge_bound=bounds.post_merge_nodes_bound(epsilon, PAPER_UNIVERSE, 4),
+        peak_bound=bounds.peak_nodes_bound(epsilon, PAPER_UNIVERSE, 4, 2.0),
+        sawtooth=tuple(sawtooth),
+        batches_for_2_32=batches_32,
+        batches_for_2_64=batches_64,
+        empirical_timeline=tuple(tree.stats.timeline),
+        empirical_merge_points=tuple(tree.stats.merge_points),
+    )

@@ -1,0 +1,127 @@
+"""Figure 7 — memory (node counts) across the benchmark suite.
+
+Four panels: maximum and average RAP tree size for each benchmark, for
+code profiles (left) and value profiles (right), at epsilon = 10% (top)
+and epsilon = 1% (bottom). The paper's headlines:
+
+* "a maximum of 500 nodes is sufficient to evaluate code profiles with
+  epsilon = 10%"; gcc (most distinct basic blocks) needs the most code
+  nodes (453 max);
+* parser (largest number of load values) needs the most value nodes
+  (733 max, 203 average at epsilon = 10%);
+* value profiling uses *less* memory than code profiling on average
+  (~300 vs ~450 nodes) because RAP "judiciously allocates counters only
+  if it is sure it is worth allocating them".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.report import Table, bar_chart
+from ..workloads.spec import CODE_FIGURE_ORDER, benchmark
+from .common import DEFAULT_SEED, PAPER_EPSILONS, profile_stream
+
+
+@dataclass(frozen=True)
+class MemoryRow:
+    benchmark: str
+    profile_kind: str  # "code" | "value"
+    epsilon: float
+    max_nodes: int
+    average_nodes: float
+    distinct_events: int
+
+    def max_bytes(self, bits_per_node: int = 128) -> int:
+        return self.max_nodes * bits_per_node // 8
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    events: int
+    rows: Tuple[MemoryRow, ...]
+
+    def panel(self, profile_kind: str, epsilon: float) -> List[MemoryRow]:
+        """One of the four figure panels, in the paper's x-axis order."""
+        picked = [
+            row
+            for row in self.rows
+            if row.profile_kind == profile_kind and row.epsilon == epsilon
+        ]
+        order = {name: index for index, name in enumerate(CODE_FIGURE_ORDER)}
+        picked.sort(key=lambda row: order.get(row.benchmark, 99))
+        return picked
+
+    def max_of_panel(self, profile_kind: str, epsilon: float) -> MemoryRow:
+        return max(
+            self.panel(profile_kind, epsilon), key=lambda row: row.max_nodes
+        )
+
+    def average_nodes_of_panel(
+        self, profile_kind: str, epsilon: float
+    ) -> float:
+        panel = self.panel(profile_kind, epsilon)
+        return sum(row.average_nodes for row in panel) / len(panel)
+
+    def render(self) -> str:
+        pieces = [f"Figure 7: RAP tree memory, {self.events:,} events/stream"]
+        for profile_kind in ("code", "value"):
+            for epsilon in PAPER_EPSILONS:
+                panel = self.panel(profile_kind, epsilon)
+                if not panel:
+                    continue
+                table = Table(
+                    ["benchmark", "max nodes", "avg nodes", "max KB", "distinct"],
+                    title=f"{profile_kind} profiles, eps={epsilon:.0%}",
+                )
+                for row in panel:
+                    table.add_row(
+                        [
+                            row.benchmark,
+                            row.max_nodes,
+                            row.average_nodes,
+                            row.max_bytes() / 1024.0,
+                            row.distinct_events,
+                        ]
+                    )
+                pieces.append(table.to_text())
+                pieces.append(
+                    bar_chart(
+                        [row.benchmark for row in panel],
+                        [float(row.max_nodes) for row in panel],
+                        title=f"max nodes ({profile_kind}, eps={epsilon:.0%})",
+                    )
+                )
+        return "\n\n".join(pieces)
+
+
+def run(
+    events: int = 150_000,
+    seed: int = DEFAULT_SEED,
+    benchmarks: Tuple[str, ...] = tuple(CODE_FIGURE_ORDER),
+    epsilons: Tuple[float, ...] = PAPER_EPSILONS,
+) -> Fig7Result:
+    """Profile every benchmark's code and value streams at each epsilon."""
+    rows: List[MemoryRow] = []
+    for name in benchmarks:
+        spec = benchmark(name)
+        streams: Dict[str, object] = {
+            "code": spec.code_stream(events, seed=seed),
+            "value": spec.value_stream(events, seed=seed),
+        }
+        for profile_kind, stream in streams.items():
+            distinct = stream.distinct()
+            for epsilon in epsilons:
+                tree = profile_stream(stream, epsilon=epsilon)
+                rows.append(
+                    MemoryRow(
+                        benchmark=name,
+                        profile_kind=profile_kind,
+                        epsilon=epsilon,
+                        max_nodes=tree.stats.max_nodes,
+                        average_nodes=tree.stats.average_nodes,
+                        distinct_events=distinct,
+                    )
+                )
+    return Fig7Result(events=events, rows=tuple(rows))

@@ -1,0 +1,117 @@
+"""Section 3.4 — hardware cost table and pipeline throughput.
+
+The paper's hardware analysis reports, for the 4096×36 TCAM + 16 KB SRAM
+engine at 0.18 µm: 24.73 mm² area, a 7 ns TCAM critical path (1.26 ns
+SRAM path once the TCAM is byte/nibble pipelined), 1.272 nJ worst-case
+energy per event, "more than a factor of 10" smaller area/power for a
+400-node version, and "on an average, RAP requires 4 cycles to process
+an event, and requires 2 cycles each for TCAM and SRAM accesses".
+
+The reproduction evaluates the calibrated cost model for both
+configurations and *measures* cycles-per-event by running a real stream
+through the pipelined engine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.report import Table
+from ..core.config import RapConfig
+from ..hardware.costmodel import (
+    EngineCostReport,
+    estimate_costs,
+    paper_configuration,
+    small_configuration,
+)
+from ..hardware.pipeline import EngineStats, HardwareParams, PipelinedRapEngine
+from ..workloads.spec import benchmark
+from .common import DEFAULT_SEED
+
+PAPER_AREA_MM2 = 24.73
+PAPER_TCAM_DELAY_NS = 7.0
+PAPER_PIPELINED_DELAY_NS = 1.26
+PAPER_ENERGY_NJ = 1.272
+PAPER_CYCLES_PER_EVENT = 4.0
+
+
+@dataclass(frozen=True)
+class HwCostResult:
+    paper_engine: EngineCostReport
+    small_engine: EngineCostReport
+    engine_stats: EngineStats
+
+    @property
+    def area_ratio(self) -> float:
+        return (
+            self.paper_engine.total_area_mm2
+            / self.small_engine.total_area_mm2
+        )
+
+    @property
+    def power_ratio(self) -> float:
+        return (
+            self.paper_engine.energy_per_event_nj
+            / self.small_engine.energy_per_event_nj
+        )
+
+    def render(self) -> str:
+        table = Table(
+            ["quantity", "model", "paper"],
+            title="Section 3.4: RAP engine hardware costs (0.18 um)",
+        )
+        engine = self.paper_engine
+        table.add_row(
+            ["total area (mm^2)", engine.total_area_mm2, PAPER_AREA_MM2]
+        )
+        table.add_row(
+            ["TCAM critical path (ns)", engine.critical_path_ns,
+             PAPER_TCAM_DELAY_NS]
+        )
+        table.add_row(
+            ["pipelined critical path (ns)", engine.pipelined_critical_path_ns,
+             PAPER_PIPELINED_DELAY_NS]
+        )
+        table.add_row(
+            ["energy per event (nJ)", engine.energy_per_event_nj,
+             PAPER_ENERGY_NJ]
+        )
+        table.add_row(
+            ["400-node area ratio", self.area_ratio, ">10x"]
+        )
+        table.add_row(
+            ["400-node power ratio", self.power_ratio, ">10x"]
+        )
+        table.add_row(
+            ["measured cycles/event", self.engine_stats.cycles_per_event,
+             PAPER_CYCLES_PER_EVENT]
+        )
+        table.add_row(
+            ["stall fraction", self.engine_stats.stall_fraction,
+             "small and bounded"]
+        )
+        throughput = (
+            f"peak throughput at pipelined clock: "
+            f"{self.paper_engine.events_per_second():,.0f} events/s "
+            f"({self.paper_engine.pipelined_clock_mhz:,.0f} MHz / 4 cycles)"
+        )
+        return "\n\n".join([table.to_text(), throughput])
+
+
+def run(
+    events: int = 60_000,
+    seed: int = DEFAULT_SEED,
+    epsilon: float = 0.02,
+) -> HwCostResult:
+    """Evaluate the cost model and measure pipeline cycle behaviour."""
+    stream = benchmark("gzip").code_stream(events, seed=seed)
+    engine = PipelinedRapEngine(
+        RapConfig(range_max=stream.universe, epsilon=epsilon),
+        HardwareParams(combine_events=False),
+    )
+    engine.process_stream(iter(stream))
+    return HwCostResult(
+        paper_engine=estimate_costs(paper_configuration()),
+        small_engine=estimate_costs(small_configuration()),
+        engine_stats=engine.stats,
+    )

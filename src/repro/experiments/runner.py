@@ -1,0 +1,86 @@
+"""Run any (or all) experiment reproductions and render their reports.
+
+Each experiment is a module with ``run(**kwargs) -> Result`` where the
+result has ``render() -> str``. The registry here is what the CLI and
+the benchmark suite dispatch through; ``DESIGN.md`` maps each ID to the
+paper artifact it regenerates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from . import (
+    ablation,
+    capacity,
+    edges,
+    accuracy_memory,
+    buffer,
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    hw_costs,
+    narrow_operands,
+    phase_detection,
+    sampling_unify,
+    scaling,
+)
+
+EXPERIMENTS: Dict[str, Tuple[Callable[..., object], str]] = {
+    "fig2": (fig2.run, "branching factor and merge-interval trade-offs"),
+    "fig3": (fig3.run, "bounded memory under batched merges"),
+    "fig5": (fig5.run, "hot load-value ranges of gzip"),
+    "fig6": (fig6.run, "gcc tree size over time"),
+    "fig7": (fig7.run, "memory across the benchmark suite"),
+    "fig8": (fig8.run, "percent error across the benchmark suite"),
+    "fig9": (fig9.run, "value locality of cache misses"),
+    "fig10": (fig10.run, "zero-load memory ranges of gcc"),
+    "hw_costs": (hw_costs.run, "hardware area/delay/energy table"),
+    "accuracy_memory": (accuracy_memory.run, "8KB/64KB accuracy claims"),
+    "buffer": (buffer.run, "combining event buffer factor"),
+    "narrow": (narrow_operands.run, "narrow-operand PC profiling"),
+    "ablation": (ablation.run, "merge batching / branching / combining"),
+    "edges": (edges.run, "edge profiles and data-code correlation (2-D RAP)"),
+    "capacity": (capacity.run, "profile quality under TCAM capacity pressure"),
+    "phases": (phase_detection.run, "phase identification from windowed summaries"),
+    "sampling": (sampling_unify.run, "RAP unified with a sampling front end"),
+    "scaling": (scaling.run, "stream-length invariance of memory and error"),
+}
+
+
+def available() -> List[str]:
+    """Experiment IDs in a stable order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(name: str, **kwargs: object) -> object:
+    """Run one experiment by ID, returning its structured result."""
+    try:
+        runner, _ = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {available()}"
+        ) from None
+    return runner(**kwargs)
+
+
+def render_experiment(name: str, **kwargs: object) -> str:
+    """Run one experiment and return its printed report."""
+    result = run_experiment(name, **kwargs)
+    return result.render()  # type: ignore[attr-defined]
+
+
+def run_all(
+    names: Iterable[str] = (), **kwargs: object
+) -> Dict[str, str]:
+    """Run several (default: all) experiments; returns rendered reports."""
+    chosen = list(names) or available()
+    reports = {}
+    for name in chosen:
+        reports[name] = render_experiment(name, **kwargs)
+    return reports

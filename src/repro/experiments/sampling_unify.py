@@ -1,0 +1,139 @@
+"""Unifying RAP with sampling (the paper's Section 6 proposal).
+
+"It may further be possible to unify our proposed techniques with
+existing sampling based schemes to create a single general purpose
+profiling system." The :class:`~repro.core.sampled.SampledRapTree` does
+exactly that; this experiment quantifies the trade it buys:
+
+* tree work drops by the sampling factor (the front end discards
+  events before they touch a counter);
+* hot ranges survive sampling at practical rates (their fractions are
+  scale-free);
+* estimate error grows from the one-sided structural undercount to a
+  two-sided stochastic error of order ``sqrt(c / rate)`` — RAP alone is
+  *deterministic*, sampled RAP is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis.report import Table
+from ..baselines.exact import ExactProfiler
+from ..core.config import RapConfig
+from ..core.hot_ranges import find_hot_ranges
+from ..core.sampled import SampledRapTree
+from ..core.tree import RapTree
+from ..workloads.spec import benchmark
+from .common import DEFAULT_SEED, HOT_FRACTION
+
+RATES = (1.0, 0.25, 0.05, 0.01)
+
+
+@dataclass(frozen=True)
+class SamplingRow:
+    rate: float
+    events_into_tree: int
+    max_nodes: int
+    hot_recall: float            # reference hot ranges still reported
+    worst_hot_error: float       # |estimate - truth| / truth, worst case
+    deterministic: bool
+
+
+@dataclass(frozen=True)
+class SamplingUnifyResult:
+    events: int
+    rows: Tuple[SamplingRow, ...]
+    reference_hot: int
+
+    def row_for(self, rate: float) -> SamplingRow:
+        for row in self.rows:
+            if row.rate == rate:
+                return row
+        raise KeyError(rate)
+
+    def render(self) -> str:
+        table = Table(
+            ["rate", "tree events", "max nodes", "hot recall",
+             "worst hot error", "deterministic"],
+            title=(
+                f"RAP + sampling front end ({self.events:,} raw events, "
+                f"{self.reference_hot} reference hot ranges)"
+            ),
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    f"{row.rate:g}",
+                    row.events_into_tree,
+                    row.max_nodes,
+                    f"{100 * row.hot_recall:.0f}%",
+                    f"{100 * row.worst_hot_error:.2f}%",
+                    "yes" if row.deterministic else "no",
+                ]
+            )
+        return table.to_text()
+
+
+def run(
+    events: int = 120_000,
+    seed: int = DEFAULT_SEED,
+    epsilon: float = 0.05,
+    rates: Tuple[float, ...] = RATES,
+) -> SamplingUnifyResult:
+    """Sweep sampling rates on the gzip value stream."""
+    stream = benchmark("gzip").value_stream(events, seed=seed)
+    exact = ExactProfiler.from_stream(stream.universe, stream.values)
+    config = RapConfig(range_max=stream.universe, epsilon=epsilon)
+
+    reference = RapTree(config)
+    reference.add_stream(iter(stream), combine_chunk=4096)
+    reference_hot = find_hot_ranges(reference, HOT_FRACTION)
+
+    rows: List[SamplingRow] = []
+    for rate in rates:
+        if rate >= 1.0:
+            tree_events = reference.events
+            max_nodes = reference.stats.max_nodes
+            found = reference_hot
+            estimator = reference.estimate
+            scale = 1.0
+        else:
+            sampled = SampledRapTree(config, rate=rate, seed=seed)
+            sampled.feed_array(stream.values)
+            tree_events = sampled.events_sampled
+            max_nodes = sampled.tree.stats.max_nodes
+            found = sampled.hot_ranges(HOT_FRACTION)
+            estimator = sampled.estimate
+            scale = 1.0
+
+        found_keys = {(item.lo, item.hi) for item in found}
+        recall_hits = 0
+        worst_error = 0.0
+        for item in reference_hot:
+            truth = exact.count(item.lo, item.hi)
+            estimate = estimator(item.lo, item.hi) * scale
+            if truth:
+                worst_error = max(
+                    worst_error, abs(estimate - truth) / truth
+                )
+            # Recall: an overlapping reported hot range counts.
+            if any(
+                not (hi < item.lo or item.hi < lo)
+                for lo, hi in found_keys
+            ):
+                recall_hits += 1
+        rows.append(
+            SamplingRow(
+                rate=rate,
+                events_into_tree=tree_events,
+                max_nodes=max_nodes,
+                hot_recall=recall_hits / max(1, len(reference_hot)),
+                worst_hot_error=worst_error,
+                deterministic=rate >= 1.0,
+            )
+        )
+    return SamplingUnifyResult(
+        events=events, rows=tuple(rows), reference_hot=len(reference_hot)
+    )

@@ -1,0 +1,52 @@
+"""Hardware model: the pipelined RAP engine and its cost model (Figure 4)."""
+
+from .arbiter import PriorityArbiter
+from .costmodel import (
+    EngineCostConfig,
+    EngineCostReport,
+    TechnologyNode,
+    estimate_costs,
+    paper_configuration,
+    small_configuration,
+)
+from .event_buffer import CombiningEventBuffer
+from .pipeline import (
+    EngineStats,
+    HardwareParams,
+    PipelinedRapEngine,
+    RapTreeExport,
+)
+from .sram import CounterSram, SramFullError
+from .trie import MultibitTrie, TrieEntry, range_to_prefix
+from .tcam import (
+    TcamEntry,
+    TcamFullError,
+    TernaryCam,
+    entry_to_range,
+    range_to_entry,
+)
+
+__all__ = [
+    "CombiningEventBuffer",
+    "CounterSram",
+    "EngineCostConfig",
+    "EngineCostReport",
+    "EngineStats",
+    "HardwareParams",
+    "MultibitTrie",
+    "PipelinedRapEngine",
+    "PriorityArbiter",
+    "RapTreeExport",
+    "SramFullError",
+    "TcamEntry",
+    "TcamFullError",
+    "TechnologyNode",
+    "TernaryCam",
+    "TrieEntry",
+    "entry_to_range",
+    "estimate_costs",
+    "paper_configuration",
+    "range_to_entry",
+    "small_configuration",
+    "range_to_prefix",
+]

@@ -1,0 +1,40 @@
+"""Fixed-priority arbiter (pipeline stage 2).
+
+"Given N match lines in order, sorted by prefix length, finding the
+longest match is simply a matter of giving highest priority to longest
+matches and allowing only one match to proceed. This is exactly the
+function of a fixed priority N x 1 arbiter" (Section 3.3). Because TCAM
+rows are sorted by ascending prefix length, the highest matching row
+index is the longest prefix, i.e. the smallest covering range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class PriorityArbiter:
+    """An N×1 fixed-priority arbiter over TCAM match lines."""
+
+    def __init__(self, lines: int) -> None:
+        if lines < 1:
+            raise ValueError(f"lines must be >= 1, got {lines}")
+        self.lines = lines
+        self.grants = 0
+
+    def grant(self, match_lines: List[int]) -> Optional[int]:
+        """The single granted line: the highest-index match, or None.
+
+        ``match_lines`` are the asserted line indices (any order); the
+        arbiter drives exactly one output word line.
+        """
+        self.grants += 1
+        winner: Optional[int] = None
+        for line in match_lines:
+            if not 0 <= line < self.lines:
+                raise ValueError(
+                    f"match line {line} outside arbiter width {self.lines}"
+                )
+            if winner is None or line > winner:
+                winner = line
+        return winner

@@ -1,0 +1,120 @@
+"""Combining event buffer (pipeline stage 0).
+
+"The small buffer shown at stage 0 stores incoming points... It is quite
+possible to make this buffer pre-process the points by combining
+identical events. We have observed that a 1k buffer can reduce the
+throughput requirements on RAP by a factor of 10 for code profiling"
+(Section 3.3). The buffer also absorbs events while the pipeline stalls
+for splits and merge batches.
+
+The model works in windows of ``capacity`` events: duplicates within a
+window are combined into one ``(value, count)`` record, which is what
+the RAP engine then processes. ``combining_factor`` is the paper's
+throughput-reduction metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+
+class CombiningEventBuffer:
+    """FIFO event window that merges duplicate events.
+
+    Also tracks occupancy pressure from pipeline stalls: while the
+    engine is stalled, arriving events accumulate; the high-water mark
+    shows whether ``capacity`` suffices for the stall lengths seen.
+    """
+
+    def __init__(self, capacity: int = 1024, combine: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.combine = combine
+        self.events_in = 0
+        self.records_out = 0
+        self.high_water = 0
+        self._backlog = 0
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+
+    def windows(
+        self, events: Iterable[int]
+    ) -> Iterator[List[Tuple[int, int]]]:
+        """Yield the stream as windows of combined ``(value, count)`` records.
+
+        Each window covers ``capacity`` raw events (the buffer filling
+        once). With combining disabled every event is its own record.
+        """
+        window: Dict[int, int] = {}
+        ordered: List[int] = []
+        filled = 0
+        for value in events:
+            self.events_in += 1
+            if self.combine:
+                if value in window:
+                    window[value] += 1
+                else:
+                    window[value] = 1
+                    ordered.append(value)
+            else:
+                ordered.append(value)
+            filled += 1
+            if filled >= self.capacity:
+                yield self._flush(window, ordered)
+                window = {}
+                ordered = []
+                filled = 0
+        if filled:
+            yield self._flush(window, ordered)
+
+    def _flush(
+        self, window: Dict[int, int], ordered: List[int]
+    ) -> List[Tuple[int, int]]:
+        if self.combine:
+            records = [(value, window[value]) for value in ordered]
+        else:
+            records = [(value, 1) for value in ordered]
+        self.records_out += len(records)
+        self.high_water = max(self.high_water, len(ordered))
+        return records
+
+    # ------------------------------------------------------------------
+    # Stall pressure accounting
+    # ------------------------------------------------------------------
+
+    def absorb_stall(self, cycles: int, arrival_rate: float = 1.0) -> None:
+        """Account events arriving while the pipeline is stalled.
+
+        ``arrival_rate`` is events per cycle from the profiled source.
+        The backlog drains as the pipeline resumes; the high-water mark
+        records the worst pressure.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self._backlog += int(cycles * arrival_rate)
+        self.high_water = max(self.high_water, min(self._backlog, self.capacity))
+
+    def drain_backlog(self, cycles: int, service_rate: float = 1.0) -> None:
+        """Drain stall backlog at ``service_rate`` records per cycle."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self._backlog = max(0, self._backlog - int(cycles * service_rate))
+
+    @property
+    def backlog(self) -> int:
+        return self._backlog
+
+    @property
+    def overflowed(self) -> bool:
+        """Whether stall pressure ever exceeded the buffer capacity."""
+        return self.high_water >= self.capacity
+
+    @property
+    def combining_factor(self) -> float:
+        """Raw events per record reaching the engine (the "10x" claim)."""
+        if self.records_out == 0:
+            return 1.0
+        return self.events_in / self.records_out

@@ -1,0 +1,90 @@
+"""SRAM counter array (pipeline stage 3).
+
+"Once the smallest range match has been found, we simply need to update
+the appropriate counter. To handle a continuous stream of data to the
+array, one read port and one write port is needed" (Section 3.3). The
+paper's configuration is a 16 KB data array backing a 4096-entry TCAM —
+32 bits of counter per entry (the remaining per-node state lives in the
+same row's metadata; Section 4.2 budgets 128 bits per node in total).
+
+Counters saturate rather than wrap, and saturation is counted — a
+profile must never silently lose weight.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class CounterSram:
+    """A slot-allocated counter array with read/write accounting."""
+
+    def __init__(self, slots: int, counter_bits: int = 32) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if counter_bits < 1:
+            raise ValueError(f"counter_bits must be >= 1, got {counter_bits}")
+        self.slots = slots
+        self.counter_bits = counter_bits
+        self.max_value = (1 << counter_bits) - 1
+        self._values: List[int] = [0] * slots
+        self._free: List[int] = list(range(slots - 1, -1, -1))
+        self.reads = 0
+        self.writes = 0
+        self.saturations = 0
+
+    @property
+    def allocated(self) -> int:
+        return self.slots - len(self._free)
+
+    @property
+    def full(self) -> bool:
+        return not self._free
+
+    def allocate(self) -> int:
+        """Claim a free slot (initialized to zero); returns its index."""
+        if not self._free:
+            raise SramFullError(f"all {self.slots} counter slots in use")
+        slot = self._free.pop()
+        self._values[slot] = 0
+        self.writes += 1
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list."""
+        self._check(slot)
+        self._free.append(slot)
+
+    def read(self, slot: int) -> int:
+        self._check(slot)
+        self.reads += 1
+        return self._values[slot]
+
+    def write(self, slot: int, value: int) -> None:
+        self._check(slot)
+        if value > self.max_value:
+            value = self.max_value
+            self.saturations += 1
+        if value < 0:
+            raise ValueError("counters are unsigned")
+        self._values[slot] = value
+        self.writes += 1
+
+    def increment(self, slot: int, amount: int = 1) -> int:
+        """Read-modify-write one counter; returns the new value."""
+        current = self.read(slot)
+        updated = current + amount
+        self.write(slot, updated)
+        return min(updated, self.max_value)
+
+    def total_bytes(self) -> int:
+        """Data-array size in bytes (16 KB in the paper's configuration)."""
+        return self.slots * self.counter_bits // 8
+
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"slot {slot} outside SRAM of {self.slots} slots")
+
+
+class SramFullError(RuntimeError):
+    """Raised when allocation is attempted with no free slots."""

@@ -1,0 +1,182 @@
+"""Ternary CAM model (pipeline stage 1).
+
+"For every point fetched from the buffer, we need to find the set of
+ranges that include that point. This operation is very similar to the
+Longest Prefix Match and can be carried out in constant time with a
+Ternary CAM" (Section 3.3). RAP ranges produced by power-of-two b-ary
+splits of a power-of-two universe are binary prefixes, so each range is
+one TCAM entry ``(value, mask)``.
+
+"In order to figure out the smallest range which is also the longest
+prefix, the TCAM entries have to be partially sorted by prefix length" —
+this model keeps rows sorted by ascending prefix length so the *last*
+matching row is the longest prefix, which is what the priority arbiter
+selects. "There can never be matches from two different entries of the
+same range width" (ranges of equal width are disjoint), an invariant the
+model asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TcamEntry:
+    """One ternary row: ``key`` matches iff ``key & mask == value``.
+
+    ``prefix_bits`` is the number of fixed (non-wildcard) leading bits;
+    a longer prefix means a smaller range.
+    """
+
+    value: int
+    mask: int
+    prefix_bits: int
+
+    def matches(self, key: int) -> bool:
+        return (key & self.mask) == self.value
+
+
+def range_to_entry(lo: int, hi: int, width_bits: int) -> TcamEntry:
+    """Encode the aligned power-of-two range ``[lo, hi]`` as a TCAM entry.
+
+    Raises ``ValueError`` for ranges that are not binary prefixes — the
+    hardware engine only ever produces prefix ranges (power-of-two
+    universe, power-of-two branching).
+    """
+    width = hi - lo + 1
+    if width <= 0 or width & (width - 1):
+        raise ValueError(
+            f"range [{lo:#x}, {hi:#x}] width {width} is not a power of two"
+        )
+    if lo % width:
+        raise ValueError(f"range [{lo:#x}, {hi:#x}] is not aligned to its width")
+    wildcard_bits = width.bit_length() - 1
+    prefix_bits = width_bits - wildcard_bits
+    if prefix_bits < 0:
+        raise ValueError(
+            f"range [{lo:#x}, {hi:#x}] wider than the {width_bits}-bit key"
+        )
+    mask = ((1 << width_bits) - 1) & ~(width - 1)
+    return TcamEntry(value=lo, mask=mask, prefix_bits=prefix_bits)
+
+
+def entry_to_range(entry: TcamEntry, width_bits: int) -> Tuple[int, int]:
+    """Decode a TCAM entry back to its ``[lo, hi]`` range."""
+    width = 1 << (width_bits - entry.prefix_bits)
+    return entry.value, entry.value + width - 1
+
+
+class TernaryCam:
+    """A capacity-limited TCAM with prefix-length-ordered rows.
+
+    Row order is the priority order: the arbiter grants the highest
+    matching row index, i.e. the longest prefix. Inserting a row shifts
+    later rows (tracked for cycle accounting, like a real sorted TCAM
+    doing hole management).
+    """
+
+    def __init__(self, capacity: int, width_bits: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if width_bits < 1:
+            raise ValueError(f"width_bits must be >= 1, got {width_bits}")
+        self.capacity = capacity
+        self.width_bits = width_bits
+        self.rows: List[TcamEntry] = []
+        self.searches = 0
+        self.insert_shifts = 0
+        self.writes = 0
+        # Vectorized mirror of the rows: all cells compare in parallel in
+        # real hardware, and numpy is the software analogue of that.
+        self._values = np.empty(0, dtype=np.uint64)
+        self._masks = np.empty(0, dtype=np.uint64)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def full(self) -> bool:
+        return len(self.rows) >= self.capacity
+
+    def search(self, key: int) -> List[int]:
+        """Indices of all matching rows, in priority (prefix) order.
+
+        This is the parallel compare of every TCAM cell; one search is
+        one access regardless of how many rows match.
+        """
+        self.searches += 1
+        if self._dirty:
+            self._rebuild_mirror()
+        hits = np.uint64(key) & self._masks == self._values
+        matches = np.flatnonzero(hits).tolist()
+        # Invariant from the paper: one match per distinct range width.
+        assert len({self.rows[i].prefix_bits for i in matches}) == len(matches), (
+            "two matching entries share a prefix length"
+        )
+        return matches
+
+    def _rebuild_mirror(self) -> None:
+        self._values = np.fromiter(
+            (entry.value for entry in self.rows),
+            dtype=np.uint64,
+            count=len(self.rows),
+        )
+        self._masks = np.fromiter(
+            (entry.mask for entry in self.rows),
+            dtype=np.uint64,
+            count=len(self.rows),
+        )
+        self._dirty = False
+
+    def insert(self, entry: TcamEntry) -> int:
+        """Insert keeping rows sorted by ascending prefix length.
+
+        Returns the row index. Counts the shifted rows — the physical
+        cost a sorted TCAM pays on insertion.
+        """
+        if self.full:
+            raise TcamFullError(
+                f"TCAM at capacity {self.capacity}; merge before splitting"
+            )
+        low, high = 0, len(self.rows)
+        while low < high:
+            mid = (low + high) // 2
+            if self.rows[mid].prefix_bits <= entry.prefix_bits:
+                low = mid + 1
+            else:
+                high = mid
+        self.rows.insert(low, entry)
+        self.insert_shifts += len(self.rows) - low - 1
+        self.writes += 1
+        self._dirty = True
+        return low
+
+    def delete(self, index: int) -> TcamEntry:
+        """Remove and return the row at ``index``."""
+        entry = self.rows.pop(index)
+        self.writes += 1
+        self._dirty = True
+        return entry
+
+    def find_row(self, entry: TcamEntry) -> Optional[int]:
+        """Row index of an exact entry, if present."""
+        try:
+            return self.rows.index(entry)
+        except ValueError:
+            return None
+
+    def check_sorted(self) -> None:
+        """Assert the prefix-length ordering invariant."""
+        for first, second in zip(self.rows, self.rows[1:]):
+            assert first.prefix_bits <= second.prefix_bits, (
+                "TCAM rows out of prefix order"
+            )
+
+
+class TcamFullError(RuntimeError):
+    """Raised when an insert is attempted on a full TCAM."""

@@ -1,0 +1,235 @@
+"""Multibit-trie range lookup — the paper's TCAM alternative.
+
+Section 3.3: "while in this paper we assume a TCAM based approach, with
+a branching factor of b, the tree is really a multibit trie and there
+are a variety of techniques that can be used to build high speed
+implementations from network algorithms [Srinivasan & Varghese,
+controlled prefix expansion]".
+
+This module implements that alternative: a fixed-stride multibit trie
+with controlled prefix expansion. A RAP range (a binary prefix) whose
+length is not a multiple of the stride is *expanded* into the
+``2**(stride_boundary - length)`` longer prefixes that end exactly on a
+stride boundary; lookup then walks a constant ``width / stride`` levels,
+remembering the longest matching entry — no ternary cells, just SRAM
+tables, at the cost of expansion memory.
+
+Each slot keeps its (tiny) bucket of expanded entries sorted by original
+prefix length, so deletions restore shadowed shorter prefixes without
+any subtree rebuilding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TrieEntry:
+    """One stored prefix: ``prefix_len`` leading bits of ``value``."""
+
+    value: int
+    prefix_len: int
+    item: int                    # caller's id (e.g. a counter index)
+
+
+class _TrieNode:
+    __slots__ = ("children", "buckets")
+
+    def __init__(self, fanout: int) -> None:
+        self.children: List[Optional["_TrieNode"]] = [None] * fanout
+        # slot -> entries expanded into that slot, longest-original first
+        self.buckets: Dict[int, List[TrieEntry]] = {}
+
+
+class MultibitTrie:
+    """Fixed-stride longest-prefix-match structure over ``width_bits`` keys."""
+
+    def __init__(self, width_bits: int, stride: int = 4) -> None:
+        if width_bits < 1:
+            raise ValueError(f"width_bits must be >= 1, got {width_bits}")
+        if not 1 <= stride <= 16:
+            raise ValueError(f"stride must be in [1, 16], got {stride}")
+        if width_bits % stride:
+            raise ValueError(
+                f"stride {stride} must divide width {width_bits}"
+            )
+        self.width_bits = width_bits
+        self.stride = stride
+        self.fanout = 1 << stride
+        self.levels = width_bits // stride
+        self._root = _TrieNode(self.fanout)
+        self._nodes = 1
+        self._default: Optional[TrieEntry] = None  # the /0 prefix
+        self.lookups = 0
+        self.lookup_steps = 0
+        self.expansions = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, entry: TrieEntry) -> None:
+        """Store a prefix (with controlled expansion to stride boundaries)."""
+        self._validate(entry)
+        if entry.prefix_len == 0:
+            self._default = entry
+            return
+        # Boundary the prefix expands to, and how many expansions.
+        level = -(-entry.prefix_len // self.stride)  # ceil division
+        boundary = level * self.stride
+        expand_bits = boundary - entry.prefix_len
+        base = entry.value >> (self.width_bits - boundary)
+        for offset in range(1 << expand_bits):
+            expanded = (base & ~((1 << expand_bits) - 1)) | offset
+            self._insert_expanded(expanded, level, entry)
+            self.expansions += 1
+
+    def _insert_expanded(
+        self, expanded: int, level: int, entry: TrieEntry
+    ) -> None:
+        node = self._root
+        for depth in range(level - 1):
+            slot = (expanded >> ((level - 1 - depth) * self.stride)) & (
+                self.fanout - 1
+            )
+            child = node.children[slot]
+            if child is None:
+                child = _TrieNode(self.fanout)
+                node.children[slot] = child
+                self._nodes += 1
+            node = child
+        slot = expanded & (self.fanout - 1)
+        bucket = node.buckets.setdefault(slot, [])
+        bucket.append(entry)
+        bucket.sort(key=lambda item: item.prefix_len, reverse=True)
+
+    def delete(self, entry: TrieEntry) -> None:
+        """Remove a previously inserted prefix (all its expansions)."""
+        self._validate(entry)
+        if entry.prefix_len == 0:
+            if self._default != entry:
+                raise KeyError(f"default entry {entry} not present")
+            self._default = None
+            return
+        level = -(-entry.prefix_len // self.stride)
+        boundary = level * self.stride
+        expand_bits = boundary - entry.prefix_len
+        base = entry.value >> (self.width_bits - boundary)
+        for offset in range(1 << expand_bits):
+            expanded = (base & ~((1 << expand_bits) - 1)) | offset
+            node = self._walk(expanded, level)
+            if node is None:
+                raise KeyError(f"entry {entry} not present")
+            bucket = node.buckets.get(expanded & (self.fanout - 1), [])
+            try:
+                bucket.remove(entry)
+            except ValueError:
+                raise KeyError(f"entry {entry} not present") from None
+
+    def _walk(self, expanded: int, level: int) -> Optional[_TrieNode]:
+        node = self._root
+        for depth in range(level - 1):
+            slot = (expanded >> ((level - 1 - depth) * self.stride)) & (
+                self.fanout - 1
+            )
+            child = node.children[slot]
+            if child is None:
+                return None
+            node = child
+        return node
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def longest_match(self, key: int) -> Optional[TrieEntry]:
+        """The stored prefix with the most leading bits matching ``key``.
+
+        Walks at most ``levels`` tables — the constant-time property the
+        paper wants from a pipelined hardware lookup.
+        """
+        if not 0 <= key < (1 << self.width_bits):
+            raise ValueError(f"key {key} wider than {self.width_bits} bits")
+        self.lookups += 1
+        best = self._default
+        node: Optional[_TrieNode] = self._root
+        for depth in range(self.levels):
+            if node is None:
+                break
+            self.lookup_steps += 1
+            slot = (key >> (self.width_bits - (depth + 1) * self.stride)) & (
+                self.fanout - 1
+            )
+            bucket = node.buckets.get(slot)
+            if bucket:
+                candidate = bucket[0]  # longest original prefix first
+                if self._matches(candidate, key):
+                    if best is None or candidate.prefix_len > best.prefix_len:
+                        best = candidate
+            node = node.children[slot]
+        return best
+
+    def _matches(self, entry: TrieEntry, key: int) -> bool:
+        if entry.prefix_len == 0:
+            return True
+        shift = self.width_bits - entry.prefix_len
+        return (key >> shift) == (entry.value >> shift)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self._nodes
+
+    def stored_entries(self) -> int:
+        """Expanded slot entries currently held (memory proxy)."""
+        total = 1 if self._default is not None else 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += sum(len(bucket) for bucket in node.buckets.values())
+            stack.extend(child for child in node.children if child is not None)
+        return total
+
+    def memory_bytes(self, pointer_bytes: int = 4, entry_bytes: int = 8) -> int:
+        """First-order SRAM footprint: child tables plus slot entries."""
+        return (
+            self._nodes * self.fanout * pointer_bytes
+            + self.stored_entries() * entry_bytes
+        )
+
+    @property
+    def average_lookup_steps(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.lookup_steps / self.lookups
+
+    def _validate(self, entry: TrieEntry) -> None:
+        if not 0 <= entry.prefix_len <= self.width_bits:
+            raise ValueError(
+                f"prefix_len {entry.prefix_len} outside [0, {self.width_bits}]"
+            )
+        if not 0 <= entry.value < (1 << self.width_bits):
+            raise ValueError(f"value {entry.value:#x} wider than key")
+
+
+def range_to_prefix(lo: int, hi: int, width_bits: int) -> Tuple[int, int]:
+    """``(value, prefix_len)`` of an aligned power-of-two range.
+
+    The trie twin of :func:`repro.hardware.tcam.range_to_entry`.
+    """
+    width = hi - lo + 1
+    if width <= 0 or width & (width - 1):
+        raise ValueError(
+            f"range [{lo:#x}, {hi:#x}] width {width} is not a power of two"
+        )
+    if lo % width:
+        raise ValueError(f"range [{lo:#x}, {hi:#x}] is not aligned")
+    prefix_len = width_bits - (width.bit_length() - 1)
+    if prefix_len < 0:
+        raise ValueError("range wider than the key")
+    return lo, prefix_len

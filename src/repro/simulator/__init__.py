@@ -1,0 +1,24 @@
+"""CPU/cache substrate: turns benchmark models into classified load traces."""
+
+from .cache import (
+    DEFAULT_DL1,
+    DEFAULT_DL2,
+    Cache,
+    CacheGeometry,
+    CacheHierarchy,
+    HierarchyResult,
+)
+from .cpu import LoadTrace, simulate_loads
+from .memory_image import MemoryImage
+
+__all__ = [
+    "Cache",
+    "CacheGeometry",
+    "CacheHierarchy",
+    "DEFAULT_DL1",
+    "DEFAULT_DL2",
+    "HierarchyResult",
+    "LoadTrace",
+    "MemoryImage",
+    "simulate_loads",
+]

@@ -1,0 +1,186 @@
+"""Set-associative cache simulator.
+
+The paper's cache-miss value study (Figure 9) profiles "the set of all
+load values which were subject to a cache miss" at two levels (DL1 and
+DL2). This module provides the cache substrate that turns an address
+trace into hit/miss classifications: classic set-associative caches with
+true-LRU replacement, composed into a two-level hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size, associativity, and line size of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("size_bytes", "ways", "line_bytes"):
+            value = getattr(self, field_name)
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{field_name} must be a power of two, got {value}")
+        if self.size_bytes < self.ways * self.line_bytes:
+            raise ValueError("cache smaller than one set")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement."""
+
+    def __init__(self, geometry: CacheGeometry, name: str = "cache") -> None:
+        self.geometry = geometry
+        self.name = name
+        self._line_shift = geometry.line_bytes.bit_length() - 1
+        self._set_mask = geometry.num_sets - 1
+        # Per-set list of tags in LRU order (last = most recent).
+        self._sets: List[List[int]] = [[] for _ in range(geometry.num_sets)]
+        self.accesses = 0
+        self.hits = 0
+
+    def reset(self) -> None:
+        """Empty the cache and zero the statistics."""
+        for entry in self._sets:
+            entry.clear()
+        self.accesses = 0
+        self.hits = 0
+
+    def access(self, address: int) -> bool:
+        """Look up one byte address; returns True on hit.
+
+        A miss allocates the line, evicting the LRU way when the set is
+        full (write-allocate, which is all a load-only trace needs).
+        """
+        line = address >> self._line_shift
+        bucket = self._sets[line & self._set_mask]
+        self.accesses += 1
+        try:
+            bucket.remove(line)
+        except ValueError:
+            if len(bucket) >= self.geometry.ways:
+                bucket.pop(0)
+            bucket.append(line)
+            return False
+        bucket.append(line)
+        self.hits += 1
+        return True
+
+    def access_many(self, addresses: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`access`; returns a boolean hit mask."""
+        shift = self._line_shift
+        set_mask = self._set_mask
+        sets = self._sets
+        ways = self.geometry.ways
+        out = np.empty(addresses.shape[0], dtype=bool)
+        hits = 0
+        for index, raw in enumerate(addresses):
+            line = int(raw) >> shift
+            bucket = sets[line & set_mask]
+            try:
+                bucket.remove(line)
+            except ValueError:
+                if len(bucket) >= ways:
+                    bucket.pop(0)
+                bucket.append(line)
+                out[index] = False
+                continue
+            bucket.append(line)
+            out[index] = True
+            hits += 1
+        self.accesses += addresses.shape[0]
+        self.hits += hits
+        return out
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        geometry = self.geometry
+        return (
+            f"Cache({self.name}, {geometry.size_bytes >> 10}KB, "
+            f"{geometry.ways}-way, {geometry.line_bytes}B lines)"
+        )
+
+
+# Typical early-2000s configuration (Alpha 21264-class), matching the
+# machines the paper's SPEC traces came from.
+DEFAULT_DL1 = CacheGeometry(size_bytes=32 * 1024, ways=2, line_bytes=32)
+DEFAULT_DL2 = CacheGeometry(size_bytes=1024 * 1024, ways=4, line_bytes=64)
+
+
+class CacheHierarchy:
+    """A DL1 backed by a DL2; only DL1 misses reach the DL2."""
+
+    def __init__(
+        self,
+        dl1: Optional[CacheGeometry] = None,
+        dl2: Optional[CacheGeometry] = None,
+    ) -> None:
+        self.dl1 = Cache(dl1 or DEFAULT_DL1, name="dl1")
+        self.dl2 = Cache(dl2 or DEFAULT_DL2, name="dl2")
+
+    def reset(self) -> None:
+        self.dl1.reset()
+        self.dl2.reset()
+
+    def access_many(self, addresses: np.ndarray) -> "HierarchyResult":
+        """Classify every access: DL1 hit, DL2 hit, or DL2 miss."""
+        dl1_hit = self.dl1.access_many(addresses)
+        dl1_miss_addresses = addresses[~dl1_hit]
+        dl2_hit_on_miss = self.dl2.access_many(dl1_miss_addresses)
+        dl2_hit = np.zeros(addresses.shape[0], dtype=bool)
+        dl2_hit[~dl1_hit] = dl2_hit_on_miss
+        return HierarchyResult(dl1_hit=dl1_hit, dl2_hit=dl2_hit)
+
+
+@dataclass
+class HierarchyResult:
+    """Hit masks for a trace run through a :class:`CacheHierarchy`.
+
+    ``dl1_miss`` marks loads that missed the DL1 (they accessed the DL2);
+    ``dl2_miss`` marks loads that missed both levels.
+    """
+
+    dl1_hit: np.ndarray
+    dl2_hit: np.ndarray
+
+    @property
+    def dl1_miss(self) -> np.ndarray:
+        return ~self.dl1_hit
+
+    @property
+    def dl2_miss(self) -> np.ndarray:
+        return ~(self.dl1_hit | self.dl2_hit)
+
+    @property
+    def dl1_miss_rate(self) -> float:
+        total = self.dl1_hit.shape[0]
+        if total == 0:
+            return 0.0
+        return float(self.dl1_miss.sum()) / total
+
+    @property
+    def dl2_miss_rate(self) -> float:
+        """Global DL2 miss rate (misses at both levels over all loads)."""
+        total = self.dl1_hit.shape[0]
+        if total == 0:
+            return 0.0
+        return float(self.dl2_miss.sum()) / total

@@ -1,0 +1,152 @@
+"""Trace-driven load execution: ties programs, memory, and caches.
+
+This is the substrate behind the paper's advanced profiling scenarios
+(Section 4.4): it produces, for a benchmark model, the full per-load
+record — PC, effective address, loaded value, and DL1/DL2 hit/miss
+classification — from which the derived profile streams are cut:
+
+* ``all load values``  → Figure 9 baseline curve;
+* ``DL1 / DL2 miss values`` → Figure 9 miss curves;
+* ``addresses of zero loads`` → Figure 10;
+* ``PCs of narrow-operand loads`` → the narrow-operand study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..workloads.spec import BenchmarkSpec
+from ..workloads.streams import (
+    ADDRESS_UNIVERSE,
+    PC_UNIVERSE,
+    VALUE_UNIVERSE,
+    EventStream,
+)
+from .cache import CacheGeometry, CacheHierarchy
+from .memory_image import MemoryImage
+
+
+@dataclass
+class LoadTrace:
+    """Complete record of a simulated load stream."""
+
+    benchmark: str
+    pcs: np.ndarray
+    addresses: np.ndarray
+    values: np.ndarray
+    dl1_hit: np.ndarray
+    dl2_hit: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.pcs.shape[0])
+
+    @property
+    def dl1_miss(self) -> np.ndarray:
+        return ~self.dl1_hit
+
+    @property
+    def dl2_miss(self) -> np.ndarray:
+        return ~(self.dl1_hit | self.dl2_hit)
+
+    @property
+    def dl1_miss_rate(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.dl1_miss.sum()) / len(self)
+
+    @property
+    def dl2_miss_rate(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.dl2_miss.sum()) / len(self)
+
+    # ------------------------------------------------------------------
+    # Derived profile streams
+    # ------------------------------------------------------------------
+
+    def all_load_values(self) -> EventStream:
+        """Values of every load ("all_loads" in Figure 9)."""
+        return EventStream(
+            name=f"{self.benchmark}.all_loads",
+            kind="load_value",
+            universe=VALUE_UNIVERSE,
+            values=self.values,
+        )
+
+    def dl1_miss_values(self) -> EventStream:
+        """Values of loads that missed the DL1 ("dl1_misses")."""
+        return EventStream(
+            name=f"{self.benchmark}.dl1_miss_values",
+            kind="load_value",
+            universe=VALUE_UNIVERSE,
+            values=self.values[self.dl1_miss],
+        )
+
+    def dl2_miss_values(self) -> EventStream:
+        """Values of loads that missed both levels ("dl2_misses")."""
+        return EventStream(
+            name=f"{self.benchmark}.dl2_miss_values",
+            kind="load_value",
+            universe=VALUE_UNIVERSE,
+            values=self.values[self.dl2_miss],
+        )
+
+    def zero_load_addresses(self) -> EventStream:
+        """Addresses from which a zero was loaded (Figure 10)."""
+        return EventStream(
+            name=f"{self.benchmark}.zero_load_addresses",
+            kind="address",
+            universe=ADDRESS_UNIVERSE,
+            values=self.addresses[self.values == 0],
+        )
+
+    def all_addresses(self) -> EventStream:
+        """Every load's effective address."""
+        return EventStream(
+            name=f"{self.benchmark}.addresses",
+            kind="address",
+            universe=ADDRESS_UNIVERSE,
+            values=self.addresses,
+        )
+
+    def load_pcs(self) -> EventStream:
+        """PC of every load."""
+        return EventStream(
+            name=f"{self.benchmark}.load_pcs",
+            kind="pc",
+            universe=PC_UNIVERSE,
+            values=self.pcs,
+        )
+
+
+def simulate_loads(
+    spec: BenchmarkSpec,
+    loads: int,
+    seed: int = 0,
+    dl1: Optional[CacheGeometry] = None,
+    dl2: Optional[CacheGeometry] = None,
+) -> LoadTrace:
+    """Run ``loads`` load instructions of ``spec`` through the substrate.
+
+    PCs come from the program's block trace (one load per executed
+    block), addresses and values from the benchmark's memory image, and
+    the cache hierarchy classifies each access. Fully deterministic for a
+    given ``(spec, loads, seed)``.
+    """
+    pcs = spec.code_stream(loads, seed=seed).values
+    image = MemoryImage(spec.memory_regions)
+    rng = np.random.default_rng(seed + 404)
+    addresses, values, _ = image.sample_accesses(rng, loads)
+    hierarchy = CacheHierarchy(dl1=dl1, dl2=dl2)
+    result = hierarchy.access_many(addresses)
+    return LoadTrace(
+        benchmark=spec.name,
+        pcs=pcs,
+        addresses=addresses,
+        values=values,
+        dl1_hit=result.dl1_hit,
+        dl2_hit=result.dl2_hit,
+    )

@@ -1,0 +1,140 @@
+"""Data-memory model: addresses and the values loads return from them.
+
+The zero-load study (Figure 10) needs *address→value correlation*: RAP is
+built "over the set of all memory addresses from which a zero was loaded"
+and finds that specific heap regions produce most zeros ("any load to
+this region has about 38% percent chance of being a zero"). The
+cache-miss study (Figure 9) additionally needs region-dependent cache
+behaviour: large streamed regions miss, small hot regions hit.
+
+``MemoryImage`` realizes both from a benchmark's
+:class:`~repro.workloads.spec.MemoryRegionSpec` table: addresses are
+drawn per region with the region's pattern, and the value a load returns
+is conditioned on its region (zero with ``zero_fraction``, otherwise from
+the region's value band).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workloads.distributions import zipf_weights
+from ..workloads.spec import MemoryRegionSpec
+
+_HOT_SLOTS = 512  # distinct lines a "hot" region cycles over
+
+
+class MemoryImage:
+    """Sampler over a benchmark's data address space."""
+
+    def __init__(self, regions: Sequence[MemoryRegionSpec]) -> None:
+        if not regions:
+            raise ValueError("memory image needs at least one region")
+        self.regions: Tuple[MemoryRegionSpec, ...] = tuple(regions)
+        weights = np.array(
+            [region.access_weight for region in regions], dtype=np.float64
+        )
+        self._weights = weights / weights.sum()
+        self._cursors = [0] * len(self.regions)
+        self._hot_weights = [
+            zipf_weights(min(_HOT_SLOTS, max(1, region.size // 64)), 1.2)
+            for region in self.regions
+        ]
+
+    def region_of(self, address: int) -> Optional[MemoryRegionSpec]:
+        """The region containing ``address``, if any."""
+        for region in self.regions:
+            if region.base <= address < region.base + region.size:
+                return region
+        return None
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_accesses(
+        self, rng: np.random.Generator, count: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``count`` loads: ``(addresses, values, region_ids)``.
+
+        Region choice is i.i.d. by access weight; addresses follow the
+        region's pattern; values are zero with the region's
+        ``zero_fraction`` and otherwise uniform in its value band.
+        """
+        if count == 0:
+            empty = np.empty(0, dtype=np.uint64)
+            return empty, empty.copy(), np.empty(0, dtype=np.int64)
+        region_ids = rng.choice(len(self.regions), size=count, p=self._weights)
+        addresses = np.empty(count, dtype=np.uint64)
+        values = np.empty(count, dtype=np.uint64)
+        for index, region in enumerate(self.regions):
+            mask = region_ids == index
+            picked = int(mask.sum())
+            if not picked:
+                continue
+            addresses[mask] = self._sample_addresses(rng, index, picked)
+            values[mask] = self._sample_values(rng, region, picked)
+        return addresses, values, region_ids.astype(np.int64)
+
+    def _sample_addresses(
+        self, rng: np.random.Generator, region_index: int, count: int
+    ) -> np.ndarray:
+        region = self.regions[region_index]
+        if region.pattern == "stride":
+            start = self._cursors[region_index]
+            offsets = (
+                start
+                + np.arange(count, dtype=np.uint64) * np.uint64(region.stride)
+            ) % np.uint64(region.size)
+            self._cursors[region_index] = int(
+                (start + count * region.stride) % region.size
+            )
+        elif region.pattern == "random":
+            offsets = rng.integers(0, region.size, size=count, dtype=np.uint64)
+        else:  # "hot": Zipf over a small set of line-aligned slots
+            hot_weights = self._hot_weights[region_index]
+            slots = rng.choice(len(hot_weights), size=count, p=hot_weights)
+            offsets = (slots.astype(np.uint64) * np.uint64(64)) % np.uint64(
+                region.size
+            )
+        return offsets + np.uint64(region.base)
+
+    @staticmethod
+    def _sample_values(
+        rng: np.random.Generator, region: MemoryRegionSpec, count: int
+    ) -> np.ndarray:
+        span = region.value_hi - region.value_lo + 1
+        values = rng.integers(0, span, size=count, dtype=np.uint64) + np.uint64(
+            region.value_lo
+        )
+        zero_mask = rng.random(count) < region.zero_fraction
+        values[zero_mask] = 0
+        return values
+
+    # ------------------------------------------------------------------
+    # Introspection helpers for the zero-load study
+    # ------------------------------------------------------------------
+
+    def zero_fraction_of(self, address: int) -> float:
+        """Configured P(load == 0) at ``address`` (0 outside any region)."""
+        region = self.region_of(address)
+        return region.zero_fraction if region is not None else 0.0
+
+    def expected_zero_share(self) -> List[Tuple[str, float]]:
+        """Per-region expected share of all zero loads, heaviest first.
+
+        ``share_i = weight_i * zero_fraction_i / sum_j(...)`` — the ground
+        truth the Figure 10 reproduction checks RAP's findings against.
+        """
+        raw = [
+            (region.name, weight * region.zero_fraction)
+            for region, weight in zip(self.regions, self._weights)
+        ]
+        total = sum(share for _, share in raw)
+        if total == 0.0:
+            return [(name, 0.0) for name, _ in raw]
+        shares = [(name, share / total) for name, share in raw]
+        shares.sort(key=lambda item: item[1], reverse=True)
+        return shares

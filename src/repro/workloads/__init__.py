@@ -1,0 +1,76 @@
+"""Synthetic workload substrate (SPEC-like programs and event streams).
+
+The paper profiles SPEC CPU2000 runs; this package replaces those traces
+with seeded synthetic models that preserve the statistical structure the
+evaluation depends on. See ``DESIGN.md`` ("Substitutions") for the
+mapping and rationale.
+"""
+
+from .distributions import (
+    LogUniform,
+    Mixture,
+    MixtureComponent,
+    PointMass,
+    StridedBlock,
+    UniformRange,
+    ZipfValues,
+    make_rng,
+    markov_phase_sequence,
+    sample_zipf_ranks,
+    zipf_weights,
+)
+from .program import INSTRUCTION_BYTES, Program, Region, RegionSpec
+from .spec import (
+    BENCHMARKS,
+    CODE_FIGURE_ORDER,
+    ERROR_FIGURE_ORDER,
+    BenchmarkSpec,
+    MemoryRegionSpec,
+    benchmark,
+)
+from .tracefile import (
+    read_trace,
+    read_trace_chunks,
+    trace_info,
+    write_trace,
+)
+from .streams import (
+    ADDRESS_UNIVERSE,
+    PC_UNIVERSE,
+    VALUE_UNIVERSE,
+    EventStream,
+    stream_from_values,
+)
+
+__all__ = [
+    "ADDRESS_UNIVERSE",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "CODE_FIGURE_ORDER",
+    "ERROR_FIGURE_ORDER",
+    "EventStream",
+    "INSTRUCTION_BYTES",
+    "LogUniform",
+    "MemoryRegionSpec",
+    "Mixture",
+    "MixtureComponent",
+    "PC_UNIVERSE",
+    "PointMass",
+    "Program",
+    "Region",
+    "RegionSpec",
+    "StridedBlock",
+    "UniformRange",
+    "VALUE_UNIVERSE",
+    "ZipfValues",
+    "benchmark",
+    "make_rng",
+    "markov_phase_sequence",
+    "sample_zipf_ranks",
+    "stream_from_values",
+    "zipf_weights",
+    "read_trace",
+    "read_trace_chunks",
+    "trace_info",
+    "write_trace",
+]

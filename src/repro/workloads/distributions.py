@@ -1,0 +1,243 @@
+"""Seeded sampling primitives for the synthetic workload substrate.
+
+The paper evaluates RAP on SPEC CPU2000 streams whose defining features
+are (a) skewed, Zipf-like popularity of basic blocks and load values,
+(b) phase behaviour in code profiles, and (c) heavy-tailed value
+distributions with a few dominant points (e.g. zero) plus wide tails.
+These helpers generate exactly those shapes, deterministically from a
+seed, using numpy for bulk speed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """A deterministic numpy generator for the given seed."""
+    return np.random.default_rng(seed)
+
+
+def zipf_weights(num_items: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf probabilities over ``num_items`` ranks.
+
+    ``p_i ∝ 1 / (i + 1)**exponent``; ``exponent = 0`` degenerates to the
+    uniform distribution.
+    """
+    if num_items < 1:
+        raise ValueError(f"num_items must be >= 1, got {num_items}")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks ** (-float(exponent))
+    return weights / weights.sum()
+
+
+def sample_zipf_ranks(
+    rng: np.random.Generator,
+    count: int,
+    num_items: int,
+    exponent: float,
+) -> np.ndarray:
+    """Sample ``count`` ranks in ``[0, num_items)`` with Zipf popularity."""
+    weights = zipf_weights(num_items, exponent)
+    return rng.choice(num_items, size=count, p=weights)
+
+
+class MixtureComponent:
+    """One component of a value/address mixture.
+
+    Subclasses implement :meth:`sample`; every component draws values in
+    ``[0, universe)`` for the stream's universe.
+    """
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class PointMass(MixtureComponent):
+    """Always the same value (e.g. the dominant loaded value 0)."""
+
+    def __init__(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        self.value = value
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.full(count, self.value, dtype=np.uint64)
+
+    def __repr__(self) -> str:
+        return f"PointMass({self.value:#x})"
+
+
+class UniformRange(MixtureComponent):
+    """Uniform over the closed integer range ``[lo, hi]``.
+
+    Models e.g. byte-valued data ``[0, 255]`` or a pointer band.
+    """
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if lo > hi or lo < 0:
+            raise ValueError(f"bad range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        # rng.integers is exclusive of the high end; uint64 keeps 2**64-1 safe.
+        span = self.hi - self.lo + 1
+        draw = rng.integers(0, span, size=count, dtype=np.uint64)
+        return draw + np.uint64(self.lo)
+
+    def __repr__(self) -> str:
+        return f"UniformRange([{self.lo:#x}, {self.hi:#x}])"
+
+
+class ZipfValues(MixtureComponent):
+    """Zipf-popular draws from an explicit value set.
+
+    Models dictionaries of frequent values (parser's word ids, vpr's net
+    indices): a moderate number of distinct values with skewed use.
+    """
+
+    def __init__(self, values: Sequence[int], exponent: float = 1.1) -> None:
+        if len(values) == 0:
+            raise ValueError("need at least one value")
+        self.values = np.asarray(values, dtype=np.uint64)
+        self.weights = zipf_weights(len(values), exponent)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        indices = rng.choice(len(self.values), size=count, p=self.weights)
+        return self.values[indices]
+
+    def __repr__(self) -> str:
+        return f"ZipfValues({len(self.values)} values)"
+
+
+class LogUniform(MixtureComponent):
+    """Log-uniformly distributed magnitudes in ``[1, hi]``.
+
+    Produces the long, thin tail of "values at every scale" that stresses
+    range adaptation (Section 4.1: "there is a large tail to this
+    distribution which will stress our range profiling system").
+    """
+
+    def __init__(self, hi: int) -> None:
+        if hi < 2:
+            raise ValueError(f"hi must be >= 2, got {hi}")
+        self.hi = hi
+        self._log_hi = np.log(float(hi))
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        logs = rng.uniform(0.0, self._log_hi, size=count)
+        values = np.exp(logs)
+        return np.minimum(values, float(self.hi)).astype(np.uint64)
+
+    def __repr__(self) -> str:
+        return f"LogUniform(hi={self.hi:#x})"
+
+
+class StridedBlock(MixtureComponent):
+    """Sequential strided addresses within a block (array walking).
+
+    Each call continues from where the previous one stopped, wrapping at
+    the block end — the access pattern of a loop streaming over an array.
+    """
+
+    def __init__(self, base: int, size: int, stride: int = 8) -> None:
+        if size <= 0 or stride <= 0:
+            raise ValueError("size and stride must be positive")
+        self.base = base
+        self.size = size
+        self.stride = stride
+        self._cursor = 0
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        offsets = (
+            self._cursor + np.arange(count, dtype=np.uint64) * np.uint64(self.stride)
+        ) % np.uint64(self.size)
+        self._cursor = int(
+            (self._cursor + count * self.stride) % self.size
+        )
+        return offsets + np.uint64(self.base)
+
+    def __repr__(self) -> str:
+        return (
+            f"StridedBlock(base={self.base:#x}, size={self.size:#x}, "
+            f"stride={self.stride})"
+        )
+
+
+class Mixture:
+    """A weighted mixture of components, sampled in bulk.
+
+    The workhorse of the substrate: a load-value model is, e.g.,
+    ``Mixture([(0.30, PointMass(0)), (0.25, UniformRange(0, 255)), ...])``.
+    """
+
+    def __init__(self, parts: List[Tuple[float, MixtureComponent]]) -> None:
+        if not parts:
+            raise ValueError("mixture needs at least one component")
+        weights = np.array([weight for weight, _ in parts], dtype=np.float64)
+        if np.any(weights <= 0):
+            raise ValueError("all mixture weights must be positive")
+        self.weights = weights / weights.sum()
+        self.components = [component for _, component in parts]
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` values; component choice is i.i.d. per draw."""
+        if count == 0:
+            return np.empty(0, dtype=np.uint64)
+        choices = rng.choice(len(self.components), size=count, p=self.weights)
+        out = np.empty(count, dtype=np.uint64)
+        for index, component in enumerate(self.components):
+            mask = choices == index
+            picked = int(mask.sum())
+            if picked:
+                out[mask] = component.sample(rng, picked)
+        return out
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{weight:.2f}*{component!r}"
+            for weight, component in zip(self.weights, self.components)
+        )
+        return f"Mixture({parts})"
+
+
+def markov_phase_sequence(
+    rng: np.random.Generator,
+    num_phases: int,
+    total_events: int,
+    mean_phase_length: int,
+    weights: Optional[Sequence[float]] = None,
+) -> List[Tuple[int, int]]:
+    """Phase schedule for code profiles: ``(phase_id, event_count)`` runs.
+
+    Programs execute in phases — stretches of time spent inside one
+    region of code. Runs have geometric lengths around
+    ``mean_phase_length``; ``weights`` set the long-run share of time
+    each phase receives (hot regions recur more). Consecutive runs may
+    repeat a phase, which simply reads as one longer phase.
+    """
+    if num_phases < 1:
+        raise ValueError(f"num_phases must be >= 1, got {num_phases}")
+    if mean_phase_length < 1:
+        raise ValueError(
+            f"mean_phase_length must be >= 1, got {mean_phase_length}"
+        )
+    if weights is None:
+        probabilities = np.full(num_phases, 1.0 / num_phases)
+    else:
+        probabilities = np.asarray(weights, dtype=np.float64)
+        if len(probabilities) != num_phases or np.any(probabilities <= 0):
+            raise ValueError("weights must be positive, one per phase")
+        probabilities = probabilities / probabilities.sum()
+
+    schedule: List[Tuple[int, int]] = []
+    remaining = total_events
+    while remaining > 0:
+        phase = int(rng.choice(num_phases, p=probabilities))
+        length = int(min(remaining, max(1, rng.geometric(1.0 / mean_phase_length))))
+        schedule.append((phase, length))
+        remaining -= length
+    return schedule

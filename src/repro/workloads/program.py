@@ -1,0 +1,272 @@
+"""Synthetic program models for code profiling.
+
+The paper's code profiles are streams of executed basic blocks; their
+defining structure is (a) a program is a set of *regions* (procedures /
+files) laid out in the code address space, (b) execution concentrates in
+a few hot regions ("for gcc we identify seven distinct regions of the
+program where each region accounted for more than 10% of the instructions
+executed"), (c) within a region, block popularity is skewed, and (d)
+execution moves between regions in phases.
+
+``Program`` realizes that model: regions with configurable weights and
+block counts are laid out contiguously from a base address; a seeded
+phase schedule picks which region executes when; blocks within a region
+are drawn with Zipf popularity. The result is a deterministic PC stream
+with real spatial structure — hot ranges of the PC space correspond to
+hot regions, exactly what RAP is meant to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .distributions import markov_phase_sequence, zipf_weights
+from .streams import PC_UNIVERSE, EventStream
+
+INSTRUCTION_BYTES = 4
+DEFAULT_BLOCK_INSTRUCTIONS = 8
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Static description of one code region (procedure / file).
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. ``"flow.c"`` or ``"reload"``.
+    blocks:
+        Number of basic blocks in the region.
+    weight:
+        Fraction of dynamic execution spent here (normalized across the
+        program).
+    zipf_exponent:
+        Skew of block popularity inside the region.
+    narrow_fraction:
+        Probability that an instruction executed here has a narrow
+        (< 16-bit) operand — drives the Section 4.4 narrow-operand study,
+        where narrow ops concentrate in specific regions.
+    mean_block_instructions:
+        Average static size of the region's blocks.
+    loop_burst:
+        Mean number of *back-to-back* executions per visit to a block
+        (geometric). Real programs run loops: the same block retires many
+        times in a row, which is exactly the repetition the stage-0
+        combining buffer exploits (Section 3.3's 10x claim).
+    """
+
+    name: str
+    blocks: int
+    weight: float
+    zipf_exponent: float = 1.0
+    narrow_fraction: float = 0.05
+    mean_block_instructions: int = DEFAULT_BLOCK_INSTRUCTIONS
+    loop_burst: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ValueError(f"region {self.name!r} needs >= 1 block")
+        if self.weight <= 0:
+            raise ValueError(f"region {self.name!r} needs positive weight")
+        if not 0.0 <= self.narrow_fraction <= 1.0:
+            raise ValueError(
+                f"region {self.name!r} narrow_fraction outside [0, 1]"
+            )
+        if self.loop_burst < 1.0:
+            raise ValueError(
+                f"region {self.name!r} loop_burst must be >= 1"
+            )
+
+
+@dataclass
+class Region:
+    """A region placed in the address space, with its block PC table."""
+
+    spec: RegionSpec
+    base: int
+    block_pcs: np.ndarray
+    block_weights: np.ndarray
+
+    @property
+    def lo(self) -> int:
+        return int(self.block_pcs[0])
+
+    @property
+    def hi(self) -> int:
+        """Last byte of the region's last block."""
+        last_pc = int(self.block_pcs[-1])
+        return last_pc + self.spec.mean_block_instructions * INSTRUCTION_BYTES - 1
+
+
+class Program:
+    """A synthetic program: regions laid out from ``code_base``.
+
+    The layout is deterministic given the specs; traces are deterministic
+    given a seed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        regions: List[RegionSpec],
+        code_base: int = 0x0040_0000,
+    ) -> None:
+        if not regions:
+            raise ValueError("a program needs at least one region")
+        self.name = name
+        self.code_base = code_base
+        self.regions: List[Region] = []
+        cursor = code_base
+        for spec in regions:
+            block_size = spec.mean_block_instructions * INSTRUCTION_BYTES
+            pcs = cursor + np.arange(spec.blocks, dtype=np.uint64) * np.uint64(
+                block_size
+            )
+            self.regions.append(
+                Region(
+                    spec=spec,
+                    base=cursor,
+                    block_pcs=pcs,
+                    block_weights=zipf_weights(spec.blocks, spec.zipf_exponent),
+                )
+            )
+            cursor += spec.blocks * block_size
+            # Pad between regions so hot regions are spatially separable.
+            cursor += block_size * max(16, spec.blocks // 4)
+        if cursor >= PC_UNIVERSE:
+            raise ValueError(
+                f"program {name!r} does not fit the {PC_UNIVERSE:#x} PC space"
+            )
+        total = sum(spec.weight for spec in regions)
+        self.region_weights = np.array(
+            [spec.weight / total for spec in regions], dtype=np.float64
+        )
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(region.spec.blocks for region in self.regions)
+
+    def region_by_name(self, name: str) -> Region:
+        for region in self.regions:
+            if region.spec.name == name:
+                return region
+        raise KeyError(f"no region named {name!r} in program {self.name!r}")
+
+    def region_bounds(self) -> Dict[str, Tuple[int, int]]:
+        """Address span of every region, for checking what RAP found."""
+        return {
+            region.spec.name: (region.lo, region.hi) for region in self.regions
+        }
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+
+    def trace_blocks(
+        self,
+        events: int,
+        seed: int,
+        mean_phase_length: int = 2048,
+    ) -> EventStream:
+        """Generate a basic-block PC stream of length ``events``.
+
+        A phase schedule (weighted by region weights) decides which
+        region runs when; inside a phase, block PCs are drawn with the
+        region's Zipf popularity. The emitted event is the executing
+        block's starting PC — the profile event of Sections 4.1–4.2.
+        """
+        rng = np.random.default_rng(seed)
+        schedule = markov_phase_sequence(
+            rng,
+            num_phases=len(self.regions),
+            total_events=events,
+            mean_phase_length=mean_phase_length,
+            weights=self.region_weights,
+        )
+        chunks: List[np.ndarray] = []
+        for region_index, length in schedule:
+            region = self.regions[region_index]
+            burst = region.spec.loop_burst
+            if burst <= 1.0:
+                picks = rng.choice(
+                    region.spec.blocks, size=length, p=region.block_weights
+                )
+                chunks.append(region.block_pcs[picks])
+                continue
+            # Loops: each visited block retires a geometric run of times
+            # back to back before control moves on.
+            visits = max(1, int(length / burst) + 4)
+            picks = rng.choice(
+                region.spec.blocks, size=visits, p=region.block_weights
+            )
+            runs = rng.geometric(1.0 / burst, size=visits)
+            expanded = np.repeat(region.block_pcs[picks], runs)
+            while expanded.shape[0] < length:
+                extra_picks = rng.choice(
+                    region.spec.blocks, size=8, p=region.block_weights
+                )
+                extra_runs = rng.geometric(1.0 / burst, size=8)
+                expanded = np.concatenate(
+                    [expanded, np.repeat(region.block_pcs[extra_picks], extra_runs)]
+                )
+            chunks.append(expanded[:length])
+        values = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint64)
+        return EventStream(
+            name=f"{self.name}.code",
+            kind="pc",
+            universe=PC_UNIVERSE,
+            values=values,
+        )
+
+    def trace_narrow_operands(
+        self,
+        events: int,
+        seed: int,
+        narrow_bits: int = 16,
+        mean_phase_length: int = 2048,
+    ) -> EventStream:
+        """PCs of instructions with narrow (< ``narrow_bits``) operands.
+
+        Section 4.4: "We could build a RAP tree over the set of all
+        instruction PCs which have a narrow operand". Each executed block
+        contributes its PC with the region's ``narrow_fraction``
+        probability, so narrow ops cluster in the regions configured to
+        produce them (the paper's flow.c / propagate_block story).
+        """
+        base = self.trace_blocks(events, seed, mean_phase_length)
+        rng = np.random.default_rng(seed ^ 0x5EED_0001)
+        keep = np.zeros(len(base), dtype=bool)
+        # Region membership of each event is recoverable from the PC.
+        values = base.values
+        for region in self.regions:
+            lo = np.uint64(region.lo)
+            hi = np.uint64(region.hi)
+            mask = (values >= lo) & (values <= hi)
+            inside = int(mask.sum())
+            if inside:
+                keep[mask] = (
+                    rng.random(inside) < region.spec.narrow_fraction
+                )
+        return EventStream(
+            name=f"{self.name}.narrow{narrow_bits}",
+            kind="pc",
+            universe=PC_UNIVERSE,
+            values=values[keep],
+        )
+
+    def hot_region_names(self, cutoff: float = 0.10) -> List[str]:
+        """Regions whose configured weight is at least ``cutoff``."""
+        return [
+            region.spec.name
+            for region, weight in zip(self.regions, self.region_weights)
+            if weight >= cutoff
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program({self.name!r}, regions={len(self.regions)}, "
+            f"blocks={self.total_blocks})"
+        )

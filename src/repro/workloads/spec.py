@@ -1,0 +1,491 @@
+"""SPEC-like benchmark definitions.
+
+The paper evaluates on seven SPEC CPU2000 integer benchmarks run to
+completion on reference inputs: **gcc, gzip, mcf, parser, vortex, vpr,
+bzip2**. We cannot ship SPEC traces, so each benchmark is modelled by a
+:class:`BenchmarkSpec` that captures the properties the paper's
+evaluation actually exercises:
+
+* the code-region structure (gcc: "seven distinct regions ... where each
+  region accounted for more than 10% of the instructions executed", and
+  the highest distinct-basic-block count of the suite);
+* the load-value distribution (gzip's hot small-value and pointer-band
+  ranges of Figure 5; parser's largest distinct-value count; vortex's
+  dominant hot value 0 that causes the paper's worst value error);
+* the data-memory layout with address→value correlation (gcc's
+  zero-heavy heap bands of Figure 10, "any load to this region has about
+  38% chance of being a zero").
+
+All streams derived from a spec are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .distributions import (
+    LogUniform,
+    Mixture,
+    PointMass,
+    UniformRange,
+    ZipfValues,
+)
+from .program import Program, RegionSpec
+from .streams import VALUE_UNIVERSE, EventStream
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MemoryRegionSpec:
+    """One region of a benchmark's data address space.
+
+    Used by the cache/memory substrate (Figures 9 and 10): addresses are
+    drawn per region, values are correlated with the region through
+    ``zero_fraction`` (probability a load from here returns 0) and a
+    uniform non-zero value band.
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. ``"heap_nodes"``.
+    base, size:
+        Byte range ``[base, base + size)`` of the region.
+    access_weight:
+        Relative share of loads that touch this region.
+    pattern:
+        ``"stride"`` (sequential array walking — low temporal reuse,
+        misses once per line) or ``"random"`` (uniform within the
+        region) or ``"hot"`` (Zipf-concentrated — high reuse, mostly
+        hits).
+    stride:
+        Byte stride for ``"stride"`` patterns.
+    zero_fraction:
+        Probability that a load from this region returns the value 0.
+    value_lo, value_hi:
+        Band of non-zero values returned by loads from this region.
+    """
+
+    name: str
+    base: int
+    size: int
+    access_weight: float
+    pattern: str = "random"
+    stride: int = 8
+    zero_fraction: float = 0.0
+    value_lo: int = 1
+    value_hi: int = 2**32 - 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} needs positive size")
+        if self.access_weight <= 0:
+            raise ValueError(f"region {self.name!r} needs positive weight")
+        if self.pattern not in ("stride", "random", "hot"):
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if not 0.0 <= self.zero_fraction <= 1.0:
+            raise ValueError(f"zero_fraction outside [0, 1] in {self.name!r}")
+        if not 1 <= self.value_lo <= self.value_hi:
+            raise ValueError(f"bad value band in {self.name!r}")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Complete synthetic model of one SPEC-like benchmark."""
+
+    name: str
+    description: str
+    regions: Tuple[RegionSpec, ...]
+    value_mixture_factory: Callable[[], Mixture]
+    memory_regions: Tuple[MemoryRegionSpec, ...]
+
+    def program(self) -> Program:
+        """The code layout and CFG behaviour model."""
+        return Program(self.name, list(self.regions))
+
+    def code_stream(self, events: int, seed: int = 0) -> EventStream:
+        """Basic-block PC stream (the Figures 6–8 code profiles)."""
+        return self.program().trace_blocks(events, seed=seed + 101)
+
+    def value_stream(self, events: int, seed: int = 0) -> EventStream:
+        """Load-value stream (the Figures 5, 7, 8 value profiles)."""
+        rng = np.random.default_rng(seed + 202)
+        mixture = self.value_mixture_factory()
+        return EventStream(
+            name=f"{self.name}.values",
+            kind="load_value",
+            universe=VALUE_UNIVERSE,
+            values=mixture.sample(rng, events),
+        )
+
+    def narrow_operand_stream(
+        self, events: int, seed: int = 0, narrow_bits: int = 16
+    ) -> EventStream:
+        """PCs of narrow-operand instructions (Section 4.4)."""
+        return self.program().trace_narrow_operands(
+            events, seed=seed + 303, narrow_bits=narrow_bits
+        )
+
+
+# ----------------------------------------------------------------------
+# Value mixtures
+# ----------------------------------------------------------------------
+
+
+def _gzip_values() -> Mixture:
+    """gzip's load values, calibrated to the hot ranges of Figure 5.
+
+    The paper finds hot ranges [0, e] 13.6%, [0, fe] 16.7% (exclusive),
+    [0, 3ffe] 11.3%, [0, 3fffe] 22.8%, plus two pointer bands around
+    0x120000000 at 10.0% and 12.2%.
+    """
+    return Mixture(
+        [
+            (0.135, UniformRange(0x0, 0xE)),
+            (0.165, UniformRange(0xF, 0xFE)),
+            (0.115, UniformRange(0xFF, 0x3FFE)),
+            (0.225, UniformRange(0x3FFF, 0x3FFFE)),
+            (0.100, UniformRange(0x1_1FFF_FFFD, 0x1_2000_FFFB)),
+            (0.120, UniformRange(0x1_2000_FFFC, 0x1_2001_FFFA)),
+            # Wide thin tail: becomes the paper's 7th hot range, the
+            # catch-all [0, 3ffffffffffffffe] at 12.4% exclusive.
+            (0.150, LogUniform(2**60)),
+        ]
+    )
+
+
+def _gcc_values() -> Mixture:
+    """gcc's load values: zeros, flags, rtx pointers, wide tail."""
+    return Mixture(
+        [
+            (0.210, PointMass(0)),
+            (0.130, UniformRange(0x1, 0xFF)),
+            (0.110, UniformRange(0x100, 0xFFFF)),
+            (0.180, UniformRange(0x1_1F00_0000, 0x1_1FFF_FFFF)),
+            (0.070, ZipfValues(list(range(0x0804_8000, 0x0804_8000 + 4000, 8)))),
+            (0.300, LogUniform(2**48)),
+        ]
+    )
+
+
+def _mcf_values() -> Mixture:
+    """mcf: pointer chasing over arcs/nodes plus many zero fields."""
+    return Mixture(
+        [
+            (0.270, PointMass(0)),
+            (0.300, UniformRange(0x0840_0000, 0x0870_0000)),
+            (0.130, UniformRange(0x1, 0xFFFF)),
+            (0.300, LogUniform(2**44)),
+        ]
+    )
+
+
+def _parser_values() -> Mixture:
+    """parser: the suite's largest set of distinct load values.
+
+    A wide, nearly flat dictionary band plus several mid-scale uniform
+    bands: lots of weight spread over many scales, which is what makes
+    parser the value-profile memory maximum of Figure 7.
+    """
+    dictionary = list(range(0x10_0000, 0x10_0000 + 250_000))
+    return Mixture(
+        [
+            (0.340, ZipfValues(dictionary, exponent=0.30)),
+            (0.120, PointMass(0)),
+            (0.100, UniformRange(0x1, 0xFF)),
+            (0.120, UniformRange(0x8000_0000, 0x800F_FFFF)),
+            (0.060, UniformRange(0x2000_0000, 0x2000_FFFF)),
+            (0.050, UniformRange(0x4_0000_0000, 0x4_0001_FFFF)),
+            (0.050, UniformRange(0x6000_0000, 0x6007_FFFF)),
+            (0.040, UniformRange(0x3000_0000, 0x3000_3FFF)),
+            (0.160, LogUniform(2**48)),
+        ]
+    )
+
+
+def _vortex_values() -> Mixture:
+    """vortex: a single dominating hot value 0 (the paper's worst case)."""
+    return Mixture(
+        [
+            (0.420, PointMass(0)),
+            (0.140, UniformRange(0x1, 0xFF)),
+            (0.130, ZipfValues(list(range(0x4000_0000, 0x4000_0000 + 20_000, 16)))),
+            (0.310, LogUniform(2**48)),
+        ]
+    )
+
+
+def _vpr_values() -> Mixture:
+    """vpr: float bit patterns around 1.0f plus small indices."""
+    return Mixture(
+        [
+            (0.160, PointMass(0)),
+            (0.170, PointMass(0x3F80_0000)),
+            (0.210, UniformRange(0x3E00_0000, 0x4080_0000)),
+            (0.160, UniformRange(0x1, 0xFFF)),
+            (0.300, LogUniform(2**44)),
+        ]
+    )
+
+
+def _bzip2_values() -> Mixture:
+    """bzip2: byte-oriented block sorting — values mostly in [0, 255]."""
+    return Mixture(
+        [
+            (0.440, UniformRange(0x0, 0xFF)),
+            (0.200, UniformRange(0x100, 0xFFFF)),
+            (0.110, PointMass(0)),
+            (0.250, LogUniform(2**40)),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Code region layouts
+# ----------------------------------------------------------------------
+
+_GCC_REGIONS = (
+    # Seven hot regions, each above 10% of execution (Section 4.1).
+    RegionSpec("combine.c", blocks=900, weight=0.130, zipf_exponent=0.72,
+               loop_burst=5.0),
+    RegionSpec("reload.c", blocks=1100, weight=0.125, zipf_exponent=0.68,
+               loop_burst=5.0),
+    RegionSpec("flow.c", blocks=800, weight=0.120, zipf_exponent=0.95,
+               narrow_fraction=0.21, loop_burst=5.0),
+    RegionSpec("cse.c", blocks=950, weight=0.115, zipf_exponent=0.72),
+    RegionSpec("expr.c", blocks=1200, weight=0.110, zipf_exponent=0.65),
+    RegionSpec("rtl.c", blocks=600, weight=0.105, zipf_exponent=0.85),
+    RegionSpec("jump.c", blocks=550, weight=0.100, zipf_exponent=0.8),
+    # Cold remainder of the compiler.
+    RegionSpec("emit-rtl.c", blocks=700, weight=0.035, narrow_fraction=0.10),
+    RegionSpec("regclass.c", blocks=650, weight=0.030),
+    RegionSpec("sched.c", blocks=800, weight=0.030),
+    RegionSpec("global.c", blocks=600, weight=0.025),
+    RegionSpec("local-alloc.c", blocks=550, weight=0.025),
+    RegionSpec("stmt.c", blocks=750, weight=0.025),
+    RegionSpec("toplev.c", blocks=450, weight=0.025),
+)
+
+_GZIP_REGIONS = (
+    RegionSpec("deflate", blocks=140, weight=0.35, zipf_exponent=1.2,
+               loop_burst=18.0),
+    RegionSpec("longest_match", blocks=60, weight=0.25, zipf_exponent=1.4,
+               loop_burst=28.0),
+    RegionSpec("inflate", blocks=150, weight=0.15, zipf_exponent=1.0),
+    RegionSpec("crc32", blocks=40, weight=0.10, zipf_exponent=1.1,
+               loop_burst=24.0),
+    RegionSpec("file_io", blocks=120, weight=0.08),
+    RegionSpec("misc", blocks=190, weight=0.07),
+)
+
+_MCF_REGIONS = (
+    RegionSpec("primal_net_simplex", blocks=90, weight=0.40, zipf_exponent=1.2,
+               loop_burst=10.0),
+    RegionSpec("refresh_potential", blocks=50, weight=0.25, zipf_exponent=1.3,
+               loop_burst=14.0),
+    RegionSpec("price_out_impl", blocks=70, weight=0.20, zipf_exponent=1.1),
+    RegionSpec("misc", blocks=110, weight=0.15),
+)
+
+_PARSER_REGIONS = (
+    RegionSpec("parse", blocks=400, weight=0.30, zipf_exponent=1.1),
+    RegionSpec("dict_lookup", blocks=180, weight=0.20, zipf_exponent=1.2),
+    RegionSpec("memory_pool", blocks=90, weight=0.12, zipf_exponent=1.3),
+    RegionSpec("prune", blocks=200, weight=0.09),
+    RegionSpec("expression", blocks=220, weight=0.08),
+    RegionSpec("linkage", blocks=240, weight=0.07),
+    RegionSpec("tokenize", blocks=130, weight=0.05),
+    RegionSpec("morphology", blocks=150, weight=0.04),
+    RegionSpec("print", blocks=110, weight=0.03),
+    RegionSpec("misc", blocks=160, weight=0.02),
+)
+
+_VORTEX_REGIONS = (
+    RegionSpec("mem_access", blocks=350, weight=0.25, zipf_exponent=1.3),
+    RegionSpec("tree_insert", blocks=280, weight=0.15, zipf_exponent=1.2),
+    RegionSpec("validate", blocks=240, weight=0.12, zipf_exponent=1.2),
+    RegionSpec("object_create", blocks=220, weight=0.10, zipf_exponent=1.2),
+    RegionSpec("db_lookup", blocks=200, weight=0.09, zipf_exponent=1.2),
+    RegionSpec("chunk_alloc", blocks=120, weight=0.07, zipf_exponent=1.2),
+    RegionSpec("index_scan", blocks=160, weight=0.06, zipf_exponent=1.2),
+    RegionSpec("serialize", blocks=140, weight=0.05, zipf_exponent=1.2),
+    RegionSpec("network_sim", blocks=120, weight=0.04, zipf_exponent=1.2),
+    RegionSpec("journal", blocks=110, weight=0.03, zipf_exponent=1.2),
+    RegionSpec("checksum", blocks=70, weight=0.02, zipf_exponent=1.2),
+    RegionSpec("misc", blocks=150, weight=0.02, zipf_exponent=1.2),
+)
+
+_VPR_REGIONS = (
+    RegionSpec("route", blocks=260, weight=0.30, zipf_exponent=1.2),
+    RegionSpec("timing_update", blocks=180, weight=0.20, zipf_exponent=1.1),
+    RegionSpec("place", blocks=240, weight=0.15, zipf_exponent=1.0),
+    RegionSpec("heap_ops", blocks=70, weight=0.12, zipf_exponent=1.4,
+               loop_burst=12.0),
+    RegionSpec("net_cost", blocks=150, weight=0.10),
+    RegionSpec("swap_eval", blocks=130, weight=0.06),
+    RegionSpec("graphics_stub", blocks=100, weight=0.04),
+    RegionSpec("misc", blocks=140, weight=0.03),
+)
+
+_BZIP2_REGIONS = (
+    RegionSpec("block_sort", blocks=160, weight=0.35, zipf_exponent=1.3,
+               loop_burst=16.0),
+    RegionSpec("generate_mtf", blocks=90, weight=0.25, zipf_exponent=1.2),
+    RegionSpec("bwt_transform", blocks=120, weight=0.20, zipf_exponent=1.1),
+    RegionSpec("file_io", blocks=110, weight=0.10),
+    RegionSpec("misc", blocks=150, weight=0.10),
+)
+
+# ----------------------------------------------------------------------
+# Memory layouts (Figures 9 and 10)
+# ----------------------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+
+_GCC_MEMORY = (
+    # The zero-heavy rtx heap bands of Figure 10: large, streamed, and
+    # ~38% zero loads ("any load to this region has about 38% percent
+    # chance of being a zero").
+    MemoryRegionSpec(
+        "rtx_heap_low", base=0x1_1F00_0000, size=13 * MB,
+        access_weight=0.17, pattern="stride", stride=16,
+        zero_fraction=0.38, value_lo=0x1_1F00_0000, value_hi=0x1_1FFF_FFFF,
+    ),
+    MemoryRegionSpec(
+        "rtx_heap_high", base=0x1_1FD0_0000, size=2560 * KB,
+        access_weight=0.55, pattern="stride", stride=16,
+        zero_fraction=0.38, value_lo=0x1_1F00_0000, value_hi=0x1_1FFF_FFFF,
+    ),
+    # Small, hot working structures — mostly cache hits, diverse values.
+    MemoryRegionSpec(
+        "stack", base=0x7FFF_F000_0000, size=32 * KB,
+        access_weight=0.16, pattern="hot",
+        zero_fraction=0.04, value_lo=0x1, value_hi=2**48 - 1,
+    ),
+    MemoryRegionSpec(
+        "globals", base=0x1000_0000, size=48 * KB,
+        access_weight=0.12, pattern="hot",
+        zero_fraction=0.06, value_lo=0x1, value_hi=2**40 - 1,
+    ),
+)
+
+_DEFAULT_MEMORY = (
+    MemoryRegionSpec(
+        "heap_big", base=0x2000_0000, size=24 * MB,
+        access_weight=0.45, pattern="stride", stride=32,
+        zero_fraction=0.30, value_lo=0x1, value_hi=0xFFFF,
+    ),
+    MemoryRegionSpec(
+        "heap_small", base=0x4000_0000, size=2 * MB,
+        access_weight=0.20, pattern="random",
+        zero_fraction=0.15, value_lo=0x1, value_hi=0xFF_FFFF,
+    ),
+    MemoryRegionSpec(
+        "stack", base=0x7FFF_F000_0000, size=16 * KB,
+        access_weight=0.22, pattern="hot",
+        zero_fraction=0.03, value_lo=0x1, value_hi=2**48 - 1,
+    ),
+    MemoryRegionSpec(
+        "globals", base=0x1000_0000, size=32 * KB,
+        access_weight=0.13, pattern="hot",
+        zero_fraction=0.05, value_lo=0x1, value_hi=2**40 - 1,
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# The suite
+# ----------------------------------------------------------------------
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    "gcc": BenchmarkSpec(
+        name="gcc",
+        description=(
+            "Optimizing compiler: the suite's largest code footprint, "
+            "seven hot regions each above 10% of execution, zero-heavy "
+            "rtx heap (Figures 6, 7, 8, 10)."
+        ),
+        regions=_GCC_REGIONS,
+        value_mixture_factory=_gcc_values,
+        memory_regions=_GCC_MEMORY,
+    ),
+    "gzip": BenchmarkSpec(
+        name="gzip",
+        description=(
+            "LZ77 compressor: tight loops, hot small-value ranges plus "
+            "window-pointer bands (the Figure 5 load-value study)."
+        ),
+        regions=_GZIP_REGIONS,
+        value_mixture_factory=_gzip_values,
+        memory_regions=_DEFAULT_MEMORY,
+    ),
+    "mcf": BenchmarkSpec(
+        name="mcf",
+        description=(
+            "Network simplex: tiny code, pointer-chasing loads over a "
+            "large arc array."
+        ),
+        regions=_MCF_REGIONS,
+        value_mixture_factory=_mcf_values,
+        memory_regions=_DEFAULT_MEMORY,
+    ),
+    "parser": BenchmarkSpec(
+        name="parser",
+        description=(
+            "Link grammar parser: the suite's largest number of distinct "
+            "load values (the paper's value-profile memory maximum)."
+        ),
+        regions=_PARSER_REGIONS,
+        value_mixture_factory=_parser_values,
+        memory_regions=_DEFAULT_MEMORY,
+    ),
+    "vortex": BenchmarkSpec(
+        name="vortex",
+        description=(
+            "OO database: the hot value 0 dominates loads (the paper's "
+            "worst-case value percent error)."
+        ),
+        regions=_VORTEX_REGIONS,
+        value_mixture_factory=_vortex_values,
+        memory_regions=_DEFAULT_MEMORY,
+    ),
+    "vpr": BenchmarkSpec(
+        name="vpr",
+        description=(
+            "FPGA place & route: float bit patterns and small indices."
+        ),
+        regions=_VPR_REGIONS,
+        value_mixture_factory=_vpr_values,
+        memory_regions=_DEFAULT_MEMORY,
+    ),
+    "bzip2": BenchmarkSpec(
+        name="bzip2",
+        description=(
+            "Block-sorting compressor: byte-valued loads (code-profile "
+            "panels of Figure 7)."
+        ),
+        regions=_BZIP2_REGIONS,
+        value_mixture_factory=_bzip2_values,
+        memory_regions=_DEFAULT_MEMORY,
+    ),
+}
+
+# Order used on the paper's figure axes.
+CODE_FIGURE_ORDER: List[str] = [
+    "gcc", "mcf", "vpr", "gzip", "parser", "vortex", "bzip2",
+]
+ERROR_FIGURE_ORDER: List[str] = [
+    "gcc", "gzip", "mcf", "parser", "vortex", "vpr",
+]
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        ) from None

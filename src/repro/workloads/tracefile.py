@@ -1,0 +1,108 @@
+"""Binary trace files: record event streams, post-process them later.
+
+Section 3.2: the RAP software API "can either be called from online
+analysis or to post process trace files". This module defines the trace
+container those offline runs consume — a small self-describing binary
+format:
+
+.. code-block:: text
+
+    offset  size  field
+    0       8     magic  b"RAPTRACE"
+    8       4     version (little-endian u32) = 1
+    12      4     kind length K (u32), then K bytes of ASCII kind
+    16+K    8     universe (u64; 0 encodes 2**64)
+    24+K    8     event count (u64)
+    32+K    8*n   events (little-endian u64 array)
+
+Events are stored raw (numpy round-trip is exact and fast); streams of
+hundreds of millions of events can be consumed in chunks without loading
+everything at once.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+import numpy as np
+
+from .streams import EventStream
+
+_MAGIC = b"RAPTRACE"
+_VERSION = 1
+_FULL_64 = 2**64
+
+
+def write_trace(stream: EventStream, path: str) -> None:
+    """Write an :class:`EventStream` to ``path``."""
+    kind_bytes = stream.kind.encode("ascii")
+    universe_field = 0 if stream.universe == _FULL_64 else stream.universe
+    if not 0 <= universe_field < _FULL_64:
+        raise ValueError(f"universe {stream.universe} not encodable")
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<I", _VERSION))
+        fh.write(struct.pack("<I", len(kind_bytes)))
+        fh.write(kind_bytes)
+        fh.write(struct.pack("<Q", universe_field))
+        fh.write(struct.pack("<Q", len(stream)))
+        stream.values.astype("<u8").tofile(fh)
+
+
+def _read_header(fh) -> tuple:
+    magic = fh.read(8)
+    if magic != _MAGIC:
+        raise ValueError("not a RAP trace file (bad magic)")
+    (version,) = struct.unpack("<I", fh.read(4))
+    if version != _VERSION:
+        raise ValueError(f"unsupported trace version {version}")
+    (kind_length,) = struct.unpack("<I", fh.read(4))
+    kind = fh.read(kind_length).decode("ascii")
+    (universe_field,) = struct.unpack("<Q", fh.read(8))
+    (count,) = struct.unpack("<Q", fh.read(8))
+    universe = _FULL_64 if universe_field == 0 else universe_field
+    return kind, universe, count
+
+
+def read_trace(path: str, name: str = "") -> EventStream:
+    """Load a whole trace file into an :class:`EventStream`."""
+    with open(path, "rb") as fh:
+        kind, universe, count = _read_header(fh)
+        values = np.fromfile(fh, dtype="<u8", count=count)
+    if values.shape[0] != count:
+        raise ValueError(
+            f"truncated trace: header says {count} events, file holds "
+            f"{values.shape[0]}"
+        )
+    return EventStream(
+        name=name or path,
+        kind=kind,
+        universe=universe,
+        values=values.astype(np.uint64),
+    )
+
+
+def read_trace_chunks(
+    path: str, chunk: int = 1 << 20
+) -> Iterator[np.ndarray]:
+    """Stream a trace file in chunks (for billion-event offline runs)."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    with open(path, "rb") as fh:
+        _, _, count = _read_header(fh)
+        remaining = count
+        while remaining > 0:
+            take = min(chunk, remaining)
+            values = np.fromfile(fh, dtype="<u8", count=take)
+            if values.shape[0] != take:
+                raise ValueError("truncated trace file")
+            remaining -= take
+            yield values.astype(np.uint64)
+
+
+def trace_info(path: str) -> dict:
+    """Header metadata without reading the events."""
+    with open(path, "rb") as fh:
+        kind, universe, count = _read_header(fh)
+    return {"kind": kind, "universe": universe, "events": count}

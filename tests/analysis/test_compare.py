@@ -1,0 +1,75 @@
+"""Unit tests for profile diffing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import diff_profiles
+from repro.core import RapConfig, RapTree
+
+
+def profiled(values, universe=2**16) -> RapTree:
+    tree = RapTree(RapConfig(range_max=universe, epsilon=0.02,
+                             merge_initial_interval=512))
+    for value in values:
+        tree.add(int(value))
+    return tree
+
+
+def mixed(rng, hot_value, hot_share, count=10_000):
+    return np.where(
+        rng.random(count) < hot_share,
+        np.uint64(hot_value),
+        rng.integers(0, 2**16, count, dtype=np.uint64),
+    )
+
+
+class TestDiffProfiles:
+    def test_identical_profiles_have_no_shift(self):
+        rng = np.random.default_rng(1)
+        values = mixed(rng, 100, 0.4)
+        diff = diff_profiles(profiled(values), profiled(values))
+        assert diff.total_shift() < 0.02
+        assert diff.hotter() == []
+        assert diff.cooler() == []
+
+    def test_moved_hotspot_detected(self):
+        rng = np.random.default_rng(2)
+        before = profiled(mixed(rng, 100, 0.5))
+        after = profiled(mixed(rng, 50_000, 0.5))
+        diff = diff_profiles(before, after)
+        hotter = diff.hotter(0.10)
+        cooler = diff.cooler(0.10)
+        assert any(item.lo <= 50_000 <= item.hi for item in hotter)
+        assert any(item.lo <= 100 <= item.hi for item in cooler)
+        assert diff.total_shift() > 0.3
+
+    def test_normalizes_stream_lengths(self):
+        rng = np.random.default_rng(3)
+        short = profiled(mixed(rng, 7, 0.5, count=3_000))
+        long = profiled(mixed(rng, 7, 0.5, count=30_000))
+        diff = diff_profiles(short, long)
+        assert diff.total_shift() < 0.05  # same shape, different length
+
+    def test_rejects_mismatched_universes(self):
+        with pytest.raises(ValueError, match="universes"):
+            diff_profiles(profiled([1]), profiled([1], universe=2**20))
+
+    def test_deltas_cover_union_of_hot_ranges(self):
+        rng = np.random.default_rng(4)
+        before = profiled(mixed(rng, 100, 0.6))
+        after = profiled(mixed(rng, 60_000, 0.6))
+        diff = diff_profiles(before, after)
+        los = {item.lo for item in diff.deltas}
+        assert any(lo <= 100 for lo in los)
+        assert any(lo >= 2**14 for lo in los)
+
+    def test_render(self):
+        rng = np.random.default_rng(5)
+        diff = diff_profiles(
+            profiled(mixed(rng, 9, 0.5)), profiled(mixed(rng, 900, 0.5))
+        )
+        text = diff.render()
+        assert "profile diff" in text
+        assert "delta %" in text

@@ -1,0 +1,77 @@
+"""Unit tests for the Figure 9 coverage curves."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.coverage import (
+    CoverageCurve,
+    coverage_curve,
+    locality_ordering,
+)
+from repro.core import RapConfig, RapTree
+
+
+def tree_over(values, universe=2**32, epsilon=0.02):
+    tree = RapTree(
+        RapConfig(range_max=universe, epsilon=epsilon,
+                  merge_initial_interval=512)
+    )
+    for value in values:
+        tree.add(int(value))
+    return tree
+
+
+class TestCoverageCurve:
+    def test_concentrated_stream_rises_early(self):
+        values = [5] * 8_000 + list(
+            np.random.default_rng(1).integers(0, 2**32, size=2_000)
+        )
+        curve = coverage_curve(tree_over(values), "concentrated")
+        assert curve.coverage_at(4) > 50.0
+
+    def test_uniform_stream_rises_late(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 2**32, size=10_000, dtype=np.uint64)
+        curve = coverage_curve(tree_over(values), "uniform")
+        assert curve.coverage_at(8) < 20.0
+
+    def test_curve_monotone_nondecreasing(self):
+        rng = np.random.default_rng(3)
+        values = np.concatenate(
+            [
+                np.full(3_000, 1234, dtype=np.uint64),
+                rng.integers(0, 2**20, size=4_000, dtype=np.uint64),
+                rng.integers(0, 2**32, size=3_000, dtype=np.uint64),
+            ]
+        )
+        curve = coverage_curve(tree_over(values), "mixed")
+        coverages = [value for _, value in curve.points]
+        assert coverages == sorted(coverages)
+
+    def test_closes_at_100_percent(self):
+        values = [5] * 100
+        curve = coverage_curve(tree_over(values), "x")
+        assert curve.points[-1] == (32, 100.0)
+
+    def test_coverage_at_interpolates_steps(self):
+        curve = CoverageCurve("c", ((0, 10.0), (8, 40.0), (32, 100.0)))
+        assert curve.coverage_at(0) == 10.0
+        assert curve.coverage_at(5) == 10.0
+        assert curve.coverage_at(8) == 40.0
+        assert curve.coverage_at(31) == 40.0
+
+    def test_area_rewards_early_rise(self):
+        early = CoverageCurve("early", ((0, 80.0), (32, 100.0)))
+        late = CoverageCurve("late", ((0, 0.0), (32, 100.0)))
+        assert early.area() > late.area()
+
+    def test_area_of_degenerate_curve(self):
+        assert CoverageCurve("x", ((0, 50.0),)).area() == 0.0
+
+
+class TestLocalityOrdering:
+    def test_orders_by_area(self):
+        concentrated = CoverageCurve("hot", ((0, 90.0), (32, 100.0)))
+        spread = CoverageCurve("cold", ((0, 5.0), (32, 100.0)))
+        assert locality_ordering([spread, concentrated]) == ["hot", "cold"]

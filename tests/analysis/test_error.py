@@ -1,0 +1,132 @@
+"""Unit tests for the error metrics (Section 4.3 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.error import (
+    epsilon_error_of_range,
+    evaluate_errors,
+    exclusive_actual_count,
+)
+from repro.baselines.exact import ExactProfiler
+from repro.core import RapConfig, RapTree
+from repro.core.hot_ranges import HotRange
+
+
+def profiled_pair(values, epsilon=0.02, universe=1024):
+    tree = RapTree(
+        RapConfig(range_max=universe, epsilon=epsilon,
+                  merge_initial_interval=256)
+    )
+    exact = ExactProfiler(universe)
+    for value in values:
+        tree.add(value)
+        exact.add(value)
+    return tree, exact
+
+
+class TestEvaluateErrors:
+    def test_perfectly_tracked_item_has_zero_error(self):
+        values = [5] * 2_000 + list(range(400))
+        tree, exact = profiled_pair(values)
+        report = evaluate_errors(tree, exact, 0.10)
+        assert report.hot_count >= 1
+        item_rows = [row for row in report.ranges if row.width == 1]
+        assert item_rows
+        assert item_rows[0].percent_error < 5.0
+
+    def test_inclusive_estimates_never_exceed_truth(self):
+        """The lower-bound guarantee holds for *inclusive* range counts.
+
+        (Exclusive weights subtract hot-descendant estimates, which are
+        themselves undercounts, so exclusive values can land slightly
+        above the exclusive truth; Figure 8 reports their absolute
+        percent error.)
+        """
+        values = [5] * 800 + [700] * 500 + list(range(600))
+        tree, exact = profiled_pair(values)
+        report = evaluate_errors(tree, exact, 0.10)
+        for row in report.ranges:
+            assert tree.estimate(row.lo, row.hi) <= exact.count(row.lo, row.hi)
+
+    def test_accuracy_complement(self):
+        values = [5] * 1_000 + list(range(300))
+        tree, exact = profiled_pair(values)
+        report = evaluate_errors(tree, exact, 0.10)
+        assert report.accuracy == pytest.approx(
+            100.0 - report.average_percent_error
+        )
+
+    def test_max_at_least_average(self):
+        values = [5] * 700 + [200] * 500 + list(range(500))
+        tree, exact = profiled_pair(values)
+        report = evaluate_errors(tree, exact, 0.10)
+        assert report.max_percent_error >= report.average_percent_error
+
+    def test_epsilon_error_under_guarantee(self):
+        values = [5] * 800 + [9] * 700 + list(range(800))
+        tree, exact = profiled_pair(values, epsilon=0.05)
+        report = evaluate_errors(tree, exact, 0.10)
+        assert report.max_epsilon_error <= 0.05
+
+    def test_mismatched_streams_rejected(self):
+        tree, _ = profiled_pair([1, 2, 3])
+        other = ExactProfiler(1024)
+        other.extend([1, 2])
+        with pytest.raises(ValueError, match="same stream"):
+            evaluate_errors(tree, other)
+
+    def test_empty_tree_report(self):
+        tree, exact = profiled_pair([])
+        report = evaluate_errors(tree, exact, 0.10)
+        assert report.hot_count == 0
+        assert report.max_percent_error == 0.0
+
+
+class TestExclusiveActualCount:
+    def test_subtracts_maximal_hot_descendants(self):
+        exact = ExactProfiler(1024)
+        exact.extend([5] * 100 + [20] * 50 + [900] * 25)
+        hot = [
+            HotRange(lo=0, hi=63, weight=150, fraction=0.8, depth=1,
+                     inclusive_weight=150),
+            HotRange(lo=5, hi=5, weight=100, fraction=0.6, depth=3,
+                     inclusive_weight=100),
+        ]
+        # [0, 63]'s exclusive truth excludes the hot [5, 5].
+        outer = exclusive_actual_count(exact, hot[0], hot)
+        assert outer == 50
+        inner = exclusive_actual_count(exact, hot[1], hot)
+        assert inner == 100
+
+    def test_nested_hot_chain_subtracts_only_maximal(self):
+        exact = ExactProfiler(1024)
+        exact.extend([5] * 100 + [6] * 40 + [30] * 20)
+        hot = [
+            HotRange(lo=0, hi=63, weight=0, fraction=0, depth=1,
+                     inclusive_weight=160),
+            HotRange(lo=0, hi=15, weight=0, fraction=0, depth=2,
+                     inclusive_weight=140),
+            HotRange(lo=5, hi=5, weight=0, fraction=0, depth=5,
+                     inclusive_weight=100),
+        ]
+        # For [0, 63]: subtract only [0, 15] (maximal), not [5, 5] too.
+        assert exclusive_actual_count(exact, hot[0], hot) == 20
+
+
+class TestEpsilonErrorOfRange:
+    def test_zero_for_fully_resolved_range(self):
+        values = [7] * 1_000
+        tree, exact = profiled_pair(values)
+        assert epsilon_error_of_range(tree, exact, 0, 1023) == 0.0
+
+    def test_positive_for_coarse_range(self):
+        values = list(range(1024))
+        tree, exact = profiled_pair(values, epsilon=0.5)
+        error = epsilon_error_of_range(tree, exact, 3, 5)
+        assert 0.0 <= error <= 0.5 + 0.01
+
+    def test_empty_tree(self):
+        tree, exact = profiled_pair([])
+        assert epsilon_error_of_range(tree, exact, 0, 10) == 0.0

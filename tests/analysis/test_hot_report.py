@@ -1,0 +1,100 @@
+"""Unit tests for the hot-range tree rendering (Figure 5/10 pictures)."""
+
+from __future__ import annotations
+
+from repro.analysis.hot_report import (
+    build_hot_hierarchy,
+    hot_range_rows,
+    render_hot_tree,
+)
+from repro.core import RapConfig, RapTree
+
+
+def hot_tree_fixture():
+    tree = RapTree(
+        RapConfig(range_max=2**16, epsilon=0.01, merge_initial_interval=512)
+    )
+    values = (
+        [10] * 3_000
+        + [11] * 1_500
+        + list(range(0x4000, 0x4100)) * 15
+        + list(range(0x8000, 0xC000, 7)) * 2
+    )
+    for value in values:
+        tree.add(value)
+    return tree
+
+
+class TestHierarchy:
+    def test_none_for_empty_tree(self):
+        empty = RapTree(RapConfig(range_max=256, epsilon=0.05))
+        assert build_hot_hierarchy(empty) is None
+
+    def test_root_spans_all_hot_nodes(self):
+        tree = hot_tree_fixture()
+        hierarchy = build_hot_hierarchy(tree, 0.10)
+        assert hierarchy is not None
+
+        def check(node):
+            for child in node.children:
+                assert node.item.lo <= child.item.lo
+                assert child.item.hi <= node.item.hi
+                check(child)
+
+        check(hierarchy)
+
+    def test_hot_flags(self):
+        tree = hot_tree_fixture()
+        hierarchy = build_hot_hierarchy(tree, 0.10)
+        cutoff = 0.10 * tree.events
+
+        def collect(node, out):
+            out.append(node)
+            for child in node.children:
+                collect(child, out)
+            return out
+
+        nodes = collect(hierarchy, [])
+        assert any(node.is_hot for node in nodes)
+        for node in nodes:
+            if node.is_hot:
+                assert node.item.weight >= cutoff
+
+
+class TestRendering:
+    def test_render_contains_hot_ranges_and_percents(self):
+        tree = hot_tree_fixture()
+        text = render_hot_tree(tree, 0.10, title="demo")
+        assert text.startswith("demo")
+        assert "%" in text
+        assert "[a, a]" in text or "[a," in text  # item 10 = 0xa
+
+    def test_render_empty(self):
+        empty = RapTree(RapConfig(range_max=256, epsilon=0.05))
+        assert "(no hot ranges)" in render_hot_tree(empty)
+
+    def test_chain_collapsing_annotates_skips(self):
+        tree = hot_tree_fixture()
+        collapsed = render_hot_tree(tree, 0.10, collapse_chains=True)
+        expanded = render_hot_tree(tree, 0.10, collapse_chains=False)
+        assert len(collapsed.splitlines()) < len(expanded.splitlines())
+        assert "intermediate range" in collapsed
+
+    def test_expanded_render_has_ancestor_markers(self):
+        tree = hot_tree_fixture()
+        text = render_hot_tree(tree, 0.10, collapse_chains=False)
+        assert "(ancestor)" in text
+
+
+class TestRows:
+    def test_rows_sorted_heaviest_first(self):
+        tree = hot_tree_fixture()
+        rows = hot_range_rows(tree, 0.10)
+        assert rows
+        weights = [row[1] for row in rows]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_inclusive_at_least_exclusive(self):
+        tree = hot_tree_fixture()
+        for _, exclusive, inclusive in hot_range_rows(tree, 0.10):
+            assert inclusive >= exclusive - 1e-9

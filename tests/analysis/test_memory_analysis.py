@@ -1,0 +1,68 @@
+"""Unit tests for the memory metrics (Section 4.2 accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.memory import (
+    BITS_PER_NODE,
+    memory_report,
+    merge_points,
+    node_timeline,
+)
+from repro.core import RapConfig, RapTree
+
+
+def run_tree(timeline=0):
+    tree = RapTree(
+        RapConfig(
+            range_max=2**16,
+            epsilon=0.05,
+            merge_initial_interval=128,
+            timeline_sample_every=timeline,
+        )
+    )
+    for step in range(4_000):
+        tree.add((step * 37) % 2**16 if step % 3 else 777)
+    return tree
+
+
+class TestMemoryReport:
+    def test_fields_consistent(self):
+        tree = run_tree()
+        report = memory_report(tree)
+        assert report.max_nodes >= report.final_nodes
+        assert report.max_nodes >= report.average_nodes
+        assert report.max_bytes == tree.stats.memory_bytes(BITS_PER_NODE)
+
+    def test_worst_case_headroom(self):
+        """Paper: "in the common case the number of nodes is a factor of
+        1000 less" than the worst case — at least well above 1x here."""
+        tree = run_tree()
+        report = memory_report(tree)
+        assert report.worst_case_nodes > report.max_nodes
+        assert report.headroom > 2.0
+
+    def test_bits_per_node_constant(self):
+        assert BITS_PER_NODE == 128  # Section 4.2
+
+
+class TestTimeline:
+    def test_requires_sampling_enabled(self):
+        tree = run_tree(timeline=0)
+        with pytest.raises(ValueError, match="timeline"):
+            node_timeline(tree)
+
+    def test_timeline_recorded(self):
+        tree = run_tree(timeline=100)
+        series = node_timeline(tree)
+        assert len(series) > 10
+        events = [point[0] for point in series]
+        assert events == sorted(events)
+
+    def test_merge_points_recorded(self):
+        tree = run_tree()
+        points = merge_points(tree)
+        assert points
+        assert points[0] >= 128
+        assert points == sorted(points)

@@ -1,0 +1,163 @@
+"""Unit tests for phase identification from windowed profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import (
+    PhaseDetector,
+    signature_distance,
+    tree_distance,
+    tree_signature,
+)
+from repro.core import RapConfig, RapTree
+
+CONFIG = RapConfig(range_max=2**20, epsilon=0.05)
+
+
+def window(values) -> RapTree:
+    tree = RapTree(CONFIG)
+    for value in values:
+        tree.add(int(value))
+    return tree
+
+
+def behaviour_a(rng, count):
+    """Mass at low addresses."""
+    return np.where(
+        rng.random(count) < 0.7,
+        rng.integers(0, 2**10, count, dtype=np.uint64),
+        rng.integers(0, 2**20, count, dtype=np.uint64),
+    )
+
+
+def behaviour_b(rng, count):
+    """Mass at high addresses."""
+    return np.where(
+        rng.random(count) < 0.7,
+        rng.integers(2**19, 2**19 + 2**10, count, dtype=np.uint64),
+        rng.integers(0, 2**20, count, dtype=np.uint64),
+    )
+
+
+class TestSignatures:
+    def test_signature_fractions_bounded(self):
+        rng = np.random.default_rng(1)
+        signature = tree_signature(window(behaviour_a(rng, 4_000)))
+        assert signature
+        for fraction in signature.values():
+            assert 0.0 < fraction <= 1.0
+
+    def test_signature_uses_maximal_ranges_only(self):
+        rng = np.random.default_rng(2)
+        signature = tree_signature(window(behaviour_a(rng, 4_000)))
+        keys = list(signature)
+        for first in keys:
+            for second in keys:
+                if first is second:
+                    continue
+                nested = (
+                    second[0] <= first[0] and first[1] <= second[1]
+                )
+                assert not nested, "nested keys in signature"
+
+    def test_signature_distance_identity(self):
+        signature = {(0, 7): 0.5, (8, 15): 0.3}
+        assert signature_distance(signature, signature) == 0.0
+
+    def test_signature_distance_disjoint(self):
+        assert signature_distance(
+            {(0, 7): 0.6}, {(8, 15): 0.6}
+        ) == pytest.approx(1.2)
+
+
+class TestTreeDistance:
+    def test_same_behaviour_close(self):
+        rng = np.random.default_rng(3)
+        first = window(behaviour_a(rng, 6_000))
+        second = window(behaviour_a(rng, 6_000))
+        assert tree_distance(first, second) < 0.3
+
+    def test_different_behaviour_far(self):
+        rng = np.random.default_rng(4)
+        first = window(behaviour_a(rng, 6_000))
+        second = window(behaviour_b(rng, 6_000))
+        assert tree_distance(first, second) > 0.6
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(5)
+        first = window(behaviour_a(rng, 3_000))
+        second = window(behaviour_b(rng, 3_000))
+        assert tree_distance(first, second) == pytest.approx(
+            tree_distance(second, first)
+        )
+
+
+class TestPhaseDetector:
+    def alternating_stream(self, windows=8, window_events=4_000, seed=6):
+        rng = np.random.default_rng(seed)
+        chunks = []
+        for index in range(windows):
+            source = behaviour_a if index % 2 == 0 else behaviour_b
+            chunks.append(source(rng, window_events))
+        return np.concatenate(chunks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseDetector(CONFIG, window_events=0)
+        with pytest.raises(ValueError):
+            PhaseDetector(CONFIG, window_events=10, distance_threshold=0.0)
+
+    def test_detects_two_alternating_phases(self):
+        stream = self.alternating_stream()
+        detector = PhaseDetector(
+            CONFIG, window_events=4_000, distance_threshold=0.5
+        )
+        analysis = detector.analyze(int(v) for v in stream)
+        assert len(analysis.windows) == 8
+        assert analysis.num_phases == 2
+        assert analysis.labels == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_transitions_and_spans(self):
+        stream = self.alternating_stream(windows=4)
+        detector = PhaseDetector(
+            CONFIG, window_events=4_000, distance_threshold=0.5
+        )
+        analysis = detector.analyze(int(v) for v in stream)
+        assert analysis.transitions() == [1, 2, 3]
+        spans = analysis.phase_spans()
+        assert spans[0] == (0, 0, 0)
+        assert len(spans) == 4
+
+    def test_uniform_stream_is_one_phase(self):
+        rng = np.random.default_rng(7)
+        stream = behaviour_a(rng, 20_000)
+        detector = PhaseDetector(
+            CONFIG, window_events=4_000, distance_threshold=0.5
+        )
+        analysis = detector.analyze(int(v) for v in stream)
+        assert analysis.num_phases == 1
+        assert set(analysis.labels) == {0}
+
+    def test_partial_last_window_kept(self):
+        rng = np.random.default_rng(8)
+        stream = behaviour_a(rng, 4_500)
+        detector = PhaseDetector(CONFIG, window_events=4_000)
+        analysis = detector.analyze(int(v) for v in stream)
+        assert len(analysis.windows) == 2
+        assert analysis.windows[1].events == 500
+
+    def test_empty_stream(self):
+        detector = PhaseDetector(CONFIG, window_events=100)
+        analysis = detector.analyze(iter(()))
+        assert analysis.windows == []
+        assert analysis.num_phases == 0
+
+    def test_render(self):
+        stream = self.alternating_stream(windows=4)
+        detector = PhaseDetector(
+            CONFIG, window_events=4_000, distance_threshold=0.5
+        )
+        text = detector.analyze(int(v) for v in stream).render()
+        assert "phase" in text and "windows" in text

@@ -1,0 +1,75 @@
+"""Unit tests for the text table / chart formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Table, bar_chart, series_plot
+
+
+class TestTable:
+    def test_alignment_and_title(self):
+        table = Table(["name", "value"], title="demo")
+        table.add_row(["alpha", 1])
+        table.add_row(["b", 22.5])
+        text = table.to_text()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "22.50" in text
+
+    def test_numeric_columns_right_aligned(self):
+        table = Table(["k", "v"])
+        table.add_row(["a", 5])
+        table.add_row(["bb", 12345])
+        lines = table.to_text().splitlines()
+        assert lines[-1].endswith("12,345")
+
+    def test_row_width_mismatch(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_add_rows_and_str(self):
+        table = Table(["a"])
+        table.add_rows([[1], [2]])
+        assert str(table).count("\n") == 3
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        text = bar_chart(["x", "y"], [10.0, 5.0], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        text = bar_chart(["x"], [0.0])
+        assert "0.00" in text
+
+    def test_empty(self):
+        assert "(empty)" in bar_chart([], [], title="t")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_unit_suffix(self):
+        assert "ns" in bar_chart(["a"], [1.5], unit="ns")
+
+
+class TestSeriesPlot:
+    def test_plot_has_axes_labels(self):
+        points = [(0, 0), (50, 100), (100, 50)]
+        text = series_plot(points, title="t", height=6, width=20)
+        assert "x: 0" in text
+        assert "y: 0" in text
+        assert "*" in text
+
+    def test_not_enough_points(self):
+        assert "not enough" in series_plot([(1, 1)])
+
+    def test_constant_series_does_not_crash(self):
+        text = series_plot([(0, 5), (10, 5), (20, 5)])
+        assert "*" in text

@@ -1,0 +1,167 @@
+"""Unit tests for the optimization-advice derivations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.specialize import (
+    encoding_table,
+    specialization_plan,
+    width_recommendation,
+)
+from repro.core import RapConfig, RapTree
+
+
+def profiled(values, universe=2**32, epsilon=0.02) -> RapTree:
+    tree = RapTree(RapConfig(range_max=universe, epsilon=epsilon,
+                             merge_initial_interval=512))
+    for value in values:
+        tree.add(int(value))
+    return tree
+
+
+class TestWidthRecommendation:
+    def test_byte_heavy_stream_recommends_narrow_width(self):
+        rng = np.random.default_rng(1)
+        values = np.where(
+            rng.random(20_000) < 0.97,
+            rng.integers(0, 256, 20_000, dtype=np.uint64),
+            rng.integers(0, 2**32, 20_000, dtype=np.uint64),
+        )
+        rec = width_recommendation(profiled(values), coverage_target=0.90)
+        assert rec.bits <= 10
+        assert rec.met
+        assert rec.coverage >= 0.90
+
+    def test_wide_stream_recommends_full_width(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(2**28, 2**32, size=10_000, dtype=np.uint64)
+        rec = width_recommendation(profiled(values), coverage_target=0.9)
+        assert rec.bits >= 28
+
+    def test_coverage_is_guaranteed_floor(self):
+        rng = np.random.default_rng(3)
+        values = np.where(
+            rng.random(20_000) < 0.9,
+            rng.integers(0, 2**12, 20_000, dtype=np.uint64),
+            rng.integers(0, 2**32, 20_000, dtype=np.uint64),
+        )
+        tree = profiled(values)
+        rec = width_recommendation(tree, coverage_target=0.85)
+        truth = float((values < 2**rec.bits).mean())
+        assert truth >= rec.coverage - 1e-9  # floor property
+
+    def test_empty_tree(self):
+        rec = width_recommendation(profiled([]))
+        assert rec.met
+        assert rec.bits == 32
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            width_recommendation(profiled([1]), coverage_target=0.0)
+
+
+class TestSpecializationPlan:
+    def test_hot_narrow_range_becomes_case(self):
+        rng = np.random.default_rng(4)
+        values = np.concatenate(
+            [
+                np.full(6_000, 0, dtype=np.uint64),
+                rng.integers(0x100, 0x180, size=5_000, dtype=np.uint64),
+                rng.integers(0, 2**32, size=9_000, dtype=np.uint64),
+            ]
+        )
+        rng.shuffle(values)
+        plan = specialization_plan(profiled(values), hot_fraction=0.10)
+        assert plan.cases
+        assert any(case.lo <= 0 <= case.hi for case in plan.cases)
+        assert plan.specialized_rate > 0.4
+        assert plan.fallthrough_rate == pytest.approx(
+            1.0 - plan.specialized_rate
+        )
+
+    def test_cases_disjoint(self):
+        rng = np.random.default_rng(5)
+        values = np.concatenate(
+            [
+                np.full(4_000, 10, dtype=np.uint64),
+                rng.integers(0, 64, size=4_000, dtype=np.uint64),
+                rng.integers(0, 2**32, size=6_000, dtype=np.uint64),
+            ]
+        )
+        plan = specialization_plan(profiled(values), hot_fraction=0.10)
+        cases = plan.cases
+        for i, first in enumerate(cases):
+            for second in cases[i + 1:]:
+                assert first.hi < second.lo or second.hi < first.lo
+
+    def test_wide_hot_ranges_excluded(self):
+        rng = np.random.default_rng(6)
+        # Hot but huge range (2^28 wide): not specializable.
+        values = rng.integers(0, 2**28, size=10_000, dtype=np.uint64)
+        plan = specialization_plan(
+            profiled(values), hot_fraction=0.10, max_width_bits=16
+        )
+        for case in plan.cases:
+            assert case.hi - case.lo + 1 <= 2**16
+
+    def test_max_cases_respected(self):
+        rng = np.random.default_rng(7)
+        parts = [
+            np.full(3_000, base, dtype=np.uint64)
+            for base in (1, 1000, 2000, 3000, 4000, 5000)
+        ]
+        values = np.concatenate(parts)
+        plan = specialization_plan(
+            profiled(values), hot_fraction=0.05, max_cases=3
+        )
+        assert len(plan.cases) <= 3
+
+    def test_empty_tree(self):
+        plan = specialization_plan(profiled([]))
+        assert plan.cases == ()
+        assert plan.fallthrough_rate == 1.0
+
+
+class TestEncodingTable:
+    def test_frequent_values_dictionary(self):
+        rng = np.random.default_rng(8)
+        values = np.concatenate(
+            [
+                np.full(8_000, 0, dtype=np.uint64),
+                np.full(4_000, 0x3F80_0000, dtype=np.uint64),
+                rng.integers(0, 2**32, size=8_000, dtype=np.uint64),
+            ]
+        )
+        rng.shuffle(values)
+        table = encoding_table(profiled(values), max_entries=4)
+        assert 0 in table.values
+        assert 0x3F80_0000 in table.values
+        assert table.coverage > 0.4
+
+    def test_compression_ratio_improves_with_coverage(self):
+        hot = encoding_table(profiled([5] * 10_000), max_entries=2,
+                             word_bits=64)
+        rng = np.random.default_rng(9)
+        cold_values = rng.integers(0, 2**32, size=10_000, dtype=np.uint64)
+        cold = encoding_table(profiled(cold_values), max_entries=2,
+                              word_bits=64)
+        assert hot.compression_ratio > cold.compression_ratio
+        assert hot.compression_ratio > 5.0  # one value dominates
+
+    def test_coverage_is_guaranteed(self):
+        values = [7] * 5_000 + [9] * 3_000 + list(range(100, 2_100))
+        tree = profiled(values)
+        table = encoding_table(tree, max_entries=2)
+        truth = (5_000 + 3_000) / len(values)
+        assert table.coverage <= truth + 1e-9
+
+    def test_empty_tree(self):
+        table = encoding_table(profiled([]))
+        assert table.values == ()
+        assert table.coverage == 0.0
+
+    def test_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            encoding_table(profiled([1]), max_entries=0)

@@ -1,0 +1,103 @@
+"""Unit tests for the exact offline profiler (the ground truth)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactProfiler
+
+
+class TestFeeding:
+    def test_add_and_count(self):
+        profiler = ExactProfiler(256)
+        profiler.add(5)
+        profiler.add(5, count=3)
+        assert profiler.count_value(5) == 4
+        assert profiler.total == 4
+
+    def test_extend(self):
+        profiler = ExactProfiler(256)
+        profiler.extend([1, 2, 2])
+        assert profiler.count_value(2) == 2
+
+    def test_feed_array(self):
+        profiler = ExactProfiler(2**16)
+        profiler.feed_array(np.array([7, 7, 9], dtype=np.uint64))
+        assert profiler.count_value(7) == 2
+        assert profiler.total == 3
+
+    def test_rejects_out_of_universe(self):
+        profiler = ExactProfiler(256)
+        with pytest.raises(ValueError):
+            profiler.add(256)
+        with pytest.raises(ValueError):
+            profiler.feed_array(np.array([256], dtype=np.uint64))
+
+    def test_rejects_bad_count(self):
+        profiler = ExactProfiler(256)
+        with pytest.raises(ValueError):
+            profiler.add(5, count=0)
+
+    def test_incremental_feeding_after_query(self):
+        profiler = ExactProfiler(256)
+        profiler.add(5)
+        assert profiler.count(0, 255) == 1
+        profiler.add(6)  # invalidates the frozen index
+        assert profiler.count(0, 255) == 2
+
+
+class TestRangeQueries:
+    def test_count_closed_range(self):
+        profiler = ExactProfiler(1000)
+        profiler.extend([10, 20, 30, 20])
+        assert profiler.count(10, 30) == 4
+        assert profiler.count(11, 29) == 2
+        assert profiler.count(20, 20) == 2
+        assert profiler.count(31, 999) == 0
+
+    def test_count_rejects_empty_range(self):
+        profiler = ExactProfiler(256)
+        with pytest.raises(ValueError):
+            profiler.count(5, 4)
+
+    def test_count_on_empty_profiler(self):
+        profiler = ExactProfiler(256)
+        assert profiler.count(0, 255) == 0
+
+    def test_count_against_numpy_reference(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 10_000, size=5_000, dtype=np.uint64)
+        profiler = ExactProfiler(10_000)
+        profiler.feed_array(values)
+        for lo, hi in [(0, 9_999), (100, 200), (5_000, 5_000), (9_000, 9_999)]:
+            expected = int(((values >= lo) & (values <= hi)).sum())
+            assert profiler.count(lo, hi) == expected
+
+    def test_huge_universe(self):
+        profiler = ExactProfiler(2**64)
+        profiler.add(2**63)
+        profiler.add(2**63 + 1)
+        assert profiler.count(2**63, 2**63) == 1
+        assert profiler.count(0, 2**64 - 1) == 2
+
+
+class TestSummaries:
+    def test_top_k(self):
+        profiler = ExactProfiler(256)
+        profiler.extend([1] * 5 + [2] * 3 + [3])
+        assert profiler.top(2) == [(1, 5), (2, 3)]
+
+    def test_distinct_and_memory(self):
+        profiler = ExactProfiler(256)
+        profiler.extend([1, 1, 2, 3])
+        assert profiler.distinct == 3
+        assert profiler.memory_entries() == 3
+
+    def test_from_stream_classmethod(self):
+        profiler = ExactProfiler.from_stream(
+            256, np.array([1, 1, 2], dtype=np.uint64)
+        )
+        assert profiler.total == 3
+        iterable = ExactProfiler.from_stream(256, [4, 4])
+        assert iterable.count_value(4) == 2

@@ -1,0 +1,100 @@
+"""Unit tests for the fixed-range (flat) profiler baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fixed_range import FixedRangeProfiler
+
+
+class TestBinning:
+    def test_bin_width_ceil(self):
+        profiler = FixedRangeProfiler(universe=1000, num_counters=3)
+        assert profiler.bin_width == 334
+
+    def test_counters_capped_at_universe(self):
+        profiler = FixedRangeProfiler(universe=10, num_counters=100)
+        assert profiler.num_counters == 10
+
+    def test_bin_range(self):
+        profiler = FixedRangeProfiler(universe=256, num_counters=4)
+        assert profiler.bin_range(0) == (0, 63)
+        assert profiler.bin_range(3) == (192, 255)
+
+    def test_last_bin_clamped_to_universe(self):
+        profiler = FixedRangeProfiler(universe=1000, num_counters=3)
+        assert profiler.bin_range(2)[1] == 999
+
+    def test_add_routes_to_bin(self):
+        profiler = FixedRangeProfiler(universe=256, num_counters=4)
+        profiler.add(70)
+        assert profiler.counters.tolist() == [0, 1, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedRangeProfiler(universe=1, num_counters=4)
+        with pytest.raises(ValueError):
+            FixedRangeProfiler(universe=256, num_counters=0)
+        profiler = FixedRangeProfiler(universe=256, num_counters=4)
+        with pytest.raises(ValueError):
+            profiler.add(256)
+        with pytest.raises(ValueError):
+            profiler.add(0, count=0)
+
+    def test_feed_array_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1000, size=2_000, dtype=np.uint64)
+        vectored = FixedRangeProfiler(1000, 16)
+        vectored.feed_array(values)
+        scalar = FixedRangeProfiler(1000, 16)
+        for value in values:
+            scalar.add(int(value))
+        assert vectored.counters.tolist() == scalar.counters.tolist()
+        assert vectored.total == scalar.total
+
+
+class TestEstimates:
+    def test_lower_and_upper_bracket_truth(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 1024, size=3_000, dtype=np.uint64)
+        profiler = FixedRangeProfiler(1024, 16)
+        profiler.feed_array(values)
+        for lo, hi in [(0, 1023), (100, 600), (64, 127), (10, 20)]:
+            truth = int(((values >= lo) & (values <= hi)).sum())
+            assert profiler.estimate_lower(lo, hi) <= truth
+            assert profiler.estimate_upper(lo, hi) >= truth
+
+    def test_bin_aligned_query_is_exact(self):
+        profiler = FixedRangeProfiler(256, 4)
+        profiler.extend([0, 63, 64, 100])
+        assert profiler.estimate_lower(0, 63) == 2
+        assert profiler.estimate_upper(0, 63) == 2
+
+    def test_sub_bin_query_has_no_lower_information(self):
+        """The flat scheme's weakness: it cannot zoom below bin width."""
+        profiler = FixedRangeProfiler(256, 4)
+        profiler.extend([5] * 100)
+        assert profiler.estimate_lower(5, 5) == 0
+        assert profiler.estimate_upper(5, 5) == 100
+
+
+class TestHotBins:
+    def test_hot_bins_found(self):
+        profiler = FixedRangeProfiler(256, 8)
+        profiler.extend([10] * 80 + list(range(128, 256)))
+        hot = profiler.hot_bins(0.10)
+        assert hot
+        lo, hi, count = hot[0]
+        assert lo <= 10 <= hi
+        assert count == 80
+
+    def test_hot_bins_width_fixed(self):
+        """Contrast with RAP: hot bins are stuck at bin granularity."""
+        profiler = FixedRangeProfiler(2**20, 8)
+        profiler.extend([12345] * 1_000)
+        hot = profiler.hot_bins(0.10)
+        assert hot[0][1] - hot[0][0] + 1 == profiler.bin_width
+
+    def test_memory_entries(self):
+        assert FixedRangeProfiler(256, 8).memory_entries() == 8

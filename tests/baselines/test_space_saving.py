@@ -1,0 +1,127 @@
+"""Unit and property tests for the Space-Saving heavy-hitter baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.space_saving import SpaceSaving
+
+
+class TestBasics:
+    def test_tracks_within_capacity_exactly(self):
+        sketch = SpaceSaving(capacity=4)
+        sketch.extend([1, 1, 2, 3])
+        assert sketch.estimate(1) == 2
+        assert sketch.guaranteed(1) == 2
+        assert sketch.estimate(9) == 0
+
+    def test_eviction_inherits_min_count(self):
+        sketch = SpaceSaving(capacity=2)
+        sketch.extend([1, 1, 1, 2])
+        sketch.add(3)  # evicts 2 (count 1); 3 enters with count 2, error 1
+        assert sketch.estimate(3) == 2
+        assert sketch.guaranteed(3) == 1
+        assert sketch.estimate(2) == 0
+
+    def test_capacity_respected(self):
+        sketch = SpaceSaving(capacity=8)
+        sketch.extend(range(1_000))
+        assert sketch.memory_entries() <= 8
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(capacity=0)
+        sketch = SpaceSaving(capacity=2)
+        with pytest.raises(ValueError):
+            sketch.add(1, count=0)
+
+    def test_counted_adds(self):
+        sketch = SpaceSaving(capacity=4)
+        sketch.add(5, count=100)
+        assert sketch.estimate(5) == 100
+        assert sketch.total == 100
+
+
+class TestGuarantees:
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=40),
+            min_size=1,
+            max_size=2_000,
+        ),
+        capacity=st.integers(min_value=4, max_value=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_is_overcount_within_n_over_k(self, values, capacity):
+        """Classic Space-Saving guarantee: 0 <= est - true <= n/k."""
+        sketch = SpaceSaving(capacity=capacity)
+        truth: dict = {}
+        for value in values:
+            sketch.add(value)
+            truth[value] = truth.get(value, 0) + 1
+        bound = len(values) / capacity
+        for value, estimate in [(v, sketch.estimate(v)) for v in truth]:
+            if estimate:
+                assert estimate >= truth[value]
+                assert estimate - truth[value] <= bound + 1e-9
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=30),
+            min_size=50,
+            max_size=1_000,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heavy_items_always_tracked(self, values):
+        """Any item above n/k true frequency must be in the sketch."""
+        capacity = 8
+        sketch = SpaceSaving(capacity=capacity)
+        truth: dict = {}
+        for value in values:
+            sketch.add(value)
+            truth[value] = truth.get(value, 0) + 1
+        threshold = len(values) / capacity
+        for value, count in truth.items():
+            if count > threshold:
+                assert sketch.estimate(value) > 0
+
+    def test_heavy_hitters_guaranteed_hot(self):
+        rng = np.random.default_rng(5)
+        stream = np.concatenate(
+            [
+                np.full(4_000, 7, dtype=np.uint64),
+                rng.integers(100, 10_000, size=6_000, dtype=np.uint64),
+            ]
+        )
+        rng.shuffle(stream)
+        sketch = SpaceSaving(capacity=100)
+        sketch.extend(int(v) for v in stream)
+        hitters = dict(sketch.heavy_hitters(0.10))
+        assert 7 in hitters
+        # Guaranteed-hot semantics: reported items really are hot.
+        truth = {7: 4_000}
+        for value in hitters:
+            true_count = truth.get(value, 0) + int(
+                (stream == value).sum() if value != 7 else 0
+            )
+            assert true_count + len(stream) / 100 >= 0.10 * len(stream)
+
+
+class TestContrastWithRap:
+    def test_no_range_information(self):
+        """Space-Saving sees hot *items* only; a hot *range* of cold
+        items is invisible — the gap RAP's hierarchy fills."""
+        rng = np.random.default_rng(9)
+        # 50% of mass spread uniformly over [1000, 1999]: no single item
+        # is hot, but the range is scorching.
+        spread = rng.integers(1000, 2000, size=5_000, dtype=np.uint64)
+        noise = rng.integers(0, 10**9, size=5_000, dtype=np.uint64)
+        stream = np.concatenate([spread, noise])
+        rng.shuffle(stream)
+        sketch = SpaceSaving(capacity=64)
+        sketch.extend(int(v) for v in stream)
+        assert sketch.heavy_hitters(0.10) == []

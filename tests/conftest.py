@@ -1,0 +1,64 @@
+"""Shared fixtures for the RAP test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import RapConfig, RapTree
+from repro.workloads import EventStream, stream_from_values
+
+
+@pytest.fixture
+def small_config() -> RapConfig:
+    """A tree over a 256-item universe with fast splits and merges."""
+    return RapConfig(
+        range_max=256,
+        epsilon=0.05,
+        branching=4,
+        merge_initial_interval=64,
+    )
+
+
+@pytest.fixture
+def small_tree(small_config: RapConfig) -> RapTree:
+    return RapTree(small_config)
+
+
+@pytest.fixture
+def skewed_values() -> list:
+    """A deterministic skewed stream over [0, 255]: 42 is hot."""
+    rng = random.Random(7)
+    values = []
+    for _ in range(5_000):
+        roll = rng.random()
+        if roll < 0.35:
+            values.append(42)
+        elif roll < 0.60:
+            values.append(rng.randint(200, 207))
+        else:
+            values.append(rng.randint(0, 255))
+    return values
+
+
+@pytest.fixture
+def skewed_stream(skewed_values: list) -> EventStream:
+    return stream_from_values("skewed", "load_value", 256, skewed_values)
+
+
+@pytest.fixture
+def wide_stream() -> EventStream:
+    """A stream over a 2**32 universe with two hot bands and a tail."""
+    rng = np.random.default_rng(11)
+    parts = [
+        np.full(3_000, 0xDEAD_00, dtype=np.uint64),
+        rng.integers(0x1_0000, 0x1_4000, size=3_000, dtype=np.uint64),
+        rng.integers(0, 2**32, size=4_000, dtype=np.uint64),
+    ]
+    values = np.concatenate(parts)
+    rng.shuffle(values)
+    return EventStream(
+        name="wide", kind="load_value", universe=2**32, values=values
+    )

@@ -1,0 +1,114 @@
+"""Unit tests for the paper's C-style API (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import rap_add_points, rap_finalize, rap_init
+
+
+class TestRapInit:
+    def test_single_universe_creates_default_profile(self):
+        profile = rap_init(range_max=256, epsilon=0.05)
+        assert set(profile.trees) == {"default"}
+        assert profile.tree().config.range_max == 256
+
+    def test_multiple_simultaneous_profiles(self):
+        """rap_init "initializes data structures to enable profiling
+        multiple events simultaneously"."""
+        profile = rap_init({"pc": 2**32, "value": 2**16}, epsilon=0.02)
+        assert set(profile.trees) == {"pc", "value"}
+        assert profile.tree("pc").config.range_max == 2**32
+        assert profile.tree("value").config.range_max == 2**16
+
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(ValueError):
+            rap_init({})
+
+    def test_unknown_profile_name_raises(self):
+        profile = rap_init(256)
+        with pytest.raises(KeyError, match="no profile"):
+            profile.tree("nope")
+
+    def test_config_overrides_forwarded(self):
+        profile = rap_init(256, epsilon=0.5, branching=2,
+                           merge_initial_interval=32)
+        config = profile.tree().config
+        assert config.branching == 2
+        assert config.merge_initial_interval == 32
+
+
+class TestRapAddPoints:
+    def test_plain_values(self):
+        profile = rap_init(256)
+        rap_add_points(profile, [1, 2, 3, 3])
+        assert profile.tree().events == 4
+
+    def test_counted_pairs(self):
+        profile = rap_init(256)
+        rap_add_points(profile, [(5, 10), (9, 2)])
+        assert profile.tree().events == 12
+
+    def test_mixed_forms(self):
+        profile = rap_init(256)
+        rap_add_points(profile, [1, (2, 3), 4])
+        assert profile.tree().events == 5
+
+    def test_named_profile_routing(self):
+        profile = rap_init({"pc": 256, "value": 256})
+        rap_add_points(profile, [1, 2], name="pc")
+        rap_add_points(profile, [3], name="value")
+        assert profile.tree("pc").events == 2
+        assert profile.tree("value").events == 1
+
+    def test_rejects_after_finalize(self):
+        profile = rap_init(256)
+        rap_add_points(profile, [1])
+        rap_finalize(profile)
+        with pytest.raises(RuntimeError, match="finalized"):
+            rap_add_points(profile, [2])
+
+
+class TestRapFinalize:
+    def test_summary_fields(self):
+        profile = rap_init(256, epsilon=0.05)
+        rap_add_points(profile, [42] * 500 + list(range(200)))
+        summaries = rap_finalize(profile, hot_fraction=0.10)
+        summary = summaries["default"]
+        assert summary.events == 700
+        assert summary.node_count >= 1
+        assert summary.max_nodes >= summary.node_count
+        assert summary.splits > 0
+        assert summary.hot_ranges
+        assert summary.dump.startswith("RAPTREE")
+
+    def test_finalize_runs_a_last_merge(self):
+        profile = rap_init(256, epsilon=0.5)
+        rap_add_points(profile, list(range(256)) * 3)
+        tree = profile.tree()
+        before = tree.stats.merge_batches
+        rap_finalize(profile)
+        assert tree.stats.merge_batches == before + 1
+
+    def test_dump_file_written(self, tmp_path):
+        profile = rap_init({"pc": 256}, epsilon=0.05)
+        rap_add_points(profile, [1, 2, 3], name="pc")
+        rap_finalize(profile, dump_path=str(tmp_path / "out"))
+        dumped = (tmp_path / "out.pc.rap").read_text()
+        assert dumped.startswith("RAPTREE")
+
+    def test_dump_round_trips(self):
+        from repro.core import load_tree
+
+        profile = rap_init(256, epsilon=0.05)
+        rap_add_points(profile, [9] * 100 + [200] * 50)
+        summary = rap_finalize(profile)["default"]
+        clone = load_tree(summary.dump)
+        assert clone.events == 150
+        assert clone.estimate(9, 9) == profile.tree().estimate(9, 9)
+
+    def test_empty_profile_finalizes_cleanly(self):
+        profile = rap_init(256)
+        summaries = rap_finalize(profile)
+        assert summaries["default"].events == 0
+        assert summaries["default"].hot_ranges == []

@@ -1,0 +1,149 @@
+"""Unit tests for the worst-case bound formulas (Figures 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import bounds
+
+
+class TestBasicBounds:
+    def test_height_matches_config(self):
+        assert bounds.height(2**32, 4) == 16
+        assert bounds.height(2**32, 2) == 32
+
+    def test_heavy_nodes_bound(self):
+        # H / epsilon = 16 / 0.01 = 1600 for a 32-bit universe, b=4.
+        assert bounds.heavy_nodes_bound(0.01, 2**32, 4) == pytest.approx(1600)
+
+    def test_post_merge_bound_scales_with_branching(self):
+        # (1 + b) * H / eps
+        assert bounds.post_merge_nodes_bound(0.01, 2**32, 4) == pytest.approx(
+            5 * 1600
+        )
+
+    def test_growth_between_merges_independent_of_stream_position(self):
+        """The key Figure 3 fact: per-interval growth is a constant."""
+        growth = bounds.growth_between_merges(0.01, 2**32, 4, 2.0)
+        assert growth == pytest.approx(4 * 1 * 1600)
+
+    def test_peak_bound_composition(self):
+        peak = bounds.peak_nodes_bound(0.01, 2**32, 4, 2.0)
+        assert peak == pytest.approx(
+            bounds.post_merge_nodes_bound(0.01, 2**32, 4)
+            + bounds.growth_between_merges(0.01, 2**32, 4, 2.0)
+        )
+
+    def test_bounds_shrink_with_larger_epsilon(self):
+        tight = bounds.peak_nodes_bound(0.01, 2**32, 4, 2.0)
+        loose = bounds.peak_nodes_bound(0.10, 2**32, 4, 2.0)
+        assert loose < tight
+        assert loose == pytest.approx(tight / 10)
+
+    def test_memory_bytes_bound(self):
+        nodes = bounds.peak_nodes_bound(0.01, 2**32, 4, 2.0)
+        assert bounds.memory_bytes_bound(0.01, 2**32, 4, 2.0) == pytest.approx(
+            nodes * 16
+        )
+
+    def test_convergence_splits(self):
+        # "it will take exactly log_b(R) splits" (Section 3.1).
+        assert bounds.convergence_splits(2**32, 4) == 16
+        assert bounds.convergence_splits(2**32, 16) == 8
+
+
+class TestBranchingTradeoff:
+    def test_rows_cover_requested_branchings(self):
+        rows = bounds.branching_tradeoff(0.01, 2**32, [2, 4, 8])
+        assert [row[0] for row in rows] == [2, 4, 8]
+
+    def test_height_halves_from_2_to_4(self):
+        rows = {row[0]: row for row in bounds.branching_tradeoff(
+            0.01, 2**32, [2, 4]
+        )}
+        assert rows[4][2] == rows[2][2] // 2
+
+    def test_large_branching_wastes_memory(self):
+        """The Figure 2 shape: beyond the sweet spot, memory grows."""
+        rows = bounds.branching_tradeoff(0.01, 2**32, [4, 16, 64])
+        worst_cases = [row[1] for row in rows]
+        assert worst_cases[1] > worst_cases[0]
+        assert worst_cases[2] > worst_cases[1]
+
+
+class TestMergeIntervalTradeoff:
+    def test_memory_minimal_at_q2(self):
+        """Paper: "With q = 2 we see that the memory size is the least"."""
+        rows = bounds.merge_interval_tradeoff(
+            0.01, 2**32, 4, [2.0, 3.0, 4.0, 8.0]
+        )
+        peaks = [row.peak_nodes for row in rows]
+        assert peaks[0] == min(peaks)
+        assert peaks == sorted(peaks)
+
+    def test_small_q_explodes_batch_count(self):
+        rows = bounds.merge_interval_tradeoff(
+            0.01, 2**32, 4, [1.1, 2.0]
+        )
+        assert rows[0].merge_batches > 5 * rows[1].merge_batches
+
+    def test_rejects_growth_at_most_one(self):
+        with pytest.raises(ValueError):
+            bounds.merge_interval_tradeoff(0.01, 2**32, 4, [1.0])
+
+    def test_amortized_scan_definition(self):
+        rows = bounds.merge_interval_tradeoff(
+            0.01, 2**32, 4, [2.0], stream_events=2**20
+        )
+        row = rows[0]
+        assert row.amortized_scan_per_event == pytest.approx(
+            row.scan_work / 2**20
+        )
+
+
+class TestSawtooth:
+    def test_starts_and_ends_at_post_merge_bound(self):
+        base = bounds.post_merge_nodes_bound(0.01, 2**32, 4)
+        series = bounds.sawtooth_bound(
+            0.01, 2**32, 4, growth=2.0,
+            initial_interval=1024, stream_events=2**16,
+        )
+        assert series[0] == (0, base)
+        assert series[-1][1] == pytest.approx(base)
+
+    def test_never_below_post_merge_bound(self):
+        base = bounds.post_merge_nodes_bound(0.01, 2**32, 4)
+        series = bounds.sawtooth_bound(
+            0.01, 2**32, 4, growth=2.0,
+            initial_interval=1024, stream_events=2**18,
+        )
+        assert all(value >= base - 1e-9 for _, value in series)
+
+    def test_never_exceeds_peak_bound_with_log_slack(self):
+        """Within an interval the bound grows at most logarithmically."""
+        peak = bounds.peak_nodes_bound(0.01, 2**32, 4, 2.0)
+        series = bounds.sawtooth_bound(
+            0.01, 2**32, 4, growth=2.0,
+            initial_interval=1024, stream_events=2**18,
+        )
+        assert all(value <= peak * 1.05 for _, value in series)
+
+    def test_monotone_event_axis(self):
+        series = bounds.sawtooth_bound(
+            0.01, 2**32, 4, growth=2.0,
+            initial_interval=1024, stream_events=2**16,
+        )
+        xs = [x for x, _ in series]
+        assert xs == sorted(xs)
+
+    def test_has_drops_at_merge_points(self):
+        series = bounds.sawtooth_bound(
+            0.01, 2**32, 4, growth=2.0,
+            initial_interval=1024, stream_events=2**16,
+        )
+        drops = sum(
+            1
+            for (_, first), (_, second) in zip(series, series[1:])
+            if second < first - 1
+        )
+        assert drops >= 3  # one per completed interval

@@ -1,0 +1,141 @@
+"""Unit and property tests for combining RAP trees (shard merging)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactProfiler
+from repro.core import RapConfig, RapTree
+from repro.core.combine import combine_many, combine_trees, split_stream_profile
+
+UNIVERSE = 1024
+
+
+def tree_of(values, epsilon=0.05, universe=UNIVERSE) -> RapTree:
+    tree = RapTree(
+        RapConfig(range_max=universe, epsilon=epsilon,
+                  merge_initial_interval=256)
+    )
+    tree.extend(values)
+    return tree
+
+
+class TestCombineTrees:
+    def test_weight_is_sum_of_shards(self):
+        first = tree_of([1, 2, 3] * 50)
+        second = tree_of([500] * 100)
+        combined = combine_trees(first, second)
+        assert combined.events == first.events + second.events
+        assert combined.total_weight() == combined.events
+
+    def test_estimates_at_least_shard_sums(self):
+        rng = np.random.default_rng(1)
+        first_values = [int(v) for v in rng.integers(0, UNIVERSE, 800)]
+        second_values = [7] * 500
+        first = tree_of(first_values)
+        second = tree_of(second_values)
+        combined = combine_trees(first, second)
+        for lo, hi in [(0, UNIVERSE - 1), (7, 7), (0, 63), (512, 1023)]:
+            assert combined.estimate(lo, hi) >= (
+                first.estimate(lo, hi) + second.estimate(lo, hi)
+            ) - combined.config.merge_threshold(combined.events) * 8
+
+    def test_combined_error_bound(self):
+        """Undercount of the combined tree <= sum of shard bounds."""
+        rng = np.random.default_rng(2)
+        shard_a = [int(v) for v in rng.integers(0, UNIVERSE, 1_000)]
+        shard_b = [13] * 700 + [900] * 300
+        combined = combine_trees(tree_of(shard_a), tree_of(shard_b))
+        exact = ExactProfiler(UNIVERSE)
+        exact.extend(shard_a)
+        exact.extend(shard_b)
+        for lo, hi in [(13, 13), (0, 255), (896, 959)]:
+            undercount = exact.count(lo, hi) - combined.estimate(lo, hi)
+            assert undercount <= 0.05 * combined.events + 2 * 10  # slack
+
+    def test_rejects_mismatched_universes(self):
+        with pytest.raises(ValueError, match="different universes"):
+            combine_trees(tree_of([1]), tree_of([1], universe=2048))
+
+    def test_rejects_mismatched_branching(self):
+        first = tree_of([1])
+        second = RapTree(RapConfig(range_max=UNIVERSE, branching=2))
+        second.add(1)
+        with pytest.raises(ValueError, match="branching"):
+            combine_trees(first, second)
+
+    def test_combining_with_empty_tree_is_identityish(self):
+        populated = tree_of([5] * 300 + list(range(100)))
+        empty = RapTree(populated.config)
+        combined = combine_trees(populated, empty)
+        assert combined.events == populated.events
+        assert combined.estimate(5, 5) >= populated.estimate(5, 5) - 1
+
+    def test_invariants_after_combine(self):
+        first = tree_of([3] * 400)
+        second = tree_of(list(range(0, UNIVERSE, 3)))
+        combined = combine_trees(first, second)
+        combined.check_invariants()
+
+
+class TestCombineMany:
+    def test_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            combine_many([])
+
+    def test_single_tree_passthrough(self):
+        tree = tree_of([1, 2])
+        assert combine_many([tree]) is tree
+
+    def test_sharded_equals_single_pass_within_bound(self):
+        rng = np.random.default_rng(4)
+        values = [7] * 900 + [int(v) for v in rng.integers(0, UNIVERSE, 2_100)]
+        rng.shuffle(values)
+        config = RapConfig(range_max=UNIVERSE, epsilon=0.05,
+                           merge_initial_interval=256)
+        shards = [values[i::4] for i in range(4)]
+        sharded = split_stream_profile(config, shards)
+        single = RapTree(config)
+        single.extend(values)
+        assert sharded.events == single.events
+        for lo, hi in [(7, 7), (0, 255), (0, UNIVERSE - 1)]:
+            difference = abs(sharded.estimate(lo, hi) - single.estimate(lo, hi))
+            assert difference <= 0.05 * len(values) * 2
+
+
+class TestCombineProperties:
+    @given(
+        first_values=st.lists(
+            st.integers(min_value=0, max_value=UNIVERSE - 1),
+            min_size=1, max_size=400,
+        ),
+        second_values=st.lists(
+            st.integers(min_value=0, max_value=UNIVERSE - 1),
+            min_size=1, max_size=400,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_weight_conservation_and_validity(self, first_values, second_values):
+        combined = combine_trees(tree_of(first_values), tree_of(second_values))
+        assert combined.events == len(first_values) + len(second_values)
+        combined.check_invariants()
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=UNIVERSE - 1),
+            min_size=2, max_size=600,
+        ),
+        lo=st.integers(min_value=0, max_value=UNIVERSE - 1),
+        width=st.integers(min_value=1, max_value=UNIVERSE),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_combined_estimate_still_lower_bound(self, values, lo, width):
+        hi = min(lo + width - 1, UNIVERSE - 1)
+        half = len(values) // 2
+        combined = combine_trees(tree_of(values[:half]), tree_of(values[half:]))
+        exact = ExactProfiler(UNIVERSE)
+        exact.extend(values)
+        assert combined.estimate(lo, hi) <= exact.count(lo, hi)

@@ -1,0 +1,168 @@
+"""Unit tests for RapConfig, thresholds, and the merge scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    MergeScheduler,
+    RapConfig,
+    bits_for_range,
+    max_tree_height,
+)
+
+
+class TestRapConfigValidation:
+    def test_accepts_reasonable_parameters(self):
+        config = RapConfig(range_max=2**32, epsilon=0.01, branching=4)
+        assert config.range_max == 2**32
+        assert config.epsilon == 0.01
+
+    @pytest.mark.parametrize("range_max", [0, 1, -5])
+    def test_rejects_tiny_universe(self, range_max):
+        with pytest.raises(ValueError, match="range_max"):
+            RapConfig(range_max=range_max)
+
+    @pytest.mark.parametrize("epsilon", [0.0, -0.1, 1.5])
+    def test_rejects_bad_epsilon(self, epsilon):
+        with pytest.raises(ValueError, match="epsilon"):
+            RapConfig(range_max=256, epsilon=epsilon)
+
+    def test_epsilon_of_exactly_one_is_allowed(self):
+        assert RapConfig(range_max=256, epsilon=1.0).epsilon == 1.0
+
+    @pytest.mark.parametrize("branching", [0, 1, -2])
+    def test_rejects_bad_branching(self, branching):
+        with pytest.raises(ValueError, match="branching"):
+            RapConfig(range_max=256, branching=branching)
+
+    def test_rejects_bad_merge_growth(self):
+        with pytest.raises(ValueError, match="merge_growth"):
+            RapConfig(range_max=256, merge_growth=1.0)
+
+    def test_rejects_negative_timeline_sampling(self):
+        with pytest.raises(ValueError, match="timeline_sample_every"):
+            RapConfig(range_max=256, timeline_sample_every=-1)
+
+    def test_with_updates_returns_modified_copy(self):
+        base = RapConfig(range_max=256, epsilon=0.05)
+        changed = base.with_updates(epsilon=0.01)
+        assert changed.epsilon == 0.01
+        assert base.epsilon == 0.05
+        assert changed.range_max == base.range_max
+
+
+class TestMaxTreeHeight:
+    @pytest.mark.parametrize(
+        "range_max,branching,expected",
+        [
+            (256, 4, 4),       # 4^4 = 256
+            (256, 2, 8),       # 2^8 = 256
+            (2**32, 4, 16),    # 4^16 = 2^32
+            (2**64, 4, 32),
+            (2**64, 2, 64),
+            (10, 4, 2),        # 4^2 = 16 >= 10
+            (2, 4, 1),
+        ],
+    )
+    def test_known_heights(self, range_max, branching, expected):
+        assert max_tree_height(range_max, branching) == expected
+
+    def test_exact_at_power_boundaries(self):
+        # Float log would misround near 4**k; integer arithmetic must not.
+        for exponent in (8, 16, 24, 31):
+            assert max_tree_height(4**exponent, 4) == exponent
+            assert max_tree_height(4**exponent + 1, 4) == exponent + 1
+
+    def test_config_property_matches_function(self):
+        config = RapConfig(range_max=2**20, branching=4)
+        assert config.max_height == max_tree_height(2**20, 4)
+
+
+class TestBitsForRange:
+    @pytest.mark.parametrize(
+        "range_max,expected",
+        [(2, 1), (256, 8), (257, 9), (2**32, 32), (2**64, 64)],
+    )
+    def test_widths(self, range_max, expected):
+        assert bits_for_range(range_max) == expected
+
+
+class TestSplitThreshold:
+    def test_formula(self):
+        config = RapConfig(
+            range_max=2**32, epsilon=0.01, branching=4,
+            min_split_threshold=0.0,
+        )
+        # eps * n / log_b(R) = 0.01 * 16000 / 16 = 10
+        assert config.split_threshold(16_000) == pytest.approx(10.0)
+
+    def test_floor_applies_for_short_streams(self):
+        config = RapConfig(range_max=2**32, epsilon=0.01)
+        assert config.split_threshold(10) == 1.0
+
+    def test_grows_linearly_with_stream(self):
+        config = RapConfig(range_max=2**32, epsilon=0.01)
+        assert config.split_threshold(2_000_000) == pytest.approx(
+            2 * config.split_threshold(1_000_000)
+        )
+
+    def test_merge_threshold_equals_split_threshold(self):
+        # Section 3.3: one register serves both comparisons.
+        config = RapConfig(range_max=2**32, epsilon=0.02)
+        for events in (10, 10_000, 10_000_000):
+            assert config.merge_threshold(events) == config.split_threshold(
+                events
+            )
+
+    def test_smaller_epsilon_means_lower_threshold(self):
+        tight = RapConfig(range_max=2**32, epsilon=0.001)
+        loose = RapConfig(range_max=2**32, epsilon=0.10)
+        n = 10_000_000
+        assert tight.split_threshold(n) < loose.split_threshold(n)
+
+
+class TestMergeScheduler:
+    def test_first_merge_at_initial_interval(self):
+        scheduler = MergeScheduler(initial_interval=100, growth=2.0)
+        assert not scheduler.due(99)
+        assert scheduler.due(100)
+
+    def test_interval_doubles_after_firing(self):
+        scheduler = MergeScheduler(initial_interval=100, growth=2.0)
+        scheduler.fired(100)
+        assert not scheduler.due(199)
+        assert scheduler.due(200)
+        scheduler.fired(200)
+        assert scheduler.due(400)
+
+    def test_firing_past_the_trigger_skips_ahead(self):
+        scheduler = MergeScheduler(initial_interval=100, growth=2.0)
+        scheduler.fired(750)  # large counted add jumped past several
+        assert scheduler.next_at == 800
+
+    def test_batch_counts_match_paper(self):
+        # Section 3.3: 2^32 events with 2^10 before the first merge
+        # => 32 - 10 = 22 batches; 2^64 => 54 batches.
+        scheduler = MergeScheduler(initial_interval=1024, growth=2.0)
+        assert len(scheduler.schedule_preview(2**32)) == 22
+        assert len(scheduler.schedule_preview(2**64)) == 54
+
+    def test_growth_of_four_halves_batches(self):
+        doubling = MergeScheduler(initial_interval=1024, growth=2.0)
+        quadrupling = MergeScheduler(initial_interval=1024, growth=4.0)
+        assert len(quadrupling.schedule_preview(2**32)) == pytest.approx(
+            len(doubling.schedule_preview(2**32)) / 2, abs=1
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MergeScheduler(initial_interval=0)
+        with pytest.raises(ValueError):
+            MergeScheduler(initial_interval=10, growth=0.5)
+
+    def test_batches_fired_counter(self):
+        scheduler = MergeScheduler(initial_interval=10, growth=2.0)
+        scheduler.fired(10)
+        scheduler.fired(20)
+        assert scheduler.batches_fired == 2

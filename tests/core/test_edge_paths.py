@@ -1,0 +1,148 @@
+"""Directed tests for rarely-hit structural paths.
+
+Each test here constructs the specific tree shape that exercises a
+branch the randomized suites reach only occasionally: partial-merge
+gaps, re-splits over surviving children, synthetic display roots, and
+combination across mismatched granularities.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hot_report import build_hot_hierarchy
+from repro.core import RapConfig, RapTree
+from repro.core.combine import combine_trees
+from repro.core.multidim import MultiDimConfig, MultiDimRapTree
+
+
+def quiet_tree(**overrides) -> RapTree:
+    params = dict(range_max=256, epsilon=0.05, branching=4,
+                  merge_initial_interval=10**9)
+    params.update(overrides)
+    return RapTree(RapConfig(**params))
+
+
+class TestPartialMergeThenResplit:
+    def build_gapped_tree(self) -> RapTree:
+        """A root whose children partially cover it (post-merge gap)."""
+        tree = quiet_tree()
+        # Heavy traffic on [0, 63] and [192, 255]; light on the middle.
+        for _ in range(300):
+            tree.add(5)
+            tree.add(250)
+        for value in (100, 150):
+            tree.add(value)
+        tree.merge_now()  # middle children fold back into the root
+        return tree
+
+    def test_gap_exists_and_root_covers_it(self):
+        tree = self.build_gapped_tree()
+        root = tree.root
+        assert 0 < len(root.children) < 4
+        # Events in the gap land on the root again.
+        before = root.count
+        tree.add(130)
+        assert tree.root.count == before + 1
+
+    def test_resplit_fills_only_missing_cells(self):
+        tree = self.build_gapped_tree()
+        surviving = {(c.lo, c.hi) for c in tree.root.children}
+        # Hammer the gap until the root splits again.
+        for _ in range(500):
+            tree.add(130)
+        tree.check_invariants()
+        after = {(c.lo, c.hi) for c in tree.root.children}
+        assert surviving <= after
+        assert after == {(0, 63), (64, 127), (128, 191), (192, 255)}
+
+    def test_counts_preserved_across_gap_cycle(self):
+        tree = self.build_gapped_tree()
+        total = tree.total_weight()
+        for _ in range(500):
+            tree.add(130)
+        tree.merge_now()
+        assert tree.total_weight() == total + 500
+
+
+class TestCombineAcrossGranularities:
+    def test_fine_counts_enter_coarse_destination(self):
+        """Combining materializes partition paths missing in the target.
+
+        The result adopts the *first* tree's configuration, so the fine
+        profile goes first to keep its resolution policy.
+        """
+        fine = quiet_tree(epsilon=0.01)
+        for _ in range(1_000):
+            fine.add(42)
+        coarse = quiet_tree(epsilon=1.0, min_split_threshold=10**9)
+        for value in range(100):
+            coarse.add(value)  # never splits: all weight on the root
+        combined = combine_trees(fine, coarse)
+        combined.check_invariants()
+        assert combined.events == 1_100
+        # The fine-grained knowledge about 42 survives the combination.
+        assert combined.estimate(42, 42) >= 900
+
+    def test_result_adopts_first_configuration(self):
+        """Combining under a never-refine config legally re-coarsens."""
+        fine = quiet_tree(epsilon=0.01)
+        for _ in range(1_000):
+            fine.add(42)
+        coarse = quiet_tree(epsilon=1.0, min_split_threshold=10**9)
+        coarse.add(1)
+        recoarsened = combine_trees(coarse, fine)
+        recoarsened.check_invariants()
+        # Weight conserved, but the coarse policy folds it to the root.
+        assert recoarsened.events == 1_001
+        assert recoarsened.node_count == 1
+
+    def test_combine_into_gapped_destination(self):
+        gapped = quiet_tree()
+        for _ in range(300):
+            gapped.add(5)
+            gapped.add(250)
+        gapped.add(100)
+        gapped.merge_now()  # leaves a child gap in the middle
+        donor = quiet_tree()
+        for _ in range(200):
+            donor.add(130)  # lands in the destination's gap
+        combined = combine_trees(gapped, donor)
+        combined.check_invariants()
+        assert combined.estimate(128, 191) >= 150
+
+
+class TestSyntheticDisplayRoot:
+    def test_multiple_top_level_hot_ranges_get_wrapped(self):
+        """Hot ranges in different root cells -> synthetic display root."""
+        tree = quiet_tree(epsilon=0.02)
+        for _ in range(400):
+            tree.add(5)      # hot in [0, 63]
+            tree.add(250)    # hot in [192, 255]
+        hierarchy = build_hot_hierarchy(tree, 0.10)
+        assert hierarchy is not None
+        # The wrapper covers the universe and holds both hot branches.
+        assert (hierarchy.item.lo, hierarchy.item.hi) == (0, 255)
+        assert len(hierarchy.children) >= 2
+
+
+class TestMultiDimResplit:
+    def test_box_resplit_after_partial_merge(self):
+        tree = MultiDimRapTree(
+            MultiDimConfig(range_maxes=(64, 64), epsilon=0.10,
+                           merge_initial_interval=10**9)
+        )
+        for _ in range(300):
+            tree.add((1, 1))
+        for _ in range(5):
+            tree.add((40, 40))
+        tree.merge_now()
+        weight = tree.total_weight()
+        # Redevelop the merged-away quadrant.
+        for _ in range(300):
+            tree.add((40, 40))
+        tree.check_invariants()
+        assert tree.total_weight() == weight + 300
+        hot = tree.hot_boxes(0.2)
+        assert any(
+            box[0][0] <= 40 <= box[0][1] and box[1][0] <= 40 <= box[1][1]
+            for box, _ in hot
+        )

@@ -1,0 +1,118 @@
+"""Tests for non-power-of-two universes and odd branching factors.
+
+The hardware requires power-of-two geometry (prefix ranges); the
+*software* tree is fully general. These tests pin that generality down:
+odd universe sizes, branching factors like 3 and 5, single-item trees,
+and the deepest practical universe (2**64).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExactProfiler
+from repro.core import RapConfig, RapTree, find_hot_ranges
+
+
+class TestOddUniverses:
+    @pytest.mark.parametrize("universe", [3, 7, 100, 1_000, 12_345])
+    def test_basic_profile_on_odd_universe(self, universe):
+        tree = RapTree(RapConfig(range_max=universe, epsilon=0.05,
+                                 merge_initial_interval=128))
+        rng = np.random.default_rng(universe)
+        values = rng.integers(0, universe, size=2_000, dtype=np.uint64)
+        for value in values:
+            tree.add(int(value))
+        tree.check_invariants()
+        assert tree.estimate(0, universe - 1) == 2_000
+
+    def test_estimates_bounded_on_odd_universe(self):
+        universe = 997  # prime: partitions never divide evenly
+        tree = RapTree(RapConfig(range_max=universe, epsilon=0.05,
+                                 merge_initial_interval=128))
+        exact = ExactProfiler(universe)
+        rng = np.random.default_rng(5)
+        stream = np.concatenate(
+            [
+                np.full(1_500, 123, dtype=np.uint64),
+                rng.integers(0, universe, size=1_500, dtype=np.uint64),
+            ]
+        )
+        for value in stream:
+            tree.add(int(value))
+            exact.add(int(value))
+        assert tree.estimate(123, 123) <= exact.count(123, 123)
+        assert exact.count(123, 123) - tree.estimate(123, 123) <= (
+            0.05 * len(stream) + tree.config.max_height * 2
+        )
+
+    def test_minimal_universe(self):
+        tree = RapTree(RapConfig(range_max=2, epsilon=0.5))
+        for _ in range(100):
+            tree.add(0)
+        for _ in range(50):
+            tree.add(1)
+        tree.check_invariants()
+        assert tree.estimate(0, 0) + tree.estimate(1, 1) <= 150
+        hot = find_hot_ranges(tree, 0.3)
+        assert any(item.lo == 0 and item.hi == 0 for item in hot)
+
+
+class TestOddBranching:
+    @pytest.mark.parametrize("branching", [3, 5, 7])
+    def test_profile_with_odd_branching(self, branching):
+        tree = RapTree(
+            RapConfig(range_max=1_000, epsilon=0.05, branching=branching,
+                      merge_initial_interval=128)
+        )
+        rng = np.random.default_rng(branching)
+        for value in rng.integers(0, 1_000, size=3_000, dtype=np.uint64):
+            tree.add(int(value))
+        tree.check_invariants()
+        for node in tree.nodes():
+            assert len(node.children) <= branching
+
+    def test_branching_three_finds_hot_item(self):
+        tree = RapTree(RapConfig(range_max=3**8, epsilon=0.02, branching=3))
+        for _ in range(2_000):
+            tree.add(1_000)
+        for value in range(500):
+            tree.add(value * 13 % 3**8)
+        node = tree.smallest_covering(1_000)
+        assert node.width <= 3
+
+
+class TestDeepUniverse:
+    def test_full_64_bit_universe(self):
+        tree = RapTree(RapConfig(range_max=2**64, epsilon=0.05,
+                                 merge_initial_interval=256))
+        tree.add(0)
+        tree.add(2**64 - 1)
+        for _ in range(2_000):
+            tree.add(0xDEAD_BEEF_CAFE_F00D)
+        tree.check_invariants()
+        assert tree.config.max_height == 32
+        node = tree.smallest_covering(0xDEAD_BEEF_CAFE_F00D)
+        assert node.width <= 4
+        assert tree.estimate(0, 2**64 - 1) == 2_002
+
+    def test_merge_recursion_depth_safe(self):
+        """Tree height (<= 64 levels for 2**64 at b=2) stays well under
+        Python's recursion limit even in the recursive merge walk."""
+        tree = RapTree(RapConfig(range_max=2**64, epsilon=0.01, branching=2,
+                                 merge_initial_interval=10**9))
+        for _ in range(5_000):
+            tree.add(12345)
+        assert tree.depth() <= 64
+        tree.merge_now()
+        tree.check_invariants()
+
+    def test_epsilon_one_keeps_tree_tiny(self):
+        tree = RapTree(RapConfig(range_max=2**64, epsilon=1.0,
+                                 min_split_threshold=50.0))
+        rng = np.random.default_rng(9)
+        for value in rng.integers(0, 2**64, size=1_000, dtype=np.uint64):
+            tree.add(int(value))
+        # Huge epsilon + floor: almost nothing warrants splitting.
+        assert tree.node_count < 64

@@ -1,0 +1,198 @@
+"""Unit and property tests for multi-dimensional RAP (paper's future work)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multidim import (
+    MultiDimConfig,
+    MultiDimRapTree,
+    partition_box,
+)
+
+
+def make_tree(**overrides) -> MultiDimRapTree:
+    params = dict(
+        range_maxes=(256, 256),
+        epsilon=0.05,
+        branching=4,
+        merge_initial_interval=10**9,
+    )
+    params.update(overrides)
+    return MultiDimRapTree(MultiDimConfig(**params))
+
+
+class TestConfig:
+    def test_rejects_no_dimensions(self):
+        with pytest.raises(ValueError):
+            MultiDimConfig(range_maxes=())
+
+    def test_rejects_degenerate_dimension(self):
+        with pytest.raises(ValueError):
+            MultiDimConfig(range_maxes=(256, 1))
+
+    def test_max_height_sums_dimensions(self):
+        config = MultiDimConfig(range_maxes=(256, 2**16), branching=4)
+        assert config.max_height == 4 + 8
+
+    def test_threshold_uses_summed_height(self):
+        config = MultiDimConfig(
+            range_maxes=(256, 256), epsilon=0.08, min_split_threshold=0.0
+        )
+        assert config.split_threshold(800) == pytest.approx(
+            0.08 * 800 / 8
+        )
+
+
+class TestPartitionBox:
+    def test_two_dim_grid(self):
+        cells = partition_box(((0, 255), (0, 255)), 2)
+        assert len(cells) == 4
+        assert ((0, 127), (0, 127)) in cells
+        assert ((128, 255), (128, 255)) in cells
+
+    def test_exhausted_dimension_not_split(self):
+        cells = partition_box(((5, 5), (0, 255)), 4)
+        assert len(cells) == 4
+        assert all(cell[0] == (5, 5) for cell in cells)
+
+    def test_point_box_raises(self):
+        with pytest.raises(ValueError):
+            partition_box(((5, 5), (9, 9)), 4)
+
+    def test_cells_cover_volume(self):
+        box = ((0, 63), (0, 15))
+        cells = partition_box(box, 4)
+        total = sum(
+            (hi1 - lo1 + 1) * (hi2 - lo2 + 1)
+            for (lo1, hi1), (lo2, hi2) in cells
+        )
+        assert total == 64 * 16
+
+
+class TestUpdates:
+    def test_basic_add(self):
+        tree = make_tree()
+        tree.add((10, 20))
+        assert tree.events == 1
+        assert tree.total_weight() == 1
+
+    def test_rejects_wrong_arity(self):
+        tree = make_tree()
+        with pytest.raises(ValueError, match="dimensions"):
+            tree.add((1, 2, 3))
+
+    def test_rejects_outside_universe(self):
+        tree = make_tree()
+        with pytest.raises(ValueError, match="outside"):
+            tree.add((300, 0))
+
+    def test_rejects_non_positive_count(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.add((0, 0), count=0)
+
+    def test_hot_point_splits_to_fine_box(self):
+        tree = make_tree(epsilon=0.02)
+        for _ in range(2_000):
+            tree.add((42, 99))
+        for _ in range(200):
+            tree.add((200, 10))
+        hot = tree.hot_boxes(0.10)
+        assert hot, "expected a hot box"
+        (box, weight) = hot[0]
+        assert all(lo <= coord <= hi
+                   for coord, (lo, hi) in zip((42, 99), box))
+        # The dominant tuple should be profiled at fine granularity.
+        assert max(hi - lo for lo, hi in box) <= 4
+
+
+class TestMergeAndEstimates:
+    def test_merge_preserves_weight(self):
+        tree = make_tree(epsilon=0.3)
+        for x in range(64):
+            tree.add((x * 4, (x * 3) % 256))
+        weight = tree.total_weight()
+        tree.merge_now()
+        assert tree.total_weight() == weight
+        tree.check_invariants()
+
+    def test_estimate_lower_bound(self):
+        tree = make_tree(epsilon=0.05)
+        points = [(10, 10)] * 500 + [(200, 200)] * 100
+        tree.extend(points)
+        box = ((0, 63), (0, 63))
+        truth = sum(1 for p in points
+                    if 0 <= p[0] <= 63 and 0 <= p[1] <= 63)
+        estimate = tree.estimate(box)
+        assert estimate <= truth
+        assert truth - estimate <= 0.05 * len(points) + tree.config.max_height * 2
+
+    def test_full_universe_estimate_exact(self):
+        tree = make_tree()
+        tree.extend([(1, 2), (3, 4), (200, 200)])
+        assert tree.estimate(((0, 255), (0, 255))) == 3
+
+    def test_scheduled_merges_fire(self):
+        tree = make_tree(merge_initial_interval=64)
+        for x in range(300):
+            tree.add((x % 256, (x * 7) % 256))
+        assert tree.merge_batches >= 1
+
+
+class TestEdgeProfiles:
+    def test_edge_profile_use_case(self):
+        """The conclusion's example: edge profiles as (src, dst) tuples."""
+        tree = make_tree(range_maxes=(2**16, 2**16), epsilon=0.05)
+        # A dominant edge and background noise.
+        for _ in range(800):
+            tree.add((0x1234, 0x5678))
+        for step in range(200):
+            tree.add(((step * 11) % 2**16, (step * 7) % 2**16))
+        hot = tree.hot_boxes(0.10)
+        assert hot
+        box, weight = hot[0]
+        assert box[0][0] <= 0x1234 <= box[0][1]
+        assert box[1][0] <= 0x5678 <= box[1][1]
+        assert weight >= 0.10 * tree.events
+
+
+class TestProperties:
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=500,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weight_conservation_and_invariants(self, points):
+        tree = make_tree(merge_initial_interval=128)
+        tree.extend(points)
+        assert tree.total_weight() == len(points)
+        tree.check_invariants()
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=300,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_estimates_bounded_by_truth(self, points):
+        tree = make_tree()
+        tree.extend(points)
+        box = ((0, 127), (64, 255))
+        truth = sum(
+            1 for x, y in points if 0 <= x <= 127 and 64 <= y <= 255
+        )
+        assert tree.estimate(box) <= truth

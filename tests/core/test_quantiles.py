@@ -1,0 +1,140 @@
+"""Unit and property tests for quantile queries over RAP trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RapConfig, RapTree
+from repro.core.quantiles import (
+    cdf_bounds,
+    median_bounds,
+    quantile,
+    quantile_bounds,
+)
+
+UNIVERSE = 2**16
+
+
+def profiled(values, epsilon=0.02) -> RapTree:
+    tree = RapTree(RapConfig(range_max=UNIVERSE, epsilon=epsilon,
+                             merge_initial_interval=512))
+    for value in values:
+        tree.add(int(value))
+    return tree
+
+
+def true_quantile(values, q) -> int:
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(np.ceil(q * len(ordered))) - 1))
+    return ordered[rank]
+
+
+class TestCdfBounds:
+    def test_brackets_truth(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, UNIVERSE, size=8_000, dtype=np.uint64)
+        tree = profiled(values)
+        for probe in (0, 1_000, 30_000, UNIVERSE - 1):
+            lower, upper = cdf_bounds(tree, probe)
+            truth = int((values <= probe).sum())
+            assert lower <= truth <= upper
+
+    def test_bracket_width_bounded(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, UNIVERSE, size=8_000, dtype=np.uint64)
+        epsilon = 0.05
+        tree = profiled(values, epsilon=epsilon)
+        height = tree.config.max_height
+        for probe in (5_000, 40_000):
+            lower, upper = cdf_bounds(tree, probe)
+            # Straddling weight is at most ~threshold per level.
+            assert upper - lower <= epsilon * len(values) + height * 2
+
+    def test_extremes(self):
+        tree = profiled([5, 5, 9])
+        lower, upper = cdf_bounds(tree, UNIVERSE - 1)
+        assert lower == upper == 3
+
+    def test_rejects_out_of_universe(self):
+        tree = profiled([1])
+        with pytest.raises(ValueError):
+            cdf_bounds(tree, UNIVERSE)
+
+
+class TestQuantileBounds:
+    def test_bracket_contains_true_quantile(self):
+        rng = np.random.default_rng(3)
+        values = np.concatenate(
+            [
+                np.full(3_000, 777, dtype=np.uint64),
+                rng.integers(0, UNIVERSE, size=7_000, dtype=np.uint64),
+            ]
+        )
+        tree = profiled(values)
+        for q in (0.1, 0.25, 0.5, 0.9, 0.99):
+            low, high = quantile_bounds(tree, q)
+            truth = true_quantile([int(v) for v in values], q)
+            assert low <= truth <= high
+
+    def test_point_item_stream_pins_quantiles(self):
+        tree = profiled([123] * 5_000)
+        low, high = quantile_bounds(tree, 0.5)
+        assert low <= 123 <= high
+        assert high - low <= 4  # resolved to (nearly) the item
+
+    def test_median_of_symmetric_stream(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, UNIVERSE, size=10_000, dtype=np.uint64)
+        tree = profiled(values)
+        low, high = median_bounds(tree)
+        assert low <= UNIVERSE // 2 <= high * 1.2  # roughly central
+
+    def test_monotone_in_q(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, UNIVERSE, size=6_000, dtype=np.uint64)
+        tree = profiled(values)
+        points = [quantile(tree, q) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert points == sorted(points)
+
+    def test_validation(self):
+        tree = profiled([1])
+        with pytest.raises(ValueError):
+            quantile_bounds(tree, 0.0)
+        with pytest.raises(ValueError):
+            quantile_bounds(tree, 1.5)
+        empty = RapTree(RapConfig(range_max=UNIVERSE))
+        with pytest.raises(ValueError, match="empty"):
+            quantile_bounds(empty, 0.5)
+
+
+class TestQuantileProperties:
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=UNIVERSE - 1),
+            min_size=10, max_size=1_500,
+        ),
+        q=st.floats(min_value=0.05, max_value=0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bracket_always_contains_truth(self, values, q):
+        tree = profiled(values, epsilon=0.1)
+        low, high = quantile_bounds(tree, q)
+        truth = true_quantile(values, q)
+        assert low <= truth <= high
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=UNIVERSE - 1),
+            min_size=50, max_size=800,
+        ),
+        probe=st.integers(min_value=0, max_value=UNIVERSE - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_bracket_always_contains_truth(self, values, probe):
+        tree = profiled(values, epsilon=0.1)
+        lower, upper = cdf_bounds(tree, probe)
+        truth = sum(1 for value in values if value <= probe)
+        assert lower <= truth <= upper

@@ -1,0 +1,79 @@
+"""Unit tests for TreeStats bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import TreeStats
+
+
+class TestObserve:
+    def test_events_and_updates_accumulate(self):
+        stats = TreeStats()
+        stats.observe(1, 10)
+        stats.observe(5, 12)
+        assert stats.events == 6
+        assert stats.updates == 2
+
+    def test_max_nodes_tracks_peak(self):
+        stats = TreeStats()
+        stats.observe(1, 10)
+        stats.observe(1, 50)
+        stats.observe(1, 20)
+        assert stats.max_nodes == 50
+
+    def test_average_nodes_weighted_by_events(self):
+        stats = TreeStats()
+        stats.observe(10, 100)   # 10 events at 100 nodes
+        stats.observe(30, 200)   # 30 events at 200 nodes
+        assert stats.average_nodes == pytest.approx(
+            (10 * 100 + 30 * 200) / 40
+        )
+
+    def test_average_of_empty_run_is_zero(self):
+        assert TreeStats().average_nodes == 0.0
+
+    def test_memory_bytes_at_128_bits(self):
+        stats = TreeStats()
+        stats.observe(1, 500)
+        assert stats.memory_bytes() == 500 * 16
+        assert stats.memory_bytes(bits_per_node=64) == 500 * 8
+
+
+class TestTimeline:
+    def test_disabled_by_default(self):
+        stats = TreeStats()
+        for step in range(100):
+            stats.observe(1, step)
+        assert stats.timeline == []
+
+    def test_sampling_interval(self):
+        stats = TreeStats(sample_every=10)
+        for step in range(100):
+            stats.observe(1, step + 1)
+        assert len(stats.timeline) == 10
+        events = [point[0] for point in stats.timeline]
+        assert events == sorted(events)
+
+    def test_counted_adds_sample_on_weight(self):
+        stats = TreeStats(sample_every=100)
+        stats.observe(250, 5)  # one giant add crosses several samples
+        assert len(stats.timeline) == 1
+        assert stats.timeline[0] == (250, 5)
+
+
+class TestMergeAndSplitCounters:
+    def test_split_counter(self):
+        stats = TreeStats()
+        stats.observe_split()
+        stats.observe_split()
+        assert stats.splits == 2
+
+    def test_merge_batch_recording(self):
+        stats = TreeStats()
+        stats.observe(100, 10)
+        stats.observe_merge_batch(nodes_removed=7, nodes_scanned=42)
+        assert stats.merge_batches == 1
+        assert stats.nodes_merged == 7
+        assert stats.merge_scan_visits == 42
+        assert stats.merge_points == [100]

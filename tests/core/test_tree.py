@@ -1,0 +1,250 @@
+"""Unit tests for RapTree: updates, splits, merges, and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RapConfig, RapTree
+
+
+def make_tree(**overrides) -> RapTree:
+    params = dict(
+        range_max=256,
+        epsilon=0.05,
+        branching=4,
+        merge_initial_interval=1_000_000,  # keep merges manual by default
+    )
+    params.update(overrides)
+    return RapTree(RapConfig(**params))
+
+
+class TestUpdates:
+    def test_single_event_lands_on_root(self):
+        tree = make_tree()
+        tree.add(42)
+        assert tree.events == 1
+        assert tree.root.count == 1
+        assert tree.node_count == 1
+
+    def test_rejects_out_of_universe(self):
+        tree = make_tree()
+        with pytest.raises(ValueError, match="outside universe"):
+            tree.add(256)
+        with pytest.raises(ValueError, match="outside universe"):
+            tree.add(-1)
+
+    def test_rejects_non_positive_count(self):
+        tree = make_tree()
+        with pytest.raises(ValueError, match="count"):
+            tree.add(0, count=0)
+
+    def test_update_goes_to_smallest_covering_range(self):
+        tree = make_tree()
+        # Force structure: repeated hits on 42 split the path down.
+        for _ in range(60):
+            tree.add(42)
+        node = tree.smallest_covering(42)
+        assert node.covers(42)
+        # With that much weight on one item the path reaches the item.
+        assert node.is_item
+        before = node.count
+        tree.add(42)
+        assert node.count == before + 1
+
+    def test_events_accumulate_counts(self):
+        tree = make_tree()
+        tree.add(10, count=7)
+        tree.add(11, count=3)
+        assert tree.events == 10
+        assert tree.total_weight() == 10
+
+    def test_extend_and_add_counted(self):
+        tree = make_tree()
+        tree.extend([1, 2, 3])
+        tree.add_counted([(4, 5), (5, 2)])
+        assert tree.events == 10
+
+
+class TestSplits:
+    def test_split_creates_partition_children(self):
+        tree = make_tree(epsilon=1.0, min_split_threshold=2.0)
+        for _ in range(3):
+            tree.add(0)
+        root = tree.root
+        assert len(root.children) == 4
+        assert [(child.lo, child.hi) for child in root.children] == [
+            (0, 63), (64, 127), (128, 191), (192, 255),
+        ]
+
+    def test_split_keeps_parent_count(self):
+        tree = make_tree(epsilon=1.0, min_split_threshold=2.0)
+        for _ in range(3):
+            tree.add(0)
+        assert tree.root.count == 3
+        assert all(
+            child.count == 0 or child.is_item is False
+            for child in tree.root.children
+        )
+
+    def test_item_ranges_never_split(self):
+        tree = make_tree()
+        for _ in range(500):
+            tree.add(99)
+        node = tree.find_node(99, 99)
+        assert node is not None
+        assert node.is_leaf
+
+    def test_counted_add_cascades_past_threshold(self):
+        """A huge counted add must not strand all weight on the root.
+
+        This is the pipeline-flush-and-reenter behaviour of the hardware
+        (Section 3.3): the remainder descends into fresh children.
+        """
+        tree = make_tree(epsilon=0.04)
+        tree.add(7, count=10_000)
+        leaf = tree.smallest_covering(7)
+        assert leaf.is_item
+        # The leaf holds almost everything; ancestors only the residue.
+        assert leaf.count > 9_000
+        assert tree.total_weight() == 10_000
+        tree.check_invariants()
+
+    def test_split_counter_in_stats(self):
+        tree = make_tree(epsilon=1.0, min_split_threshold=2.0)
+        for _ in range(3):
+            tree.add(0)
+        assert tree.stats.splits >= 1
+
+
+class TestMerges:
+    def test_merge_collapses_light_subtrees(self):
+        tree = make_tree(epsilon=0.5)
+        for value in range(100):
+            tree.add(value % 256)
+        before = tree.node_count
+        removed = tree.merge_now()
+        assert removed >= 0
+        assert tree.node_count == before - removed
+        tree.check_invariants()
+
+    def test_merge_preserves_total_weight(self):
+        tree = make_tree()
+        for value in [1, 1, 1, 50, 100, 150, 200, 250] * 30:
+            tree.add(value)
+        weight = tree.total_weight()
+        tree.merge_now()
+        assert tree.total_weight() == weight
+
+    def test_merge_keeps_heavy_subtrees(self):
+        tree = make_tree(epsilon=0.05)
+        for _ in range(2_000):
+            tree.add(42)
+        for value in range(200, 256):
+            tree.add(value)
+        tree.merge_now()
+        node = tree.smallest_covering(42)
+        # The dominant item keeps its fine-grained counter.
+        assert node.width <= 4
+
+    def test_scheduled_merges_fire(self):
+        tree = make_tree(merge_initial_interval=64, epsilon=0.05)
+        for value in range(300):
+            tree.add(value % 256)
+        assert tree.stats.merge_batches >= 2
+        assert tree.stats.merge_points[0] >= 64
+
+    def test_merged_child_is_leaf_when_absorbed(self):
+        """A subtree light enough to merge has already collapsed itself."""
+        tree = make_tree(epsilon=0.9, min_split_threshold=1.0)
+        for value in range(256):
+            tree.add(value)
+        tree.merge_now()
+        tree.check_invariants()
+
+
+class TestQueries:
+    def test_estimate_lower_bound_of_truth(self, skewed_values):
+        tree = make_tree(merge_initial_interval=256)
+        truth = {}
+        for value in skewed_values:
+            tree.add(value)
+            truth[value] = truth.get(value, 0) + 1
+        true_42 = truth.get(42, 0)
+        assert tree.estimate(42, 42) <= true_42
+        assert tree.estimate(42, 42) >= true_42 - tree.error_bound()
+
+    def test_estimate_full_universe_is_exact(self):
+        tree = make_tree()
+        for value in [0, 100, 255, 42, 42]:
+            tree.add(value)
+        assert tree.estimate(0, 255) == 5
+
+    def test_estimate_upper_bound(self):
+        tree = make_tree()
+        for value in [0, 100, 255, 42, 42]:
+            tree.add(value)
+        assert tree.estimate_upper(40, 44) >= tree.estimate(40, 44)
+        assert tree.estimate_upper(0, 255) == 5
+
+    def test_estimate_rejects_empty_range(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.estimate(10, 9)
+
+    def test_smallest_covering_rejects_outside(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.smallest_covering(999)
+
+    def test_find_node(self):
+        tree = make_tree(epsilon=1.0, min_split_threshold=2.0)
+        for _ in range(3):
+            tree.add(0)
+        assert tree.find_node(0, 255) is tree.root
+        assert tree.find_node(0, 63) is not None
+        assert tree.find_node(1, 62) is None
+
+    def test_leaves_and_nodes_iteration(self):
+        tree = make_tree(epsilon=1.0, min_split_threshold=2.0)
+        for _ in range(3):
+            tree.add(0)
+        nodes = list(tree.nodes())
+        leaves = list(tree.leaves())
+        assert len(nodes) == tree.node_count == 5
+        assert len(leaves) == 4
+
+    def test_depth(self):
+        tree = make_tree()
+        assert tree.depth() == 0
+        for _ in range(100):
+            tree.add(5)
+        assert tree.depth() >= 2
+
+    def test_len_and_memory(self):
+        tree = make_tree()
+        tree.add(1)
+        assert len(tree) == tree.node_count
+        assert tree.memory_bytes() == tree.node_count * 16
+
+
+class TestInvariants:
+    def test_check_invariants_on_mixed_workload(self, skewed_values):
+        tree = make_tree(merge_initial_interval=128)
+        for value in skewed_values:
+            tree.add(value)
+        tree.check_invariants()
+
+    def test_invariants_after_manual_merges(self, skewed_values):
+        tree = make_tree()
+        for index, value in enumerate(skewed_values):
+            tree.add(value)
+            if index % 500 == 499:
+                tree.merge_now()
+        tree.check_invariants()
+
+    def test_split_threshold_property_tracks_events(self):
+        tree = make_tree(epsilon=0.04, min_split_threshold=0.5)
+        for value in range(1_000):
+            tree.add(value % 256)
+        expected = 0.04 * 1_000 / tree.config.max_height
+        assert tree.split_threshold == pytest.approx(expected)

@@ -1,0 +1,153 @@
+"""Tests for the non-figure experiment reproductions (claims/tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    accuracy_memory,
+    buffer,
+    hw_costs,
+    narrow_operands,
+)
+
+
+class TestHwCosts:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return hw_costs.run(events=20_000)
+
+    def test_published_numbers(self, result):
+        engine = result.paper_engine
+        assert engine.total_area_mm2 == pytest.approx(24.73, rel=0.01)
+        assert engine.critical_path_ns == pytest.approx(7.0, rel=0.01)
+        assert engine.pipelined_critical_path_ns == pytest.approx(
+            1.26, rel=0.01
+        )
+        assert engine.energy_per_event_nj == pytest.approx(1.272, rel=0.01)
+
+    def test_small_engine_ratios(self, result):
+        assert result.area_ratio > 10.0
+        assert result.power_ratio > 10.0
+
+    def test_measured_cycles_near_four(self, result):
+        assert 4.0 <= result.engine_stats.cycles_per_event < 6.0
+
+    def test_stalls_small_and_bounded(self, result):
+        assert result.engine_stats.stall_fraction < 0.35
+
+    def test_renders(self, result):
+        assert "24.73" in result.render()
+
+
+class TestAccuracyMemory:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return accuracy_memory.run(events=40_000, benchmarks=("gcc", "gzip"))
+
+    def test_memory_grows_as_epsilon_tightens(self, result):
+        nodes = [point.max_nodes for point in result.points]
+        assert nodes == sorted(nodes)
+
+    def test_accuracy_grows_with_memory(self, result):
+        accuracies = [point.accuracy for point in result.points]
+        assert accuracies[-1] >= accuracies[0]
+
+    def test_8kb_budget_hits_98pct(self, result):
+        achieved = result.accuracy_within(8 * 1024)
+        assert achieved is not None
+        assert achieved >= 98.0  # the paper's headline claim
+
+    def test_64kb_budget_hits_997pct(self, result):
+        achieved = result.accuracy_within(64 * 1024)
+        assert achieved is not None
+        assert achieved >= 99.0  # paper: 99.73%
+
+    def test_renders(self, result):
+        assert "8 KB" in result.render() or "within 8" in result.render()
+
+
+class TestBuffer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return buffer.run(events=60_000)
+
+    def test_1k_code_combining_near_10x(self, result):
+        factor = result.factor("code", 1024)
+        assert factor >= 5.0  # paper: ~10x; shape = large factor
+
+    def test_code_combines_more_than_values(self, result):
+        assert result.factor("code", 1024) > result.factor("value", 1024)
+
+    def test_factor_grows_with_buffer(self, result):
+        code_factors = [
+            result.factor("code", size) for size in (64, 256, 1024, 4096)
+        ]
+        assert code_factors == sorted(code_factors)
+
+    def test_cycles_drop_with_combining(self, result):
+        assert result.cycle_saving > 2.0
+
+    def test_renders(self, result):
+        assert "combining" in result.render()
+
+
+class TestNarrowOperands:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return narrow_operands.run(events=80_000)
+
+    def test_flow_c_dominates(self, result):
+        name, share = result.top_region
+        assert name == "flow.c"
+        assert 0.25 <= share <= 0.60  # paper: 38.7%
+
+    def test_hot_ranges_inside_flow_c(self, result):
+        regions = [result.hot_region_of(item) for item in result.hot_ranges]
+        assert regions.count("flow.c") >= max(1, len(regions) // 2)
+
+    def test_narrow_stream_much_smaller_than_block_stream(self, result):
+        assert result.narrow_events < 0.25 * result.events
+
+    def test_renders(self, result):
+        assert "flow.c" in result.render()
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.run(events=50_000)
+
+    def test_policies_agree_on_hot_ranges(self, result):
+        assert result.same_hot_ranges
+
+    def test_continuous_does_far_more_scan_work(self, result):
+        assert result.scan_ratio > 5.0
+
+    def test_continuous_memory_no_looser(self, result):
+        batched = next(
+            row for row in result.merge_rows if row.policy == "batched"
+        )
+        continuous = next(
+            row for row in result.merge_rows if row.policy == "continuous"
+        )
+        assert continuous.max_nodes <= batched.max_nodes * 1.1
+
+    def test_branching_sweep_includes_4(self, result):
+        assert any(row.branching == 4 for row in result.branching_rows)
+        # Convergence story: bigger b needs fewer splits.
+        splits = {row.branching: row.splits for row in result.branching_rows}
+        assert splits[16] < splits[2]
+
+    def test_combining_preserves_hot_ranges(self, result):
+        assert all(row.identical_profile for row in result.combining_rows)
+
+    def test_combining_reduces_updates(self, result):
+        updates = {
+            row.combine_chunk: row.updates for row in result.combining_rows
+        }
+        assert updates[4096] < updates[0]
+
+    def test_renders(self, result):
+        assert "merge policy" in result.render()

@@ -1,0 +1,68 @@
+"""Tests for the trace-oriented CLI commands (record / analyze / diff)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.tracefile import trace_info
+
+
+class TestRecord:
+    def test_record_writes_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "gzip.trace")
+        assert main(
+            ["record", "gzip", "value", path, "--events", "5000"]
+        ) == 0
+        info = trace_info(path)
+        assert info["events"] == 5_000
+        assert info["kind"] == "load_value"
+        assert "recorded 5,000" in capsys.readouterr().out
+
+    def test_record_code_and_narrow(self, tmp_path):
+        code_path = str(tmp_path / "c.trace")
+        narrow_path = str(tmp_path / "n.trace")
+        assert main(["record", "mcf", "code", code_path,
+                     "--events", "4000"]) == 0
+        assert main(["record", "gcc", "narrow", narrow_path,
+                     "--events", "8000"]) == 0
+        assert trace_info(code_path)["kind"] == "pc"
+        assert trace_info(narrow_path)["events"] < 8_000
+
+
+class TestAnalyze:
+    def test_analyze_prints_hot_tree_and_quantiles(self, tmp_path, capsys):
+        path = str(tmp_path / "v.trace")
+        main(["record", "gzip", "value", path, "--events", "20000"])
+        capsys.readouterr()
+        assert main(["analyze", path, "--epsilon", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "20,000 load_value events" in out
+        assert "quantile brackets" in out
+        assert "p50" in out and "p99" in out
+
+    def test_analyze_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", str(tmp_path / "missing.trace")])
+
+
+class TestDiff:
+    def test_diff_two_traces(self, tmp_path, capsys):
+        first = str(tmp_path / "a.trace")
+        second = str(tmp_path / "b.trace")
+        main(["record", "gzip", "value", first, "--events", "10000"])
+        main(["record", "vortex", "value", second, "--events", "10000"])
+        capsys.readouterr()
+        assert main(["diff", first, second]) == 0
+        out = capsys.readouterr().out
+        assert "profile diff" in out
+        assert "total weight shift" in out
+
+    def test_diff_identical_traces_small_shift(self, tmp_path, capsys):
+        path = str(tmp_path / "same.trace")
+        main(["record", "parser", "value", path, "--events", "10000"])
+        capsys.readouterr()
+        main(["diff", path, path])
+        out = capsys.readouterr().out
+        shift = float(out.rsplit("total weight shift:", 1)[1].strip(" %\n"))
+        assert shift < 1.0

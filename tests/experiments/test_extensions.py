@@ -1,0 +1,137 @@
+"""Tests for the extension experiments (edges, capacity, phases, sampling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import capacity, edges, phase_detection, sampling_unify
+
+
+class TestEdges:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return edges.run(events=30_000)
+
+    def test_hot_edges_found(self, result):
+        assert result.hot_edges
+
+    def test_edges_attribute_to_regions(self, result):
+        regions = result.edge_regions()
+        assert regions
+        # Most hot edges' endpoints land inside modelled regions (a box
+        # midpoint can fall in inter-region padding for wide boxes).
+        resolved = sum(
+            1
+            for src, dst in regions
+            if src is not None and dst is not None
+        )
+        assert resolved >= len(regions) / 2
+
+    def test_hot_edges_stay_in_hot_regions(self, result):
+        hot_regions = set(result.program.hot_region_names(0.10))
+        endpoints = {
+            name
+            for src, dst in result.edge_regions()
+            for name in (src, dst)
+        }
+        assert endpoints & hot_regions
+
+    def test_correlations_found(self, result):
+        assert result.hot_correlations
+        # PC side of each hot correlation is narrow (code is localized);
+        # address side can be wide (whole-heap behaviour).
+        for box, _ in result.hot_correlations:
+            (pc_lo, pc_hi), _ = box
+            assert pc_hi - pc_lo < 2**24
+
+    def test_bounded_counters(self, result):
+        assert result.edge_tree_nodes < 5_000
+        assert result.correlation_tree_nodes < 5_000
+
+    def test_renders(self, result):
+        assert "hot control-flow edges" in result.render()
+
+
+class TestCapacity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return capacity.run(events=30_000, capacities=(64, 256, 1024))
+
+    def test_weight_never_lost(self, result):
+        # check_invariants inside run() already asserts conservation;
+        # here: underestimates stay bounded even under heavy pressure
+        # (weight parks on coarser ancestors, it is never dropped).
+        for row in result.rows:
+            assert row.worst_hot_underestimate < 0.25
+
+    def test_pressure_decreases_with_capacity(self, result):
+        suppressed = [row.suppressed_splits for row in result.rows]
+        assert suppressed == sorted(suppressed, reverse=True)
+
+    def test_ample_capacity_is_clean(self, result):
+        final = result.rows[-1]
+        assert final.suppressed_splits == 0
+        assert final.hot_recall == 1.0
+
+    def test_hot_ranges_survive_moderate_capacity(self, result):
+        # Graceful degradation: at 256+ rows the hot set fully resolves;
+        # even at 64 rows most of it survives.
+        for row in result.rows:
+            if row.capacity >= 256:
+                assert row.hot_recall == 1.0
+            else:
+                assert row.hot_recall >= 0.5
+
+    def test_renders(self, result):
+        assert "TCAM capacity" in result.render()
+
+
+class TestPhaseDetection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return phase_detection.run(events=80_000, window_events=8_000)
+
+    def test_phase_count_near_planted(self, result):
+        assert result.planted_phases == 2
+        assert 2 <= result.detected_phases <= 4
+
+    def test_consistency_high(self, result):
+        assert result.label_consistency() >= 0.75
+
+    def test_recurrence_detected(self, result):
+        """At least one phase label recurs non-contiguously."""
+        spans = result.analysis.phase_spans()
+        labels = [phase for phase, _, _ in spans]
+        assert len(labels) > len(set(labels))
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "planted" in text and "consistency" in text
+
+
+class TestSamplingUnify:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sampling_unify.run(events=60_000, rates=(1.0, 0.1, 0.01))
+
+    def test_tree_work_scales_with_rate(self, result):
+        full = result.row_for(1.0).events_into_tree
+        tenth = result.row_for(0.1).events_into_tree
+        assert tenth == pytest.approx(full / 10, rel=0.2)
+
+    def test_hot_recall_stays_high(self, result):
+        for row in result.rows:
+            assert row.hot_recall >= 0.8
+
+    def test_error_grows_as_rate_drops(self, result):
+        assert (
+            result.row_for(0.01).worst_hot_error
+            >= result.row_for(1.0).worst_hot_error
+        )
+
+    def test_only_unsampled_run_is_deterministic(self, result):
+        for row in result.rows:
+            assert row.deterministic == (row.rate >= 1.0)
+
+    def test_renders(self, result):
+        assert "sampling front end" in result.render()

@@ -1,0 +1,237 @@
+"""Tests asserting that each figure reproduction shows the paper's shape.
+
+These run the experiment modules at reduced stream sizes; the assertions
+target the *qualitative* results the paper reports (who wins, orderings,
+bound compliance), not absolute values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+)
+
+EVENTS = 60_000  # small but structured enough for every shape below
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run(events=20_000)
+
+    def test_paper_picks(self, result):
+        assert result.chosen_branching == 4
+        assert result.chosen_growth == 2.0
+
+    def test_b4_beats_big_branchings_on_bound(self, result):
+        rows = {row.branching: row for row in result.branching_rows}
+        assert rows[4].worst_case_nodes < rows[16].worst_case_nodes
+        assert rows[4].worst_case_nodes < rows[32].worst_case_nodes
+
+    def test_height_shrinks_with_branching(self, result):
+        heights = [row.tree_height for row in result.branching_rows]
+        assert heights == sorted(heights, reverse=True)
+
+    def test_q_memory_increasing(self, result):
+        peaks = [row.peak_nodes for row in result.growth_rows]
+        assert peaks == sorted(peaks)
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "Figure 2" in text
+        assert "b=4" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run(events=EVENTS)
+
+    def test_paper_batch_counts(self, result):
+        assert result.batches_for_2_32 == 22
+        assert result.batches_for_2_64 == 54
+
+    def test_sawtooth_bounded(self, result):
+        values = [value for _, value in result.sawtooth]
+        assert max(values) <= result.peak_bound * 1.05
+        assert min(values) >= result.post_merge_bound - 1e-9
+
+    def test_empirical_tree_far_below_bound(self, result):
+        peak = max(nodes for _, nodes in result.empirical_timeline)
+        assert peak < result.peak_bound / 3
+
+    def test_renders(self, result):
+        assert "22" in result.render()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(events=EVENTS)
+
+    def test_about_seven_hot_ranges(self, result):
+        assert 5 <= result.hot_count <= 9  # paper: 7
+
+    def test_small_value_family_found(self, result):
+        # [0, e] / [0, fe] / [0, 3ffe] / [0, 3fffe]: ~64% combined.
+        assert 0.45 <= result.small_value_coverage <= 0.80
+
+    def test_pointer_band_found(self, result):
+        assert 0.12 <= result.pointer_band_coverage <= 0.35
+
+    def test_every_hot_range_at_least_10_percent(self, result):
+        for item in result.hot_ranges:
+            assert item.fraction >= 0.10
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "Figure 5" in text and "paper" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(events=EVENTS)
+
+    def test_hundreds_of_nodes_not_thousands(self, result):
+        # Paper: max 453 nodes for gcc at eps=10%.
+        assert 100 <= result.max_nodes <= 1_000
+
+    def test_merges_drop_the_tree(self, result):
+        assert result.drops_at_merges >= len(result.merge_points) - 2
+
+    def test_observed_far_below_worst_case(self, result):
+        assert result.max_nodes < result.worst_case_nodes
+
+    def test_timeline_spans_run(self, result):
+        assert result.timeline[-1][0] >= EVENTS * 0.9
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(events=EVENTS)
+
+    def test_code_profiles_under_500_nodes_at_10pct(self, result):
+        for row in result.panel("code", 0.10):
+            assert row.max_nodes <= 520  # paper: 500 suffices
+
+    def test_gcc_is_code_memory_maximum(self, result):
+        assert result.max_of_panel("code", 0.10).benchmark == "gcc"
+
+    def test_parser_top_two_value_memory(self, result):
+        panel = sorted(
+            result.panel("value", 0.10),
+            key=lambda row: row.max_nodes,
+            reverse=True,
+        )
+        assert "parser" in {panel[0].benchmark, panel[1].benchmark}
+
+    def test_tighter_epsilon_needs_more_memory(self, result):
+        for kind in ("code", "value"):
+            loose = {r.benchmark: r.max_nodes for r in result.panel(kind, 0.10)}
+            tight = {r.benchmark: r.max_nodes for r in result.panel(kind, 0.01)}
+            for name in loose:
+                assert tight[name] > loose[name]
+
+    def test_average_below_max(self, result):
+        for row in result.rows:
+            assert row.average_nodes <= row.max_nodes
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run(events=EVENTS)
+
+    def test_epsilon_guarantee_respected(self, result):
+        for row in result.rows:
+            assert row.max_epsilon_error <= row.epsilon
+
+    def test_max_at_least_average(self, result):
+        for row in result.rows:
+            assert row.max_percent_error >= row.average_percent_error - 1e-9
+
+    def test_tighter_epsilon_no_worse(self, result):
+        by_key = {
+            (row.benchmark, row.profile_kind, row.epsilon): row
+            for row in result.rows
+        }
+        for (name, kind, epsilon), row in by_key.items():
+            if epsilon == 0.01:
+                loose = by_key[(name, kind, 0.10)]
+                assert (
+                    row.average_percent_error
+                    <= loose.average_percent_error + 0.5
+                )
+
+    def test_suite_accuracy_headline(self, result):
+        # Paper: ~98% (code) and ~96.6% (value) at eps=10%.
+        assert result.average_accuracy("code", 0.10) >= 96.0
+        assert result.average_accuracy("value", 0.10) >= 95.0
+
+    def test_hot_ranges_found_everywhere(self, result):
+        for row in result.rows:
+            assert row.hot_ranges >= 3
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run(events=EVENTS)
+
+    def test_miss_streams_more_local_than_all_loads(self, result):
+        order = result.locality_order()
+        assert order.index("dl1_misses") < order.index("all_loads")
+        assert order.index("dl2_misses") < order.index("all_loads")
+
+    def test_mid_curve_separation(self, result):
+        # Paper's worked example lives at 2^16; check the miss curves
+        # dominate somewhere in the mid range.
+        separations = [
+            result.coverage_at("dl1_misses", bits)
+            - result.coverage_at("all_loads", bits)
+            for bits in (16, 24, 32)
+        ]
+        assert max(separations) > 0
+
+    def test_curves_end_at_100(self, result):
+        for curve in result.curves.values():
+            assert curve.points[-1][1] == pytest.approx(100.0)
+
+    def test_miss_rates_nested(self, result):
+        assert 0 < result.dl2_miss_rate <= result.dl1_miss_rate < 1
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run(events=EVENTS)
+
+    def test_hot_ranges_cover_most_zero_loads(self, result):
+        # Paper's nodes 2-4 cover 85.2%.
+        assert result.hot_coverage > 0.6
+
+    def test_hot_ranges_inside_modeled_heap(self, result):
+        names = result.hot_regions_named()
+        assert names
+        assert all(name is not None and "rtx" in name for name in names)
+
+    def test_conditional_zero_chance_near_38pct(self, result):
+        rates = [
+            result.conditional_zero_rate(item) for item in result.hot_ranges
+        ]
+        assert rates
+        assert all(0.3 <= rate <= 0.46 for rate in rates)
+
+    def test_zero_fraction_sane(self, result):
+        assert 0.15 <= result.zero_fraction <= 0.45

@@ -1,0 +1,66 @@
+"""Tests for the experiment runner registry and the ``rap`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import runner
+
+
+class TestRunnerRegistry:
+    def test_all_design_md_ids_registered(self):
+        expected = {
+            "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "hw_costs", "accuracy_memory", "buffer", "narrow",
+            "ablation", "edges", "capacity", "phases", "sampling",
+            "scaling",
+        }
+        assert set(runner.available()) == expected
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            runner.run_experiment("nope")
+
+    def test_render_experiment(self):
+        text = runner.render_experiment("fig2", events=5_000)
+        assert "Figure 2" in text
+
+    def test_run_all_subset(self):
+        reports = runner.run_all(["fig2"], events=5_000)
+        assert set(reports) == {"fig2"}
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "ablation" in out
+
+    def test_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "parser" in out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "fig2", "--events", "5000"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_profile_command(self, capsys):
+        assert main(
+            [
+                "profile", "gzip", "code",
+                "--events", "20000", "--epsilon", "0.05",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gzip.code" in out
+        assert "%" in out
+
+    def test_profile_value_and_narrow(self, capsys):
+        assert main(["profile", "gcc", "narrow", "--events", "20000"]) == 0
+        assert main(["profile", "mcf", "value", "--events", "10000"]) == 0
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])

@@ -1,0 +1,34 @@
+"""Tests for the stream-length invariance experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return scaling.run(lengths=(10_000, 40_000, 160_000))
+
+
+class TestScaling:
+    def test_memory_flat_as_stream_grows(self, result):
+        assert result.stream_growth >= 16
+        assert result.memory_growth < 1.5
+
+    def test_relative_error_non_increasing(self, result):
+        errors = [row.average_percent_error for row in result.rows]
+        assert errors[-1] <= errors[0] + 0.1
+
+    def test_epsilon_error_always_under_bound(self, result):
+        for row in result.rows:
+            assert row.max_epsilon_error <= result.epsilon
+
+    def test_hot_set_stabilizes(self, result):
+        assert len(result.stable_hot_core()) >= 4
+        counts = [len(row.hot_ranges) for row in result.rows]
+        assert max(counts) - min(counts) <= 2
+
+    def test_renders(self, result):
+        assert "invariance" in result.render()

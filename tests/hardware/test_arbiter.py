@@ -1,0 +1,39 @@
+"""Unit tests for the fixed-priority arbiter (pipeline stage 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.arbiter import PriorityArbiter
+
+
+class TestPriorityArbiter:
+    def test_grants_highest_index(self):
+        arbiter = PriorityArbiter(lines=16)
+        assert arbiter.grant([0, 3, 7]) == 7
+        assert arbiter.grant([7, 3, 0]) == 7  # order irrelevant
+
+    def test_single_line(self):
+        arbiter = PriorityArbiter(lines=16)
+        assert arbiter.grant([4]) == 4
+
+    def test_no_match_returns_none(self):
+        arbiter = PriorityArbiter(lines=16)
+        assert arbiter.grant([]) is None
+
+    def test_rejects_out_of_width_line(self):
+        arbiter = PriorityArbiter(lines=4)
+        with pytest.raises(ValueError, match="outside arbiter"):
+            arbiter.grant([4])
+        with pytest.raises(ValueError):
+            arbiter.grant([-1])
+
+    def test_rejects_degenerate_width(self):
+        with pytest.raises(ValueError):
+            PriorityArbiter(lines=0)
+
+    def test_counts_grants(self):
+        arbiter = PriorityArbiter(lines=8)
+        arbiter.grant([1])
+        arbiter.grant([])
+        assert arbiter.grants == 2

@@ -1,0 +1,109 @@
+"""Tests for the calibrated hardware cost model (Section 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.costmodel import (
+    EngineCostConfig,
+    TechnologyNode,
+    estimate_costs,
+    paper_configuration,
+    small_configuration,
+)
+
+
+class TestPaperCalibration:
+    """The published numbers the model must reproduce."""
+
+    def test_total_area(self):
+        report = estimate_costs(paper_configuration())
+        assert report.total_area_mm2 == pytest.approx(24.73, rel=0.01)
+
+    def test_tcam_critical_path(self):
+        report = estimate_costs(paper_configuration())
+        assert report.critical_path_ns == pytest.approx(7.0, rel=0.01)
+
+    def test_pipelined_critical_path_is_sram(self):
+        report = estimate_costs(paper_configuration())
+        assert report.pipelined_critical_path_ns == pytest.approx(1.26, rel=0.01)
+        assert report.pipelined_critical_path_ns == pytest.approx(
+            report.sram_delay_ns
+        )
+
+    def test_energy_per_event(self):
+        report = estimate_costs(paper_configuration())
+        assert report.energy_per_event_nj == pytest.approx(1.272, rel=0.01)
+
+    def test_small_engine_more_than_10x_cheaper(self):
+        big = estimate_costs(paper_configuration())
+        small = estimate_costs(small_configuration(400))
+        assert big.total_area_mm2 / small.total_area_mm2 > 10.0
+        assert big.energy_per_event_nj / small.energy_per_event_nj > 10.0
+
+
+class TestScalingLaws:
+    def test_area_linear_in_entries(self):
+        small = estimate_costs(EngineCostConfig(tcam_entries=1024,
+                                                sram_bytes=4096))
+        large = estimate_costs(EngineCostConfig(tcam_entries=4096,
+                                                sram_bytes=16384))
+        assert large.tcam_area_mm2 == pytest.approx(4 * small.tcam_area_mm2)
+        assert large.sram_area_mm2 == pytest.approx(4 * small.sram_area_mm2)
+
+    def test_delay_logarithmic_in_entries(self):
+        small = estimate_costs(EngineCostConfig(tcam_entries=1024))
+        large = estimate_costs(EngineCostConfig(tcam_entries=4096))
+        assert large.tcam_delay_ns - small.tcam_delay_ns == pytest.approx(
+            2 * 0.5  # two extra log2 steps at 0.5 ns each
+        )
+
+    def test_technology_shrink(self):
+        reference = estimate_costs(paper_configuration())
+        shrunk = estimate_costs(
+            EngineCostConfig(
+                technology=TechnologyNode(feature_um=0.09, voltage=1.0)
+            )
+        )
+        assert shrunk.total_area_mm2 == pytest.approx(
+            reference.total_area_mm2 / 4, rel=0.01
+        )
+        assert shrunk.critical_path_ns == pytest.approx(
+            reference.critical_path_ns / 2, rel=0.01
+        )
+        assert shrunk.energy_per_event_nj < reference.energy_per_event_nj / 2
+
+    def test_rejects_bad_technology(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(feature_um=0.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            EngineCostConfig(tcam_entries=0)
+        with pytest.raises(ValueError):
+            EngineCostConfig(sram_bytes=0)
+
+
+class TestDerivedMetrics:
+    def test_clock_frequencies(self):
+        report = estimate_costs(paper_configuration())
+        assert report.clock_mhz == pytest.approx(1e3 / 7.0, rel=0.01)
+        assert report.pipelined_clock_mhz == pytest.approx(
+            1e3 / 1.26, rel=0.01
+        )
+
+    def test_events_per_second_at_4_cycles(self):
+        report = estimate_costs(paper_configuration())
+        assert report.events_per_second(4.0) == pytest.approx(
+            report.pipelined_clock_mhz * 1e6 / 4.0
+        )
+        with pytest.raises(ValueError):
+            report.events_per_second(0)
+
+    def test_power_scales_with_throughput(self):
+        report = estimate_costs(paper_configuration())
+        assert report.power_watts(4.0) == pytest.approx(
+            2 * report.power_watts(8.0)
+        )
+        # Sanity: sub-watt at 0.18 um and ~200M events/s.
+        assert 0.01 < report.power_watts(4.0) < 2.0

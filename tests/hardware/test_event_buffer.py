@@ -1,0 +1,97 @@
+"""Unit tests for the stage-0 combining event buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.event_buffer import CombiningEventBuffer
+
+
+class TestWindows:
+    def test_combines_duplicates_within_window(self):
+        buffer = CombiningEventBuffer(capacity=8, combine=True)
+        windows = list(buffer.windows([5, 5, 5, 7, 7, 9, 5, 9]))
+        assert windows == [[(5, 4), (7, 2), (9, 2)]]
+
+    def test_preserves_first_seen_order(self):
+        buffer = CombiningEventBuffer(capacity=8)
+        windows = list(buffer.windows([9, 5, 9, 5]))
+        assert windows == [[(9, 2), (5, 2)]]
+
+    def test_windows_split_at_capacity(self):
+        buffer = CombiningEventBuffer(capacity=3)
+        windows = list(buffer.windows([1, 1, 2, 3, 3, 3, 4]))
+        assert windows == [[(1, 2), (2, 1)], [(3, 3)], [(4, 1)]]
+
+    def test_no_combining_mode(self):
+        buffer = CombiningEventBuffer(capacity=4, combine=False)
+        windows = list(buffer.windows([5, 5, 6]))
+        assert windows == [[(5, 1), (5, 1), (6, 1)]]
+
+    def test_weight_is_conserved(self):
+        events = [1, 2, 2, 3, 3, 3] * 100
+        buffer = CombiningEventBuffer(capacity=17)
+        total = sum(
+            count for window in buffer.windows(events) for _, count in window
+        )
+        assert total == len(events)
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            CombiningEventBuffer(capacity=0)
+
+
+class TestCombiningFactor:
+    def test_repetitive_stream_combines_heavily(self):
+        buffer = CombiningEventBuffer(capacity=1024)
+        for _ in buffer.windows([7] * 4096):
+            pass
+        assert buffer.combining_factor == pytest.approx(1024.0)
+
+    def test_all_distinct_stream_does_not_combine(self):
+        buffer = CombiningEventBuffer(capacity=64)
+        for _ in buffer.windows(range(1_000)):
+            pass
+        assert buffer.combining_factor == pytest.approx(1.0)
+
+    def test_factor_of_empty_buffer_is_one(self):
+        assert CombiningEventBuffer().combining_factor == 1.0
+
+    def test_bigger_buffer_combines_at_least_as_much(self):
+        stream = ([1] * 10 + list(range(50))) * 40
+        small = CombiningEventBuffer(capacity=16)
+        for _ in small.windows(iter(stream)):
+            pass
+        large = CombiningEventBuffer(capacity=256)
+        for _ in large.windows(iter(stream)):
+            pass
+        assert large.combining_factor >= small.combining_factor
+
+
+class TestStallPressure:
+    def test_absorb_stall_raises_high_water(self):
+        buffer = CombiningEventBuffer(capacity=100)
+        buffer.absorb_stall(cycles=40, arrival_rate=1.0)
+        assert buffer.backlog == 40
+        assert buffer.high_water >= 40
+        assert not buffer.overflowed
+
+    def test_overflow_detection(self):
+        buffer = CombiningEventBuffer(capacity=32)
+        buffer.absorb_stall(cycles=100)
+        assert buffer.overflowed
+
+    def test_drain(self):
+        buffer = CombiningEventBuffer(capacity=100)
+        buffer.absorb_stall(cycles=50)
+        buffer.drain_backlog(cycles=30)
+        assert buffer.backlog == 20
+        buffer.drain_backlog(cycles=100)
+        assert buffer.backlog == 0
+
+    def test_negative_cycles_rejected(self):
+        buffer = CombiningEventBuffer()
+        with pytest.raises(ValueError):
+            buffer.absorb_stall(-1)
+        with pytest.raises(ValueError):
+            buffer.drain_backlog(-1)

@@ -1,0 +1,181 @@
+"""Tests for the pipelined RAP engine, including software equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RapConfig, RapTree
+from repro.hardware.pipeline import HardwareParams, PipelinedRapEngine
+
+
+def software_counters(config: RapConfig, records) -> dict:
+    tree = RapTree(config)
+    for value, count in records:
+        tree.add(value, count)
+    return {(node.lo, node.hi): node.count for node in tree.nodes()}
+
+
+def skewed_records(seed=3, n=3_000, universe=2**16):
+    rng = np.random.default_rng(seed)
+    values = np.where(
+        rng.random(n) < 0.4,
+        np.uint64(1234),
+        rng.integers(0, universe, size=n, dtype=np.uint64),
+    )
+    return [(int(v), 1) for v in values]
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two_universe(self):
+        with pytest.raises(ValueError, match="power-of-two universe"):
+            PipelinedRapEngine(RapConfig(range_max=1000))
+
+    def test_rejects_non_power_of_two_branching(self):
+        with pytest.raises(ValueError, match="branching"):
+            PipelinedRapEngine(RapConfig(range_max=1024, branching=3))
+
+    def test_root_row_installed(self):
+        engine = PipelinedRapEngine(RapConfig(range_max=1024))
+        assert engine.node_count == 1
+        assert engine.counters() == {(0, 1023): 0}
+
+
+class TestEquivalence:
+    """The headline integration property: hardware == software."""
+
+    def test_single_event_equivalence(self):
+        config = RapConfig(range_max=2**16, epsilon=0.05,
+                           merge_initial_interval=256)
+        records = skewed_records()
+        engine = PipelinedRapEngine(config, HardwareParams(combine_events=False))
+        for value, count in records:
+            engine.process_record(value, count)
+        engine.check_invariants()
+        assert engine.counters() == software_counters(config, records)
+
+    def test_counted_record_equivalence(self):
+        """Counted records (combined duplicates) must also agree."""
+        config = RapConfig(range_max=2**16, epsilon=0.05,
+                           merge_initial_interval=512)
+        rng = np.random.default_rng(9)
+        records = [
+            (int(rng.integers(0, 2**16)), int(rng.integers(1, 40)))
+            for _ in range(800)
+        ] + [(77, 500), (77, 500)]
+        engine = PipelinedRapEngine(config, HardwareParams(combine_events=False))
+        for value, count in records:
+            engine.process_record(value, count)
+        engine.check_invariants()
+        assert engine.counters() == software_counters(config, records)
+
+    def test_equivalence_on_64_bit_universe(self):
+        config = RapConfig(range_max=2**64, epsilon=0.10,
+                           merge_initial_interval=256)
+        rng = np.random.default_rng(21)
+        records = [(int(v), 1) for v in rng.integers(
+            0, 2**63, size=1_500, dtype=np.uint64
+        )] + [(0, 1)] * 500
+        engine = PipelinedRapEngine(config, HardwareParams(combine_events=False))
+        for value, count in records:
+            engine.process_record(value, count)
+        assert engine.counters() == software_counters(config, records)
+
+    def test_process_stream_uses_buffer_and_conserves_weight(self):
+        config = RapConfig(range_max=2**16, epsilon=0.05)
+        engine = PipelinedRapEngine(
+            config, HardwareParams(buffer_capacity=64, combine_events=True)
+        )
+        values = [5] * 500 + list(range(500))
+        engine.process_stream(values)
+        engine.check_invariants()
+        assert engine.events == 1_000
+        assert engine.buffer.combining_factor > 1.5
+
+
+class TestCycleAccounting:
+    def test_updates_cost_four_cycles(self):
+        engine = PipelinedRapEngine(
+            RapConfig(range_max=2**16, epsilon=0.5),
+            HardwareParams(combine_events=False),
+        )
+        engine.process_record(1)
+        assert engine.stats.update_cycles == 4
+
+    def test_cycles_per_event_near_four(self):
+        config = RapConfig(range_max=2**16, epsilon=0.05,
+                           merge_initial_interval=512)
+        engine = PipelinedRapEngine(config, HardwareParams(combine_events=False))
+        for value, count in skewed_records(n=4_000):
+            engine.process_record(value, count)
+        # "On an average, RAP requires 4 cycles to process an event":
+        # updates are exactly 4; splits/merges add a bounded overhead.
+        assert 4.0 <= engine.stats.cycles_per_event < 6.0
+        assert engine.stats.stall_fraction < 0.35
+
+    def test_splits_and_merges_stall(self):
+        config = RapConfig(range_max=2**16, epsilon=0.02,
+                           merge_initial_interval=128)
+        engine = PipelinedRapEngine(config, HardwareParams(combine_events=False))
+        for value, count in skewed_records(n=2_000):
+            engine.process_record(value, count)
+        assert engine.stats.splits > 0
+        assert engine.stats.split_stall_cycles > 0
+        assert engine.stats.merge_batches > 0
+        assert engine.stats.merge_stall_cycles > 0
+
+    def test_reentries_counted_for_cascades(self):
+        engine = PipelinedRapEngine(
+            RapConfig(range_max=2**16, epsilon=0.04),
+            HardwareParams(combine_events=False),
+        )
+        engine.process_record(9, 50_000)
+        assert engine.stats.reentries > 0
+        engine.check_invariants()
+
+
+class TestCapacityPressure:
+    def test_forced_merge_frees_rows(self):
+        config = RapConfig(range_max=2**16, epsilon=0.01,
+                           merge_initial_interval=10**9)
+        engine = PipelinedRapEngine(
+            config,
+            HardwareParams(tcam_capacity=64, combine_events=False),
+        )
+        rng = np.random.default_rng(4)
+        for value in rng.integers(0, 2**16, size=3_000, dtype=np.uint64):
+            engine.process_record(int(value))
+        engine.check_invariants()
+        assert engine.node_count <= 64
+        assert engine.stats.forced_merges > 0
+
+    def test_suppressed_splits_keep_weight(self):
+        config = RapConfig(range_max=2**16, epsilon=0.01,
+                           merge_initial_interval=10**9)
+        engine = PipelinedRapEngine(
+            config,
+            HardwareParams(tcam_capacity=16, combine_events=False),
+        )
+        rng = np.random.default_rng(5)
+        for value in rng.integers(0, 2**16, size=2_000, dtype=np.uint64):
+            engine.process_record(int(value))
+        engine.check_invariants()
+        assert engine.stats.suppressed_splits > 0
+        # Every event still accounted for despite refused splits.
+        export = engine.to_software_tree()
+        assert export.estimate(0, 2**16 - 1) == 2_000
+
+
+class TestExport:
+    def test_export_estimate_matches_software(self):
+        config = RapConfig(range_max=2**16, epsilon=0.05)
+        records = skewed_records(n=2_000)
+        engine = PipelinedRapEngine(config, HardwareParams(combine_events=False))
+        for value, count in records:
+            engine.process_record(value, count)
+        tree = RapTree(config)
+        for value, count in records:
+            tree.add(value, count)
+        export = engine.to_software_tree()
+        for lo, hi in [(0, 2**16 - 1), (1234, 1234), (0, 4095)]:
+            assert export.estimate(lo, hi) == tree.estimate(lo, hi)

@@ -1,0 +1,104 @@
+"""Property tests: the hardware engine tracks the software tree exactly.
+
+Hypothesis drives random record sequences (values, counts, universes,
+epsilons) through both implementations; the profiles must be
+bit-identical and every structural invariant must hold. This is the
+strongest correctness statement in the repository: two independent
+implementations of the algorithm (tree descent vs TCAM longest-prefix
+match) cannot drift apart on any input hypothesis can find.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RapConfig, RapTree
+from repro.hardware.pipeline import HardwareParams, PipelinedRapEngine
+
+
+@st.composite
+def record_sequences(draw):
+    universe_bits = draw(st.sampled_from([8, 12, 16]))
+    epsilon = draw(st.sampled_from([0.02, 0.05, 0.2]))
+    records = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**universe_bits - 1),
+                st.integers(min_value=1, max_value=200),
+            ),
+            min_size=1,
+            max_size=250,
+        )
+    )
+    merge_interval = draw(st.sampled_from([64, 1024]))
+    return universe_bits, epsilon, merge_interval, records
+
+
+class TestEngineEquivalenceProperties:
+    @given(spec=record_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_profiles_bit_identical(self, spec):
+        universe_bits, epsilon, merge_interval, records = spec
+        config = RapConfig(
+            range_max=2**universe_bits,
+            epsilon=epsilon,
+            merge_initial_interval=merge_interval,
+        )
+        engine = PipelinedRapEngine(
+            config, HardwareParams(combine_events=False)
+        )
+        tree = RapTree(config)
+        for value, count in records:
+            engine.process_record(value, count)
+            tree.add(value, count)
+        engine.check_invariants()
+        tree.check_invariants()
+        assert engine.counters() == {
+            (node.lo, node.hi): node.count for node in tree.nodes()
+        }
+        assert engine.events == tree.events
+
+    @given(spec=record_sequences())
+    @settings(max_examples=25, deadline=None)
+    def test_weight_conserved_under_capacity_pressure(self, spec):
+        """Even with a tiny TCAM, no event weight is ever dropped."""
+        universe_bits, epsilon, merge_interval, records = spec
+        config = RapConfig(
+            range_max=2**universe_bits,
+            epsilon=epsilon,
+            merge_initial_interval=merge_interval,
+        )
+        engine = PipelinedRapEngine(
+            config,
+            HardwareParams(tcam_capacity=24, combine_events=False),
+        )
+        total = 0
+        for value, count in records:
+            engine.process_record(value, count)
+            total += count
+        engine.check_invariants()
+        export = engine.to_software_tree()
+        assert export.estimate(0, 2**universe_bits - 1) == total
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=2**12 - 1),
+            min_size=1,
+            max_size=400,
+        ),
+        buffer_capacity=st.sampled_from([4, 32, 128]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_buffered_stream_conserves_weight(self, values, buffer_capacity):
+        config = RapConfig(range_max=2**12, epsilon=0.05)
+        engine = PipelinedRapEngine(
+            config,
+            HardwareParams(
+                buffer_capacity=buffer_capacity, combine_events=True
+            ),
+        )
+        engine.process_stream(values)
+        engine.check_invariants()
+        assert engine.events == len(values)
+        assert engine.buffer.events_in == len(values)

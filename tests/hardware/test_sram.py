@@ -1,0 +1,73 @@
+"""Unit tests for the SRAM counter array (pipeline stage 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.sram import CounterSram, SramFullError
+
+
+class TestAllocation:
+    def test_allocate_returns_zeroed_slot(self):
+        sram = CounterSram(slots=4)
+        slot = sram.allocate()
+        assert sram.read(slot) == 0
+        assert sram.allocated == 1
+
+    def test_allocate_exhaustion(self):
+        sram = CounterSram(slots=2)
+        sram.allocate()
+        sram.allocate()
+        assert sram.full
+        with pytest.raises(SramFullError):
+            sram.allocate()
+
+    def test_release_recycles(self):
+        sram = CounterSram(slots=1)
+        slot = sram.allocate()
+        sram.write(slot, 99)
+        sram.release(slot)
+        again = sram.allocate()
+        assert again == slot
+        assert sram.read(again) == 0  # fresh slots are zeroed
+
+
+class TestAccess:
+    def test_increment_read_modify_write(self):
+        sram = CounterSram(slots=2)
+        slot = sram.allocate()
+        assert sram.increment(slot, 5) == 5
+        assert sram.increment(slot) == 6
+        assert sram.read(slot) == 6
+
+    def test_access_counters(self):
+        sram = CounterSram(slots=2)
+        slot = sram.allocate()
+        sram.increment(slot)  # one read + one write
+        assert sram.reads == 1
+        assert sram.writes >= 2  # allocate zeroing + increment write
+
+    def test_out_of_range_slot(self):
+        sram = CounterSram(slots=2)
+        with pytest.raises(IndexError):
+            sram.read(5)
+
+    def test_negative_write_rejected(self):
+        sram = CounterSram(slots=1)
+        slot = sram.allocate()
+        with pytest.raises(ValueError, match="unsigned"):
+            sram.write(slot, -1)
+
+
+class TestSaturation:
+    def test_counter_saturates_not_wraps(self):
+        sram = CounterSram(slots=1, counter_bits=8)
+        slot = sram.allocate()
+        sram.write(slot, 255)
+        assert sram.increment(slot) == 255
+        assert sram.saturations == 1
+
+    def test_total_bytes(self):
+        # The paper's configuration: 4096 slots x 32 bits = 16 KB.
+        sram = CounterSram(slots=4096, counter_bits=32)
+        assert sram.total_bytes() == 16 * 1024

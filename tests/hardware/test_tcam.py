@@ -1,0 +1,141 @@
+"""Unit tests for the TCAM model (pipeline stage 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.tcam import (
+    TcamFullError,
+    TernaryCam,
+    entry_to_range,
+    range_to_entry,
+)
+
+
+class TestRangeEncoding:
+    def test_full_universe_is_all_wildcards(self):
+        entry = range_to_entry(0, 2**32 - 1, 32)
+        assert entry.mask == 0
+        assert entry.prefix_bits == 0
+        assert entry.matches(0)
+        assert entry.matches(2**32 - 1)
+
+    def test_single_item_is_full_prefix(self):
+        entry = range_to_entry(42, 42, 32)
+        assert entry.prefix_bits == 32
+        assert entry.matches(42)
+        assert not entry.matches(43)
+
+    def test_quarter_range(self):
+        entry = range_to_entry(64, 127, 8)
+        assert entry.prefix_bits == 2
+        assert entry.matches(64)
+        assert entry.matches(127)
+        assert not entry.matches(63)
+        assert not entry.matches(128)
+
+    def test_rejects_non_power_of_two_width(self):
+        with pytest.raises(ValueError, match="power of two"):
+            range_to_entry(0, 2, 8)
+
+    def test_rejects_unaligned_range(self):
+        with pytest.raises(ValueError, match="aligned"):
+            range_to_entry(1, 2, 8)
+
+    def test_rejects_range_wider_than_key(self):
+        with pytest.raises(ValueError, match="wider"):
+            range_to_entry(0, 2**16 - 1, 8)
+
+    @given(
+        width_exp=st.integers(min_value=0, max_value=16),
+        block=st.integers(min_value=0, max_value=2**10),
+    )
+    @settings(max_examples=100)
+    def test_round_trip(self, width_exp, block):
+        width = 2**width_exp
+        lo = block * width
+        hi = lo + width - 1
+        if hi >= 2**32:
+            return
+        entry = range_to_entry(lo, hi, 32)
+        assert entry_to_range(entry, 32) == (lo, hi)
+
+    @given(
+        width_exp=st.integers(min_value=0, max_value=10),
+        block=st.integers(min_value=0, max_value=63),
+        key=st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    @settings(max_examples=150)
+    def test_match_iff_covered(self, width_exp, block, key):
+        width = 2**width_exp
+        lo = block * width
+        hi = lo + width - 1
+        if hi >= 2**16:
+            return
+        entry = range_to_entry(lo, hi, 16)
+        assert entry.matches(key) == (lo <= key <= hi)
+
+
+class TestTernaryCam:
+    def make_cam(self) -> TernaryCam:
+        cam = TernaryCam(capacity=64, width_bits=8)
+        cam.insert(range_to_entry(0, 255, 8))        # root
+        cam.insert(range_to_entry(0, 63, 8))         # quarter
+        cam.insert(range_to_entry(0, 15, 8))         # sixteenth
+        cam.insert(range_to_entry(64, 127, 8))
+        return cam
+
+    def test_search_returns_all_covering_rows(self):
+        cam = self.make_cam()
+        matches = cam.search(5)
+        assert len(matches) == 3  # root, [0,63], [0,15]
+
+    def test_rows_sorted_by_prefix_length(self):
+        cam = self.make_cam()
+        cam.check_sorted()
+        lengths = [entry.prefix_bits for entry in cam.rows]
+        assert lengths == sorted(lengths)
+
+    def test_last_match_is_longest_prefix(self):
+        cam = self.make_cam()
+        matches = cam.search(5)
+        last = cam.rows[matches[-1]]
+        assert entry_to_range(last, 8) == (0, 15)
+
+    def test_insert_counts_shifts(self):
+        cam = TernaryCam(capacity=8, width_bits=8)
+        cam.insert(range_to_entry(0, 15, 8))     # long prefix first
+        before = cam.insert_shifts
+        cam.insert(range_to_entry(0, 255, 8))    # must go before it
+        assert cam.insert_shifts == before + 1
+
+    def test_capacity_enforced(self):
+        cam = TernaryCam(capacity=2, width_bits=8)
+        cam.insert(range_to_entry(0, 255, 8))
+        cam.insert(range_to_entry(0, 63, 8))
+        with pytest.raises(TcamFullError):
+            cam.insert(range_to_entry(0, 15, 8))
+
+    def test_delete_and_find_row(self):
+        cam = self.make_cam()
+        entry = range_to_entry(0, 63, 8)
+        row = cam.find_row(entry)
+        assert row is not None
+        cam.delete(row)
+        assert cam.find_row(entry) is None
+        assert len(cam.search(5)) == 2
+
+    def test_search_counts_accesses(self):
+        cam = self.make_cam()
+        cam.search(1)
+        cam.search(2)
+        assert cam.searches == 2
+
+    def test_uint64_universe(self):
+        cam = TernaryCam(capacity=8, width_bits=64)
+        cam.insert(range_to_entry(0, 2**64 - 1, 64))
+        cam.insert(range_to_entry(2**62, 2**63 - 1, 64))
+        assert len(cam.search(2**62 + 5)) == 2
+        assert len(cam.search(7)) == 1

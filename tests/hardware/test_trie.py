@@ -1,0 +1,160 @@
+"""Unit and property tests for the multibit-trie lookup engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RapConfig, RapTree
+from repro.hardware.tcam import TernaryCam, range_to_entry
+from repro.hardware.trie import MultibitTrie, TrieEntry, range_to_prefix
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultibitTrie(width_bits=0)
+        with pytest.raises(ValueError):
+            MultibitTrie(width_bits=16, stride=0)
+        with pytest.raises(ValueError):
+            MultibitTrie(width_bits=10, stride=4)  # stride must divide
+
+    def test_levels(self):
+        trie = MultibitTrie(width_bits=16, stride=4)
+        assert trie.levels == 4
+        assert trie.fanout == 16
+
+
+class TestRangeToPrefix:
+    def test_basic(self):
+        assert range_to_prefix(0, 255, 16) == (0, 8)
+        assert range_to_prefix(64, 127, 8) == (64, 2)
+        assert range_to_prefix(42, 42, 8) == (42, 8)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            range_to_prefix(0, 2, 8)
+        with pytest.raises(ValueError):
+            range_to_prefix(1, 2, 8)
+
+
+class TestLookupSemantics:
+    def build(self) -> MultibitTrie:
+        trie = MultibitTrie(width_bits=8, stride=4)
+        trie.insert(TrieEntry(value=0, prefix_len=0, item=1))     # default
+        trie.insert(TrieEntry(value=0, prefix_len=2, item=2))     # [0, 63]
+        trie.insert(TrieEntry(value=0, prefix_len=4, item=3))     # [0, 15]
+        trie.insert(TrieEntry(value=64, prefix_len=2, item=4))    # [64, 127]
+        return trie
+
+    def test_longest_match_wins(self):
+        trie = self.build()
+        assert trie.longest_match(5).item == 3      # in [0, 15]
+        assert trie.longest_match(40).item == 2     # in [0, 63] only
+        assert trie.longest_match(100).item == 4    # in [64, 127]
+        assert trie.longest_match(200).item == 1    # default
+
+    def test_unaligned_prefix_expansion(self):
+        # /2 prefix at stride 4 expands to 4 slots on level 1.
+        trie = MultibitTrie(width_bits=8, stride=4)
+        trie.insert(TrieEntry(value=0, prefix_len=2, item=9))
+        assert trie.expansions == 4
+        for key in (0, 20, 40, 63):
+            assert trie.longest_match(key).item == 9
+        assert trie.longest_match(64) is None
+
+    def test_constant_lookup_steps(self):
+        trie = self.build()
+        trie.longest_match(5)
+        assert trie.average_lookup_steps <= trie.levels
+
+    def test_key_validation(self):
+        with pytest.raises(ValueError):
+            self.build().longest_match(256)
+
+
+class TestDelete:
+    def test_delete_restores_shadowed_prefix(self):
+        trie = MultibitTrie(width_bits=8, stride=4)
+        short = TrieEntry(value=0, prefix_len=2, item=1)
+        long = TrieEntry(value=0, prefix_len=4, item=2)
+        trie.insert(short)
+        trie.insert(long)
+        assert trie.longest_match(3).item == 2
+        trie.delete(long)
+        assert trie.longest_match(3).item == 1
+
+    def test_delete_default(self):
+        trie = MultibitTrie(width_bits=8, stride=4)
+        default = TrieEntry(value=0, prefix_len=0, item=7)
+        trie.insert(default)
+        trie.delete(default)
+        assert trie.longest_match(10) is None
+
+    def test_delete_missing_raises(self):
+        trie = MultibitTrie(width_bits=8, stride=4)
+        with pytest.raises(KeyError):
+            trie.delete(TrieEntry(value=0, prefix_len=4, item=1))
+
+    def test_memory_accounting(self):
+        trie = MultibitTrie(width_bits=8, stride=4)
+        assert trie.stored_entries() == 0
+        trie.insert(TrieEntry(value=0, prefix_len=4, item=1))
+        assert trie.stored_entries() == 1
+        assert trie.memory_bytes() > 0
+
+
+class TestTcamEquivalence:
+    """The paper's point: trie and TCAM answer the same LPM question."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        keys=st.lists(
+            st.integers(min_value=0, max_value=2**16 - 1),
+            min_size=5, max_size=40,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_tcam_on_rap_tree_ranges(self, seed, keys):
+        # Build a real RAP tree's range set, install it in both engines.
+        rng = np.random.default_rng(seed)
+        tree = RapTree(RapConfig(range_max=2**16, epsilon=0.05))
+        for value in rng.integers(0, 2**16, size=400, dtype=np.uint64):
+            tree.add(int(value))
+
+        cam = TernaryCam(capacity=4096, width_bits=16)
+        trie = MultibitTrie(width_bits=16, stride=4)
+        for index, node in enumerate(tree.nodes()):
+            cam.insert(range_to_entry(node.lo, node.hi, 16))
+            value, prefix_len = range_to_prefix(node.lo, node.hi, 16)
+            trie.insert(TrieEntry(value=value, prefix_len=prefix_len,
+                                  item=index))
+
+        for key in keys:
+            matches = cam.search(key)
+            tcam_longest = cam.rows[matches[-1]].prefix_bits
+            trie_hit = trie.longest_match(key)
+            assert trie_hit is not None
+            assert trie_hit.prefix_len == tcam_longest
+
+    def test_trie_resolves_rap_updates_like_tree_descent(self):
+        """smallest_covering == trie longest match on live tree ranges."""
+        rng = np.random.default_rng(3)
+        tree = RapTree(RapConfig(range_max=2**16, epsilon=0.05))
+        for value in rng.integers(0, 2**16, size=2_000, dtype=np.uint64):
+            tree.add(int(value))
+        trie = MultibitTrie(width_bits=16, stride=4)
+        by_item = {}
+        for index, node in enumerate(tree.nodes()):
+            value, prefix_len = range_to_prefix(node.lo, node.hi, 16)
+            trie.insert(TrieEntry(value=value, prefix_len=prefix_len,
+                                  item=index))
+            by_item[index] = node
+        for key in rng.integers(0, 2**16, size=200, dtype=np.uint64):
+            expected = tree.smallest_covering(int(key))
+            hit = trie.longest_match(int(key))
+            assert hit is not None
+            node = by_item[hit.item]
+            assert (node.lo, node.hi) == (expected.lo, expected.hi)

@@ -1,0 +1,211 @@
+"""Integration tests: whole pipelines across multiple subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    coverage_curve,
+    evaluate_errors,
+    memory_report,
+    render_hot_tree,
+)
+from repro.baselines import (
+    ExactProfiler,
+    FixedRangeProfiler,
+    SamplingProfiler,
+    SpaceSaving,
+)
+from repro.core import (
+    RapConfig,
+    RapTree,
+    dump_tree,
+    find_hot_ranges,
+    load_tree,
+    rap_add_points,
+    rap_finalize,
+    rap_init,
+)
+from repro.hardware import HardwareParams, PipelinedRapEngine
+from repro.simulator import simulate_loads
+from repro.workloads import benchmark
+
+
+class TestWorkloadToAnalysisPipeline:
+    """workload -> RAP + exact -> error/memory/coverage reports."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        stream = benchmark("gzip").value_stream(60_000, seed=42)
+        tree = RapTree(RapConfig(range_max=stream.universe, epsilon=0.02))
+        tree.add_stream(iter(stream), combine_chunk=2048)
+        tree.merge_now()
+        exact = ExactProfiler.from_stream(stream.universe, stream.values)
+        return stream, tree, exact
+
+    def test_error_report(self, artifacts):
+        _, tree, exact = artifacts
+        report = evaluate_errors(tree, exact, 0.10)
+        assert report.hot_count >= 4
+        assert report.max_epsilon_error <= 0.02
+        assert report.accuracy > 95.0
+
+    def test_memory_report(self, artifacts):
+        _, tree, _ = artifacts
+        report = memory_report(tree)
+        assert 0 < report.max_nodes < report.worst_case_nodes
+        assert report.max_bytes == report.max_nodes * 16
+
+    def test_coverage_curve(self, artifacts):
+        _, tree, _ = artifacts
+        curve = coverage_curve(tree, "gzip")
+        assert curve.points[-1][1] == pytest.approx(100.0)
+        assert curve.coverage_at(20) > 30.0
+
+    def test_render(self, artifacts):
+        _, tree, _ = artifacts
+        text = render_hot_tree(tree, 0.10)
+        assert text.count("\n") > 3
+
+
+class TestHardwareSoftwareOnSimulatorStream:
+    """The full hardware path on a simulated miss-value stream."""
+
+    def test_engine_matches_software_on_zero_load_addresses(self):
+        trace = simulate_loads(benchmark("gcc"), 20_000, seed=8)
+        stream = trace.zero_load_addresses()
+        config = RapConfig(range_max=stream.universe, epsilon=0.10,
+                           merge_initial_interval=512)
+        engine = PipelinedRapEngine(
+            config, HardwareParams(combine_events=False)
+        )
+        software = RapTree(config)
+        for value in stream:
+            engine.process_record(value)
+            software.add(value)
+        engine.check_invariants()
+        software.check_invariants()
+        assert engine.counters() == {
+            (node.lo, node.hi): node.count for node in software.nodes()
+        }
+        # Both find the same hot heap bands.
+        export = engine.to_software_tree()
+        for item in find_hot_ranges(software, 0.10):
+            assert export.estimate(item.lo, item.hi) == software.estimate(
+                item.lo, item.hi
+            )
+
+
+class TestSerializationMidRun:
+    def test_profile_resume_via_dump(self):
+        """Dump mid-stream, reload, continue: same estimates as one run."""
+        stream = benchmark("mcf").value_stream(20_000, seed=4)
+        values = list(stream)
+        config = RapConfig(range_max=stream.universe, epsilon=0.05)
+
+        straight = RapTree(config)
+        for value in values:
+            straight.add(value)
+
+        first_half = RapTree(config)
+        for value in values[:10_000]:
+            first_half.add(value)
+        resumed = load_tree(dump_tree(first_half))
+        # Internal scheduler state is part of the dump's config, not the
+        # position; re-align it so merge timing matches.
+        resumed.merge_scheduler.next_at = (
+            first_half.merge_scheduler.next_at
+        )
+        for value in values[10_000:]:
+            resumed.add(value)
+
+        assert resumed.events == straight.events
+        assert resumed.total_weight() == straight.total_weight()
+        # Estimates agree within the error bound on the hot value 0.
+        difference = abs(
+            resumed.estimate(0, 0) - straight.estimate(0, 0)
+        )
+        assert difference <= config.epsilon * len(values)
+
+
+class TestBaselineComparison:
+    """RAP against the baselines on the same stream and memory budget."""
+
+    @pytest.fixture(scope="class")
+    def stream_and_truth(self):
+        rng = np.random.default_rng(33)
+        # 35% of mass in a hot *range* of cold items + a hot item + tail.
+        parts = [
+            rng.integers(0x5_0000, 0x5_4000, size=7_000, dtype=np.uint64),
+            np.full(4_000, 0xABCD, dtype=np.uint64),
+            rng.integers(0, 2**32, size=9_000, dtype=np.uint64),
+        ]
+        values = np.concatenate(parts)
+        rng.shuffle(values)
+        exact = ExactProfiler.from_stream(2**32, values)
+        return values, exact
+
+    def test_rap_finds_both_hot_item_and_hot_range(self, stream_and_truth):
+        values, _ = stream_and_truth
+        tree = RapTree(RapConfig(range_max=2**32, epsilon=0.02))
+        tree.add_stream(iter(int(v) for v in values), combine_chunk=2048)
+        hot = find_hot_ranges(tree, 0.10)
+        assert any(
+            item.lo <= 0xABCD <= item.hi and item.width <= 4 for item in hot
+        )
+        assert any(
+            0x5_0000 <= item.lo and item.hi <= 0x5_4000 - 1 + 0x1000
+            and item.width > 1_000
+            for item in hot
+        )
+
+    def test_space_saving_misses_the_hot_range(self, stream_and_truth):
+        values, _ = stream_and_truth
+        sketch = SpaceSaving(capacity=500)
+        sketch.extend(int(v) for v in values)
+        hitters = [value for value, _ in sketch.heavy_hitters(0.10)]
+        assert 0xABCD in hitters
+        assert all(not 0x5_0000 <= value < 0x5_4000 for value in hitters)
+
+    def test_fixed_range_cannot_zoom(self, stream_and_truth):
+        values, _ = stream_and_truth
+        flat = FixedRangeProfiler(2**32, num_counters=500)
+        flat.feed_array(values)
+        hot_bins = flat.hot_bins(0.10)
+        # Bins are ~8.6M wide: hopeless for a 16K-wide hot range.
+        assert all(hi - lo > 2**20 for lo, hi, _ in hot_bins)
+
+    def test_sampling_has_variance_rap_does_not(self, stream_and_truth):
+        values, exact = stream_and_truth
+        truth = exact.count(0xABCD, 0xABCD)
+        tree = RapTree(RapConfig(range_max=2**32, epsilon=0.02))
+        tree.add_stream(iter(int(v) for v in values), combine_chunk=2048)
+        rap_error = truth - tree.estimate(0xABCD, 0xABCD)
+        assert 0 <= rap_error <= 0.02 * len(values)
+        sampler = SamplingProfiler(2**32, rate=0.01, seed=5)
+        sampler.feed_array(values)
+        # The sampler is unbiased but noisy; just check it runs and uses
+        # far less memory than exact counting.
+        assert sampler.memory_entries() < exact.memory_entries() / 5
+
+
+class TestPaperApiEndToEnd:
+    def test_dual_profile_session(self, tmp_path):
+        """The Section 3.2 usage: PCs and values profiled side by side."""
+        spec = benchmark("vpr")
+        code = spec.code_stream(15_000, seed=6)
+        values = spec.value_stream(15_000, seed=6)
+        profile = rap_init(
+            {"pc": code.universe, "value": values.universe}, epsilon=0.05
+        )
+        rap_add_points(profile, iter(code), name="pc")
+        rap_add_points(profile, values.counted(chunk=1024), name="value")
+        summaries = rap_finalize(
+            profile, hot_fraction=0.10, dump_path=str(tmp_path / "vpr")
+        )
+        assert summaries["pc"].events == 15_000
+        assert summaries["value"].events == 15_000
+        assert summaries["pc"].hot_ranges
+        assert (tmp_path / "vpr.pc.rap").exists()
+        assert (tmp_path / "vpr.value.rap").exists()

@@ -1,0 +1,143 @@
+"""Soak test: every subsystem on one larger run, with cross-checks.
+
+A single moderately large pipeline exercising workloads -> simulator ->
+core tree + hardware engine + baselines -> analysis, with every
+cross-consistency property asserted at the end. This is the "leave it
+running" test: anything that drifts out of sync under sustained load
+(cached counts, scheduler state, TCAM/SRAM row pairing, stats
+accounting) surfaces here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    coverage_curve,
+    diff_profiles,
+    evaluate_errors,
+    memory_report,
+)
+from repro.baselines import ExactProfiler, SpaceSaving
+from repro.core import (
+    RapConfig,
+    RapTree,
+    combine_trees,
+    dump_tree,
+    find_hot_ranges,
+    load_tree,
+    quantile_bounds,
+)
+from repro.hardware import HardwareParams, PipelinedRapEngine
+from repro.simulator import simulate_loads
+from repro.workloads import benchmark
+
+EVENTS = 150_000
+
+
+@pytest.fixture(scope="module")
+def soak():
+    """One shared large run: gcc loads through the whole stack."""
+    trace = simulate_loads(benchmark("gcc"), EVENTS, seed=77)
+    stream = trace.all_load_values()
+    config = RapConfig(range_max=stream.universe, epsilon=0.02)
+
+    tree = RapTree(config)
+    tree.add_stream(iter(stream), combine_chunk=4096)
+
+    exact = ExactProfiler.from_stream(stream.universe, stream.values)
+    return trace, stream, config, tree, exact
+
+
+class TestSoak:
+    def test_tree_invariants_after_long_run(self, soak):
+        _, _, _, tree, _ = soak
+        tree.check_invariants()
+        assert tree.events == EVENTS
+
+    def test_error_report_under_bound(self, soak):
+        _, _, _, tree, exact = soak
+        report = evaluate_errors(tree, exact, 0.10)
+        assert report.max_epsilon_error <= 0.02
+        assert report.accuracy > 95.0
+
+    def test_memory_far_under_worst_case(self, soak):
+        _, _, _, tree, _ = soak
+        report = memory_report(tree)
+        assert report.headroom > 3.0
+
+    def test_quantiles_bracket_truth(self, soak):
+        _, stream, _, tree, _ = soak
+        ordered = np.sort(stream.values)
+        for q in (0.25, 0.5, 0.9):
+            low, high = quantile_bounds(tree, q)
+            truth = int(ordered[int(q * len(ordered)) - 1])
+            assert low <= truth <= high
+
+    def test_serialize_reload_answers_identically(self, soak):
+        _, _, _, tree, _ = soak
+        clone = load_tree(dump_tree(tree))
+        for lo, hi in [(0, 2**64 - 1), (0, 0), (0x1_1F00_0000, 0x1_1FFF_FFFF)]:
+            assert clone.estimate(lo, hi) == tree.estimate(lo, hi)
+
+    def test_sharded_combination_matches_single_pass(self, soak):
+        _, stream, config, tree, _ = soak
+        half = len(stream) // 2
+        first = RapTree(config)
+        first.add_stream((int(v) for v in stream.values[:half]),
+                         combine_chunk=4096)
+        second = RapTree(config)
+        second.add_stream((int(v) for v in stream.values[half:]),
+                          combine_chunk=4096)
+        combined = combine_trees(first, second)
+        assert combined.events == tree.events
+        diff = diff_profiles(tree, combined, 0.10)
+        assert diff.total_shift() < 0.05
+
+    def test_hardware_engine_agrees_on_subsample(self, soak):
+        _, stream, config, _, _ = soak
+        subset = [int(v) for v in stream.values[:25_000]]
+        engine = PipelinedRapEngine(
+            config, HardwareParams(combine_events=False)
+        )
+        software = RapTree(config)
+        for value in subset:
+            engine.process_record(value)
+            software.add(value)
+        engine.check_invariants()
+        assert engine.counters() == {
+            (node.lo, node.hi): node.count for node in software.nodes()
+        }
+
+    def test_space_saving_agrees_on_top_item(self, soak):
+        _, stream, _, tree, exact = soak
+        sketch = SpaceSaving(capacity=256)
+        for value, count in stream.counted(chunk=4096):
+            sketch.add(value, count)
+        top_value, top_count = exact.top(1)[0]
+        # Both summaries agree the top item is hot and bound its count.
+        assert sketch.estimate(top_value) >= top_count
+        assert tree.estimate(top_value, top_value) <= top_count
+
+    def test_coverage_curve_consistent_with_miss_streams(self, soak):
+        trace, _, config, _, _ = soak
+        all_tree = RapTree(config)
+        all_tree.add_stream(iter(trace.all_load_values()),
+                            combine_chunk=4096)
+        miss_tree = RapTree(config)
+        miss_tree.add_stream(iter(trace.dl1_miss_values()),
+                             combine_chunk=4096)
+        all_curve = coverage_curve(all_tree, "all")
+        miss_curve = coverage_curve(miss_tree, "miss")
+        assert miss_curve.area() > all_curve.area()
+
+    def test_hot_ranges_stable_across_reruns(self, soak):
+        """Determinism: same seed -> identical hot set."""
+        trace, stream, config, tree, _ = soak
+        again = RapTree(config)
+        rerun = simulate_loads(benchmark("gcc"), EVENTS, seed=77)
+        again.add_stream(iter(rerun.all_load_values()), combine_chunk=4096)
+        first = [(i.lo, i.hi, i.weight) for i in find_hot_ranges(tree, 0.10)]
+        second = [(i.lo, i.hi, i.weight) for i in find_hot_ranges(again, 0.10)]
+        assert first == second

@@ -1,0 +1,143 @@
+"""Unit tests for the set-associative cache simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.cache import (
+    Cache,
+    CacheGeometry,
+    CacheHierarchy,
+)
+
+
+def tiny_cache(size=256, ways=2, line=16) -> Cache:
+    return Cache(CacheGeometry(size_bytes=size, ways=ways, line_bytes=line))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        geometry = CacheGeometry(size_bytes=1024, ways=2, line_bytes=32)
+        assert geometry.num_sets == 16
+
+    @pytest.mark.parametrize("field", ["size_bytes", "ways", "line_bytes"])
+    def test_rejects_non_power_of_two(self, field):
+        params = dict(size_bytes=1024, ways=2, line_bytes=32)
+        params[field] = 3
+        with pytest.raises(ValueError, match="power of two"):
+            CacheGeometry(**params)
+
+    def test_rejects_cache_smaller_than_one_set(self):
+        with pytest.raises(ValueError, match="smaller"):
+            CacheGeometry(size_bytes=32, ways=4, line_bytes=32)
+
+
+class TestAccessSemantics:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+
+    def test_same_line_hits(self):
+        cache = tiny_cache(line=16)
+        cache.access(0x100)
+        assert cache.access(0x10F) is True   # same 16-byte line
+        assert cache.access(0x110) is False  # next line
+
+    def test_lru_eviction(self):
+        # 2-way, hammer three lines mapping to the same set.
+        cache = tiny_cache(size=256, ways=2, line=16)  # 8 sets
+        stride = 8 * 16  # set-conflicting stride
+        cache.access(0 * stride)
+        cache.access(1 * stride)
+        cache.access(2 * stride)      # evicts line 0 (LRU)
+        assert cache.access(0) is False
+        assert cache.access(2 * stride) is True
+
+    def test_lru_updated_on_hit(self):
+        cache = tiny_cache(size=256, ways=2, line=16)
+        stride = 8 * 16
+        cache.access(0 * stride)
+        cache.access(1 * stride)
+        cache.access(0 * stride)      # refresh line 0
+        cache.access(2 * stride)      # should evict line 1 now
+        assert cache.access(0 * stride) is True
+        assert cache.access(1 * stride) is False
+
+    def test_hit_rate_accounting(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0x1000)
+        assert cache.accesses == 3
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_reset(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.accesses == 0
+        assert cache.access(0) is False  # cold again
+
+
+class TestAccessMany:
+    def test_matches_scalar_path(self):
+        addresses = np.array(
+            [0, 16, 0, 4096, 16, 0, 8192, 0], dtype=np.uint64
+        )
+        vector_cache = tiny_cache()
+        mask = vector_cache.access_many(addresses)
+        scalar_cache = tiny_cache()
+        expected = [scalar_cache.access(int(a)) for a in addresses]
+        assert mask.tolist() == expected
+
+    def test_streaming_over_large_array_misses(self):
+        cache = tiny_cache(size=256, ways=2, line=16)
+        addresses = np.arange(0, 64 * 1024, 16, dtype=np.uint64)
+        mask = cache.access_many(addresses)
+        assert not mask.any()  # each line touched once: all cold misses
+
+    def test_hot_set_hits(self):
+        cache = tiny_cache()
+        addresses = np.zeros(100, dtype=np.uint64)
+        mask = cache.access_many(addresses)
+        assert mask[1:].all()
+
+
+class TestHierarchy:
+    def test_dl2_catches_dl1_misses(self):
+        hierarchy = CacheHierarchy(
+            dl1=CacheGeometry(256, 2, 16),
+            dl2=CacheGeometry(4096, 4, 16),
+        )
+        # Working set bigger than DL1 but within DL2.
+        addresses = np.tile(
+            np.arange(0, 1024, 16, dtype=np.uint64), 4
+        )
+        result = hierarchy.access_many(addresses)
+        assert result.dl1_miss_rate > result.dl2_miss_rate
+        assert 0.0 < result.dl2_miss_rate < 1.0
+
+    def test_miss_masks_nested(self):
+        hierarchy = CacheHierarchy(
+            dl1=CacheGeometry(256, 2, 16),
+            dl2=CacheGeometry(4096, 4, 16),
+        )
+        addresses = np.arange(0, 8192, 16, dtype=np.uint64)
+        result = hierarchy.access_many(addresses)
+        # A DL2 miss implies a DL1 miss.
+        assert (result.dl2_miss & ~result.dl1_miss).sum() == 0
+
+    def test_default_geometries(self):
+        hierarchy = CacheHierarchy()
+        assert hierarchy.dl1.geometry.size_bytes == 32 * 1024
+        assert hierarchy.dl2.geometry.size_bytes == 1024 * 1024
+
+    def test_empty_trace(self):
+        hierarchy = CacheHierarchy()
+        result = hierarchy.access_many(np.empty(0, dtype=np.uint64))
+        assert result.dl1_miss_rate == 0.0
+        assert result.dl2_miss_rate == 0.0

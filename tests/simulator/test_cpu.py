@@ -1,0 +1,99 @@
+"""Unit tests for the trace-driven load simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.cpu import LoadTrace, simulate_loads
+from repro.workloads.spec import benchmark
+
+
+@pytest.fixture(scope="module")
+def gcc_trace() -> LoadTrace:
+    return simulate_loads(benchmark("gcc"), 30_000, seed=13)
+
+
+class TestSimulateLoads:
+    def test_arrays_aligned(self, gcc_trace):
+        n = len(gcc_trace)
+        assert n == 30_000
+        for array in (
+            gcc_trace.pcs,
+            gcc_trace.addresses,
+            gcc_trace.values,
+            gcc_trace.dl1_hit,
+            gcc_trace.dl2_hit,
+        ):
+            assert array.shape == (n,)
+
+    def test_deterministic(self):
+        first = simulate_loads(benchmark("mcf"), 5_000, seed=3)
+        second = simulate_loads(benchmark("mcf"), 5_000, seed=3)
+        assert (first.values == second.values).all()
+        assert (first.dl1_hit == second.dl1_hit).all()
+
+    def test_miss_nesting(self, gcc_trace):
+        # DL2 miss implies DL1 miss.
+        assert not (gcc_trace.dl2_miss & ~gcc_trace.dl1_miss).any()
+
+    def test_miss_rates_sane(self, gcc_trace):
+        assert 0.0 < gcc_trace.dl1_miss_rate < 1.0
+        assert gcc_trace.dl2_miss_rate <= gcc_trace.dl1_miss_rate
+
+    def test_zero_loads_present(self, gcc_trace):
+        # gcc's rtx heap is zero-heavy by construction.
+        zero_fraction = (gcc_trace.values == 0).mean()
+        assert 0.1 < zero_fraction < 0.5
+
+
+class TestDerivedStreams:
+    def test_all_load_values(self, gcc_trace):
+        stream = gcc_trace.all_load_values()
+        assert len(stream) == len(gcc_trace)
+        assert stream.kind == "load_value"
+        stream.validate()
+
+    def test_miss_value_streams_are_subsets(self, gcc_trace):
+        dl1 = gcc_trace.dl1_miss_values()
+        dl2 = gcc_trace.dl2_miss_values()
+        assert len(dl2) <= len(dl1) <= len(gcc_trace)
+        assert len(dl1) == int(gcc_trace.dl1_miss.sum())
+
+    def test_zero_load_addresses(self, gcc_trace):
+        stream = gcc_trace.zero_load_addresses()
+        assert len(stream) == int((gcc_trace.values == 0).sum())
+        assert stream.kind == "address"
+        # Every zero-load address actually produced a zero.
+        zero_addresses = set(stream.values[:100].tolist())
+        for address in list(zero_addresses)[:10]:
+            matches = gcc_trace.addresses == np.uint64(address)
+            assert (gcc_trace.values[matches] == 0).any()
+
+    def test_all_addresses_and_pcs(self, gcc_trace):
+        assert len(gcc_trace.all_addresses()) == len(gcc_trace)
+        pcs = gcc_trace.load_pcs()
+        assert pcs.kind == "pc"
+        pcs.validate()
+
+    def test_empty_trace_rates(self):
+        empty = LoadTrace(
+            benchmark="x",
+            pcs=np.empty(0, dtype=np.uint64),
+            addresses=np.empty(0, dtype=np.uint64),
+            values=np.empty(0, dtype=np.uint64),
+            dl1_hit=np.empty(0, dtype=bool),
+            dl2_hit=np.empty(0, dtype=bool),
+        )
+        assert empty.dl1_miss_rate == 0.0
+        assert empty.dl2_miss_rate == 0.0
+
+
+class TestValueLocalityInversion:
+    def test_miss_values_more_concentrated_than_all_loads(self):
+        """The Figure 9 premise, at the substrate level: the zero-heavy
+        streamed regions miss more, so miss values are more skewed."""
+        trace = simulate_loads(benchmark("gcc"), 50_000, seed=17)
+        all_zero = (trace.all_load_values().values == 0).mean()
+        miss_zero = (trace.dl1_miss_values().values == 0).mean()
+        assert miss_zero > all_zero

@@ -1,0 +1,117 @@
+"""Unit tests for the data-memory model (address/value correlation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.memory_image import MemoryImage
+from repro.workloads.spec import MemoryRegionSpec
+
+
+def two_region_image() -> MemoryImage:
+    return MemoryImage(
+        [
+            MemoryRegionSpec(
+                "zeros", base=0x1000_0000, size=1 << 20,
+                access_weight=0.7, pattern="stride", stride=16,
+                zero_fraction=0.5, value_lo=1, value_hi=0xFFFF,
+            ),
+            MemoryRegionSpec(
+                "varied", base=0x7000_0000, size=1 << 14,
+                access_weight=0.3, pattern="hot",
+                zero_fraction=0.0, value_lo=1, value_hi=2**40,
+            ),
+        ]
+    )
+
+
+class TestSampling:
+    def test_addresses_inside_their_regions(self):
+        image = two_region_image()
+        rng = np.random.default_rng(0)
+        addresses, values, region_ids = image.sample_accesses(rng, 5_000)
+        for index, region in enumerate(image.regions):
+            mask = region_ids == index
+            if mask.any():
+                picked = addresses[mask]
+                assert picked.min() >= region.base
+                assert picked.max() < region.base + region.size
+
+    def test_access_weights_respected(self):
+        image = two_region_image()
+        rng = np.random.default_rng(1)
+        _, _, region_ids = image.sample_accesses(rng, 20_000)
+        share = (region_ids == 0).mean()
+        assert share == pytest.approx(0.7, abs=0.03)
+
+    def test_zero_fraction_per_region(self):
+        image = two_region_image()
+        rng = np.random.default_rng(2)
+        _, values, region_ids = image.sample_accesses(rng, 20_000)
+        zeros_region = values[region_ids == 0]
+        varied_region = values[region_ids == 1]
+        assert (zeros_region == 0).mean() == pytest.approx(0.5, abs=0.03)
+        assert (varied_region == 0).sum() == 0
+
+    def test_nonzero_values_in_band(self):
+        image = two_region_image()
+        rng = np.random.default_rng(3)
+        _, values, region_ids = image.sample_accesses(rng, 10_000)
+        first = values[(region_ids == 0) & (values != 0)]
+        assert first.min() >= 1
+        assert first.max() <= 0xFFFF
+
+    def test_stride_pattern_is_sequential(self):
+        image = two_region_image()
+        rng = np.random.default_rng(4)
+        addresses, _, region_ids = image.sample_accesses(rng, 1_000)
+        strided = addresses[region_ids == 0]
+        if len(strided) > 2:
+            deltas = np.diff(strided.astype(np.int64))
+            # Sequential walking with wraparound: almost all steps == 16.
+            assert (deltas == 16).mean() > 0.9
+
+    def test_hot_pattern_reuses_few_lines(self):
+        image = two_region_image()
+        rng = np.random.default_rng(5)
+        addresses, _, region_ids = image.sample_accesses(rng, 5_000)
+        hot = addresses[region_ids == 1]
+        assert len(np.unique(hot)) < 600  # Zipf over ~512 slots
+
+    def test_zero_draws(self):
+        image = two_region_image()
+        rng = np.random.default_rng(6)
+        addresses, values, region_ids = image.sample_accesses(rng, 0)
+        assert addresses.shape == values.shape == region_ids.shape == (0,)
+
+    def test_deterministic_given_seed(self):
+        image_a = two_region_image()
+        image_b = two_region_image()
+        a = image_a.sample_accesses(np.random.default_rng(7), 500)
+        b = image_b.sample_accesses(np.random.default_rng(7), 500)
+        for left, right in zip(a, b):
+            assert (left == right).all()
+
+
+class TestIntrospection:
+    def test_region_of(self):
+        image = two_region_image()
+        assert image.region_of(0x1000_0000).name == "zeros"
+        assert image.region_of(0x7000_0100).name == "varied"
+        assert image.region_of(0x5000_0000) is None
+
+    def test_zero_fraction_of(self):
+        image = two_region_image()
+        assert image.zero_fraction_of(0x1000_0010) == 0.5
+        assert image.zero_fraction_of(0x5000_0000) == 0.0
+
+    def test_expected_zero_share_sums_to_one(self):
+        image = two_region_image()
+        shares = image.expected_zero_share()
+        assert sum(share for _, share in shares) == pytest.approx(1.0)
+        assert shares[0][0] == "zeros"
+
+    def test_rejects_empty_region_list(self):
+        with pytest.raises(ValueError):
+            MemoryImage([])

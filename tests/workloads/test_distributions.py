@@ -1,0 +1,166 @@
+"""Unit tests for the sampling primitives of the workload substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    LogUniform,
+    Mixture,
+    PointMass,
+    StridedBlock,
+    UniformRange,
+    ZipfValues,
+    make_rng,
+    markov_phase_sequence,
+    sample_zipf_ranks,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_sample_ranks_in_range(self):
+        rng = make_rng(1)
+        ranks = sample_zipf_ranks(rng, 1_000, 50, 1.1)
+        assert ranks.min() >= 0
+        assert ranks.max() < 50
+
+    def test_skew_concentrates_on_low_ranks(self):
+        rng = make_rng(2)
+        ranks = sample_zipf_ranks(rng, 5_000, 100, 1.5)
+        assert (ranks == 0).mean() > (ranks == 50).mean()
+
+
+class TestComponents:
+    def test_point_mass(self):
+        draws = PointMass(42).sample(make_rng(0), 100)
+        assert (draws == 42).all()
+
+    def test_point_mass_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PointMass(-1)
+
+    def test_uniform_range_bounds(self):
+        component = UniformRange(100, 199)
+        draws = component.sample(make_rng(0), 5_000)
+        assert draws.min() >= 100
+        assert draws.max() <= 199
+        # Roughly uniform: both halves populated.
+        assert (draws < 150).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_uniform_range_near_64_bit_top(self):
+        component = UniformRange(2**64 - 10, 2**64 - 1)
+        draws = component.sample(make_rng(0), 100)
+        assert draws.min() >= 2**64 - 10
+
+    def test_uniform_range_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformRange(10, 9)
+
+    def test_zipf_values_draw_from_given_set(self):
+        values = [5, 1000, 77]
+        draws = ZipfValues(values, exponent=1.0).sample(make_rng(0), 500)
+        assert set(np.unique(draws)) <= set(values)
+
+    def test_zipf_values_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZipfValues([])
+
+    def test_log_uniform_spans_scales(self):
+        draws = LogUniform(2**40).sample(make_rng(0), 10_000)
+        assert draws.max() <= 2**40
+        # Log-uniform puts mass at every scale: small AND large values.
+        assert (draws < 2**10).mean() > 0.1
+        assert (draws > 2**30).mean() > 0.1
+
+    def test_log_uniform_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            LogUniform(1)
+
+    def test_strided_block_walks_sequentially(self):
+        component = StridedBlock(base=1000, size=64, stride=8)
+        first = component.sample(make_rng(0), 4)
+        assert list(first) == [1000, 1008, 1016, 1024]
+        second = component.sample(make_rng(0), 4)
+        assert list(second) == [1032, 1040, 1048, 1056]
+
+    def test_strided_block_wraps(self):
+        component = StridedBlock(base=0, size=16, stride=8)
+        draws = component.sample(make_rng(0), 4)
+        assert list(draws) == [0, 8, 0, 8]
+
+
+class TestMixture:
+    def test_weights_normalized(self):
+        mixture = Mixture([(2.0, PointMass(1)), (6.0, PointMass(2))])
+        draws = mixture.sample(make_rng(0), 8_000)
+        assert (draws == 2).mean() == pytest.approx(0.75, abs=0.03)
+
+    def test_rejects_empty_and_non_positive(self):
+        with pytest.raises(ValueError):
+            Mixture([])
+        with pytest.raises(ValueError):
+            Mixture([(0.0, PointMass(1))])
+
+    def test_zero_draws(self):
+        mixture = Mixture([(1.0, PointMass(1))])
+        assert mixture.sample(make_rng(0), 0).shape == (0,)
+
+    def test_deterministic_given_seed(self):
+        mixture = Mixture([(1.0, UniformRange(0, 1000))])
+        first = mixture.sample(make_rng(7), 100)
+        second = mixture.sample(make_rng(7), 100)
+        assert (first == second).all()
+
+
+class TestPhaseSequence:
+    def test_covers_exact_event_count(self):
+        rng = make_rng(3)
+        schedule = markov_phase_sequence(rng, 4, 10_000, 100)
+        assert sum(length for _, length in schedule) == 10_000
+
+    def test_phases_in_range(self):
+        rng = make_rng(3)
+        schedule = markov_phase_sequence(rng, 4, 5_000, 50)
+        assert all(0 <= phase < 4 for phase, _ in schedule)
+
+    def test_all_phases_visited(self):
+        rng = make_rng(3)
+        schedule = markov_phase_sequence(rng, 4, 20_000, 50)
+        assert {phase for phase, _ in schedule} == {0, 1, 2, 3}
+
+    def test_weights_bias_selection(self):
+        rng = make_rng(5)
+        schedule = markov_phase_sequence(
+            rng, 2, 50_000, 10, weights=[0.9, 0.1]
+        )
+        time_in_zero = sum(
+            length for phase, length in schedule if phase == 0
+        )
+        assert time_in_zero > 0.6 * 50_000
+
+    def test_validation(self):
+        rng = make_rng(0)
+        with pytest.raises(ValueError):
+            markov_phase_sequence(rng, 0, 100, 10)
+        with pytest.raises(ValueError):
+            markov_phase_sequence(rng, 2, 100, 0)
+        with pytest.raises(ValueError):
+            markov_phase_sequence(rng, 2, 100, 10, weights=[1.0])

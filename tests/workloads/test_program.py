@@ -1,0 +1,152 @@
+"""Unit tests for the synthetic program model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.program import INSTRUCTION_BYTES, Program, RegionSpec
+
+
+def two_region_program() -> Program:
+    return Program(
+        "toy",
+        [
+            RegionSpec("hot", blocks=50, weight=0.8, zipf_exponent=1.2,
+                       loop_burst=6.0),
+            RegionSpec("cold", blocks=100, weight=0.2),
+        ],
+    )
+
+
+class TestRegionSpecValidation:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            RegionSpec("x", blocks=0, weight=0.5)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            RegionSpec("x", blocks=5, weight=0.0)
+
+    def test_rejects_bad_narrow_fraction(self):
+        with pytest.raises(ValueError):
+            RegionSpec("x", blocks=5, weight=0.5, narrow_fraction=1.5)
+
+    def test_rejects_bad_loop_burst(self):
+        with pytest.raises(ValueError):
+            RegionSpec("x", blocks=5, weight=0.5, loop_burst=0.5)
+
+
+class TestLayout:
+    def test_regions_disjoint_and_ordered(self):
+        program = two_region_program()
+        hot = program.region_by_name("hot")
+        cold = program.region_by_name("cold")
+        assert hot.hi < cold.lo
+
+    def test_block_pcs_within_region(self):
+        program = two_region_program()
+        for region in program.regions:
+            assert region.block_pcs[0] == region.lo
+            assert int(region.block_pcs[-1]) <= region.hi
+
+    def test_block_spacing_matches_instruction_size(self):
+        program = two_region_program()
+        pcs = program.regions[0].block_pcs
+        spacing = int(pcs[1] - pcs[0])
+        assert spacing == (
+            program.regions[0].spec.mean_block_instructions * INSTRUCTION_BYTES
+        )
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            two_region_program().region_by_name("nope")
+
+    def test_region_bounds_mapping(self):
+        bounds = two_region_program().region_bounds()
+        assert set(bounds) == {"hot", "cold"}
+
+    def test_rejects_empty_program(self):
+        with pytest.raises(ValueError):
+            Program("empty", [])
+
+    def test_total_blocks(self):
+        assert two_region_program().total_blocks == 150
+
+    def test_hot_region_names(self):
+        assert two_region_program().hot_region_names(0.5) == ["hot"]
+
+
+class TestTraces:
+    def test_trace_length_and_universe(self):
+        program = two_region_program()
+        stream = program.trace_blocks(5_000, seed=1)
+        assert len(stream) == 5_000
+        stream.validate()
+        assert stream.kind == "pc"
+
+    def test_deterministic_given_seed(self):
+        program = two_region_program()
+        first = program.trace_blocks(2_000, seed=9)
+        second = program.trace_blocks(2_000, seed=9)
+        assert (first.values == second.values).all()
+
+    def test_different_seeds_differ(self):
+        program = two_region_program()
+        first = program.trace_blocks(2_000, seed=1)
+        second = program.trace_blocks(2_000, seed=2)
+        assert not (first.values == second.values).all()
+
+    def test_all_pcs_are_block_starts(self):
+        program = two_region_program()
+        stream = program.trace_blocks(3_000, seed=4)
+        valid = set()
+        for region in program.regions:
+            valid.update(int(pc) for pc in region.block_pcs)
+        assert set(np.unique(stream.values).tolist()) <= valid
+
+    def test_region_weights_respected(self):
+        program = two_region_program()
+        stream = program.trace_blocks(50_000, seed=5)
+        hot = program.region_by_name("hot")
+        inside = (
+            (stream.values >= np.uint64(hot.lo))
+            & (stream.values <= np.uint64(hot.hi))
+        ).mean()
+        assert inside == pytest.approx(0.8, abs=0.12)
+
+    def test_loop_bursts_create_immediate_repeats(self):
+        program = two_region_program()
+        stream = program.trace_blocks(20_000, seed=6)
+        values = stream.values
+        repeat_rate = (values[1:] == values[:-1]).mean()
+        # hot region bursts ~6 long: most transitions are repeats.
+        assert repeat_rate > 0.4
+
+
+class TestNarrowOperands:
+    def test_narrow_stream_is_subset_of_pcs(self):
+        program = Program(
+            "toy2",
+            [
+                RegionSpec("narrow", blocks=20, weight=0.5,
+                           narrow_fraction=0.9),
+                RegionSpec("wide", blocks=20, weight=0.5,
+                           narrow_fraction=0.01),
+            ],
+        )
+        stream = program.trace_narrow_operands(20_000, seed=2)
+        assert 0 < len(stream) < 20_000
+        narrow_region = program.region_by_name("narrow")
+        inside = (
+            (stream.values >= np.uint64(narrow_region.lo))
+            & (stream.values <= np.uint64(narrow_region.hi))
+        ).mean()
+        # Nearly all narrow ops come from the narrow-heavy region.
+        assert inside > 0.9
+
+    def test_narrow_rate_tracks_fraction(self):
+        program = two_region_program()  # fractions default to 0.05
+        base = program.trace_blocks(30_000, seed=3)
+        narrow = program.trace_narrow_operands(30_000, seed=3)
+        assert len(narrow) == pytest.approx(0.05 * len(base), rel=0.4)

@@ -1,0 +1,139 @@
+"""Tests for the SPEC-like benchmark suite definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.spec import (
+    BENCHMARKS,
+    CODE_FIGURE_ORDER,
+    ERROR_FIGURE_ORDER,
+    MemoryRegionSpec,
+    benchmark,
+)
+
+
+class TestSuiteShape:
+    def test_all_seven_benchmarks_present(self):
+        assert set(BENCHMARKS) == {
+            "gcc", "gzip", "mcf", "parser", "vortex", "vpr", "bzip2",
+        }
+
+    def test_figure_orders_reference_real_benchmarks(self):
+        assert set(CODE_FIGURE_ORDER) <= set(BENCHMARKS)
+        assert set(ERROR_FIGURE_ORDER) <= set(BENCHMARKS)
+        assert len(CODE_FIGURE_ORDER) == 7
+        assert len(ERROR_FIGURE_ORDER) == 6  # bzip2 absent from Figure 8
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark("nope")
+
+    def test_every_program_builds(self):
+        for spec in BENCHMARKS.values():
+            program = spec.program()
+            assert program.total_blocks > 0
+
+    def test_region_weights_roughly_normalized(self):
+        for spec in BENCHMARKS.values():
+            total = sum(region.weight for region in spec.regions)
+            assert total == pytest.approx(1.0, abs=0.02)
+
+
+class TestPaperCharacteristics:
+    """Per-benchmark properties the paper's evaluation relies on."""
+
+    def test_gcc_has_most_basic_blocks(self):
+        blocks = {
+            name: spec.program().total_blocks
+            for name, spec in BENCHMARKS.items()
+        }
+        assert max(blocks, key=blocks.get) == "gcc"
+
+    def test_gcc_has_seven_hot_regions(self):
+        program = benchmark("gcc").program()
+        assert len(program.hot_region_names(0.10)) == 7
+
+    def test_parser_has_most_distinct_load_values(self):
+        distinct = {
+            name: BENCHMARKS[name].value_stream(60_000, seed=1).distinct()
+            for name in ("gcc", "gzip", "parser", "vortex")
+        }
+        assert max(distinct, key=distinct.get) == "parser"
+
+    def test_vortex_dominated_by_zero(self):
+        values = benchmark("vortex").value_stream(30_000, seed=1).values
+        zero_share = (values == 0).mean()
+        assert zero_share > 0.3
+        for other in ("gzip", "parser"):
+            other_values = benchmark(other).value_stream(30_000, seed=1).values
+            assert zero_share > (other_values == 0).mean()
+
+    def test_gzip_small_value_concentration(self):
+        """Figure 5's calibration: ~46% of loads below 2**18."""
+        values = benchmark("gzip").value_stream(50_000, seed=1).values
+        assert 0.5 < (values < 2**18).mean() < 0.75
+        pointer_band = (
+            (values >= 0x1_1FFF_FFFD) & (values <= 0x1_2001_FFFA)
+        ).mean()
+        assert pointer_band == pytest.approx(0.21, abs=0.04)
+
+    def test_gcc_memory_has_zero_heavy_heap(self):
+        spec = benchmark("gcc")
+        heavy = [
+            region
+            for region in spec.memory_regions
+            if region.zero_fraction >= 0.3
+        ]
+        assert heavy, "gcc needs zero-heavy regions for Figure 10"
+        # Figure 10's bands live near 0x11f000000.
+        assert any(
+            0x1_1F00_0000 <= region.base < 0x1_2000_0000 for region in heavy
+        )
+
+    def test_bzip2_byte_heavy_values(self):
+        values = benchmark("bzip2").value_stream(30_000, seed=1).values
+        assert (values <= 0xFF).mean() > 0.4
+
+
+class TestStreams:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_code_streams_valid(self, name):
+        stream = benchmark(name).code_stream(5_000, seed=3)
+        stream.validate()
+        assert len(stream) == 5_000
+        assert stream.kind == "pc"
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_value_streams_valid(self, name):
+        stream = benchmark(name).value_stream(5_000, seed=3)
+        stream.validate()
+        assert len(stream) == 5_000
+        assert stream.kind == "load_value"
+
+    def test_streams_deterministic(self):
+        first = benchmark("mcf").value_stream(2_000, seed=11)
+        second = benchmark("mcf").value_stream(2_000, seed=11)
+        assert (first.values == second.values).all()
+
+    def test_narrow_stream(self):
+        stream = benchmark("gcc").narrow_operand_stream(20_000, seed=3)
+        stream.validate()
+        assert 0 < len(stream) < 20_000
+
+
+class TestMemoryRegionSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryRegionSpec("x", base=0, size=0, access_weight=1.0)
+        with pytest.raises(ValueError):
+            MemoryRegionSpec("x", base=0, size=10, access_weight=0.0)
+        with pytest.raises(ValueError):
+            MemoryRegionSpec("x", base=0, size=10, access_weight=1.0,
+                             pattern="weird")
+        with pytest.raises(ValueError):
+            MemoryRegionSpec("x", base=0, size=10, access_weight=1.0,
+                             zero_fraction=1.5)
+        with pytest.raises(ValueError):
+            MemoryRegionSpec("x", base=0, size=10, access_weight=1.0,
+                             value_lo=5, value_hi=4)

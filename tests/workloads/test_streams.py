@@ -1,0 +1,84 @@
+"""Unit tests for EventStream."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.streams import EventStream, stream_from_values
+
+
+def make_stream(values, universe=256) -> EventStream:
+    return stream_from_values("test", "load_value", universe, values)
+
+
+class TestBasics:
+    def test_len_and_iter(self):
+        stream = make_stream([1, 2, 3])
+        assert len(stream) == 3
+        assert list(stream) == [1, 2, 3]
+        assert all(isinstance(value, int) for value in stream)
+
+    def test_validation_universe(self):
+        with pytest.raises(ValueError):
+            EventStream("x", "pc", 1, np.array([0], dtype=np.uint64))
+
+    def test_validate_catches_out_of_universe(self):
+        stream = make_stream([300], universe=256)
+        with pytest.raises(ValueError, match="outside universe"):
+            stream.validate()
+
+    def test_validate_empty_ok(self):
+        make_stream([]).validate()
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError, match="1-D"):
+            EventStream("x", "pc", 256,
+                        np.zeros((2, 2), dtype=np.uint64))
+
+
+class TestCounted:
+    def test_counted_combines_within_chunks(self):
+        stream = make_stream([5, 5, 7, 5])
+        pairs = list(stream.counted(chunk=4))
+        assert pairs == [(5, 3), (7, 1)]
+
+    def test_counted_weight_conserved(self):
+        stream = make_stream(list(range(10)) * 7)
+        total = sum(count for _, count in stream.counted(chunk=16))
+        assert total == 70
+
+    def test_counted_respects_chunk_boundaries(self):
+        stream = make_stream([1, 1, 1, 1])
+        pairs = list(stream.counted(chunk=2))
+        assert pairs == [(1, 2), (1, 2)]
+
+
+class TestDerivedStreams:
+    def test_exact_counts(self):
+        stream = make_stream([1, 1, 2])
+        assert stream.exact_counts() == {1: 2, 2: 1}
+
+    def test_distinct(self):
+        assert make_stream([1, 1, 2, 3]).distinct() == 3
+
+    def test_head(self):
+        stream = make_stream([1, 2, 3, 4])
+        head = stream.head(2)
+        assert list(head) == [1, 2]
+        assert head.universe == stream.universe
+
+    def test_concat(self):
+        first = make_stream([1, 2])
+        second = make_stream([3])
+        joined = first.concat(second)
+        assert list(joined) == [1, 2, 3]
+
+    def test_concat_rejects_mismatched_streams(self):
+        first = make_stream([1])
+        other = stream_from_values("o", "pc", 256, [1])
+        with pytest.raises(ValueError):
+            first.concat(other)
+        bigger = stream_from_values("b", "load_value", 512, [1])
+        with pytest.raises(ValueError):
+            first.concat(bigger)

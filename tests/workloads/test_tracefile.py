@@ -1,0 +1,136 @@
+"""Unit tests for the binary trace-file format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.streams import EventStream, stream_from_values
+from repro.workloads.tracefile import (
+    read_trace,
+    read_trace_chunks,
+    trace_info,
+    write_trace,
+)
+
+
+def sample_stream(count=5_000, universe=2**32) -> EventStream:
+    rng = np.random.default_rng(7)
+    return EventStream(
+        name="sample",
+        kind="load_value",
+        universe=universe,
+        values=rng.integers(0, universe, size=count, dtype=np.uint64),
+    )
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        stream = sample_stream()
+        path = str(tmp_path / "trace.bin")
+        write_trace(stream, path)
+        loaded = read_trace(path)
+        assert loaded.kind == stream.kind
+        assert loaded.universe == stream.universe
+        assert (loaded.values == stream.values).all()
+
+    def test_full_64_bit_universe(self, tmp_path):
+        stream = EventStream(
+            name="wide",
+            kind="address",
+            universe=2**64,
+            values=np.array([0, 2**63, 2**64 - 1], dtype=np.uint64),
+        )
+        path = str(tmp_path / "wide.bin")
+        write_trace(stream, path)
+        loaded = read_trace(path)
+        assert loaded.universe == 2**64
+        assert (loaded.values == stream.values).all()
+
+    def test_empty_stream(self, tmp_path):
+        stream = stream_from_values("e", "pc", 256, [])
+        path = str(tmp_path / "empty.bin")
+        write_trace(stream, path)
+        loaded = read_trace(path)
+        assert len(loaded) == 0
+
+    def test_name_defaults_to_path(self, tmp_path):
+        path = str(tmp_path / "t.bin")
+        write_trace(sample_stream(10), path)
+        assert read_trace(path).name == path
+        assert read_trace(path, name="custom").name == "custom"
+
+
+class TestChunks:
+    def test_chunked_read_covers_everything(self, tmp_path):
+        stream = sample_stream(10_000)
+        path = str(tmp_path / "c.bin")
+        write_trace(stream, path)
+        pieces = list(read_trace_chunks(path, chunk=3_000))
+        assert [len(p) for p in pieces] == [3_000, 3_000, 3_000, 1_000]
+        assert (np.concatenate(pieces) == stream.values).all()
+
+    def test_rejects_bad_chunk(self, tmp_path):
+        path = str(tmp_path / "c.bin")
+        write_trace(sample_stream(10), path)
+        with pytest.raises(ValueError):
+            list(read_trace_chunks(path, chunk=0))
+
+
+class TestHeaderAndErrors:
+    def test_trace_info(self, tmp_path):
+        stream = sample_stream(123)
+        path = str(tmp_path / "i.bin")
+        write_trace(stream, path)
+        info = trace_info(path)
+        assert info == {
+            "kind": "load_value", "universe": 2**32, "events": 123,
+        }
+
+    def test_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"not a trace at all")
+        with pytest.raises(ValueError, match="magic"):
+            read_trace(str(path))
+
+    def test_rejects_truncated_body(self, tmp_path):
+        stream = sample_stream(100)
+        path = tmp_path / "trunc.bin"
+        write_trace(stream, str(path))
+        data = path.read_bytes()
+        path.write_bytes(data[:-40])  # lop off some events
+        with pytest.raises(ValueError, match="truncated"):
+            read_trace(str(path))
+
+    def test_rejects_unknown_version(self, tmp_path):
+        stream = sample_stream(5)
+        path = tmp_path / "v.bin"
+        write_trace(stream, str(path))
+        data = bytearray(path.read_bytes())
+        data[8] = 99  # version field
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version"):
+            read_trace(str(path))
+
+
+class TestOfflineProfilingPipeline:
+    def test_record_then_post_process(self, tmp_path):
+        """The Section 3.2 offline flow: capture a trace, profile later."""
+        from repro.core import RapConfig, RapTree
+        from repro.workloads import benchmark
+
+        stream = benchmark("gzip").value_stream(20_000, seed=3)
+        path = str(tmp_path / "gzip_values.bin")
+        write_trace(stream, path)
+
+        online = RapTree(RapConfig(range_max=stream.universe, epsilon=0.05))
+        online.add_stream(iter(stream), combine_chunk=2048)
+
+        offline = RapTree(RapConfig(range_max=stream.universe, epsilon=0.05))
+        for chunk in read_trace_chunks(path, chunk=2048):
+            offline.add_stream((int(v) for v in chunk), combine_chunk=2048)
+
+        assert offline.events == online.events
+        assert offline.estimate(0, stream.universe - 1) == online.estimate(
+            0, stream.universe - 1
+        )
