@@ -57,7 +57,8 @@ def build_hot_hierarchy(
         if parent is None:
             roots.append(node)
         else:
-            parent.children.append(node)
+            # HotNode is a display-only hierarchy, not a RAP tree node.
+            parent.children.append(node)  # noqa: RAP-LINT003
     if len(roots) == 1:
         return roots[0]
     # Multiple top-level hot ranges: wrap them under a synthetic root.
@@ -117,7 +118,9 @@ def render_hot_tree(
             connector = "`-- " if is_last else "|-- "
             lines.append(prefix + connector + label)
             child_prefix = prefix + ("    " if is_last else "|   ")
-        node.children.sort(key=lambda child: child.item.lo)
+        node.children.sort(  # noqa: RAP-LINT003 - display hierarchy
+            key=lambda child: child.item.lo
+        )
         targets = [display_target(child) for child in node.children]
         for index, (child, child_skipped) in enumerate(targets):
             walk(

@@ -1,0 +1,46 @@
+"""Correctness tooling for the RAP reproduction (``rapcheck``).
+
+RAP's guarantees are structural: every event is conserved in exactly one
+range, every estimate is a lower bound within ``epsilon * n`` of the
+truth, and the tree never outgrows ``O(log(R) / epsilon)`` counters
+(Sections 2 and 4.3 of the paper). Nothing about a subtly broken split
+or merge shows up as a crash — it shows up as a quietly wrong figure.
+This package makes the invariants mechanical:
+
+* :mod:`repro.checks.invariants` / :mod:`repro.checks.audit` — a
+  :class:`TreeAuditor` that walks a live :class:`~repro.core.RapTree`
+  or :class:`~repro.core.MultiDimRapTree` and verifies partition
+  geometry, counter conservation, split-threshold discipline, the merge
+  schedule, the theoretical node budget, and (against an exact oracle)
+  the lower-bound estimate guarantee. Opt in per tree with
+  ``RapConfig(audit_every=N)`` or per trace with ``rap audit``.
+* :mod:`repro.checks.lint` — a repo-specific AST lint pass (rules
+  RAP-LINT001..005) guarding determinism, exact integer counters, node
+  encapsulation, annotation coverage and wall-clock hygiene. Run it
+  with ``rap lint`` or ``python -m repro.checks``.
+"""
+
+from .audit import (
+    AuditError,
+    AuditReport,
+    TraceAuditReport,
+    TreeAuditor,
+    audit_stream,
+    self_audit,
+)
+from .invariants import AuditFinding
+from .lint import LintReport, Violation, all_rule_codes, lint_paths
+
+__all__ = [
+    "AuditError",
+    "AuditFinding",
+    "AuditReport",
+    "LintReport",
+    "TraceAuditReport",
+    "TreeAuditor",
+    "Violation",
+    "all_rule_codes",
+    "audit_stream",
+    "lint_paths",
+    "self_audit",
+]

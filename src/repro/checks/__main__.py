@@ -1,0 +1,84 @@
+"""CI entrypoint: ``python -m repro.checks [--strict] [paths...]``.
+
+Runs the RAP-LINT pass over the package source (or the given paths) and
+exits nonzero on any violation. With ``--strict`` it additionally runs
+the structural self-audit battery — three deterministic stream shapes
+replayed under the full :class:`~repro.checks.audit.TreeAuditor` — so a
+single command guards both the source and the live data structure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .audit import self_audit
+from .lint import all_rule_codes, lint_paths
+
+
+def _default_paths() -> List[str]:
+    """The installed repro package itself."""
+    return [str(Path(__file__).resolve().parents[1])]
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="RAP correctness tooling: lint + structural self-audit",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also run the structural self-audit battery",
+    )
+    parser.add_argument(
+        "--select", default=None, help="comma-separated rule codes to run"
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated rule codes to skip"
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = lint_paths(
+            args.paths or _default_paths(),
+            select=_parse_codes(args.select),
+            ignore=_parse_codes(args.ignore),
+        )
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(f"known rules: {', '.join(all_rule_codes())}", file=sys.stderr)
+        return 2
+
+    failed = not report.ok
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+
+    if args.strict:
+        for audit in self_audit():
+            print(audit.render())
+            failed = failed or not audit.ok
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,277 @@
+"""The tree auditor: invariant checks bundled into reports.
+
+:class:`TreeAuditor` runs the :mod:`repro.checks.invariants` battery
+against a live :class:`~repro.core.RapTree` or
+:class:`~repro.core.MultiDimRapTree` and folds the findings into an
+:class:`AuditReport`. Three ways to invoke it:
+
+* directly, from tests or a debugger: ``TreeAuditor().audit(tree)``;
+* as a debug hook on the hot path: ``RapConfig(audit_every=N)`` makes
+  the tree audit itself every ``N`` events and raise
+  :class:`AuditError` on the first violation;
+* over a recorded trace: :func:`audit_stream` (the CLI's ``rap audit``)
+  replays a stream, audits after every batched merge, and finishes with
+  the exact-oracle estimate check.
+
+Note that split-threshold discipline is a property of trees grown by
+``add()``: trees assembled by :func:`repro.core.combine.combine_trees`
+or loaded from dumps may legally carry heavier counters, so audit those
+with ``TreeAuditor(discipline=False)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.config import RapConfig
+from ..core.multidim import MultiDimRapTree
+from ..core.tree import RapTree
+from . import invariants
+from .invariants import AuditFinding
+
+AnyTree = Union[RapTree, MultiDimRapTree]
+
+
+class AuditError(AssertionError):
+    """Raised when a fatal audit finds violated invariants.
+
+    Subclasses ``AssertionError`` so the ``audit_every`` hook composes
+    with test suites that already expect structural checks to assert.
+    """
+
+    def __init__(self, report: "AuditReport") -> None:
+        super().__init__(report.render())
+        self.report = report
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit pass over one tree."""
+
+    findings: List[AuditFinding] = field(default_factory=list)
+    invariants_checked: Tuple[str, ...] = ()
+    events: int = 0
+    node_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        head = (
+            f"audit of {self.node_count} nodes / {self.events:,} events "
+            f"({', '.join(self.invariants_checked)})"
+        )
+        if self.ok:
+            return f"{head}: clean"
+        lines = [f"{head}: {len(self.findings)} violation(s)"]
+        lines.extend(f"  {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AuditError(self)
+
+
+class TreeAuditor:
+    """Configurable structural auditor for RAP trees.
+
+    Each keyword toggles one invariant family; all default to on. The
+    ``discipline`` family should be disabled for trees that were built
+    by combination or deserialization rather than grown event by event.
+    """
+
+    def __init__(
+        self,
+        *,
+        geometry: bool = True,
+        conservation: bool = True,
+        discipline: bool = True,
+        schedule: bool = True,
+        budget: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        self.conservation = conservation
+        self.discipline = discipline
+        self.schedule = schedule
+        self.budget = budget
+
+    def _enabled(self) -> Tuple[str, ...]:
+        return tuple(
+            name
+            for name in (
+                "geometry",
+                "conservation",
+                "discipline",
+                "schedule",
+                "budget",
+            )
+            if getattr(self, name)
+        )
+
+    def audit(self, tree: AnyTree) -> AuditReport:
+        """Run every enabled structural invariant against ``tree``."""
+        if isinstance(tree, MultiDimRapTree):
+            checks = {
+                "geometry": invariants.check_geometry_multidim,
+                "conservation": invariants.check_conservation_multidim,
+                "discipline": invariants.check_discipline_multidim,
+                "schedule": invariants.check_schedule_multidim,
+                "budget": invariants.check_budget_multidim,
+            }
+        else:
+            checks = {
+                "geometry": invariants.check_geometry,
+                "conservation": invariants.check_conservation,
+                "discipline": invariants.check_discipline,
+                "schedule": invariants.check_schedule,
+                "budget": invariants.check_budget,
+            }
+        enabled = self._enabled()
+        findings: List[AuditFinding] = []
+        for name in enabled:
+            findings.extend(checks[name](tree))
+        return AuditReport(
+            findings=findings,
+            invariants_checked=enabled,
+            events=tree.events,
+            node_count=tree.node_count,
+        )
+
+    def audit_with_oracle(
+        self,
+        tree: RapTree,
+        exact_counts: Dict[int, int],
+        queries: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> AuditReport:
+        """Structural audit plus the lower-bound estimate check."""
+        report = self.audit(tree)
+        report.findings.extend(
+            invariants.check_estimates(tree, exact_counts, queries)
+        )
+        report.invariants_checked = report.invariants_checked + ("estimates",)
+        return report
+
+
+# ----------------------------------------------------------------------
+# Trace replay (the CLI's ``rap audit``)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TraceAuditReport:
+    """Result of replaying a stream under continuous auditing."""
+
+    stream_name: str
+    epsilon: float
+    events: int = 0
+    node_count: int = 0
+    merge_batches: int = 0
+    audits_run: int = 0
+    findings: List[AuditFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [
+            f"audit of {self.stream_name}: {self.events:,} events, "
+            f"eps={self.epsilon:.2%}",
+            f"  {self.node_count} nodes, {self.merge_batches} merge "
+            f"batches, {self.audits_run} audit passes",
+        ]
+        if self.ok:
+            lines.append(
+                "  all invariants hold: partition geometry, counter "
+                "conservation, split discipline, merge schedule, node "
+                "budget, estimate bounds"
+            )
+        else:
+            lines.append(f"  {len(self.findings)} violation(s):")
+            lines.extend(f"    {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def audit_stream(
+    stream: "Sequence[int]",
+    *,
+    universe: Optional[int] = None,
+    epsilon: float = 0.01,
+    branching: int = 4,
+    name: str = "stream",
+) -> TraceAuditReport:
+    """Replay ``stream`` into a fresh tree, auditing after every merge.
+
+    ``stream`` may be any iterable of integers; an
+    :class:`~repro.workloads.streams.EventStream` supplies its own
+    ``universe``, ``name`` and exact oracle, otherwise ``universe`` must
+    be given and the oracle is accumulated during the replay.
+    """
+    stream_universe = getattr(stream, "universe", None) or universe
+    if stream_universe is None:
+        raise ValueError("universe is required for plain iterables")
+    stream_name = getattr(stream, "name", None) or name
+
+    config = RapConfig(
+        range_max=stream_universe, epsilon=epsilon, branching=branching
+    )
+    tree = RapTree(config)
+    auditor = TreeAuditor()
+    result = TraceAuditReport(stream_name=stream_name, epsilon=epsilon)
+
+    exact: Dict[int, int] = {}
+    last_batches = 0
+    for value in stream:
+        tree.add(value)
+        exact[value] = exact.get(value, 0) + 1
+        batches = tree.merge_scheduler.batches_fired
+        if batches != last_batches:
+            last_batches = batches
+            report = auditor.audit(tree)
+            result.findings.extend(report.findings)
+            result.audits_run += 1
+
+    final = auditor.audit_with_oracle(tree, exact)
+    result.findings.extend(final.findings)
+    result.audits_run += 1
+    result.events = tree.events
+    result.node_count = tree.node_count
+    result.merge_batches = last_batches
+    return result
+
+
+def self_audit(events: int = 20_000, epsilon: float = 0.02) -> List[TraceAuditReport]:
+    """The built-in smoke battery behind ``python -m repro.checks --strict``.
+
+    Replays three deterministic stream shapes — zipf-skewed values,
+    uniform noise, and a phase-shifting mixture — under continuous
+    auditing, one report per shape.
+    """
+    from ..workloads.distributions import make_rng, sample_zipf_ranks
+
+    universe = 2**16
+    rng = make_rng(1234)
+
+    zipf = [
+        int(v) for v in sample_zipf_ranks(rng, events, universe, 1.2)
+    ]
+    uniform = [int(v) for v in rng.integers(0, universe, size=events)]
+    half = events // 2
+    phased = [int(v) for v in rng.integers(0, 256, size=half)] + [
+        int(v) for v in rng.integers(universe - 4096, universe, size=events - half)
+    ]
+
+    reports = []
+    for label, values in (
+        ("self-audit.zipf", zipf),
+        ("self-audit.uniform", uniform),
+        ("self-audit.phased", phased),
+    ):
+        reports.append(
+            audit_stream(
+                values, universe=universe, epsilon=epsilon, name=label
+            )
+        )
+    return reports

@@ -1,0 +1,596 @@
+"""Structural invariants of RAP trees, as pure check functions.
+
+Each ``check_*`` function inspects a live tree and returns a list of
+:class:`AuditFinding` records — an empty list means the invariant holds.
+The functions never mutate the tree and never raise on violation (the
+:class:`~repro.checks.audit.TreeAuditor` decides whether findings are
+fatal), so they are safe to call from inside the hot path via the
+``RapConfig(audit_every=N)`` debug hook.
+
+The invariants and where they come from:
+
+* **geometry** — children are sorted, disjoint cells of their parent's
+  deterministic partition (Section 2.1); parent pointers agree with the
+  child lists.
+* **conservation** — counters are exact non-negative integers and sum
+  to ``tree.events``: "RAP never discards data, it only reduces the
+  precision at which the data is maintained" (footnote 1).
+* **discipline** — no splittable node's own counter strays past the
+  split-threshold schedule ``epsilon * n / log_b(R)`` (Section 2.2) by
+  more than the slack that batched merges can legally re-deposit.
+* **schedule** — the merge scheduler's trigger is a point of the
+  geometric series ``initial * q^k`` and is never overdue (Section 3.1).
+* **budget** — the node count respects the ``O(log(R) / epsilon)``
+  worst-case bound reconstructed in :mod:`repro.core.bounds`.
+* **estimates** — against an exact oracle, every range estimate is a
+  lower bound with undercount at most ``epsilon * n``, and never
+  exceeds the matching upper-bound estimate (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.bounds import peak_nodes_bound
+from ..core.config import MergeScheduler
+from ..core.multidim import MultiDimRapTree, partition_box
+from ..core.node import partition_range
+from ..core.tree import RapTree
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One violated invariant, with enough context to debug it.
+
+    Attributes
+    ----------
+    invariant:
+        Which invariant family failed (``"geometry"``,
+        ``"conservation"``, ``"discipline"``, ``"schedule"``,
+        ``"budget"`` or ``"estimates"``).
+    message:
+        Human-readable description of the violation.
+    location:
+        The offending node/range, when one exists.
+    """
+
+    invariant: str
+    message: str
+    location: str = ""
+
+    def render(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        return f"[{self.invariant}]{where}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# One-dimensional trees
+# ----------------------------------------------------------------------
+
+
+def check_geometry(tree: RapTree) -> List[AuditFinding]:
+    """Children partition their parent: sorted, disjoint, on-grid."""
+    findings: List[AuditFinding] = []
+    branching = tree.config.branching
+    root = tree.root
+    if (root.lo, root.hi) != (0, tree.config.range_max - 1):
+        findings.append(
+            AuditFinding(
+                "geometry",
+                f"root range [{root.lo}, {root.hi}] does not cover the "
+                f"universe [0, {tree.config.range_max - 1}]",
+            )
+        )
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        where = f"[{node.lo:#x}, {node.hi:#x}]"
+        if node.lo > node.hi:
+            findings.append(AuditFinding("geometry", "empty range", where))
+            continue
+        if not node.children:
+            continue
+        cells = set(partition_range(node.lo, node.hi, branching))
+        previous_hi = node.lo - 1
+        for child in node.children:
+            child_where = f"[{child.lo:#x}, {child.hi:#x}]"
+            if child.parent is not node:
+                findings.append(
+                    AuditFinding(
+                        "geometry",
+                        f"child {child_where} has a broken parent pointer",
+                        where,
+                    )
+                )
+            if (child.lo, child.hi) not in cells:
+                findings.append(
+                    AuditFinding(
+                        "geometry",
+                        f"child {child_where} is not a partition cell of "
+                        f"its parent",
+                        where,
+                    )
+                )
+            if child.lo <= previous_hi:
+                findings.append(
+                    AuditFinding(
+                        "geometry",
+                        f"child {child_where} overlaps or is unsorted "
+                        f"against its left sibling",
+                        where,
+                    )
+                )
+            previous_hi = child.hi
+        stack.extend(node.children)
+    return findings
+
+
+def check_conservation(tree: RapTree) -> List[AuditFinding]:
+    """Counters are exact non-negative ints summing to ``tree.events``."""
+    findings: List[AuditFinding] = []
+    seen = 0
+    weight = 0
+    for node in tree.nodes():
+        seen += 1
+        where = f"[{node.lo:#x}, {node.hi:#x}]"
+        if not isinstance(node.count, int) or isinstance(node.count, bool):
+            findings.append(
+                AuditFinding(
+                    "conservation",
+                    f"counter is {type(node.count).__name__}, not int "
+                    f"(counters must stay exact)",
+                    where,
+                )
+            )
+            continue
+        if node.count < 0:
+            findings.append(
+                AuditFinding(
+                    "conservation", f"negative counter {node.count}", where
+                )
+            )
+        weight += node.count
+    if weight != tree.events:
+        findings.append(
+            AuditFinding(
+                "conservation",
+                f"counters sum to {weight} but the tree has processed "
+                f"{tree.events} events — weight was lost or invented",
+            )
+        )
+    if seen != tree.node_count:
+        findings.append(
+            AuditFinding(
+                "conservation",
+                f"cached node_count {tree.node_count} != actual {seen}",
+            )
+        )
+    return findings
+
+
+def _discipline_bound(
+    threshold: float,
+    floor: float,
+    children_per_split: int,
+    growth: float,
+) -> float:
+    """Largest legal counter on a splittable node.
+
+    A node absorbs at most ``int(threshold) + 1`` directly before it
+    splits. On top of that, each batched merge may fold up to
+    ``children_per_split`` collapsed subtrees of weight at most the
+    merge threshold back into it. Merge batches fire at geometrically
+    growing event counts, so thresholds of past batches form a geometric
+    series dominated by ``threshold * growth / (growth - 1)``; the
+    ``floor`` term covers batches fired while the threshold floor was
+    active.
+    """
+    return 1.0 + floor + threshold * (
+        1.0 + children_per_split * growth / (growth - 1.0)
+    )
+
+
+def check_discipline(tree: RapTree) -> List[AuditFinding]:
+    """No splittable node's own counter outruns the split schedule.
+
+    Single-item nodes are exempt: they cannot split, so a hot item may
+    legally accumulate any weight (Section 2.2).
+    """
+    findings: List[AuditFinding] = []
+    config = tree.config
+    bound = _discipline_bound(
+        tree.split_threshold,
+        config.min_split_threshold,
+        config.branching,
+        config.merge_growth,
+    )
+    for node in tree.nodes():
+        if node.lo == node.hi:
+            continue
+        if node.count > bound:
+            findings.append(
+                AuditFinding(
+                    "discipline",
+                    f"counter {node.count} exceeds the split-schedule "
+                    f"bound {bound:.1f} (threshold "
+                    f"{tree.split_threshold:.1f}) — a split failed to "
+                    f"fire",
+                    f"[{node.lo:#x}, {node.hi:#x}]",
+                )
+            )
+    return findings
+
+
+def _check_scheduler(
+    scheduler: MergeScheduler, events: int
+) -> List[AuditFinding]:
+    findings: List[AuditFinding] = []
+    if scheduler.due(events):
+        findings.append(
+            AuditFinding(
+                "schedule",
+                f"merge overdue: trigger {scheduler.next_at:.0f} <= "
+                f"events {events} between updates",
+            )
+        )
+    if scheduler.next_at < scheduler.initial_interval:
+        findings.append(
+            AuditFinding(
+                "schedule",
+                f"trigger {scheduler.next_at:.0f} fell below the initial "
+                f"interval {scheduler.initial_interval}",
+            )
+        )
+        return findings
+    steps = math.log(scheduler.next_at / scheduler.initial_interval) / (
+        math.log(scheduler.growth)
+    )
+    if abs(steps - round(steps)) > 1e-6:
+        findings.append(
+            AuditFinding(
+                "schedule",
+                f"trigger {scheduler.next_at:.0f} is not a point of the "
+                f"geometric series {scheduler.initial_interval} * "
+                f"{scheduler.growth}^k — interval monotonicity broken",
+            )
+        )
+    if scheduler.batches_fired < 0:
+        findings.append(
+            AuditFinding("schedule", "negative merge-batch counter")
+        )
+    return findings
+
+
+def check_schedule(tree: RapTree) -> List[AuditFinding]:
+    """The merge trigger sits on the geometric grid, in the future."""
+    return _check_scheduler(tree.merge_scheduler, tree.events)
+
+
+def _universe_node_cap(range_max: int, branching: int) -> int:
+    """Nodes in the complete partition tree of the universe (an upper cap).
+
+    The full ``b``-ary tree over ``H`` levels has
+    ``(b^(H+1) - 1) / (b - 1)`` nodes, and independently any partition
+    tree has at most ``range_max`` leaves, hence fewer than
+    ``2 * range_max + H`` nodes; the cap is the smaller of the two.
+    """
+    height = 0
+    reach = 1
+    while reach < range_max:
+        reach *= branching
+        height += 1
+    full = (branching ** (height + 1) - 1) // (branching - 1)
+    return min(full, 2 * range_max + height)
+
+
+def check_budget(tree: RapTree) -> List[AuditFinding]:
+    """Node count stays within the paper's worst case (Figures 2–3).
+
+    The analytic bound from :mod:`repro.core.bounds` assumes the
+    threshold is in its ``epsilon * n / H`` regime and that the merge
+    schedule has started; before that (tiny streams, floored threshold)
+    each split still costs at least one counter increment, which bounds
+    the tree by ``1 + b * events`` instead.
+    """
+    config = tree.config
+    events = tree.events
+    cap = _universe_node_cap(config.range_max, config.branching)
+    raw_threshold = config.epsilon * events / config.max_height
+    in_asymptotic_regime = (
+        raw_threshold >= config.min_split_threshold
+        and events >= config.merge_initial_interval
+    )
+    if in_asymptotic_regime:
+        analytic = peak_nodes_bound(
+            config.epsilon,
+            config.range_max,
+            config.branching,
+            config.merge_growth,
+        )
+        # + b*H slack: the split cascade that triggered the audit may
+        # have materialized one extra partition per level.
+        limit = min(
+            cap,
+            math.ceil(analytic) + config.branching * config.max_height,
+        )
+        regime = "peak_nodes_bound"
+    else:
+        limit = min(cap, 1 + config.branching * events)
+        regime = "pre-asymptotic bound"
+    if tree.node_count > limit:
+        findings = [
+            AuditFinding(
+                "budget",
+                f"{tree.node_count} nodes exceed the {regime} of {limit} "
+                f"(events={events}, epsilon={config.epsilon})",
+            )
+        ]
+        return findings
+    return []
+
+
+# ----------------------------------------------------------------------
+# Estimate oracle
+# ----------------------------------------------------------------------
+
+
+class _ExactOracle:
+    """Prefix-sum index over exact per-value counts for range queries."""
+
+    def __init__(self, exact_counts: Dict[int, int]) -> None:
+        self._values = sorted(exact_counts)
+        running = 0
+        prefix = []
+        for value in self._values:
+            running += exact_counts[value]
+            prefix.append(running)
+        self._prefix = prefix
+        self.total = running
+
+    def count(self, lo: int, hi: int) -> int:
+        """True number of events in ``[lo, hi]``."""
+        left = bisect.bisect_left(self._values, lo)
+        right = bisect.bisect_right(self._values, hi)
+        if right == 0 or left >= right:
+            return 0
+        upper = self._prefix[right - 1]
+        lower = self._prefix[left - 1] if left > 0 else 0
+        return upper - lower
+
+
+def default_probe_ranges(
+    tree: RapTree, limit: int = 512
+) -> List[Tuple[int, int]]:
+    """Deterministic query set: every node range (capped), plus the root."""
+    probes: List[Tuple[int, int]] = [(0, tree.config.range_max - 1)]
+    for index, node in enumerate(tree.nodes()):
+        if index >= limit:
+            break
+        probes.append((node.lo, node.hi))
+    return probes
+
+
+def check_estimates(
+    tree: RapTree,
+    exact_counts: Dict[int, int],
+    queries: Optional[Sequence[Tuple[int, int]]] = None,
+) -> List[AuditFinding]:
+    """Estimates bracket the oracle: ``est <= true <= est + eps*n``."""
+    findings: List[AuditFinding] = []
+    oracle = _ExactOracle(exact_counts)
+    if oracle.total != tree.events:
+        findings.append(
+            AuditFinding(
+                "estimates",
+                f"oracle holds {oracle.total} events but the tree "
+                f"processed {tree.events} — replay mismatch",
+            )
+        )
+        return findings
+    slack = math.ceil(tree.error_bound())
+    if queries is None:
+        queries = default_probe_ranges(tree)
+    for lo, hi in queries:
+        where = f"[{lo:#x}, {hi:#x}]"
+        estimate = tree.estimate(lo, hi)
+        upper = tree.estimate_upper(lo, hi)
+        true = oracle.count(lo, hi)
+        if estimate > true:
+            findings.append(
+                AuditFinding(
+                    "estimates",
+                    f"estimate {estimate} exceeds the true count {true} "
+                    f"— not a lower bound",
+                    where,
+                )
+            )
+        elif true - estimate > slack:
+            findings.append(
+                AuditFinding(
+                    "estimates",
+                    f"undercount {true - estimate} exceeds epsilon*n = "
+                    f"{slack}",
+                    where,
+                )
+            )
+        if upper < true:
+            findings.append(
+                AuditFinding(
+                    "estimates",
+                    f"upper estimate {upper} below the true count {true}",
+                    where,
+                )
+            )
+        if estimate > upper:
+            findings.append(
+                AuditFinding(
+                    "estimates",
+                    f"lower estimate {estimate} exceeds upper estimate "
+                    f"{upper}",
+                    where,
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Multi-dimensional trees
+# ----------------------------------------------------------------------
+
+
+def _box_repr(box: Tuple[Tuple[int, int], ...]) -> str:
+    return " x ".join(f"[{lo:#x}, {hi:#x}]" for lo, hi in box)
+
+
+def _boxes_disjoint(
+    first: Tuple[Tuple[int, int], ...], second: Tuple[Tuple[int, int], ...]
+) -> bool:
+    return any(
+        a_hi < b_lo or b_hi < a_lo
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(first, second)
+    )
+
+
+def check_geometry_multidim(tree: MultiDimRapTree) -> List[AuditFinding]:
+    """Child boxes are grid cells of the parent, pairwise disjoint."""
+    findings: List[AuditFinding] = []
+    branching = tree.config.branching
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        where = _box_repr(node.box)
+        if not node.children:
+            continue
+        cells = set(partition_box(node.box, branching))
+        for child in node.children:
+            if child.parent is not node:
+                findings.append(
+                    AuditFinding(
+                        "geometry",
+                        f"child {_box_repr(child.box)} has a broken "
+                        f"parent pointer",
+                        where,
+                    )
+                )
+            if child.box not in cells:
+                findings.append(
+                    AuditFinding(
+                        "geometry",
+                        f"child {_box_repr(child.box)} is not a grid "
+                        f"cell of its parent",
+                        where,
+                    )
+                )
+        kids = node.children
+        for index, first in enumerate(kids):
+            for second in kids[index + 1 :]:
+                if not _boxes_disjoint(first.box, second.box):
+                    findings.append(
+                        AuditFinding(
+                            "geometry",
+                            f"children {_box_repr(first.box)} and "
+                            f"{_box_repr(second.box)} overlap",
+                            where,
+                        )
+                    )
+        stack.extend(node.children)
+    return findings
+
+
+def check_conservation_multidim(tree: MultiDimRapTree) -> List[AuditFinding]:
+    """Counter conservation for the multi-dimensional extension."""
+    findings: List[AuditFinding] = []
+    seen = 0
+    weight = 0
+    for node in tree.root.iter_subtree():
+        seen += 1
+        if not isinstance(node.count, int) or isinstance(node.count, bool):
+            findings.append(
+                AuditFinding(
+                    "conservation",
+                    f"counter is {type(node.count).__name__}, not int",
+                    _box_repr(node.box),
+                )
+            )
+            continue
+        if node.count < 0:
+            findings.append(
+                AuditFinding(
+                    "conservation",
+                    f"negative counter {node.count}",
+                    _box_repr(node.box),
+                )
+            )
+        weight += node.count
+    if weight != tree.events:
+        findings.append(
+            AuditFinding(
+                "conservation",
+                f"counters sum to {weight} but the tree has processed "
+                f"{tree.events} events",
+            )
+        )
+    if seen != tree.node_count:
+        findings.append(
+            AuditFinding(
+                "conservation",
+                f"cached node_count {tree.node_count} != actual {seen}",
+            )
+        )
+    return findings
+
+
+def check_discipline_multidim(tree: MultiDimRapTree) -> List[AuditFinding]:
+    """Split discipline with ``b^d`` children per burst."""
+    findings: List[AuditFinding] = []
+    config = tree.config
+    children_per_split = config.branching ** config.dimensions
+    bound = _discipline_bound(
+        config.split_threshold(tree.events),
+        config.min_split_threshold,
+        children_per_split,
+        config.merge_growth,
+    )
+    for node in tree.root.iter_subtree():
+        if node.is_point:
+            continue
+        if node.count > bound:
+            findings.append(
+                AuditFinding(
+                    "discipline",
+                    f"counter {node.count} exceeds the split-schedule "
+                    f"bound {bound:.1f}",
+                    _box_repr(node.box),
+                )
+            )
+    return findings
+
+
+def check_schedule_multidim(tree: MultiDimRapTree) -> List[AuditFinding]:
+    """Merge-trigger checks, identical to the one-dimensional case."""
+    return _check_scheduler(tree.merge_scheduler, tree.events)
+
+
+def check_budget_multidim(tree: MultiDimRapTree) -> List[AuditFinding]:
+    """Coarse node budget: splits are paid for by counter weight."""
+    config = tree.config
+    children_per_split = config.branching ** config.dimensions
+    volume = 1
+    for size in config.range_maxes:
+        volume *= size
+    limit = min(
+        2 * volume + config.max_height,
+        1 + children_per_split * max(tree.events, 1),
+    )
+    if tree.node_count > limit:
+        return [
+            AuditFinding(
+                "budget",
+                f"{tree.node_count} nodes exceed the bound {limit} "
+                f"(events={tree.events})",
+            )
+        ]
+    return []

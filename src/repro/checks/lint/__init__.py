@@ -1,0 +1,29 @@
+"""Custom AST lint pass over the reproduction source (``rap lint``).
+
+See :mod:`repro.checks.lint.rules` for the rule registry (RAP-LINT001
+through RAP-LINT005 and their rationales) and
+:mod:`repro.checks.lint.runner` for the driver, suppression comments
+and output formats.
+"""
+
+from .rules import RULES, LintContext, Rule, Violation, all_rule_codes
+from .runner import (
+    JSON_SCHEMA_VERSION,
+    LintReport,
+    lint_file,
+    lint_paths,
+    select_rules,
+)
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "LintContext",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Violation",
+    "all_rule_codes",
+    "lint_file",
+    "lint_paths",
+    "select_rules",
+]

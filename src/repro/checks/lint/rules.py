@@ -1,0 +1,468 @@
+"""Repo-specific AST lint rules (the RAP-LINT registry).
+
+Every rule is a small, self-contained AST analysis with a code, a
+kebab-case name, and a rationale tied to a correctness property of the
+reproduction:
+
+* **RAP-LINT001 unseeded-rng** — experiments are reproducible only if
+  every random draw flows from an explicit seed. Unseeded
+  ``random.Random()`` / ``numpy.random.default_rng()`` constructions
+  and the process-global RNG front ends (``random.random``,
+  ``np.random.rand``, ...) are banned outside
+  ``workloads/distributions.py``, the one module allowed to own RNG
+  plumbing.
+* **RAP-LINT002 float-counter-arithmetic** — RAP counters are exact
+  integers; estimates are *guaranteed* lower bounds only because no
+  weight is ever rounded away. Assignments that push float arithmetic
+  into ``.count`` / ``._events`` inside ``core/`` are banned.
+* **RAP-LINT003 node-encapsulation** — the conservation proof relies on
+  every ``.count`` / ``.children`` mutation flowing through the tree
+  classes. Mutations outside ``RapTree`` / ``MultiDimRapTree`` /
+  ``RapNode`` / ``MultiDimNode`` methods (or an ``__init__`` setting
+  its own attributes) must justify themselves with a
+  ``# noqa: RAP-LINT003`` comment.
+* **RAP-LINT004 missing-annotations** — public functions in ``core/``
+  and ``hardware/`` are the API other layers build on; they must carry
+  full parameter and return annotations.
+* **RAP-LINT005 wall-clock** — deterministic experiment code must not
+  read wall clocks (``time.time``, ``perf_counter``,
+  ``datetime.now``, ...); timing belongs to the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, pointing at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: {self.rule} "
+            f"{self.message}"
+        )
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to analyse one file."""
+
+    path: str
+    relpath: str
+    tree: ast.Module
+    source_lines: Tuple[str, ...]
+
+    def in_package(self, *prefixes: str) -> bool:
+        return any(self.relpath.startswith(prefix) for prefix in prefixes)
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted names they were imported as.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from random import
+    Random as R`` maps ``R -> random.Random``. Used to resolve call
+    targets without assuming particular import spellings.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    top = name.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _resolved_call_name(
+    call: ast.Call, aliases: Dict[str, str]
+) -> Optional[str]:
+    """The fully-qualified dotted name a call resolves to, if static."""
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    head = aliases.get(head, head)
+    return f"{head}.{rest}" if rest else head
+
+
+def _iter_scoped(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Tuple[str, ...], Tuple[str, ...]]]:
+    """Walk yielding ``(node, enclosing classes, enclosing functions)``."""
+
+    def visit(
+        node: ast.AST, classes: Tuple[str, ...], funcs: Tuple[str, ...]
+    ) -> Iterator[Tuple[ast.AST, Tuple[str, ...], Tuple[str, ...]]]:
+        for child in ast.iter_child_nodes(node):
+            yield child, classes, funcs
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, classes + (child.name,), funcs)
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                yield from visit(child, classes, funcs + (child.name,))
+            else:
+                yield from visit(child, classes, funcs)
+
+    yield from visit(tree, (), ())
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement check()."""
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, context: LintContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule=self.code,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class UnseededRngRule(Rule):
+    code = "RAP-LINT001"
+    name = "unseeded-rng"
+    rationale = (
+        "all randomness must flow from explicit seeds via "
+        "workloads.distributions so experiments replay bit-identically"
+    )
+
+    _exempt = ("workloads/distributions.py",)
+    # Constructors that are fine when given an explicit seed argument.
+    _seedable = {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+    }
+    # Always-allowed numpy.random attributes (types, not draws).
+    _numpy_ok = {"default_rng", "Generator", "BitGenerator", "RandomState",
+                 "SeedSequence"}
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if context.relpath in self._exempt:
+            return
+        aliases = _import_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolved_call_name(node, aliases)
+            if resolved is None:
+                continue
+            if resolved in self._seedable:
+                seeded = bool(node.args or node.keywords) and not (
+                    len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+                if not seeded:
+                    yield self.violation(
+                        context,
+                        node,
+                        f"unseeded RNG {resolved}(); pass an explicit "
+                        f"seed (see workloads.distributions.make_rng)",
+                    )
+                continue
+            if resolved.startswith("random."):
+                # Module-level random.* draws use the process-global,
+                # time-seeded RNG.
+                yield self.violation(
+                    context,
+                    node,
+                    f"{resolved}() draws from the global RNG; construct "
+                    f"a seeded Generator instead",
+                )
+            elif (
+                resolved.startswith("numpy.random.")
+                and resolved.split(".")[-1] not in self._numpy_ok
+            ):
+                yield self.violation(
+                    context,
+                    node,
+                    f"{resolved}() uses numpy's legacy global RNG; use "
+                    f"a seeded default_rng(seed) Generator",
+                )
+
+
+class FloatCounterRule(Rule):
+    code = "RAP-LINT002"
+    name = "float-counter-arithmetic"
+    rationale = (
+        "counters are exact integers — float arithmetic would turn the "
+        "guaranteed lower bounds into approximations"
+    )
+
+    _scopes = ("core/",)
+    _counter_attrs = {"count", "_events"}
+
+    def _tainted(self, value: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+                return f"float literal {sub.value!r}"
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                return "true division (/) produces a float"
+            if isinstance(sub, ast.Call):
+                resolved = _resolved_call_name(sub, aliases)
+                if resolved == "float":
+                    return "float() conversion"
+        return None
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if not context.in_package(*self._scopes):
+            return
+        aliases = _import_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if value is None:
+                continue
+            counter_targets = [
+                target
+                for target in targets
+                if isinstance(target, ast.Attribute)
+                and target.attr in self._counter_attrs
+            ]
+            if not counter_targets:
+                continue
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Div
+            ):
+                yield self.violation(
+                    context,
+                    node,
+                    f"augmented /= on counter "
+                    f".{counter_targets[0].attr} makes it a float",
+                )
+                continue
+            taint = self._tainted(value, aliases)
+            if taint is not None:
+                yield self.violation(
+                    context,
+                    node,
+                    f"assignment to counter .{counter_targets[0].attr} "
+                    f"involves {taint}; counters must stay exact ints "
+                    f"(wrap with int(...) at the boundary)",
+                )
+
+
+class NodeEncapsulationRule(Rule):
+    code = "RAP-LINT003"
+    name = "node-encapsulation"
+    rationale = (
+        "the conservation proof audits RapTree/MultiDimRapTree methods; "
+        "out-of-band .count/.children mutations would invalidate it"
+    )
+
+    _owner_classes = {"RapTree", "MultiDimRapTree", "RapNode", "MultiDimNode"}
+    _mutators = {"append", "insert", "remove", "clear", "pop", "extend",
+                 "sort"}
+
+    def _allowed(
+        self,
+        target: ast.Attribute,
+        classes: Tuple[str, ...],
+        funcs: Tuple[str, ...],
+    ) -> bool:
+        if classes and classes[-1] in self._owner_classes:
+            return True
+        # A class may initialize its own attributes.
+        return (
+            bool(funcs)
+            and funcs[-1] == "__init__"
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        )
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        for node, classes, funcs in _iter_scoped(context.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in ("count", "children")
+                        and not self._allowed(target, classes, funcs)
+                    ):
+                        yield self.violation(
+                            context,
+                            node,
+                            f"direct mutation of node .{target.attr} "
+                            f"outside the tree classes; go through "
+                            f"RapTree/RapNode methods or justify with "
+                            f"a noqa",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._mutators
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "children"
+                    and not self._allowed(func.value, classes, funcs)
+                ):
+                    yield self.violation(
+                        context,
+                        node,
+                        f".children.{func.attr}() outside the tree "
+                        f"classes; use attach_child/detach_child or "
+                        f"justify with a noqa",
+                    )
+
+
+class MissingAnnotationsRule(Rule):
+    code = "RAP-LINT004"
+    name = "missing-annotations"
+    rationale = (
+        "core/ and hardware/ are the load-bearing APIs; annotations "
+        "keep refactors honest without a runtime cost"
+    )
+
+    _scopes = ("core/", "hardware/")
+
+    def _missing(self, fn: ast.AST) -> List[str]:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        missing = []
+        args = fn.args
+        positional = list(args.posonlyargs) + list(args.args)
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if fn.returns is None:
+            missing.append("return")
+        return missing
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if not context.in_package(*self._scopes):
+            return
+        for node, classes, funcs in _iter_scoped(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if funcs:  # nested function — implementation detail
+                continue
+            if node.name.startswith("_"):
+                continue
+            if any(name.startswith("_") for name in classes):
+                continue
+            missing = self._missing(node)
+            if missing:
+                yield self.violation(
+                    context,
+                    node,
+                    f"public function {node.name}() is missing type "
+                    f"annotations for: {', '.join(missing)}",
+                )
+
+
+class WallClockRule(Rule):
+    code = "RAP-LINT005"
+    name = "wall-clock"
+    rationale = (
+        "experiment code is deterministic; wall-clock reads belong in "
+        "the benchmark harness, not in results"
+    )
+
+    _banned = {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        aliases = _import_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolved_call_name(node, aliases)
+            if resolved in self._banned:
+                yield self.violation(
+                    context,
+                    node,
+                    f"{resolved}() reads the wall clock inside "
+                    f"deterministic code; timing belongs to the "
+                    f"benchmark harness",
+                )
+
+
+RULES: Dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        UnseededRngRule(),
+        FloatCounterRule(),
+        NodeEncapsulationRule(),
+        MissingAnnotationsRule(),
+        WallClockRule(),
+    )
+}
+
+
+def all_rule_codes() -> List[str]:
+    """Registered rule codes in a stable order."""
+    return sorted(RULES)

@@ -1,0 +1,204 @@
+"""Lint driver: file discovery, noqa handling, reports.
+
+The runner walks the requested paths, parses every ``*.py`` file once,
+applies the selected rules from :mod:`repro.checks.lint.rules`, filters
+suppressed lines (``# noqa`` / ``# noqa: RAP-LINT003``), and folds the
+survivors into a :class:`LintReport` that renders as text or as
+schema-stable JSON (``{"version": 1, ...}``) for CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .rules import RULES, LintContext, Rule, Violation
+
+JSON_SCHEMA_VERSION = 1
+
+# Accepts flake8-style suppressions, including trailing prose after the
+# code list ("# noqa: RAP-LINT003 - display-only hierarchy").
+_NOQA_PATTERN = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass
+class LintReport:
+    """Violations plus enough bookkeeping for CI to gate on."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts = {code: 0 for code in self.rules_run}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    def render_text(self) -> str:
+        lines = [violation.render() for violation in self.violations]
+        noun = "violation" if len(self.violations) == 1 else "violations"
+        lines.append(
+            f"{len(self.violations)} {noun} across {self.files_checked} "
+            f"file(s) ({len(self.rules_run)} rules)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "version": JSON_SCHEMA_VERSION,
+            "files_checked": self.files_checked,
+            "violation_count": len(self.violations),
+            "rules": {
+                code: {
+                    "name": RULES[code].name if code in RULES else code,
+                    "count": count,
+                }
+                for code, count in sorted(self.counts_by_rule().items())
+            },
+            "violations": [
+                {
+                    "rule": violation.rule,
+                    "path": violation.path,
+                    "line": violation.line,
+                    "column": violation.column,
+                    "message": violation.message,
+                }
+                for violation in self.violations
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _discover(paths: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no python file or directory: {raw}")
+    return files
+
+
+def _module_relpath(file: Path, root: Path) -> str:
+    """Path of ``file`` relative to the ``repro`` package, if inside one.
+
+    Scoped rules (``core/``-only, ``hardware/``-only, ...) match against
+    this. Files outside any ``repro`` directory fall back to their path
+    relative to the lint root, so fixture trees laid out like the
+    package (``<tmp>/core/foo.py``) scope the same way.
+    """
+    parts = file.parts
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        inner = parts[index + 1 :]
+        if inner:
+            return "/".join(inner)
+    try:
+        return file.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return file.name
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Dict[str, Rule]:
+    """Resolve --select/--ignore code lists against the registry."""
+    chosen = dict(RULES)
+    if select:
+        wanted = set(select)
+        unknown = wanted - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+        chosen = {code: RULES[code] for code in sorted(wanted)}
+    if ignore:
+        unknown = set(ignore) - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+        for code in ignore:
+            chosen.pop(code, None)
+    return chosen
+
+
+def _suppressed(violation: Violation, source_lines: Sequence[str]) -> bool:
+    if not 1 <= violation.line <= len(source_lines):
+        return False
+    match = _NOQA_PATTERN.search(source_lines[violation.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare "# noqa" silences every rule
+    listed = {code.strip().upper() for code in codes.split(",")}
+    return violation.rule.upper() in listed
+
+
+def lint_file(
+    file: Path,
+    rules: Dict[str, Rule],
+    root: Optional[Path] = None,
+) -> List[Violation]:
+    """Lint a single file; syntax errors surface as RAP-SYNTAX."""
+    source = file.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(file))
+    except SyntaxError as error:
+        return [
+            Violation(
+                rule="RAP-SYNTAX",
+                path=str(file),
+                line=error.lineno or 1,
+                column=error.offset or 0,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    source_lines = tuple(source.splitlines())
+    context = LintContext(
+        path=str(file),
+        relpath=_module_relpath(file, root or file.parent),
+        tree=tree,
+        source_lines=source_lines,
+    )
+    violations: List[Violation] = []
+    for rule in rules.values():
+        for violation in rule.check(context):
+            if not _suppressed(violation, source_lines):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    return violations
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint files/directories and return the aggregate report."""
+    rules = select_rules(select, ignore)
+    report = LintReport(rules_run=tuple(sorted(rules)))
+    for raw in paths:
+        root = Path(raw) if Path(raw).is_dir() else Path(raw).parent
+        for file in _discover([raw]):
+            report.violations.extend(lint_file(file, rules, root=root))
+            report.files_checked += 1
+    report.violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    return report

@@ -14,6 +14,14 @@ Commands:
   flow).
 * ``rap diff <path_a> <path_b>`` — profile two trace files and diff
   them range by range.
+* ``rap audit <path> [--epsilon E]`` — replay a trace under the
+  structural invariant auditor (``repro.checks``) and verify the
+  estimate guarantees against an exact oracle.
+* ``rap lint [paths...]`` — run the repo-specific RAP-LINT AST rules.
+
+Operational errors — an unknown experiment id, an unreadable or corrupt
+trace file — print a one-line diagnostic and exit with status 1 rather
+than raising a traceback.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ from typing import List, Optional
 
 from .analysis.compare import diff_profiles
 from .analysis.hot_report import render_hot_tree
+from .checks.audit import audit_stream
+from .checks.lint import all_rule_codes, lint_paths
 from .core.quantiles import quantile_bounds
 from .experiments import runner
 from .experiments.common import DEFAULT_SEED, HOT_FRACTION, profile_stream
@@ -46,7 +56,9 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser(
         "experiment", help="run one experiment reproduction"
     )
-    experiment.add_argument("name", choices=runner.available())
+    # Validated in main() so an unknown id exits 1 with a clean message
+    # instead of an argparse usage error.
+    experiment.add_argument("name")
     experiment.add_argument("--events", type=int, default=None)
     experiment.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
@@ -85,7 +97,50 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("path_b")
     diff.add_argument("--epsilon", type=float, default=0.02)
     diff.add_argument("--hot", type=float, default=HOT_FRACTION)
+
+    audit = commands.add_parser(
+        "audit",
+        help="replay a trace under the structural invariant auditor",
+    )
+    audit.add_argument("path")
+    audit.add_argument("--epsilon", type=float, default=0.01)
+    audit.add_argument("--branching", type=int, default=4)
+
+    lint = commands.add_parser(
+        "lint", help="run the repo-specific RAP-LINT AST rules"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the repro package)",
+    )
+    lint.add_argument(
+        "--select", default=None, help="comma-separated rule codes to run"
+    )
+    lint.add_argument(
+        "--ignore", default=None, help="comma-separated rule codes to skip"
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
     return parser
+
+
+def _fail(message: str) -> int:
+    print(f"rap: error: {message}", file=sys.stderr)
+    return 1
+
+
+def _read_trace_checked(path: str):
+    """Read a trace, translating I/O and format problems into SystemExit-free
+    diagnostics (the caller turns None into exit status 1)."""
+    try:
+        return read_trace(path)
+    except OSError as error:
+        print(f"rap: error: cannot read trace {path!r}: {error.strerror or error}",
+              file=sys.stderr)
+    except ValueError as error:
+        print(f"rap: error: {path!r} is not a valid trace: {error}",
+              file=sys.stderr)
+    return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -102,6 +157,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "experiment":
+        if args.name not in runner.EXPERIMENTS:
+            return _fail(
+                f"unknown experiment {args.name!r}; run `rap list` to "
+                f"see the available ids"
+            )
         kwargs = {"seed": args.seed}
         if args.events is not None:
             kwargs["events"] = args.events
@@ -146,7 +206,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "analyze":
-        stream = read_trace(args.path)
+        stream = _read_trace_checked(args.path)
+        if stream is None:
+            return 1
         tree = profile_stream(stream, epsilon=args.epsilon)
         print(
             render_hot_tree(
@@ -167,14 +229,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "diff":
-        first = read_trace(args.path_a)
-        second = read_trace(args.path_b)
+        first = _read_trace_checked(args.path_a)
+        second = _read_trace_checked(args.path_b)
+        if first is None or second is None:
+            return 1
         before = profile_stream(first, epsilon=args.epsilon)
         after = profile_stream(second, epsilon=args.epsilon)
         result = diff_profiles(before, after, args.hot)
         print(result.render())
         print(f"\ntotal weight shift: {100 * result.total_shift():.1f}%")
         return 0
+
+    if args.command == "audit":
+        stream = _read_trace_checked(args.path)
+        if stream is None:
+            return 1
+        report = audit_stream(
+            stream, epsilon=args.epsilon, branching=args.branching
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if args.command == "lint":
+        def parse_codes(raw: Optional[str]) -> Optional[List[str]]:
+            if raw is None:
+                return None
+            return [c.strip().upper() for c in raw.split(",") if c.strip()]
+
+        try:
+            report = lint_paths(
+                args.paths or [__file__.rsplit("/", 1)[0]],
+                select=parse_codes(args.select),
+                ignore=parse_codes(args.ignore),
+            )
+        except (ValueError, FileNotFoundError) as error:
+            return _fail(
+                f"{error} (known rules: {', '.join(all_rule_codes())})"
+            )
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            print(report.render_text())
+        return 0 if report.ok else 1
 
     return 1  # pragma: no cover - argparse enforces the choices
 

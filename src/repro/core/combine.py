@@ -108,7 +108,9 @@ def _add_at_range(tree: RapTree, lo: int, hi: int, count: int) -> None:
                     f"[{lo}, {hi}] is not a partition range of this universe"
                 )
         node = child
-    node.count += count
+    # Combination deposits a source tree's range weight wholesale; the
+    # destination re-establishes conservation once every range lands.
+    node.count += count  # noqa: RAP-LINT003
     tree._node_count += created  # noqa: SLF001
 
 

@@ -51,6 +51,12 @@ class RapConfig:
         If positive, the tree records ``(events, node_count)`` samples
         every this many events (used to regenerate Figure 6). ``0``
         disables timeline recording.
+    audit_every:
+        If positive, the tree runs the full structural
+        :class:`~repro.checks.audit.TreeAuditor` every this many events
+        and raises :class:`~repro.checks.audit.AuditError` on the first
+        violated invariant. A debug hook — it walks the whole tree, so
+        keep it off (``0``, the default) outside tests and bug hunts.
     """
 
     range_max: int
@@ -60,6 +66,7 @@ class RapConfig:
     merge_growth: float = 2.0
     min_split_threshold: float = 1.0
     timeline_sample_every: int = 0
+    audit_every: int = 0
 
     def __post_init__(self) -> None:
         if self.range_max < 2:
@@ -86,6 +93,10 @@ class RapConfig:
             raise ValueError(
                 "timeline_sample_every must be >= 0, got "
                 f"{self.timeline_sample_every}"
+            )
+        if self.audit_every < 0:
+            raise ValueError(
+                f"audit_every must be >= 0, got {self.audit_every}"
             )
 
     @property

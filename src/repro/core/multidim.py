@@ -44,6 +44,7 @@ class MultiDimConfig:
     merge_initial_interval: int = 1024
     merge_growth: float = 2.0
     min_split_threshold: float = 1.0
+    audit_every: int = 0
 
     def __post_init__(self) -> None:
         if not self.range_maxes:
@@ -57,6 +58,10 @@ class MultiDimConfig:
             raise ValueError(f"branching must be >= 2, got {self.branching}")
         if self.merge_growth <= 1.0:
             raise ValueError(f"merge_growth must be > 1, got {self.merge_growth}")
+        if self.audit_every < 0:
+            raise ValueError(
+                f"audit_every must be >= 0, got {self.audit_every}"
+            )
 
     @property
     def dimensions(self) -> int:
@@ -191,6 +196,8 @@ class MultiDimRapTree:
         self._splits = 0
         self._merge_batches = 0
         self._max_nodes = 1
+        self._audit_every = config.audit_every
+        self._next_audit = config.audit_every
 
     @property
     def config(self) -> MultiDimConfig:
@@ -252,6 +259,22 @@ class MultiDimRapTree:
 
         if self._scheduler.due(self._events):
             self.merge_now()
+
+        if self._audit_every and self._events >= self._next_audit:
+            while self._next_audit <= self._events:
+                self._next_audit += self._audit_every
+            self.audit()
+
+    def audit(self) -> None:
+        """Structural self-audit; raises ``AuditError`` on violations."""
+        # Imported lazily: repro.checks imports this module.
+        from ..checks.audit import TreeAuditor
+
+        TreeAuditor().audit(self).raise_if_failed()
+
+    @property
+    def merge_scheduler(self) -> MergeScheduler:
+        return self._scheduler
 
     def extend(self, points: Iterable[Sequence[int]]) -> None:
         for point in points:

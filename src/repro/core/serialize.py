@@ -95,7 +95,9 @@ def load_tree(text: str) -> RapTree:
                     f"root range [{lo}, {hi}] does not match universe "
                     f"[{root.lo}, {root.hi}]"
                 )
-            root.count = count
+            # Rebuilding a dumped tree: the root predates load_tree, so
+            # its counter is restored here rather than through add().
+            root.count = count  # noqa: RAP-LINT003
             path = [root]
         else:
             if depth > len(path):

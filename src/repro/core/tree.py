@@ -54,6 +54,9 @@ class RapTree:
         # Hoisted constants for the hot update path.
         self._eps_over_height = config.epsilon / config.max_height
         self._min_threshold = config.min_split_threshold
+        # Debug hook: self-audit every N events (0 = off).
+        self._audit_every = config.audit_every
+        self._next_audit = config.audit_every
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -174,6 +177,11 @@ class RapTree:
 
         if self._scheduler.due(self._events):
             self.merge_now()
+
+        if self._audit_every and self._events >= self._next_audit:
+            while self._next_audit <= self._events:
+                self._next_audit += self._audit_every
+            self.audit()
 
     def extend(self, values: Iterable[int]) -> None:
         """Feed a stream of single events."""
@@ -381,6 +389,20 @@ class RapTree:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
+
+    def audit(self) -> None:
+        """Run the full structural auditor; raise ``AuditError`` if dirty.
+
+        This is the ``config.audit_every`` debug hook, also callable
+        directly. The heavyweight sibling of :meth:`check_invariants`:
+        it additionally verifies split-threshold discipline, the merge
+        schedule and the theoretical node budget (see
+        :mod:`repro.checks.invariants`).
+        """
+        # Imported lazily: repro.checks imports this module.
+        from ..checks.audit import TreeAuditor
+
+        TreeAuditor().audit(self).raise_if_failed()
 
     def check_invariants(self) -> None:
         """Raise ``AssertionError`` if any structural invariant is broken.

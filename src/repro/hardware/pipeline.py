@@ -286,7 +286,9 @@ class PipelinedRapEngine:
         for lo, hi in missing:
             slot = self.sram.allocate()
             child = _HwNode(lo, hi, slot, parent=node)
-            node.children.append(child)
+            # _HwNode rows mirror TCAM state, not the software tree; the
+            # engine is its own (hardware) implementation of RAP.
+            node.children.append(child)  # noqa: RAP-LINT003
             row = self.tcam.insert(range_to_entry(lo, hi, self.width_bits))
             self._nodes.insert(row, child)
             stall += self.params.insert_cycles
@@ -338,7 +340,7 @@ class PipelinedRapEngine:
                 removed += 1
             else:
                 kept.append(child)
-        node.children = kept
+        node.children = kept  # noqa: RAP-LINT003 - _HwNode row table
         return removed
 
     def _subtree_weight(self, node: _HwNode) -> int:

@@ -1,0 +1,373 @@
+"""Fixture-driven tests for every RAP-LINT rule plus the runner.
+
+Each rule gets at least one *positive* fixture (a snippet that must
+trigger it) and one *negative* fixture (a near-miss that must stay
+clean), the live ``src/`` tree is asserted lint-clean, and the JSON
+report schema is pinned so CI consumers can rely on it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.checks.lint import all_rule_codes, lint_paths
+from repro.checks.lint.runner import JSON_SCHEMA_VERSION, select_rules
+
+SRC_PACKAGE = str(Path(repro.__file__).parent)
+
+
+def lint_snippet(tmp_path, relfile: str, source: str, **kwargs):
+    """Write ``source`` at ``<tmp>/<relfile>`` and lint the tmp tree."""
+    target = tmp_path / relfile
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return lint_paths([str(tmp_path)], **kwargs)
+
+
+def codes(report):
+    return [violation.rule for violation in report.violations]
+
+
+class TestUnseededRng:
+    def test_flags_unseeded_default_rng(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert codes(report) == ["RAP-LINT001"]
+        assert "unseeded RNG" in report.violations[0].message
+
+    def test_flags_global_random_module(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import random\nx = random.random()\ny = random.randint(0, 9)\n",
+        )
+        assert codes(report) == ["RAP-LINT001", "RAP-LINT001"]
+
+    def test_flags_legacy_numpy_global_draws(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/demo.py",
+            "import numpy\nx = numpy.random.rand(10)\n",
+        )
+        assert codes(report) == ["RAP-LINT001"]
+
+    def test_seeded_constructions_are_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import random\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "legacy = np.random.RandomState(7)\n"
+            "stdlib = random.Random(3)\n",
+        )
+        assert report.ok, report.render_text()
+
+    def test_distributions_module_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "workloads/distributions.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert report.ok
+
+    def test_import_alias_is_resolved(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "from numpy.random import default_rng as mk\nrng = mk()\n",
+        )
+        assert codes(report) == ["RAP-LINT001"]
+
+
+class TestFloatCounter:
+    def test_flags_division_into_count_in_core(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/bad.py",
+            "def half(node):\n    node.count = node.count / 2\n",
+            select=["RAP-LINT002"],
+        )
+        assert codes(report) == ["RAP-LINT002"]
+        assert "division" in report.violations[0].message
+
+    def test_flags_float_literal_and_float_call(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/bad.py",
+            "def poke(node, x):\n"
+            "    node.count = 0.5\n"
+            "    node._events = float(x)\n",
+            select=["RAP-LINT002"],
+        )
+        assert codes(report) == ["RAP-LINT002", "RAP-LINT002"]
+
+    def test_flags_augmented_division(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/bad.py",
+            "def shrink(node):\n    node.count /= 2\n",
+            select=["RAP-LINT002"],
+        )
+        assert codes(report) == ["RAP-LINT002"]
+
+    def test_integer_arithmetic_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "def fold(node, extra):\n"
+            "    node.count = node.count + extra\n"
+            "    node.count //= 2\n",
+            select=["RAP-LINT002"],
+        )
+        assert report.ok
+
+    def test_rule_is_scoped_to_core(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/elsewhere.py",
+            "def half(node):\n    node.count = node.count / 2\n",
+            select=["RAP-LINT002"],
+        )
+        assert report.ok
+
+
+class TestNodeEncapsulation:
+    def test_flags_count_mutation_outside_tree_classes(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/bad.py",
+            "def boost(node):\n    node.count += 10\n",
+            select=["RAP-LINT003"],
+        )
+        assert codes(report) == ["RAP-LINT003"]
+
+    def test_flags_children_list_mutation(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/bad.py",
+            "def graft(parent, child):\n"
+            "    parent.children.append(child)\n"
+            "    parent.children = []\n",
+            select=["RAP-LINT003"],
+        )
+        assert codes(report) == ["RAP-LINT003", "RAP-LINT003"]
+
+    def test_tree_class_methods_are_allowed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "class RapTree:\n"
+            "    def _split(self, node, child):\n"
+            "        node.children.append(child)\n"
+            "        node.count = 0\n",
+            select=["RAP-LINT003"],
+        )
+        assert report.ok
+
+    def test_init_may_set_own_attributes(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "hardware/good.py",
+            "class Row:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "        self.children = []\n",
+            select=["RAP-LINT003"],
+        )
+        assert report.ok
+
+    def test_noqa_with_justification_suppresses(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/justified.py",
+            "def boost(node):\n"
+            "    node.count += 10  # noqa: RAP-LINT003 - display copy\n",
+            select=["RAP-LINT003"],
+        )
+        assert report.ok
+
+
+class TestMissingAnnotations:
+    def test_flags_unannotated_public_function_in_core(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/bad.py",
+            "def estimate(lo, hi):\n    return hi - lo\n",
+            select=["RAP-LINT004"],
+        )
+        assert codes(report) == ["RAP-LINT004"]
+        message = report.violations[0].message
+        assert "lo" in message and "hi" in message and "return" in message
+
+    def test_flags_unannotated_public_method_in_hardware(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "hardware/bad.py",
+            "class Pipeline:\n"
+            "    def flush(self, slots):\n"
+            "        return slots\n",
+            select=["RAP-LINT004"],
+        )
+        assert codes(report) == ["RAP-LINT004"]
+
+    def test_annotated_private_and_nested_are_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "def estimate(lo: int, hi: int) -> int:\n"
+            "    def helper(x):\n"
+            "        return x\n"
+            "    return helper(hi - lo)\n"
+            "\n"
+            "def _internal(x):\n"
+            "    return x\n",
+            select=["RAP-LINT004"],
+        )
+        assert report.ok
+
+    def test_rule_is_scoped(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "workloads/unscoped.py",
+            "def loose(a, b):\n    return a + b\n",
+            select=["RAP-LINT004"],
+        )
+        assert report.ok
+
+
+class TestWallClock:
+    def test_flags_time_and_datetime_reads(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/bad.py",
+            "import time\n"
+            "import datetime\n"
+            "start = time.perf_counter()\n"
+            "stamp = datetime.datetime.now()\n",
+            select=["RAP-LINT005"],
+        )
+        assert codes(report) == ["RAP-LINT005", "RAP-LINT005"]
+
+    def test_non_clock_time_functions_are_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/good.py",
+            "import time\ntime.sleep(0)\n",
+            select=["RAP-LINT005"],
+        )
+        assert report.ok
+
+
+class TestRunner:
+    def test_live_src_tree_is_lint_clean(self):
+        report = lint_paths([SRC_PACKAGE])
+        assert report.ok, report.render_text()
+        assert report.files_checked > 40
+
+    def test_bare_noqa_silences_any_rule(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import random\nx = random.random()  # noqa\n",
+        )
+        assert report.ok
+
+    def test_noqa_for_other_code_does_not_suppress(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import random\nx = random.random()  # noqa: RAP-LINT005\n",
+        )
+        assert codes(report) == ["RAP-LINT001"]
+
+    def test_select_restricts_and_ignore_removes(self, tmp_path):
+        source = (
+            "import time\nimport random\n"
+            "a = time.time()\nb = random.random()\n"
+        )
+        only_clock = lint_snippet(
+            tmp_path, "experiments/demo.py", source, select=["RAP-LINT005"]
+        )
+        assert codes(only_clock) == ["RAP-LINT005"]
+        without_clock = lint_snippet(
+            tmp_path, "experiments/demo.py", source, ignore=["RAP-LINT005"]
+        )
+        assert codes(without_clock) == ["RAP-LINT001"]
+
+    def test_unknown_rule_code_raises(self):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            select_rules(select=["RAP-LINT999"])
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        report = lint_snippet(tmp_path, "broken.py", "def nope(:\n")
+        assert codes(report) == ["RAP-SYNTAX"]
+
+    def test_missing_path_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([str(tmp_path / "no_such_dir")])
+
+    def test_registry_exposes_all_five_rules(self):
+        assert all_rule_codes() == [
+            "RAP-LINT001",
+            "RAP-LINT002",
+            "RAP-LINT003",
+            "RAP-LINT004",
+            "RAP-LINT005",
+        ]
+
+
+class TestJsonSchema:
+    """The --format json payload is a stable contract for CI."""
+
+    TOP_LEVEL_KEYS = {
+        "version",
+        "files_checked",
+        "violation_count",
+        "rules",
+        "violations",
+    }
+    VIOLATION_KEYS = {"rule", "path", "line", "column", "message"}
+
+    def test_schema_shape_with_violations(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import random\nx = random.random()\n",
+        )
+        payload = json.loads(report.to_json())
+        assert set(payload) == self.TOP_LEVEL_KEYS
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["violation_count"] == 1
+        assert payload["files_checked"] == 1
+        entry = payload["violations"][0]
+        assert set(entry) == self.VIOLATION_KEYS
+        assert entry["rule"] == "RAP-LINT001"
+        assert entry["line"] == 2
+        rule_summary = payload["rules"]["RAP-LINT001"]
+        assert rule_summary == {"name": "unseeded-rng", "count": 1}
+
+    def test_schema_shape_when_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "clean.py", "x = 1\n")
+        payload = json.loads(report.to_json())
+        assert set(payload) == self.TOP_LEVEL_KEYS
+        assert payload["violation_count"] == 0
+        assert payload["violations"] == []
+        assert all(
+            entry["count"] == 0 for entry in payload["rules"].values()
+        )
+
+    def test_json_is_deterministic(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import time\nt = time.time()\n",
+        )
+        assert report.to_json() == report.to_json()

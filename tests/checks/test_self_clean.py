@@ -1,0 +1,39 @@
+"""CI gate: the repo must pass its own checker.
+
+Runs ``python -m repro.checks --strict`` in-process (same entry point
+CI uses) and asserts a zero exit: the live package is lint-clean under
+every RAP-LINT rule and the built-in stream self-audit holds all tree
+invariants.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checks.__main__ import main
+
+
+class TestSelfClean:
+    def test_strict_check_passes_on_live_package(self, capsys):
+        assert main(["--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+        assert "all invariants hold" in out
+
+    def test_lint_only_default_invocation(self, capsys):
+        assert main([]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_json_output_is_schema_stable(self, capsys):
+        assert main(["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["violation_count"] == 0
+        assert set(payload["rules"]) == {
+            "RAP-LINT001", "RAP-LINT002", "RAP-LINT003",
+            "RAP-LINT004", "RAP-LINT005",
+        }
+
+    def test_unknown_rule_code_exits_2(self, capsys):
+        assert main(["--select", "RAP-LINT999"]) == 2
+        assert "known rules" in capsys.readouterr().err

@@ -1,0 +1,266 @@
+"""Property-style tests: the TreeAuditor stays clean on random streams.
+
+Drives ``RapTree`` (and ``MultiDimRapTree``) with zipf, uniform and
+phase-shifting streams and asserts that the full audit battery —
+partition geometry, counter conservation, split discipline, merge
+schedule, node budget, estimate bounds — reports clean after every
+batched merge, plus that seeded corruption of each invariant family is
+detected.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks import AuditError, TreeAuditor, audit_stream
+from repro.core import MultiDimConfig, MultiDimRapTree, RapConfig, RapTree
+from repro.workloads.distributions import make_rng, sample_zipf_ranks
+
+UNIVERSE = 2**16
+
+
+def zipf_stream(seed: int, events: int) -> list:
+    rng = make_rng(seed)
+    return [int(v) for v in sample_zipf_ranks(rng, events, UNIVERSE, 1.2)]
+
+
+def uniform_stream(seed: int, events: int) -> list:
+    rng = make_rng(seed + 1000)
+    return [int(v) for v in rng.integers(0, UNIVERSE, size=events)]
+
+
+def phased_stream(seed: int, events: int) -> list:
+    """Three phases with disjoint hot bands — exercises merges hard."""
+    rng = make_rng(seed + 2000)
+    third = events // 3
+    bands = [(0, 512), (UNIVERSE // 2, UNIVERSE // 2 + 512), (UNIVERSE - 512, UNIVERSE)]
+    values = []
+    for index, (lo, hi) in enumerate(bands):
+        size = third if index < 2 else events - 2 * third
+        values.extend(int(v) for v in rng.integers(lo, hi, size=size))
+    return values
+
+STREAM_SHAPES = {
+    "zipf": zipf_stream,
+    "uniform": uniform_stream,
+    "phased": phased_stream,
+}
+
+
+def drive_with_audits(tree: RapTree, values: list) -> int:
+    """Feed values, auditing after every merge batch; returns batch count."""
+    auditor = TreeAuditor()
+    last_batches = 0
+    for value in values:
+        tree.add(value)
+        batches = tree.merge_scheduler.batches_fired
+        if batches != last_batches:
+            last_batches = batches
+            report = auditor.audit(tree)
+            assert report.ok, report.render()
+    return last_batches
+
+
+class TestAuditOnRandomStreams:
+    @pytest.mark.parametrize("shape", sorted(STREAM_SHAPES))
+    @pytest.mark.parametrize("epsilon", [0.1, 0.02])
+    def test_audit_clean_after_every_merge_batch(self, shape, epsilon):
+        config = RapConfig(
+            range_max=UNIVERSE, epsilon=epsilon, merge_initial_interval=64
+        )
+        tree = RapTree(config)
+        values = STREAM_SHAPES[shape](seed=7, events=9_000)
+        batches = drive_with_audits(tree, values)
+        assert batches >= 3, "stream too short to exercise the merge schedule"
+        final = TreeAuditor().audit(tree)
+        assert final.ok, final.render()
+
+    @pytest.mark.parametrize("shape", sorted(STREAM_SHAPES))
+    def test_estimates_bracket_oracle(self, shape):
+        values = STREAM_SHAPES[shape](seed=11, events=6_000)
+        report = audit_stream(
+            values, universe=UNIVERSE, epsilon=0.05, name=shape
+        )
+        assert report.ok, report.render()
+        assert report.audits_run >= 2
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_audit_clean_across_seeds(self, seed):
+        config = RapConfig(
+            range_max=UNIVERSE, epsilon=0.05, merge_initial_interval=128
+        )
+        tree = RapTree(config)
+        rng = make_rng(seed)
+        # A hostile mix: a hot point, a hot band, and background noise.
+        hot = int(rng.integers(0, UNIVERSE))
+        band_lo = int(rng.integers(0, UNIVERSE - 256))
+        for _ in range(4):
+            tree.extend(int(v) for v in rng.integers(0, UNIVERSE, size=500))
+            tree.extend([hot] * 400)
+            tree.extend(
+                int(v) for v in rng.integers(band_lo, band_lo + 256, size=500)
+            )
+            report = TreeAuditor().audit(tree)
+            assert report.ok, report.render()
+
+    def test_counted_adds_audit_clean(self):
+        config = RapConfig(
+            range_max=UNIVERSE, epsilon=0.05, merge_initial_interval=64
+        )
+        tree = RapTree(config)
+        rng = make_rng(3)
+        pairs = [
+            (int(v), int(c))
+            for v, c in zip(
+                rng.integers(0, UNIVERSE, size=800),
+                rng.integers(1, 50, size=800),
+            )
+        ]
+        tree.add_counted(pairs)
+        report = TreeAuditor().audit(tree)
+        assert report.ok, report.render()
+
+
+class TestAuditEveryHook:
+    def test_hook_runs_and_stays_clean(self):
+        config = RapConfig(
+            range_max=UNIVERSE,
+            epsilon=0.05,
+            merge_initial_interval=64,
+            audit_every=500,
+        )
+        tree = RapTree(config)
+        tree.extend(zipf_stream(seed=5, events=4_000))
+        assert tree.events == 4_000  # no audit aborted the run
+
+    def test_hook_catches_injected_corruption(self):
+        config = RapConfig(
+            range_max=UNIVERSE,
+            epsilon=0.05,
+            merge_initial_interval=64,
+            audit_every=256,
+        )
+        tree = RapTree(config)
+        tree.extend(zipf_stream(seed=6, events=1_000))
+        # Sabotage: invent weight out of thin air.
+        tree.root.count += 123
+        with pytest.raises(AuditError, match="conservation"):
+            tree.extend(zipf_stream(seed=6, events=512))
+
+    def test_hook_rejects_negative_interval(self):
+        with pytest.raises(ValueError, match="audit_every"):
+            RapConfig(range_max=UNIVERSE, audit_every=-1)
+
+
+class TestCorruptionDetection:
+    """Each invariant family flags the matching hand-made breakage."""
+
+    def make_tree(self) -> RapTree:
+        config = RapConfig(
+            range_max=UNIVERSE, epsilon=0.05, merge_initial_interval=64
+        )
+        tree = RapTree(config)
+        tree.extend(zipf_stream(seed=9, events=3_000))
+        return tree
+
+    def find_split_node(self, tree: RapTree):
+        for node in tree.nodes():
+            if node.children:
+                return node
+        raise AssertionError("stream produced no splits")
+
+    def test_detects_conservation_break(self):
+        tree = self.make_tree()
+        self.find_split_node(tree).children[0].count += 1
+        report = TreeAuditor().audit(tree)
+        assert any(f.invariant == "conservation" for f in report.findings)
+
+    def test_detects_float_counter(self):
+        tree = self.make_tree()
+        node = self.find_split_node(tree)
+        node.count = float(node.count)
+        report = TreeAuditor().audit(tree)
+        assert any(f.invariant == "conservation" for f in report.findings)
+
+    def test_detects_geometry_break(self):
+        tree = self.make_tree()
+        node = self.find_split_node(tree)
+        child = node.children[1]  # second cell: lo > 0 by construction
+        child.lo -= 1  # off the partition grid, overlaps its left sibling
+        report = TreeAuditor(
+            conservation=False, budget=False
+        ).audit(tree)
+        assert any(f.invariant == "geometry" for f in report.findings)
+
+    def test_detects_broken_parent_pointer(self):
+        tree = self.make_tree()
+        self.find_split_node(tree).children[0].parent = None
+        report = TreeAuditor().audit(tree)
+        assert any(f.invariant == "geometry" for f in report.findings)
+
+    def test_detects_discipline_break(self):
+        tree = self.make_tree()
+        node = self.find_split_node(tree)
+        # A splittable node hoarding far more than the schedule allows
+        # means a split failed to fire. Keep conservation intact by
+        # moving weight, not inventing it.
+        moved = 50_000
+        tree.root.count += moved
+        tree._events += moved  # noqa: SLF001 - simulate missed splits
+        report = TreeAuditor(budget=False).audit(tree)
+        assert any(f.invariant == "discipline" for f in report.findings)
+
+    def test_detects_overdue_merge(self):
+        tree = self.make_tree()
+        tree.merge_scheduler.next_at = float(tree.events)  # due now
+        report = TreeAuditor().audit(tree)
+        assert any(f.invariant == "schedule" for f in report.findings)
+
+    def test_detects_off_grid_schedule(self):
+        tree = self.make_tree()
+        tree.merge_scheduler.next_at *= 1.37  # off the geometric series
+        report = TreeAuditor().audit(tree)
+        assert any(f.invariant == "schedule" for f in report.findings)
+
+    def test_detects_undercount_beyond_epsilon(self):
+        tree = self.make_tree()
+        exact = {}
+        for value in zipf_stream(seed=9, events=3_000):
+            exact[value] = exact.get(value, 0) + 1
+        # Claim the stream was larger than what the tree saw: the oracle
+        # mismatch is reported rather than silently diluting the check.
+        exact[0] = exact.get(0, 0) + 10_000
+        report = TreeAuditor().audit_with_oracle(tree, exact)
+        assert any(f.invariant == "estimates" for f in report.findings)
+
+
+class TestMultiDimAudit:
+    def test_multidim_audit_clean(self):
+        config = MultiDimConfig(
+            range_maxes=(256, 256),
+            epsilon=0.05,
+            merge_initial_interval=64,
+            audit_every=512,
+        )
+        tree = MultiDimRapTree(config)
+        rng = make_rng(21)
+        for _ in range(6_000):
+            tree.add((int(rng.integers(0, 64)), int(rng.integers(0, 256))))
+        report = TreeAuditor().audit(tree)
+        assert report.ok, report.render()
+        assert tree.merge_scheduler.batches_fired >= 3
+
+    def test_multidim_detects_conservation_break(self):
+        config = MultiDimConfig(
+            range_maxes=(64, 64), epsilon=0.1, merge_initial_interval=64
+        )
+        tree = MultiDimRapTree(config)
+        rng = make_rng(22)
+        for _ in range(2_000):
+            tree.add((int(rng.integers(0, 64)), int(rng.integers(0, 64))))
+        tree.root.count += 5
+        report = TreeAuditor().audit(tree)
+        assert any(f.invariant == "conservation" for f in report.findings)

@@ -163,3 +163,37 @@ class TestRapNode:
         assert root.depth == 0
         assert child.depth == 1
         assert grandchild.depth == 2
+
+
+class TestSlots:
+    """Nodes are __slots__-only: compact, and the mutation surface that
+    the RAP-LINT003 encapsulation rule guards is a closed set."""
+
+    def test_rap_node_has_no_dict(self):
+        node = RapNode(0, 255)
+        assert not hasattr(node, "__dict__")
+        assert "__slots__" in vars(RapNode)
+
+    def test_rap_node_rejects_ad_hoc_attributes(self):
+        node = RapNode(0, 255)
+        with pytest.raises(AttributeError):
+            node.extra_annotation = "nope"
+
+    def test_multidim_node_has_no_dict(self):
+        from repro.core.multidim import MultiDimNode
+
+        node = MultiDimNode(((0, 15), (0, 15)))
+        assert not hasattr(node, "__dict__")
+        with pytest.raises(AttributeError):
+            node.extra = 1
+
+    def test_hw_node_has_no_dict(self):
+        from repro.hardware.pipeline import _HwNode
+
+        node = _HwNode(0, 255, slot=0, parent=None)
+        assert not hasattr(node, "__dict__")
+
+    def test_slots_cover_every_used_attribute(self):
+        assert set(RapNode.__slots__) == {
+            "lo", "hi", "count", "children", "parent"
+        }

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cli import main
 from repro.workloads.tracefile import trace_info
 
@@ -41,9 +39,25 @@ class TestAnalyze:
         assert "quantile brackets" in out
         assert "p50" in out and "p99" in out
 
-    def test_analyze_missing_file(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            main(["analyze", str(tmp_path / "missing.trace")])
+    def test_analyze_missing_file_exits_1(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "missing.trace")]) == 1
+        err = capsys.readouterr().err
+        assert "rap: error" in err and "missing.trace" in err
+
+    def test_analyze_corrupt_file_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "junk.trace"
+        path.write_bytes(b"this is not a RAP trace at all")
+        assert main(["analyze", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "not a valid trace" in err
+
+    def test_diff_missing_file_exits_1(self, tmp_path, capsys):
+        present = str(tmp_path / "a.trace")
+        main(["record", "gzip", "value", present, "--events", "2000"])
+        capsys.readouterr()
+        missing = str(tmp_path / "b.trace")
+        assert main(["diff", present, missing]) == 1
+        assert "rap: error" in capsys.readouterr().err
 
 
 class TestDiff:

@@ -61,6 +61,8 @@ class TestCli:
         assert main(["profile", "gcc", "narrow", "--events", "20000"]) == 0
         assert main(["profile", "mcf", "value", "--events", "10000"]) == 0
 
-    def test_rejects_unknown_experiment(self):
-        with pytest.raises(SystemExit):
-            main(["experiment", "nope"])
+    def test_unknown_experiment_exits_1(self, capsys):
+        assert main(["experiment", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nope'" in err
+        assert "rap list" in err
