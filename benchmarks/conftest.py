@@ -8,11 +8,14 @@ figure reports — to ``benchmarks/_reports/<id>.txt``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 REPORT_DIR = pathlib.Path(__file__).parent / "_reports"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+CORE_THROUGHPUT_JSON = REPO_ROOT / "BENCH_core_throughput.json"
 
 
 @pytest.fixture
@@ -36,3 +39,45 @@ def run_once(benchmark, func, *args, **kwargs):
     """
     return benchmark.pedantic(func, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Publish the core-throughput numbers as a repo-root JSON artifact.
+
+    Only the micro-benchmarks from ``test_core_throughput.py`` are
+    machine-readable regression baselines; the experiment reproductions
+    keep their human-readable ``_reports/*.txt`` instead.
+    """
+    benchsession = getattr(session.config, "_benchmarksession", None)
+    if benchsession is None:
+        return
+    results = []
+    for bench in getattr(benchsession, "benchmarks", []):
+        if "test_core_throughput" not in getattr(bench, "fullname", ""):
+            continue
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        results.append(
+            {
+                "name": bench.name,
+                "mean_s": stats.mean,
+                "min_s": stats.min,
+                "max_s": stats.max,
+                "stddev_s": stats.stddev,
+                "rounds": stats.rounds,
+                "ops_per_s": stats.ops,
+            }
+        )
+    if not results:
+        return
+    payload = {
+        "benchmark": "core_throughput",
+        "source": "benchmarks/test_core_throughput.py",
+        "events": 50_000,
+        "units": "seconds",
+        "results": sorted(results, key=lambda row: row["name"]),
+    }
+    CORE_THROUGHPUT_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )

@@ -14,10 +14,16 @@ This package makes the invariants mechanical:
   schedule, the theoretical node budget, and (against an exact oracle)
   the lower-bound estimate guarantee. Opt in per tree with
   ``RapConfig(audit_every=N)`` or per trace with ``rap audit``.
-* :mod:`repro.checks.lint` — a repo-specific AST lint pass (rules
-  RAP-LINT001..005) guarding determinism, exact integer counters, node
-  encapsulation, annotation coverage and wall-clock hygiene. Run it
-  with ``rap lint`` or ``python -m repro.checks``.
+* :mod:`repro.checks.lint` — a repo-specific AST lint pass (the
+  syntactic rules RAP-LINT001..005) guarding determinism, exact
+  integer counters, node encapsulation, annotation coverage and
+  wall-clock hygiene. Run it with ``rap lint`` or
+  ``python -m repro.checks``.
+* :mod:`repro.checks.flow` — a flow-sensitive dataflow engine
+  (per-function CFGs, a worklist fixed-point solver, reaching
+  definitions/liveness, a value-kind taint lattice) powering rules
+  RAP-LINT006..010, which catch the same violations laundered through
+  aliases and emit ``flow_trace`` witness paths.
 """
 
 from .audit import (
@@ -29,18 +35,27 @@ from .audit import (
     self_audit,
 )
 from .invariants import AuditFinding
-from .lint import LintReport, Violation, all_rule_codes, lint_paths
+from .lint import (
+    FlowStep,
+    LintReport,
+    Violation,
+    all_rule_codes,
+    explain_rule,
+    lint_paths,
+)
 
 __all__ = [
     "AuditError",
     "AuditFinding",
     "AuditReport",
+    "FlowStep",
     "LintReport",
     "TraceAuditReport",
     "TreeAuditor",
     "Violation",
     "all_rule_codes",
     "audit_stream",
+    "explain_rule",
     "lint_paths",
     "self_audit",
 ]

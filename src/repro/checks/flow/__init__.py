@@ -1,0 +1,52 @@
+"""Flow-sensitive dataflow engine behind RAP-LINT006..010.
+
+The syntactic RAP-LINT rules (001..005) match single AST nodes, so any
+violation laundered through one assignment (``c = node.count``;
+``x = c / n``) escapes them. This package adds the machinery to follow
+values *through* a function:
+
+* :mod:`repro.checks.flow.cfg` — a per-function control-flow graph over
+  the Python AST (branches, loops, ``try/except/finally``, ``with``,
+  short-circuit conditions, break/continue/return routing).
+* :mod:`repro.checks.flow.solver` — a generic worklist fixed-point
+  solver for monotone dataflow problems on those CFGs.
+* :mod:`repro.checks.flow.analyses` — the classic analyses (reaching
+  definitions, live variables) phrased as solver problems.
+* :mod:`repro.checks.flow.taint` — an abstract-interpretation lattice
+  tracking value *kinds* (exact counter, float, unseeded RNG,
+  wall-clock, tree-node/children reference) through assignments and
+  aliases, plus witness-trace reconstruction.
+* :mod:`repro.checks.flow.rules` — the flow-sensitive lint rules
+  RAP-LINT006..010, each emitting a ``flow_trace`` witness path.
+"""
+
+from .analyses import live_variables, reaching_definitions
+from .cfg import CFG, CFGNode, build_cfg, iter_units
+from .solver import DataflowProblem, solve
+from .taint import (
+    KIND_CHILDREN,
+    KIND_CLOCK,
+    KIND_COUNTER,
+    KIND_FLOAT,
+    KIND_NODE,
+    KIND_RNG,
+    TaintAnalysis,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "DataflowProblem",
+    "KIND_CHILDREN",
+    "KIND_CLOCK",
+    "KIND_COUNTER",
+    "KIND_FLOAT",
+    "KIND_NODE",
+    "KIND_RNG",
+    "TaintAnalysis",
+    "build_cfg",
+    "iter_units",
+    "live_variables",
+    "reaching_definitions",
+    "solve",
+]

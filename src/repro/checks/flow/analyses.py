@@ -1,0 +1,192 @@
+"""Classic dataflow analyses phrased as solver problems.
+
+* **Reaching definitions** — forward, facts are ``(name, node_id)``
+  pairs: which assignments of ``name`` may reach a program point. Used
+  to reconstruct witness traces (which alias assignment fed this use?)
+  and to find definitions that never reach a use.
+* **Live variables** — backward, facts are names: is the value a
+  definition stores ever read on some path onward? Used by RAP-LINT009
+  to flag dead stores.
+
+Both treat names conservatively: uses are collected with ``ast.walk``
+over the whole statement, so names captured by nested functions,
+lambdas, and comprehensions count as uses (a closure read keeps an
+outer binding live).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Tuple
+
+from .cfg import CFG, CFGNode
+from .solver import DataflowProblem, Solution, solve, union_join
+
+Definition = Tuple[str, int]  # (variable name, defining CFG node id)
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Names bound by an assignment target (recursing into unpacking)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    # Attribute / Subscript targets bind no local name.
+
+
+def assigned_names(node: CFGNode) -> Tuple[str, ...]:
+    """Local names (re)bound when this CFG node executes."""
+    stmt = node.stmt
+    if stmt is None:
+        return ()
+    names: List[str] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names.extend(_target_names(target))
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        if isinstance(stmt.target, ast.Name) and (
+            not isinstance(stmt, ast.AnnAssign) or stmt.value is not None
+        ):
+            names.append(stmt.target.id)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)) and node.kind == "loop":
+        names.extend(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)) and node.kind == "with":
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.extend(_target_names(item.optional_vars))
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.append(stmt.name)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        names.append(stmt.name)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            if alias.name == "*":
+                continue
+            names.append(alias.asname or alias.name.split(".")[0])
+    # Walrus targets anywhere in the node's expressions also bind.
+    for sub in ast.walk(_expression_scope(node)):
+        if isinstance(sub, ast.NamedExpr) and isinstance(
+            sub.target, ast.Name
+        ):
+            names.append(sub.target.id)
+    return tuple(dict.fromkeys(names))
+
+
+def killed_names(node: CFGNode) -> Tuple[str, ...]:
+    """Names whose prior definitions die here (assignments + del)."""
+    names = list(assigned_names(node))
+    stmt = node.stmt
+    if isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            names.extend(_target_names(target))
+    return tuple(dict.fromkeys(names))
+
+
+def _expression_scope(node: CFGNode) -> ast.AST:
+    """The AST fragment whose expressions execute *at* this node.
+
+    Compound statements are decomposed by the CFG builder, so for loop
+    headers only the iterable belongs to the node, for ``with`` only the
+    context expressions, and for ``except`` clauses only the type.
+    """
+    stmt = node.stmt
+    if stmt is None:
+        return ast.Module(body=[], type_ignores=[])
+    if node.kind == "loop" and isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return stmt.iter
+    if node.kind == "with" and isinstance(stmt, (ast.With, ast.AsyncWith)):
+        scope = ast.Module(body=[], type_ignores=[])
+        scope.body = [
+            ast.Expr(value=item.context_expr) for item in stmt.items
+        ]
+        return scope
+    if node.kind == "except" and isinstance(stmt, ast.ExceptHandler):
+        return stmt.type if stmt.type is not None else ast.Module(
+            body=[], type_ignores=[]
+        )
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # The whole definition: decorator/default/annotation expressions
+        # run here, and body names count as (closure) uses.
+        return stmt
+    if isinstance(
+        stmt, (ast.If, ast.While, ast.Try, ast.Match, ast.ClassDef)
+    ) and node.kind == "stmt":
+        # Match/ClassDef are kept opaque; If/While never appear as plain
+        # statement nodes.
+        return stmt
+    return stmt
+
+
+def used_names(node: CFGNode) -> Tuple[str, ...]:
+    """Names read when this CFG node executes."""
+    scope = _expression_scope(node)
+    names: List[str] = []
+    for sub in ast.walk(scope):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            names.append(sub.id)
+    stmt = node.stmt
+    if isinstance(stmt, ast.AugAssign) and isinstance(
+        stmt.target, ast.Name
+    ):
+        names.append(stmt.target.id)  # x += 1 both reads and writes x
+    return tuple(dict.fromkeys(names))
+
+
+def reaching_definitions(
+    cfg: CFG,
+) -> Solution[FrozenSet[Definition]]:
+    """May-reach definition sets before/after every node."""
+
+    def transfer(
+        node: CFGNode, value: FrozenSet[Definition]
+    ) -> FrozenSet[Definition]:
+        assigned = assigned_names(node)
+        killed = set(killed_names(node))
+        if not killed:
+            return value
+        survivors = frozenset(
+            fact for fact in value if fact[0] not in killed
+        )
+        return survivors | frozenset(
+            (name, node.id) for name in assigned
+        )
+
+    problem: DataflowProblem[FrozenSet[Definition]] = DataflowProblem(
+        direction="forward",
+        boundary=frozenset(),
+        bottom=frozenset(),
+        transfer=transfer,
+        join=union_join,
+    )
+    return solve(cfg, problem)
+
+
+def live_variables(cfg: CFG) -> Solution[FrozenSet[str]]:
+    """Live-variable sets; ``inputs[n]`` is live-before in source terms.
+
+    Note the solver's direction-relative naming: for this backward
+    problem ``inputs[n]`` is the join over successors (live *after*
+    ``n``) and ``outputs[n]`` is the transferred value (live *before*
+    ``n``).
+    """
+
+    def transfer(
+        node: CFGNode, live_after: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        return (
+            live_after - frozenset(killed_names(node))
+        ) | frozenset(used_names(node))
+
+    problem: DataflowProblem[FrozenSet[str]] = DataflowProblem(
+        direction="backward",
+        boundary=frozenset(),
+        bottom=frozenset(),
+        transfer=transfer,
+        join=union_join,
+    )
+    return solve(cfg, problem)

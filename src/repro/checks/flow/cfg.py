@@ -1,0 +1,435 @@
+"""Per-function control-flow graphs over the Python AST.
+
+The graph is *statement level*: every simple statement, branch
+condition, loop header, ``with`` enter, and ``except`` clause is its own
+node, which keeps the dataflow transfer functions trivial (no basic
+block splitting). The builder models:
+
+* ``if``/``while`` conditions decomposed over short-circuit operators —
+  ``if a and b:`` becomes two condition nodes so ``b`` is only reached
+  when ``a`` was truthy, and constant conditions (``while True:``) drop
+  the impossible edge, which is what makes unreachable-code detection
+  work.
+* loops with back edges, ``break``/``continue`` routed to the right
+  targets (through any intervening ``finally`` blocks), and
+  ``for``/``while`` ``else`` clauses.
+* ``try/except/finally``: every statement inside a ``try`` body gets an
+  exceptional edge to the innermost handlers; ``return``/``break``/
+  ``continue``/uncaught ``raise`` are routed through the pending
+  ``finally`` chain before reaching their target.
+* ``with`` bodies, ``match`` statements, and ``return``/``raise`` edges
+  to the function exit.
+
+Approximations (deliberate, and safe for lint): implicit exceptions are
+only modelled inside ``try`` bodies that have handlers; a ``finally``
+subgraph is built once, so distinct abrupt exits merge inside it
+(over-approximating paths, which can only *hide* unreachable code, never
+invent it).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionAst = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+UnitAst = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Node kinds that carry a real source statement/expression (as opposed
+#: to the synthetic entry/exit/join/finally markers).
+CODE_KINDS = frozenset({"stmt", "cond", "loop", "with", "except"})
+
+
+@dataclass
+class CFGNode:
+    """One CFG vertex: a statement, condition, or synthetic marker."""
+
+    id: int
+    kind: str  # "entry" | "exit" | "join" | "finally" | a CODE_KINDS member
+    stmt: Optional[ast.AST] = None
+    succs: Set[int] = field(default_factory=set)
+    preds: Set[int] = field(default_factory=set)
+    #: (body-list token, index) for statements, so contiguous
+    #: unreachable statements in one suite can be grouped into a region.
+    body_key: Optional[Tuple[int, int]] = None
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    @property
+    def col(self) -> int:
+        return getattr(self.stmt, "col_offset", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = type(self.stmt).__name__ if self.stmt is not None else "-"
+        return f"<CFGNode {self.id} {self.kind} {what} line={self.line}>"
+
+
+@dataclass
+class CFG:
+    """A built control-flow graph for one function or module body."""
+
+    name: str
+    entry: int
+    exit: int
+    nodes: Dict[int, CFGNode]
+
+    def node(self, node_id: int) -> CFGNode:
+        return self.nodes[node_id]
+
+    def code_nodes(self) -> List[CFGNode]:
+        """Nodes that carry source code, in creation (roughly source) order."""
+        return [
+            node
+            for node_id, node in sorted(self.nodes.items())
+            if node.kind in CODE_KINDS
+        ]
+
+    def reachable(self) -> Set[int]:
+        """Node ids reachable from the entry."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.nodes[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def postorder(self) -> List[int]:
+        """Depth-first postorder from the entry (reachable nodes only)."""
+        order: List[int] = []
+        seen: Set[int] = set()
+
+        def visit(node_id: int) -> None:
+            stack = [(node_id, iter(sorted(self.nodes[node_id].succs)))]
+            seen.add(node_id)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(sorted(self.nodes[succ].succs))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        return order
+
+
+class _LoopFrame:
+    __slots__ = ("head", "after", "finally_depth")
+
+    def __init__(self, head: int, after: int, finally_depth: int) -> None:
+        self.head = head
+        self.after = after
+        self.finally_depth = finally_depth
+
+
+class _FinallyFrame:
+    __slots__ = ("entry", "pending")
+
+    def __init__(self, entry: int) -> None:
+        self.entry = entry
+        # Continuation targets the finally block must flow on to because
+        # some abrupt jump (return/break/continue/raise) traversed it.
+        self.pending: Set[int] = set()
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: Dict[int, CFGNode] = {}
+        self._next_id = 0
+        self._body_token = 0
+        self._loops: List[_LoopFrame] = []
+        self._finallies: List[_FinallyFrame] = []
+        self._handlers: List[List[int]] = []
+        self.exit = -1
+
+    # -- graph primitives -------------------------------------------------
+
+    def new_node(
+        self,
+        kind: str,
+        stmt: Optional[ast.AST] = None,
+        body_key: Optional[Tuple[int, int]] = None,
+    ) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        self.nodes[node_id] = CFGNode(
+            id=node_id, kind=kind, stmt=stmt, body_key=body_key
+        )
+        # Any statement inside a try body may raise into the innermost
+        # handlers.
+        if kind in CODE_KINDS and self._handlers:
+            for handler in self._handlers[-1]:
+                self.edge(node_id, handler)
+        return node_id
+
+    def edge(self, src: int, dst: int) -> None:
+        self.nodes[src].succs.add(dst)
+        self.nodes[dst].preds.add(src)
+
+    def link(self, frontier: Sequence[int], target: int) -> None:
+        for node_id in frontier:
+            self.edge(node_id, target)
+
+    def route(self, src: int, target: int, finally_depth: int) -> None:
+        """Connect an abrupt jump, threading pending ``finally`` blocks."""
+        frames = self._finallies[finally_depth:]
+        if not frames:
+            self.edge(src, target)
+            return
+        chain = list(reversed(frames))  # innermost first
+        self.edge(src, chain[0].entry)
+        for frame, outer in zip(chain, chain[1:]):
+            frame.pending.add(outer.entry)
+        chain[-1].pending.add(target)
+
+    # -- statement lowering ----------------------------------------------
+
+    def build_body(
+        self, stmts: Sequence[ast.stmt], preds: List[int]
+    ) -> List[int]:
+        token = self._body_token
+        self._body_token += 1
+        frontier = preds
+        for index, stmt in enumerate(stmts):
+            frontier = self.build_stmt(stmt, frontier, (token, index))
+        return frontier
+
+    def build_cond(
+        self, expr: ast.expr, preds: List[int], body_key: Tuple[int, int]
+    ) -> Tuple[List[int], List[int]]:
+        """Lower a condition to (true-frontier, false-frontier) nodes."""
+        if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.And):
+            true_frontier, false_frontier = preds, []
+            for value in expr.values:
+                true_frontier, false_part = self.build_cond(
+                    value, true_frontier, body_key
+                )
+                false_frontier += false_part
+            return true_frontier, false_frontier
+        if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.Or):
+            true_frontier, false_frontier = [], preds
+            for value in expr.values:
+                true_part, false_frontier = self.build_cond(
+                    value, false_frontier, body_key
+                )
+                true_frontier += true_part
+            return true_frontier, false_frontier
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+            true_frontier, false_frontier = self.build_cond(
+                expr.operand, preds, body_key
+            )
+            return false_frontier, true_frontier
+        node = self.new_node("cond", stmt=expr, body_key=body_key)
+        self.link(preds, node)
+        if isinstance(expr, ast.Constant):
+            # while True: / if False: — drop the impossible edge.
+            return ([node], []) if expr.value else ([], [node])
+        return [node], [node]
+
+    def build_stmt(
+        self, stmt: ast.stmt, preds: List[int], body_key: Tuple[int, int]
+    ) -> List[int]:
+        if isinstance(stmt, ast.If):
+            true_frontier, false_frontier = self.build_cond(
+                stmt.test, preds, body_key
+            )
+            then_frontier = self.build_body(stmt.body, true_frontier)
+            if stmt.orelse:
+                else_frontier = self.build_body(stmt.orelse, false_frontier)
+            else:
+                else_frontier = false_frontier
+            return then_frontier + else_frontier
+
+        if isinstance(stmt, ast.While):
+            head = self._next_id  # first condition node created below
+            true_frontier, false_frontier = self.build_cond(
+                stmt.test, preds, body_key
+            )
+            after = self.new_node("join")
+            self._loops.append(
+                _LoopFrame(head, after, len(self._finallies))
+            )
+            body_frontier = self.build_body(stmt.body, true_frontier)
+            self.link(body_frontier, head)
+            self._loops.pop()
+            if stmt.orelse:
+                else_frontier = self.build_body(stmt.orelse, false_frontier)
+                self.link(else_frontier, after)
+            else:
+                self.link(false_frontier, after)
+            return [after]
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            head = self.new_node("loop", stmt=stmt, body_key=body_key)
+            self.link(preds, head)
+            after = self.new_node("join")
+            self._loops.append(
+                _LoopFrame(head, after, len(self._finallies))
+            )
+            body_frontier = self.build_body(stmt.body, [head])
+            self.link(body_frontier, head)
+            self._loops.pop()
+            if stmt.orelse:
+                else_frontier = self.build_body(stmt.orelse, [head])
+                self.link(else_frontier, after)
+            else:
+                self.edge(head, after)
+            return [after]
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self.new_node("with", stmt=stmt, body_key=body_key)
+            self.link(preds, node)
+            return self.build_body(stmt.body, [node])
+
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._build_try(stmt, preds, body_key)
+
+        if isinstance(stmt, ast.Match):
+            node = self.new_node("stmt", stmt=stmt, body_key=body_key)
+            self.link(preds, node)
+            frontier: List[int] = [node]  # no case may match
+            for case in stmt.cases:
+                frontier += self.build_body(case.body, [node])
+            return frontier
+
+        if isinstance(stmt, ast.Return):
+            node = self.new_node("stmt", stmt=stmt, body_key=body_key)
+            self.link(preds, node)
+            self.route(node, self.exit, finally_depth=0)
+            return []
+
+        if isinstance(stmt, ast.Raise):
+            node = self.new_node("stmt", stmt=stmt, body_key=body_key)
+            self.link(preds, node)
+            if not self._handlers:
+                # Uncaught: propagates out of the function (via finallys).
+                self.route(node, self.exit, finally_depth=0)
+            return []
+
+        if isinstance(stmt, ast.Break):
+            node = self.new_node("stmt", stmt=stmt, body_key=body_key)
+            self.link(preds, node)
+            if self._loops:
+                frame = self._loops[-1]
+                self.route(node, frame.after, frame.finally_depth)
+            return []
+
+        if isinstance(stmt, ast.Continue):
+            node = self.new_node("stmt", stmt=stmt, body_key=body_key)
+            self.link(preds, node)
+            if self._loops:
+                frame = self._loops[-1]
+                self.route(node, frame.head, frame.finally_depth)
+            return []
+
+        # Simple statements — including nested FunctionDef/ClassDef,
+        # whose bodies are separate analysis units, not part of this CFG.
+        node = self.new_node("stmt", stmt=stmt, body_key=body_key)
+        self.link(preds, node)
+        return [node]
+
+    def _build_try(
+        self, stmt: ast.stmt, preds: List[int], body_key: Tuple[int, int]
+    ) -> List[int]:
+        assert isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        )
+        fin_frame: Optional[_FinallyFrame] = None
+        if stmt.finalbody:
+            marker = self.new_node("finally")
+            fin_frame = _FinallyFrame(marker)
+            self._finallies.append(fin_frame)
+
+        clause_nodes = [
+            self.new_node("except", stmt=handler, body_key=body_key)
+            for handler in stmt.handlers
+        ]
+        if clause_nodes:
+            self._handlers.append(clause_nodes)
+        body_frontier = self.build_body(stmt.body, preds)
+        if clause_nodes:
+            self._handlers.pop()
+
+        handler_frontier: List[int] = []
+        for handler, clause in zip(stmt.handlers, clause_nodes):
+            handler_frontier += self.build_body(handler.body, [clause])
+
+        if stmt.orelse:
+            else_frontier = self.build_body(stmt.orelse, body_frontier)
+        else:
+            else_frontier = body_frontier
+        normal = else_frontier + handler_frontier
+
+        if fin_frame is None:
+            return normal
+        self._finallies.pop()
+        self.link(normal, fin_frame.entry)
+        fin_frontier = self.build_body(stmt.finalbody, [fin_frame.entry])
+        for target in sorted(fin_frame.pending):
+            self.link(fin_frontier, target)
+        return fin_frontier
+
+
+def build_cfg(unit: UnitAst, name: str = "<unit>") -> CFG:
+    """Build the CFG for one function body or the module top level."""
+    builder = _Builder()
+    entry = builder.new_node("entry")
+    builder.exit = builder.new_node("exit")
+    frontier = builder.build_body(unit.body, [entry])
+    builder.link(frontier, builder.exit)
+    return CFG(
+        name=name, entry=entry, exit=builder.exit, nodes=builder.nodes
+    )
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One analysis unit: the module top level or a (nested) function."""
+
+    name: str
+    node: UnitAst
+    classes: Tuple[str, ...]
+    functions: Tuple[str, ...]
+
+    @property
+    def is_module(self) -> bool:
+        return isinstance(self.node, ast.Module)
+
+
+def iter_units(tree: ast.Module) -> Iterator[Unit]:
+    """Yield the module plus every function/method at any nesting depth."""
+    yield Unit(name="<module>", node=tree, classes=(), functions=())
+
+    def visit(
+        node: ast.AST, classes: Tuple[str, ...], functions: Tuple[str, ...]
+    ) -> Iterator[Unit]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, classes + (child.name,), functions)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = ".".join(classes + functions + (child.name,))
+                yield Unit(
+                    name=qual,
+                    node=child,
+                    classes=classes,
+                    functions=functions,
+                )
+                yield from visit(
+                    child, classes, functions + (child.name,)
+                )
+            else:
+                yield from visit(child, classes, functions)
+
+    yield from visit(tree, (), ())

@@ -1,0 +1,712 @@
+"""Flow-sensitive lint rules RAP-LINT006..010.
+
+Each rule runs the dataflow engine (:mod:`repro.checks.flow.cfg`,
+:mod:`~repro.checks.flow.solver`, :mod:`~repro.checks.flow.analyses`,
+:mod:`~repro.checks.flow.taint`) over every function and the module top
+level, and attaches a ``flow_trace`` witness path to every violation —
+the chain of assignments that carried the offending value to the
+flagged site. The syntactic rules (001..005) catch the direct pattern;
+these catch the same bug laundered through aliases:
+
+* **RAP-LINT006 counter-float-flow** — an exact counter read
+  (``c = node.count``) that reaches float arithmetic (``c / n``,
+  ``float(c)``) through any chain of assignments, in ``core/``.
+* **RAP-LINT007 rng-flow** — an RNG object that is unseeded (including
+  ``seed = None`` through an alias, invisible to RAP-LINT001) reaching
+  a draw or a call site through a variable.
+* **RAP-LINT008 node-alias-mutation** — a node's live ``children`` list
+  escaping into a local alias that is then mutated outside the tree
+  classes (``kids = node.children; kids.append(x)``).
+* **RAP-LINT009 dead-code** — statements unreachable in the CFG and
+  assignments whose value no path ever reads, in ``core/`` and
+  ``hardware/``.
+* **RAP-LINT010 unclosed-resource** — ``open()`` handles bound outside
+  a ``with`` block that are not closed on every path to the exit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..lint.rules import (
+    FlowStep,
+    LintContext,
+    Rule,
+    Violation,
+    _import_aliases,
+    _resolved_call_name,
+)
+from .analyses import Solution, live_variables, reaching_definitions
+from .cfg import CFG, CFGNode, Unit, build_cfg, iter_units
+from .solver import DataflowProblem, solve
+from .taint import (
+    KIND_CHILDREN,
+    KIND_COUNTER,
+    KIND_RNG,
+    TaintAnalysis,
+    _render,
+)
+
+_OWNER_CLASSES = frozenset(
+    {"RapTree", "MultiDimRapTree", "RapNode", "MultiDimNode"}
+)
+_LIST_MUTATORS = frozenset(
+    {"append", "insert", "remove", "clear", "pop", "extend", "sort",
+     "reverse"}
+)
+_OPEN_CALLS = frozenset(
+    {"open", "io.open", "gzip.open", "bz2.open", "lzma.open",
+     "tarfile.open"}
+)
+
+
+class UnitAnalysis:
+    """Lazily built dataflow artifacts for one function/module unit."""
+
+    def __init__(self, unit: Unit, aliases: Dict[str, str]) -> None:
+        self.unit = unit
+        self.aliases = aliases
+        self._cfg: Optional[CFG] = None
+        self._taint: Optional[TaintAnalysis] = None
+        self._liveness: Optional[Solution] = None
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.unit.node, name=self.unit.name)
+        return self._cfg
+
+    @property
+    def taint(self) -> TaintAnalysis:
+        if self._taint is None:
+            self._taint = TaintAnalysis(self.cfg, self.aliases)
+        return self._taint
+
+    @property
+    def liveness(self) -> Solution:
+        if self._liveness is None:
+            self._liveness = live_variables(self.cfg)
+        return self._liveness
+
+
+def _unit_analyses(context: LintContext) -> List[UnitAnalysis]:
+    """Per-file analysis units, cached on the context across rules."""
+    cached = getattr(context, "_flow_units", None)
+    if cached is not None:
+        return cached
+    aliases = _import_aliases(context.tree)
+    units = [
+        UnitAnalysis(unit, aliases) for unit in iter_units(context.tree)
+    ]
+    context._flow_units = units  # type: ignore[attr-defined]
+    return units
+
+
+def _executed_exprs(node: CFGNode) -> Iterator[ast.AST]:
+    """AST nodes whose evaluation happens *at* this CFG node.
+
+    Unlike the liveness scope, this prunes nested function/class/lambda
+    bodies — they execute later (or in another unit), so rules must not
+    double-report them from the enclosing unit.
+    """
+    stmt = node.stmt
+    if stmt is None:
+        return
+    roots: List[ast.AST]
+    if node.kind == "loop" and isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.iter]
+    elif node.kind == "with" and isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = [item.context_expr for item in stmt.items]
+    elif node.kind == "except" and isinstance(stmt, ast.ExceptHandler):
+        roots = [stmt.type] if stmt.type is not None else []
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        roots = list(stmt.decorator_list)
+        roots.extend(stmt.args.defaults)
+        roots.extend(d for d in stmt.args.kw_defaults if d is not None)
+    elif isinstance(stmt, ast.ClassDef):
+        roots = list(stmt.decorator_list) + list(stmt.bases)
+    else:
+        roots = [stmt]
+    stack: List[ast.AST] = list(roots)
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+             ast.ClassDef),
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _source_line(context: LintContext, line: int) -> str:
+    if 1 <= line <= len(context.source_lines):
+        return context.source_lines[line - 1].strip()
+    return ""
+
+
+def _steps(raw: Sequence[Tuple[int, int, str]]) -> Tuple[FlowStep, ...]:
+    return tuple(FlowStep(line=l, column=c, event=e) for l, c, e in raw)
+
+
+class FlowRule(Rule):
+    """Base for flow rules: violations always carry a witness trace."""
+
+    def flow_violation(
+        self,
+        context: LintContext,
+        node: ast.AST,
+        message: str,
+        trace: Sequence[Tuple[int, int, str]],
+    ) -> Violation:
+        return Violation(
+            rule=self.code,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+            flow_trace=_steps(trace),
+        )
+
+
+class CounterFloatFlowRule(FlowRule):
+    code = "RAP-LINT006"
+    name = "counter-float-flow"
+    rationale = (
+        "an exact counter that reaches float arithmetic through any "
+        "alias chain silently turns the guaranteed lower bounds into "
+        "approximations; RAP-LINT002 only sees direct .count writes"
+    )
+    example = "c = node.count\nx = c / 2                      # counter laundered via alias"
+    fix = (
+        "keep derived statistics separate from counters: compute "
+        "ratios at the reporting boundary, or floor-divide (//) when "
+        "an integer is meant"
+    )
+
+    _scopes = ("core/",)
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if not context.in_package(*self._scopes):
+            return
+        for analysis in _unit_analyses(context):
+            taint = analysis.taint
+            for node in analysis.cfg.code_nodes():
+                seen: Set[str] = set()
+                for expr in _executed_exprs(node):
+                    for name_node, reason in self._float_contexts(expr):
+                        name = name_node.id
+                        if name in seen:
+                            continue
+                        kinds = taint.kinds_before(node.id, name)
+                        if KIND_COUNTER not in kinds:
+                            continue
+                        seen.add(name)
+                        trace = taint.trace(node.id, name, KIND_COUNTER)
+                        trace.append(
+                            (
+                                getattr(expr, "lineno", node.line),
+                                getattr(expr, "col_offset", node.col),
+                                f"{reason}: "
+                                f"{_source_line(context, getattr(expr, 'lineno', node.line))}",
+                            )
+                        )
+                        yield self.flow_violation(
+                            context,
+                            expr,
+                            f"counter-tainted value {name!r} flows into "
+                            f"float context ({reason}); counters must "
+                            f"stay exact ints",
+                            trace,
+                        )
+
+    @staticmethod
+    def _float_contexts(
+        expr: ast.AST,
+    ) -> Iterator[Tuple[ast.Name, str]]:
+        """(name, reason) pairs where a variable meets float arithmetic."""
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Div):
+            for operand in (expr.left, expr.right):
+                if isinstance(operand, ast.Name):
+                    yield operand, "true division (/)"
+        elif isinstance(expr, ast.AugAssign) and isinstance(
+            expr.op, ast.Div
+        ):
+            if isinstance(expr.target, ast.Name):
+                yield expr.target, "augmented division (/=)"
+            if isinstance(expr.value, ast.Name):
+                yield expr.value, "augmented division (/=)"
+        elif isinstance(expr, ast.Call):
+            if (
+                isinstance(expr.func, ast.Name)
+                and expr.func.id == "float"
+            ):
+                for arg in expr.args:
+                    if isinstance(arg, ast.Name):
+                        yield arg, "float() conversion"
+
+
+class RngFlowRule(FlowRule):
+    code = "RAP-LINT007"
+    name = "rng-flow"
+    rationale = (
+        "an unseeded RNG object reaching a draw or call site through a "
+        "variable breaks bit-identical replay even when the "
+        "construction itself dodges RAP-LINT001 (e.g. seed=None via an "
+        "alias)"
+    )
+    example = "seed = None\nrng = np.random.default_rng(seed)\nvals = rng.integers(0, 9, 8)   # draws from an unseeded generator"
+    fix = (
+        "thread an explicit integer seed to the constructor "
+        "(workloads.distributions.make_rng), and pass generators, not "
+        "implicit global state, into core/"
+    )
+
+    _exempt = ("workloads/distributions.py",)
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if context.relpath in self._exempt:
+            return
+        for analysis in _unit_analyses(context):
+            taint = analysis.taint
+            for node in analysis.cfg.code_nodes():
+                seen: Set[Tuple[str, str]] = set()
+                for expr in _executed_exprs(node):
+                    if not isinstance(expr, ast.Call):
+                        continue
+                    for name_node, how in self._rng_uses(expr):
+                        name = name_node.id
+                        if (name, how) in seen:
+                            continue
+                        if KIND_RNG not in taint.kinds_before(
+                            node.id, name
+                        ):
+                            continue
+                        seen.add((name, how))
+                        trace = taint.trace(node.id, name, KIND_RNG)
+                        trace.append(
+                            (
+                                expr.lineno,
+                                expr.col_offset,
+                                f"{how}: "
+                                f"{_source_line(context, expr.lineno)}",
+                            )
+                        )
+                        yield self.flow_violation(
+                            context,
+                            expr,
+                            f"unseeded RNG {name!r} {how}; construct it "
+                            f"from an explicit seed so replays are "
+                            f"bit-identical",
+                            trace,
+                        )
+
+    @staticmethod
+    def _rng_uses(call: ast.Call) -> Iterator[Tuple[ast.Name, str]]:
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            yield func.value, f"drawn from via .{func.attr}()"
+        callee = _render(func, limit=40)
+        for arg in call.args:
+            if isinstance(arg, ast.Name):
+                yield arg, f"passed into {callee}()"
+        for keyword in call.keywords:
+            if isinstance(keyword.value, ast.Name):
+                yield keyword.value, f"passed into {callee}()"
+
+
+class NodeAliasMutationRule(FlowRule):
+    code = "RAP-LINT008"
+    name = "node-alias-mutation"
+    rationale = (
+        "a node's live children list escaping into a local alias and "
+        "mutated there corrupts the tree exactly like the direct "
+        "mutations RAP-LINT003 bans, but invisibly to syntactic checks"
+    )
+    example = "kids = node.children\nkids.append(extra)             # mutates the live tree"
+    fix = (
+        "mutate through RapTree/RapNode methods (attach_child, "
+        "detach_child), or copy first (list(node.children)) when a "
+        "scratch list is wanted"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        for analysis in _unit_analyses(context):
+            unit = analysis.unit
+            if unit.classes and unit.classes[-1] in _OWNER_CLASSES:
+                continue  # the tree classes own their structure
+            taint = analysis.taint
+            for node in analysis.cfg.code_nodes():
+                yield from self._check_node(context, taint, node)
+
+    def _check_node(
+        self,
+        context: LintContext,
+        taint: TaintAnalysis,
+        node: CFGNode,
+    ) -> Iterator[Violation]:
+        def children_alias(expr: ast.AST) -> Optional[str]:
+            if isinstance(expr, ast.Name) and KIND_CHILDREN in (
+                taint.kinds_before(node.id, expr.id)
+            ):
+                return expr.id
+            return None
+
+        stmt = node.stmt
+        for expr in _executed_exprs(node):
+            if isinstance(expr, ast.Call):
+                func = expr.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _LIST_MUTATORS
+                ):
+                    name = children_alias(func.value)
+                    if name is not None:
+                        yield self._mutation(
+                            context, taint, node, expr, name,
+                            f".{func.attr}() on aliased children list",
+                        )
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    name = children_alias(target.value)
+                    if name is not None:
+                        yield self._mutation(
+                            context, taint, node, target, name,
+                            "item assignment into aliased children list",
+                        )
+        elif isinstance(stmt, ast.AugAssign):
+            name = children_alias(stmt.target)
+            if name is not None:
+                yield self._mutation(
+                    context, taint, node, stmt, name,
+                    "augmented assignment extends aliased children list",
+                )
+
+    def _mutation(
+        self,
+        context: LintContext,
+        taint: TaintAnalysis,
+        node: CFGNode,
+        site: ast.AST,
+        name: str,
+        what: str,
+    ) -> Violation:
+        trace = taint.trace(node.id, name, KIND_CHILDREN)
+        line = getattr(site, "lineno", node.line)
+        trace.append(
+            (line, getattr(site, "col_offset", 0),
+             f"mutation: {_source_line(context, line)}")
+        )
+        return self.flow_violation(
+            context,
+            site,
+            f"{what} ({name!r} aliases a live .children list) outside "
+            f"the tree classes; go through RapTree/RapNode methods",
+            trace,
+        )
+
+
+class DeadCodeRule(FlowRule):
+    code = "RAP-LINT009"
+    name = "dead-code"
+    rationale = (
+        "unreachable statements and stores no path ever reads are "
+        "refactoring residue; in the load-bearing packages they hide "
+        "real logic changes and rot silently"
+    )
+    example = "def weight(node):\n    return node.count\n    node.count = 0             # unreachable"
+    fix = (
+        "delete the unreachable statement / unused assignment, or "
+        "rewire the control flow if it was meant to execute"
+    )
+
+    _scopes = ("core/", "hardware/")
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if not context.in_package(*self._scopes):
+            return
+        for analysis in _unit_analyses(context):
+            cfg = analysis.cfg
+            reachable = cfg.reachable()
+            yield from self._unreachable(context, cfg, reachable)
+            if not analysis.unit.is_module:
+                yield from self._dead_stores(context, analysis, reachable)
+
+    def _unreachable(
+        self, context: LintContext, cfg: CFG, reachable: Set[int]
+    ) -> Iterator[Violation]:
+        dead = {
+            node.id: node
+            for node in cfg.code_nodes()
+            if node.id not in reachable and node.stmt is not None
+        }
+        last_exit_line = max(
+            (
+                node.line
+                for node in cfg.code_nodes()
+                if node.id in reachable
+                and isinstance(
+                    node.stmt,
+                    (ast.Return, ast.Raise, ast.Break, ast.Continue),
+                )
+            ),
+            default=0,
+        )
+        for node_id, node in sorted(dead.items()):
+            # Report only region heads: skip nodes whose unreachability
+            # is already explained by an earlier (forward-edge) dead
+            # predecessor; back-edge-only dead preds (loops) still get
+            # reported.
+            if any(pred in dead and pred < node_id for pred in node.preds):
+                continue
+            trace: List[Tuple[int, int, str]] = []
+            if 0 < last_exit_line < node.line:
+                trace.append(
+                    (
+                        last_exit_line,
+                        0,
+                        "control leaves here: "
+                        f"{_source_line(context, last_exit_line)}",
+                    )
+                )
+            trace.append(
+                (
+                    node.line,
+                    node.col,
+                    "unreachable: no path from the function entry "
+                    "reaches this statement",
+                )
+            )
+            yield self.flow_violation(
+                context,
+                node.stmt,
+                "unreachable code: no control-flow path reaches this "
+                "statement",
+                trace,
+            )
+
+    def _dead_stores(
+        self,
+        context: LintContext,
+        analysis: UnitAnalysis,
+        reachable: Set[int],
+    ) -> Iterator[Violation]:
+        unit_node = analysis.unit.node
+        declared_global: Set[str] = set()
+        for stmt in ast.walk(unit_node):
+            if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+                declared_global.update(stmt.names)
+        live = analysis.liveness
+        for node in analysis.cfg.code_nodes():
+            if node.id not in reachable:
+                continue  # already reported as unreachable
+            stmt = node.stmt
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.startswith("_") or name in declared_global:
+                continue
+            live_after = live.inputs[node.id]
+            if name in live_after:
+                continue
+            trace = [
+                (
+                    node.line,
+                    node.col,
+                    f"dead store: {name} = {_render(stmt.value)}",
+                ),
+                (
+                    node.line,
+                    node.col,
+                    f"no path from here to the function exit reads "
+                    f"{name!r}",
+                ),
+            ]
+            yield self.flow_violation(
+                context,
+                stmt,
+                f"value assigned to {name!r} is never read on any "
+                f"path; delete the assignment or use the value",
+                trace,
+            )
+
+
+class UnclosedResourceRule(FlowRule):
+    code = "RAP-LINT010"
+    name = "unclosed-resource"
+    rationale = (
+        "a file handle opened outside `with` and not closed on every "
+        "path (including exception paths) leaks descriptors under "
+        "production load and can drop buffered trace bytes"
+    )
+    example = "f = open(path, 'wb')\nf.write(header)                # leaks if write raises"
+    fix = (
+        "use a with block (`with open(path, 'wb') as f:`), or close "
+        "in a finally so every path releases the handle"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        for analysis in _unit_analyses(context):
+            yield from self._check_unit(context, analysis)
+
+    def _check_unit(
+        self, context: LintContext, analysis: UnitAnalysis
+    ) -> Iterator[Violation]:
+        cfg = analysis.cfg
+        aliases = analysis.aliases
+        open_sites: Dict[int, str] = {}
+        for node in cfg.code_nodes():
+            name = self._open_target(node.stmt, aliases)
+            if name is not None:
+                open_sites[node.id] = name
+        if not open_sites:
+            return
+
+        Env = Tuple[Tuple[str, frozenset], ...]
+
+        def transfer(node: CFGNode, env: Env) -> Env:
+            if node.stmt is None:
+                return env
+            state = {name: sites for name, sites in env}
+            for closed in self._closed_names(node):
+                state.pop(closed, None)
+            for escaped in self._escaping_names(node):
+                state.pop(escaped, None)
+            opened = open_sites.get(node.id)
+            if opened is not None:
+                state[opened] = frozenset({node.id})
+            else:
+                for name in _assigned_plain_names(node.stmt):
+                    if name not in (opened,):
+                        state.pop(name, None)
+            return tuple(sorted(state.items()))
+
+        def join(values: Sequence[Env]) -> Env:
+            merged: Dict[str, frozenset] = {}
+            for env in values:
+                for name, sites in env:
+                    merged[name] = merged.get(name, frozenset()) | sites
+            return tuple(sorted(merged.items()))
+
+        problem: DataflowProblem = DataflowProblem(
+            direction="forward",
+            boundary=(),
+            bottom=(),
+            transfer=transfer,
+            join=join,
+        )
+        solution = solve(cfg, problem)
+        at_exit = dict(solution.inputs[cfg.exit])
+        for name, sites in sorted(at_exit.items()):
+            for site_id in sorted(sites):
+                site = cfg.nodes[site_id]
+                trace = [
+                    (
+                        site.line,
+                        site.col,
+                        f"opened: {_source_line(context, site.line)}",
+                    ),
+                    (
+                        site.line,
+                        site.col,
+                        f"a path reaches the exit of "
+                        f"{analysis.unit.name!r} with {name!r} still "
+                        f"open",
+                    ),
+                ]
+                yield self.flow_violation(
+                    context,
+                    site.stmt if site.stmt is not None else ast.Pass(),
+                    f"{name!r} is opened outside `with` and not closed "
+                    f"on every path; use a with block or close in a "
+                    f"finally",
+                    trace,
+                )
+
+    @staticmethod
+    def _open_target(
+        stmt: Optional[ast.AST], aliases: Dict[str, str]
+    ) -> Optional[str]:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return None
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            return None
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            return None
+        resolved = _resolved_call_name(value, aliases)
+        if resolved in _OPEN_CALLS:
+            return target.id
+        return None
+
+    @staticmethod
+    def _closed_names(node: CFGNode) -> Iterator[str]:
+        for expr in _executed_exprs(node):
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "close"
+                and isinstance(expr.func.value, ast.Name)
+            ):
+                yield expr.func.value.id
+
+    @staticmethod
+    def _escaping_names(node: CFGNode) -> Iterator[str]:
+        """Names whose handle ownership leaves this function here."""
+        stmt = node.stmt
+        for expr in _executed_exprs(node):
+            if isinstance(expr, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = expr.value
+                if value is not None:
+                    for sub in ast.walk(value):
+                        if isinstance(sub, ast.Name):
+                            yield sub.id
+            elif isinstance(expr, ast.Call):
+                for arg in expr.args:
+                    if isinstance(arg, ast.Name):
+                        yield arg.id
+                    elif isinstance(arg, ast.Starred) and isinstance(
+                        arg.value, ast.Name
+                    ):
+                        yield arg.value.id
+                for keyword in expr.keywords:
+                    if isinstance(keyword.value, ast.Name):
+                        yield keyword.value.id
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            if isinstance(value, ast.Name):
+                yield value.id  # alias transfers ownership
+            elif isinstance(value, (ast.Tuple, ast.List, ast.Dict, ast.Set)):
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Name) and isinstance(
+                        sub.ctx, ast.Load
+                    ):
+                        yield sub.id
+
+
+def _assigned_plain_names(stmt: ast.AST) -> Iterator[str]:
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                yield target.id
+
+
+FLOW_RULES: Dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        CounterFloatFlowRule(),
+        RngFlowRule(),
+        NodeAliasMutationRule(),
+        DeadCodeRule(),
+        UnclosedResourceRule(),
+    )
+}

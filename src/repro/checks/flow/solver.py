@@ -1,0 +1,115 @@
+"""Generic worklist fixed-point solver for CFG dataflow problems.
+
+A :class:`DataflowProblem` bundles the four ingredients of a monotone
+framework — direction, boundary value, bottom element, and a transfer
+function — plus the lattice join. :func:`solve` iterates transfer
+functions over the graph until nothing changes, visiting nodes in
+reverse postorder (forward problems) or postorder (backward problems)
+so typical reducible graphs converge in a couple of sweeps.
+
+Values must be immutable-ish and comparable with ``==``; termination is
+the caller's obligation (transfers must be monotone over a finite
+lattice — true for every analysis in this package).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, List, Sequence, Tuple, TypeVar
+
+from .cfg import CFG, CFGNode
+
+Value = TypeVar("Value")
+
+
+@dataclass(frozen=True)
+class DataflowProblem(Generic[Value]):
+    """One monotone dataflow problem over a CFG."""
+
+    direction: str  # "forward" | "backward"
+    boundary: Value  # value at entry (forward) / exit (backward)
+    bottom: Value  # initial value everywhere else
+    transfer: Callable[[CFGNode, Value], Value]
+    join: Callable[[Sequence[Value]], Value]
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("forward", "backward"):
+            raise ValueError(
+                f"direction must be 'forward' or 'backward', "
+                f"not {self.direction!r}"
+            )
+
+
+@dataclass
+class Solution(Generic[Value]):
+    """Fixed-point values: ``inputs[n]`` flows into node ``n``,
+    ``outputs[n]`` flows out (in the problem's direction)."""
+
+    inputs: Dict[int, Value]
+    outputs: Dict[int, Value]
+
+
+def solve(cfg: CFG, problem: DataflowProblem[Value]) -> Solution[Value]:
+    """Run the worklist algorithm to a fixed point."""
+    forward = problem.direction == "forward"
+    start = cfg.entry if forward else cfg.exit
+
+    order: List[int] = cfg.postorder()
+    if forward:
+        order = list(reversed(order))
+    # Unreachable nodes still get their bottom values so lookups are
+    # total, but they never enter the worklist.
+    inputs: Dict[int, Value] = {nid: problem.bottom for nid in cfg.nodes}
+    outputs: Dict[int, Value] = {nid: problem.bottom for nid in cfg.nodes}
+
+    position = {node_id: index for index, node_id in enumerate(order)}
+    worklist = deque(order)
+    queued = set(order)
+    while worklist:
+        node_id = worklist.popleft()
+        queued.discard(node_id)
+        node = cfg.nodes[node_id]
+        upstream = node.preds if forward else node.succs
+        incoming = [
+            outputs[other] for other in sorted(upstream) if other in position
+        ]
+        if node_id == start:
+            incoming.append(problem.boundary)
+        in_value = problem.join(incoming) if incoming else problem.bottom
+        out_value = problem.transfer(node, in_value)
+        inputs[node_id] = in_value
+        if out_value != outputs[node_id]:
+            outputs[node_id] = out_value
+            downstream = node.succs if forward else node.preds
+            for other in downstream:
+                if other in position and other not in queued:
+                    queued.add(other)
+                    worklist.append(other)
+    return Solution(inputs=inputs, outputs=outputs)
+
+
+def union_join(values: Sequence[frozenset]) -> frozenset:
+    """Set-union join, the lattice used by the classic bit-vector
+    analyses."""
+    if not values:
+        return frozenset()
+    result: frozenset = values[0]
+    for value in values[1:]:
+        result = result | value
+    return result
+
+
+def env_join(
+    values: Sequence[Tuple[Tuple[str, frozenset], ...]],
+) -> Tuple[Tuple[str, frozenset], ...]:
+    """Pointwise-union join for variable environments.
+
+    Environments are stored as sorted tuples of ``(name, frozenset)``
+    pairs so they are hashable and compare structurally.
+    """
+    merged: Dict[str, frozenset] = {}
+    for env in values:
+        for name, tags in env:
+            merged[name] = merged.get(name, frozenset()) | tags
+    return tuple(sorted(merged.items()))

@@ -1,0 +1,455 @@
+"""Abstract interpretation over value *kinds*, plus witness traces.
+
+The lattice is the powerset of a small set of kind tags, joined by
+union, tracked per local variable:
+
+* ``counter`` — values read from exact RAP counters (``.count``,
+  ``._events``, ``.events``); the conservation / lower-bound guarantees
+  only hold while these stay integers.
+* ``float`` — float literals, true-division results, ``float()`` calls.
+* ``rng`` — RNG objects constructed without an explicit seed (including
+  seeds that are ``None`` via an alias, which the syntactic RAP-LINT001
+  cannot see).
+* ``clock`` — wall-clock reads (``time.time()`` and friends).
+* ``node`` / ``children`` — references to tree nodes and to a node's
+  live children list, obtained through attribute loads, subscripts, or
+  iteration; mutating these outside the tree classes breaks the
+  conservation proof exactly like the direct mutations RAP-LINT003
+  bans.
+* ``none`` — the literal ``None`` (bookkeeping for seed tracking).
+
+Kinds propagate through assignments, unpacking-free aliases, arithmetic
+(union of operand kinds, plus ``float`` across ``/``), conditional
+expressions, and ``for``-iteration over children lists. Calls other
+than the recognised constructors launder taint (their result kinds are
+empty) — deliberately modest, and documented in docs/checks.md.
+
+After the fixed point, :meth:`TaintAnalysis.trace` rebuilds a witness
+path for "variable ``v`` carries kind ``k`` at node ``n``" by chasing
+reaching definitions backwards to the statement that introduced the
+kind. The trace is what the flow rules attach to violations as
+``flow_trace``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .analyses import Definition, reaching_definitions
+from .cfg import CFG, CFGNode
+from .solver import DataflowProblem, Solution, env_join, solve
+
+KIND_COUNTER = "counter"
+KIND_FLOAT = "float"
+KIND_RNG = "rng"
+KIND_CLOCK = "clock"
+KIND_NODE = "node"
+KIND_CHILDREN = "children"
+KIND_NONE = "none"
+
+ALL_KINDS = frozenset(
+    {
+        KIND_COUNTER,
+        KIND_FLOAT,
+        KIND_RNG,
+        KIND_CLOCK,
+        KIND_NODE,
+        KIND_CHILDREN,
+        KIND_NONE,
+    }
+)
+
+#: Attributes that read an exact counter.
+COUNTER_ATTRS = frozenset({"count", "_events", "events"})
+#: Attributes that yield a tree-node reference.
+NODE_ATTRS = frozenset({"root", "parent"})
+#: Attribute holding a node's live children list.
+CHILDREN_ATTR = "children"
+
+#: Seedable RNG constructors (shared with RAP-LINT001's notion).
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+    }
+)
+
+#: Wall-clock reads (shared with RAP-LINT005's notion).
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+Kinds = FrozenSet[str]
+Env = Tuple[Tuple[str, Kinds], ...]  # sorted (name, kinds) pairs
+
+_EMPTY: Kinds = frozenset()
+
+
+def _env_get(env: Env, name: str) -> Kinds:
+    for key, kinds in env:
+        if key == name:
+            return kinds
+    return _EMPTY
+
+
+def _env_set(env: Env, updates: Dict[str, Kinds]) -> Env:
+    merged = dict(env)
+    for name, kinds in updates.items():
+        if kinds:
+            merged[name] = kinds
+        else:
+            merged.pop(name, None)
+    return tuple(sorted(merged.items()))
+
+
+def _resolved_call_name(
+    call: ast.Call, aliases: Dict[str, str]
+) -> Optional[str]:
+    parts: List[str] = []
+    node: ast.AST = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    dotted = ".".join(reversed(parts))
+    head, _, rest = dotted.partition(".")
+    head = aliases.get(head, head)
+    return f"{head}.{rest}" if rest else head
+
+
+class TaintAnalysis:
+    """Kind-tracking abstract interpretation for one CFG."""
+
+    def __init__(self, cfg: CFG, aliases: Optional[Dict[str, str]] = None):
+        self.cfg = cfg
+        self.aliases = aliases or {}
+        self.solution: Solution[Env] = self._solve()
+        self.reaching: Solution[FrozenSet[Definition]] = (
+            reaching_definitions(cfg)
+        )
+
+    # -- expression evaluation -------------------------------------------
+
+    def eval_kinds(self, expr: Optional[ast.AST], env: Env) -> Kinds:
+        """Abstract value of ``expr`` under the environment."""
+        if expr is None:
+            return _EMPTY
+        if isinstance(expr, ast.Name):
+            return _env_get(env, expr.id)
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, float):
+                return frozenset({KIND_FLOAT})
+            if expr.value is None:
+                return frozenset({KIND_NONE})
+            return _EMPTY
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in COUNTER_ATTRS:
+                return frozenset({KIND_COUNTER})
+            if expr.attr == CHILDREN_ATTR:
+                return frozenset({KIND_CHILDREN})
+            if expr.attr in NODE_ATTRS:
+                return frozenset({KIND_NODE})
+            return _EMPTY
+        if isinstance(expr, ast.Subscript):
+            base = self.eval_kinds(expr.value, env)
+            if KIND_CHILDREN in base:
+                return frozenset({KIND_NODE})
+            return _EMPTY
+        if isinstance(expr, ast.BinOp):
+            kinds = self.eval_kinds(expr.left, env) | self.eval_kinds(
+                expr.right, env
+            )
+            kinds -= frozenset({KIND_NONE})
+            if isinstance(expr.op, ast.Div):
+                kinds |= frozenset({KIND_FLOAT})
+            return kinds
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval_kinds(expr.operand, env)
+        if isinstance(expr, ast.BoolOp):
+            kinds: Kinds = _EMPTY
+            for value in expr.values:
+                kinds |= self.eval_kinds(value, env)
+            return kinds
+        if isinstance(expr, ast.IfExp):
+            return self.eval_kinds(expr.body, env) | self.eval_kinds(
+                expr.orelse, env
+            )
+        if isinstance(expr, (ast.NamedExpr, ast.Await, ast.Starred)):
+            return self.eval_kinds(expr.value, env)
+        if isinstance(expr, ast.Compare):
+            return _EMPTY  # comparisons yield plain bools
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        return _EMPTY
+
+    def _eval_call(self, call: ast.Call, env: Env) -> Kinds:
+        resolved = _resolved_call_name(call, self.aliases)
+        if resolved is None:
+            return _EMPTY
+        if resolved == "float":
+            return frozenset({KIND_FLOAT})
+        if resolved in CLOCK_CALLS:
+            return frozenset({KIND_CLOCK})
+        if resolved in ("reversed", "iter"):
+            # Non-copying views over the same live children list (so a
+            # for-loop over them still yields real node references).
+            # Copying calls (list/sorted/tuple) drop the kind: mutating
+            # a copy cannot corrupt the tree.
+            if call.args:
+                inner = self.eval_kinds(call.args[0], env)
+                return inner & frozenset({KIND_CHILDREN})
+            return _EMPTY
+        if resolved in RNG_CONSTRUCTORS:
+            if self._rng_call_is_unseeded(call, env):
+                return frozenset({KIND_RNG})
+            return _EMPTY
+        return _EMPTY
+
+    def _rng_call_is_unseeded(self, call: ast.Call, env: Env) -> bool:
+        seed_exprs: List[ast.expr] = list(call.args)
+        seed_exprs.extend(
+            keyword.value
+            for keyword in call.keywords
+            if keyword.arg in (None, "seed", "x")
+        )
+        if not seed_exprs:
+            return True
+        seed = seed_exprs[0]
+        if isinstance(seed, ast.Constant) and seed.value is None:
+            return True
+        return KIND_NONE in self.eval_kinds(seed, env)
+
+    # -- the fixed point --------------------------------------------------
+
+    def _transfer(self, node: CFGNode, env: Env) -> Env:
+        stmt = node.stmt
+        if stmt is None:
+            return env
+        updates: Dict[str, Kinds] = {}
+        # Walrus bindings anywhere in the node's expressions.
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.NamedExpr) and isinstance(
+                sub.target, ast.Name
+            ):
+                updates[sub.target.id] = self.eval_kinds(sub.value, env)
+        if isinstance(stmt, ast.Assign):
+            value_kinds = self.eval_kinds(stmt.value, env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    updates[target.id] = value_kinds
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            updates[element.id] = _EMPTY
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                updates[stmt.target.id] = self.eval_kinds(stmt.value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                kinds = _env_get(env, stmt.target.id) | self.eval_kinds(
+                    stmt.value, env
+                )
+                if isinstance(stmt.op, ast.Div):
+                    kinds |= frozenset({KIND_FLOAT})
+                updates[stmt.target.id] = kinds - frozenset({KIND_NONE})
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)) and node.kind == "loop":
+            iter_kinds = self.eval_kinds(stmt.iter, env)
+            if isinstance(stmt.target, ast.Name):
+                updates[stmt.target.id] = (
+                    frozenset({KIND_NODE})
+                    if KIND_CHILDREN in iter_kinds
+                    else _EMPTY
+                )
+            else:
+                for name in _nested_names(stmt.target):
+                    updates[name] = _EMPTY
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)) and (
+            node.kind == "with"
+        ):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    updates[item.optional_vars.id] = _EMPTY
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                updates[stmt.name] = _EMPTY
+        elif isinstance(
+            stmt,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            updates[stmt.name] = _EMPTY
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    updates[alias.asname or alias.name.split(".")[0]] = (
+                        _EMPTY
+                    )
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    updates[target.id] = _EMPTY
+        if not updates:
+            return env
+        return _env_set(env, updates)
+
+    def _solve(self) -> Solution[Env]:
+        problem: DataflowProblem[Env] = DataflowProblem(
+            direction="forward",
+            boundary=(),
+            bottom=(),
+            transfer=self._transfer,
+            join=env_join,
+        )
+        return solve(self.cfg, problem)
+
+    # -- public queries ---------------------------------------------------
+
+    def env_before(self, node_id: int) -> Env:
+        return self.solution.inputs[node_id]
+
+    def kinds_before(self, node_id: int, name: str) -> Kinds:
+        return _env_get(self.env_before(node_id), name)
+
+    # -- witness reconstruction -------------------------------------------
+
+    def trace(
+        self, node_id: int, name: str, kind: str, max_depth: int = 12
+    ) -> List[Tuple[int, int, str]]:
+        """Origin-to-use steps explaining why ``name`` carries ``kind``.
+
+        Each step is ``(line, column, event)``. The final use step is
+        appended by the rule; this returns the definition chain.
+        """
+        steps: List[Tuple[int, int, str]] = []
+        visited: Set[Tuple[int, str]] = set()
+
+        def resolve(at_node: int, var: str, depth: int) -> None:
+            if depth > max_depth or (at_node, var) in visited:
+                return
+            visited.add((at_node, var))
+            reaching_in = self.reaching.inputs[at_node]
+            candidates = sorted(
+                (def_node for fact_var, def_node in reaching_in
+                 if fact_var == var),
+            )
+            for def_node_id in candidates:
+                def_node = self.cfg.nodes[def_node_id]
+                value = _definition_value(def_node, var)
+                env = self.env_before(def_node_id)
+                if value is None:
+                    continue
+                if kind not in self.eval_kinds(value, env) and not (
+                    isinstance(def_node.stmt, ast.AugAssign)
+                    and isinstance(def_node.stmt.op, ast.Div)
+                    and kind == KIND_FLOAT
+                ):
+                    # Special case: for-loop targets over children get
+                    # the node kind from the iterable, not the "value".
+                    if not (
+                        kind == KIND_NODE
+                        and isinstance(
+                            def_node.stmt, (ast.For, ast.AsyncFor)
+                        )
+                        and KIND_CHILDREN
+                        in self.eval_kinds(value, env)
+                    ):
+                        continue
+                # Chase the contributing variable one hop further back.
+                feeder = _contributing_name(value, env, kind)
+                if feeder is not None:
+                    resolve(def_node_id, feeder, depth + 1)
+                steps.append(
+                    (
+                        def_node.line,
+                        def_node.col,
+                        _describe_definition(def_node, var),
+                    )
+                )
+                return
+        resolve(node_id, name, 0)
+        return steps
+
+
+def _nested_names(target: ast.expr) -> List[str]:
+    names: List[str] = []
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+    return names
+
+
+def _definition_value(
+    node: CFGNode, var: str
+) -> Optional[ast.expr]:
+    """The RHS expression a definition of ``var`` evaluated, if any."""
+    stmt = node.stmt
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id == var:
+                return stmt.value
+        return None
+    if isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name) and stmt.target.id == var:
+            return stmt.value
+        return None
+    if isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name) and stmt.target.id == var:
+            return stmt.value
+        return None
+    if isinstance(stmt, (ast.For, ast.AsyncFor)) and node.kind == "loop":
+        if var in _nested_names(stmt.target):
+            return stmt.iter
+        return None
+    for sub in ast.walk(stmt) if stmt is not None else ():
+        if (
+            isinstance(sub, ast.NamedExpr)
+            and isinstance(sub.target, ast.Name)
+            and sub.target.id == var
+        ):
+            return sub.value
+    return None
+
+
+def _contributing_name(
+    value: ast.expr, env: Env, kind: str
+) -> Optional[str]:
+    """A variable inside ``value`` that already carried ``kind``."""
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            if kind in _env_get(env, sub.id):
+                return sub.id
+    return None
+
+
+def _describe_definition(node: CFGNode, var: str) -> str:
+    stmt = node.stmt
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return f"{var} bound by iteration over {_render(stmt.iter)}"
+    value = _definition_value(node, var)
+    if value is not None:
+        return f"{var} = {_render(value)}"
+    return f"{var} defined here"
+
+
+def _render(expr: ast.AST, limit: int = 60) -> str:
+    try:
+        text = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        text = f"<{type(expr).__name__}>"
+    return text if len(text) <= limit else text[: limit - 3] + "..."

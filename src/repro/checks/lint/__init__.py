@@ -1,12 +1,15 @@
 """Custom AST lint pass over the reproduction source (``rap lint``).
 
-See :mod:`repro.checks.lint.rules` for the rule registry (RAP-LINT001
-through RAP-LINT005 and their rationales) and
+See :mod:`repro.checks.lint.rules` for the syntactic rules
+(RAP-LINT001..005), :mod:`repro.checks.flow.rules` for the
+flow-sensitive rules (RAP-LINT006..010),
+:mod:`repro.checks.lint.registry` for the combined registry, and
 :mod:`repro.checks.lint.runner` for the driver, suppression comments
 and output formats.
 """
 
-from .rules import RULES, LintContext, Rule, Violation, all_rule_codes
+from .rules import FlowStep, LintContext, Rule, Violation
+from .registry import RULES, all_rule_codes, explain_rule
 from .runner import (
     JSON_SCHEMA_VERSION,
     LintReport,
@@ -17,12 +20,14 @@ from .runner import (
 
 __all__ = [
     "JSON_SCHEMA_VERSION",
+    "FlowStep",
     "LintContext",
     "LintReport",
     "RULES",
     "Rule",
     "Violation",
     "all_rule_codes",
+    "explain_rule",
     "lint_file",
     "lint_paths",
     "select_rules",

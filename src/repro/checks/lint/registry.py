@@ -1,0 +1,46 @@
+"""The full RAP-LINT rule registry.
+
+Combines the syntactic rules (RAP-LINT001..005, from
+:mod:`repro.checks.lint.rules`) with the flow-sensitive rules
+(RAP-LINT006..010, from :mod:`repro.checks.flow.rules`). Everything
+that needs "all the rules" — the runner, ``--select``/``--ignore``
+resolution, ``--explain`` — goes through this module so the two rule
+families stay independently importable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..flow.rules import FLOW_RULES
+from .rules import SYNTACTIC_RULES, Rule
+
+RULES: Dict[str, Rule] = {**SYNTACTIC_RULES, **FLOW_RULES}
+
+
+def all_rule_codes() -> List[str]:
+    """Registered rule codes in a stable order."""
+    return sorted(RULES)
+
+
+def explain_rule(code: str) -> str:
+    """Human-readable rationale/example/fix block for one rule code."""
+    normalized = code.strip().upper()
+    if normalized not in RULES:
+        raise ValueError(
+            f"unknown rule code {code!r}; known rules: "
+            f"{', '.join(all_rule_codes())}"
+        )
+    rule = RULES[normalized]
+    lines = [
+        f"{rule.code} ({rule.name})",
+        "",
+        "rationale:",
+        f"  {rule.rationale}",
+    ]
+    if rule.example:
+        lines += ["", "example violation:"]
+        lines += [f"  {line}" for line in rule.example.splitlines()]
+    if rule.fix:
+        lines += ["", "suggested fix:", f"  {rule.fix}"]
+    return "\n".join(lines)

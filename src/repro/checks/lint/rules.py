@@ -37,20 +37,38 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
+class FlowStep:
+    """One hop of a dataflow witness path (origin ... use)."""
+
+    line: int
+    column: int
+    event: str
+
+
+@dataclass(frozen=True)
 class Violation:
-    """One lint finding, pointing at a source location."""
+    """One lint finding, pointing at a source location.
+
+    Flow-sensitive rules (RAP-LINT006..010) attach a non-empty
+    ``flow_trace``: the witness path showing how the offending value
+    reached the flagged site.
+    """
 
     rule: str
     path: str
     line: int
     column: int
     message: str
+    flow_trace: Tuple[FlowStep, ...] = ()
 
     def render(self) -> str:
-        return (
+        head = (
             f"{self.path}:{self.line}:{self.column}: {self.rule} "
             f"{self.message}"
         )
+        for step in self.flow_trace:
+            head += f"\n    line {step.line}: {step.event}"
+        return head
 
 
 @dataclass
@@ -138,11 +156,17 @@ def _iter_scoped(
 
 
 class Rule:
-    """Base class: subclasses set the metadata and implement check()."""
+    """Base class: subclasses set the metadata and implement check().
+
+    ``example`` and ``fix`` feed ``rap lint --explain <code>``: a
+    minimal violating snippet and the idiomatic way out.
+    """
 
     code: str = ""
     name: str = ""
     rationale: str = ""
+    example: str = ""
+    fix: str = ""
 
     def check(self, context: LintContext) -> Iterator[Violation]:
         raise NotImplementedError
@@ -165,6 +189,11 @@ class UnseededRngRule(Rule):
     rationale = (
         "all randomness must flow from explicit seeds via "
         "workloads.distributions so experiments replay bit-identically"
+    )
+    example = "rng = np.random.default_rng()   # time-seeded, unreplayable"
+    fix = (
+        "pass an explicit seed: np.random.default_rng(seed), or use "
+        "workloads.distributions.make_rng(seed)"
     )
 
     _exempt = ("workloads/distributions.py",)
@@ -229,6 +258,11 @@ class FloatCounterRule(Rule):
     rationale = (
         "counters are exact integers — float arithmetic would turn the "
         "guaranteed lower bounds into approximations"
+    )
+    example = "node.count = node.count / 2     # counter becomes a float"
+    fix = (
+        "keep counters integral: use // floor division, or wrap with "
+        "int(...) at the boundary where a float is unavoidable"
     )
 
     _scopes = ("core/",)
@@ -296,6 +330,12 @@ class NodeEncapsulationRule(Rule):
     rationale = (
         "the conservation proof audits RapTree/MultiDimRapTree methods; "
         "out-of-band .count/.children mutations would invalidate it"
+    )
+    example = "parent.children.append(node)    # outside the tree classes"
+    fix = (
+        "go through RapTree/RapNode methods (attach_child, "
+        "detach_child), or justify the exception with "
+        "'# noqa: RAP-LINT003 - reason'"
     )
 
     _owner_classes = {"RapTree", "MultiDimRapTree", "RapNode", "MultiDimNode"}
@@ -365,6 +405,8 @@ class MissingAnnotationsRule(Rule):
         "core/ and hardware/ are the load-bearing APIs; annotations "
         "keep refactors honest without a runtime cost"
     )
+    example = "def estimate(lo, hi):           # public, unannotated"
+    fix = "annotate every parameter and the return: def estimate(lo: int, hi: int) -> int"
 
     _scopes = ("core/", "hardware/")
 
@@ -418,6 +460,11 @@ class WallClockRule(Rule):
         "experiment code is deterministic; wall-clock reads belong in "
         "the benchmark harness, not in results"
     )
+    example = "start = time.perf_counter()     # inside experiment code"
+    fix = (
+        "move timing into benchmarks/ (pytest-benchmark owns the "
+        "clock); deterministic code reports event counts, not seconds"
+    )
 
     _banned = {
         "time.time",
@@ -451,7 +498,10 @@ class WallClockRule(Rule):
                 )
 
 
-RULES: Dict[str, Rule] = {
+#: The purely syntactic rules defined in this module. The full
+#: registry — these plus the flow-sensitive RAP-LINT006..010 — lives in
+#: :mod:`repro.checks.lint.registry`.
+SYNTACTIC_RULES: Dict[str, Rule] = {
     rule.code: rule
     for rule in (
         UnseededRngRule(),
@@ -461,8 +511,3 @@ RULES: Dict[str, Rule] = {
         WallClockRule(),
     )
 }
-
-
-def all_rule_codes() -> List[str]:
-    """Registered rule codes in a stable order."""
-    return sorted(RULES)

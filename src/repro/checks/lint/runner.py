@@ -16,9 +16,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .rules import RULES, LintContext, Rule, Violation
+from .registry import RULES
+from .rules import LintContext, Rule, Violation
 
-JSON_SCHEMA_VERSION = 1
+# Version 2: every violation entry carries a "flow_trace" list (empty
+# for the syntactic rules, a non-empty witness path for RAP-LINT006+).
+JSON_SCHEMA_VERSION = 2
 
 # Accepts flake8-style suppressions, including trailing prose after the
 # code list ("# noqa: RAP-LINT003 - display-only hierarchy").
@@ -74,6 +77,14 @@ class LintReport:
                     "line": violation.line,
                     "column": violation.column,
                     "message": violation.message,
+                    "flow_trace": [
+                        {
+                            "line": step.line,
+                            "column": step.column,
+                            "event": step.event,
+                        }
+                        for step in violation.flow_trace
+                    ],
                 }
                 for violation in self.violations
             ],

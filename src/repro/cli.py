@@ -17,7 +17,10 @@ Commands:
 * ``rap audit <path> [--epsilon E]`` — replay a trace under the
   structural invariant auditor (``repro.checks``) and verify the
   estimate guarantees against an exact oracle.
-* ``rap lint [paths...]`` — run the repo-specific RAP-LINT AST rules.
+* ``rap lint [paths...]`` — run the repo-specific RAP-LINT rules (the
+  syntactic AST rules plus the flow-sensitive dataflow rules).
+  ``--strict`` forces all ten rules on; ``--explain RAP-LINTNNN``
+  prints a rule's rationale, example violation, and suggested fix.
 
 Operational errors — an unknown experiment id, an unreadable or corrupt
 trace file — print a one-line diagnostic and exit with status 1 rather
@@ -33,7 +36,7 @@ from typing import List, Optional
 from .analysis.compare import diff_profiles
 from .analysis.hot_report import render_hot_tree
 from .checks.audit import audit_stream
-from .checks.lint import all_rule_codes, lint_paths
+from .checks.lint import all_rule_codes, explain_rule, lint_paths
 from .core.quantiles import quantile_bounds
 from .experiments import runner
 from .experiments.common import DEFAULT_SEED, HOT_FRACTION, profile_stream
@@ -107,7 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--branching", type=int, default=4)
 
     lint = commands.add_parser(
-        "lint", help="run the repo-specific RAP-LINT AST rules"
+        "lint", help="run the repo-specific RAP-LINT rules"
     )
     lint.add_argument(
         "paths",
@@ -119,6 +122,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--ignore", default=None, help="comma-separated rule codes to skip"
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="run every registered rule (overrides --select/--ignore)",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print a rule's rationale, example, and fix, then exit",
     )
     lint.add_argument("--format", choices=["text", "json"], default="text")
     return parser
@@ -251,16 +265,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if report.ok else 1
 
     if args.command == "lint":
+        if args.explain is not None:
+            try:
+                print(explain_rule(args.explain))
+            except ValueError as error:
+                return _fail(str(error))
+            return 0
+
         def parse_codes(raw: Optional[str]) -> Optional[List[str]]:
             if raw is None:
                 return None
             return [c.strip().upper() for c in raw.split(",") if c.strip()]
 
+        select = None if args.strict else parse_codes(args.select)
+        ignore = None if args.strict else parse_codes(args.ignore)
         try:
             report = lint_paths(
                 args.paths or [__file__.rsplit("/", 1)[0]],
-                select=parse_codes(args.select),
-                ignore=parse_codes(args.ignore),
+                select=select,
+                ignore=ignore,
             )
         except (ValueError, FileNotFoundError) as error:
             return _fail(

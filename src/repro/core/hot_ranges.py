@@ -112,7 +112,9 @@ def _walk(
                 lo=node.lo,
                 hi=node.hi,
                 weight=exclusive,
-                fraction=exclusive / events,
+                # Reporting boundary: the fraction is a display statistic;
+                # the exact counters live in weight/inclusive_weight.
+                fraction=exclusive / events,  # noqa: RAP-LINT006 - intentional float statistic
                 depth=depth,
                 inclusive_weight=inclusive,
             )
@@ -151,7 +153,7 @@ def hot_tree(
                     lo=node.lo,
                     hi=node.hi,
                     weight=exclusive,
-                    fraction=exclusive / events,
+                    fraction=exclusive / events,  # noqa: RAP-LINT006 - intentional float statistic
                     depth=node.depth,
                     inclusive_weight=node.subtree_weight(),
                 )

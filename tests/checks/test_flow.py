@@ -1,0 +1,429 @@
+"""Unit tests for the dataflow engine behind RAP-LINT006..010.
+
+These exercise the layers directly — CFG construction, the worklist
+fixed-point solver, reaching definitions, liveness, and the value-kind
+taint lattice — independent of the lint rules built on top (which are
+covered fixture-style in test_lint_rules.py).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.flow import (
+    CFG,
+    DataflowProblem,
+    TaintAnalysis,
+    build_cfg,
+    iter_units,
+    live_variables,
+    reaching_definitions,
+    solve,
+)
+from repro.checks.flow.cfg import CODE_KINDS
+from repro.checks.flow.solver import union_join
+from repro.checks.flow.taint import (
+    KIND_CHILDREN,
+    KIND_COUNTER,
+    KIND_FLOAT,
+    KIND_NODE,
+    KIND_RNG,
+)
+
+
+def fn_cfg(source: str) -> CFG:
+    """CFG of the first function defined in ``source``."""
+    tree = ast.parse(source)
+    for unit in iter_units(tree):
+        if not unit.is_module:
+            return build_cfg(unit.node, unit.name)
+    raise AssertionError("no function in source")
+
+
+def nodes_at_line(cfg: CFG, line: int):
+    return [node for node in cfg.code_nodes() if node.line == line]
+
+
+def kinds_of(cfg: CFG, kind: str):
+    return [node for node in cfg.nodes.values() if node.kind == kind]
+
+
+class TestCfgConstruction:
+    def test_straight_line_is_a_chain(self):
+        cfg = fn_cfg("def f(x):\n    y = x + 1\n    return y\n")
+        code = cfg.code_nodes()
+        assert [type(node.stmt).__name__ for node in code] == [
+            "Assign", "Return",
+        ]
+        assert code[1].id in code[0].succs
+        assert cfg.exit in cfg.nodes[code[1].id].succs
+
+    def test_if_else_diverges_and_rejoins(self):
+        cfg = fn_cfg(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        (cond,) = kinds_of(cfg, "cond")
+        then_node = nodes_at_line(cfg, 3)[0]
+        else_node = nodes_at_line(cfg, 5)[0]
+        ret_node = nodes_at_line(cfg, 6)[0]
+        assert cond.succs == {then_node.id, else_node.id}
+        assert ret_node.preds == {then_node.id, else_node.id}
+
+    def test_short_circuit_and_gets_two_cond_nodes(self):
+        cfg = fn_cfg(
+            "def f(a, b):\n"
+            "    if a and b:\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        first, second = sorted(kinds_of(cfg, "cond"), key=lambda n: n.id)
+        # b is evaluated only when a was truthy; both conds can fall
+        # through to the else branch.
+        assert second.id in first.succs
+        fallthrough = nodes_at_line(cfg, 4)[0]
+        assert fallthrough.id in first.succs
+        assert fallthrough.id in second.succs
+
+    def test_while_loop_has_a_back_edge(self):
+        cfg = fn_cfg(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n -= 1\n"
+            "    return n\n"
+        )
+        (cond,) = kinds_of(cfg, "cond")
+        body = nodes_at_line(cfg, 3)[0]
+        assert cond.id in body.succs  # back edge
+        assert cond.id in body.preds
+
+    def test_while_true_drops_the_false_edge(self):
+        cfg = fn_cfg(
+            "def f(q):\n"
+            "    while True:\n"
+            "        q.pop()\n"
+            "    return q\n"
+        )
+        reachable = cfg.reachable()
+        assert nodes_at_line(cfg, 4)[0].id not in reachable
+
+    def test_break_reaches_code_after_while_true(self):
+        cfg = fn_cfg(
+            "def f(q):\n"
+            "    while True:\n"
+            "        if q.done():\n"
+            "            break\n"
+            "    return q\n"
+        )
+        assert nodes_at_line(cfg, 5)[0].id in cfg.reachable()
+
+    def test_statements_after_return_are_unreachable(self):
+        cfg = fn_cfg(
+            "def f(x):\n"
+            "    return x\n"
+            "    y = 1\n"
+            "    z = 2\n"
+        )
+        reachable = cfg.reachable()
+        assert nodes_at_line(cfg, 3)[0].id not in reachable
+        assert nodes_at_line(cfg, 4)[0].id not in reachable
+        assert cfg.exit in reachable
+
+    def test_return_in_try_routes_through_finally(self):
+        cfg = fn_cfg(
+            "def f(x):\n"
+            "    try:\n"
+            "        return x\n"
+            "    finally:\n"
+            "        log()\n"
+        )
+        ret_node = nodes_at_line(cfg, 3)[0]
+        fin_stmt = nodes_at_line(cfg, 5)[0]
+        # The return does not jump straight to the exit; the finally
+        # body runs first and then flows on to the exit.
+        assert cfg.exit not in ret_node.succs
+        assert cfg.exit in fin_stmt.succs
+        assert cfg.exit in {
+            succ
+            for marker in ret_node.succs
+            for succ in cfg.nodes[marker].succs
+        } or fin_stmt.id in {
+            succ
+            for marker in ret_node.succs
+            for succ in cfg.nodes[marker].succs
+        }
+
+    def test_try_body_has_exceptional_edges_to_handler(self):
+        cfg = fn_cfg(
+            "def f(x):\n"
+            "    try:\n"
+            "        risky(x)\n"
+            "    except ValueError:\n"
+            "        return None\n"
+            "    return x\n"
+        )
+        body = nodes_at_line(cfg, 3)[0]
+        (clause,) = kinds_of(cfg, "except")
+        assert clause.id in body.succs
+
+    def test_every_code_node_kind_is_known(self):
+        cfg = fn_cfg(
+            "def f(xs):\n"
+            "    with open('p') as fh:\n"
+            "        for x in xs:\n"
+            "            if x:\n"
+            "                fh.write(x)\n"
+        )
+        for node in cfg.code_nodes():
+            assert node.kind in CODE_KINDS
+
+
+class TestIterUnits:
+    def test_yields_module_and_nested_functions(self):
+        tree = ast.parse(
+            "x = 1\n"
+            "class Tree:\n"
+            "    def grow(self):\n"
+            "        def helper():\n"
+            "            pass\n"
+            "        return helper\n"
+        )
+        units = list(iter_units(tree))
+        names = [unit.name for unit in units]
+        assert names == ["<module>", "Tree.grow", "Tree.grow.helper"]
+        assert units[0].is_module
+        assert units[1].classes == ("Tree",)
+        assert units[2].functions == ("grow",)
+
+
+class TestSolver:
+    def test_forward_constant_propagation_reaches_fixed_point(self):
+        cfg = fn_cfg(
+            "def f(n):\n"
+            "    x = 1\n"
+            "    while n:\n"
+            "        x = x\n"
+            "    return x\n"
+        )
+
+        def transfer(node, value):
+            if node.stmt is not None and isinstance(node.stmt, ast.Assign):
+                return value | {node.stmt.targets[0].id}
+            return value
+
+        problem = DataflowProblem(
+            direction="forward",
+            boundary=frozenset(),
+            bottom=frozenset(),
+            transfer=lambda n, v: frozenset(transfer(n, set(v))),
+            join=union_join,
+        )
+        solution = solve(cfg, problem)
+        assert "x" in solution.inputs[cfg.exit]
+
+    def test_rejects_bad_direction(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DataflowProblem(
+                direction="sideways",
+                boundary=frozenset(),
+                bottom=frozenset(),
+                transfer=lambda n, v: v,
+                join=union_join,
+            )
+
+    def test_unreachable_nodes_keep_bottom(self):
+        cfg = fn_cfg("def f(x):\n    return x\n    y = 1\n")
+        solution = reaching_definitions(cfg)
+        dead = nodes_at_line(cfg, 3)[0]
+        assert solution.inputs[dead.id] == frozenset()
+
+
+class TestReachingDefinitions:
+    def test_rebinding_kills_the_old_definition(self):
+        cfg = fn_cfg(
+            "def f(a, b):\n"
+            "    x = a\n"
+            "    x = b\n"
+            "    return x\n"
+        )
+        solution = reaching_definitions(cfg)
+        ret = nodes_at_line(cfg, 4)[0]
+        reaching_x = {
+            node_id
+            for name, node_id in solution.inputs[ret.id]
+            if name == "x"
+        }
+        assert reaching_x == {nodes_at_line(cfg, 3)[0].id}
+
+    def test_both_branch_definitions_reach_the_join(self):
+        cfg = fn_cfg(
+            "def f(p):\n"
+            "    if p:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        solution = reaching_definitions(cfg)
+        ret = nodes_at_line(cfg, 6)[0]
+        reaching_x = {
+            node_id
+            for name, node_id in solution.inputs[ret.id]
+            if name == "x"
+        }
+        assert reaching_x == {
+            nodes_at_line(cfg, 3)[0].id,
+            nodes_at_line(cfg, 5)[0].id,
+        }
+
+
+class TestLiveness:
+    def test_dead_store_is_not_live(self):
+        cfg = fn_cfg(
+            "def f(x):\n"
+            "    y = x + 1\n"
+            "    return x\n"
+        )
+        solution = live_variables(cfg)
+        store = nodes_at_line(cfg, 2)[0]
+        # Backward problem: inputs[n] is live-after n.
+        assert "y" not in solution.inputs[store.id]
+        assert "x" in solution.inputs[store.id]
+
+    def test_loop_carried_variable_stays_live(self):
+        cfg = fn_cfg(
+            "def f(values):\n"
+            "    total = 0\n"
+            "    for value in values:\n"
+            "        total += value\n"
+            "    return total\n"
+        )
+        solution = live_variables(cfg)
+        init = nodes_at_line(cfg, 2)[0]
+        assert "total" in solution.inputs[init.id]
+
+    def test_closure_read_keeps_binding_live(self):
+        cfg = fn_cfg(
+            "def f(x):\n"
+            "    base = x\n"
+            "    def inner():\n"
+            "        return base\n"
+            "    return inner\n"
+        )
+        solution = live_variables(cfg)
+        store = nodes_at_line(cfg, 2)[0]
+        assert "base" in solution.inputs[store.id]
+
+
+class TestTaint:
+    def test_counter_kind_propagates_through_aliases(self):
+        cfg = fn_cfg(
+            "def f(node):\n"
+            "    c = node.count\n"
+            "    d = c + 1\n"
+            "    return d\n"
+        )
+        taint = TaintAnalysis(cfg)
+        ret = nodes_at_line(cfg, 4)[0]
+        assert KIND_COUNTER in taint.kinds_before(ret.id, "d")
+
+    def test_division_adds_float_kind(self):
+        cfg = fn_cfg(
+            "def f(node):\n"
+            "    x = node.count / 2\n"
+            "    return x\n"
+        )
+        taint = TaintAnalysis(cfg)
+        ret = nodes_at_line(cfg, 3)[0]
+        kinds = taint.kinds_before(ret.id, "x")
+        assert KIND_FLOAT in kinds and KIND_COUNTER in kinds
+
+    def test_rebinding_clears_kinds(self):
+        cfg = fn_cfg(
+            "def f(node, n):\n"
+            "    c = node.count\n"
+            "    c = n\n"
+            "    return c\n"
+        )
+        taint = TaintAnalysis(cfg)
+        ret = nodes_at_line(cfg, 4)[0]
+        assert taint.kinds_before(ret.id, "c") == frozenset()
+
+    def test_branch_join_unions_kinds(self):
+        cfg = fn_cfg(
+            "def f(node, p):\n"
+            "    if p:\n"
+            "        v = node.count\n"
+            "    else:\n"
+            "        v = 0.5\n"
+            "    return v\n"
+        )
+        taint = TaintAnalysis(cfg)
+        ret = nodes_at_line(cfg, 6)[0]
+        kinds = taint.kinds_before(ret.id, "v")
+        assert KIND_COUNTER in kinds and KIND_FLOAT in kinds
+
+    def test_none_seed_via_alias_marks_rng(self):
+        cfg = fn_cfg(
+            "def f():\n"
+            "    seed = None\n"
+            "    rng = numpy.random.default_rng(seed)\n"
+            "    return rng\n"
+        )
+        taint = TaintAnalysis(cfg, aliases={"numpy": "numpy"})
+        ret = nodes_at_line(cfg, 4)[0]
+        assert KIND_RNG in taint.kinds_before(ret.id, "rng")
+
+    def test_explicit_seed_is_not_rng_tainted(self):
+        cfg = fn_cfg(
+            "def f(s):\n"
+            "    rng = numpy.random.default_rng(s)\n"
+            "    return rng\n"
+        )
+        taint = TaintAnalysis(cfg)
+        ret = nodes_at_line(cfg, 3)[0]
+        assert taint.kinds_before(ret.id, "rng") == frozenset()
+
+    def test_children_alias_versus_copy(self):
+        cfg = fn_cfg(
+            "def f(node):\n"
+            "    alias = node.children\n"
+            "    copy = list(node.children)\n"
+            "    return alias, copy\n"
+        )
+        taint = TaintAnalysis(cfg)
+        ret = nodes_at_line(cfg, 4)[0]
+        assert KIND_CHILDREN in taint.kinds_before(ret.id, "alias")
+        assert taint.kinds_before(ret.id, "copy") == frozenset()
+
+    def test_iterating_children_yields_node_kind(self):
+        cfg = fn_cfg(
+            "def f(node):\n"
+            "    for child in node.children:\n"
+            "        use(child)\n"
+        )
+        taint = TaintAnalysis(cfg)
+        use = nodes_at_line(cfg, 3)[0]
+        assert KIND_NODE in taint.kinds_before(use.id, "child")
+
+    def test_trace_walks_back_to_the_origin(self):
+        cfg = fn_cfg(
+            "def f(node):\n"
+            "    c = node.count\n"
+            "    d = c + 1\n"
+            "    return d\n"
+        )
+        taint = TaintAnalysis(cfg)
+        ret = nodes_at_line(cfg, 4)[0]
+        steps = taint.trace(ret.id, "d", KIND_COUNTER)
+        assert steps, "expected a non-empty witness trace"
+        lines = [line for line, _, _ in steps]
+        assert lines == sorted(lines)  # origin-first
+        assert lines[0] == 2
+        assert "node.count" in steps[0][2]

@@ -314,13 +314,9 @@ class TestRunner:
         with pytest.raises(FileNotFoundError):
             lint_paths([str(tmp_path / "no_such_dir")])
 
-    def test_registry_exposes_all_five_rules(self):
+    def test_registry_exposes_all_ten_rules(self):
         assert all_rule_codes() == [
-            "RAP-LINT001",
-            "RAP-LINT002",
-            "RAP-LINT003",
-            "RAP-LINT004",
-            "RAP-LINT005",
+            f"RAP-LINT{index:03d}" for index in range(1, 11)
         ]
 
 
@@ -334,7 +330,10 @@ class TestJsonSchema:
         "rules",
         "violations",
     }
-    VIOLATION_KEYS = {"rule", "path", "line", "column", "message"}
+    VIOLATION_KEYS = {
+        "rule", "path", "line", "column", "message", "flow_trace",
+    }
+    FLOW_STEP_KEYS = {"line", "column", "event"}
 
     def test_schema_shape_with_violations(self, tmp_path):
         report = lint_snippet(
@@ -351,8 +350,32 @@ class TestJsonSchema:
         assert set(entry) == self.VIOLATION_KEYS
         assert entry["rule"] == "RAP-LINT001"
         assert entry["line"] == 2
+        assert entry["flow_trace"] == []  # syntactic rules carry no trace
         rule_summary = payload["rules"]["RAP-LINT001"]
         assert rule_summary == {"name": "unseeded-rng", "count": 1}
+
+    def test_flow_violation_carries_witness_trace(self, tmp_path):
+        """The bumped schema: flow findings have a non-empty flow_trace."""
+        report = lint_snippet(
+            tmp_path,
+            "core/laundered.py",
+            "def f(node):\n"
+            "    c = node.count\n"
+            "    x = c / 2\n"
+            "    return x\n",
+            select=["RAP-LINT006"],
+        )
+        payload = json.loads(report.to_json())
+        assert payload["version"] == JSON_SCHEMA_VERSION == 2
+        entry = payload["violations"][0]
+        assert set(entry) == self.VIOLATION_KEYS
+        assert entry["rule"] == "RAP-LINT006"
+        trace = entry["flow_trace"]
+        assert trace, "flow rules must emit a witness path"
+        assert all(set(step) == self.FLOW_STEP_KEYS for step in trace)
+        assert trace[0]["line"] == 2  # the aliasing assignment
+        assert "c = node.count" in trace[0]["event"]
+        assert trace[-1]["line"] == 3  # the float-context use
 
     def test_schema_shape_when_clean(self, tmp_path):
         report = lint_snippet(tmp_path, "clean.py", "x = 1\n")
@@ -371,3 +394,414 @@ class TestJsonSchema:
             "import time\nt = time.time()\n",
         )
         assert report.to_json() == report.to_json()
+
+
+class TestCounterFloatFlow:
+    """RAP-LINT006: counter taint reaching float contexts via aliases."""
+
+    def test_flags_alias_into_division(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/bad.py",
+            "def f(node):\n"
+            "    c = node.count\n"
+            "    x = c / 2\n"
+            "    return x\n",
+            select=["RAP-LINT006"],
+        )
+        assert codes(report) == ["RAP-LINT006"]
+        violation = report.violations[0]
+        assert violation.line == 3
+        assert violation.flow_trace
+        assert "c = node.count" in violation.flow_trace[0].event
+
+    def test_syntactic_rule_misses_the_alias(self, tmp_path):
+        """The motivating gap: RAP-LINT002 alone does not see the alias."""
+        source = (
+            "def f(node):\n"
+            "    c = node.count\n"
+            "    x = c / 2\n"
+            "    return x\n"
+        )
+        syntactic = lint_snippet(
+            tmp_path, "core/bad.py", source, select=["RAP-LINT002"]
+        )
+        assert syntactic.ok
+        flow = lint_snippet(
+            tmp_path, "core/bad.py", source, select=["RAP-LINT006"]
+        )
+        assert codes(flow) == ["RAP-LINT006"]
+
+    def test_taint_survives_a_second_hop(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/bad.py",
+            "def f(node):\n"
+            "    c = node.count\n"
+            "    d = c + 1\n"
+            "    return float(d)\n",
+            select=["RAP-LINT006"],
+        )
+        assert codes(report) == ["RAP-LINT006"]
+        events = [step.event for step in report.violations[0].flow_trace]
+        assert any("c = node.count" in event for event in events)
+        assert any("d = c + 1" in event for event in events)
+
+    def test_floor_division_alias_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "def f(node):\n"
+            "    c = node.count\n"
+            "    return c // 2\n",
+            select=["RAP-LINT006"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_rebinding_clears_the_taint(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "def f(node, n):\n"
+            "    c = node.count\n"
+            "    c = n\n"
+            "    return c / 2\n",
+            select=["RAP-LINT006"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_rule_is_scoped_to_core(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/elsewhere.py",
+            "def f(node):\n"
+            "    c = node.count\n"
+            "    return c / 2\n",
+            select=["RAP-LINT006"],
+        )
+        assert report.ok
+
+    def test_noqa_suppresses(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/justified.py",
+            "def f(node, n):\n"
+            "    c = node.count\n"
+            "    return c / n  # noqa: RAP-LINT006 - display fraction\n",
+            select=["RAP-LINT006"],
+        )
+        assert report.ok
+
+
+class TestRngFlow:
+    """RAP-LINT007: unseeded RNG objects reaching uses via variables."""
+
+    def test_flags_none_seed_through_alias(self, tmp_path):
+        """seed=None via a variable dodges RAP-LINT001 entirely."""
+        source = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    seed = None\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.integers(0, 9)\n"
+        )
+        syntactic = lint_snippet(
+            tmp_path, "experiments/demo.py", source, select=["RAP-LINT001"]
+        )
+        assert syntactic.ok
+        flow = lint_snippet(
+            tmp_path, "experiments/demo.py", source, select=["RAP-LINT007"]
+        )
+        assert codes(flow) == ["RAP-LINT007"]
+        trace = flow.violations[0].flow_trace
+        assert trace and trace[-1].line == 5
+
+    def test_flags_unseeded_rng_passed_to_call(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import numpy as np\n"
+            "def f(tree):\n"
+            "    rng = np.random.default_rng()\n"
+            "    feed(tree, rng)\n",
+            select=["RAP-LINT007"],
+        )
+        assert codes(report) == ["RAP-LINT007"]
+        assert "passed into" in report.violations[0].message
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.integers(0, 9)\n",
+            select=["RAP-LINT007"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_distributions_module_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "workloads/distributions.py",
+            "import numpy as np\n"
+            "def f():\n"
+            "    rng = np.random.default_rng()\n"
+            "    return rng.random()\n",
+            select=["RAP-LINT007"],
+        )
+        assert report.ok
+
+
+class TestNodeAliasMutation:
+    """RAP-LINT008: live children lists escaping into mutated aliases."""
+
+    def test_flags_aliased_append(self, tmp_path):
+        source = (
+            "def graft(node, extra):\n"
+            "    kids = node.children\n"
+            "    kids.append(extra)\n"
+        )
+        syntactic = lint_snippet(
+            tmp_path, "analysis/bad.py", source, select=["RAP-LINT003"]
+        )
+        assert syntactic.ok  # the alias hides the mutation from 003
+        flow = lint_snippet(
+            tmp_path, "analysis/bad.py", source, select=["RAP-LINT008"]
+        )
+        assert codes(flow) == ["RAP-LINT008"]
+        assert "kids = node.children" in (
+            flow.violations[0].flow_trace[0].event
+        )
+
+    def test_flags_item_assignment_through_alias(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/bad.py",
+            "def swap(node, other):\n"
+            "    kids = node.children\n"
+            "    kids[0] = other\n",
+            select=["RAP-LINT008"],
+        )
+        assert codes(report) == ["RAP-LINT008"]
+
+    def test_copy_mutation_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/good.py",
+            "def scratch(node, extra):\n"
+            "    kids = list(node.children)\n"
+            "    kids.append(extra)\n"
+            "    return kids\n",
+            select=["RAP-LINT008"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_tree_classes_own_their_children(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "class RapTree:\n"
+            "    def _merge(self, node, child):\n"
+            "        kids = node.children\n"
+            "        kids.append(child)\n",
+            select=["RAP-LINT008"],
+        )
+        assert report.ok, report.render_text()
+
+
+class TestDeadCode:
+    """RAP-LINT009: unreachable statements and dead stores."""
+
+    def test_flags_code_after_return(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/bad.py",
+            "def f(x):\n"
+            "    return x\n"
+            "    cleanup(x)\n",
+            select=["RAP-LINT009"],
+        )
+        assert codes(report) == ["RAP-LINT009"]
+        assert report.violations[0].line == 3
+        assert "unreachable" in report.violations[0].message
+
+    def test_flags_else_of_constant_condition(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "hardware/bad.py",
+            "def f(x):\n"
+            "    if True:\n"
+            "        return x\n"
+            "    return -x\n",
+            select=["RAP-LINT009"],
+        )
+        assert codes(report) == ["RAP-LINT009"]
+        assert report.violations[0].line == 4
+
+    def test_flags_dead_store(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/bad.py",
+            "def f(x):\n"
+            "    y = x + 1\n"
+            "    return x\n",
+            select=["RAP-LINT009"],
+        )
+        assert codes(report) == ["RAP-LINT009"]
+        assert "never read" in report.violations[0].message
+
+    def test_loop_carried_and_conditional_uses_are_live(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "def f(values, flag):\n"
+            "    total = 0\n"
+            "    for value in values:\n"
+            "        total += value\n"
+            "    best = None\n"
+            "    if flag:\n"
+            "        best = total\n"
+            "    return best\n",
+            select=["RAP-LINT009"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_closure_capture_counts_as_a_use(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "def f(x):\n"
+            "    base = x + 1\n"
+            "    def inner():\n"
+            "        return base\n"
+            "    return inner\n",
+            select=["RAP-LINT009"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_code_after_while_true_with_break_is_reachable(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "def f(queue):\n"
+            "    while True:\n"
+            "        item = queue.next()\n"
+            "        if item is None:\n"
+            "            break\n"
+            "    return queue\n",
+            select=["RAP-LINT009"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_underscore_and_out_of_scope_are_ignored(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/unscoped.py",
+            "def f(x):\n"
+            "    return x\n"
+            "    cleanup(x)\n",
+            select=["RAP-LINT009"],
+        )
+        assert report.ok  # scoped to core/ and hardware/
+        report = lint_snippet(
+            tmp_path,
+            "core/good.py",
+            "def f(pair):\n"
+            "    _ignored = pair.validate()\n"
+            "    return pair\n",
+            select=["RAP-LINT009"],
+        )
+        assert report.ok, report.render_text()
+
+
+class TestUnclosedResource:
+    """RAP-LINT010: open() outside with, not closed on all paths."""
+
+    def test_flags_unclosed_open(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "workloads/bad.py",
+            "def dump(path, data):\n"
+            "    f = open(path, 'wb')\n"
+            "    f.write(data)\n",
+            select=["RAP-LINT010"],
+        )
+        assert codes(report) == ["RAP-LINT010"]
+        assert report.violations[0].line == 2
+        assert report.violations[0].flow_trace
+
+    def test_flags_close_missing_on_exception_path(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "workloads/bad.py",
+            "def dump(path, data):\n"
+            "    f = open(path, 'wb')\n"
+            "    try:\n"
+            "        f.write(data)\n"
+            "    except OSError:\n"
+            "        return None\n"
+            "    f.close()\n",
+            select=["RAP-LINT010"],
+        )
+        assert codes(report) == ["RAP-LINT010"]
+
+    def test_close_in_finally_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "workloads/good.py",
+            "def dump(path, data):\n"
+            "    f = open(path, 'wb')\n"
+            "    try:\n"
+            "        f.write(data)\n"
+            "    finally:\n"
+            "        f.close()\n",
+            select=["RAP-LINT010"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_with_block_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "workloads/good.py",
+            "def dump(path, data):\n"
+            "    with open(path, 'wb') as f:\n"
+            "        f.write(data)\n",
+            select=["RAP-LINT010"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_returned_handle_transfers_ownership(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "workloads/good.py",
+            "def open_trace(path):\n"
+            "    f = open(path, 'rb')\n"
+            "    return f\n",
+            select=["RAP-LINT010"],
+        )
+        assert report.ok, report.render_text()
+
+
+class TestExplain:
+    """rap lint --explain covers every registered rule."""
+
+    @pytest.mark.parametrize("code", [
+        f"RAP-LINT{index:03d}" for index in range(1, 11)
+    ])
+    def test_explain_prints_rationale_example_fix(self, code, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--explain", code]) == 0
+        out = capsys.readouterr().out
+        assert code in out
+        assert "rationale:" in out
+        assert "example violation:" in out
+        assert "suggested fix:" in out
+
+    def test_explain_unknown_code_fails(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--explain", "RAP-LINT999"]) == 1
+        assert "known rules" in capsys.readouterr().err

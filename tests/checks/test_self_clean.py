@@ -27,11 +27,10 @@ class TestSelfClean:
     def test_json_output_is_schema_stable(self, capsys):
         assert main(["--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["violation_count"] == 0
         assert set(payload["rules"]) == {
-            "RAP-LINT001", "RAP-LINT002", "RAP-LINT003",
-            "RAP-LINT004", "RAP-LINT005",
+            f"RAP-LINT{index:03d}" for index in range(1, 11)
         }
 
     def test_unknown_rule_code_exits_2(self, capsys):
