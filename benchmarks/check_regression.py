@@ -1,0 +1,122 @@
+"""Compare a benchmark run against a checked-in throughput baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CANDIDATE.json \
+        [--baseline benchmarks/baselines/core_throughput_10k.json] \
+        [--tolerance 0.30]
+
+Both files are the JSON payload ``benchmarks/conftest.py`` emits.
+Candidate and baseline must come from the same ``RAP_BENCH_EVENTS``
+scale — per-event cost is *not* scale invariant (the early stream is
+split-dense; amortization differs), so the repo keeps one baseline per
+scale: the full 50k ``BENCH_core_throughput.json`` at the repo root and
+the 10k smoke baseline under ``benchmarks/baselines/``.
+
+Runs from different machines are made comparable through the payload's
+``calibration_s`` — the time of a fixed pure-python loop on the machine
+that produced the run. Candidate means are scaled by the calibration
+ratio before comparison, so a uniformly slower CI runner does not read
+as a regression while a genuinely slower tree still does. Exits
+non-zero when any benchmark's scaled mean exceeds
+``baseline * (1 + tolerance)``.
+
+Benchmarks present on only one side are reported but never fail the
+check, so adding or renaming a benchmark does not break CI before the
+baseline is regenerated (see "Performance notes" in ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "core_throughput_10k.json"
+)
+
+
+def load_payload(path: pathlib.Path) -> dict:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if "results" not in payload or "events" not in payload:
+        raise SystemExit(f"{path}: not a core_throughput payload")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark means regress past tolerance."
+    )
+    parser.add_argument(
+        "candidate", type=pathlib.Path,
+        help="JSON emitted by the benchmark run under test",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+        help=f"baseline JSON (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional regression of the mean (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_payload(args.baseline)
+    candidate = load_payload(args.candidate)
+    if baseline["events"] != candidate["events"]:
+        raise SystemExit(
+            f"scale mismatch: baseline ran {baseline['events']} events, "
+            f"candidate {candidate['events']} — per-event cost is not "
+            "scale invariant; regenerate a baseline at this scale"
+        )
+
+    speed = 1.0
+    base_cal = baseline.get("calibration_s")
+    cand_cal = candidate.get("calibration_s")
+    if base_cal and cand_cal:
+        speed = cand_cal / base_cal
+        print(
+            f"machine calibration: candidate {cand_cal * 1e3:.1f} ms vs "
+            f"baseline {base_cal * 1e3:.1f} ms "
+            f"(runner {speed:.2f}x the baseline machine)"
+        )
+    else:
+        print("machine calibration missing on one side; comparing raw means")
+
+    base_means = {row["name"]: row["mean_s"] for row in baseline["results"]}
+    cand_means = {row["name"]: row["mean_s"] for row in candidate["results"]}
+
+    failures = []
+    for name in sorted(base_means):
+        if name not in cand_means:
+            print(f"SKIP {name}: not in candidate run")
+            continue
+        base = base_means[name]
+        scaled = cand_means[name] / speed
+        ratio = scaled / base if base else float("inf")
+        status = "OK"
+        if ratio > 1.0 + args.tolerance:
+            status = "FAIL"
+            failures.append(name)
+        print(
+            f"{status:4s} {name}: {scaled * 1e3:,.2f} ms (scaled) vs "
+            f"baseline {base * 1e3:,.2f} ms ({ratio:.2f}x)"
+        )
+    for name in sorted(set(cand_means) - set(base_means)):
+        print(f"NEW  {name}: no baseline entry (not checked)")
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than "
+            f"{args.tolerance:.0%}: {', '.join(failures)}"
+        )
+        return 1
+    print("\nall benchmark means within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

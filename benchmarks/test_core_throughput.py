@@ -8,13 +8,19 @@ the cycle-model engine.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import RapConfig, RapTree, find_hot_ranges
 from repro.hardware import HardwareParams, PipelinedRapEngine
 from repro.workloads import benchmark as load_benchmark
 
-EVENTS = 50_000
+# Stream length; override with RAP_BENCH_EVENTS for quick smoke runs
+# (the CI benchmark job uses 10k). The repo-root baseline JSON is only
+# rewritten at the default scale unless RAP_BENCH_OUT redirects it —
+# see benchmarks/conftest.py.
+EVENTS = int(os.environ.get("RAP_BENCH_EVENTS", "50000"))
 
 
 @pytest.fixture(scope="module")
@@ -34,6 +40,25 @@ def test_tree_update_throughput(benchmark, code_values):
     def run():
         tree = RapTree(RapConfig(range_max=2**32, epsilon=0.05))
         tree.extend(code_values)
+        return tree
+
+    tree = benchmark(run)
+    assert tree.events == EVENTS
+
+
+def test_batch_kernel_throughput(benchmark, code_values):
+    """Pre-combined chunks through the sorted ``add_batch`` kernel."""
+    chunks = []
+    for start in range(0, len(code_values), 4096):
+        combined = {}
+        for value in code_values[start:start + 4096]:
+            combined[value] = combined.get(value, 0) + 1
+        chunks.append(sorted(combined.items()))
+
+    def run():
+        tree = RapTree(RapConfig(range_max=2**32, epsilon=0.05))
+        for chunk in chunks:
+            tree.add_batch(chunk)
         return tree
 
     tree = benchmark(run)

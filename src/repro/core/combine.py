@@ -10,16 +10,22 @@ then merge the trees into one summary whose guarantees still hold:
   estimates (weight only ever moves to *finer* placement, never coarser),
   so it remains a lower bound on the true combined count;
 * the undercount of the combined tree is at most the sum of the shards'
-  undercounts, i.e. at most ``epsilon * (n1 + n2)`` when both shards ran
-  with the same epsilon;
+  undercounts, i.e. at most ``epsilon * (n1 + ... + nk)`` when all
+  shards ran with the same epsilon. Mismatched epsilons silently void
+  this guarantee, so they are rejected unless explicitly allowed — in
+  which case the result's config records the *largest* shard epsilon,
+  the only value for which the combined bound still holds;
 * memory is re-pruned with a final merge batch, so the result obeys the
   same worst-case bound.
 
-The construction walks one tree and adds each node's *own* count into
-the other at the finest existing-or-creatable position: counts recorded
-for range ``[lo, hi]`` are added at the node for ``[lo, hi]`` itself
-(created on demand along the deterministic partition path, so structure
-stays valid).
+The construction walks each shard once and adds each node's *own* count
+into a single accumulator tree at the finest existing-or-creatable
+position: counts recorded for range ``[lo, hi]`` are added at the node
+for ``[lo, hi]`` itself (created on demand along the deterministic
+partition path, so structure stays valid). One accumulator for all
+shards keeps ``combine_many`` linear in total shard size — the old
+pairwise fold re-copied the whole accumulated tree per shard, going
+quadratic in the number of shards.
 """
 
 from __future__ import annotations
@@ -31,39 +37,69 @@ from .node import RapNode, partition_range
 from .tree import RapTree
 
 
-def combine_trees(first: RapTree, second: RapTree) -> RapTree:
+def combine_trees(
+    first: RapTree,
+    second: RapTree,
+    *,
+    allow_mismatched_epsilon: bool = False,
+) -> RapTree:
     """Merge two RAP profiles over the same universe into a new tree.
 
     Both trees must share ``range_max`` and ``branching`` (so their
-    range systems are identical). The result uses ``first``'s
-    configuration and ends with a merge batch to restore the memory
-    bound.
+    range systems are identical) and ``epsilon`` (so the combined
+    ``epsilon * (n1 + n2)`` undercount bound is meaningful). Pass
+    ``allow_mismatched_epsilon=True`` to combine shards profiled at
+    different precision; the result's config then records the larger
+    epsilon, for which the combined bound still holds. The result ends
+    with a merge batch to restore the memory bound.
     """
-    _check_compatible(first, second)
-    combined = RapTree(first.config)
-    for source in (first, second):
+    return combine_many(
+        [first, second], allow_mismatched_epsilon=allow_mismatched_epsilon
+    )
+
+
+def combine_many(
+    trees: Iterable[RapTree],
+    *,
+    allow_mismatched_epsilon: bool = False,
+) -> RapTree:
+    """Merge any number of shard profiles into a single accumulator tree.
+
+    Every shard is walked exactly once and deposited into one fresh
+    accumulator — linear in total shard size, unlike a pairwise
+    :func:`combine_trees` fold. A single tree is returned as-is.
+    """
+    trees = list(trees)
+    if not trees:
+        raise ValueError("combine_many needs at least one tree")
+    if len(trees) == 1:
+        return trees[0]
+    first = trees[0]
+    for other in trees[1:]:
+        _check_compatible(first, other, allow_mismatched_epsilon)
+    config = first.config
+    max_epsilon = max(tree.config.epsilon for tree in trees)
+    if max_epsilon != config.epsilon:
+        config = config.with_updates(epsilon=max_epsilon)
+    combined = RapTree(config)
+    total_events = 0
+    for source in trees:
+        total_events += source.events
         for node in source.nodes():
             if node.count:
                 _add_at_range(combined, node.lo, node.hi, node.count)
-    combined._events = first.events + second.events  # noqa: SLF001
+    combined._events = total_events  # noqa: SLF001
     if combined.events:
         combined.merge_now()
         combined.check_invariants()
     return combined
 
 
-def combine_many(trees: Iterable[RapTree]) -> RapTree:
-    """Fold :func:`combine_trees` over any number of shard profiles."""
-    trees = list(trees)
-    if not trees:
-        raise ValueError("combine_many needs at least one tree")
-    result = trees[0]
-    for tree in trees[1:]:
-        result = combine_trees(result, tree)
-    return result
-
-
-def _check_compatible(first: RapTree, second: RapTree) -> None:
+def _check_compatible(
+    first: RapTree,
+    second: RapTree,
+    allow_mismatched_epsilon: bool = False,
+) -> None:
     if first.config.range_max != second.config.range_max:
         raise ValueError(
             "cannot combine trees over different universes: "
@@ -73,6 +109,17 @@ def _check_compatible(first: RapTree, second: RapTree) -> None:
         raise ValueError(
             "cannot combine trees with different branching factors: "
             f"{first.config.branching} vs {second.config.branching}"
+        )
+    if (
+        first.config.epsilon != second.config.epsilon
+        and not allow_mismatched_epsilon
+    ):
+        raise ValueError(
+            "cannot combine trees with different epsilon "
+            f"({first.config.epsilon} vs {second.config.epsilon}): the "
+            "epsilon * (n1 + n2) undercount guarantee would be silently "
+            "voided; pass allow_mismatched_epsilon=True to combine at "
+            "the larger epsilon's guarantee"
         )
 
 
@@ -112,6 +159,7 @@ def _add_at_range(tree: RapTree, lo: int, hi: int, count: int) -> None:
     # destination re-establishes conservation once every range lands.
     node.count += count  # noqa: RAP-LINT003
     tree._node_count += created  # noqa: SLF001
+    tree._generation += 1  # noqa: SLF001
 
 
 def split_stream_profile(

@@ -132,6 +132,56 @@ class RapConfig:
         return replace(self, **changes)  # type: ignore[arg-type]
 
 
+def split_crossing_point(
+    count: int,
+    events: int,
+    eps_over_height: float,
+    floor: float,
+) -> int:
+    """Smallest ``m >= 1`` whose arrival pushes a counter over threshold.
+
+    A counter holding ``count`` at event total ``events`` receives units
+    one at a time; the ``m``-th unit sees the threshold
+    ``max(eps_over_height * (events + m), floor)``. This returns the
+    first ``m`` with ``count + m > threshold(events + m)`` — i.e. the
+    unit whose arrival makes the counter split under the one-at-a-time
+    arrival semantics of Section 3.3. Both the software batch kernel and
+    the hardware pipeline model use this to absorb whole runs of events
+    in one step while staying unit-for-unit identical to single adds.
+
+    Returns ``0`` when no such unit exists (``eps_over_height >= 1``:
+    the threshold grows at least as fast as the counter, and a counter
+    never exceeds the event total).
+
+    The closed-form guess from the linear part is corrected by ±1 fixup
+    loops evaluated against the exact float predicate, so the result
+    matches what a unit-by-unit loop would compute, float rounding
+    included.
+    """
+    if eps_over_height >= 1.0:
+        return 0
+    # Linear-part estimate: count + m > eps_over_height * (events + m).
+    guess = int((eps_over_height * events - count) / (1.0 - eps_over_height)) + 1
+    # The floor can dominate the linear term: count + m > floor too.
+    floor_guess = int(floor) + 1 - count
+    if floor_guess > guess:
+        guess = floor_guess
+    if guess < 1:
+        guess = 1
+
+    def _crosses(m: int) -> bool:
+        threshold = eps_over_height * (events + m)
+        if threshold < floor:
+            threshold = floor
+        return count + m > threshold
+
+    while guess > 1 and _crosses(guess - 1):
+        guess -= 1
+    while not _crosses(guess):
+        guess += 1
+    return guess
+
+
 def max_tree_height(range_max: int, branching: int) -> int:
     """Number of b-ary refinements needed to reach single items.
 

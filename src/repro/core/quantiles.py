@@ -20,13 +20,30 @@ it falls out of the tree with no extra state.
 from __future__ import annotations
 
 import bisect
+import weakref
 from typing import List, Tuple
 
 from .tree import RapTree
 
+# Per-tree cache of the derived CDF arrays, keyed on the tree's mutation
+# generation: building them is O(N log N) in tree size, and query bursts
+# (many cdf_bounds/quantile_bounds calls between updates) would otherwise
+# rebuild identical arrays every call. The weak keys let profiled trees
+# be garbage collected normally.
+_CDF_CACHE: "weakref.WeakKeyDictionary[RapTree, Tuple[int, tuple]]" = (
+    weakref.WeakKeyDictionary()
+)
+
 
 def _cdf_arrays(tree: RapTree) -> Tuple[List[int], List[int], List[int], List[int]]:
-    """Sorted (hi, prefix-count) and (lo, prefix-count) arrays."""
+    """Sorted (hi, prefix-count) and (lo, prefix-count) arrays.
+
+    Cached per tree until its ``mutation_generation`` moves on.
+    """
+    generation = tree.mutation_generation
+    cached = _CDF_CACHE.get(tree)
+    if cached is not None and cached[0] == generation:
+        return cached[1]
     by_hi: List[Tuple[int, int]] = []
     by_lo: List[Tuple[int, int]] = []
     for node in tree.nodes():
@@ -47,7 +64,9 @@ def _cdf_arrays(tree: RapTree) -> Tuple[List[int], List[int], List[int], List[in
     for _, count in by_lo:
         running += count
         lo_prefix.append(running)
-    return his, hi_prefix, los, lo_prefix
+    arrays = (his, hi_prefix, los, lo_prefix)
+    _CDF_CACHE[tree] = (generation, arrays)
+    return arrays
 
 
 def cdf_bounds(tree: RapTree, value: int) -> Tuple[int, int]:

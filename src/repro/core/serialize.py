@@ -5,9 +5,10 @@ further processing". The format here is line oriented and versioned:
 
 .. code-block:: text
 
-    RAPTREE 1
-    config range_max=256 epsilon=0.01 branching=4
+    RAPTREE 2
+    config range_max=256 epsilon=0.01 branching=4 ...
     events 5
+    scheduler next_at=1024.0 batches_fired=0
     node 0 0 255 2
     node 1 0 63 3
     ...
@@ -16,22 +17,32 @@ further processing". The format here is line oriented and versioned:
 parent of each node is the most recent shallower node — enough to rebuild
 the exact tree without pointers. Round-tripping is exact and is covered
 by property tests.
+
+Version 2 added the ``scheduler`` line and the ``timeline_sample_every``/
+``audit_every`` config fields. Version 1 dumps carried neither, which
+made a reloaded tree think its *first* merge batch was still ahead — a
+tree restored with millions of events would fire the whole geometric
+backlog of merges on its first ``add()``. The version-1 reader kept here
+reconstructs the schedule by fast-forwarding it over every trigger point
+the dumped stream must already have passed.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from .config import RapConfig
 from .node import RapNode
 from .tree import RapTree
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def dump_tree(tree: RapTree) -> str:
     """Serialize ``tree`` to the versioned ASCII format."""
     config = tree.config
+    scheduler = tree.merge_scheduler
     lines: List[str] = [
         f"RAPTREE {_FORMAT_VERSION}",
         (
@@ -42,8 +53,15 @@ def dump_tree(tree: RapTree) -> str:
             f" merge_initial_interval={config.merge_initial_interval}"
             f" merge_growth={config.merge_growth!r}"
             f" min_split_threshold={config.min_split_threshold!r}"
+            f" timeline_sample_every={config.timeline_sample_every}"
+            f" audit_every={config.audit_every}"
         ),
         f"events {tree.events}",
+        (
+            "scheduler"
+            f" next_at={scheduler.next_at!r}"
+            f" batches_fired={scheduler.batches_fired}"
+        ),
     ]
     stack = [(tree.root, 0)]
     while stack:
@@ -55,21 +73,30 @@ def dump_tree(tree: RapTree) -> str:
     return "\n".join(lines)
 
 
+def _parse_fields(line: str, kind: str) -> Dict[str, str]:
+    parts = line.split()
+    if not parts or parts[0] != kind:
+        raise ValueError(f"expected {kind!r} line in dump, got: {line!r}")
+    fields = {}
+    for token in parts[1:]:
+        key, _, value = token.partition("=")
+        fields[key] = value
+    return fields
+
+
 def load_tree(text: str) -> RapTree:
     """Rebuild a :class:`RapTree` from :func:`dump_tree` output."""
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines or not lines[0].startswith("RAPTREE"):
         raise ValueError("not a RAP tree dump (missing RAPTREE header)")
     version = int(lines[0].split()[1])
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported dump version {version}")
-    if len(lines) < 4:
+    header_lines = 3 if version == 1 else 4
+    if len(lines) < header_lines + 1:
         raise ValueError("truncated RAP tree dump")
 
-    config_fields = {}
-    for token in lines[1].split()[1:]:
-        key, _, value = token.partition("=")
-        config_fields[key] = value
+    config_fields = _parse_fields(lines[1], "config")
     config = RapConfig(
         range_max=int(config_fields["range_max"]),
         epsilon=float(config_fields["epsilon"]),
@@ -77,13 +104,25 @@ def load_tree(text: str) -> RapTree:
         merge_initial_interval=int(config_fields["merge_initial_interval"]),
         merge_growth=float(config_fields["merge_growth"]),
         min_split_threshold=float(config_fields["min_split_threshold"]),
+        # Version 1 predates these fields; they default to off.
+        timeline_sample_every=int(
+            config_fields.get("timeline_sample_every", "0")
+        ),
+        audit_every=int(config_fields.get("audit_every", "0")),
     )
     events = int(lines[2].split()[1])
+
+    scheduler_next_at: Optional[float] = None
+    scheduler_batches = 0
+    if version >= 2:
+        scheduler_fields = _parse_fields(lines[3], "scheduler")
+        scheduler_next_at = float(scheduler_fields["next_at"])
+        scheduler_batches = int(scheduler_fields["batches_fired"])
 
     tree = RapTree(config)
     path: List[RapNode] = []
     node_count = 0
-    for line in lines[3:]:
+    for line in lines[header_lines:]:
         parts = line.split()
         if parts[0] != "node":
             raise ValueError(f"unexpected line in dump: {line!r}")
@@ -112,6 +151,18 @@ def load_tree(text: str) -> RapTree:
     # Restore internal accounting that add() would normally maintain.
     tree._events = events  # noqa: SLF001 - deliberate rebuild of internals
     tree._node_count = node_count  # noqa: SLF001
+    scheduler = tree.merge_scheduler
+    if scheduler_next_at is not None:
+        scheduler.next_at = scheduler_next_at
+        scheduler.batches_fired = scheduler_batches
+    else:
+        # Version-1 dumps carry no schedule: reconstruct it by advancing
+        # over every geometric trigger the dumped stream already passed,
+        # so the first post-load add() does not fire the whole backlog
+        # of merges at once.
+        while scheduler.next_at <= events:
+            scheduler.next_at *= scheduler.growth
+            scheduler.batches_fired += 1
     if tree.total_weight() != events:
         raise ValueError(
             f"dump inconsistent: tree weight {tree.total_weight()} != "

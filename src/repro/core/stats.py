@@ -57,14 +57,43 @@ class TreeStats:
 
     def observe(self, events_delta: int, node_count: int) -> None:
         """Record the tree size after processing ``events_delta`` weight."""
-        self.events += events_delta
+        self.observe_weight(events_delta, node_count)
         self.updates += 1
+
+    def observe_weight(self, events_delta: int, node_count: int) -> None:
+        """Record weight without counting an update.
+
+        The counted-add cascade flushes one of these per absorbed run so
+        that ``events``/``node_seconds``/``timeline`` stay consistent at
+        the moment a mid-count merge fires; the enclosing ``add`` then
+        bumps ``updates`` once via :meth:`observe_update`.
+        """
+        self.events += events_delta
         if node_count > self.max_nodes:
             self.max_nodes = node_count
         self.node_seconds += events_delta * node_count
         if self.sample_every > 0 and self.events >= self._next_sample:
             self.timeline.append((self.events, node_count))
             self._next_sample = self.events + self.sample_every
+
+    def observe_update(self) -> None:
+        """Count one ``add`` call (a counted add is one update)."""
+        self.updates += 1
+
+    def observe_batch(
+        self, events_delta: int, updates_delta: int, node_count: int
+    ) -> None:
+        """Flush a fast-path run: many updates at a constant tree size.
+
+        Used by the inline ``extend``/``add_batch`` loops, which only run
+        while no split or merge can fire (so ``node_count`` is constant
+        across the run) and timeline sampling is off.
+        """
+        self.events += events_delta
+        self.updates += updates_delta
+        if node_count > self.max_nodes:
+            self.max_nodes = node_count
+        self.node_seconds += events_delta * node_count
 
     def observe_split(self) -> None:
         self.splits += 1

@@ -15,13 +15,25 @@ over ranges of an integer universe ``[0, R-1]``. Three operations exist:
 Counters are never decremented: RAP merges data rather than sampling or
 filtering it, so every event is accounted for in *some* range, and every
 range estimate is a lower bound on the truth (Section 4.3).
+
+Hot-path engineering (see "Performance notes" in ``DESIGN.md``):
+
+* updates remember the last-hit node (*descent cache*) and re-validate it
+  before falling back to a root descent, exploiting the temporal locality
+  of profiled streams;
+* merge passes run an iterative post-order walk over a *dirty frontier* —
+  subtrees untouched since the previous pass carry cached weight
+  aggregates that let the walk skip or wholesale-collapse them without
+  visiting their nodes;
+* ``extend``/``add_batch`` keep per-event work in a tight local loop and
+  only drop into the general ``add`` path around splits and merges.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from .config import MergeScheduler, RapConfig
+from .config import MergeScheduler, RapConfig, split_crossing_point
 from .node import RapNode, partition_range
 from .stats import TreeStats
 
@@ -57,6 +69,14 @@ class RapTree:
         # Debug hook: self-audit every N events (0 = off).
         self._audit_every = config.audit_every
         self._next_audit = config.audit_every
+        # Descent cache: the node the previous update deposited into.
+        # Invalidated by merge passes (the only operation that detaches
+        # live nodes); splits keep the cached node attached, so the cache
+        # survives them.
+        self._cached_node: Optional[RapNode] = None
+        # Mutation epoch for query-side caches (see repro.core.quantiles).
+        # Bumped whenever counters or structure change.
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -85,6 +105,16 @@ class RapTree:
         return self._stats
 
     @property
+    def mutation_generation(self) -> int:
+        """Epoch counter bumped on every mutation of the profile.
+
+        Query-side caches (e.g. the CDF arrays in
+        :mod:`repro.core.quantiles`) key on this to know when their
+        derived data is stale without subscribing to tree internals.
+        """
+        return self._generation
+
+    @property
     def split_threshold(self) -> float:
         """Current value of ``epsilon * n / log_b(R)`` (with floor)."""
         raw = self._eps_over_height * self._events
@@ -107,16 +137,20 @@ class RapTree:
 
         The event is routed to the smallest existing range covering it
         and that counter is incremented; a split fires when the counter
-        crosses the split threshold, and a batched merge fires if the
-        schedule says one is due.
+        crosses the split threshold, and a batched merge fires whenever
+        the schedule says one is due — including *mid-count*, so that a
+        counted add is unit-for-unit identical to calling
+        ``add(value)`` ``count`` times (Section 3.3's equivalence claim).
 
-        Counted adds *cascade*: when the target counter would blow past
-        the threshold, it absorbs only up to the threshold, splits, and
-        the remainder descends into the new child — exactly what the
-        hardware does by flushing the pipeline and re-entering buffered
-        events after a split (Section 3.3, stage 0). This keeps combined
-        updates equivalent to one-at-a-time arrival, so buffering does
-        not degrade the summarization accuracy.
+        Counted adds *cascade*: the split threshold is re-evaluated for
+        every absorbed unit (unit ``m`` of the run sees
+        ``threshold(events + m)``), the counter absorbs exactly up to the
+        unit whose arrival crosses it, splits, and the remainder descends
+        into the new child — exactly what the hardware does by flushing
+        the pipeline and re-entering buffered events after a split
+        (Section 3.3, stage 0). This keeps combined updates equivalent to
+        one-at-a-time arrival, so buffering does not degrade the
+        summarization accuracy.
         """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
@@ -125,11 +159,37 @@ class RapTree:
             raise ValueError(
                 f"value {value} outside universe [0, {root.hi}]"
             )
-        node = root
+        self._absorb(self._locate(value), value, count)
+        self._generation += 1
+        self._stats.observe_update()
+
+        if self._scheduler.due(self._events):
+            self.merge_now()
+
+        if self._audit_every and self._events >= self._next_audit:
+            while self._next_audit <= self._events:
+                self._next_audit += self._audit_every
+            self.audit()
+
+    def _locate(self, value: int) -> RapNode:
+        """Find the smallest covering node, starting from the cache.
+
+        Walks up from the cached last-hit node to its nearest ancestor
+        covering ``value`` (range nesting guarantees the global smallest
+        covering node lies below that ancestor), then descends. With no
+        cache this is the plain root descent.
+        """
+        node = self._cached_node
+        if node is None:
+            node = self._root
+        else:
+            while value < node.lo or node.hi < value:
+                node = node.parent
+                assert node is not None, "no covering ancestor in cache walk"
         while True:
             kids = node.children
             if not kids:
-                break
+                return node
             low, high = 0, len(kids) - 1
             found = None
             while low <= high:
@@ -143,62 +203,310 @@ class RapTree:
                     found = kid
                     break
             if found is None:
-                break
+                return node
             node = found
-        self._events += count
 
-        threshold = self._eps_over_height * self._events
-        if threshold < self._min_threshold:
-            threshold = self._min_threshold
+    def _absorb(self, node: RapNode, value: int, count: int) -> None:
+        """Deposit ``count`` units of ``value`` starting at ``node``.
 
+        Unit-for-unit identical to single adds: instead of looping per
+        unit, closed forms give the next *split boundary* (the unit whose
+        arrival pushes the counter over its own threshold — see
+        :func:`repro.core.config.split_crossing_point`) and the next
+        *merge boundary* (the unit that reaches the scheduler's trigger),
+        and whole runs up to the nearest boundary are absorbed in one
+        step. Splits and mid-count merges then fire exactly where the
+        unit-by-unit loop would have fired them.
+        """
         remaining = count
+        events = self._events
+        eps_h = self._eps_over_height
+        min_th = self._min_threshold
+        scheduler = self._scheduler
+        stats = self._stats
         while True:
-            if node.lo == node.hi:
-                node.count += remaining
-                break
-            if node.count + remaining > threshold:
-                absorb = int(threshold) + 1 - node.count
-                if absorb >= remaining:
-                    node.count += remaining
-                    self._split(node)
-                    break
-                if absorb > 0:
-                    node.count += absorb
-                    remaining -= absorb
+            # Units until the merge trigger: smallest m with
+            # events + m >= next_at (merges are never left overdue, but
+            # guard to 1 so a stale schedule cannot wedge the loop).
+            next_at = scheduler.next_at
+            m_merge = int(next_at - events)
+            if events + m_merge < next_at:
+                m_merge += 1
+            if m_merge < 1:
+                m_merge = 1
+            m = remaining if remaining < m_merge else m_merge
+
+            m_split = 0
+            if node.lo != node.hi:
+                c0 = node.count
+                # Endpoint check: (c0 + j) - threshold(j) grows with j,
+                # so if unit m does not cross, no earlier unit does.
+                cap_th = eps_h * (events + m)
+                if cap_th < min_th:
+                    cap_th = min_th
+                if c0 + m > cap_th:
+                    th1 = eps_h * (events + 1)
+                    if th1 < min_th:
+                        th1 = min_th
+                    if c0 > int(th1):
+                        # Counter already over threshold before absorbing
+                        # anything (merge churn re-deposited weight):
+                        # split without absorbing and push the whole run
+                        # down to the covering child.
+                        self._split(node)
+                        node = node.child_covering(value)
+                        assert node is not None, "split left the value uncovered"
+                        continue
+                    m_split = split_crossing_point(c0, events, eps_h, min_th)
+                    if 0 < m_split < m:
+                        m = m_split
+
+            node.count += m
+            events += m
+            remaining -= m
+            self._events = events
+            walker: Optional[RapNode] = node
+            while walker is not None and not walker.dirty:
+                walker.dirty = True
+                walker = walker.parent
+            split_now = m_split != 0 and m == m_split
+            if split_now:
+                # The crossing unit always absorbs then splits: its
+                # pre-arrival count is at or below int(threshold).
                 self._split(node)
-                next_node = node.child_covering(value)
-                assert next_node is not None, "split left the value uncovered"
-                node = next_node
+            stats.observe_weight(m, self._node_count)
+
+            if events >= next_at:
+                self.merge_now()
+                if not remaining:
+                    return
+                # The merge may have collapsed our position; re-descend.
+                node = self._locate(value)
+            elif not remaining:
+                self._cached_node = node
+                return
             else:
-                node.count += remaining
-                break
-
-        self._stats.observe(count, self._node_count)
-
-        if self._scheduler.due(self._events):
-            self.merge_now()
-
-        if self._audit_every and self._events >= self._next_audit:
-            while self._next_audit <= self._events:
-                self._next_audit += self._audit_every
-            self.audit()
+                # A split boundary was hit with units left: descend.
+                node = node.child_covering(value)
+                assert node is not None, "split left the value uncovered"
 
     def extend(self, values: Iterable[int]) -> None:
-        """Feed a stream of single events."""
+        """Feed a stream of single events.
+
+        Runs a tight inline loop for the common case — the event lands in
+        the cached leaf, no split or merge is due — and falls back to the
+        full :meth:`add` path otherwise. Observably identical to calling
+        ``add`` per value; with timeline sampling or self-audits enabled
+        the per-event path is used outright so those hooks see every
+        event.
+        """
+        stats = self._stats
         add = self.add
-        for value in values:
-            add(value)
+        if stats.sample_every > 0 or self._audit_every:
+            for value in values:
+                add(value)
+            return
+        root = self._root
+        root_hi = root.hi
+        eps_h = self._eps_over_height
+        min_th = self._min_threshold
+        scheduler = self._scheduler
+        events = self._events
+        next_at = scheduler.next_at
+        node_count = self._node_count
+        cache = self._cached_node
+        pending_events = 0
+        pending_updates = 0
+        try:
+            for value in values:
+                if 0 <= value <= root_hi:
+                    # Finger search: up from the last-hit node to a
+                    # covering ancestor, then the usual descent.
+                    node = cache
+                    if node is None:
+                        node = root
+                    else:
+                        while value < node.lo or node.hi < value:
+                            node = node.parent
+                    kids = node.children
+                    while kids:
+                        low, high = 0, len(kids) - 1
+                        found = None
+                        while low <= high:
+                            mid = (low + high) // 2
+                            kid = kids[mid]
+                            if value < kid.lo:
+                                high = mid - 1
+                            elif value > kid.hi:
+                                low = mid + 1
+                            else:
+                                found = kid
+                                break
+                        if found is None:
+                            break
+                        node = found
+                        kids = node.children
+                    n = events + 1
+                    if n < next_at:
+                        if node.lo == node.hi:
+                            fits = True
+                        else:
+                            threshold = eps_h * n
+                            if threshold < min_th:
+                                threshold = min_th
+                            fits = node.count + 1 <= threshold
+                        if fits:
+                            node.count += 1
+                            events = n
+                            cache = node
+                            pending_events += 1
+                            pending_updates += 1
+                            if not node.dirty:
+                                walker = node
+                                while walker is not None and not walker.dirty:
+                                    walker.dirty = True
+                                    walker = walker.parent
+                            continue
+                # Slow path (split or merge due, or out-of-universe value):
+                # sync deferred state, take the general add, then re-sync
+                # the loop-local mirrors.
+                self._events = events
+                self._cached_node = cache
+                if pending_events:
+                    stats.observe_batch(
+                        pending_events, pending_updates, node_count
+                    )
+                    pending_events = 0
+                    pending_updates = 0
+                add(value)
+                events = self._events
+                next_at = scheduler.next_at
+                node_count = self._node_count
+                cache = self._cached_node
+        finally:
+            self._events = events
+            self._cached_node = cache
+            if pending_events:
+                stats.observe_batch(pending_events, pending_updates, node_count)
+                self._generation += 1
 
     def add_counted(self, pairs: Iterable[Tuple[int, int]]) -> None:
-        """Feed pre-combined ``(value, count)`` pairs.
+        """Feed pre-combined ``(value, count)`` pairs in order.
 
         This is the software analogue of the hardware event buffer that
         combines duplicate events before they reach the RAP engine
-        (Section 3.3, stage 0).
+        (Section 3.3, stage 0). Order is preserved; for value-sorted
+        batches prefer :meth:`add_batch`, which shares descents between
+        neighbouring values.
         """
         add = self.add
         for value, count in pairs:
             add(value, count)
+
+    def add_batch(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Feed ``(value, count)`` pairs, sorted once and routed in runs.
+
+        The batch kernel behind :meth:`add_stream`: pairs are sorted by
+        value so consecutive updates land in the same or a neighbouring
+        subtree, then each pair takes a tight inline path when it fits
+        entirely in the cached leaf below every threshold — splits,
+        merges and cache misses drop to the general :meth:`add` path,
+        whose finger search (:meth:`_locate`) re-routes through the
+        shared prefix instead of re-descending from the root. Observably
+        identical to ``add_counted(sorted(pairs))``.
+        """
+        items = sorted(pairs)
+        stats = self._stats
+        add = self.add
+        if stats.sample_every > 0 or self._audit_every:
+            for value, count in items:
+                add(value, count)
+            return
+        root = self._root
+        root_hi = root.hi
+        eps_h = self._eps_over_height
+        min_th = self._min_threshold
+        scheduler = self._scheduler
+        events = self._events
+        next_at = scheduler.next_at
+        node_count = self._node_count
+        cache = self._cached_node
+        pending_events = 0
+        pending_updates = 0
+        try:
+            for value, count in items:
+                if count > 0 and 0 <= value <= root_hi:
+                    # Finger search from the previous pair's node: sorted
+                    # order makes this a short hop through the shared
+                    # prefix rather than a fresh root descent.
+                    node = cache
+                    if node is None:
+                        node = root
+                    else:
+                        while value < node.lo or node.hi < value:
+                            node = node.parent
+                    kids = node.children
+                    while kids:
+                        low, high = 0, len(kids) - 1
+                        found = None
+                        while low <= high:
+                            mid = (low + high) // 2
+                            kid = kids[mid]
+                            if value < kid.lo:
+                                high = mid - 1
+                            elif value > kid.hi:
+                                low = mid + 1
+                            else:
+                                found = kid
+                                break
+                        if found is None:
+                            break
+                        node = found
+                        kids = node.children
+                    n = events + count
+                    if n < next_at:
+                        if node.lo == node.hi:
+                            fits = True
+                        else:
+                            # Endpoint check: if the last unit of the run
+                            # stays at or below its threshold, so does
+                            # every earlier unit (the margin only shrinks
+                            # as units arrive).
+                            threshold = eps_h * n
+                            if threshold < min_th:
+                                threshold = min_th
+                            fits = node.count + count <= threshold
+                        if fits:
+                            node.count += count
+                            events = n
+                            cache = node
+                            pending_events += count
+                            pending_updates += 1
+                            if not node.dirty:
+                                walker = node
+                                while walker is not None and not walker.dirty:
+                                    walker.dirty = True
+                                    walker = walker.parent
+                            continue
+                self._events = events
+                self._cached_node = cache
+                if pending_events:
+                    stats.observe_batch(
+                        pending_events, pending_updates, node_count
+                    )
+                    pending_events = 0
+                    pending_updates = 0
+                add(value, count)
+                events = self._events
+                next_at = scheduler.next_at
+                node_count = self._node_count
+                cache = self._cached_node
+        finally:
+            self._events = events
+            self._cached_node = cache
+            if pending_events:
+                stats.observe_batch(pending_events, pending_updates, node_count)
+                self._generation += 1
 
     def add_stream(self, values: Iterable[int], combine_chunk: int = 0) -> None:
         """Feed a stream, optionally combining duplicates per chunk.
@@ -207,7 +515,8 @@ class RapTree:
         that many events; duplicates within a chunk are merged into one
         counted update, mirroring the paper's software advice that "the
         input data should be buffered to some extent and duplicate values
-        should be merged together" (Section 3).
+        should be merged together" (Section 3). Each combined chunk goes
+        through the :meth:`add_batch` kernel.
         """
         if combine_chunk <= 0:
             self.extend(values)
@@ -218,11 +527,11 @@ class RapTree:
             chunk[value] = chunk.get(value, 0) + 1
             pending += 1
             if pending >= combine_chunk:
-                self.add_counted(sorted(chunk.items()))
+                self.add_batch(chunk.items())
                 chunk.clear()
                 pending = 0
         if chunk:
-            self.add_counted(sorted(chunk.items()))
+            self.add_batch(chunk.items())
 
     # ------------------------------------------------------------------
     # Split
@@ -236,6 +545,10 @@ class RapTree:
         Cells already occupied by surviving children (possible after a
         partial merge) are left alone — this is the paper's "identifying
         the new parent of the existing children" case from Section 3.3.
+
+        The chain up to the root is marked dirty: the new zero-count
+        children are trivially collapsible, so the next merge pass must
+        not skip this subtree on stale cached aggregates.
         """
         existing = {(child.lo, child.hi) for child in node.children}
         created = 0
@@ -245,6 +558,10 @@ class RapTree:
             node.attach_child(RapNode(lo, hi, count=0))
             created += 1
         self._node_count += created
+        walker: Optional[RapNode] = node
+        while walker is not None and not walker.dirty:
+            walker.dirty = True
+            walker = walker.parent
         self._stats.observe_split()
 
     # ------------------------------------------------------------------
@@ -258,37 +575,91 @@ class RapTree:
         is at most the merge threshold into its parent's counter. Because
         weights are summed into the parent (a valid super-range), no
         event is ever lost (Section 2.2, "Merge").
+
+        The walk is iterative (no recursion limit on deep universes) and
+        incremental: subtrees untouched since the previous pass carry
+        cached aggregates — total subtree weight and the minimum subtree
+        weight over all their nodes — so a clean subtree is either
+        skipped outright (its minimum exceeds the threshold: nothing in
+        it can collapse, and thresholds only grow) or collapsed wholesale
+        without walking its interior. Produces exactly the tree a full
+        post-order walk would.
         """
         threshold = self._config.merge_threshold(self._events)
         before = self._node_count
-        self._merge_subtree(self._root, threshold)
+        visited = self._merge_frontier(threshold)
         removed = before - self._node_count
-        # The walk visits every node once: scan work == pre-merge size.
-        self._stats.observe_merge_batch(removed, nodes_scanned=before)
+        self._stats.observe_merge_batch(removed, nodes_scanned=visited)
         self._scheduler.fired(self._events)
+        self._cached_node = None
+        self._generation += 1
         return removed
 
-    def _merge_subtree(self, node: RapNode, threshold: float) -> int:
-        """Post-order merge walk; returns the subtree weight of ``node``.
+    def _merge_frontier(self, threshold: float) -> int:
+        """Dirty-frontier post-order merge; returns nodes examined.
 
-        A child whose subtree weight is at most ``threshold`` has, by the
-        same test, already had all of *its* descendants collapsed into it,
-        so it is a leaf by the time it is absorbed here.
+        Frames carry ``[node, next_child_index, weight_accumulator,
+        kept_children]``; the weight accumulator starts at the node's own
+        counter and collects each child's subtree weight, so on finalize
+        it equals the subtree weight — at which point the node's cached
+        aggregates are refreshed and it is marked clean.
         """
-        weight = node.count
-        if node.children:
-            kept: List[RapNode] = []
-            for child in node.children:
-                child_weight = self._merge_subtree(child, threshold)
-                weight += child_weight
-                if child_weight <= threshold:
-                    node.count += child_weight
-                    child.parent = None
+        root = self._root
+        if not root.dirty and root.cached_min > threshold:
+            return 1
+        visited = 1
+        frames: List[list] = [[root, 0, root.count, []]]
+        while frames:
+            frame = frames[-1]
+            node = frame[0]
+            kids = node.children
+            index = frame[1]
+            if index < len(kids):
+                frame[1] = index + 1
+                child = kids[index]
+                if not child.dirty:
+                    visited += 1
+                    child_weight = child.cached_weight
+                    if child_weight <= threshold:
+                        # Unchanged subtree at or below threshold:
+                        # collapse it wholesale without walking it.
+                        node.count += child_weight
+                        self._node_count -= child.subtree_size()
+                        child.parent = None
+                        frame[2] += child_weight
+                        continue
+                    if child.cached_min > threshold:
+                        # Nothing inside can collapse; keep as is.
+                        frame[2] += child_weight
+                        frame[3].append(child)
+                        continue
+                visited += 1
+                frames.append([child, 0, child.count, []])
+                continue
+            # All children resolved: finalize this node.
+            frames.pop()
+            weight = frame[2]
+            kept = frame[3]
+            node.children = kept
+            node.cached_weight = weight
+            minimum = weight
+            for child in kept:
+                if child.cached_min < minimum:
+                    minimum = child.cached_min
+            node.cached_min = minimum
+            node.dirty = False
+            if frames:
+                parent_frame = frames[-1]
+                parent_frame[2] += weight
+                if weight <= threshold:
+                    # By the same test every child already collapsed into
+                    # this node, so it is a leaf here (kept is empty).
+                    parent_frame[0].count += weight
+                    node.parent = None
                     self._node_count -= 1
                 else:
-                    kept.append(child)
-            node.children = kept
-        return weight
+                    parent_frame[3].append(node)
+        return visited
 
     @property
     def merge_scheduler(self) -> MergeScheduler:
@@ -412,14 +783,19 @@ class RapTree:
         * children are sorted, disjoint cells of their parent's partition;
         * parent pointers are consistent;
         * all counters are non-negative and sum to ``events``;
-        * the cached node count matches the actual tree size.
+        * the cached node count matches the actual tree size;
+        * merge-frontier caches cohere: every clean node has only clean
+          descendants and its cached weight/minimum describe its live
+          subtree exactly.
         """
         seen = 0
         weight = 0
+        order: List[RapNode] = []
         stack = [self._root]
         branching = self._config.branching
         while stack:
             node = stack.pop()
+            order.append(node)
             seen += 1
             weight += node.count
             assert node.count >= 0, f"negative counter at {node!r}"
@@ -442,6 +818,35 @@ class RapTree:
         assert weight == self._events, (
             f"tree weight {weight} != events {self._events}"
         )
+        # Merge-frontier cache coherence. ``order`` is a pre-order, so
+        # reversing it visits children before parents.
+        weights: Dict[int, int] = {}
+        minima: Dict[int, int] = {}
+        for node in reversed(order):
+            subtree = node.count
+            minimum: Optional[int] = None
+            for child in node.children:
+                subtree += weights[id(child)]
+                child_min = minima[id(child)]
+                if minimum is None or child_min < minimum:
+                    minimum = child_min
+            if minimum is None or subtree < minimum:
+                minimum = subtree
+            weights[id(node)] = subtree
+            minima[id(node)] = minimum
+            if not node.dirty:
+                for child in node.children:
+                    assert not child.dirty, (
+                        f"clean node {node!r} has dirty child {child!r}"
+                    )
+                assert node.cached_weight == subtree, (
+                    f"clean node {node!r} caches weight "
+                    f"{node.cached_weight} != actual {subtree}"
+                )
+                assert node.cached_min == minimum, (
+                    f"clean node {node!r} caches min {node.cached_min} "
+                    f"!= actual {minimum}"
+                )
 
     def __len__(self) -> int:
         return self._node_count

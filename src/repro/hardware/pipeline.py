@@ -26,7 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..core.config import MergeScheduler, RapConfig, bits_for_range
+from ..core.config import (
+    MergeScheduler,
+    RapConfig,
+    bits_for_range,
+    split_crossing_point,
+)
 from ..core.node import partition_range
 from .arbiter import PriorityArbiter
 from .event_buffer import CombiningEventBuffer
@@ -216,10 +221,12 @@ class PipelinedRapEngine:
         if not 0 <= value < self.config.range_max:
             raise ValueError(f"value {value} outside universe")
 
-        self._events += count
         self.stats.events += count
         self.stats.records += 1
-        threshold = self.threshold_register
+        eps_h = self._eps_over_height
+        min_th = self._min_threshold
+        scheduler = self._scheduler
+        events = self._events
 
         remaining = count
         while True:
@@ -231,36 +238,75 @@ class PipelinedRapEngine:
             node = self._nodes[winner]
             self.stats.update_cycles += self.params.update_cycles
 
-            # Stage 3 + 4: counter update, compared against the
-            # threshold register.
+            # Stage 3 + 4: counter update against the threshold register.
+            # The register tracks the event total, so unit m of the run
+            # sees threshold(events + m) — the same per-unit evaluation
+            # as the software cascade, which keeps the two engines
+            # bit-identical on counted records. Closed forms find the
+            # next split or merge boundary so whole runs are absorbed
+            # per SRAM access.
             current = self.sram.read(node.slot)
-            if node.lo == node.hi:
-                self.sram.write(node.slot, current + remaining)
-                break
-            if current + remaining > threshold:
-                absorb = int(threshold) + 1 - current
-                if absorb >= remaining:
-                    self.sram.write(node.slot, current + remaining)
-                    self._split(node)
-                    break
-                if absorb > 0:
-                    self.sram.write(node.slot, current + absorb)
-                    remaining -= absorb
-                split_done = self._split(node)
-                if not split_done:
+            next_at = scheduler.next_at
+            m_merge = int(next_at - events)
+            if events + m_merge < next_at:
+                m_merge += 1
+            if m_merge < 1:
+                m_merge = 1
+            m = remaining if remaining < m_merge else m_merge
+
+            m_split = 0
+            if node.lo != node.hi:
+                cap_th = eps_h * (events + m)
+                if cap_th < min_th:
+                    cap_th = min_th
+                if current + m > cap_th:
+                    th1 = eps_h * (events + 1)
+                    if th1 < min_th:
+                        th1 = min_th
+                    if current > int(th1):
+                        # Over threshold before absorbing anything
+                        # (merge churn re-deposited weight): split,
+                        # flush, and re-enter the whole run.
+                        if self._split(node):
+                            self.stats.reentries += 1
+                            continue
+                        # Capacity exhausted: the run stays at this
+                        # precision.
+                        self.sram.write(node.slot, current + remaining)
+                        events += remaining
+                        self._events = events
+                        if events >= next_at:
+                            self._merge_batch()
+                        break
+                    m_split = split_crossing_point(
+                        current, events, eps_h, min_th
+                    )
+                    if 0 < m_split < m:
+                        m = m_split
+
+            self.sram.write(node.slot, current + m)
+            events += m
+            remaining -= m
+            self._events = events
+            if m_split != 0 and m == m_split:
+                if not self._split(node) and remaining:
                     # Capacity exhausted: the rest stays at this precision.
                     self.sram.write(
                         node.slot, self.sram.read(node.slot) + remaining
                     )
-                    break
-                # Pipeline flush: the remainder re-enters from the buffer.
-                self.stats.reentries += 1
-            else:
-                self.sram.write(node.slot, current + remaining)
+                    events += remaining
+                    remaining = 0
+                    self._events = events
+            if events >= next_at:
+                # Mid-record merge batches fire exactly where the
+                # schedule puts them, as in the software tree.
+                self._merge_batch()
+            if not remaining:
                 break
+            # Pipeline flush (split or merge): the remainder re-enters
+            # from the buffer.
+            self.stats.reentries += 1
 
-        if self._scheduler.due(self._events):
-            self._merge_batch()
         self.stats.max_rows = max(self.stats.max_rows, len(self._nodes))
 
     # ------------------------------------------------------------------

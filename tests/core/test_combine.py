@@ -81,6 +81,42 @@ class TestCombineTrees:
         combined.check_invariants()
 
 
+class TestEpsilonMismatch:
+    def test_rejects_mismatched_epsilon(self):
+        first = tree_of([1, 2, 3] * 20, epsilon=0.05)
+        second = tree_of([500] * 60, epsilon=0.01)
+        with pytest.raises(ValueError, match="epsilon"):
+            combine_trees(first, second)
+        with pytest.raises(ValueError, match="epsilon"):
+            combine_many([first, second])
+
+    def test_escape_hatch_records_max_epsilon(self):
+        first = tree_of([1, 2, 3] * 20, epsilon=0.05)
+        second = tree_of([500] * 60, epsilon=0.01)
+        combined = combine_trees(
+            first, second, allow_mismatched_epsilon=True
+        )
+        assert combined.config.epsilon == 0.05
+        assert combined.events == first.events + second.events
+        combined.check_invariants()
+
+    def test_escape_hatch_keeps_other_config(self):
+        first = tree_of([1] * 50, epsilon=0.01)
+        second = tree_of([2] * 50, epsilon=0.08)
+        combined = combine_many(
+            [first, second], allow_mismatched_epsilon=True
+        )
+        assert combined.config.epsilon == 0.08
+        assert combined.config.range_max == UNIVERSE
+        assert combined.config.branching == first.config.branching
+
+    def test_matched_epsilon_needs_no_flag(self):
+        first = tree_of([1] * 50)
+        second = tree_of([2] * 50)
+        combined = combine_trees(first, second)
+        assert combined.config.epsilon == first.config.epsilon
+
+
 class TestCombineMany:
     def test_requires_at_least_one(self):
         with pytest.raises(ValueError):

@@ -67,8 +67,9 @@ class TestCombineAcrossGranularities:
     def test_fine_counts_enter_coarse_destination(self):
         """Combining materializes partition paths missing in the target.
 
-        The result adopts the *first* tree's configuration, so the fine
-        profile goes first to keep its resolution policy.
+        The epsilon mismatch is deliberate (fine 1% profile into a
+        coarse never-split one), so the combine opts into the
+        larger-epsilon guarantee explicitly.
         """
         fine = quiet_tree(epsilon=0.01)
         for _ in range(1_000):
@@ -76,7 +77,9 @@ class TestCombineAcrossGranularities:
         coarse = quiet_tree(epsilon=1.0, min_split_threshold=10**9)
         for value in range(100):
             coarse.add(value)  # never splits: all weight on the root
-        combined = combine_trees(fine, coarse)
+        combined = combine_trees(
+            fine, coarse, allow_mismatched_epsilon=True
+        )
         combined.check_invariants()
         assert combined.events == 1_100
         # The fine-grained knowledge about 42 survives the combination.
@@ -89,7 +92,9 @@ class TestCombineAcrossGranularities:
             fine.add(42)
         coarse = quiet_tree(epsilon=1.0, min_split_threshold=10**9)
         coarse.add(1)
-        recoarsened = combine_trees(coarse, fine)
+        recoarsened = combine_trees(
+            coarse, fine, allow_mismatched_epsilon=True
+        )
         recoarsened.check_invariants()
         # Weight conserved, but the coarse policy folds it to the root.
         assert recoarsened.events == 1_001

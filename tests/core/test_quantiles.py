@@ -110,6 +110,45 @@ class TestQuantileBounds:
             quantile_bounds(empty, 0.5)
 
 
+class TestCdfArrayCache:
+    def test_cache_hit_between_queries(self):
+        from repro.core import quantiles as q
+
+        tree = profiled(range(1000))
+        first = q._cdf_arrays(tree)
+        assert q._cdf_arrays(tree) is first
+
+    def test_cache_invalidated_by_add(self):
+        from repro.core import quantiles as q
+
+        tree = profiled(range(1000))
+        before = q._cdf_arrays(tree)
+        low_before, high_before = cdf_bounds(tree, 500)
+        tree.add(100, 500)
+        assert q._cdf_arrays(tree) is not before
+        low_after, high_after = cdf_bounds(tree, 500)
+        assert high_after >= high_before + 500
+
+    def test_cache_invalidated_by_merge(self):
+        from repro.core import quantiles as q
+
+        tree = profiled(range(2000))
+        before = q._cdf_arrays(tree)
+        tree.merge_now()
+        assert q._cdf_arrays(tree) is not before
+        # Brackets computed after the merge still bracket the truth.
+        low, high = cdf_bounds(tree, 999)
+        assert low <= 1000 <= high
+
+    def test_cache_invalidated_by_extend_fast_path(self):
+        from repro.core import quantiles as q
+
+        tree = profiled(range(1000))
+        before = q._cdf_arrays(tree)
+        tree.extend([7] * 50)
+        assert q._cdf_arrays(tree) is not before
+
+
 class TestQuantileProperties:
     @given(
         values=st.lists(

@@ -21,10 +21,11 @@ class TestDumpFormat:
     def test_header_and_sections(self):
         text = dump_tree(sample_tree())
         lines = text.splitlines()
-        assert lines[0] == "RAPTREE 1"
+        assert lines[0] == "RAPTREE 2"
         assert lines[1].startswith("config range_max=256")
         assert lines[2].startswith("events ")
-        assert lines[3].startswith("node 0 0 255 ")
+        assert lines[3].startswith("scheduler next_at=")
+        assert lines[4].startswith("node 0 0 255 ")
 
     def test_is_pure_ascii(self):
         text = dump_tree(sample_tree())
@@ -57,7 +58,7 @@ class TestLoad:
             load_tree("hello world")
 
     def test_rejects_unknown_version(self):
-        text = dump_tree(sample_tree()).replace("RAPTREE 1", "RAPTREE 99")
+        text = dump_tree(sample_tree()).replace("RAPTREE 2", "RAPTREE 99")
         with pytest.raises(ValueError, match="version"):
             load_tree(text)
 
@@ -100,6 +101,66 @@ class TestLoad:
         tree.add(5)
         clone = load_tree(dump_tree(tree))
         assert clone.config == tree.config
+
+
+class TestSchedulerState:
+    def test_scheduler_round_trips(self):
+        tree = sample_tree()
+        scheduler = tree.merge_scheduler
+        clone = load_tree(dump_tree(tree))
+        assert clone.merge_scheduler.next_at == scheduler.next_at
+        assert clone.merge_scheduler.batches_fired == scheduler.batches_fired
+
+    def test_no_spurious_merge_on_first_post_load_add(self):
+        tree = RapTree(
+            RapConfig(range_max=256, epsilon=0.05, merge_initial_interval=64)
+        )
+        for value in range(200):
+            tree.add(value % 256)
+        clone = load_tree(dump_tree(tree))
+        batches_before = clone.stats.merge_batches
+        clone.add(7)
+        # The schedule was restored, so no merge is due until the next
+        # genuine geometric trigger.
+        assert clone.stats.merge_batches == batches_before
+        assert clone.merge_scheduler.next_at > clone.events
+
+    def test_full_config_round_trips(self):
+        tree = RapTree(
+            RapConfig(
+                range_max=1024,
+                epsilon=0.013,
+                timeline_sample_every=50,
+                audit_every=500,
+            )
+        )
+        tree.add(5)
+        clone = load_tree(dump_tree(tree))
+        assert clone.config == tree.config
+
+    def test_version1_reader_fast_forwards_scheduler(self):
+        tree = sample_tree()
+        text = dump_tree(tree)
+        lines = [
+            line
+            for line in text.splitlines()
+            if not line.startswith("scheduler")
+        ]
+        lines[0] = "RAPTREE 1"
+        lines[1] = (
+            lines[1]
+            .replace(" timeline_sample_every=0", "")
+            .replace(" audit_every=0", "")
+        )
+        clone = load_tree("\n".join(lines) + "\n")
+        assert clone.events == tree.events
+        assert clone.node_count == tree.node_count
+        # The reconstructed schedule has advanced past the dumped event
+        # count: the first post-load add must not fire a merge backlog.
+        assert clone.merge_scheduler.next_at > clone.events
+        batches_before = clone.stats.merge_batches
+        clone.add(7)
+        assert clone.stats.merge_batches == batches_before
 
 
 class TestFiles:

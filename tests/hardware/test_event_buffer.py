@@ -40,6 +40,23 @@ class TestWindows:
         with pytest.raises(ValueError):
             CombiningEventBuffer(capacity=0)
 
+    def test_sorted_drain_emits_value_order(self):
+        buffer = CombiningEventBuffer(capacity=8, sort_records=True)
+        windows = list(buffer.windows([9, 5, 9, 5, 2]))
+        assert windows == [[(2, 1), (5, 2), (9, 2)]]
+
+    def test_sorted_drain_conserves_weight_across_windows(self):
+        events = [9, 1, 9, 4, 4, 4, 0] * 30
+        buffer = CombiningEventBuffer(capacity=13, sort_records=True)
+        total = 0
+        for window in buffer.windows(events):
+            assert window == sorted(window)
+            total += sum(count for _, count in window)
+        assert total == len(events)
+
+    def test_sorting_off_by_default(self):
+        assert CombiningEventBuffer().sort_records is False
+
 
 class TestCombiningFactor:
     def test_repetitive_stream_combines_heavily(self):
