@@ -69,16 +69,21 @@ def run_once(benchmark, func, *args, **kwargs):
 def pytest_sessionfinish(session, exitstatus):
     """Publish the core-throughput numbers as a repo-root JSON artifact.
 
-    Only the micro-benchmarks from ``test_core_throughput.py`` are
-    machine-readable regression baselines; the experiment reproductions
-    keep their human-readable ``_reports/*.txt`` instead.
+    Only the micro-benchmarks from ``test_core_throughput.py`` and
+    ``test_runtime_shards.py`` are machine-readable regression
+    baselines; the experiment reproductions keep their human-readable
+    ``_reports/*.txt`` instead.
     """
     benchsession = getattr(session.config, "_benchmarksession", None)
     if benchsession is None:
         return
     results = []
     for bench in getattr(benchsession, "benchmarks", []):
-        if "test_core_throughput" not in getattr(bench, "fullname", ""):
+        fullname = getattr(bench, "fullname", "")
+        if not any(
+            module in fullname
+            for module in ("test_core_throughput", "test_runtime_shards")
+        ):
             continue
         stats = getattr(bench, "stats", None)
         if stats is None:

@@ -1,0 +1,132 @@
+"""Multi-shard runtime throughput against the single-shard baseline.
+
+The tentpole claim for :mod:`repro.runtime`: partitioning a stream
+across shard workers — duplicate-combining per shard on the producer,
+batched ``add_batch`` on each confined tree — beats the single-shard
+per-event ingest path by >= 2x events/sec at the default 50k scale.
+The multi-shard configuration uses ``shard_epsilon = N * epsilon``
+(equal total node budget, documented ``shard_epsilon * n`` snapshot
+bound) so the comparison holds memory constant; see ``docs/runtime.md``.
+
+The workload is the 64-bit gzip value stream at eps = 1% — the
+"heaviest realistic configuration" from ``test_core_throughput.py`` —
+ingested in 16k-event chunks so ``np.unique`` amortizes per chunk.
+
+These benchmarks feed the same regression lineage as
+``test_core_throughput.py``: their means land in the JSON payload that
+``check_regression.py`` gates in CI (see ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RapConfig
+from repro.core.combine import combine_many
+from repro.runtime import Profiler
+from repro.workloads import benchmark as load_benchmark
+
+EVENTS = int(os.environ.get("RAP_BENCH_EVENTS", "50000"))
+EPSILON = 0.01
+SHARDS = 4
+BATCH = 16_384
+
+
+@pytest.fixture(scope="module")
+def value_stream():
+    stream = load_benchmark("gzip").value_stream(EVENTS, seed=1)
+    return (
+        np.asarray(stream.values, dtype=np.uint64),
+        stream.universe,
+    )
+
+
+def _single_shard(values, universe):
+    """The baseline: one tree, per-event ingest (no partition/combine)."""
+    return Profiler(
+        RapConfig(range_max=universe, epsilon=EPSILON),
+        shards=1,
+        executor="serial",
+    )
+
+
+def _multi_shard(values, universe):
+    """The tentpole path: hash partition, 4 workers, equal node budget."""
+    return Profiler(
+        RapConfig(range_max=universe, epsilon=EPSILON),
+        shards=SHARDS,
+        executor="thread",
+        shard_epsilon=SHARDS * EPSILON,
+        batch_size=BATCH,
+    )
+
+
+def _profile(make_profiler, values, universe):
+    """Full lifecycle: open, ingest, fold, close."""
+    with make_profiler(values, universe) as profiler:
+        profiler.ingest(values)
+        return profiler.snapshot()
+
+
+def test_runtime_single_shard_ingest(benchmark, value_stream):
+    snapshot = benchmark(_profile, _single_shard, *value_stream)
+    assert snapshot.events == EVENTS
+
+
+def test_runtime_multi_shard_ingest(benchmark, value_stream):
+    snapshot = benchmark(_profile, _multi_shard, *value_stream)
+    assert snapshot.events == EVENTS
+
+
+def test_runtime_snapshot_fold(benchmark, value_stream):
+    """Latency of folding 4 populated shards into one snapshot tree."""
+    values, universe = value_stream
+    with _multi_shard(values, universe) as profiler:
+        profiler.ingest(values)
+        profiler.drain()  # folds below then see quiesced shards
+        folded = benchmark(combine_many, profiler.shard_trees())
+    assert folded.events == EVENTS
+
+
+def test_multi_shard_speedup_is_at_least_2x(value_stream):
+    """The ISSUE acceptance gate, asserted only at the full 50k scale.
+
+    Times pure ingest — producer dispatch plus, for the threaded path,
+    ``drain()`` so every accepted batch is actually applied before the
+    clock stops. The snapshot fold is measured separately above.
+    Scaled-down smoke runs (e.g. CI at 10k) still execute both paths —
+    exercising the runtime end to end — but their ratio is dominated by
+    thread start-up and queue handshakes, so the 2x floor applies only
+    at the scale the claim is documented for.
+    """
+    values, universe = value_stream
+
+    def timed_ingest(make_profiler, runs=3):
+        best = float("inf")
+        for _ in range(runs):
+            with make_profiler(values, universe) as profiler:
+                start = time.perf_counter()
+                profiler.ingest(values)
+                if profiler.shards > 1:
+                    profiler.drain()
+                best = min(best, time.perf_counter() - start)
+                assert profiler.snapshot().events == EVENTS
+        return best
+
+    single = timed_ingest(_single_shard)
+    multi = timed_ingest(_multi_shard)
+    speedup = single / multi
+    print(
+        f"\nsingle-shard {EVENTS / single:,.0f} ev/s, "
+        f"{SHARDS}-shard {EVENTS / multi:,.0f} ev/s "
+        f"({speedup:.2f}x)"
+    )
+    if EVENTS >= 50_000:
+        assert speedup >= 2.0, (
+            f"multi-shard ingest only {speedup:.2f}x the single-shard "
+            f"baseline at {EVENTS} events (required >= 2x)"
+        )

@@ -6,20 +6,29 @@ one-pass profiler that summarizes billions of events (PCs, load values,
 memory addresses, ...) into a tree of adaptively refined ranges with a
 user-chosen error bound and stream-length-independent memory.
 
-Quick start::
+Quick start (API v2)::
 
-    from repro import RapConfig, RapTree, find_hot_ranges
+    from repro import Profiler, RapConfig, find_hot_ranges
 
-    tree = RapTree(RapConfig(range_max=2**32, epsilon=0.01))
-    for event in event_stream:
-        tree.add(event)
-    for hot in find_hot_ranges(tree, hot_fraction=0.10):
+    config = RapConfig(range_max=2**32, epsilon=0.01)
+    with Profiler.from_config(config, shards=4) as profiler:
+        profiler.ingest(event_values)          # any int iterable / ndarray
+        snapshot = profiler.snapshot()         # consistent fold of shards
+    for hot in find_hot_ranges(snapshot, hot_fraction=0.10):
         print(hot)
+
+For a single in-process tree without the runtime,
+``RapTree.from_config(config)`` is the direct construction path. The
+v1 C-style calls (``rap_init`` / ``rap_add_points`` / ``rap_finalize``)
+still work but emit ``DeprecationWarning`` — see the migration table in
+``README.md``.
 
 Sub-packages:
 
 * :mod:`repro.core` — the RAP algorithm (trees, thresholds, merges,
-  hot ranges, bounds, the paper's C-style API, multi-dim extension).
+  hot ranges, bounds, combination, multi-dim extension).
+* :mod:`repro.runtime` — sharded concurrent ingestion service
+  (:class:`Profiler`, partitioners, bounded queues, runtime metrics).
 * :mod:`repro.hardware` — cycle-level model of the pipelined RAP engine
   (TCAM, arbiter, SRAM, event buffer) plus an area/energy/delay model.
 * :mod:`repro.workloads` — synthetic SPEC-like benchmark programs that
@@ -42,6 +51,8 @@ from .core import (
     RapProfile,
     RapSummary,
     RapTree,
+    combine_many,
+    combine_trees,
     dump_tree,
     find_hot_ranges,
     hot_tree,
@@ -50,19 +61,25 @@ from .core import (
     rap_finalize,
     rap_init,
 )
+from .runtime import Profiler, RuntimeMetrics, ShardMetrics
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "HotRange",
     "MultiDimConfig",
     "MultiDimRapTree",
+    "Profiler",
     "RapConfig",
     "RapNode",
     "RapProfile",
     "RapSummary",
     "RapTree",
+    "RuntimeMetrics",
+    "ShardMetrics",
     "__version__",
+    "combine_many",
+    "combine_trees",
     "dump_tree",
     "find_hot_ranges",
     "hot_tree",

@@ -211,7 +211,7 @@ class PhaseDetector:
         leaders: List[RapTree] = []
         members: List[List[RapTree]] = []
 
-        tree = RapTree(self.config)
+        tree = RapTree.from_config(self.config)
         start_event = 0
         index = 0
 
@@ -230,7 +230,7 @@ class PhaseDetector:
             windows.append(window)
             index += 1
             start_event += tree.events
-            tree = RapTree(self.config)
+            tree = RapTree.from_config(self.config)
 
         for value in events:
             tree.add(value)

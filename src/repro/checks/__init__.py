@@ -15,7 +15,7 @@ This package makes the invariants mechanical:
   the lower-bound estimate guarantee. Opt in per tree with
   ``RapConfig(audit_every=N)`` or per trace with ``rap audit``.
 * :mod:`repro.checks.lint` — a repo-specific AST lint pass (the
-  syntactic rules RAP-LINT001..005) guarding determinism, exact
+  syntactic rules RAP-LINT001..005 and 011) guarding determinism, exact
   integer counters, node encapsulation, annotation coverage and
   wall-clock hygiene. Run it with ``rap lint`` or
   ``python -m repro.checks``.

@@ -217,7 +217,7 @@ def audit_stream(
     config = RapConfig(
         range_max=stream_universe, epsilon=epsilon, branching=branching
     )
-    tree = RapTree(config)
+    tree = RapTree.from_config(config)
     auditor = TreeAuditor()
     result = TraceAuditReport(stream_name=stream_name, epsilon=epsilon)
 

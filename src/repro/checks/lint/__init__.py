@@ -1,7 +1,7 @@
 """Custom AST lint pass over the reproduction source (``rap lint``).
 
 See :mod:`repro.checks.lint.rules` for the syntactic rules
-(RAP-LINT001..005), :mod:`repro.checks.flow.rules` for the
+(RAP-LINT001..005 and 011), :mod:`repro.checks.flow.rules` for the
 flow-sensitive rules (RAP-LINT006..010),
 :mod:`repro.checks.lint.registry` for the combined registry, and
 :mod:`repro.checks.lint.runner` for the driver, suppression comments

@@ -1,6 +1,6 @@
 """The full RAP-LINT rule registry.
 
-Combines the syntactic rules (RAP-LINT001..005, from
+Combines the syntactic rules (RAP-LINT001..005 and 011, from
 :mod:`repro.checks.lint.rules`) with the flow-sensitive rules
 (RAP-LINT006..010, from :mod:`repro.checks.flow.rules`). Everything
 that needs "all the rules" — the runner, ``--select``/``--ignore``

@@ -27,6 +27,12 @@ reproduction:
 * **RAP-LINT005 wall-clock** — deterministic experiment code must not
   read wall clocks (``time.time``, ``perf_counter``,
   ``datetime.now``, ...); timing belongs to the benchmark harness.
+* **RAP-LINT011 direct-tree-construction** — outside ``core/`` (and
+  tests), trees are built through the API v2 constructors —
+  ``RapTree.from_config(config)`` for a bare tree,
+  ``Profiler.from_config(config, ...)`` for managed ingestion — so
+  construction sites stay greppable and pick up constructor-level
+  invariants added later.
 """
 
 from __future__ import annotations
@@ -498,6 +504,45 @@ class WallClockRule(Rule):
                 )
 
 
+class DirectTreeConstructionRule(Rule):
+    code = "RAP-LINT011"
+    name = "direct-tree-construction"
+    rationale = (
+        "API v2 routes tree construction through RapTree.from_config / "
+        "Profiler.from_config outside core/, keeping construction sites "
+        "greppable and future constructor invariants enforceable"
+    )
+    example = "tree = RapTree(config)          # outside repro.core"
+    fix = (
+        "use RapTree.from_config(config), or Profiler.from_config("
+        "config, ...) when the stream should go through the sharded "
+        "runtime"
+    )
+
+    # core/ owns the class and may construct it directly (the v2
+    # constructors themselves live there).
+    _exempt_scopes = ("core/",)
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if context.in_package(*self._exempt_scopes):
+            return
+        aliases = _import_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolved_call_name(node, aliases)
+            if resolved is None:
+                continue
+            if resolved == "RapTree" or resolved.endswith(".RapTree"):
+                yield self.violation(
+                    context,
+                    node,
+                    "direct RapTree(...) construction outside "
+                    "repro.core; use RapTree.from_config(config) or "
+                    "Profiler.from_config(config, ...)",
+                )
+
+
 #: The purely syntactic rules defined in this module. The full
 #: registry — these plus the flow-sensitive RAP-LINT006..010 — lives in
 #: :mod:`repro.checks.lint.registry`.
@@ -509,5 +554,6 @@ SYNTACTIC_RULES: Dict[str, Rule] = {
         NodeEncapsulationRule(),
         MissingAnnotationsRule(),
         WallClockRule(),
+        DirectTreeConstructionRule(),
     )
 }

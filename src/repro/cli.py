@@ -14,12 +14,16 @@ Commands:
   flow).
 * ``rap diff <path_a> <path_b>`` — profile two trace files and diff
   them range by range.
+* ``rap serve <benchmark> <kind> [--shards N]`` — drive a stream through
+  the sharded ingestion runtime (:class:`repro.runtime.Profiler`) in
+  batches and report per-shard runtime metrics plus the snapshot's
+  hot-range tree.
 * ``rap audit <path> [--epsilon E]`` — replay a trace under the
   structural invariant auditor (``repro.checks``) and verify the
   estimate guarantees against an exact oracle.
 * ``rap lint [paths...]`` — run the repo-specific RAP-LINT rules (the
   syntactic AST rules plus the flow-sensitive dataflow rules).
-  ``--strict`` forces all ten rules on; ``--explain RAP-LINTNNN``
+  ``--strict`` forces all eleven rules on; ``--explain RAP-LINTNNN``
   prints a rule's rationale, example violation, and suggested fix.
 
 Operational errors — an unknown experiment id, an unreadable or corrupt
@@ -100,6 +104,37 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("path_b")
     diff.add_argument("--epsilon", type=float, default=0.02)
     diff.add_argument("--hot", type=float, default=HOT_FRACTION)
+
+    serve = commands.add_parser(
+        "serve",
+        help="drive a stream through the sharded ingestion runtime",
+    )
+    serve.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    serve.add_argument("kind", choices=["code", "value", "narrow"])
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument(
+        "--executor", choices=["thread", "serial"], default="thread"
+    )
+    serve.add_argument(
+        "--partition", choices=["hash", "range"], default="hash"
+    )
+    serve.add_argument("--epsilon", type=float, default=0.01)
+    serve.add_argument(
+        "--shard-epsilon",
+        type=float,
+        default=None,
+        help=(
+            "per-shard epsilon (default: inherit --epsilon; pass "
+            "shards*epsilon for the equal-memory configuration)"
+        ),
+    )
+    serve.add_argument(
+        "--backpressure", choices=["block", "drop", "spill"], default="block"
+    )
+    serve.add_argument("--batch-size", type=int, default=4096)
+    serve.add_argument("--events", type=int, default=200_000)
+    serve.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    serve.add_argument("--hot", type=float, default=HOT_FRACTION)
 
     audit = commands.add_parser(
         "audit",
@@ -252,6 +287,73 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = diff_profiles(before, after, args.hot)
         print(result.render())
         print(f"\ntotal weight shift: {100 * result.total_shift():.1f}%")
+        return 0
+
+    if args.command == "serve":
+        import time
+
+        from .core import RapConfig
+        from .runtime import Profiler
+
+        spec = benchmark(args.benchmark)
+        if args.kind == "code":
+            stream = spec.code_stream(args.events, seed=args.seed)
+        elif args.kind == "value":
+            stream = spec.value_stream(args.events, seed=args.seed)
+        else:
+            stream = spec.narrow_operand_stream(args.events, seed=args.seed)
+        config = RapConfig(stream.universe, epsilon=args.epsilon)
+        profiler = Profiler.from_config(
+            config,
+            shards=args.shards,
+            executor=args.executor,
+            partition=args.partition,
+            shard_epsilon=args.shard_epsilon,
+            backpressure=args.backpressure,
+            batch_size=args.batch_size,
+            clock=time.perf_counter,
+        )
+        with profiler:
+            for batch in stream.batches(args.batch_size):
+                profiler.ingest(batch)
+            snapshot = profiler.close()
+        metrics = profiler.metrics
+        print(
+            f"{stream.name}: {metrics.events:,} events through "
+            f"{args.shards} shard(s) [{args.executor}/{args.partition}, "
+            f"{args.backpressure}]"
+        )
+        for shard in metrics.shards:
+            print(
+                f"  shard {shard.shard}: {shard.events:,} events in "
+                f"{shard.batches} batches, {shard.node_count} nodes, "
+                f"{shard.splits} splits, {shard.merge_batches} merges, "
+                f"queue depth<={shard.max_queue_depth}, "
+                f"dropped={shard.dropped_events}, "
+                f"spilled={shard.spilled_batches}"
+            )
+        if metrics.events_per_second:
+            print(
+                f"  throughput: {metrics.events_per_second:,.0f} events/s "
+                f"(ingest {metrics.ingest_seconds * 1e3:.1f} ms, "
+                f"snapshot {metrics.snapshot_seconds * 1e3:.1f} ms)"
+            )
+        if metrics.dropped_events:
+            print(
+                f"  WARNING: {metrics.dropped_events:,} events dropped "
+                "under backpressure"
+            )
+        print(
+            render_hot_tree(
+                snapshot,
+                args.hot,
+                title=(
+                    f"snapshot: {snapshot.events:,} events, "
+                    f"{snapshot.node_count} nodes "
+                    f"(bound eps={snapshot.config.epsilon:.0%})"
+                ),
+            )
+        )
         return 0
 
     if args.command == "audit":

@@ -67,7 +67,17 @@ def combine_many(
 
     Every shard is walked exactly once and deposited into one fresh
     accumulator — linear in total shard size, unlike a pairwise
-    :func:`combine_trees` fold. A single tree is returned as-is.
+    :func:`combine_trees` fold. A single tree is returned as-is (callers
+    that must not alias the input — e.g. runtime snapshots — should
+    :meth:`~repro.core.tree.RapTree.clone` it).
+
+    Error bound: each shard ``i`` undercounts any range by at most
+    ``epsilon_i * n_i``, and the fold deposits every shard counter at
+    its exact range, so the combined tree undercounts by at most the sum
+    ``sum_i(epsilon_i * n_i)``. With equal epsilons that is the familiar
+    ``epsilon * (n_1 + ... + n_k)``; with ``allow_mismatched_epsilon=True``
+    the result's config records ``max_i(epsilon_i)``, the smallest
+    single epsilon for which the bound still reads ``epsilon * n``.
     """
     trees = list(trees)
     if not trees:
@@ -76,7 +86,9 @@ def combine_many(
         return trees[0]
     first = trees[0]
     for other in trees[1:]:
-        _check_compatible(first, other, allow_mismatched_epsilon)
+        _check_compatible(
+            first, other, allow_mismatched_epsilon=allow_mismatched_epsilon
+        )
     config = first.config
     max_epsilon = max(tree.config.epsilon for tree in trees)
     if max_epsilon != config.epsilon:
@@ -98,6 +110,7 @@ def combine_many(
 def _check_compatible(
     first: RapTree,
     second: RapTree,
+    *,
     allow_mismatched_epsilon: bool = False,
 ) -> None:
     if first.config.range_max != second.config.range_max:
@@ -165,16 +178,23 @@ def _add_at_range(tree: RapTree, lo: int, hi: int, count: int) -> None:
 def split_stream_profile(
     config: RapConfig,
     shards: List[List[int]],
+    *,
+    allow_mismatched_epsilon: bool = False,
 ) -> RapTree:
     """Convenience: profile each shard separately, then combine.
 
     Models the distributed deployment (one profiler per core or per
     trace file segment) and is what the combination tests exercise
-    against a single-pass reference.
+    against a single-pass reference. All shards profile at the same
+    ``config`` here, so ``allow_mismatched_epsilon`` only matters when a
+    caller relaxes the fold after re-configuring shards; it is threaded
+    through to :func:`combine_many` unchanged.
     """
     trees = []
     for shard in shards:
         tree = RapTree(config)
         tree.extend(shard)
         trees.append(tree)
-    return combine_many(trees)
+    return combine_many(
+        trees, allow_mismatched_epsilon=allow_mismatched_epsilon
+    )

@@ -20,12 +20,16 @@ events, Section 3.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import KW_ONLY, dataclass, field, replace
 
 
 @dataclass(frozen=True)
 class RapConfig:
     """Immutable parameter set for a :class:`~repro.core.tree.RapTree`.
+
+    Every field except ``range_max`` is keyword-only (the API v2
+    contract): tuning knobs are named at every call site, so adding a
+    knob can never silently reinterpret a positional argument.
 
     Parameters
     ----------
@@ -60,6 +64,7 @@ class RapConfig:
     """
 
     range_max: int
+    _: KW_ONLY
     epsilon: float = 0.01
     branching: int = 4
     merge_initial_interval: int = 1024

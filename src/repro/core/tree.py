@@ -31,6 +31,7 @@ Hot-path engineering (see "Performance notes" in ``DESIGN.md``):
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .config import MergeScheduler, RapConfig, split_crossing_point
@@ -77,6 +78,20 @@ class RapTree:
         # Mutation epoch for query-side caches (see repro.core.quantiles).
         # Bumped whenever counters or structure change.
         self._generation = 0
+        # Thread confinement (see repro.runtime): when set, only the
+        # owning thread may mutate this tree. ``None`` means unconfined.
+        self._confined_ident: Optional[int] = None
+
+    @classmethod
+    def from_config(cls, config: RapConfig) -> "RapTree":
+        """API v2 constructor: build an empty tree from a configuration.
+
+        The blessed way to construct a tree outside :mod:`repro.core`
+        (RAP-LINT011 flags direct ``RapTree(...)`` calls elsewhere); for
+        a managed, shardable ingestion surface use
+        :class:`repro.runtime.Profiler` instead.
+        """
+        return cls(config)
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -129,6 +144,54 @@ class RapTree:
         return (self._node_count * bits_per_node + 7) // 8
 
     # ------------------------------------------------------------------
+    # Thread confinement and cloning (runtime hooks)
+    # ------------------------------------------------------------------
+
+    def confine_to_current_thread(self) -> None:
+        """Restrict mutations to the calling thread.
+
+        The sharded runtime gives each worker thread a private tree;
+        confinement turns an accidental cross-thread mutation (a data
+        race that would silently corrupt counters) into an immediate
+        ``RuntimeError``. Reads are not restricted — snapshot folds walk
+        shard trees from the coordinating thread while workers are
+        quiesced.
+        """
+        self._confined_ident = threading.get_ident()
+
+    def unconfine(self) -> None:
+        """Lift thread confinement (any thread may mutate again)."""
+        self._confined_ident = None
+
+    def _assert_owner(self) -> None:
+        ident = self._confined_ident
+        if ident is not None and ident != threading.get_ident():
+            raise RuntimeError(
+                "RapTree is confined to thread "
+                f"{ident}; mutation attempted from thread "
+                f"{threading.get_ident()}. Shard trees are "
+                "single-writer — route events through the owning "
+                "worker's queue (see repro.runtime)."
+            )
+
+    def clone(self) -> "RapTree":
+        """Deep, independent copy of this profile.
+
+        Round-trips through the serializer (which preserves structure,
+        counters, merge-schedule state and the full configuration), so
+        the clone continues exactly where this tree is — but shares no
+        nodes with it. Used by the runtime to snapshot a single-shard
+        profile without aliasing the live tree. Statistics timelines are
+        not carried over; the clone starts fresh counters for
+        splits/merges observed after the clone point.
+        """
+        from .serialize import dump_tree, load_tree  # lazy: serialize imports tree
+
+        clone = load_tree(dump_tree(self))
+        clone._generation = self._generation  # noqa: SLF001 - same class
+        return clone
+
+    # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
 
@@ -152,6 +215,8 @@ class RapTree:
         one-at-a-time arrival, so buffering does not degrade the
         summarization accuracy.
         """
+        if self._confined_ident is not None:
+            self._assert_owner()
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
         root = self._root
@@ -300,6 +365,8 @@ class RapTree:
         the per-event path is used outright so those hooks see every
         event.
         """
+        if self._confined_ident is not None:
+            self._assert_owner()
         stats = self._stats
         add = self.add
         if stats.sample_every > 0 or self._audit_every:
@@ -415,6 +482,8 @@ class RapTree:
         shared prefix instead of re-descending from the root. Observably
         identical to ``add_counted(sorted(pairs))``.
         """
+        if self._confined_ident is not None:
+            self._assert_owner()
         items = sorted(pairs)
         stats = self._stats
         add = self.add
@@ -585,6 +654,8 @@ class RapTree:
         without walking its interior. Produces exactly the tree a full
         post-order walk would.
         """
+        if self._confined_ident is not None:
+            self._assert_owner()
         threshold = self._config.merge_threshold(self._events)
         before = self._node_count
         visited = self._merge_frontier(threshold)

@@ -137,7 +137,7 @@ def run(
 
     # --- merge policy ---------------------------------------------------
     merge_rows: List[MergePolicyRow] = []
-    batched = RapTree(config)
+    batched = RapTree.from_config(config)
     batched.extend(iter(stream))
     continuous = ContinuousMergeRap(config, merge_interval=256)
     continuous.extend(iter(stream))
@@ -159,7 +159,7 @@ def run(
     # --- branching factor -------------------------------------------------
     branching_rows: List[BranchingAblationRow] = []
     for b in BRANCHINGS:
-        tree = RapTree(config.with_updates(branching=b))
+        tree = RapTree.from_config(config.with_updates(branching=b))
         tree.extend(iter(stream))
         branching_rows.append(
             BranchingAblationRow(
@@ -183,7 +183,7 @@ def run(
         for item in find_hot_ranges(batched, HOT_FRACTION)
     }
     for chunk in (256, 4096):
-        tree = RapTree(config)
+        tree = RapTree.from_config(config)
         tree.add_stream(iter(stream), combine_chunk=chunk)
         # Combining defers split *timing* slightly, so "identical" means
         # the hot sets agree up to ranges sitting right at the cutoff

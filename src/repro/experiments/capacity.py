@@ -97,7 +97,7 @@ def run(
     stream = benchmark("gcc").code_stream(events, seed=seed)
     config = RapConfig(range_max=stream.universe, epsilon=epsilon)
 
-    reference = RapTree(config)
+    reference = RapTree.from_config(config)
     reference.extend(iter(stream))
     reference_hot = find_hot_ranges(reference, HOT_FRACTION)
     reference_keys: Set[Tuple[int, int]] = {

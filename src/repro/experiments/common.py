@@ -43,7 +43,7 @@ def profile_stream(
         branching=branching,
         timeline_sample_every=timeline_sample_every,
     )
-    tree = RapTree(config)
+    tree = RapTree.from_config(config)
     tree.add_stream(iter(stream), combine_chunk=combine_chunk)
     if final_merge and tree.events:
         tree.merge_now()

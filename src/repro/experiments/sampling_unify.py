@@ -87,7 +87,7 @@ def run(
     exact = ExactProfiler.from_stream(stream.universe, stream.values)
     config = RapConfig(range_max=stream.universe, epsilon=epsilon)
 
-    reference = RapTree(config)
+    reference = RapTree.from_config(config)
     reference.add_stream(iter(stream), combine_chunk=4096)
     reference_hot = find_hot_ranges(reference, HOT_FRACTION)
 

@@ -1,0 +1,39 @@
+"""Sharded concurrent ingestion runtime for RAP profiles.
+
+The paper's RAP engine is a one-pass streaming summarizer whose trees
+are mergeable by construction (``combine_many`` folds shard profiles
+with the undercount bound ``sum_i(epsilon_i * n_i)``). This package
+turns that mergeability into a service: an event stream is partitioned
+across ``N`` worker shards — each owning a private, thread-confined
+:class:`~repro.core.tree.RapTree` — fed through bounded batch queues
+with explicit backpressure, and periodically folded into a consistent
+global snapshot on an epoch boundary.
+
+Entry point is :class:`Profiler` — ``open() / ingest(batch) /
+snapshot() / query(range) / close()`` — the blessed v2 ingestion
+surface for workloads, experiments and the CLI. See ``docs/runtime.md``
+for the architecture, partitioning schemes, backpressure policies and
+the snapshot consistency model.
+"""
+
+from .metrics import RuntimeMetrics, ShardMetrics
+from .partition import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+from .profiler import Profiler
+from .queues import QueueClosed, ShardQueue
+
+__all__ = [
+    "HashPartitioner",
+    "Partitioner",
+    "Profiler",
+    "QueueClosed",
+    "RangePartitioner",
+    "RuntimeMetrics",
+    "ShardMetrics",
+    "ShardQueue",
+    "make_partitioner",
+]

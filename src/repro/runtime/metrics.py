@@ -1,0 +1,93 @@
+"""Runtime metrics: per-shard and aggregate ingestion statistics.
+
+Everything event-count-shaped here is deterministic for a given stream
+and configuration (under the ``block`` and ``spill`` backpressure
+policies), so tests and the regression gate can assert on exact values.
+Time-shaped fields (``ingest_seconds``, ``events_per_second``,
+``snapshot_seconds``) are only populated when the profiler was given a
+clock — timing stays caller-supplied (the same discipline RAP-LINT005
+enforces for the rest of the library), and without a clock they read
+``0.0`` so metric dumps stay reproducible byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ShardMetrics:
+    """Ingestion counters for one worker shard."""
+
+    shard: int
+    events: int = 0
+    batches: int = 0
+    dropped_batches: int = 0
+    dropped_events: int = 0
+    spilled_batches: int = 0
+    max_queue_depth: int = 0
+    splits: int = 0
+    merge_batches: int = 0
+    node_count: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "shard": self.shard,
+            "events": self.events,
+            "batches": self.batches,
+            "dropped_batches": self.dropped_batches,
+            "dropped_events": self.dropped_events,
+            "spilled_batches": self.spilled_batches,
+            "max_queue_depth": self.max_queue_depth,
+            "splits": self.splits,
+            "merge_batches": self.merge_batches,
+            "node_count": self.node_count,
+        }
+
+
+@dataclass
+class RuntimeMetrics:
+    """Aggregate view over every shard plus profiler-level counters."""
+
+    shards: List[ShardMetrics] = field(default_factory=list)
+    snapshots: int = 0
+    snapshot_seconds: float = 0.0
+    ingest_seconds: float = 0.0
+
+    @property
+    def events(self) -> int:
+        """Total events accepted into shard trees (drops excluded)."""
+        return sum(shard.events for shard in self.shards)
+
+    @property
+    def dropped_events(self) -> int:
+        return sum(shard.dropped_events for shard in self.shards)
+
+    @property
+    def spilled_batches(self) -> int:
+        return sum(shard.spilled_batches for shard in self.shards)
+
+    @property
+    def node_count(self) -> int:
+        return sum(shard.node_count for shard in self.shards)
+
+    @property
+    def events_per_second(self) -> float:
+        """Ingest throughput; ``0.0`` unless a clock was supplied."""
+        if self.ingest_seconds <= 0.0:
+            return 0.0
+        return self.events / self.ingest_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "dropped_events": self.dropped_events,
+            "spilled_batches": self.spilled_batches,
+            "node_count": self.node_count,
+            "snapshots": self.snapshots,
+            "snapshot_seconds": self.snapshot_seconds,
+            "ingest_seconds": self.ingest_seconds,
+            "events_per_second": self.events_per_second,
+            "shards": [shard.as_dict() for shard in self.shards],
+        }

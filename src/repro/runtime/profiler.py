@@ -1,0 +1,454 @@
+"""The ``Profiler`` service object: sharded ingestion over RAP trees.
+
+``Profiler`` is the API v2 top-level entry point for profiling a
+stream. It owns ``N`` shard trees, a deterministic partitioner mapping
+each event value to its shard, and (in the threaded executor) one
+worker thread per shard fed through a bounded :class:`ShardQueue`:
+
+.. code-block:: text
+
+    ingest(values)                       coordinating thread
+        └─ partition + duplicate-combine (numpy, one pass)
+             ├─ queue[0] ── worker 0 ── RapTree shard 0   (confined)
+             ├─ queue[1] ── worker 1 ── RapTree shard 1   (confined)
+             └─ ...
+    snapshot()  =  quiesce every queue, then fold the shard trees
+                   with ``combine_many`` into one consistent tree
+
+Lifecycle: ``open() → ingest()* → snapshot()* → close()``; the object
+is also a context manager. ``query(lo, hi)`` is sugar for
+``snapshot().estimate(lo, hi)`` (snapshots are cached per epoch, so
+repeated queries between ingests fold only once).
+
+Consistency model: a snapshot is taken on an *epoch boundary* — new
+ingests are locked out, every accepted batch is drained, and only then
+are the shard trees folded. The snapshot therefore reflects exactly the
+events accepted before the call, no torn batches. Under the ``block``
+and ``spill`` backpressure policies the shard trees (and hence every
+snapshot) are a deterministic function of the ingested stream; ``drop``
+trades that determinism for bounded memory and latency.
+
+Accuracy: each shard undercounts by at most ``eps_shard * n_shard``, so
+the folded snapshot undercounts any range by at most
+``eps_shard * n_total`` (see :func:`repro.core.combine.combine_many`).
+By default shards inherit ``config.epsilon`` and the single-tree bound
+``epsilon * n`` carries over verbatim — at the cost of shards splitting
+~``N`` times more aggressively in aggregate (each sees ``n/N`` events
+against the same epsilon). Passing ``shard_epsilon = N * epsilon``
+instead holds the *total* node budget at the single-tree level (each
+shard's budget guards ``n/N`` events), with the documented snapshot
+bound relaxing to ``shard_epsilon * n_total``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.config import RapConfig
+from ..core.combine import combine_many
+from ..core.tree import RapTree
+from .metrics import RuntimeMetrics, ShardMetrics
+from .partition import Partitioner, make_partitioner
+from .queues import Batch, ShardQueue
+
+Clock = Callable[[], float]
+Values = Union[np.ndarray, Iterable[int]]
+
+_EXECUTORS = ("serial", "thread")
+
+
+class Profiler:
+    """Sharded, concurrent RAP profiling service.
+
+    Parameters
+    ----------
+    config:
+        Tree configuration; ``config.epsilon`` is the accuracy target of
+        the folded snapshot (see ``shard_epsilon`` for the trade-off).
+    shards:
+        Number of shard trees (``>= 1``).
+    executor:
+        ``"thread"`` (default) runs one worker thread per shard behind
+        bounded queues; ``"serial"`` processes every batch inline on the
+        calling thread — deterministic scheduling, no queues, the mode
+        the deprecation shim and oracle tests use.
+    partition:
+        ``"hash"`` (default) or ``"range"`` — see
+        :mod:`repro.runtime.partition`.
+    shard_epsilon:
+        Epsilon each shard profiles at. ``None`` (default) inherits
+        ``config.epsilon`` — strict bound, ~N× aggregate node budget.
+        ``N * config.epsilon`` keeps the single-tree node budget with an
+        ``shard_epsilon * n`` snapshot bound (the equal-memory config
+        the multi-shard benchmark uses).
+    queue_capacity / backpressure:
+        Bounds and overflow policy of each shard queue (threaded
+        executor only) — ``"block"`` / ``"drop"`` / ``"spill"``, see
+        :mod:`repro.runtime.queues`.
+    batch_size:
+        Ingest calls chop their input into chunks of this many events
+        before partitioning, bounding queue memory per slot.
+    clock:
+        Optional zero-arg callable returning seconds (e.g.
+        ``time.perf_counter`` passed *as a function*). When provided,
+        time-shaped metrics are recorded; when ``None`` they stay
+        ``0.0`` and every metric is deterministic.
+    """
+
+    def __init__(
+        self,
+        config: RapConfig,
+        *,
+        shards: int = 1,
+        executor: str = "thread",
+        partition: str = "hash",
+        shard_epsilon: Optional[float] = None,
+        queue_capacity: int = 8,
+        backpressure: str = "block",
+        batch_size: int = 4096,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._config = config
+        self._shards = shards
+        self._executor = executor
+        self._partitioner: Partitioner = make_partitioner(
+            partition, shards, config.range_max
+        )
+        shard_config = config
+        if shard_epsilon is not None:
+            shard_config = config.with_updates(epsilon=shard_epsilon)
+        self._shard_config = shard_config
+        self._batch_size = batch_size
+        self._clock = clock
+        self._trees: List[RapTree] = [
+            RapTree.from_config(shard_config) for _ in range(shards)
+        ]
+        self._queues: List[ShardQueue] = []
+        self._workers: List[threading.Thread] = []
+        if executor == "thread":
+            self._queues = [
+                ShardQueue(queue_capacity, backpressure)
+                for _ in range(shards)
+            ]
+        # created → open → closed
+        self._state = "created"
+        # Serializes producers against snapshot epochs.
+        self._ingest_lock = threading.Lock()
+        self._errors: List[BaseException] = []
+        # Per-shard accepted-event / batch counters (producer side).
+        self._shard_events = [0] * shards
+        self._shard_batches = [0] * shards
+        self._snapshots = 0
+        self._snapshot_seconds = 0.0
+        self._ingest_seconds = 0.0
+        self._snapshot_cache: Optional[RapTree] = None
+        self._snapshot_epoch: Optional[Tuple[int, ...]] = None
+
+    @classmethod
+    def from_config(cls, config: RapConfig, **options: object) -> "Profiler":
+        """API v2 constructor; ``options`` are the keyword knobs above."""
+        return cls(config, **options)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> RapConfig:
+        return self._config
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def closed(self) -> bool:
+        return self._state == "closed"
+
+    def open(self) -> "Profiler":
+        """Start the runtime (spawns workers under the threaded executor)."""
+        if self._state != "created":
+            raise RuntimeError(f"cannot open a {self._state} Profiler")
+        self._state = "open"
+        for shard in range(len(self._queues)):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                args=(shard,),
+                name=f"rap-shard-{shard}",
+                daemon=True,
+            )
+            self._workers.append(worker)
+            worker.start()
+        return self
+
+    def __enter__(self) -> "Profiler":
+        return self.open()
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._state == "open":
+            self.close()
+
+    def close(self) -> RapTree:
+        """Drain every shard, stop workers, return the final snapshot.
+
+        After ``close()`` the profiler accepts no more events;
+        ``snapshot()`` and ``query()`` keep answering from the final
+        fold.
+        """
+        if self._state == "closed":
+            assert self._snapshot_cache is not None
+            return self._snapshot_cache
+        if self._state != "open":
+            raise RuntimeError("cannot close a Profiler that was never opened")
+        with self._ingest_lock:
+            for queue in self._queues:
+                queue.close()
+            for worker in self._workers:
+                worker.join()
+            self._raise_worker_errors()
+            self._state = "closed"
+            for tree in self._trees:
+                tree.unconfine()
+            return self._fold_locked()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, values: Values) -> None:
+        """Feed raw event values (any iterable of ints or numpy array).
+
+        Values are chopped into chunks of ``batch_size``, partitioned to
+        shards, duplicate-combined per shard (``np.unique``), and either
+        enqueued to the shard workers (threaded) or applied inline
+        (serial). Returns once every chunk is accepted — which, under
+        ``block`` backpressure, may wait for queue space.
+        """
+        self._check_ingestible()
+        array = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values)
+        )
+        clock = self._clock
+        start = clock() if clock is not None else 0.0
+        with self._ingest_lock:
+            self._check_ingestible()
+            step = self._batch_size
+            for at in range(0, len(array), step):
+                self._dispatch_chunk(array[at:at + step])
+        if clock is not None:
+            self._ingest_seconds += clock() - start
+
+    def ingest_counted(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Feed pre-combined ``(value, count)`` pairs."""
+        self._check_ingestible()
+        items = list(pairs)
+        clock = self._clock
+        start = clock() if clock is not None else 0.0
+        with self._ingest_lock:
+            self._check_ingestible()
+            shard_of = self._partitioner.shard_of
+            buckets: List[List[Tuple[int, int]]] = [
+                [] for _ in range(self._shards)
+            ]
+            for value, count in items:
+                buckets[shard_of(int(value))].append((int(value), int(count)))
+            for shard, bucket in enumerate(buckets):
+                if bucket:
+                    weight = sum(count for _, count in bucket)
+                    self._submit(shard, bucket, weight)
+        if clock is not None:
+            self._ingest_seconds += clock() - start
+
+    def _dispatch_chunk(self, chunk: np.ndarray) -> None:
+        if self._shards == 1 and self._executor == "serial":
+            # Single-shard passthrough: no partition, no combine — the
+            # same per-event path a bare tree takes (and the honest
+            # baseline the multi-shard benchmark compares against).
+            tree = self._trees[0]
+            tree.extend(int(value) for value in chunk)
+            self._shard_events[0] += len(chunk)
+            self._shard_batches[0] += 1
+            return
+        for shard, batch in enumerate(
+            self._partitioner.split_counted(chunk)
+        ):
+            if batch:
+                weight = sum(count for _, count in batch)
+                self._submit(shard, batch, weight)
+
+    def _submit(self, shard: int, batch: Batch, weight: int) -> None:
+        if self._executor == "serial":
+            self._trees[shard].add_batch(batch)
+            self._shard_events[shard] += weight
+            self._shard_batches[shard] += 1
+            return
+        disposition = self._queues[shard].put(batch, weight)
+        if disposition != "dropped":
+            self._shard_events[shard] += weight
+            self._shard_batches[shard] += 1
+        self._raise_worker_errors()
+
+    def _worker_loop(self, shard: int) -> None:
+        queue = self._queues[shard]
+        tree = self._trees[shard]
+        tree.confine_to_current_thread()
+        failed = False
+        while True:
+            batch = queue.take()
+            if batch is None:
+                return
+            if not failed:
+                try:
+                    tree.add_batch(batch)
+                except BaseException as error:  # surfaced to producers
+                    self._errors.append(error)
+                    failed = True
+            queue.task_done()
+
+    def _check_ingestible(self) -> None:
+        if self._state != "open":
+            hint = " (call open() first)" if self._state == "created" else ""
+            raise RuntimeError(
+                f"cannot ingest into a {self._state} Profiler{hint}"
+            )
+        self._raise_worker_errors()
+
+    def _raise_worker_errors(self) -> None:
+        if self._errors:
+            raise RuntimeError(
+                "shard worker failed while ingesting"
+            ) from self._errors[0]
+
+    # ------------------------------------------------------------------
+    # Snapshots and queries
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Wait until every accepted batch is applied to its shard tree.
+
+        A quiesce without the fold: after ``drain()`` returns, the shard
+        trees reflect every event accepted so far, but no snapshot is
+        built. Useful to bound ingest latency measurements and to make
+        backpressure deterministic before reading :attr:`metrics`.
+        """
+        if self._state != "open":
+            raise RuntimeError("cannot drain a Profiler that is not open")
+        with self._ingest_lock:
+            for queue in self._queues:
+                queue.join()
+            self._raise_worker_errors()
+
+    def snapshot(self) -> RapTree:
+        """Fold every shard into one consistent tree (epoch boundary).
+
+        Locks out new ingests, drains every accepted batch, then folds
+        the shard trees with :func:`~repro.core.combine.combine_many`.
+        The result is independent of the live shards (single-shard
+        profiles are cloned) and cached: repeated snapshots with no
+        intervening ingest return the same tree without re-folding.
+        """
+        if self._state == "closed":
+            assert self._snapshot_cache is not None
+            return self._snapshot_cache
+        if self._state != "open":
+            raise RuntimeError("cannot snapshot a Profiler that is not open")
+        with self._ingest_lock:
+            for queue in self._queues:
+                queue.join()
+            self._raise_worker_errors()
+            return self._fold_locked()
+
+    def _fold_locked(self) -> RapTree:
+        epoch = tuple(tree.mutation_generation for tree in self._trees)
+        if (
+            self._snapshot_cache is not None
+            and epoch == self._snapshot_epoch
+        ):
+            return self._snapshot_cache
+        clock = self._clock
+        start = clock() if clock is not None else 0.0
+        if len(self._trees) == 1:
+            folded = self._trees[0].clone()
+        else:
+            folded = combine_many(self._trees)
+        if clock is not None:
+            self._snapshot_seconds += clock() - start
+        self._snapshots += 1
+        self._snapshot_cache = folded
+        self._snapshot_epoch = epoch
+        return folded
+
+    def query(self, lo: int, hi: int) -> int:
+        """Lower-bound estimate of events in ``[lo, hi]`` (snapshot sugar)."""
+        return self.snapshot().estimate(lo, hi)
+
+    def hot_ranges(self, hot_fraction: float = 0.1) -> List[Tuple[int, int, int]]:
+        """Hot-range report over the current snapshot.
+
+        Returns ``(lo, hi, estimate)`` for every snapshot leaf whose
+        estimated weight is at least ``hot_fraction`` of the total,
+        heaviest first — the report ``rap_finalize`` historically
+        printed, now answered from the folded snapshot.
+        """
+        tree = self.snapshot()
+        threshold = hot_fraction * tree.events
+        ranges = [
+            (node.lo, node.hi, node.subtree_weight())
+            for node in tree.nodes()
+            if node.is_leaf and node.subtree_weight() >= threshold
+        ]
+        ranges.sort(key=lambda item: (-item[2], item[0]))
+        return ranges
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> RuntimeMetrics:
+        """Current per-shard and aggregate runtime metrics."""
+        shards: List[ShardMetrics] = []
+        for index, tree in enumerate(self._trees):
+            stats = tree.stats
+            entry = ShardMetrics(
+                shard=index,
+                events=self._shard_events[index],
+                batches=self._shard_batches[index],
+                splits=stats.splits,
+                merge_batches=stats.merge_batches,
+                node_count=tree.node_count,
+            )
+            if self._queues:
+                queue = self._queues[index]
+                entry.dropped_batches = queue.dropped_batches
+                entry.dropped_events = queue.dropped_events
+                entry.spilled_batches = queue.spilled_batches
+                entry.max_queue_depth = queue.max_depth
+            shards.append(entry)
+        return RuntimeMetrics(
+            shards=shards,
+            snapshots=self._snapshots,
+            snapshot_seconds=self._snapshot_seconds,
+            ingest_seconds=self._ingest_seconds,
+        )
+
+    def shard_trees(self) -> Sequence[RapTree]:
+        """The live shard trees (read-only view; do not mutate)."""
+        return tuple(self._trees)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Profiler(shards={self._shards}, executor={self._executor!r}, "
+            f"state={self._state!r}, events={sum(self._shard_events)})"
+        )

@@ -266,6 +266,63 @@ class TestWallClock:
         assert report.ok
 
 
+class TestDirectTreeConstruction:
+    """RAP-LINT011: RapTree(...) outside core/ must use from_config."""
+
+    def test_flags_direct_construction_outside_core(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "from repro.core import RapConfig, RapTree\n"
+            "tree = RapTree(RapConfig(256))\n",
+            select=["RAP-LINT011"],
+        )
+        assert codes(report) == ["RAP-LINT011"]
+        assert "from_config" in report.violations[0].message
+
+    def test_flags_attribute_spelling(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/demo.py",
+            "import repro.core as core\n"
+            "tree = core.RapTree(core.RapConfig(256))\n",
+            select=["RAP-LINT011"],
+        )
+        assert codes(report) == ["RAP-LINT011"]
+
+    def test_core_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/combine_helper.py",
+            "from .tree import RapTree\n"
+            "def fresh(config):\n    return RapTree(config)\n",
+            select=["RAP-LINT011"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_v2_constructors_are_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "from repro.core import RapConfig, RapTree\n"
+            "from repro.runtime import Profiler\n"
+            "tree = RapTree.from_config(RapConfig(256))\n"
+            "service = Profiler.from_config(RapConfig(256), shards=2)\n",
+            select=["RAP-LINT011"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_subclass_construction_not_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "baselines/demo.py",
+            "from repro.core import RapConfig, SampledRapTree\n"
+            "tree = SampledRapTree(RapConfig(256), rate=0.1, seed=1)\n",
+            select=["RAP-LINT011"],
+        )
+        assert report.ok, report.render_text()
+
+
 class TestRunner:
     def test_live_src_tree_is_lint_clean(self):
         report = lint_paths([SRC_PACKAGE])
@@ -314,9 +371,9 @@ class TestRunner:
         with pytest.raises(FileNotFoundError):
             lint_paths([str(tmp_path / "no_such_dir")])
 
-    def test_registry_exposes_all_ten_rules(self):
+    def test_registry_exposes_all_eleven_rules(self):
         assert all_rule_codes() == [
-            f"RAP-LINT{index:03d}" for index in range(1, 11)
+            f"RAP-LINT{index:03d}" for index in range(1, 12)
         ]
 
 

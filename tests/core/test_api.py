@@ -6,6 +6,10 @@ import pytest
 
 from repro.core import rap_add_points, rap_finalize, rap_init
 
+# The v1 trio warns by design; TestDeprecationShim asserts the warnings
+# explicitly, the legacy-contract tests below just ignore them.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestRapInit:
     def test_single_universe_creates_default_profile(self):
@@ -112,3 +116,33 @@ class TestRapFinalize:
         summaries = rap_finalize(profile)
         assert summaries["default"].events == 0
         assert summaries["default"].hot_ranges == []
+
+
+class TestDeprecationShim:
+    """The v1 trio still works but steers callers to Profiler (API v2)."""
+
+    def test_rap_init_warns_with_migration_hint(self):
+        with pytest.warns(DeprecationWarning, match="Profiler.from_config"):
+            rap_init(256)
+
+    def test_rap_add_points_warns_with_migration_hint(self):
+        profile = rap_init(256)
+        with pytest.warns(DeprecationWarning, match="Profiler.ingest"):
+            rap_add_points(profile, [1, 2, 3])
+
+    def test_rap_finalize_warns_with_migration_hint(self):
+        profile = rap_init(256)
+        with pytest.warns(DeprecationWarning, match="Profiler.close"):
+            rap_finalize(profile)
+
+    def test_warnings_point_at_the_migration_table(self):
+        with pytest.warns(DeprecationWarning, match="README.md"):
+            rap_init(256)
+
+    def test_shim_is_backed_by_a_serial_profiler(self):
+        profile = rap_init(256)
+        profiler = profile.profilers["default"]
+        assert type(profiler).__name__ == "Profiler"
+        assert profiler.shards == 1
+        rap_add_points(profile, [5] * 10)
+        assert profiler.snapshot().events == 10

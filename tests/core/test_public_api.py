@@ -1,0 +1,110 @@
+"""Public-API snapshot: pins the blessed v2 surface.
+
+A failing test here means the public contract moved. That can be
+deliberate — update the pinned lists *and* the README migration table
+together — but it must never happen by accident.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+import repro.runtime as runtime
+from repro import Profiler, RapConfig, RapTree
+
+TOP_LEVEL_V2 = [
+    "HotRange",
+    "MultiDimConfig",
+    "MultiDimRapTree",
+    "Profiler",
+    "RapConfig",
+    "RapNode",
+    "RapProfile",
+    "RapSummary",
+    "RapTree",
+    "RuntimeMetrics",
+    "ShardMetrics",
+    "__version__",
+    "combine_many",
+    "combine_trees",
+    "dump_tree",
+    "find_hot_ranges",
+    "hot_tree",
+    "load_tree",
+    "rap_add_points",
+    "rap_finalize",
+    "rap_init",
+]
+
+RUNTIME_SURFACE = [
+    "HashPartitioner",
+    "Partitioner",
+    "Profiler",
+    "QueueClosed",
+    "RangePartitioner",
+    "RuntimeMetrics",
+    "ShardMetrics",
+    "ShardQueue",
+    "make_partitioner",
+]
+
+
+class TestSurfaceSnapshot:
+    def test_top_level_all_is_pinned(self):
+        assert sorted(repro.__all__) == TOP_LEVEL_V2
+
+    def test_every_name_in_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_runtime_all_is_pinned(self):
+        assert sorted(runtime.__all__) == RUNTIME_SURFACE
+
+    def test_version_is_v2(self):
+        assert repro.__version__ == "2.0.0"
+
+    def test_runtime_profiler_is_the_top_level_profiler(self):
+        assert repro.Profiler is runtime.Profiler
+
+
+class TestKeywordOnlyContracts:
+    def test_rap_config_tuning_knobs_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            RapConfig(256, 0.05)  # epsilon must be named
+        config = RapConfig(256, epsilon=0.05)
+        assert config.range_max == 256 and config.epsilon == 0.05
+
+    def test_rap_config_range_max_still_positional(self):
+        assert RapConfig(1024).range_max == 1024
+
+    def test_profiler_knobs_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            Profiler(RapConfig(256), 4)  # shards must be named
+
+    def test_combine_many_epsilon_flag_is_keyword_only(self):
+        from repro.core.combine import combine_many
+
+        parameter = inspect.signature(combine_many).parameters[
+            "allow_mismatched_epsilon"
+        ]
+        assert parameter.kind is inspect.Parameter.KEYWORD_ONLY
+
+
+class TestBlessedConstructors:
+    def test_tree_from_config(self):
+        config = RapConfig(256, epsilon=0.05)
+        tree = RapTree.from_config(config)
+        assert tree.config is config
+
+    def test_profiler_from_config(self):
+        config = RapConfig(256, epsilon=0.05)
+        profiler = Profiler.from_config(config, shards=2, executor="serial")
+        assert profiler.shards == 2 and not profiler.closed
+
+    def test_deprecated_v1_trio_is_still_exported(self):
+        assert callable(repro.rap_init)
+        assert callable(repro.rap_add_points)
+        assert callable(repro.rap_finalize)

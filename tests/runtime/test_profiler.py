@@ -1,0 +1,242 @@
+"""Profiler service tests: lifecycle, consistency, metrics, policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RapConfig, RapTree
+from repro.runtime import Profiler
+
+UNIVERSE = 2**16
+
+
+def config(**overrides) -> RapConfig:
+    base = dict(epsilon=0.05)
+    base.update(overrides)
+    return RapConfig(UNIVERSE, **base)
+
+
+def zipf_values(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.zipf(1.3, size=n) % UNIVERSE).astype(np.uint64)
+
+
+class TestLifecycle:
+    def test_ingest_before_open_raises(self):
+        profiler = Profiler(config())
+        with pytest.raises(RuntimeError, match="open"):
+            profiler.ingest([1, 2, 3])
+
+    def test_open_twice_raises(self):
+        profiler = Profiler(config(), executor="serial").open()
+        with pytest.raises(RuntimeError, match="open"):
+            profiler.open()
+        profiler.close()
+
+    def test_ingest_after_close_raises(self):
+        profiler = Profiler(config(), executor="serial").open()
+        profiler.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            profiler.ingest([1])
+
+    def test_snapshot_before_open_raises(self):
+        with pytest.raises(RuntimeError, match="not open"):
+            Profiler(config()).snapshot()
+
+    def test_context_manager_opens_and_closes(self):
+        with Profiler(config(), shards=2) as profiler:
+            profiler.ingest([1, 2, 3])
+        assert profiler.closed
+        assert profiler.snapshot().events == 3
+
+    def test_close_is_idempotent_and_returns_final_snapshot(self):
+        profiler = Profiler(config(), executor="serial").open()
+        profiler.ingest([5] * 10)
+        first = profiler.close()
+        assert profiler.close() is first
+        assert first.events == 10
+
+    def test_invalid_knobs_raise(self):
+        with pytest.raises(ValueError, match="shards"):
+            Profiler(config(), shards=0)
+        with pytest.raises(ValueError, match="executor"):
+            Profiler(config(), executor="fork")
+        with pytest.raises(ValueError, match="batch_size"):
+            Profiler(config(), batch_size=0)
+
+
+class TestSingleShardPassthrough:
+    def test_serial_single_shard_matches_bare_tree_exactly(self):
+        values = zipf_values(3, 20_000)
+        oracle = RapTree.from_config(config())
+        oracle.extend(int(v) for v in values)
+        with Profiler(config(), shards=1, executor="serial") as profiler:
+            profiler.ingest(values)
+            snapshot = profiler.snapshot()
+        assert snapshot.events == oracle.events
+        assert [
+            (n.lo, n.hi, n.count) for n in snapshot.nodes()
+        ] == [(n.lo, n.hi, n.count) for n in oracle.nodes()]
+
+    def test_snapshot_does_not_alias_the_live_tree(self):
+        with Profiler(config(), shards=1, executor="serial") as profiler:
+            profiler.ingest([7] * 100)
+            snapshot = profiler.snapshot()
+            profiler.ingest([9] * 50)
+            assert snapshot.events == 100  # unchanged by later ingest
+            assert profiler.snapshot().events == 150
+
+
+class TestThreadedIngestion:
+    def test_all_events_accounted_for(self):
+        values = zipf_values(5, 50_000)
+        with Profiler(config(), shards=4) as profiler:
+            profiler.ingest(values)
+            snapshot = profiler.snapshot()
+        assert snapshot.events == len(values)
+        assert snapshot.estimate(0, UNIVERSE - 1) == len(values)
+        snapshot.check_invariants()
+
+    def test_snapshot_cached_per_epoch(self):
+        with Profiler(config(), shards=2) as profiler:
+            profiler.ingest([1, 2, 3])
+            first = profiler.snapshot()
+            assert profiler.snapshot() is first
+            profiler.ingest([4])
+            second = profiler.snapshot()
+            assert second is not first
+            assert second.events == 4
+
+    def test_drain_applies_all_accepted_batches(self):
+        values = zipf_values(31, 20_000)
+        with Profiler(config(), shards=4, batch_size=256) as profiler:
+            profiler.ingest(values)
+            profiler.drain()
+            assert sum(
+                tree.events for tree in profiler.shard_trees()
+            ) == len(values)
+        with pytest.raises(RuntimeError, match="not open"):
+            profiler.drain()
+
+    def test_query_is_snapshot_sugar(self):
+        with Profiler(config(), shards=2) as profiler:
+            profiler.ingest([100] * 500)
+            assert profiler.query(0, UNIVERSE - 1) == 500
+
+    def test_shard_trees_are_thread_confined_while_open(self):
+        with Profiler(config(), shards=2) as profiler:
+            profiler.ingest(zipf_values(7, 5000))
+            profiler.snapshot()
+            shard = profiler.shard_trees()[0]
+            with pytest.raises(RuntimeError, match="confined"):
+                shard.add(1)
+        # close() lifts confinement (workers are gone).
+        profiler.shard_trees()[0].unconfine()
+
+    def test_worker_error_propagates_to_producer(self):
+        with Profiler(config(), shards=2, batch_size=16) as profiler:
+            with pytest.raises(RuntimeError, match="shard worker failed"):
+                # Out-of-universe values make the shard's add_batch raise;
+                # keep feeding until the failure surfaces.
+                for _ in range(100):
+                    profiler.ingest_counted([(UNIVERSE + 5, 1)] * 8)
+            profiler._errors.clear()  # allow clean close
+
+    def test_ingest_counted_routes_by_value(self):
+        with Profiler(config(), shards=4, executor="serial") as profiler:
+            profiler.ingest_counted([(5, 100), (1000, 20), (5, 1)])
+            assert profiler.snapshot().events == 121
+
+
+class TestBackpressurePolicies:
+    def test_block_loses_nothing(self):
+        values = zipf_values(11, 30_000)
+        with Profiler(
+            config(), shards=2, backpressure="block",
+            queue_capacity=1, batch_size=128,
+        ) as profiler:
+            profiler.ingest(values)
+            assert profiler.snapshot().events == len(values)
+            assert profiler.metrics.dropped_events == 0
+
+    def test_spill_loses_nothing_and_counts_spills(self):
+        values = zipf_values(13, 30_000)
+        with Profiler(
+            config(), shards=2, backpressure="spill",
+            queue_capacity=1, batch_size=128,
+        ) as profiler:
+            profiler.ingest(values)
+            metrics = profiler.metrics
+            assert profiler.snapshot().events == len(values)
+            assert metrics.dropped_events == 0
+
+    def test_drop_accounts_for_every_lost_event(self):
+        values = zipf_values(17, 30_000)
+        with Profiler(
+            config(), shards=2, backpressure="drop",
+            queue_capacity=1, batch_size=128,
+        ) as profiler:
+            profiler.ingest(values)
+            snapshot = profiler.snapshot()
+            metrics = profiler.metrics
+        assert snapshot.events + metrics.dropped_events == len(values)
+        assert snapshot.events == metrics.events
+
+
+class TestMetrics:
+    def test_deterministic_counters(self):
+        values = zipf_values(19, 20_000)
+        with Profiler(config(), shards=2, executor="serial") as profiler:
+            profiler.ingest(values)
+            profiler.snapshot()
+            metrics = profiler.metrics
+        assert metrics.events == len(values)
+        assert metrics.snapshots == 1
+        assert sum(shard.batches for shard in metrics.shards) > 0
+        assert all(shard.splits > 0 for shard in metrics.shards)
+        assert metrics.node_count == sum(
+            tree.node_count for tree in profiler.shard_trees()
+        )
+        # Without a clock, every time-shaped field is exactly zero.
+        assert metrics.ingest_seconds == 0.0
+        assert metrics.snapshot_seconds == 0.0
+        assert metrics.events_per_second == 0.0
+
+    def test_injected_clock_populates_time_metrics(self):
+        ticks = iter(range(1000))
+        clock = lambda: float(next(ticks))  # noqa: E731
+        with Profiler(
+            config(), shards=2, executor="serial", clock=clock
+        ) as profiler:
+            profiler.ingest(zipf_values(23, 1000))
+            profiler.snapshot()
+            metrics = profiler.metrics
+        assert metrics.ingest_seconds > 0.0
+        assert metrics.snapshot_seconds > 0.0
+        assert metrics.events_per_second > 0.0
+
+    def test_as_dict_round_trips_all_fields(self):
+        with Profiler(config(), shards=2, executor="serial") as profiler:
+            profiler.ingest([1, 2, 3])
+            payload = profiler.metrics.as_dict()
+        assert payload["events"] == 3
+        assert len(payload["shards"]) == 2
+        assert {"shard", "events", "batches", "splits"} <= set(
+            payload["shards"][0]
+        )
+
+
+class TestHotRanges:
+    def test_hot_report_finds_the_heavy_value(self):
+        values = np.concatenate([
+            np.full(5000, 42, dtype=np.uint64),
+            zipf_values(29, 5000),
+        ])
+        with Profiler(config(), shards=4) as profiler:
+            profiler.ingest(values)
+            report = profiler.hot_ranges(hot_fraction=0.2)
+        assert report, "expected at least one hot range"
+        lo, hi, weight = report[0]
+        assert lo <= 42 <= hi
+        assert weight >= 5000 * 0.8

@@ -1,0 +1,145 @@
+"""ShardQueue unit tests: FIFO, backpressure policies, quiescing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime import QueueClosed, ShardQueue
+
+
+def drain(queue: ShardQueue):
+    """Take everything until close, acking each batch."""
+    taken = []
+    while True:
+        batch = queue.take()
+        if batch is None:
+            return taken
+        taken.append(batch)
+        queue.task_done()
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        queue = ShardQueue(capacity=8)
+        for index in range(5):
+            assert queue.put([(index, 1)], 1) == "queued"
+        queue.close()
+        assert drain(queue) == [[(i, 1)] for i in range(5)]
+
+    def test_put_after_close_raises(self):
+        queue = ShardQueue(capacity=2)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put([(1, 1)], 1)
+
+    def test_invalid_capacity_and_policy(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ShardQueue(capacity=0)
+        with pytest.raises(ValueError, match="policy"):
+            ShardQueue(capacity=1, policy="explode")
+
+
+class TestBlockPolicy:
+    def test_producer_blocks_until_consumer_drains(self):
+        queue = ShardQueue(capacity=1, policy="block")
+        queue.put([(0, 1)], 1)
+        entered = threading.Event()
+        states = []
+
+        def producer():
+            entered.set()
+            queue.put([(1, 1)], 1)  # must wait for the take below
+            states.append("unblocked")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        # Let the producer reach the wait; then free a slot.
+        assert entered.wait(timeout=5)
+        assert "unblocked" not in states
+        first = queue.take()
+        queue.task_done()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert states == ["unblocked"]
+        assert first == [(0, 1)]
+
+    def test_nothing_dropped_or_spilled(self):
+        queue = ShardQueue(capacity=2, policy="block")
+        consumer = threading.Thread(target=drain, args=(queue,))
+        consumer.start()
+        for index in range(50):
+            queue.put([(index, 1)], 1)
+        queue.join()
+        queue.close()
+        consumer.join(timeout=5)
+        assert queue.dropped_batches == 0
+        assert queue.spilled_batches == 0
+
+
+class TestDropPolicy:
+    def test_overflow_is_counted_not_enqueued(self):
+        queue = ShardQueue(capacity=2, policy="drop")
+        assert queue.put([(0, 1)], 10) == "queued"
+        assert queue.put([(1, 1)], 10) == "queued"
+        assert queue.put([(2, 1)], 10) == "dropped"
+        assert queue.dropped_batches == 1
+        assert queue.dropped_events == 10
+        queue.close()
+        assert len(drain(queue)) == 2
+
+
+class TestSpillPolicy:
+    def test_overflow_spills_and_preserves_fifo(self):
+        queue = ShardQueue(capacity=2, policy="spill")
+        dispositions = [queue.put([(i, 1)], 1) for i in range(6)]
+        assert dispositions == [
+            "queued", "queued", "spilled", "spilled", "spilled", "spilled",
+        ]
+        assert queue.spilled_batches == 4
+        queue.close()
+        assert drain(queue) == [[(i, 1)] for i in range(6)]
+
+    def test_keeps_spilling_while_backlog_remains(self):
+        """A freed main slot must not let new batches overtake the spill."""
+        queue = ShardQueue(capacity=1, policy="spill")
+        queue.put([(0, 1)], 1)
+        queue.put([(1, 1)], 1)  # spilled
+        batch = queue.take()    # frees the main slot
+        queue.task_done()
+        assert batch == [(0, 1)]
+        assert queue.put([(2, 1)], 1) == "spilled"  # backlog exists
+        queue.close()
+        assert drain(queue) == [[(1, 1)], [(2, 1)]]
+
+
+class TestJoin:
+    def test_join_waits_for_task_done(self):
+        queue = ShardQueue(capacity=4)
+        queue.put([(0, 1)], 1)
+        joined = threading.Event()
+
+        def joiner():
+            queue.join()
+            joined.set()
+
+        thread = threading.Thread(target=joiner)
+        thread.start()
+        assert not joined.wait(timeout=0.05)
+        taken = queue.take()
+        assert taken is not None and not joined.is_set()
+        queue.task_done()
+        assert joined.wait(timeout=5)
+        thread.join(timeout=5)
+
+    def test_depth_and_max_depth(self):
+        queue = ShardQueue(capacity=8)
+        for index in range(3):
+            queue.put([(index, 1)], 1)
+        assert queue.depth == 3
+        assert queue.max_depth == 3
+        queue.take()
+        queue.task_done()
+        assert queue.depth == 2
+        assert queue.max_depth == 3

@@ -1,0 +1,180 @@
+"""Sharded profiles vs the single-tree oracle, and run-to-run determinism.
+
+Splitting a stream across ``N`` shards (each profiling at the inherited
+``epsilon``) and folding with ``combine_many`` must preserve the RAP
+accuracy contract: for any range, the folded estimate is a lower bound
+on the exact count and undercounts by at most
+``sum_i(epsilon * n_i) = epsilon * n``. These tests pin that bound on
+seeded zipf and phased streams for 1, 2, and 8 shards, check that the
+``block``/``spill`` policies make threaded ingestion a deterministic
+function of the stream, and run the ISSUE acceptance scenario: a
+4-shard profiler over a 200k-event zipf stream whose hot-range report
+agrees with a single-tree oracle within the documented bound.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core import RapConfig, RapTree
+from repro.runtime import Profiler
+
+from tests.core.test_tree_fastpath import phased_stream, shape, zipf_stream
+
+UNIVERSE = 2**16
+EPS = 0.05
+
+
+def exact_counts(values: Sequence[int]) -> np.ndarray:
+    """Sorted value array for O(log n) exact range counts."""
+    return np.sort(np.asarray(values, dtype=np.int64))
+
+
+def exact_in(sorted_values: np.ndarray, lo: int, hi: int) -> int:
+    left = np.searchsorted(sorted_values, lo, side="left")
+    right = np.searchsorted(sorted_values, hi, side="right")
+    return int(right - left)
+
+
+def random_ranges(rng: random.Random, n: int) -> List[Tuple[int, int]]:
+    ranges = []
+    for _ in range(n):
+        lo = rng.randrange(UNIVERSE)
+        hi = rng.randrange(lo, UNIVERSE)
+        ranges.append((lo, hi))
+    return ranges
+
+
+def profiled_snapshot(values: Sequence[int], shards: int, **options) -> RapTree:
+    config = RapConfig(UNIVERSE, epsilon=EPS)
+    with Profiler(config, shards=shards, **options) as profiler:
+        profiler.ingest(np.asarray(values, dtype=np.uint64))
+        return profiler.snapshot()
+
+
+class TestAccuracyBoundAcrossShardCounts:
+    """Undercount <= eps * n for every shard count, on every stream."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    @pytest.mark.parametrize("make_stream", [zipf_stream, phased_stream])
+    def test_folded_estimates_stay_within_bound(self, shards, make_stream):
+        rng = random.Random(97)
+        values = make_stream(rng, UNIVERSE, 30_000)
+        sorted_values = exact_counts(values)
+        snapshot = profiled_snapshot(values, shards)
+        assert snapshot.events == len(values)
+        budget = EPS * len(values)
+        for lo, hi in random_ranges(rng, 60):
+            exact = exact_in(sorted_values, lo, hi)
+            estimate = snapshot.estimate(lo, hi)
+            assert estimate <= exact, (shards, lo, hi)
+            assert exact - estimate <= budget, (shards, lo, hi)
+
+    @pytest.mark.parametrize("shards", [2, 8])
+    def test_sharded_agrees_with_single_tree_oracle(self, shards):
+        """Both are within eps*n of exact, so within eps*n of each other."""
+        rng = random.Random(101)
+        values = zipf_stream(rng, UNIVERSE, 30_000)
+        oracle = RapTree.from_config(RapConfig(UNIVERSE, epsilon=EPS))
+        oracle.extend(values)
+        snapshot = profiled_snapshot(values, shards)
+        budget = EPS * len(values)
+        for lo, hi in random_ranges(rng, 60):
+            delta = abs(snapshot.estimate(lo, hi) - oracle.estimate(lo, hi))
+            assert delta <= budget, (shards, lo, hi)
+
+
+class TestDeterminism:
+    """block/spill ingestion is a pure function of the stream."""
+
+    @pytest.mark.parametrize("shards", [2, 8])
+    def test_threaded_block_matches_serial_shape(self, shards):
+        rng = random.Random(103)
+        values = zipf_stream(rng, UNIVERSE, 20_000)
+        # Same batch size on both sides: chunk boundaries decide how
+        # duplicates combine, which legitimately shifts split timing.
+        serial = profiled_snapshot(
+            values, shards, executor="serial", batch_size=512,
+        )
+        threaded = profiled_snapshot(
+            values, shards, executor="thread", backpressure="block",
+            queue_capacity=2, batch_size=512,
+        )
+        assert shape(threaded._root) == shape(serial._root)  # noqa: SLF001
+
+    def test_spill_matches_block_shape(self):
+        rng = random.Random(107)
+        values = phased_stream(rng, UNIVERSE, 20_000)
+        block = profiled_snapshot(
+            values, 4, backpressure="block", queue_capacity=1, batch_size=256,
+        )
+        spill = profiled_snapshot(
+            values, 4, backpressure="spill", queue_capacity=1, batch_size=256,
+        )
+        assert shape(spill._root) == shape(block._root)  # noqa: SLF001
+
+    def test_repeat_runs_are_identical(self):
+        rng = random.Random(109)
+        values = zipf_stream(rng, UNIVERSE, 15_000)
+        first = profiled_snapshot(values, 4)
+        second = profiled_snapshot(values, 4)
+        assert shape(first._root) == shape(second._root)  # noqa: SLF001
+
+
+class TestAcceptanceScenario:
+    """ISSUE acceptance: 4 shards, 200k zipf events, hot ranges vs oracle."""
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        rng = random.Random(2006)  # CGO 2006
+        values = zipf_stream(rng, UNIVERSE, 200_000)
+        return values, exact_counts(values)
+
+    @pytest.fixture(scope="class")
+    def snapshot(self, stream):
+        values, _ = stream
+        config = RapConfig(UNIVERSE, epsilon=EPS)
+        with Profiler(config, shards=4, executor="thread") as profiler:
+            profiler.ingest(np.asarray(values, dtype=np.uint64))
+            report = profiler.hot_ranges(hot_fraction=0.05)
+            return profiler.snapshot(), report
+
+    def test_hot_report_matches_oracle_within_bound(self, stream, snapshot):
+        values, sorted_values = stream
+        folded, report = snapshot
+        budget = EPS * len(values)
+
+        oracle = RapTree.from_config(RapConfig(UNIVERSE, epsilon=EPS))
+        oracle.extend(values)
+
+        assert folded.events == oracle.events == len(values)
+        assert report, "200k zipf stream must surface hot ranges"
+        for lo, hi, weight in report:
+            exact = exact_in(sorted_values, lo, hi)
+            # Reported weight is a lower bound within the documented
+            # eps * n budget of both the truth and the oracle's answer.
+            assert weight <= exact
+            assert exact - weight <= budget, (lo, hi)
+            assert abs(weight - oracle.estimate(lo, hi)) <= budget, (lo, hi)
+
+    def test_hot_report_covers_the_true_heavy_hitters(self, stream, snapshot):
+        values, sorted_values = stream
+        _, report = snapshot
+        counts = {}
+        for value in values:
+            counts[value] = counts.get(value, 0) + 1
+        heavy = [
+            value for value, count in counts.items()
+            if count >= 0.05 * len(values)
+        ]
+        assert heavy, "zipf stream should have >=5% heavy hitters"
+        for value in heavy:
+            assert any(lo <= value <= hi for lo, hi, _ in report), value
+
+    def test_snapshot_satisfies_tree_invariants(self, snapshot):
+        folded, _ = snapshot
+        folded.check_invariants()
