@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import re
 
 import pytest
 
@@ -88,9 +89,14 @@ def pytest_sessionfinish(session, exitstatus):
         stats = getattr(bench, "stats", None)
         if stats is None:
             continue
+        # Backend-parametrized rows ("...[columnar]") are separate
+        # regression lineages; un-parametrized benchmarks run the
+        # default object backend.
+        match = re.search(r"\[(object|columnar)\]", bench.name)
         results.append(
             {
                 "name": bench.name,
+                "backend": match.group(1) if match else "object",
                 "mean_s": stats.mean,
                 "min_s": stats.min,
                 "max_s": stats.max,

@@ -171,25 +171,51 @@ def check_conservation(tree: RapTree) -> List[AuditFinding]:
     return findings
 
 
+def _floor_era_batches(
+    floor: float,
+    epsilon: float,
+    max_height: int,
+    initial_interval: float,
+    growth: float,
+    events: int,
+) -> int:
+    """Merge batches that fired while the threshold floor was active.
+
+    The floor rules until ``epsilon * n / max_height`` overtakes it,
+    i.e. up to ``n* = floor * max_height / epsilon`` events; merge
+    triggers sit at ``initial * growth^k``, so the count is the number
+    of series points inside ``[initial, min(events, n*)]``.
+    """
+    horizon = min(float(events), floor * max_height / epsilon)
+    if horizon < initial_interval or growth <= 1.0:
+        return 0
+    return int(
+        math.log(horizon / initial_interval) / math.log(growth)
+    ) + 1
+
+
 def _discipline_bound(
     threshold: float,
     floor: float,
     children_per_split: int,
     growth: float,
+    floor_batches: int,
 ) -> float:
     """Largest legal counter on a splittable node.
 
     A node absorbs at most ``int(threshold) + 1`` directly before it
     splits. On top of that, each batched merge may fold up to
-    ``children_per_split`` collapsed subtrees of weight at most the
-    merge threshold back into it. Merge batches fire at geometrically
-    growing event counts, so thresholds of past batches form a geometric
-    series dominated by ``threshold * growth / (growth - 1)``; the
-    ``floor`` term covers batches fired while the threshold floor was
-    active.
+    ``children_per_split`` collapsed subtrees, each of weight at most
+    the merge threshold *of that batch*, back into it. Once the
+    threshold has left its floor, batch thresholds grow with the
+    geometric merge schedule, so their sum is dominated by
+    ``threshold * growth / (growth - 1)``. While the floor is active
+    the series is constant, not geometric — every one of those
+    ``floor_batches`` batches may re-deposit a full
+    ``children_per_split * floor``, so they are counted individually.
     """
-    return 1.0 + floor + threshold * (
-        1.0 + children_per_split * growth / (growth - 1.0)
+    return 1.0 + floor + threshold + children_per_split * (
+        floor_batches * floor + threshold * growth / (growth - 1.0)
     )
 
 
@@ -206,6 +232,14 @@ def check_discipline(tree: RapTree) -> List[AuditFinding]:
         config.min_split_threshold,
         config.branching,
         config.merge_growth,
+        _floor_era_batches(
+            config.min_split_threshold,
+            config.epsilon,
+            config.max_height,
+            config.merge_initial_interval,
+            config.merge_growth,
+            tree.events,
+        ),
     )
     for node in tree.nodes():
         if node.lo == node.hi:
@@ -553,6 +587,14 @@ def check_discipline_multidim(tree: MultiDimRapTree) -> List[AuditFinding]:
         config.min_split_threshold,
         children_per_split,
         config.merge_growth,
+        _floor_era_batches(
+            config.min_split_threshold,
+            config.epsilon,
+            config.max_height,
+            config.merge_initial_interval,
+            config.merge_growth,
+            tree.events,
+        ),
     )
     for node in tree.root.iter_subtree():
         if node.is_point:

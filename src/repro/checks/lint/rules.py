@@ -33,6 +33,11 @@ reproduction:
   ``Profiler.from_config(config, ...)`` for managed ingestion — so
   construction sites stay greppable and pick up constructor-level
   invariants added later.
+* **RAP-LINT012 columnar-internals-import** — the struct-of-arrays
+  kernel ``repro.core.columnar`` is an implementation detail behind the
+  ``TreeBackend`` protocol. Outside ``core/`` the backend is selected
+  with ``RapConfig(backend="columnar")``; importing the module directly
+  would freeze its column layout into other layers.
 """
 
 from __future__ import annotations
@@ -543,6 +548,81 @@ class DirectTreeConstructionRule(Rule):
                 )
 
 
+class ColumnarInternalsImportRule(Rule):
+    code = "RAP-LINT012"
+    name = "columnar-internals-import"
+    rationale = (
+        "repro.core.columnar is an implementation detail behind the "
+        "TreeBackend protocol; outside core/ the kernel is selected "
+        "with RapConfig(backend=\"columnar\"), so its column layout "
+        "never leaks into other layers"
+    )
+    example = (
+        "from repro.core.columnar import ColumnarRapTree   "
+        "# outside repro.core"
+    )
+    fix = (
+        "select the kernel through the config knob: "
+        "RapTree.from_config(RapConfig(..., backend=\"columnar\")) — "
+        "everything downstream (serialization, combine, auditing, the "
+        "runtime Profiler) works through the TreeBackend protocol"
+    )
+
+    # core/ owns the kernel: config dispatch, the TreeBackend protocol,
+    # and the object tree's batch fallbacks import it legitimately.
+    _exempt_scopes = ("core/",)
+    _target = "repro.core.columnar"
+
+    def _flag(self, context: LintContext, node: ast.AST) -> Violation:
+        return self.violation(
+            context,
+            node,
+            "imports repro.core.columnar internals outside repro.core; "
+            "select the kernel with RapConfig(backend=\"columnar\") and "
+            "RapTree.from_config / Profiler.from_config",
+        )
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if context.in_package(*self._exempt_scopes):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == self._target or alias.name.startswith(
+                        self._target + "."
+                    ):
+                        yield self._flag(context, node)
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                # Absolute (repro.core.columnar) or relative
+                # (..core.columnar / .columnar) spellings of the module
+                # itself.
+                names_module = (
+                    module == self._target
+                    or module.startswith(self._target + ".")
+                    or (
+                        node.level > 0
+                        and (
+                            module == "columnar"
+                            or module.endswith(".columnar")
+                        )
+                    )
+                )
+                # `from repro.core import columnar` (or the relative
+                # `from ..core import columnar`) pulls in the same
+                # module under an alias.
+                names_parent = (
+                    module == "repro.core"
+                    or (
+                        node.level > 0
+                        and (module == "core" or module.endswith(".core"))
+                    )
+                ) and any(alias.name == "columnar" for alias in node.names)
+                if names_module or names_parent:
+                    yield self._flag(context, node)
+
+
 #: The purely syntactic rules defined in this module. The full
 #: registry — these plus the flow-sensitive RAP-LINT006..010 — lives in
 #: :mod:`repro.checks.lint.registry`.
@@ -555,5 +635,6 @@ SYNTACTIC_RULES: Dict[str, Rule] = {
         MissingAnnotationsRule(),
         WallClockRule(),
         DirectTreeConstructionRule(),
+        ColumnarInternalsImportRule(),
     )
 }

@@ -23,7 +23,7 @@ Commands:
   estimate guarantees against an exact oracle.
 * ``rap lint [paths...]`` — run the repo-specific RAP-LINT rules (the
   syntactic AST rules plus the flow-sensitive dataflow rules).
-  ``--strict`` forces all eleven rules on; ``--explain RAP-LINTNNN``
+  ``--strict`` forces all twelve rules on; ``--explain RAP-LINTNNN``
   prints a rule's rationale, example violation, and suggested fix.
 
 Operational errors — an unknown experiment id, an unreadable or corrupt

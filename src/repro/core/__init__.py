@@ -12,9 +12,16 @@ Public surface:
   and 3.
 * :class:`MultiDimRapTree` — the multi-dimensional extension from the
   paper's conclusion.
+* :class:`TreeBackend` / :class:`ColumnarRapTree` — the backend protocol
+  and the struct-of-arrays kernel selected by
+  ``RapConfig(backend="columnar")``; construct through
+  ``RapTree.from_config`` (RAP-LINT012 flags imports of the kernel's
+  module internals outside :mod:`repro.core`).
 """
 
 from .api import RapProfile, RapSummary, rap_add_points, rap_finalize, rap_init
+from .backend import TreeBackend
+from .columnar import ColumnarRapTree
 from .combine import combine_many, combine_trees, split_stream_profile
 from .config import MergeScheduler, RapConfig, bits_for_range, max_tree_height
 from .hot_ranges import (
@@ -33,6 +40,7 @@ from .stats import TreeStats
 from .tree import RapTree
 
 __all__ = [
+    "ColumnarRapTree",
     "DEFAULT_HOT_FRACTION",
     "HotRange",
     "MergeScheduler",
@@ -45,6 +53,7 @@ __all__ = [
     "RapSummary",
     "RapTree",
     "SampledRapTree",
+    "TreeBackend",
     "TreeStats",
     "bits_for_range",
     "combine_many",

@@ -1,0 +1,1460 @@
+"""Struct-of-arrays RAP tree kernel with vectorized batch ingest.
+
+:class:`ColumnarRapTree` stores the range tree in parallel columns
+instead of linked :class:`~repro.core.node.RapNode` objects. One *slot*
+(column index) is one node; freed slots are recycled through a free
+list. The layout per slot is hybrid — numpy arrays for the columns the
+vectorized kernel gathers from, plain Python lists for the columns the
+scalar cascade walks (CPython list indexing is an order of magnitude
+faster than numpy scalar indexing, and the scalar path is all
+single-element access):
+
+========================  ==========  =========================================
+column                    storage     meaning
+========================  ==========  =========================================
+``_counts_list``          list        the node's counter (canonical)
+``_counts``               int64 array lazily refreshed mirror of the counters
+                                      (vector gather/scatter + range queries)
+``_is_item``              bool array  ``lo == hi`` (vector fit predicate)
+``_los`` / ``_his``       list        closed range bounds (universe to 2**64)
+``_parents``              list        parent slot (-1 at the root)
+``_first_child``          list        head of the sorted sibling chain (-1)
+``_next_sibling``         list        next sibling in ``lo`` order (-1 at end)
+``_n_children``           list        chain length (avoids walks on fan-out)
+``_dirty``                list        dirty-frontier flag (see tree.py)
+``_cached_weight``        list        subtree weight at last merge visit
+``_cached_min``           list        min subtree weight at last merge visit
+``_live``                 list        slot is an allocated node
+========================  ==========  =========================================
+
+On top of the slots sits the *cover index*: the deepest covering node is
+piecewise constant over the value space, so ``_cov_starts`` (sorted
+segment starts) and ``_cov_owner`` (owning slot per segment) answer
+"smallest covering range" with one ``searchsorted`` — for a whole batch
+at once. The index is maintained lazily: splits queue their splice on
+``_cov_pending`` and the next vectorized round folds every queued splice
+into one concatenate-and-argsort pass (a split node's owned region is
+exactly its missing partition cells); the rare merge passes schedule a
+wholesale rebuild instead. The scalar path never touches the index — it
+descends the sibling chains from a finger-cached slot, exactly like the
+object backend's ``_locate``.
+
+Batch ingest (`extend` / `add_counted` / `add_batch`) runs *vectorized
+rounds*: look up every window item's owner through the cover index, and
+apply the longest prefix whose items provably fit inline — per-owner
+window totals below the split threshold, before the next merge trigger
+— with one ``bincount`` scatter. The first item the mask cannot prove
+safe drops to an exact scalar port of the object backend's ``add``
+cascade (same closed-form split crossing points, same mid-count
+merges); once the stream fits inline again the kernel re-vectorizes the
+tail. Both the window size and the scalar stretch length adapt: calm
+regions run huge windows, split-heavy regions stay scalar (where the
+kernel is as fast as the object backend's inline loop) instead of
+paying for rounds that apply almost nothing. The scalar path is
+arithmetic-identical to :class:`repro.core.tree.RapTree`, and the
+vectorized mask merely *routes* items (an item it cannot prove safe
+goes to the scalar path, which decides authoritatively), so the two
+backends produce identical trees for identical operation sequences.
+
+Exactness caveat: the vectorized fit mask compares int64 totals against
+float64 thresholds (and sums per-owner deposits in float64), which
+rounds above 2**53 where CPython's int arithmetic is exact. Counters
+that large are out of scope for every supported workload; below 2**53
+the arithmetic is bit-identical.
+
+Construct through ``RapTree.from_config(RapConfig(backend="columnar"))``
+— importing this module's internals elsewhere is flagged by RAP-LINT012.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .config import MergeScheduler, RapConfig, split_crossing_point
+from .node import RapNode, partition_range
+from .stats import TreeStats
+
+_NO_SLOT = -1
+_INITIAL_CAPACITY = 64
+# Scalar-stretch length before the first re-vectorization attempt. The
+# stretch doubles (up to the max) every time a round comes back nearly
+# empty, so split-heavy phases stay on the scalar fast path instead of
+# paying for rounds that apply a handful of items.
+_STREAK_MIN = 16
+_STREAK_MAX = 1024
+# Vectorized window sizing: grows while rounds apply their whole window,
+# shrinks when they block early, bounding the work a blocked round
+# throws away.
+_WINDOW_MIN = 512
+_WINDOW_START = 1024
+_WINDOW_MAX = 16384
+# A round that applied less than this is considered a miss for the
+# adaptive streak/window logic.
+_ROUND_MISS = 64
+# Below this many remaining items the fixed numpy overhead of a round
+# costs more than just finishing the tail through the scalar fast path.
+_MIN_VECTOR_TAIL = 48
+
+_LIST_COLUMNS: Tuple[str, ...] = (
+    "_counts_list",
+    "_los",
+    "_his",
+    "_parents",
+    "_first_child",
+    "_next_sibling",
+    "_n_children",
+    "_dirty",
+    "_cached_weight",
+    "_cached_min",
+    "_live",
+)
+
+
+class ColumnarRapTree:
+    """Array-backed RAP profile, observably equivalent to ``RapTree``.
+
+    Implements the :class:`repro.core.backend.TreeBackend` protocol.
+    ``root``/``nodes()``/``leaves()`` materialize a read-only
+    :class:`~repro.core.node.RapNode` view of the columns (cached per
+    mutation generation) so serialization, auditing and folds treat both
+    backends identically. Mutating the view does not affect the tree.
+    """
+
+    def __init__(self, config: RapConfig) -> None:
+        self._config = config
+        self._counts = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._is_item = np.zeros(_INITIAL_CAPACITY, dtype=np.bool_)
+        self._counts_list: List[int] = []
+        self._los: List[int] = []
+        self._his: List[int] = []
+        self._parents: List[int] = []
+        self._first_child: List[int] = []
+        self._next_sibling: List[int] = []
+        self._n_children: List[int] = []
+        self._dirty: List[bool] = []
+        self._cached_weight: List[int] = []
+        self._cached_min: List[int] = []
+        self._live: List[bool] = []
+        self._free: List[int] = []
+        self._size = 0
+        # Mirror staleness: slots whose canonical (list) counter moved
+        # since the numpy mirror was last refreshed, or everything after
+        # a merge pass rewired the tree.
+        self._mirror_stale: List[int] = []
+        self._mirror_all_stale = False
+        root = self._alloc(0, config.range_max - 1)
+        assert root == 0, "root must occupy slot 0"
+        self._node_count = 1
+        self._events = 0
+        self._scheduler = MergeScheduler(
+            initial_interval=config.merge_initial_interval,
+            growth=config.merge_growth,
+        )
+        self._stats = TreeStats(sample_every=config.timeline_sample_every)
+        self._eps_over_height = config.epsilon / config.max_height
+        self._min_threshold = config.min_split_threshold
+        self._audit_every = config.audit_every
+        self._next_audit = config.audit_every
+        self._generation = 0
+        self._confined_ident: Optional[int] = None
+        # Finger cache for scalar descents (same role as RapTree's
+        # ``_cached_node``); reset to the root after merges recycle slots.
+        self._cached_slot = 0
+        # Cover index: one segment, the whole universe, owned by the root.
+        self._cov_starts = np.zeros(1, dtype=np.uint64)
+        self._cov_owner = np.zeros(1, dtype=np.int64)
+        # Lazy maintenance state: queued split splices, or a wholesale
+        # rebuild request after a merge restructured the tree.
+        self._cov_pending: List[Tuple[int, List[int]]] = []
+        self._cov_rebuild = False
+        # Cross-round owner cache (see _vector_round): owners resolved
+        # for varr[_owner_cache_start:...] in the last round of the
+        # current ingest, plus the structural changes since then that
+        # decide how much of it is still valid.
+        self._owner_cache: Optional[np.ndarray] = None
+        self._owner_cache_start = 0
+        self._splits_since_round: List[int] = []
+        self._merged_since_round = False
+        # Materialized RapNode view, cached per mutation generation.
+        self._view_root: Optional[RapNode] = None
+        self._view_generation = -1
+
+    # ------------------------------------------------------------------
+    # Slot management
+    # ------------------------------------------------------------------
+
+    def _alloc(self, lo: int, hi: int) -> int:
+        """Take a slot off the free list (or grow) and initialize it.
+
+        Recycled slots had their counter and item flag reset when the
+        merge pass freed them, so allocation touches the numpy columns
+        only for the rare single-item node.
+        """
+        if self._free:
+            slot = self._free.pop()
+            self._los[slot] = lo
+            self._his[slot] = hi
+            self._parents[slot] = _NO_SLOT
+            self._first_child[slot] = _NO_SLOT
+            self._next_sibling[slot] = _NO_SLOT
+            self._n_children[slot] = 0
+            # New nodes start dirty with zeroed caches, like RapNode.
+            self._dirty[slot] = True
+            self._cached_weight[slot] = 0
+            self._cached_min[slot] = 0
+            self._live[slot] = True
+        else:
+            slot = self._size
+            self._size += 1
+            if slot == len(self._counts):
+                self._grow()
+            self._counts_list.append(0)
+            self._los.append(lo)
+            self._his.append(hi)
+            self._parents.append(_NO_SLOT)
+            self._first_child.append(_NO_SLOT)
+            self._next_sibling.append(_NO_SLOT)
+            self._n_children.append(0)
+            self._dirty.append(True)
+            self._cached_weight.append(0)
+            self._cached_min.append(0)
+            self._live.append(True)
+        if lo == hi:
+            self._is_item[slot] = True
+        return slot
+
+    def _grow(self) -> None:
+        capacity = max(_INITIAL_CAPACITY, 2 * len(self._counts))
+        for name in ("_counts", "_is_item"):
+            old = getattr(self, name)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+
+    def _free_slot(self, slot: int) -> None:
+        self._live[slot] = False
+        self._free.append(slot)
+
+    def _refresh_mirror(self) -> None:
+        """Bring the numpy counter mirror up to date with the lists.
+
+        Wholesale ``fromiter`` when everything is stale (after merges)
+        or when many individual slots moved; targeted scalar writes
+        otherwise.
+        """
+        stale = self._mirror_stale
+        if self._mirror_all_stale or len(stale) > self._size // 8:
+            self._counts[: self._size] = np.fromiter(
+                self._counts_list, dtype=np.int64, count=self._size
+            )
+            self._mirror_all_stale = False
+        elif stale:
+            counts = self._counts
+            counts_list = self._counts_list
+            for slot in stale:
+                counts[slot] = counts_list[slot]
+        if stale:
+            self._mirror_stale = []
+
+    def _children_slots(self, slot: int) -> List[int]:
+        """Direct children of ``slot`` in ``lo`` order."""
+        out: List[int] = []
+        child = self._first_child[slot]
+        next_sibling = self._next_sibling
+        while child != _NO_SLOT:
+            out.append(child)
+            child = next_sibling[child]
+        return out
+
+    def _set_children(self, slot: int, kids: List[int]) -> None:
+        """Rebuild the sibling chain of ``slot`` from a sorted slot list."""
+        self._n_children[slot] = len(kids)
+        self._first_child[slot] = kids[0] if kids else _NO_SLOT
+        parents = self._parents
+        next_sibling = self._next_sibling
+        last = len(kids) - 1
+        for index, kid in enumerate(kids):
+            parents[kid] = slot
+            next_sibling[kid] = kids[index + 1] if index < last else _NO_SLOT
+
+    def _subtree_slots(self, slot: int) -> List[int]:
+        """Every slot in the subtree rooted at ``slot`` (incl. itself)."""
+        out: List[int] = []
+        stack = [slot]
+        first_child = self._first_child
+        next_sibling = self._next_sibling
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            child = first_child[current]
+            while child != _NO_SLOT:
+                stack.append(child)
+                child = next_sibling[child]
+        return out
+
+    def _mark_dirty(self, slot: int) -> None:
+        """Mark ``slot`` and its clean ancestors dirty (early-exit walk)."""
+        dirty = self._dirty
+        parents = self._parents
+        while slot != _NO_SLOT and not dirty[slot]:
+            dirty[slot] = True
+            slot = parents[slot]
+
+    # ------------------------------------------------------------------
+    # Scalar descent (finger search over the sibling chains)
+    # ------------------------------------------------------------------
+
+    def _deepest_slot(self, value: int) -> int:
+        """Slot of the deepest node covering ``value``.
+
+        Finger search, exactly like ``RapTree._locate``: walk up from
+        the cached slot until the value is covered, then descend the
+        sorted sibling chains. Consecutive events land near each other
+        (loops, hot ranges), so the walk is usually O(1).
+        """
+        los = self._los
+        his = self._his
+        slot = self._cached_slot
+        if value < los[slot] or value > his[slot]:
+            parents = self._parents
+            slot = parents[slot]
+            while slot != _NO_SLOT and (value < los[slot] or value > his[slot]):
+                slot = parents[slot]
+            if slot == _NO_SLOT:
+                slot = 0
+        first_child = self._first_child
+        next_sibling = self._next_sibling
+        while True:
+            child = first_child[slot]
+            while child != _NO_SLOT:
+                if los[child] > value:
+                    child = _NO_SLOT
+                    break
+                if value <= his[child]:
+                    break
+                child = next_sibling[child]
+            if child == _NO_SLOT:
+                self._cached_slot = slot
+                return slot
+            slot = child
+
+    # ------------------------------------------------------------------
+    # Cover index (vector rounds only; maintained lazily)
+    # ------------------------------------------------------------------
+
+    def _rebuild_cover(self) -> None:
+        """Recompute the full cover index from the sibling chains.
+
+        O(nodes); only merge passes (rare, geometric spacing) pay this.
+        Splits queue in-place splices on ``_cov_pending`` instead.
+        """
+        starts: List[int] = []
+        owners: List[int] = []
+
+        def emit(slot: int) -> None:
+            position = self._los[slot]
+            child = self._first_child[slot]
+            while child != _NO_SLOT:
+                child_lo = self._los[child]
+                if child_lo > position:
+                    starts.append(position)
+                    owners.append(slot)
+                emit(child)
+                position = self._his[child] + 1
+                child = self._next_sibling[child]
+            if position <= self._his[slot]:
+                starts.append(position)
+                owners.append(slot)
+
+        emit(0)
+        self._cov_starts = np.array(starts, dtype=np.uint64)
+        self._cov_owner = np.array(owners, dtype=np.int64)
+
+    def _sync_cover(self) -> None:
+        """Fold queued split splices (or a rebuild) into the cover index.
+
+        After a split every missing partition cell gained a child, so the
+        split node owns nothing: its segments are exactly the union of
+        the new children's ranges. Batching the queued splits means one
+        concatenate-and-argsort per vectorized round instead of one per
+        split; a fresh child that itself split later in the same batch
+        contributes no segment (its own children do).
+        """
+        if self._cov_rebuild:
+            self._rebuild_cover()
+            self._cov_rebuild = False
+            self._cov_pending.clear()
+            return
+        pending = self._cov_pending
+        if not pending:
+            return
+        self._cov_pending = []
+        split_slots = {slot for slot, _ in pending}
+        new_owners = [
+            kid
+            for _, created in pending
+            for kid in created
+            if kid not in split_slots
+        ]
+        # Membership via a boolean table over slots: owners are slot ids
+        # (< size), so this is O(segments) with no sorting — much cheaper
+        # than np.isin for the handful of splits pending between rounds.
+        split_table = np.zeros(self._size, dtype=np.bool_)
+        split_table[list(split_slots)] = True
+        keep = ~split_table[self._cov_owner]
+        los = self._los
+        kept_starts = self._cov_starts[keep]
+        kept_owner = self._cov_owner[keep]
+        new_owners.sort(key=los.__getitem__)
+        new_starts = np.fromiter(
+            (los[kid] for kid in new_owners),
+            dtype=np.uint64,
+            count=len(new_owners),
+        )
+        # Both sides are sorted, so a positioned insert replaces the
+        # concatenate-and-argsort: O(segments) copy, no sort. Done by
+        # hand (shared scatter mask) — np.insert's argument handling
+        # costs more than the copy itself at this size.
+        positions = np.searchsorted(kept_starts, new_starts)
+        grown = kept_starts.size + new_starts.size
+        at = positions + np.arange(new_starts.size)
+        starts_out = np.empty(grown, dtype=np.uint64)
+        owner_out = np.empty(grown, dtype=np.int64)
+        old_at = np.ones(grown, dtype=np.bool_)
+        old_at[at] = False
+        starts_out[at] = new_starts
+        owner_out[at] = np.asarray(new_owners, dtype=np.int64)
+        starts_out[old_at] = kept_starts
+        owner_out[old_at] = kept_owner
+        self._cov_starts = starts_out
+        self._cov_owner = owner_out
+
+    # ------------------------------------------------------------------
+    # Basic properties (mirrors RapTree)
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> RapConfig:
+        return self._config
+
+    @property
+    def root(self) -> RapNode:
+        """Materialized read-only view of the tree (see class docstring)."""
+        return self._materialize()
+
+    @property
+    def events(self) -> int:
+        """Total event weight processed so far (the paper's ``n``)."""
+        return self._events
+
+    @property
+    def node_count(self) -> int:
+        """Current number of counters (nodes) in the tree."""
+        return self._node_count
+
+    @property
+    def stats(self) -> TreeStats:
+        return self._stats
+
+    @property
+    def mutation_generation(self) -> int:
+        """Epoch counter bumped on every mutation of the profile."""
+        return self._generation
+
+    @property
+    def merge_scheduler(self) -> MergeScheduler:
+        return self._scheduler
+
+    @property
+    def split_threshold(self) -> float:
+        """Current value of ``epsilon * n / log_b(R)`` (with floor)."""
+        raw = self._eps_over_height * self._events
+        return raw if raw > self._min_threshold else self._min_threshold
+
+    def error_bound(self) -> float:
+        """Worst-case undercount of any range estimate: ``epsilon * n``."""
+        return self._config.epsilon * self._events
+
+    def memory_bytes(self, bits_per_node: int = 128) -> int:
+        """Current memory footprint at the paper's 128 bits/node (§4.2)."""
+        return (self._node_count * bits_per_node + 7) // 8
+
+    # ------------------------------------------------------------------
+    # Thread confinement and cloning (runtime hooks)
+    # ------------------------------------------------------------------
+
+    def confine_to_current_thread(self) -> None:
+        """Restrict mutations to the calling thread (see RapTree)."""
+        self._confined_ident = threading.get_ident()
+
+    def unconfine(self) -> None:
+        """Lift thread confinement (any thread may mutate again)."""
+        self._confined_ident = None
+
+    def _assert_owner(self) -> None:
+        ident = self._confined_ident
+        if ident is not None and ident != threading.get_ident():
+            raise RuntimeError(
+                "ColumnarRapTree is confined to thread "
+                f"{ident}; mutation attempted from thread "
+                f"{threading.get_ident()}. Shard trees are "
+                "single-writer — route events through the owning "
+                "worker's queue (see repro.runtime)."
+            )
+
+    def clone(self) -> "ColumnarRapTree":
+        """Deep, independent copy of this profile (still columnar).
+
+        Column copies are cheaper than the object backend's serializer
+        round-trip and preserve exactly the same state: structure,
+        counters, merge-schedule position and the mutation generation.
+        Statistics timelines are not carried over (same contract as
+        ``RapTree.clone``).
+        """
+        self._sync_cover()
+        self._refresh_mirror()
+        other = ColumnarRapTree(self._config)
+        other._counts = self._counts.copy()
+        other._is_item = self._is_item.copy()
+        for name in _LIST_COLUMNS:
+            setattr(other, name, list(getattr(self, name)))
+        other._free = list(self._free)
+        other._size = self._size
+        other._node_count = self._node_count
+        other._events = self._events
+        other._scheduler.next_at = self._scheduler.next_at
+        other._scheduler.batches_fired = self._scheduler.batches_fired
+        other._generation = self._generation
+        other._cov_starts = self._cov_starts.copy()
+        other._cov_owner = self._cov_owner.copy()
+        return other
+
+    # ------------------------------------------------------------------
+    # Updates — scalar path (exact port of RapTree.add/_absorb)
+    # ------------------------------------------------------------------
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``value``.
+
+        Arithmetic-identical to :meth:`repro.core.tree.RapTree.add`:
+        same closed-form split crossing points, same mid-count merge
+        triggers, same descent semantics.
+        """
+        if self._confined_ident is not None:
+            self._assert_owner()
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if value < 0 or value > self._his[0]:
+            raise ValueError(
+                f"value {value} outside universe [0, {self._his[0]}]"
+            )
+        self._absorb_slot(self._deepest_slot(value), value, count)
+        self._generation += 1
+        self._stats.observe_update()
+
+        if self._scheduler.due(self._events):
+            self.merge_now()
+
+        if self._audit_every and self._events >= self._next_audit:
+            while self._next_audit <= self._events:
+                self._next_audit += self._audit_every
+            self.audit()
+
+    def _absorb_slot(self, slot: int, value: int, count: int) -> None:
+        """Deposit ``count`` units of ``value`` starting at ``slot``.
+
+        Line-for-line port of ``RapTree._absorb`` onto slots; every
+        threshold comparison uses Python ints/floats, so the cascade
+        arithmetic matches the object backend bit for bit.
+        """
+        remaining = count
+        events = self._events
+        eps_h = self._eps_over_height
+        min_th = self._min_threshold
+        scheduler = self._scheduler
+        stats = self._stats
+        counts = self._counts_list
+        stale = self._mirror_stale
+        while True:
+            next_at = scheduler.next_at
+            m_merge = int(next_at - events)
+            if events + m_merge < next_at:
+                m_merge += 1
+            if m_merge < 1:
+                m_merge = 1
+            m = remaining if remaining < m_merge else m_merge
+
+            m_split = 0
+            if self._los[slot] != self._his[slot]:
+                c0 = counts[slot]
+                cap_th = eps_h * (events + m)
+                if cap_th < min_th:
+                    cap_th = min_th
+                if c0 + m > cap_th:
+                    th1 = eps_h * (events + 1)
+                    if th1 < min_th:
+                        th1 = min_th
+                    if c0 > int(th1):
+                        # Already over threshold before absorbing (merge
+                        # churn re-deposited weight): split dry and push
+                        # the whole run down to the covering child.
+                        self._split_slot(slot)
+                        slot = self._deepest_slot(value)
+                        continue
+                    m_split = split_crossing_point(c0, events, eps_h, min_th)
+                    if 0 < m_split < m:
+                        m = m_split
+
+            counts[slot] += m
+            stale.append(slot)
+            events += m
+            remaining -= m
+            self._events = events
+            self._mark_dirty(slot)
+            split_now = m_split != 0 and m == m_split
+            if split_now:
+                self._split_slot(slot)
+            stats.observe_weight(m, self._node_count)
+
+            if events >= next_at:
+                self.merge_now()
+                if not remaining:
+                    return
+                stale = self._mirror_stale
+                slot = self._deepest_slot(value)
+            elif not remaining:
+                return
+            else:
+                # A split boundary was hit with units left: descend into
+                # the fresh child (the deepest cover after our split).
+                slot = self._deepest_slot(value)
+
+    # ------------------------------------------------------------------
+    # Updates — vectorized batch ingest
+    # ------------------------------------------------------------------
+
+    def extend(self, values: Iterable[int]) -> None:
+        """Feed a stream of single events (vectorized rounds).
+
+        Observably identical to calling :meth:`add` per value; with
+        timeline sampling or self-audits enabled the per-event path is
+        used outright so those hooks see every event.
+        """
+        items = values if isinstance(values, list) else list(values)
+        self._ingest(items, None)
+
+    def add_counted(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Feed pre-combined ``(value, count)`` pairs in arrival order."""
+        items = pairs if isinstance(pairs, list) else list(pairs)
+        self._ingest(
+            [pair[0] for pair in items], [pair[1] for pair in items]
+        )
+
+    def add_batch(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Feed ``(value, count)`` pairs, sorted once and routed in bulk.
+
+        Observably identical to ``add_counted(sorted(pairs))`` — the
+        same contract as the object backend's batch kernel.
+        """
+        items = sorted(pairs)
+        self._ingest(
+            [pair[0] for pair in items], [pair[1] for pair in items]
+        )
+
+    def add_stream(self, values: Iterable[int], combine_chunk: int = 0) -> None:
+        """Feed a stream, optionally combining duplicates per chunk."""
+        if combine_chunk <= 0:
+            self.extend(values)
+            return
+        chunk: Dict[int, int] = {}
+        pending = 0
+        for value in values:
+            chunk[value] = chunk.get(value, 0) + 1
+            pending += 1
+            if pending >= combine_chunk:
+                self.add_batch(chunk.items())
+                chunk.clear()
+                pending = 0
+        if chunk:
+            self.add_batch(chunk.items())
+
+    def _ingest(
+        self, values: List[int], counts: Optional[List[int]]
+    ) -> None:
+        """Shared bulk kernel behind extend/add_counted/add_batch.
+
+        Alternates vectorized rounds (apply the provably-inline prefix
+        in one bincount scatter) with exact scalar stretches around
+        split and merge boundaries. ``counts is None`` means all ones
+        (a raw stream).
+        """
+        if self._confined_ident is not None:
+            self._assert_owner()
+        stats = self._stats
+        if stats.sample_every > 0 or self._audit_every:
+            # Sampling/audit hooks must see every event: per-event path.
+            add = self.add
+            if counts is None:
+                for value in values:
+                    add(value)
+            else:
+                for value, count in zip(values, counts):
+                    add(value, count)
+            return
+        total = len(values)
+        if not total:
+            return
+        try:
+            varr = np.asarray(values, dtype=np.uint64)
+            carr = (
+                np.ones(total, dtype=np.int64)
+                if counts is None
+                else np.asarray(counts, dtype=np.int64)
+            )
+        except (OverflowError, TypeError, ValueError):
+            # Out-of-dtype input (negative / huge / non-integer values):
+            # take the exact per-item path, which raises the same errors
+            # at the same item the object backend would.
+            add = self.add
+            if counts is None:
+                for value in values:
+                    add(value)
+            else:
+                for value, count in zip(values, counts):
+                    add(value, count)
+            return
+
+        root_hi = self._his[0]
+        # Precomputed per-ingest: running event totals after each item
+        # (events at any point is the start total plus this prefix — every
+        # item deposits exactly once, in order) and the positions of
+        # items the bulk path must hand to add() for error parity.
+        cum_counts = np.cumsum(carr)
+        invalid_at = np.flatnonzero(
+            (varr > np.uint64(root_hi)) | (carr <= 0)
+        )
+        ones = counts is None
+        pending_events = 0
+        pending_updates = 0
+        index = 0
+        window = _WINDOW_START
+        streak_limit = _STREAK_MIN
+        # The owner cache only spans one ingest (indices are into this
+        # call's varr).
+        self._owner_cache = None
+        self._splits_since_round = []
+        self._merged_since_round = False
+        try:
+            while index < total:
+                if total - index >= _MIN_VECTOR_TAIL:
+                    index, applied, hit_end = self._vector_round(
+                        varr, carr, cum_counts, invalid_at, ones,
+                        index, window,
+                    )
+                    if hit_end:
+                        # The whole window went in: open it wider and
+                        # drop back to eager re-vectorization.
+                        if window < _WINDOW_MAX:
+                            window *= 2
+                        streak_limit = _STREAK_MIN
+                        continue
+                    # Blocked round: retarget the window to roughly twice
+                    # what this round managed (bounding how much owner
+                    # lookup a future blocked round throws away), and
+                    # lengthen the scalar stretch if rounds are applying
+                    # almost nothing (boundary-cluster phases).
+                    resized = 2 * applied
+                    if resized < _WINDOW_MIN:
+                        resized = _WINDOW_MIN
+                    elif resized > _WINDOW_MAX:
+                        resized = _WINDOW_MAX
+                    if resized < window:
+                        window = resized
+                    if applied < _ROUND_MISS and streak_limit < _STREAK_MAX:
+                        streak_limit *= 2
+                    if index >= total:
+                        break
+                # Boundary cluster (or a short tail): exact scalar mode —
+                # the object backend's inline fast path with the finger
+                # descent inlined — until the stream fits inline again.
+                streak = 0
+                los = self._los
+                his = self._his
+                parents = self._parents
+                first_child = self._first_child
+                next_sibling = self._next_sibling
+                dirty = self._dirty
+                counts_list = self._counts_list
+                stale = self._mirror_stale
+                eps_h = self._eps_over_height
+                min_th = self._min_threshold
+                scheduler = self._scheduler
+                slot = self._cached_slot
+                while index < total and streak < streak_limit:
+                    value = values[index]
+                    count = 1 if ones else counts[index]
+                    if count > 0 and 0 <= value <= root_hi:
+                        if value < los[slot] or value > his[slot]:
+                            slot = parents[slot]
+                            while slot != _NO_SLOT and (
+                                value < los[slot] or value > his[slot]
+                            ):
+                                slot = parents[slot]
+                            if slot == _NO_SLOT:
+                                slot = 0
+                        while True:
+                            child = first_child[slot]
+                            while child != _NO_SLOT:
+                                if los[child] > value:
+                                    child = _NO_SLOT
+                                    break
+                                if value <= his[child]:
+                                    break
+                                child = next_sibling[child]
+                            if child == _NO_SLOT:
+                                break
+                            slot = child
+                        n = self._events + count
+                        if n < scheduler.next_at:
+                            if los[slot] == his[slot]:
+                                fits = True
+                            else:
+                                threshold = eps_h * n
+                                if threshold < min_th:
+                                    threshold = min_th
+                                fits = counts_list[slot] + count <= threshold
+                            if fits:
+                                counts_list[slot] += count
+                                stale.append(slot)
+                                self._events = n
+                                if not dirty[slot]:
+                                    self._mark_dirty(slot)
+                                pending_events += count
+                                pending_updates += 1
+                                streak += 1
+                                index += 1
+                                continue
+                    if pending_events:
+                        stats.observe_batch(
+                            pending_events, pending_updates, self._node_count
+                        )
+                        pending_events = 0
+                        pending_updates = 0
+                    self._cached_slot = slot
+                    self.add(value, count)
+                    # add() may merge, which swaps the stale list and
+                    # resets the finger.
+                    stale = self._mirror_stale
+                    slot = self._cached_slot
+                    streak = 0
+                    index += 1
+                self._cached_slot = slot
+        finally:
+            if pending_events:
+                stats.observe_batch(
+                    pending_events, pending_updates, self._node_count
+                )
+            self._generation += 1
+            self._view_root = None
+
+    def _vector_round(
+        self,
+        varr: np.ndarray,
+        carr: np.ndarray,
+        cum_counts: np.ndarray,
+        invalid_at: np.ndarray,
+        ones: bool,
+        start: int,
+        window: int,
+    ) -> Tuple[int, int, bool]:
+        """Apply the longest provably-inline prefix of one window.
+
+        Returns ``(next_index, applied, hit_end)`` — the index of the
+        first unapplied item, how many items went in, and whether the
+        round consumed its whole window (as opposed to stopping on an
+        item the mask could not prove safe).
+
+        The fit predicate is a *conservative* form of the object
+        backend's inline fast path: an item is safe if its owner's
+        total deposit over the candidate prefix stays at or below the
+        split threshold of the *first* item. That proves the exact
+        inline condition for every item of the prefix at once — an
+        item's own deposit plus the deposits before it never exceed the
+        prefix total, and thresholds only grow within a round — so one
+        ``bincount`` per round decides the whole mask, no sorting. The
+        prefix also ends before the next merge trigger and before any
+        item ``add()`` must reject. Items left out are handed to the
+        exact scalar path, which replays the object backend's per-item
+        decision authoritatively: the mask routes, it never decides
+        semantics.
+        """
+        self._sync_cover()
+        self._refresh_mirror()
+        total = len(varr)
+        if start + window > total:
+            window = total - start
+        size = self._size
+        events_before = self._events
+        next_at = self._scheduler.next_at
+        # The provable prefix must stop before the merge trigger and
+        # before any malformed item (out-of-universe value, count <= 0).
+        n_after = None
+        if ones:
+            # Raw stream: the j-th window item lands at events + j, so
+            # the merge cap is a scalar, no prefix array needed.
+            can_take = int(next_at) - events_before
+            while events_before + can_take >= next_at:
+                can_take -= 1
+            while events_before + can_take + 1 < next_at:
+                can_take += 1
+            limit = window if can_take >= window else max(can_take, 0)
+        else:
+            base = int(cum_counts[start - 1]) if start else 0
+            n_after = (
+                cum_counts[start : start + window] - base
+            ) + events_before
+            limit = int(np.searchsorted(n_after, next_at))
+        if invalid_at.size:
+            bad_index = np.searchsorted(invalid_at, start)
+            if bad_index < invalid_at.size:
+                next_invalid = int(invalid_at[bad_index]) - start
+                if next_invalid < limit:
+                    limit = next_invalid
+        applied = 0
+        totals = None
+        if limit:
+            # Owner lookup, reusing the previous round's resolutions for
+            # the stretch it scanned but could not apply. Splits since
+            # then invalidate exactly the positions owned by the split
+            # slots (their regions were handed to new children); merges
+            # invalidate everything.
+            cache = self._owner_cache
+            if self._merged_since_round:
+                cache = None
+                self._merged_since_round = False
+                self._splits_since_round = []
+            reused = None
+            if cache is not None:
+                offset = start - self._owner_cache_start
+                if 0 <= offset < cache.size:
+                    reused = cache[offset : offset + limit]
+                    splits = self._splits_since_round
+                    if splits:
+                        table = np.zeros(size, dtype=np.bool_)
+                        table[splits] = True
+                        stale_at = np.flatnonzero(table[reused])
+                        if stale_at.size:
+                            reused = reused.copy()
+                            reused[stale_at] = self._cov_owner[
+                                np.searchsorted(
+                                    self._cov_starts,
+                                    varr[start + stale_at],
+                                    side="right",
+                                )
+                                - 1
+                            ]
+            if reused is None:
+                owners = self._cov_owner[
+                    np.searchsorted(
+                        self._cov_starts, varr[start : start + limit],
+                        side="right",
+                    )
+                    - 1
+                ]
+            elif reused.size < limit:
+                fresh = self._cov_owner[
+                    np.searchsorted(
+                        self._cov_starts,
+                        varr[start + reused.size : start + limit],
+                        side="right",
+                    )
+                    - 1
+                ]
+                owners = np.concatenate([reused, fresh])
+            else:
+                owners = reused
+            self._owner_cache = owners
+            self._owner_cache_start = start
+            self._splits_since_round = []
+            first_n = (
+                events_before + 1 if ones else int(n_after[0])
+            )
+            th0 = self._eps_over_height * first_n
+            if th0 < self._min_threshold:
+                th0 = self._min_threshold
+            counts = self._counts[:size]
+            if ones:
+                totals = np.bincount(owners, minlength=size)
+            else:
+                # Float64 per-owner sums are exact below 2**53 (module
+                # docstring caveat).
+                totals = np.bincount(
+                    owners, weights=carr[start : start + limit],
+                    minlength=size,
+                )
+            owner_ok = self._is_item[:size] | (counts + totals <= th0)
+            bad_at = np.flatnonzero(~owner_ok[owners])
+            if bad_at.size:
+                # The window total overshoots for hot owners that are
+                # not actually about to split — their early items fit
+                # even though the whole window's worth would not. Refine
+                # exactly for just the flagged owners: an owner's items
+                # fit until its own running deposit crosses th0, and
+                # every other owner already passed on its full total.
+                applied = limit
+                for owner in np.unique(owners[bad_at]).tolist():
+                    count0 = int(counts[owner])
+                    if ones:
+                        # Closed form: the k-th occurrence is the first
+                        # over, with the same float predicate (and ±1
+                        # fixup) as the scalar path.
+                        k = int(th0) - count0 + 1
+                        if k < 1:
+                            k = 1
+                        while count0 + k <= th0:
+                            k += 1
+                        while k > 1 and count0 + k - 1 > th0:
+                            k -= 1
+                        first_over = int(
+                            np.flatnonzero(owners == owner)[k - 1]
+                        )
+                    else:
+                        positions = np.flatnonzero(owners == owner)
+                        running = count0 + np.cumsum(
+                            carr[start : start + limit][positions]
+                        )
+                        first_over = int(
+                            positions[np.flatnonzero(running > th0)[0]]
+                        )
+                    if first_over < applied:
+                        applied = first_over
+                if applied < limit:
+                    totals = None
+            else:
+                applied = limit
+        if applied:
+            if applied == limit:
+                sums = totals
+            elif ones:
+                sums = np.bincount(owners[:applied], minlength=size)
+            else:
+                sums = np.bincount(
+                    owners[:applied],
+                    weights=carr[start : start + applied],
+                    minlength=size,
+                )
+            touched = np.flatnonzero(sums)
+            deposits = (
+                sums[touched]
+                if sums.dtype == np.int64
+                else sums[touched].astype(np.int64)
+            )
+            self._counts[touched] += deposits
+            counts_list = self._counts_list
+            dirty = self._dirty
+            for slot, deposit in zip(touched.tolist(), deposits.tolist()):
+                counts_list[slot] += deposit
+                if not dirty[slot]:
+                    self._mark_dirty(slot)
+            self._events = (
+                events_before + applied
+                if ones
+                else int(n_after[applied - 1])
+            )
+            self._stats.observe_batch(
+                self._events - events_before, applied, self._node_count
+            )
+        return start + applied, applied, applied == window
+
+    # ------------------------------------------------------------------
+    # Split
+    # ------------------------------------------------------------------
+
+    def _split_slot(self, slot: int) -> None:
+        """Burst ``slot`` into up to ``b`` children (Section 2.2).
+
+        Same policy as ``RapTree._split``: existing children (partition
+        cells that survived a partial merge) are left alone, missing
+        cells gain zero-count children, and the chain up to the root is
+        marked dirty. The cover splice is queued for the next vectorized
+        round rather than applied here.
+        """
+        lo = self._los[slot]
+        hi = self._his[slot]
+        kids = self._children_slots(slot)
+        if kids:
+            existing = {(self._los[k], self._his[k]) for k in kids}
+            created = [
+                self._alloc(cell_lo, cell_hi)
+                for cell_lo, cell_hi in partition_range(
+                    lo, hi, self._config.branching
+                )
+                if (cell_lo, cell_hi) not in existing
+            ]
+        else:
+            created = [
+                self._alloc(cell_lo, cell_hi)
+                for cell_lo, cell_hi in partition_range(
+                    lo, hi, self._config.branching
+                )
+            ]
+        if created:
+            if kids:
+                los = self._los
+                merged = sorted(kids + created, key=los.__getitem__)
+            else:
+                merged = created
+            self._set_children(slot, merged)
+            self._node_count += len(created)
+            self._cov_pending.append((slot, created))
+            self._splits_since_round.append(slot)
+        self._mark_dirty(slot)
+        self._stats.observe_split()
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+
+    def merge_now(self) -> int:
+        """Run one batched merge pass; returns the number of nodes removed.
+
+        Port of ``RapTree.merge_now`` — the same dirty-frontier walk
+        over slots; a removed node schedules a wholesale cover-index
+        rebuild for the next vectorized round (merges are rare;
+        geometric spacing amortizes the O(nodes) rebuild to nothing).
+        """
+        if self._confined_ident is not None:
+            self._assert_owner()
+        threshold = self._config.merge_threshold(self._events)
+        before = self._node_count
+        free_before = len(self._free)
+        visited = self._merge_frontier(threshold)
+        removed = before - self._node_count
+        self._stats.observe_merge_batch(removed, nodes_scanned=visited)
+        self._scheduler.fired(self._events)
+        self._generation += 1
+        if removed:
+            self._cov_rebuild = True
+            self._cov_pending.clear()
+            self._cached_slot = 0
+            self._merged_since_round = True
+            self._mirror_all_stale = True
+            self._mirror_stale = []
+            # Reset the recycled slots so _alloc never has to touch the
+            # numpy columns (dead slots must read as count 0: estimate
+            # and total_weight sum the raw counter column).
+            counts_list = self._counts_list
+            recycled = self._free[free_before:]
+            for slot in recycled:
+                counts_list[slot] = 0
+            self._is_item[np.asarray(recycled, dtype=np.int64)] = False
+        return removed
+
+    def _merge_frontier(self, threshold: float) -> int:
+        """Dirty-frontier post-order merge; returns slots examined.
+
+        Frames carry ``[slot, next_child_slot, weight_accumulator,
+        kept_children]`` — the chain pointer replaces the object
+        backend's child index, everything else is the same walk.
+        """
+        if not self._dirty[0] and self._cached_min[0] > threshold:
+            return 1
+        visited = 1
+        counts = self._counts_list
+        first_child = self._first_child
+        next_sibling = self._next_sibling
+        dirty = self._dirty
+        cached_weight = self._cached_weight
+        cached_min = self._cached_min
+        frames: List[list] = [[0, first_child[0], counts[0], []]]
+        while frames:
+            frame = frames[-1]
+            slot = frame[0]
+            child = frame[1]
+            if child != _NO_SLOT:
+                frame[1] = next_sibling[child]
+                if not dirty[child]:
+                    visited += 1
+                    child_weight = cached_weight[child]
+                    if child_weight <= threshold:
+                        # Unchanged subtree at or below threshold:
+                        # collapse it wholesale without walking it.
+                        counts[slot] += child_weight
+                        subtree = self._subtree_slots(child)
+                        self._node_count -= len(subtree)
+                        for freed in subtree:
+                            self._free_slot(freed)
+                        frame[2] += child_weight
+                        continue
+                    if cached_min[child] > threshold:
+                        # Nothing inside can collapse; keep as is.
+                        frame[2] += child_weight
+                        frame[3].append(child)
+                        continue
+                visited += 1
+                frames.append([child, first_child[child], counts[child], []])
+                continue
+            # All children resolved: finalize this slot.
+            frames.pop()
+            weight = frame[2]
+            kept = frame[3]
+            self._set_children(slot, kept)
+            cached_weight[slot] = weight
+            minimum = weight
+            for kid in kept:
+                kid_min = cached_min[kid]
+                if kid_min < minimum:
+                    minimum = kid_min
+            cached_min[slot] = minimum
+            dirty[slot] = False
+            if frames:
+                parent_frame = frames[-1]
+                parent_frame[2] += weight
+                if weight <= threshold:
+                    # Every child already collapsed into this slot, so it
+                    # is a leaf here (kept is empty).
+                    counts[parent_frame[0]] += weight
+                    self._free_slot(slot)
+                    self._node_count -= 1
+                else:
+                    parent_frame[3].append(slot)
+        return visited
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def smallest_covering(self, value: int) -> RapNode:
+        """The deepest node whose range covers ``value`` (view node)."""
+        if value < 0 or value > self._his[0]:
+            raise ValueError(
+                f"value {value} outside universe [0, {self._his[0]}]"
+            )
+        node = self._materialize()
+        while True:
+            child = node.child_covering(value)
+            if child is None:
+                return node
+            node = child
+
+    def find_node(self, lo: int, hi: int) -> Optional[RapNode]:
+        """The view node with exactly the range ``[lo, hi]``, if present."""
+        node = self._materialize()
+        while True:
+            if node.lo == lo and node.hi == hi:
+                return node
+            child = node.child_covering(lo)
+            if child is None or child.hi < hi:
+                return None
+            node = child
+
+    def _bounds_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Range bounds of every slot as arrays (query-time gather).
+
+        Queries are orders of magnitude rarer than updates, so the
+        bounds live in lists (fast scalar access) and are gathered on
+        demand here.
+        """
+        size = self._size
+        los = np.fromiter(self._los, dtype=np.uint64, count=size)
+        his = np.fromiter(self._his, dtype=np.uint64, count=size)
+        return los, his
+
+    def estimate(self, lo: int, hi: int) -> int:
+        """Lower-bound estimate of events that fell in ``[lo, hi]``.
+
+        A node's subtree contributes iff its own range is contained in
+        the query (ranges nest), so the stack walk of the object backend
+        reduces to one vectorized containment mask over the slots. Dead
+        slots hold count 0 (reset at merge time), so no liveness mask
+        is needed.
+        """
+        if lo > hi:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        root_hi = self._his[0]
+        if hi < 0 or lo > root_hi:
+            return 0
+        self._refresh_mirror()
+        query_lo = np.uint64(max(lo, 0))
+        query_hi = np.uint64(min(hi, root_hi))
+        los, his = self._bounds_arrays()
+        mask = (los >= query_lo) & (his <= query_hi)
+        return int(self._counts[: self._size][mask].sum())
+
+    def estimate_upper(self, lo: int, hi: int) -> int:
+        """Upper-bound estimate: every overlapping counter contributes."""
+        if lo > hi:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        root_hi = self._his[0]
+        if hi < 0 or lo > root_hi:
+            return 0
+        self._refresh_mirror()
+        query_lo = np.uint64(max(lo, 0))
+        query_hi = np.uint64(min(hi, root_hi))
+        los, his = self._bounds_arrays()
+        mask = (los <= query_hi) & (his >= query_lo)
+        return int(self._counts[: self._size][mask].sum())
+
+    def nodes(self) -> Iterator[RapNode]:
+        """Pre-order iteration over the materialized view."""
+        return self._materialize().iter_subtree()
+
+    def leaves(self) -> Iterator[RapNode]:
+        """Iteration over childless view nodes."""
+        for node in self.nodes():
+            if node.is_leaf:
+                yield node
+
+    def total_weight(self) -> int:
+        """Sum of all counters; always equals :attr:`events`.
+
+        Dead slots hold count 0 (reset at merge time), so the raw
+        column sum is the tree total.
+        """
+        self._refresh_mirror()
+        return int(self._counts[: self._size].sum())
+
+    def depth(self) -> int:
+        """Height of the tree (root alone has depth 0)."""
+        best = 0
+        stack = [(0, 0)]
+        first_child = self._first_child
+        next_sibling = self._next_sibling
+        while stack:
+            slot, depth = stack.pop()
+            if depth > best:
+                best = depth
+            child = first_child[slot]
+            while child != _NO_SLOT:
+                stack.append((child, depth + 1))
+                child = next_sibling[child]
+        return best
+
+    # ------------------------------------------------------------------
+    # Materialized view
+    # ------------------------------------------------------------------
+
+    def _materialize(self) -> RapNode:
+        """Build (or reuse) the linked ``RapNode`` view of the columns.
+
+        Cached per mutation generation: serializers, auditors and folds
+        may walk it repeatedly between mutations for free. The view is a
+        snapshot — mutating it does not write back.
+        """
+        if (
+            self._view_root is not None
+            and self._view_generation == self._generation
+        ):
+            return self._view_root
+        root = self._view_node(0, None)
+        stack = [(0, root)]
+        first_child = self._first_child
+        next_sibling = self._next_sibling
+        while stack:
+            slot, node = stack.pop()
+            child = first_child[slot]
+            while child != _NO_SLOT:
+                view_child = self._view_node(child, node)
+                node.attach_child(view_child)
+                stack.append((child, view_child))
+                child = next_sibling[child]
+        self._view_root = root
+        self._view_generation = self._generation
+        return root
+
+    def _view_node(self, slot: int, parent: Optional[RapNode]) -> RapNode:
+        node = RapNode(
+            self._los[slot],
+            self._his[slot],
+            count=self._counts_list[slot],
+            parent=parent,
+        )
+        node.dirty = self._dirty[slot]
+        node.cached_weight = self._cached_weight[slot]
+        node.cached_min = self._cached_min[slot]
+        return node
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def audit(self) -> None:
+        """Run the full structural auditor; raise ``AuditError`` if dirty."""
+        # Imported lazily: repro.checks imports repro.core.
+        from ..checks.audit import TreeAuditor
+
+        TreeAuditor().audit(self).raise_if_failed()
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on any broken structural invariant.
+
+        Runs the object backend's full check against the materialized
+        view (geometry, conservation, parent pointers, merge-cache
+        coherence), then audits the columnar bookkeeping itself: the
+        free list, the live column, the recycled-slot resets, the
+        counter mirror and the cover index.
+        """
+        from .tree import RapTree
+
+        probe = RapTree(self._config)
+        probe._events = self._events  # noqa: SLF001 - borrowed checker
+        probe._node_count = self._node_count  # noqa: SLF001
+        probe._root = self._materialize()  # noqa: SLF001
+        probe.check_invariants()
+
+        size = self._size
+        live_slots = [slot for slot in range(size) if self._live[slot]]
+        assert len(live_slots) == self._node_count, (
+            f"live column counts {len(live_slots)} slots, "
+            f"node_count says {self._node_count}"
+        )
+        free_set = set(self._free)
+        assert len(free_set) == len(self._free), "free list has duplicates"
+        assert len(free_set) + len(live_slots) == size, (
+            "free list and live column disagree on slot accounting"
+        )
+        for slot in self._free:
+            assert not self._live[slot], f"free slot {slot} is still live"
+            assert self._counts_list[slot] == 0, (
+                f"free slot {slot} holds a nonzero count"
+            )
+            assert not self._is_item[slot], (
+                f"free slot {slot} still flagged as an item"
+            )
+        for slot in live_slots:
+            kids = self._children_slots(slot)
+            assert self._n_children[slot] == len(kids), (
+                f"slot {slot} chain length != n_children"
+            )
+            assert bool(self._is_item[slot]) == (
+                self._los[slot] == self._his[slot]
+            ), f"slot {slot} item flag disagrees with its bounds"
+            for kid in kids:
+                assert self._live[kid], f"dead child {kid} in chain of {slot}"
+                assert self._parents[kid] == slot, (
+                    f"child {kid} has wrong parent pointer"
+                )
+        self._refresh_mirror()
+        assert self._counts[:size].tolist() == self._counts_list, (
+            "counter mirror diverged from the canonical counters"
+        )
+        self._sync_cover()
+        expected_starts = self._cov_starts
+        expected_owner = self._cov_owner
+        self._rebuild_cover()
+        assert np.array_equal(expected_starts, self._cov_starts) and (
+            np.array_equal(expected_owner, self._cov_owner)
+        ), "cover index diverged from tree structure"
+
+    def __len__(self) -> int:
+        return self._node_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarRapTree(R={self._config.range_max}, "
+            f"eps={self._config.epsilon}, nodes={self._node_count}, "
+            f"events={self._events})"
+        )

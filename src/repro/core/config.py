@@ -61,6 +61,14 @@ class RapConfig:
         and raises :class:`~repro.checks.audit.AuditError` on the first
         violated invariant. A debug hook — it walks the whole tree, so
         keep it off (``0``, the default) outside tests and bug hunts.
+    backend:
+        Which tree kernel :meth:`RapTree.from_config` constructs:
+        ``"object"`` (the linked ``RapNode`` graph, the reference
+        implementation) or ``"columnar"`` (the struct-of-arrays kernel in
+        :mod:`repro.core.columnar` with vectorized batch ingest). The two
+        are observably equivalent — identical serialized trees for
+        identical operation sequences — so this is purely a performance
+        knob; it is construction-time only and never serialized.
     """
 
     range_max: int
@@ -72,6 +80,7 @@ class RapConfig:
     min_split_threshold: float = 1.0
     timeline_sample_every: int = 0
     audit_every: int = 0
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         if self.range_max < 2:
@@ -102,6 +111,11 @@ class RapConfig:
         if self.audit_every < 0:
             raise ValueError(
                 f"audit_every must be >= 0, got {self.audit_every}"
+            )
+        if self.backend not in ("object", "columnar"):
+            raise ValueError(
+                "backend must be 'object' or 'columnar', got "
+                f"{self.backend!r}"
             )
 
     @property

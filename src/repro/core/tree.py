@@ -90,7 +90,18 @@ class RapTree:
         (RAP-LINT011 flags direct ``RapTree(...)`` calls elsewhere); for
         a managed, shardable ingestion surface use
         :class:`repro.runtime.Profiler` instead.
+
+        Dispatches on ``config.backend``: ``"object"`` builds this
+        linked-node reference implementation, ``"columnar"`` builds the
+        struct-of-arrays kernel from :mod:`repro.core.columnar`. Both
+        satisfy the :class:`repro.core.backend.TreeBackend` protocol and
+        are observably equivalent; the return type is annotated as
+        ``RapTree`` because every caller programs against that surface.
         """
+        if cls is RapTree and config.backend == "columnar":
+            from .columnar import ColumnarRapTree  # lazy: numpy kernel
+
+            return ColumnarRapTree(config)  # type: ignore[return-value]
         return cls(config)
 
     # ------------------------------------------------------------------
@@ -462,13 +473,101 @@ class RapTree:
 
         This is the software analogue of the hardware event buffer that
         combines duplicate events before they reach the RAP engine
-        (Section 3.3, stage 0). Order is preserved; for value-sorted
-        batches prefer :meth:`add_batch`, which shares descents between
-        neighbouring values.
+        (Section 3.3, stage 0). Order is preserved; runs the same inline
+        fast path as :meth:`add_batch` minus the sort, so it is
+        observably identical to calling :meth:`add` per pair — which
+        also makes ``add_batch(pairs)`` and ``add_counted(sorted(pairs))``
+        interchangeable (the spill-drain path in
+        :class:`repro.runtime.queues.ShardQueue` relies on exactly
+        that). For value-sorted batches prefer :meth:`add_batch`, which
+        shares descents between neighbouring values.
         """
+        if self._confined_ident is not None:
+            self._assert_owner()
+        stats = self._stats
         add = self.add
-        for value, count in pairs:
-            add(value, count)
+        if stats.sample_every > 0 or self._audit_every:
+            for value, count in pairs:
+                add(value, count)
+            return
+        root = self._root
+        root_hi = root.hi
+        eps_h = self._eps_over_height
+        min_th = self._min_threshold
+        scheduler = self._scheduler
+        events = self._events
+        next_at = scheduler.next_at
+        node_count = self._node_count
+        cache = self._cached_node
+        pending_events = 0
+        pending_updates = 0
+        try:
+            for value, count in pairs:
+                if count > 0 and 0 <= value <= root_hi:
+                    node = cache
+                    if node is None:
+                        node = root
+                    else:
+                        while value < node.lo or node.hi < value:
+                            node = node.parent
+                    kids = node.children
+                    while kids:
+                        low, high = 0, len(kids) - 1
+                        found = None
+                        while low <= high:
+                            mid = (low + high) // 2
+                            kid = kids[mid]
+                            if value < kid.lo:
+                                high = mid - 1
+                            elif value > kid.hi:
+                                low = mid + 1
+                            else:
+                                found = kid
+                                break
+                        if found is None:
+                            break
+                        node = found
+                        kids = node.children
+                    n = events + count
+                    if n < next_at:
+                        if node.lo == node.hi:
+                            fits = True
+                        else:
+                            threshold = eps_h * n
+                            if threshold < min_th:
+                                threshold = min_th
+                            fits = node.count + count <= threshold
+                        if fits:
+                            node.count += count
+                            events = n
+                            cache = node
+                            pending_events += count
+                            pending_updates += 1
+                            if not node.dirty:
+                                walker = node
+                                while walker is not None and not walker.dirty:
+                                    walker.dirty = True
+                                    walker = walker.parent
+                            continue
+                self._events = events
+                self._cached_node = cache
+                if pending_events:
+                    stats.observe_batch(
+                        pending_events, pending_updates, node_count
+                    )
+                    pending_events = 0
+                    pending_updates = 0
+                add(value, count)
+                events = self._events
+                next_at = scheduler.next_at
+                node_count = self._node_count
+                cache = self._cached_node
+        finally:
+            self._events = events
+            self._cached_node = cache
+            if pending_events:
+                stats.observe_batch(pending_events, pending_updates, node_count)
+                self._generation += 1
 
     def add_batch(self, pairs: Iterable[Tuple[int, int]]) -> None:
         """Feed ``(value, count)`` pairs, sorted once and routed in runs.

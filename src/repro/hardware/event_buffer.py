@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Tuple
 
+import numpy as np
+
 
 class CombiningEventBuffer:
     """FIFO event window that merges duplicate events.
@@ -53,7 +55,35 @@ class CombiningEventBuffer:
 
         Each window covers ``capacity`` raw events (the buffer filling
         once). With combining disabled every event is its own record.
+
+        Materialised integer streams (lists, tuples, arrays) combine
+        each window with one ``np.unique`` pass — the software analogue
+        of the buffer's CAM cells comparing in parallel. Generic
+        iterables and values outside the uint64 domain take the scalar
+        path; both produce identical windows and identical stats.
         """
+        if isinstance(events, (list, tuple, np.ndarray)):
+            try:
+                arr = np.asarray(events)
+            except (OverflowError, TypeError, ValueError):
+                arr = None
+            # Only genuine non-negative integer arrays qualify: floats,
+            # big ints (object dtype), and negatives keep the exact
+            # scalar semantics instead of being silently coerced.
+            if (
+                arr is not None
+                and arr.ndim == 1
+                and arr.dtype.kind in "iu"
+                and (
+                    arr.dtype.kind == "u"
+                    or arr.size == 0
+                    or int(arr.min()) >= 0
+                )
+            ):
+                yield from self._windows_vector(
+                    arr.astype(np.uint64, copy=False)
+                )
+                return
         window: Dict[int, int] = {}
         ordered: List[int] = []
         filled = 0
@@ -75,6 +105,37 @@ class CombiningEventBuffer:
                 filled = 0
         if filled:
             yield self._flush(window, ordered)
+
+    def _windows_vector(
+        self, arr: "np.ndarray"
+    ) -> Iterator[List[Tuple[int, int]]]:
+        """Vectorized ``windows``: one ``np.unique`` per full buffer."""
+        capacity = self.capacity
+        for start in range(0, arr.size, capacity):
+            chunk = arr[start:start + capacity]
+            self.events_in += int(chunk.size)
+            if self.combine:
+                uniq, first, counts = np.unique(
+                    chunk, return_index=True, return_counts=True
+                )
+                if self.sort_records:
+                    records = list(zip(uniq.tolist(), counts.tolist()))
+                else:
+                    # First-occurrence order, matching the scalar path.
+                    order = np.argsort(first, kind="stable")
+                    records = list(
+                        zip(uniq[order].tolist(), counts[order].tolist())
+                    )
+                occupancy = int(uniq.size)
+            else:
+                values = chunk.tolist()
+                if self.sort_records:
+                    values.sort()
+                records = [(value, 1) for value in values]
+                occupancy = len(values)
+            self.records_out += len(records)
+            self.high_water = max(self.high_water, occupancy)
+            yield records
 
     def _flush(
         self, window: Dict[int, int], ordered: List[int]

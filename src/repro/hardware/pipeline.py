@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from ..core.config import (
     MergeScheduler,
     RapConfig,
@@ -198,10 +200,48 @@ class PipelinedRapEngine:
         return raw if raw > self._min_threshold else self._min_threshold
 
     def process_stream(self, events: Iterable[int]) -> EngineStats:
-        """Run a raw event stream through stage 0 and the pipeline."""
+        """Run a raw event stream through stage 0 and the pipeline.
+
+        Stage 1 is batched: each stage-0 window's TCAM winners are
+        precomputed in one :meth:`~repro.hardware.tcam.TernaryCam.search_batch`
+        matrix compare. Precomputed winners are valid only while the row
+        table is unchanged, so consumption is gated on ``tcam.writes``;
+        after any split or merge rewrite the remainder of the window is
+        re-searched. Every record is still billed one TCAM access and
+        one arbiter grant, so stats are bit-identical to the per-record
+        loop (``tests/hardware/test_pipeline.py`` asserts this).
+        """
         for window in self.buffer.windows(events):
-            for value, count in window:
-                self.process_record(value, count)
+            total = len(window)
+            try:
+                keys = np.fromiter(
+                    (record[0] for record in window), np.uint64, total
+                )
+            except (OverflowError, TypeError, ValueError):
+                # Out-of-domain values: let the scalar path raise its
+                # usual validation errors in arrival order.
+                for value, count in window:
+                    self.process_record(value, count)
+                continue
+            start = 0
+            lookahead = 8
+            while start < total:
+                version = self.tcam.writes
+                stop = min(total, start + lookahead)
+                winners = self.tcam.search_batch(keys[start:stop])
+                index = start
+                while index < stop and self.tcam.writes == version:
+                    value, count = window[index]
+                    self._process(value, count, int(winners[index - start]))
+                    index += 1
+                # Splits invalidate winners, so the lookahead adapts to
+                # the split cadence: grow while batches drain cleanly,
+                # reset when a rewrite discards precomputed work.
+                if index == stop and self.tcam.writes == version:
+                    lookahead = min(lookahead * 2, 1024)
+                else:
+                    lookahead = 8
+                start = index
         return self.stats
 
     def process_record(self, value: int, count: int = 1) -> None:
@@ -215,6 +255,17 @@ class PipelinedRapEngine:
         should have occurred. In this case the buffer will re-enter
         those events into the pipeline", Section 3.3) — mirroring the
         software tree's cascade exactly.
+        """
+        self._process(value, count, None)
+
+    def _process(
+        self, value: int, count: int, winner_row: Optional[int]
+    ) -> None:
+        """Stages 1–4 for one record, with an optional precomputed winner.
+
+        ``winner_row`` (from :meth:`TernaryCam.search_batch`) replaces
+        the first stage-1 search only; cascade re-entries always
+        re-search because the row table may have changed underneath.
         """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
@@ -230,11 +281,19 @@ class PipelinedRapEngine:
 
         remaining = count
         while True:
-            # Stage 1: all covering ranges match in one TCAM search.
-            matches = self.tcam.search(value)
-            # Stage 2: the arbiter grants the longest prefix.
-            winner = self.arbiter.grant(matches)
-            assert winner is not None, "root row always matches"
+            if winner_row is None:
+                # Stage 1: all covering ranges match in one TCAM search.
+                matches = self.tcam.search(value)
+                # Stage 2: the arbiter grants the longest prefix.
+                winner = self.arbiter.grant(matches)
+                assert winner is not None, "root row always matches"
+            else:
+                # Precomputed by search_batch — still one TCAM access
+                # and one arbiter grant in hardware terms.
+                winner = winner_row
+                winner_row = None
+                self.tcam.searches += 1
+                self.arbiter.grants += 1
             node = self._nodes[winner]
             self.stats.update_cycles += self.params.update_cycles
 
@@ -396,10 +455,12 @@ class PipelinedRapEngine:
         return total
 
     def _remove_row(self, node: _HwNode) -> None:
-        entry = range_to_entry(node.lo, node.hi, self.width_bits)
-        row = self.tcam.find_row(entry)
-        assert row is not None, "node has no TCAM row"
-        assert self._nodes[row] is node, "row table out of sync"
+        # The row table mirrors the TCAM exactly, so the node's position
+        # IS its row; list.index on _HwNode compares by identity, which
+        # avoids find_row's per-row TcamEntry equality scan.
+        row = self._nodes.index(node)
+        entry = self.tcam.rows[row]
+        assert entry.matches(node.lo), "row table out of sync"
         self.tcam.delete(row)
         del self._nodes[row]
         self.sram.release(node.slot)

@@ -70,6 +70,23 @@ def entry_to_range(entry: TcamEntry, width_bits: int) -> Tuple[int, int]:
     return entry.value, entry.value + width - 1
 
 
+def _array_insert(arr: "np.ndarray", index: int, value: int) -> "np.ndarray":
+    """``np.insert`` without its axis bookkeeping — three slice copies."""
+    out = np.empty(arr.size + 1, dtype=arr.dtype)
+    out[:index] = arr[:index]
+    out[index] = value
+    out[index + 1:] = arr[index:]
+    return out
+
+
+def _array_delete(arr: "np.ndarray", index: int) -> "np.ndarray":
+    """``np.delete`` without its axis bookkeeping — two slice copies."""
+    out = np.empty(arr.size - 1, dtype=arr.dtype)
+    out[:index] = arr[:index]
+    out[index:] = arr[index + 1:]
+    return out
+
+
 class TernaryCam:
     """A capacity-limited TCAM with prefix-length-ordered rows.
 
@@ -91,10 +108,11 @@ class TernaryCam:
         self.insert_shifts = 0
         self.writes = 0
         # Vectorized mirror of the rows: all cells compare in parallel in
-        # real hardware, and numpy is the software analogue of that.
+        # real hardware, and numpy is the software analogue of that. The
+        # mirror is maintained incrementally on insert/delete — an O(rows)
+        # memcpy, exactly the shift a sorted TCAM performs physically.
         self._values = np.empty(0, dtype=np.uint64)
         self._masks = np.empty(0, dtype=np.uint64)
-        self._dirty = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -110,8 +128,6 @@ class TernaryCam:
         one access regardless of how many rows match.
         """
         self.searches += 1
-        if self._dirty:
-            self._rebuild_mirror()
         hits = np.uint64(key) & self._masks == self._values
         matches = np.flatnonzero(hits).tolist()
         # Invariant from the paper: one match per distinct range width.
@@ -120,18 +136,24 @@ class TernaryCam:
         )
         return matches
 
-    def _rebuild_mirror(self) -> None:
-        self._values = np.fromiter(
-            (entry.value for entry in self.rows),
-            dtype=np.uint64,
-            count=len(self.rows),
-        )
-        self._masks = np.fromiter(
-            (entry.mask for entry in self.rows),
-            dtype=np.uint64,
-            count=len(self.rows),
-        )
-        self._dirty = False
+    def search_batch(self, keys: "np.ndarray") -> "np.ndarray":
+        """Longest-prefix winner row for each key, in one matrix compare.
+
+        Rows are sorted by ascending prefix length, so the winner is the
+        *last* matching row — the row the priority arbiter would grant.
+        The caller accounts one TCAM access and one arbiter grant per
+        record it actually consumes (winners computed ahead of a row
+        rewrite are discarded, not billed), keeping the cycle accounting
+        identical to per-record :meth:`search`. The per-search distinct
+        prefix-length assertion lives on the scalar path only.
+
+        Winners are a *snapshot*: any :meth:`insert`/:meth:`delete`
+        bumps ``writes`` and invalidates them, so callers must gate
+        consumption on ``writes`` staying unchanged.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        hits = (keys[:, None] & self._masks[None, :]) == self._values[None, :]
+        return self._values.size - 1 - np.argmax(hits[:, ::-1], axis=1)
 
     def insert(self, entry: TcamEntry) -> int:
         """Insert keeping rows sorted by ascending prefix length.
@@ -153,14 +175,18 @@ class TernaryCam:
         self.rows.insert(low, entry)
         self.insert_shifts += len(self.rows) - low - 1
         self.writes += 1
-        self._dirty = True
+        self._values = _array_insert(self._values, low, entry.value)
+        self._masks = _array_insert(self._masks, low, entry.mask)
         return low
 
     def delete(self, index: int) -> TcamEntry:
         """Remove and return the row at ``index``."""
         entry = self.rows.pop(index)
         self.writes += 1
-        self._dirty = True
+        if index < 0:
+            index += len(self.rows) + 1
+        self._values = _array_delete(self._values, index)
+        self._masks = _array_delete(self._masks, index)
         return entry
 
     def find_row(self, entry: TcamEntry) -> Optional[int]:

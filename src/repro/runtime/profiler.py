@@ -305,12 +305,17 @@ class Profiler:
         tree.confine_to_current_thread()
         failed = False
         while True:
-            batch = queue.take()
+            # One take drains the main queue plus any spill backlog as a
+            # single FIFO-ordered, per-constituent-sorted batch, so the
+            # whole backlog rides one add_counted fast-path run instead
+            # of a take/ingest/ack round-trip per batch. Observably
+            # identical to add_batch per constituent (see take_combined).
+            batch = queue.take_combined()
             if batch is None:
                 return
             if not failed:
                 try:
-                    tree.add_batch(batch)
+                    tree.add_counted(batch)
                 except BaseException as error:  # surfaced to producers
                     self._errors.append(error)
                     failed = True

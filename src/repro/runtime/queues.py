@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, Optional, Sequence, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
 Batch = Sequence[Tuple[int, int]]
 
@@ -61,6 +61,9 @@ class ShardQueue:
         # Batches accepted but not yet fully processed (queued, spilled,
         # or in the worker's hands). join() waits for this to hit zero.
         self._outstanding = 0
+        # Constituent counts of combined takes, FIFO: task_done() after a
+        # take_combined() acknowledges this many accepted batches at once.
+        self._acks: Deque[int] = deque()
         self.dropped_batches = 0
         self.dropped_events = 0
         self.spilled_batches = 0
@@ -124,12 +127,52 @@ class ShardQueue:
                 self._not_full.notify()
             else:
                 batch = self._spill.popleft()
+            self._acks.append(1)
             return batch
 
-    def task_done(self) -> None:
-        """Worker acknowledgement that the last taken batch is processed."""
+    def take_combined(self) -> Optional[Batch]:
+        """Dequeue *everything* available as one FIFO-ordered counted batch.
+
+        Blocks like :meth:`take`; ``None`` once closed and empty. The
+        main queue drains first (oldest batches), then the whole spill
+        backlog — the acceptance order, so per-shard FIFO holds. Each
+        constituent batch is value-sorted individually, which reuses the
+        batch-combining sort path: feeding the result to
+        ``RapTree.add_counted`` is observably identical to calling
+        ``add_batch`` on each constituent in turn (``add_batch(pairs)``
+        ≡ ``add_counted(sorted(pairs))``), while the worker pays one
+        lock round-trip and one tree-ingest call for the entire backlog
+        instead of re-entering per spilled batch.
+
+        The matching :meth:`task_done` acknowledges every constituent at
+        once; combined and plain takes can be mixed freely (every take
+        records its constituent count, acknowledged FIFO).
+        """
         with self._lock:
-            self._outstanding -= 1
+            while not self._queue and not self._spill:
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+            taken = 0
+            combined: List[Tuple[int, int]] = []
+            while self._queue:
+                combined.extend(sorted(self._queue.popleft()))
+                taken += 1
+            self._not_full.notify_all()
+            while self._spill:
+                combined.extend(sorted(self._spill.popleft()))
+                taken += 1
+            self._acks.append(taken)
+            return combined
+
+    def task_done(self) -> None:
+        """Worker acknowledgement that the last taken batch is processed.
+
+        After a :meth:`take_combined`, acknowledges every batch folded
+        into that take.
+        """
+        with self._lock:
+            self._outstanding -= self._acks.popleft() if self._acks else 1
             if self._outstanding == 0:
                 self._drained.notify_all()
 

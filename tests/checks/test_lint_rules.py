@@ -323,6 +323,78 @@ class TestDirectTreeConstruction:
         assert report.ok, report.render_text()
 
 
+class TestColumnarInternalsImport:
+    """RAP-LINT012: repro.core.columnar is core-private."""
+
+    def test_flags_from_import_outside_core(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/demo.py",
+            "from repro.core.columnar import ColumnarRapTree\n",
+            select=["RAP-LINT012"],
+        )
+        assert codes(report) == ["RAP-LINT012"]
+        assert 'backend="columnar"' in report.violations[0].message
+
+    def test_flags_module_import_outside_core(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/demo.py",
+            "import repro.core.columnar as columnar\n",
+            select=["RAP-LINT012"],
+        )
+        assert codes(report) == ["RAP-LINT012"]
+
+    def test_flags_parent_package_alias(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "from repro.core import columnar\n",
+            select=["RAP-LINT012"],
+        )
+        assert codes(report) == ["RAP-LINT012"]
+
+    def test_flags_relative_spelling(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/demo.py",
+            "from ..core.columnar import ColumnarRapTree\n",
+            select=["RAP-LINT012"],
+        )
+        assert codes(report) == ["RAP-LINT012"]
+
+    def test_core_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "core/backend_helper.py",
+            "from .columnar import ColumnarRapTree\n"
+            "import repro.core.columnar\n",
+            select=["RAP-LINT012"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_backend_knob_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "from repro.core import RapConfig, RapTree\n"
+            "tree = RapTree.from_config("
+            'RapConfig(256, backend="columnar"))\n',
+            select=["RAP-LINT012"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_other_core_imports_not_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/demo.py",
+            "from repro.core import RapConfig\n"
+            "from repro.core.serialize import dump_tree\n",
+            select=["RAP-LINT012"],
+        )
+        assert report.ok, report.render_text()
+
+
 class TestRunner:
     def test_live_src_tree_is_lint_clean(self):
         report = lint_paths([SRC_PACKAGE])
@@ -371,9 +443,9 @@ class TestRunner:
         with pytest.raises(FileNotFoundError):
             lint_paths([str(tmp_path / "no_such_dir")])
 
-    def test_registry_exposes_all_eleven_rules(self):
+    def test_registry_exposes_all_twelve_rules(self):
         assert all_rule_codes() == [
-            f"RAP-LINT{index:03d}" for index in range(1, 12)
+            f"RAP-LINT{index:03d}" for index in range(1, 13)
         ]
 
 

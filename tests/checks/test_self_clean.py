@@ -30,7 +30,7 @@ class TestSelfClean:
         assert payload["version"] == 2
         assert payload["violation_count"] == 0
         assert set(payload["rules"]) == {
-            f"RAP-LINT{index:03d}" for index in range(1, 12)
+            f"RAP-LINT{index:03d}" for index in range(1, 13)
         }
 
     def test_unknown_rule_code_exits_2(self, capsys):

@@ -58,6 +58,49 @@ class TestWindows:
         assert CombiningEventBuffer().sort_records is False
 
 
+class TestVectorizedPath:
+    """Materialised streams take the np.unique fast path; generators do
+    not. Both must produce identical windows and identical stats."""
+
+    @staticmethod
+    def _run(buffer, events):
+        windows = list(buffer.windows(events))
+        stats = (
+            buffer.events_in,
+            buffer.records_out,
+            buffer.high_water,
+            buffer.combining_factor,
+        )
+        return windows, stats
+
+    @pytest.mark.parametrize("combine", [True, False])
+    @pytest.mark.parametrize("sort_records", [True, False])
+    @pytest.mark.parametrize("capacity", [1, 7, 64])
+    def test_list_matches_generator(self, combine, sort_records, capacity):
+        rng = __import__("random").Random(capacity * 2 + combine)
+        events = [rng.randrange(100) for _ in range(500)]
+        fast = CombiningEventBuffer(
+            capacity=capacity, combine=combine, sort_records=sort_records
+        )
+        slow = CombiningEventBuffer(
+            capacity=capacity, combine=combine, sort_records=sort_records
+        )
+        fast_windows, fast_stats = self._run(fast, events)
+        slow_windows, slow_stats = self._run(slow, iter(events))
+        assert fast_windows == slow_windows
+        assert fast_stats == slow_stats
+
+    def test_huge_values_fall_back_to_scalar_path(self):
+        buffer = CombiningEventBuffer(capacity=4)
+        windows = list(buffer.windows([2**70, 2**70, 3]))
+        assert windows == [[(2**70, 2), (3, 1)]]
+
+    def test_empty_list(self):
+        buffer = CombiningEventBuffer(capacity=4)
+        assert list(buffer.windows([])) == []
+        assert buffer.events_in == 0
+
+
 class TestCombiningFactor:
     def test_repetitive_stream_combines_heavily(self):
         buffer = CombiningEventBuffer(capacity=1024)

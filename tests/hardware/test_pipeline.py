@@ -93,6 +93,70 @@ class TestEquivalence:
         assert engine.buffer.combining_factor > 1.5
 
 
+class TestBatchedStream:
+    """process_stream's batched stage 1 must be bit-identical to the
+    per-record reference loop: same EngineStats, same counters, same
+    TCAM/arbiter access counts."""
+
+    @staticmethod
+    def _reference_stream(engine, values):
+        # The pre-batching implementation of process_stream.
+        for window in engine.buffer.windows(iter(values)):
+            for value, count in window:
+                engine.process_record(value, count)
+        return engine.stats
+
+    @pytest.mark.parametrize("epsilon", [0.05, 0.02])
+    @pytest.mark.parametrize("combine", [True, False])
+    def test_stats_bit_identical_to_record_loop(self, epsilon, combine):
+        config = RapConfig(range_max=2**16, epsilon=epsilon,
+                           merge_initial_interval=256)
+        params = HardwareParams(buffer_capacity=128, combine_events=combine)
+        values = [int(v) for v, _ in skewed_records(seed=11, n=4_000)]
+
+        batched = PipelinedRapEngine(config, params)
+        batched.process_stream(values)
+
+        reference = PipelinedRapEngine(config, params)
+        self._reference_stream(reference, values)
+
+        assert batched.stats == reference.stats
+        assert batched.counters() == reference.counters()
+        assert batched.tcam.searches == reference.tcam.searches
+        assert batched.arbiter.grants == reference.arbiter.grants
+        assert batched.tcam.writes == reference.tcam.writes
+        # The workload must actually exercise the invalidation path.
+        assert batched.stats.splits > 0
+        assert batched.stats.merge_batches > 0
+        batched.check_invariants()
+
+    def test_batched_stream_matches_software_tree(self):
+        config = RapConfig(range_max=2**16, epsilon=0.05,
+                           merge_initial_interval=512)
+        values = [int(v) for v, _ in skewed_records(seed=2, n=3_000)]
+        engine = PipelinedRapEngine(
+            config, HardwareParams(buffer_capacity=1, combine_events=False)
+        )
+        engine.process_stream(values)
+        # capacity-1 windows disable combining, so the profile must equal
+        # the software tree fed the raw stream.
+        assert engine.counters() == software_counters(
+            config, [(v, 1) for v in values]
+        )
+
+    def test_search_batch_winners_match_scalar_search(self):
+        config = RapConfig(range_max=2**16, epsilon=0.02)
+        engine = PipelinedRapEngine(config, HardwareParams(combine_events=False))
+        rng = np.random.default_rng(7)
+        for value in rng.integers(0, 2**16, size=1_500, dtype=np.uint64):
+            engine.process_record(int(value))
+        keys = rng.integers(0, 2**16, size=256, dtype=np.uint64)
+        winners = engine.tcam.search_batch(keys)
+        for key, winner in zip(keys, winners):
+            matches = engine.tcam.search(int(key))
+            assert int(winner) == max(matches)
+
+
 class TestCycleAccounting:
     def test_updates_cost_four_cycles(self):
         engine = PipelinedRapEngine(

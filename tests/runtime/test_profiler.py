@@ -171,6 +171,27 @@ class TestBackpressurePolicies:
             assert profiler.snapshot().events == len(values)
             assert metrics.dropped_events == 0
 
+    def test_spill_drain_matches_serial_profile(self):
+        """Combined spill drains must leave the shard trees exactly where
+        per-batch processing would — the worker's take_combined path is
+        observably identical to one add_batch per accepted batch."""
+        values = zipf_values(23, 20_000)
+        with Profiler(
+            config(), shards=2, backpressure="spill",
+            queue_capacity=1, batch_size=64,
+        ) as threaded:
+            threaded.ingest(values)
+            spilled = threaded.metrics.spilled_batches
+            threaded_snapshot = threaded.snapshot()
+        with Profiler(
+            config(), shards=2, executor="serial", batch_size=64,
+        ) as serial:
+            serial.ingest(values)
+            serial_snapshot = serial.snapshot()
+        assert spilled > 0  # the workload must actually exercise spill
+        from repro.core import dump_tree
+        assert dump_tree(threaded_snapshot) == dump_tree(serial_snapshot)
+
     def test_drop_accounts_for_every_lost_event(self):
         values = zipf_values(17, 30_000)
         with Profiler(

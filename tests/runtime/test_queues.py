@@ -114,6 +114,68 @@ class TestSpillPolicy:
         assert drain(queue) == [[(1, 1)], [(2, 1)]]
 
 
+class TestTakeCombined:
+    """Regression: spill-then-drain must come out as ONE combined batch
+    in acceptance (FIFO) order, each constituent value-sorted, and one
+    task_done must acknowledge the whole take."""
+
+    def test_spill_then_drain_preserves_fifo(self):
+        queue = ShardQueue(capacity=2, policy="spill")
+        queue.put([(5, 1), (3, 2)], 3)   # queued
+        queue.put([(9, 1)], 1)           # queued
+        queue.put([(8, 1), (2, 1)], 2)   # spilled
+        queue.put([(7, 4)], 4)           # spilled
+        combined = queue.take_combined()
+        # Main queue first, then the spill backlog; constituents sorted
+        # individually (the add_batch ≡ add_counted∘sorted identity),
+        # never merged across batch boundaries.
+        assert combined == [
+            (3, 2), (5, 1),
+            (9, 1),
+            (2, 1), (8, 1),
+            (7, 4),
+        ]
+        queue.task_done()  # one ack covers all four constituents
+        queue.join()       # would hang if outstanding were miscounted
+        assert queue.depth == 0
+
+    def test_combined_take_equivalent_to_sequential_takes(self):
+        plain = ShardQueue(capacity=1, policy="spill")
+        fused = ShardQueue(capacity=1, policy="spill")
+        batches = [[(4, 1), (1, 1)], [(6, 2)], [(0, 1), (5, 1)]]
+        for batch in batches:
+            plain.put(batch, sum(c for _, c in batch))
+            fused.put(batch, sum(c for _, c in batch))
+        sequential = []
+        for _ in batches:
+            sequential.extend(sorted(plain.take()))
+            plain.task_done()
+        combined = fused.take_combined()
+        fused.task_done()
+        assert combined == sequential
+        plain.join()
+        fused.join()
+
+    def test_take_combined_blocks_then_returns_none_on_close(self):
+        queue = ShardQueue(capacity=2, policy="spill")
+        queue.put([(1, 1)], 1)
+        assert queue.take_combined() == [(1, 1)]
+        queue.task_done()
+        queue.close()
+        assert queue.take_combined() is None
+
+    def test_mixed_plain_and_combined_acks(self):
+        queue = ShardQueue(capacity=8, policy="spill")
+        for index in range(4):
+            queue.put([(index, 1)], 1)
+        assert queue.take() == [(0, 1)]
+        combined = queue.take_combined()
+        assert combined == [(1, 1), (2, 1), (3, 1)]
+        queue.task_done()  # acks the plain take (1)
+        queue.task_done()  # acks the combined take (3)
+        queue.join()
+
+
 class TestJoin:
     def test_join_waits_for_task_done(self):
         queue = ShardQueue(capacity=4)
