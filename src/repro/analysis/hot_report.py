@@ -58,7 +58,7 @@ def build_hot_hierarchy(
             roots.append(node)
         else:
             # HotNode is a display-only hierarchy, not a RAP tree node.
-            parent.children.append(node)  # noqa: RAP-LINT003
+            parent.children.append(node)  # noqa: RAP-LINT003 - display-only hierarchy
     if len(roots) == 1:
         return roots[0]
     # Multiple top-level hot ranges: wrap them under a synthetic root.

@@ -15,15 +15,25 @@ This package makes the invariants mechanical:
   the lower-bound estimate guarantee. Opt in per tree with
   ``RapConfig(audit_every=N)`` or per trace with ``rap audit``.
 * :mod:`repro.checks.lint` — a repo-specific AST lint pass (the
-  syntactic rules RAP-LINT001..005 and 011) guarding determinism, exact
-  integer counters, node encapsulation, annotation coverage and
-  wall-clock hygiene. Run it with ``rap lint`` or
-  ``python -m repro.checks``.
+  syntactic rules) guarding determinism, exact integer counters, node
+  encapsulation, annotation coverage and wall-clock hygiene. Run it
+  with ``rap lint`` or ``python -m repro.checks``; the full catalog is
+  in :mod:`repro.checks.lint.registry`.
 * :mod:`repro.checks.flow` — a flow-sensitive dataflow engine
   (per-function CFGs, a worklist fixed-point solver, reaching
-  definitions/liveness, a value-kind taint lattice) powering rules
-  RAP-LINT006..010, which catch the same violations laundered through
-  aliases and emit ``flow_trace`` witness paths.
+  definitions/liveness, a value-kind taint lattice) powering the flow
+  rules, which catch the same violations laundered through aliases and
+  emit ``flow_trace`` witness paths.
+* :mod:`repro.checks.callgraph` / :mod:`repro.checks.flow.concurrency`
+  — an interprocedural call graph with per-function lock/thread
+  summaries and the concurrency rules built on it: confinement escape,
+  lock balance, lock-order inversion, blocking-under-lock, and shared
+  numpy buffer discipline.
+* :mod:`repro.checks.sanitizer` — the dynamic counterpart: a
+  :class:`RapSanitizer` that instruments live shard trees, queues and
+  locks with owner-thread assertions and a happens-before log. Enable
+  with ``RapConfig(debug_sanitize=True)`` or replay a workload under
+  instrumentation with ``rap sanitize``.
 """
 
 from .audit import (
@@ -35,6 +45,7 @@ from .audit import (
     self_audit,
 )
 from .invariants import AuditFinding
+from .sanitizer import RapSanitizer, RapSanitizerError
 from .lint import (
     FlowStep,
     LintReport,
@@ -50,6 +61,8 @@ __all__ = [
     "AuditReport",
     "FlowStep",
     "LintReport",
+    "RapSanitizer",
+    "RapSanitizerError",
     "TraceAuditReport",
     "TreeAuditor",
     "Violation",

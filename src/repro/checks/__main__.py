@@ -1,10 +1,14 @@
 """CI entrypoint: ``python -m repro.checks [--strict] [paths...]``.
 
 Runs the RAP-LINT pass over the package source (or the given paths) and
-exits nonzero on any violation. With ``--strict`` it additionally runs
-the structural self-audit battery — three deterministic stream shapes
-replayed under the full :class:`~repro.checks.audit.TreeAuditor` — so a
-single command guards both the source and the live data structure.
+exits nonzero on any violation. With ``--strict`` it tightens noqa
+handling (bare suppressions are inert and flagged, per-code ones need a
+reason) and additionally runs the structural self-audit battery — three
+deterministic stream shapes replayed under the full
+:class:`~repro.checks.audit.TreeAuditor` — so a single command guards
+both the source and the live data structure. ``--catalog`` prints the
+registry-derived rule catalog as the markdown table embedded in
+``docs/checks.md``.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .audit import self_audit
-from .lint import all_rule_codes, lint_paths
+from .lint import all_rule_codes, catalog_markdown, lint_paths
 
 
 def _default_paths() -> List[str]:
@@ -42,7 +46,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--strict",
         action="store_true",
-        help="also run the structural self-audit battery",
+        help=(
+            "tighten noqa handling (bare suppressions flagged, reasons "
+            "required) and also run the structural self-audit battery"
+        ),
+    )
+    parser.add_argument(
+        "--catalog",
+        action="store_true",
+        help="print the registry-derived rule catalog table and exit",
     )
     parser.add_argument(
         "--select", default=None, help="comma-separated rule codes to run"
@@ -55,11 +67,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.catalog:
+        print(catalog_markdown())
+        return 0
+
     try:
         report = lint_paths(
             args.paths or _default_paths(),
             select=_parse_codes(args.select),
             ignore=_parse_codes(args.ignore),
+            strict=args.strict,
         )
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -1,0 +1,856 @@
+"""Module-level interprocedural call graph with concurrency summaries.
+
+The flow rules in :mod:`repro.checks.flow` are intraprocedural: one CFG
+per function, facts die at the call boundary. Lock discipline does not —
+``close()`` holding the ingest lock while a helper three calls down
+blocks on a queue is exactly the bug class runtime testing is worst at
+reproducing. This module builds, per source file, a conservative call
+graph whose nodes carry *concurrency summaries*:
+
+* locks acquired (``with self._lock:`` regions and raw ``.acquire()``
+  calls), with the nesting pairs observed inside one function;
+* thread-boundary crossings — ``threading.Thread(target=...)``
+  constructions and executor ``.submit(...)`` calls, with their resolved
+  targets when static;
+* blocking operations (``Condition.wait``, ``.join()``, queue ``put``/
+  ``get``, ``time.sleep``, file opens), with the locks held at the site;
+* mutations of ``self.<attr>`` numpy buffers, with the locks held.
+
+Call edges are resolved *conservatively*: only ``self.method()`` within
+the same class and bare ``function()`` calls to module-level functions
+produce edges. Anything dynamic (``obj.method()``, higher-order calls)
+is dropped rather than guessed, so every interprocedural fact the
+graph reports corresponds to a real static chain — the same
+under-approximation stance the CFG builder documents.
+
+Lock identity is *name-based*: ``self._lock`` inside class ``C``
+canonicalises to ``C._lock``; a module-level ``lock`` keeps its name;
+function locals are qualified with the function name so they never
+collide across functions. A ``with``/``acquire`` target counts as a
+lock if the module binds it to ``threading.Lock``/``RLock``/
+``Condition`` (conditions guard their underlying lock) or its last
+component contains ``lock``/``mutex``. ``threading.Condition(self._x)``
+ties the condition to ``self._x`` — waiting on a condition while
+holding the lock it was built from is the documented protocol, and
+RAP-LINT016 exempts exactly those ties.
+
+The consumers are the concurrency rules RAP-LINT013..017
+(:mod:`repro.checks.flow.concurrency`) and ``docs/checks.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .flow.cfg import Unit, iter_units
+from .lint.rules import _dotted, _import_aliases, _resolved_call_name
+
+#: Constructors whose result is a mutual-exclusion primitive.
+LOCK_CONSTRUCTORS = frozenset({"threading.Lock", "threading.RLock"})
+#: Constructor of a condition variable (guards its underlying lock).
+CONDITION_CONSTRUCTOR = "threading.Condition"
+
+#: numpy allocators whose result is a shared buffer when stored on self.
+NUMPY_BUFFER_CONSTRUCTORS = frozenset(
+    {
+        "numpy.zeros",
+        "numpy.empty",
+        "numpy.ones",
+        "numpy.full",
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.arange",
+        "numpy.frombuffer",
+        "numpy.zeros_like",
+        "numpy.empty_like",
+    }
+)
+
+#: Attribute methods that block the calling thread wherever they appear.
+_BLOCKING_ATTRS = frozenset({"wait", "wait_for", "join", "put"})
+#: Resolved call names that block (IO, sleeps, subprocesses).
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "input",
+        "select.select",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "socket.create_connection",
+        "open",
+        "io.open",
+        "gzip.open",
+        "bz2.open",
+        "lzma.open",
+        "tarfile.open",
+    }
+)
+
+#: In-place numpy mutators (element writes are caught structurally).
+_BUFFER_MUTATORS = frozenset({"fill", "sort", "partition", "resize"})
+
+_SKIP_WALK = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock acquisition: a ``with`` item or a raw ``.acquire()``."""
+
+    lock: str
+    line: int
+    col: int
+    how: str  # "with" | "acquire"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A statically resolvable call, with the locks held at the site."""
+
+    callee: Tuple[str, str]  # ("self", method) or ("", function)
+    text: str
+    line: int
+    col: int
+    held: Tuple[LockSite, ...]
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """A call that can block, with receiver identity and held locks."""
+
+    what: str
+    receiver: Optional[str]  # canonical dotted receiver, if static
+    line: int
+    col: int
+    held: Tuple[LockSite, ...]
+
+
+@dataclass(frozen=True)
+class ThreadSpawn:
+    """A ``threading.Thread(target=...)`` or executor ``.submit(...)``."""
+
+    target: Optional[Tuple[str, str]]  # like CallSite.callee, if static
+    kind: str  # "thread" | "submit"
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """An in-place write to a ``self.<attr>`` numpy buffer."""
+
+    attr: str
+    how: str
+    line: int
+    col: int
+    held: Tuple[LockSite, ...]
+
+
+@dataclass
+class FunctionSummary:
+    """Per-function concurrency facts, one per analysis unit."""
+
+    qualname: str
+    class_name: Optional[str]
+    line: int
+    acquires: List[LockSite] = field(default_factory=list)
+    #: (outer, inner) acquisition pairs observed by lexical nesting.
+    order_pairs: List[Tuple[LockSite, LockSite]] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    blocking: List[BlockingSite] = field(default_factory=list)
+    spawns: List[ThreadSpawn] = field(default_factory=list)
+    buffer_mutations: List[MutationSite] = field(default_factory=list)
+    #: self buffer attrs referenced at all (read or written).
+    buffer_touches: Set[str] = field(default_factory=set)
+
+    @property
+    def leaf_name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ModuleBindings:
+    """Module-wide name facts the summaries canonicalise against."""
+
+    #: Canonical names known to be locks (incl. conditions).
+    locks: Set[str] = field(default_factory=set)
+    #: Canonical condition name -> canonical lock it guards.
+    condition_ties: Dict[str, str] = field(default_factory=dict)
+    #: class -> {attr: allocation line} for numpy buffers on self.
+    buffers: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+def canonical_name(
+    dotted: Optional[str], class_name: Optional[str]
+) -> Optional[str]:
+    """``self.x`` inside class ``C`` becomes ``C.x``; else unchanged."""
+    if dotted is None:
+        return None
+    if dotted == "self":
+        return class_name or dotted
+    if dotted.startswith("self.") and class_name is not None:
+        return class_name + dotted[len("self"):]
+    return dotted
+
+
+def is_lock_name(canon: Optional[str], bindings: ModuleBindings) -> bool:
+    """Whether a canonical dotted name denotes a lock.
+
+    Known module bindings (``threading.Lock``/``RLock``/``Condition``)
+    are authoritative; otherwise fall back to the naming convention —
+    a last component containing ``lock`` or ``mutex``.
+    """
+    if canon is None:
+        return False
+    if canon in bindings.locks:
+        return True
+    last = canon.rsplit(".", 1)[-1].lower()
+    return "lock" in last or "mutex" in last
+
+
+def collect_bindings(
+    tree: ast.Module, aliases: Dict[str, str]
+) -> ModuleBindings:
+    """Scan every assignment for lock/condition/buffer bindings."""
+    bindings = ModuleBindings()
+
+    def record(target: ast.expr, value: ast.expr, cls: Optional[str]) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        canon = canonical_name(_dotted(target), cls)
+        if canon is None:
+            return
+        resolved = _resolved_call_name(value, aliases)
+        if resolved in LOCK_CONSTRUCTORS:
+            bindings.locks.add(canon)
+        elif resolved == CONDITION_CONSTRUCTOR:
+            bindings.locks.add(canon)
+            if value.args:
+                guarded = canonical_name(_dotted(value.args[0]), cls)
+                if guarded is not None:
+                    bindings.condition_ties[canon] = guarded
+            else:
+                # A bare Condition owns a private lock: waiting on it
+                # while "holding" it is the normal protocol.
+                bindings.condition_ties[canon] = canon
+        elif resolved in NUMPY_BUFFER_CONSTRUCTORS and cls is not None:
+            dotted = _dotted(target)
+            if dotted is not None and dotted.startswith("self."):
+                attr = dotted[len("self."):]
+                if "." not in attr:
+                    bindings.buffers.setdefault(cls, {}).setdefault(
+                        attr, target.lineno
+                    )
+
+    def visit(node: ast.AST, cls: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, child.name)
+                continue
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    record(target, child.value, cls)
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                record(child.target, child.value, cls)
+            visit(child, cls)
+
+    visit(tree, None)
+    return bindings
+
+
+class _SummaryBuilder:
+    """Walk one function body tracking the lexical lock-region stack."""
+
+    def __init__(
+        self,
+        unit: Unit,
+        aliases: Dict[str, str],
+        bindings: ModuleBindings,
+    ) -> None:
+        self.aliases = aliases
+        self.bindings = bindings
+        self.class_name = unit.classes[-1] if unit.classes else None
+        self.summary = FunctionSummary(
+            qualname=unit.name,
+            class_name=self.class_name,
+            line=getattr(unit.node, "lineno", 1),
+        )
+        self._unit = unit
+
+    def build(self) -> FunctionSummary:
+        self._scan_body(self._unit.node.body, [])
+        return self.summary
+
+    # -- lock identity -----------------------------------------------------
+
+    def _canon(self, expr: ast.AST) -> Optional[str]:
+        return canonical_name(_dotted(expr), self.class_name)
+
+    def _is_lock(self, canon: Optional[str]) -> bool:
+        return is_lock_name(canon, self.bindings)
+
+    # -- the walk ----------------------------------------------------------
+
+    def _scan_body(
+        self, stmts: Sequence[ast.stmt], held: List[LockSite]
+    ) -> None:
+        suite_held = list(held)
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested units get their own summaries
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: List[LockSite] = []
+                for item in stmt.items:
+                    canon = self._canon(item.context_expr)
+                    if self._is_lock(canon):
+                        acquired.append(
+                            LockSite(
+                                lock=canon,  # type: ignore[arg-type]
+                                line=item.context_expr.lineno,
+                                col=item.context_expr.col_offset,
+                                how="with",
+                            )
+                        )
+                    else:
+                        self._scan_exprs(item.context_expr, suite_held)
+                for outer in suite_held:
+                    for inner in acquired:
+                        self.summary.order_pairs.append((outer, inner))
+                self.summary.acquires.extend(acquired)
+                self._scan_body(stmt.body, suite_held + acquired)
+                continue
+            header, bodies = _stmt_parts(stmt)
+            for expr in header:
+                self._scan_exprs(expr, suite_held)
+            self._scan_mutations(stmt, header, suite_held)
+            suite_held = self._apply_manual_locks(header, suite_held)
+            for body in bodies:
+                self._scan_body(body, suite_held)
+
+    def _apply_manual_locks(
+        self, header: Sequence[ast.AST], held: List[LockSite]
+    ) -> List[LockSite]:
+        """Extend/shrink the held set on raw acquire()/release() calls.
+
+        Suite-level approximation: an acquire inside a nested branch
+        does not leak into the enclosing suite (under-approximating held
+        regions, which can only miss reports, never invent them).
+        RAP-LINT014 handles the path-sensitive balance question on the
+        CFG instead.
+        """
+        current = held
+        for expr in header:
+            current = self._lock_calls_in(expr, current)
+        return current
+
+    def _lock_calls_in(
+        self, expr: ast.AST, held: List[LockSite]
+    ) -> List[LockSite]:
+        current = held
+        for call in _walk_calls(expr):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            canon = self._canon(func.value)
+            if not self._is_lock(canon):
+                continue
+            if func.attr == "acquire":
+                site = LockSite(
+                    lock=canon,  # type: ignore[arg-type]
+                    line=call.lineno,
+                    col=call.col_offset,
+                    how="acquire",
+                )
+                for outer in current:
+                    self.summary.order_pairs.append((outer, site))
+                self.summary.acquires.append(site)
+                current = current + [site]
+            elif func.attr == "release":
+                current = [s for s in current if s.lock != canon]
+        return current
+
+    def _scan_exprs(self, root: ast.AST, held: List[LockSite]) -> None:
+        held_tuple = tuple(held)
+        for call in _walk_calls(root):
+            self._record_spawn(call)
+            self._record_blocking(call, held_tuple)
+            self._record_call_edge(call, held_tuple)
+        for sub in _walk_pruned(root):
+            if isinstance(sub, ast.Attribute):
+                attr = self._self_buffer_attr(sub)
+                if attr is not None:
+                    self.summary.buffer_touches.add(attr)
+
+    def _record_spawn(self, call: ast.Call) -> None:
+        resolved = _resolved_call_name(call, self.aliases)
+        if resolved == "threading.Thread":
+            target: Optional[ast.expr] = None
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    target = keyword.value
+            self.summary.spawns.append(
+                ThreadSpawn(
+                    target=self._callee_of(target),
+                    kind="thread",
+                    line=call.lineno,
+                    col=call.col_offset,
+                )
+            )
+        elif (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "submit"
+            and call.args
+        ):
+            self.summary.spawns.append(
+                ThreadSpawn(
+                    target=self._callee_of(call.args[0]),
+                    kind="submit",
+                    line=call.lineno,
+                    col=call.col_offset,
+                )
+            )
+
+    def _record_blocking(
+        self, call: ast.Call, held: Tuple[LockSite, ...]
+    ) -> None:
+        func = call.func
+        what: Optional[str] = None
+        receiver: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            receiver = self._canon(func.value)
+            if func.attr in _BLOCKING_ATTRS:
+                base = receiver or "<dynamic>"
+                what = f"{base}.{func.attr}()"
+            elif (
+                func.attr == "get"
+                and receiver is not None
+                and "queue" in receiver.lower()
+            ):
+                what = f"{receiver}.get()"
+        if what is None:
+            resolved = _resolved_call_name(call, self.aliases)
+            if resolved in BLOCKING_CALLS:
+                what = f"{resolved}()"
+                receiver = None
+        if what is not None:
+            self.summary.blocking.append(
+                BlockingSite(
+                    what=what,
+                    receiver=receiver,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    held=held,
+                )
+            )
+
+    def _record_call_edge(
+        self, call: ast.Call, held: Tuple[LockSite, ...]
+    ) -> None:
+        callee = self._callee_of(call.func)
+        if callee is None:
+            return
+        self.summary.calls.append(
+            CallSite(
+                callee=callee,
+                text=_render_call(call),
+                line=call.lineno,
+                col=call.col_offset,
+                held=held,
+            )
+        )
+
+    def _callee_of(
+        self, expr: Optional[ast.expr]
+    ) -> Optional[Tuple[str, str]]:
+        if isinstance(expr, ast.Name):
+            return ("", expr.id)
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return ("self", expr.attr)
+        return None
+
+    # -- buffer mutations --------------------------------------------------
+
+    def _self_buffer_attr(self, expr: ast.AST) -> Optional[str]:
+        if self.class_name is None:
+            return None
+        buffers = self.bindings.buffers.get(self.class_name)
+        if not buffers:
+            return None
+        dotted = _dotted(expr)
+        if dotted is None or not dotted.startswith("self."):
+            return None
+        attr = dotted[len("self."):]
+        return attr if attr in buffers else None
+
+    def _scan_mutations(
+        self,
+        stmt: ast.stmt,
+        header: Sequence[ast.AST],
+        held: List[LockSite],
+    ) -> None:
+        held_tuple = tuple(held)
+
+        def base_buffer(target: ast.expr) -> Optional[str]:
+            if isinstance(target, ast.Subscript):
+                return self._self_buffer_attr(target.value)
+            return self._self_buffer_attr(target)
+
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = self._self_buffer_attr(target.value)
+                    if attr is not None:
+                        self._mutation(
+                            attr, "element store", target, held_tuple
+                        )
+        elif isinstance(stmt, ast.AugAssign):
+            attr = base_buffer(stmt.target)
+            if attr is not None:
+                self._mutation(
+                    attr, "augmented assignment", stmt.target, held_tuple
+                )
+        for expr in header:
+            self._scan_mutator_calls(expr, held_tuple)
+
+    def _scan_mutator_calls(
+        self, expr: ast.AST, held: Tuple[LockSite, ...]
+    ) -> None:
+        for call in _walk_calls(expr):
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _BUFFER_MUTATORS
+            ):
+                attr = self._self_buffer_attr(func.value)
+                if attr is not None:
+                    self._mutation(
+                        attr, f".{func.attr}() call", call, held
+                    )
+
+    def _mutation(
+        self,
+        attr: str,
+        how: str,
+        site: ast.AST,
+        held: Tuple[LockSite, ...],
+    ) -> None:
+        self.summary.buffer_mutations.append(
+            MutationSite(
+                attr=attr,
+                how=how,
+                line=getattr(site, "lineno", self.summary.line),
+                col=getattr(site, "col_offset", 0),
+                held=held,
+            )
+        )
+        self.summary.buffer_touches.add(attr)
+
+
+@dataclass(frozen=True)
+class OrderConflict:
+    """Two lock orders observed in both directions across the module."""
+
+    first: str
+    second: str
+    #: (line, col, event) witness steps for each direction.
+    forward: Tuple[Tuple[int, int, str], ...]
+    reverse: Tuple[Tuple[int, int, str], ...]
+    line: int
+    col: int
+
+
+class CallGraph:
+    """Per-module call graph over :class:`FunctionSummary` nodes."""
+
+    #: Call chains longer than this are pruned (keeps the transitive
+    #: queries linear on real modules and the witnesses readable).
+    MAX_DEPTH = 4
+
+    def __init__(
+        self,
+        summaries: Sequence[FunctionSummary],
+        bindings: ModuleBindings,
+    ) -> None:
+        self.functions: Dict[str, FunctionSummary] = {
+            summary.qualname: summary for summary in summaries
+        }
+        self.bindings = bindings
+        self._lock_memo: Dict[
+            str, List[Tuple[LockSite, Tuple[CallSite, ...]]]
+        ] = {}
+        self._block_memo: Dict[
+            str, List[Tuple[BlockingSite, Tuple[CallSite, ...]]]
+        ] = {}
+
+    @classmethod
+    def from_module(cls, tree: ast.Module) -> "CallGraph":
+        aliases = _import_aliases(tree)
+        bindings = collect_bindings(tree, aliases)
+        summaries = [
+            _SummaryBuilder(unit, aliases, bindings).build()
+            for unit in iter_units(tree)
+            if not unit.is_module
+        ]
+        return cls(summaries, bindings)
+
+    # -- edges -------------------------------------------------------------
+
+    def resolve(
+        self, caller: FunctionSummary, call: CallSite
+    ) -> List[FunctionSummary]:
+        kind, name = call.callee
+        if kind == "self" and caller.class_name is not None:
+            qualname = f"{caller.class_name}.{name}"
+        elif kind == "":
+            qualname = name
+        else:
+            return []
+        summary = self.functions.get(qualname)
+        return [summary] if summary is not None else []
+
+    # -- transitive queries ------------------------------------------------
+
+    def transitive_locks(
+        self, summary: FunctionSummary
+    ) -> List[Tuple[LockSite, Tuple[CallSite, ...]]]:
+        """Locks acquired by ``summary`` or any resolvable callee."""
+        return self._transitive(
+            summary, self._lock_memo, lambda s: s.acquires
+        )
+
+    def transitive_blocking(
+        self, summary: FunctionSummary
+    ) -> List[Tuple[BlockingSite, Tuple[CallSite, ...]]]:
+        """Blocking sites in ``summary`` or any resolvable callee."""
+        return self._transitive(
+            summary, self._block_memo, lambda s: s.blocking
+        )
+
+    def _transitive(self, summary, memo, facts_of, _visiting=None):
+        if summary.qualname in memo:
+            return memo[summary.qualname]
+        visiting = _visiting if _visiting is not None else set()
+        if summary.qualname in visiting:
+            return []  # recursion: the cycle adds no new facts
+        visiting.add(summary.qualname)
+        out = [(fact, ()) for fact in facts_of(summary)]
+        for call in summary.calls:
+            for callee in self.resolve(summary, call):
+                for fact, chain in self._transitive(
+                    callee, memo, facts_of, visiting
+                ):
+                    if len(chain) + 1 <= self.MAX_DEPTH:
+                        out.append((fact, (call,) + chain))
+        visiting.discard(summary.qualname)
+        if _visiting is None:
+            memo[summary.qualname] = out
+        return out
+
+    # -- lock-order conflicts (RAP-LINT015) --------------------------------
+
+    def lock_order_pairs(
+        self,
+    ) -> Dict[Tuple[str, str], Tuple[Tuple[int, int, str], ...]]:
+        """First witness per (outer-lock, inner-lock) order observed."""
+        pairs: Dict[Tuple[str, str], Tuple[Tuple[int, int, str], ...]] = {}
+
+        def note(outer: str, inner: str, steps) -> None:
+            key = (outer, inner)
+            if key not in pairs:
+                pairs[key] = tuple(steps)
+
+        for summary in self.functions.values():
+            for outer, inner in summary.order_pairs:
+                if outer.lock == inner.lock:
+                    continue
+                note(
+                    outer.lock,
+                    inner.lock,
+                    [
+                        (
+                            outer.line,
+                            outer.col,
+                            f"{summary.qualname}: acquires {outer.lock}",
+                        ),
+                        (
+                            inner.line,
+                            inner.col,
+                            f"{summary.qualname}: acquires {inner.lock} "
+                            f"while holding {outer.lock}",
+                        ),
+                    ],
+                )
+            for call in summary.calls:
+                if not call.held:
+                    continue
+                for callee in self.resolve(summary, call):
+                    for site, chain in self.transitive_locks(callee):
+                        for outer in call.held:
+                            if outer.lock == site.lock:
+                                continue
+                            steps = [
+                                (
+                                    outer.line,
+                                    outer.col,
+                                    f"{summary.qualname}: acquires "
+                                    f"{outer.lock}",
+                                ),
+                                (
+                                    call.line,
+                                    call.col,
+                                    f"{summary.qualname}: calls "
+                                    f"{call.text} while holding "
+                                    f"{outer.lock}",
+                                ),
+                            ]
+                            steps.extend(
+                                (
+                                    hop.line,
+                                    hop.col,
+                                    f"which calls {hop.text}",
+                                )
+                                for hop in chain
+                            )
+                            steps.append(
+                                (
+                                    site.line,
+                                    site.col,
+                                    f"{callee.qualname}: acquires "
+                                    f"{site.lock}",
+                                )
+                            )
+                            note(outer.lock, site.lock, steps)
+        return pairs
+
+    def lock_order_conflicts(self) -> List[OrderConflict]:
+        """(A before B) and (B before A) both observed in this module."""
+        pairs = self.lock_order_pairs()
+        conflicts: List[OrderConflict] = []
+        for (first, second), forward in sorted(pairs.items()):
+            if first >= second:
+                continue  # report each unordered pair once
+            reverse = pairs.get((second, first))
+            if reverse is None:
+                continue
+            # Anchor the report at the later of the two inner
+            # acquisitions, which is usually the edit that broke order.
+            anchor = max(forward[-1], reverse[-1])
+            conflicts.append(
+                OrderConflict(
+                    first=first,
+                    second=second,
+                    forward=forward,
+                    reverse=reverse,
+                    line=anchor[0],
+                    col=anchor[1],
+                )
+            )
+        return conflicts
+
+    # -- thread-side classification (RAP-LINT017) --------------------------
+
+    def spawned_classes(self) -> Dict[str, ThreadSpawn]:
+        """class name -> first spawn targeting one of its methods."""
+        spawned: Dict[str, ThreadSpawn] = {}
+        for summary in self.functions.values():
+            if summary.class_name is None:
+                continue
+            for spawn in summary.spawns:
+                if spawn.target is None:
+                    continue
+                kind, _name = spawn.target
+                if kind == "self":
+                    spawned.setdefault(summary.class_name, spawn)
+        return spawned
+
+    def worker_methods(self, class_name: str) -> Set[str]:
+        """Qualnames reachable from any thread entry of ``class_name``."""
+        entries: Set[str] = set()
+        for summary in self.functions.values():
+            if summary.class_name != class_name:
+                continue
+            for spawn in summary.spawns:
+                if spawn.target is None:
+                    continue
+                kind, name = spawn.target
+                if kind == "self":
+                    entries.add(f"{class_name}.{name}")
+        reachable: Set[str] = set()
+        stack = [entry for entry in entries if entry in self.functions]
+        while stack:
+            qualname = stack.pop()
+            if qualname in reachable:
+                continue
+            reachable.add(qualname)
+            summary = self.functions[qualname]
+            for call in summary.calls:
+                for callee in self.resolve(summary, call):
+                    if callee.qualname not in reachable:
+                        stack.append(callee.qualname)
+        return reachable
+
+
+# -- small AST helpers -----------------------------------------------------
+
+
+def _walk_pruned(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested defs/lambdas."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, _SKIP_WALK):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _walk_calls(root: ast.AST) -> Iterator[ast.Call]:
+    for sub in _walk_pruned(root):
+        if isinstance(sub, ast.Call):
+            yield sub
+
+
+def _stmt_parts(
+    stmt: ast.stmt,
+) -> Tuple[List[ast.AST], List[Sequence[ast.stmt]]]:
+    """(header expressions, nested statement suites) of one statement."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test], [stmt.body, stmt.orelse]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter], [stmt.body, stmt.orelse]
+    if isinstance(stmt, ast.Try):
+        header: List[ast.AST] = [
+            handler.type
+            for handler in stmt.handlers
+            if handler.type is not None
+        ]
+        bodies: List[Sequence[ast.stmt]] = [stmt.body]
+        bodies.extend(handler.body for handler in stmt.handlers)
+        bodies.extend([stmt.orelse, stmt.finalbody])
+        return header, bodies
+    match_type = getattr(ast, "Match", None)
+    if match_type is not None and isinstance(stmt, match_type):
+        return [stmt.subject], [case.body for case in stmt.cases]
+    return [stmt], []
+
+
+def _render_call(call: ast.Call) -> str:
+    try:
+        text = ast.unparse(call.func) + "(...)"
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        text = "<call>"
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def build_callgraph(tree: ast.Module) -> CallGraph:
+    """Convenience entry point: summaries + bindings for one module."""
+    return CallGraph.from_module(tree)

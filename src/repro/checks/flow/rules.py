@@ -154,6 +154,8 @@ def _steps(raw: Sequence[Tuple[int, int, str]]) -> Tuple[FlowStep, ...]:
 class FlowRule(Rule):
     """Base for flow rules: violations always carry a witness trace."""
 
+    kind = "flow"
+
     def flow_violation(
         self,
         context: LintContext,
@@ -174,6 +176,8 @@ class FlowRule(Rule):
 class CounterFloatFlowRule(FlowRule):
     code = "RAP-LINT006"
     name = "counter-float-flow"
+    scope = "core/"
+    catches = "counter values reaching float math through aliases"
     rationale = (
         "an exact counter that reaches float arithmetic through any "
         "alias chain silently turns the guaranteed lower bounds into "
@@ -251,6 +255,8 @@ class CounterFloatFlowRule(FlowRule):
 class RngFlowRule(FlowRule):
     code = "RAP-LINT007"
     name = "rng-flow"
+    scope = "all but workloads/distributions.py"
+    catches = "unseeded RNG objects reaching draws through aliases"
     rationale = (
         "an unseeded RNG object reaching a draw or call site through a "
         "variable breaks bit-identical replay even when the "
@@ -322,6 +328,8 @@ class RngFlowRule(FlowRule):
 class NodeAliasMutationRule(FlowRule):
     code = "RAP-LINT008"
     name = "node-alias-mutation"
+    scope = "all but the tree classes"
+    catches = "aliased live children lists mutated out-of-band"
     rationale = (
         "a node's live children list escaping into a local alias and "
         "mutated there corrupts the tree exactly like the direct "
@@ -414,6 +422,8 @@ class NodeAliasMutationRule(FlowRule):
 class DeadCodeRule(FlowRule):
     code = "RAP-LINT009"
     name = "dead-code"
+    scope = "core/, hardware/"
+    catches = "unreachable statements and dead stores"
     rationale = (
         "unreachable statements and stores no path ever reads are "
         "refactoring residue; in the load-bearing packages they hide "
@@ -542,6 +552,7 @@ class DeadCodeRule(FlowRule):
 class UnclosedResourceRule(FlowRule):
     code = "RAP-LINT010"
     name = "unclosed-resource"
+    catches = "open() handles not closed on every path"
     rationale = (
         "a file handle opened outside `with` and not closed on every "
         "path (including exception paths) leaks descriptors under "

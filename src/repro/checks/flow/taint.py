@@ -17,6 +17,11 @@ union, tracked per local variable:
   conservation proof exactly like the direct mutations RAP-LINT003
   bans.
 * ``none`` — the literal ``None`` (bookkeeping for seed tracking).
+* ``confined`` — values pinned to the current thread by a
+  ``confine_to_current_thread()`` call (shard trees in the sharded
+  runtime). The kind survives aliasing but is laundered by calls, so
+  ``tree.clone()`` / snapshot-protocol copies are free to cross thread
+  boundaries while the live tree is not; RAP-LINT013 consumes this.
 
 Kinds propagate through assignments, unpacking-free aliases, arithmetic
 (union of operand kinds, plus ``float`` across ``/``), conditional
@@ -47,6 +52,7 @@ KIND_CLOCK = "clock"
 KIND_NODE = "node"
 KIND_CHILDREN = "children"
 KIND_NONE = "none"
+KIND_CONFINED = "confined"
 
 ALL_KINDS = frozenset(
     {
@@ -57,8 +63,13 @@ ALL_KINDS = frozenset(
         KIND_NODE,
         KIND_CHILDREN,
         KIND_NONE,
+        KIND_CONFINED,
     }
 )
+
+#: Method that pins a tree backend to the calling thread, and its dual.
+CONFINE_METHOD = "confine_to_current_thread"
+UNCONFINE_METHOD = "unconfine"
 
 #: Attributes that read an exact counter.
 COUNTER_ATTRS = frozenset({"count", "_events", "events"})
@@ -304,6 +315,25 @@ class TaintAnalysis:
             for target in stmt.targets:
                 if isinstance(target, ast.Name):
                     updates[target.id] = _EMPTY
+        # Confinement transitions: ``x.confine_to_current_thread()`` pins
+        # ``x`` to this thread, ``x.unconfine()`` lifts the pin. These are
+        # Expr statements, not definitions, so they are handled after the
+        # assignment dispatch (and win over it on the rare shared target).
+        for sub in ast.walk(stmt):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if not isinstance(func, ast.Attribute) or not isinstance(
+                func.value, ast.Name
+            ):
+                continue
+            receiver = func.value.id
+            if func.attr == CONFINE_METHOD:
+                base = updates.get(receiver, _env_get(env, receiver))
+                updates[receiver] = base | frozenset({KIND_CONFINED})
+            elif func.attr == UNCONFINE_METHOD:
+                base = updates.get(receiver, _env_get(env, receiver))
+                updates[receiver] = base - frozenset({KIND_CONFINED})
         if not updates:
             return env
         return _env_set(env, updates)

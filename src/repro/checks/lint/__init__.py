@@ -1,17 +1,25 @@
 """Custom AST lint pass over the reproduction source (``rap lint``).
 
-See :mod:`repro.checks.lint.rules` for the syntactic rules
-(RAP-LINT001..005 and 011), :mod:`repro.checks.flow.rules` for the
-flow-sensitive rules (RAP-LINT006..010),
-:mod:`repro.checks.lint.registry` for the combined registry, and
+See :mod:`repro.checks.lint.rules` for the syntactic rules,
+:mod:`repro.checks.flow.rules` for the flow-sensitive rules,
+:mod:`repro.checks.flow.concurrency` for the interprocedural
+concurrency rules, :mod:`repro.checks.lint.registry` for the combined
+registry (the single source of truth for the rule list and count), and
 :mod:`repro.checks.lint.runner` for the driver, suppression comments
 and output formats.
 """
 
 from .rules import FlowStep, LintContext, Rule, Violation
-from .registry import RULES, all_rule_codes, explain_rule
+from .registry import (
+    RULES,
+    all_rule_codes,
+    catalog_markdown,
+    explain_rule,
+    rule_count,
+)
 from .runner import (
     JSON_SCHEMA_VERSION,
+    NOQA_AUDIT_CODE,
     LintReport,
     lint_file,
     lint_paths,
@@ -20,6 +28,7 @@ from .runner import (
 
 __all__ = [
     "JSON_SCHEMA_VERSION",
+    "NOQA_AUDIT_CODE",
     "FlowStep",
     "LintContext",
     "LintReport",
@@ -27,8 +36,10 @@ __all__ = [
     "Rule",
     "Violation",
     "all_rule_codes",
+    "catalog_markdown",
     "explain_rule",
     "lint_file",
     "lint_paths",
+    "rule_count",
     "select_rules",
 ]

@@ -1,26 +1,39 @@
 """The full RAP-LINT rule registry.
 
-Combines the syntactic rules (RAP-LINT001..005 and 011, from
+Combines the syntactic rules (RAP-LINT001..005 and 011..012, from
 :mod:`repro.checks.lint.rules`) with the flow-sensitive rules
-(RAP-LINT006..010, from :mod:`repro.checks.flow.rules`). Everything
-that needs "all the rules" — the runner, ``--select``/``--ignore``
-resolution, ``--explain`` — goes through this module so the two rule
-families stay independently importable.
+(RAP-LINT006..010, from :mod:`repro.checks.flow.rules`) and the
+interprocedural concurrency rules (RAP-LINT013..017, from
+:mod:`repro.checks.flow.concurrency`). Everything that needs "all the
+rules" — the runner, ``--select``/``--ignore`` resolution,
+``--explain``, the CLI banner, the docs catalog — goes through this
+module so the rule families stay independently importable and the
+rule count is never hard-coded anywhere else.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+from ..flow.concurrency import CONCURRENCY_RULES
 from ..flow.rules import FLOW_RULES
 from .rules import SYNTACTIC_RULES, Rule
 
-RULES: Dict[str, Rule] = {**SYNTACTIC_RULES, **FLOW_RULES}
+RULES: Dict[str, Rule] = {
+    **SYNTACTIC_RULES,
+    **FLOW_RULES,
+    **CONCURRENCY_RULES,
+}
 
 
 def all_rule_codes() -> List[str]:
     """Registered rule codes in a stable order."""
     return sorted(RULES)
+
+
+def rule_count() -> int:
+    """Number of registered rules (the only place the count lives)."""
+    return len(RULES)
 
 
 def explain_rule(code: str) -> str:
@@ -44,3 +57,24 @@ def explain_rule(code: str) -> str:
     if rule.fix:
         lines += ["", "suggested fix:", f"  {rule.fix}"]
     return "\n".join(lines)
+
+
+def catalog_markdown() -> str:
+    """The rule catalog as a GitHub-flavoured markdown table.
+
+    ``docs/checks.md`` embeds this table verbatim;
+    ``python -m repro.checks --catalog`` prints it so the docs can be
+    regenerated instead of hand-edited when rules are added.
+    """
+    header = (
+        "| code | name | kind | scope | catches |\n"
+        "| --- | --- | --- | --- | --- |"
+    )
+    rows = []
+    for code in all_rule_codes():
+        rule = RULES[code]
+        rows.append(
+            f"| {rule.code} | `{rule.name}` | {rule.kind} "
+            f"| {rule.scope} | {rule.catches} |"
+        )
+    return "\n".join([header, *rows])

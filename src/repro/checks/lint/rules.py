@@ -170,7 +170,11 @@ class Rule:
     """Base class: subclasses set the metadata and implement check().
 
     ``example`` and ``fix`` feed ``rap lint --explain <code>``: a
-    minimal violating snippet and the idiomatic way out.
+    minimal violating snippet and the idiomatic way out. ``kind``,
+    ``scope`` and ``catches`` feed the registry-generated rule catalog
+    (``python -m repro.checks --catalog``, mirrored in docs/checks.md) —
+    one short phrase each, so the docs table regenerates from the
+    registry instead of being hand-maintained.
     """
 
     code: str = ""
@@ -178,6 +182,9 @@ class Rule:
     rationale: str = ""
     example: str = ""
     fix: str = ""
+    kind: str = "syntactic"
+    scope: str = "everywhere"
+    catches: str = ""
 
     def check(self, context: LintContext) -> Iterator[Violation]:
         raise NotImplementedError
@@ -197,6 +204,8 @@ class Rule:
 class UnseededRngRule(Rule):
     code = "RAP-LINT001"
     name = "unseeded-rng"
+    scope = "all but workloads/distributions.py"
+    catches = "unseeded RNG constructions and global-RNG draws"
     rationale = (
         "all randomness must flow from explicit seeds via "
         "workloads.distributions so experiments replay bit-identically"
@@ -266,6 +275,8 @@ class UnseededRngRule(Rule):
 class FloatCounterRule(Rule):
     code = "RAP-LINT002"
     name = "float-counter-arithmetic"
+    scope = "core/"
+    catches = "float arithmetic assigned into .count/._events"
     rationale = (
         "counters are exact integers — float arithmetic would turn the "
         "guaranteed lower bounds into approximations"
@@ -338,6 +349,7 @@ class FloatCounterRule(Rule):
 class NodeEncapsulationRule(Rule):
     code = "RAP-LINT003"
     name = "node-encapsulation"
+    catches = ".count/.children mutations outside the tree classes"
     rationale = (
         "the conservation proof audits RapTree/MultiDimRapTree methods; "
         "out-of-band .count/.children mutations would invalidate it"
@@ -412,6 +424,8 @@ class NodeEncapsulationRule(Rule):
 class MissingAnnotationsRule(Rule):
     code = "RAP-LINT004"
     name = "missing-annotations"
+    scope = "core/, hardware/"
+    catches = "public functions missing type annotations"
     rationale = (
         "core/ and hardware/ are the load-bearing APIs; annotations "
         "keep refactors honest without a runtime cost"
@@ -467,6 +481,7 @@ class MissingAnnotationsRule(Rule):
 class WallClockRule(Rule):
     code = "RAP-LINT005"
     name = "wall-clock"
+    catches = "wall-clock reads in deterministic code"
     rationale = (
         "experiment code is deterministic; wall-clock reads belong in "
         "the benchmark harness, not in results"
@@ -512,6 +527,8 @@ class WallClockRule(Rule):
 class DirectTreeConstructionRule(Rule):
     code = "RAP-LINT011"
     name = "direct-tree-construction"
+    scope = "all but core/"
+    catches = "direct RapTree(...) construction"
     rationale = (
         "API v2 routes tree construction through RapTree.from_config / "
         "Profiler.from_config outside core/, keeping construction sites "
@@ -551,6 +568,8 @@ class DirectTreeConstructionRule(Rule):
 class ColumnarInternalsImportRule(Rule):
     code = "RAP-LINT012"
     name = "columnar-internals-import"
+    scope = "all but core/"
+    catches = "imports of repro.core.columnar internals"
     rationale = (
         "repro.core.columnar is an implementation detail behind the "
         "TreeBackend protocol; outside core/ the kernel is selected "

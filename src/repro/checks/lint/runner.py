@@ -5,13 +5,22 @@ applies the selected rules from :mod:`repro.checks.lint.rules`, filters
 suppressed lines (``# noqa`` / ``# noqa: RAP-LINT003``), and folds the
 survivors into a :class:`LintReport` that renders as text or as
 schema-stable JSON (``{"version": 1, ...}``) for CI.
+
+Strict mode (``rap lint --strict``) tightens the suppression contract:
+a bare ``# noqa`` no longer silences anything and is reported as its
+own ``RAP-NOQA`` finding, and per-code suppressions must carry a
+reason (``# noqa: RAP-LINT016 - workers never take this lock``) or
+they are flagged too. Suppressions are audited from real comment
+tokens, so prose in docstrings that merely mentions noqa is ignored.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -26,9 +35,13 @@ JSON_SCHEMA_VERSION = 2
 # Accepts flake8-style suppressions, including trailing prose after the
 # code list ("# noqa: RAP-LINT003 - display-only hierarchy").
 _NOQA_PATTERN = re.compile(
-    r"#\s*noqa(?::\s*(?P<codes>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*))?",
+    r"#\s*noqa(?::\s*(?P<codes>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*))?"
+    r"(?P<reason>\s*[-:–—]\s*\S.*)?",
     re.IGNORECASE,
 )
+
+#: Code for the strict-mode suppression-audit findings themselves.
+NOQA_AUDIT_CODE = "RAP-NOQA"
 
 
 @dataclass
@@ -150,7 +163,11 @@ def select_rules(
     return chosen
 
 
-def _suppressed(violation: Violation, source_lines: Sequence[str]) -> bool:
+def _suppressed(
+    violation: Violation,
+    source_lines: Sequence[str],
+    strict: bool = False,
+) -> bool:
     if not 1 <= violation.line <= len(source_lines):
         return False
     match = _NOQA_PATTERN.search(source_lines[violation.line - 1])
@@ -158,15 +175,69 @@ def _suppressed(violation: Violation, source_lines: Sequence[str]) -> bool:
         return False
     codes = match.group("codes")
     if codes is None:
-        return True  # bare "# noqa" silences every rule
+        # A bare suppression silences every rule — except under
+        # --strict, where blanket suppressions are inert (and flagged
+        # by the suppression audit as RAP-NOQA findings).
+        return not strict
     listed = {code.strip().upper() for code in codes.split(",")}
     return violation.rule.upper() in listed
+
+
+def _audit_suppressions(file: Path, source: str) -> List[Violation]:
+    """Strict-mode sweep over real noqa comments.
+
+    Flags bare ``# noqa`` (would suppress everything) and per-code
+    suppressions with no reason. Works on tokenized comments, not raw
+    lines, so docstrings quoting the noqa syntax never trip it.
+    """
+    findings: List[Violation] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return findings  # the parse error is reported as RAP-SYNTAX
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_PATTERN.search(token.string)
+        if match is None:
+            continue
+        line, column = token.start
+        codes = match.group("codes")
+        if codes is None:
+            findings.append(
+                Violation(
+                    rule=NOQA_AUDIT_CODE,
+                    path=str(file),
+                    line=line,
+                    column=column,
+                    message=(
+                        "bare '# noqa' would silence every rule; strict "
+                        "mode requires '# noqa: <code> - <reason>'"
+                    ),
+                )
+            )
+        elif match.group("reason") is None:
+            findings.append(
+                Violation(
+                    rule=NOQA_AUDIT_CODE,
+                    path=str(file),
+                    line=line,
+                    column=column,
+                    message=(
+                        f"suppression of {codes.strip()} gives no reason; "
+                        "strict mode requires "
+                        "'# noqa: <code> - <reason>'"
+                    ),
+                )
+            )
+    return findings
 
 
 def lint_file(
     file: Path,
     rules: Dict[str, Rule],
     root: Optional[Path] = None,
+    strict: bool = False,
 ) -> List[Violation]:
     """Lint a single file; syntax errors surface as RAP-SYNTAX."""
     source = file.read_text(encoding="utf-8")
@@ -192,8 +263,10 @@ def lint_file(
     violations: List[Violation] = []
     for rule in rules.values():
         for violation in rule.check(context):
-            if not _suppressed(violation, source_lines):
+            if not _suppressed(violation, source_lines, strict=strict):
                 violations.append(violation)
+    if strict:
+        violations.extend(_audit_suppressions(file, source))
     violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
     return violations
 
@@ -202,6 +275,7 @@ def lint_paths(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    strict: bool = False,
 ) -> LintReport:
     """Lint files/directories and return the aggregate report."""
     rules = select_rules(select, ignore)
@@ -209,7 +283,9 @@ def lint_paths(
     for raw in paths:
         root = Path(raw) if Path(raw).is_dir() else Path(raw).parent
         for file in _discover([raw]):
-            report.violations.extend(lint_file(file, rules, root=root))
+            report.violations.extend(
+                lint_file(file, rules, root=root, strict=strict)
+            )
             report.files_checked += 1
     report.violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
     return report

@@ -22,9 +22,18 @@ Commands:
   structural invariant auditor (``repro.checks``) and verify the
   estimate guarantees against an exact oracle.
 * ``rap lint [paths...]`` — run the repo-specific RAP-LINT rules (the
-  syntactic AST rules plus the flow-sensitive dataflow rules).
-  ``--strict`` forces all twelve rules on; ``--explain RAP-LINTNNN``
-  prints a rule's rationale, example violation, and suggested fix.
+  syntactic AST rules, the flow-sensitive dataflow rules, and the
+  interprocedural concurrency rules; the registry is the single source
+  of truth for the list). ``--strict`` forces every registered rule on
+  and tightens noqa handling (bare suppressions are flagged, per-code
+  ones need a reason); ``--explain RAP-LINTNNN`` prints a rule's
+  rationale, example violation, and suggested fix.
+* ``rap sanitize <benchmark> <kind> [--shards N]`` — replay a workload
+  through a sharded profiler under the runtime race sanitizer
+  (``RapConfig(debug_sanitize=True)``): owner-thread assertions on
+  every shard-tree mutation, lock-holder tracking, a happens-before
+  log. ``--inject-race`` deliberately mutates a confined shard tree
+  from a foreign thread to prove the instrumentation trips.
 
 Operational errors — an unknown experiment id, an unreadable or corrupt
 trace file — print a one-line diagnostic and exit with status 1 rather
@@ -40,7 +49,12 @@ from typing import List, Optional
 from .analysis.compare import diff_profiles
 from .analysis.hot_report import render_hot_tree
 from .checks.audit import audit_stream
-from .checks.lint import all_rule_codes, explain_rule, lint_paths
+from .checks.lint import (
+    all_rule_codes,
+    explain_rule,
+    lint_paths,
+    rule_count,
+)
 from .core.quantiles import quantile_bounds
 from .experiments import runner
 from .experiments.common import DEFAULT_SEED, HOT_FRACTION, profile_stream
@@ -144,8 +158,29 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--epsilon", type=float, default=0.01)
     audit.add_argument("--branching", type=int, default=4)
 
+    sanitize = commands.add_parser(
+        "sanitize",
+        help="replay a workload under the runtime race sanitizer",
+    )
+    sanitize.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    sanitize.add_argument("kind", choices=["code", "value", "narrow"])
+    sanitize.add_argument("--shards", type=int, default=4)
+    sanitize.add_argument("--epsilon", type=float, default=0.05)
+    sanitize.add_argument("--events", type=int, default=50_000)
+    sanitize.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sanitize.add_argument("--batch-size", type=int, default=4096)
+    sanitize.add_argument(
+        "--inject-race",
+        action="store_true",
+        help=(
+            "deliberately mutate a confined shard tree from a foreign "
+            "thread; the run must then report at least one violation"
+        ),
+    )
+
     lint = commands.add_parser(
-        "lint", help="run the repo-specific RAP-LINT rules"
+        "lint",
+        help=f"run the {rule_count()} repo-specific RAP-LINT rules",
     )
     lint.add_argument(
         "paths",
@@ -161,7 +196,11 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--strict",
         action="store_true",
-        help="run every registered rule (overrides --select/--ignore)",
+        help=(
+            "run every registered rule (overrides --select/--ignore) "
+            "and tighten noqa handling: bare suppressions are flagged, "
+            "per-code ones must carry a reason"
+        ),
     )
     lint.add_argument(
         "--explain",
@@ -356,6 +395,73 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.command == "sanitize":
+        import threading
+
+        from .checks.sanitizer import RapSanitizerError
+        from .core import RapConfig
+        from .runtime import Profiler
+
+        spec = benchmark(args.benchmark)
+        if args.kind == "code":
+            stream = spec.code_stream(args.events, seed=args.seed)
+        elif args.kind == "value":
+            stream = spec.value_stream(args.events, seed=args.seed)
+        else:
+            stream = spec.narrow_operand_stream(args.events, seed=args.seed)
+        config = RapConfig(
+            stream.universe, epsilon=args.epsilon, debug_sanitize=True
+        )
+        profiler = Profiler.from_config(
+            config, shards=args.shards, batch_size=args.batch_size
+        )
+        with profiler:
+            for batch in stream.batches(args.batch_size):
+                profiler.ingest(batch)
+            profiler.drain()
+            if args.inject_race:
+                # Deliberate fault injection: mutate a confined shard
+                # tree from a thread that does not own it. The wrapped
+                # mutator must record the violation and raise before
+                # the tree is touched, so the run stays deterministic.
+                def _race() -> None:
+                    try:
+                        profiler._trees[0].add(0)  # noqa: SLF001 - deliberate fault injection
+                    except RapSanitizerError:
+                        pass  # recorded by the sanitizer; reported below
+                intruder = threading.Thread(
+                    target=_race, name="rap-sanitize-intruder"
+                )
+                intruder.start()
+                intruder.join()
+            snapshot = profiler.close()
+        sanitizer = profiler.sanitizer
+        assert sanitizer is not None
+        summary = sanitizer.report()
+        print(
+            f"{stream.name}: {snapshot.events:,} events through "
+            f"{args.shards} shard(s) under the race sanitizer"
+        )
+        print(
+            f"  happens-before log: {summary['events_logged']} events "
+            f"({summary['trees_tracked']} trees, "
+            f"{summary['queues_tracked']} queues, "
+            f"{len(summary['locks_tracked'])} locks tracked)"
+        )
+        violations = sanitizer.violations
+        if violations:
+            print(f"  {len(violations)} violation(s):")
+            for message in violations:
+                print(f"    - {message}")
+        else:
+            print("  no confinement or lock-discipline violations")
+        if args.inject_race:
+            if not violations:
+                return _fail("injected race was not detected")
+            print("  (expected: --inject-race provoked the violation)")
+            return 0
+        return 1 if violations else 0
+
     if args.command == "audit":
         stream = _read_trace_checked(args.path)
         if stream is None:
@@ -386,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.paths or [__file__.rsplit("/", 1)[0]],
                 select=select,
                 ignore=ignore,
+                strict=args.strict,
             )
         except (ValueError, FileNotFoundError) as error:
             return _fail(

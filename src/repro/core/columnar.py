@@ -1401,8 +1401,8 @@ class ColumnarRapTree:
 
         probe = RapTree(self._config)
         probe._events = self._events  # noqa: SLF001 - borrowed checker
-        probe._node_count = self._node_count  # noqa: SLF001
-        probe._root = self._materialize()  # noqa: SLF001
+        probe._node_count = self._node_count  # noqa: SLF001 - borrowed checker
+        probe._root = self._materialize()  # noqa: SLF001 - borrowed checker
         probe.check_invariants()
 
         size = self._size

@@ -100,7 +100,7 @@ def combine_many(
         for node in source.nodes():
             if node.count:
                 _add_at_range(combined, node.lo, node.hi, node.count)
-    combined._events = total_events  # noqa: SLF001
+    combined._events = total_events  # noqa: SLF001 - fold owns the new tree
     if combined.events:
         combined.merge_now()
         combined.check_invariants()
@@ -170,9 +170,9 @@ def _add_at_range(tree: RapTree, lo: int, hi: int, count: int) -> None:
         node = child
     # Combination deposits a source tree's range weight wholesale; the
     # destination re-establishes conservation once every range lands.
-    node.count += count  # noqa: RAP-LINT003
-    tree._node_count += created  # noqa: SLF001
-    tree._generation += 1  # noqa: SLF001
+    node.count += count  # noqa: RAP-LINT003 - fold re-establishes conservation
+    tree._node_count += created  # noqa: SLF001 - fold owns the new tree
+    tree._generation += 1  # noqa: SLF001 - fold owns the new tree
 
 
 def split_stream_profile(

@@ -69,6 +69,16 @@ class RapConfig:
         are observably equivalent — identical serialized trees for
         identical operation sequences — so this is purely a performance
         knob; it is construction-time only and never serialized.
+    debug_sanitize:
+        If true, a :class:`~repro.checks.sanitizer.RapSanitizer` is
+        attached to every :class:`~repro.runtime.profiler.Profiler`
+        built from this config: shard trees get owner-thread
+        assertions on every mutating call, shard queues get a
+        happens-before log, and any confinement or lock-discipline
+        violation raises immediately with the recorded event trail. A
+        debug hook — it adds a per-call bookkeeping cost, so keep it
+        off (the default) outside tests and race hunts. Like
+        ``backend`` it is construction-time only and never serialized.
     """
 
     range_max: int
@@ -81,6 +91,7 @@ class RapConfig:
     timeline_sample_every: int = 0
     audit_every: int = 0
     backend: str = "object"
+    debug_sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.range_max < 2:

@@ -136,7 +136,7 @@ def load_tree(text: str) -> RapTree:
                 )
             # Rebuilding a dumped tree: the root predates load_tree, so
             # its counter is restored here rather than through add().
-            root.count = count  # noqa: RAP-LINT003
+            root.count = count  # noqa: RAP-LINT003 - deserializer restores counters
             path = [root]
         else:
             if depth > len(path):
@@ -150,7 +150,7 @@ def load_tree(text: str) -> RapTree:
 
     # Restore internal accounting that add() would normally maintain.
     tree._events = events  # noqa: SLF001 - deliberate rebuild of internals
-    tree._node_count = node_count  # noqa: SLF001
+    tree._node_count = node_count  # noqa: SLF001 - deliberate rebuild of internals
     scheduler = tree.merge_scheduler
     if scheduler_next_at is not None:
         scheduler.next_at = scheduler_next_at

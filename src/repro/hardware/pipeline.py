@@ -393,7 +393,7 @@ class PipelinedRapEngine:
             child = _HwNode(lo, hi, slot, parent=node)
             # _HwNode rows mirror TCAM state, not the software tree; the
             # engine is its own (hardware) implementation of RAP.
-            node.children.append(child)  # noqa: RAP-LINT003
+            node.children.append(child)  # noqa: RAP-LINT003 - hardware's own row table
             row = self.tcam.insert(range_to_entry(lo, hi, self.width_bits))
             self._nodes.insert(row, child)
             stall += self.params.insert_cycles

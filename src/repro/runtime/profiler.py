@@ -145,6 +145,22 @@ class Profiler:
         self._state = "created"
         # Serializes producers against snapshot epochs.
         self._ingest_lock = threading.Lock()
+        # Optional race sanitizer: wraps the trees, queues and the
+        # ingest lock with confinement/lock-discipline assertions.
+        self._sanitizer = None
+        if config.debug_sanitize:
+            # Lazy import: checks.sanitizer is a debug facility and the
+            # runtime must stay importable without the checks package.
+            from ..checks.sanitizer import RapSanitizer
+
+            self._sanitizer = RapSanitizer()
+            self._ingest_lock = self._sanitizer.track_lock(
+                self._ingest_lock, "Profiler._ingest_lock"
+            )
+            for index, tree in enumerate(self._trees):
+                self._sanitizer.attach_tree(tree, f"shard[{index}]")
+            for index, queue in enumerate(self._queues):
+                self._sanitizer.attach_queue(queue, f"queue[{index}]")
         self._errors: List[BaseException] = []
         # Per-shard accepted-event / batch counters (producer side).
         self._shard_events = [0] * shards
@@ -175,6 +191,11 @@ class Profiler:
     @property
     def closed(self) -> bool:
         return self._state == "closed"
+
+    @property
+    def sanitizer(self):
+        """The attached RapSanitizer, or None when ``debug_sanitize`` is off."""
+        return self._sanitizer
 
     def open(self) -> "Profiler":
         """Start the runtime (spawns workers under the threaded executor)."""
@@ -215,7 +236,7 @@ class Profiler:
             for queue in self._queues:
                 queue.close()
             for worker in self._workers:
-                worker.join()
+                worker.join()  # noqa: RAP-LINT016 - workers never take this lock
             self._raise_worker_errors()
             self._state = "closed"
             for tree in self._trees:
@@ -293,7 +314,9 @@ class Profiler:
             self._shard_events[shard] += weight
             self._shard_batches[shard] += 1
             return
-        disposition = self._queues[shard].put(batch, weight)
+        disposition = self._queues[shard].put(  # noqa: RAP-LINT016 - consumers never take this lock
+            batch, weight
+        )
         if disposition != "dropped":
             self._shard_events[shard] += weight
             self._shard_batches[shard] += 1
@@ -351,7 +374,7 @@ class Profiler:
             raise RuntimeError("cannot drain a Profiler that is not open")
         with self._ingest_lock:
             for queue in self._queues:
-                queue.join()
+                queue.join()  # noqa: RAP-LINT016 - drain locks out producers; workers never take this lock
             self._raise_worker_errors()
 
     def snapshot(self) -> RapTree:
@@ -370,16 +393,20 @@ class Profiler:
             raise RuntimeError("cannot snapshot a Profiler that is not open")
         with self._ingest_lock:
             for queue in self._queues:
-                queue.join()
+                queue.join()  # noqa: RAP-LINT016 - epoch boundary locks out producers; workers never take this lock
             self._raise_worker_errors()
             return self._fold_locked()
 
     def _fold_locked(self) -> RapTree:
+        if self._sanitizer is not None:
+            self._sanitizer.begin_fold("Profiler._ingest_lock")
         epoch = tuple(tree.mutation_generation for tree in self._trees)
         if (
             self._snapshot_cache is not None
             and epoch == self._snapshot_epoch
         ):
+            if self._sanitizer is not None:
+                self._sanitizer.end_fold()
             return self._snapshot_cache
         clock = self._clock
         start = clock() if clock is not None else 0.0
@@ -392,6 +419,8 @@ class Profiler:
         self._snapshots += 1
         self._snapshot_cache = folded
         self._snapshot_epoch = epoch
+        if self._sanitizer is not None:
+            self._sanitizer.end_fold()
         return folded
 
     def query(self, lo: int, hi: int) -> int:

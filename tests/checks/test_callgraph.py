@@ -1,0 +1,178 @@
+"""Unit tests for the interprocedural call graph and its summaries.
+
+Covers the building blocks the concurrency rules stand on: per-function
+lock/blocking/spawn summaries, canonical lock naming, condition ties,
+conservative call resolution, transitive lock/blocking closure with a
+cycle guard, lock-order witness extraction, and worker-method closure.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.callgraph import (
+    build_callgraph,
+    canonical_name,
+    is_lock_name,
+)
+
+
+def graph_of(source: str):
+    return build_callgraph(ast.parse(source))
+
+
+MODULE = """\
+import threading
+
+import numpy as np
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._counts = np.zeros(16, dtype=np.int64)
+        self._worker = None
+
+    def start(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        self._step()
+
+    def _step(self):
+        self._counts[0] += 1
+
+    def forward(self):
+        with self._lock:
+            with self._aux:
+                return 1
+
+    def backward(self):
+        with self._aux:
+            self.locked_wait()
+
+    def locked_wait(self):
+        with self._lock:
+            self._ready.wait()
+
+    def manual(self):
+        self._lock.acquire()
+        self._lock.release()
+
+
+def helper(engine):
+    engine.forward()
+"""
+
+
+class TestSummaries:
+    def test_every_unit_gets_a_summary(self):
+        graph = graph_of(MODULE)
+        assert "Engine.forward" in graph.functions
+        assert "Engine._run" in graph.functions
+        assert "helper" in graph.functions
+
+    def test_with_acquisitions_are_recorded_canonically(self):
+        graph = graph_of(MODULE)
+        forward = graph.functions["Engine.forward"]
+        assert [site.lock for site in forward.acquires] == [
+            "Engine._lock",
+            "Engine._aux",
+        ]
+        assert forward.order_pairs, "nested with must record an order pair"
+
+    def test_manual_acquire_release_are_recorded(self):
+        graph = graph_of(MODULE)
+        manual = graph.functions["Engine.manual"]
+        assert any(site.how == "acquire" for site in manual.acquires)
+
+    def test_thread_spawn_is_recorded(self):
+        graph = graph_of(MODULE)
+        start = graph.functions["Engine.start"]
+        assert [spawn.target for spawn in start.spawns] == [("self", "_run")]
+        assert start.spawns[0].kind == "thread"
+
+
+class TestBindings:
+    def test_lock_and_condition_bindings(self):
+        graph = graph_of(MODULE)
+        assert "Engine._lock" in graph.bindings.locks
+        assert "Engine._aux" in graph.bindings.locks
+        assert (
+            graph.bindings.condition_ties["Engine._ready"] == "Engine._lock"
+        )
+
+    def test_numpy_buffer_binding(self):
+        graph = graph_of(MODULE)
+        assert "_counts" in graph.bindings.buffers["Engine"]
+
+    def test_canonical_name_and_lock_heuristic(self):
+        graph = graph_of(MODULE)
+        assert canonical_name("self._lock", "Engine") == "Engine._lock"
+        assert canonical_name("module.thing", None) == "module.thing"
+        assert is_lock_name("Engine._lock", graph.bindings)
+        assert is_lock_name("anything.mutex", graph.bindings)
+        assert not is_lock_name("Engine._counts", graph.bindings)
+
+
+class TestClosure:
+    def test_transitive_blocking_through_self_calls(self):
+        graph = graph_of(MODULE)
+        backward = graph.functions["Engine.backward"]
+        call = backward.calls[0]
+        callees = graph.resolve(backward, call)
+        assert [c.qualname for c in callees] == ["Engine.locked_wait"]
+        blocked = graph.transitive_blocking(callees[0])
+        assert any(site.what.endswith(".wait()") for site, _ in blocked)
+
+    def test_cycle_does_not_hang(self):
+        graph = graph_of(
+            "def a():\n    b()\n\n"
+            "def b():\n    a()\n"
+        )
+        for summary in graph.functions.values():
+            assert graph.transitive_blocking(summary) == []
+
+    def test_worker_method_closure(self):
+        graph = graph_of(MODULE)
+        spawned = graph.spawned_classes()
+        assert "Engine" in spawned
+        workers = graph.worker_methods("Engine")
+        assert "Engine._run" in workers
+        assert "Engine._step" in workers, "closure must follow self-calls"
+        assert "Engine.forward" not in workers
+
+
+class TestLockOrder:
+    def test_no_conflict_in_consistent_module(self):
+        graph = graph_of(MODULE)
+        # forward: _lock -> _aux; backward: _aux -> (calls) -> _lock.
+        # That IS an inversion reached interprocedurally.
+        conflicts = graph.lock_order_conflicts()
+        assert len(conflicts) == 1
+        conflict = conflicts[0]
+        assert {conflict.first, conflict.second} == {
+            "Engine._lock",
+            "Engine._aux",
+        }
+
+    def test_consistent_orders_report_nothing(self):
+        graph = graph_of(
+            "import threading\n\n"
+            "class P:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n\n"
+            "    def one(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n\n"
+            "    def two(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+        )
+        assert graph.lock_order_conflicts() == []

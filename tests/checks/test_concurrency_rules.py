@@ -1,0 +1,368 @@
+"""Fixture-driven tests for the concurrency rules RAP-LINT013..017.
+
+Every rule gets a *positive* fixture that must fire with a non-empty
+``flow_trace`` witness, a *suppressed* variant where a per-code noqa on
+the violation line silences it, and a *clean* near-miss that must not
+fire. ``--explain`` output is pinned for each code, and strict-mode
+noqa auditing is exercised against the same fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks.lint import explain_rule, lint_paths
+
+NEW_CODES = [
+    "RAP-LINT013",
+    "RAP-LINT014",
+    "RAP-LINT015",
+    "RAP-LINT016",
+    "RAP-LINT017",
+]
+
+
+def lint_snippet(tmp_path, relfile: str, source: str, **kwargs):
+    target = tmp_path / relfile
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return lint_paths([str(tmp_path)], **kwargs)
+
+
+def codes(report):
+    return [violation.rule for violation in report.violations]
+
+
+ESCAPE_POSITIVE = """\
+import threading
+
+
+def leak(registry, tree):
+    tree.confine_to_current_thread()
+    worker = threading.Thread(target=registry.run, args=(tree,))
+    worker.start()
+"""
+
+ESCAPE_SUPPRESSED = """\
+import threading
+
+
+def leak(registry, tree):
+    tree.confine_to_current_thread()
+    worker = threading.Thread(target=registry.run, args=(tree,))  # noqa: RAP-LINT013 - fixture
+    worker.start()
+"""
+
+ESCAPE_CLEAN = """\
+import threading
+
+
+def publish(shared, tree):
+    tree.confine_to_current_thread()
+    snap = tree.clone()
+    shared.results.append(snap)
+"""
+
+
+class TestConfinedEscape:
+    def test_thread_argument_escape_fires_with_trace(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", ESCAPE_POSITIVE)
+        assert codes(report) == ["RAP-LINT013"]
+        violation = report.violations[0]
+        assert violation.flow_trace, "confined escape must carry a witness"
+        events = [step.event for step in violation.flow_trace]
+        assert any("pinned" in event for event in events)
+        assert any("escape" in event for event in events)
+
+    def test_container_publication_fires(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/demo.py",
+            "def publish(shared, tree):\n"
+            "    tree.confine_to_current_thread()\n"
+            "    shared.results.append(tree)\n",
+        )
+        assert codes(report) == ["RAP-LINT013"]
+
+    def test_noqa_suppresses(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", ESCAPE_SUPPRESSED)
+        assert report.ok, report.render_text()
+
+    def test_clone_launders_confinement(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", ESCAPE_CLEAN)
+        assert report.ok, report.render_text()
+
+
+BALANCE_POSITIVE = """\
+import threading
+
+_lock = threading.Lock()
+
+
+def bad(flag):
+    _lock.acquire()
+    if flag:
+        return None
+    _lock.release()
+    return 1
+"""
+
+BALANCE_SUPPRESSED = BALANCE_POSITIVE.replace(
+    "    _lock.acquire()",
+    "    _lock.acquire()  # noqa: RAP-LINT014 - fixture",
+)
+
+BALANCE_CLEAN = """\
+import threading
+
+_lock = threading.Lock()
+
+
+def good(flag):
+    _lock.acquire()
+    try:
+        if flag:
+            return None
+        return 1
+    finally:
+        _lock.release()
+"""
+
+
+class TestLockBalance:
+    def test_leaked_acquire_fires_with_trace(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", BALANCE_POSITIVE)
+        assert codes(report) == ["RAP-LINT014"]
+        violation = report.violations[0]
+        assert violation.flow_trace
+        assert any("acquired" in step.event for step in violation.flow_trace)
+
+    def test_noqa_suppresses(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", BALANCE_SUPPRESSED)
+        assert report.ok, report.render_text()
+
+    def test_try_finally_release_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", BALANCE_CLEAN)
+        assert report.ok, report.render_text()
+
+
+ORDER_POSITIVE = """\
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                return 2
+"""
+
+ORDER_SUPPRESSED = ORDER_POSITIVE.replace(
+    "            with self._a:",
+    "            with self._a:  # noqa: RAP-LINT015 - fixture",
+)
+
+ORDER_CLEAN = ORDER_POSITIVE.replace(
+    "        with self._b:\n            with self._a:",
+    "        with self._a:\n            with self._b:",
+)
+
+
+class TestLockOrder:
+    def test_inverted_orders_fire_with_both_chains(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", ORDER_POSITIVE)
+        assert codes(report) == ["RAP-LINT015"]
+        violation = report.violations[0]
+        events = [step.event for step in violation.flow_trace]
+        assert any("opposite order" in event for event in events)
+        assert sum("acquires" in event for event in events) >= 4
+
+    def test_noqa_suppresses(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", ORDER_SUPPRESSED)
+        assert report.ok, report.render_text()
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", ORDER_CLEAN)
+        assert report.ok, report.render_text()
+
+
+BLOCKING_POSITIVE = """\
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def bad(self, worker):
+        with self._lock:
+            worker.join()
+"""
+
+BLOCKING_SUPPRESSED = BLOCKING_POSITIVE.replace(
+    "            worker.join()",
+    "            worker.join()  # noqa: RAP-LINT016 - fixture",
+)
+
+BLOCKING_CLEAN = """\
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+
+    def ok(self, worker):
+        with self._lock:
+            pass
+        worker.join()
+
+    def wait_ready(self):
+        with self._ready:
+            self._ready.wait()
+"""
+
+BLOCKING_INTERPROCEDURAL = """\
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self, worker):
+        with self._lock:
+            self.inner(worker)
+
+    def inner(self, worker):
+        worker.join()
+"""
+
+
+class TestBlockingUnderLock:
+    def test_direct_blocking_call_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", BLOCKING_POSITIVE)
+        assert codes(report) == ["RAP-LINT016"]
+        violation = report.violations[0]
+        assert any("acquires" in step.event for step in violation.flow_trace)
+        assert any("blocks" in step.event for step in violation.flow_trace)
+
+    def test_interprocedural_chain_fires_at_blocking_site(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, "runtime/demo.py", BLOCKING_INTERPROCEDURAL
+        )
+        assert codes(report) == ["RAP-LINT016"]
+        violation = report.violations[0]
+        assert any("calls" in step.event for step in violation.flow_trace)
+
+    def test_noqa_suppresses(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", BLOCKING_SUPPRESSED)
+        assert report.ok, report.render_text()
+
+    def test_tied_condition_wait_is_exempt(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", BLOCKING_CLEAN)
+        assert report.ok, report.render_text()
+
+
+BUFFER_POSITIVE = """\
+import threading
+
+import numpy as np
+
+
+class Accumulator:
+    def __init__(self):
+        self._counts = np.zeros(64, dtype=np.int64)
+        self._lock = threading.Lock()
+        self._worker = None
+
+    def start(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        self._counts[0] += 1
+
+    def total(self):
+        return int(self._counts.sum())
+"""
+
+BUFFER_SUPPRESSED = BUFFER_POSITIVE.replace(
+    "        self._counts[0] += 1",
+    "        self._counts[0] += 1  # noqa: RAP-LINT017 - fixture",
+)
+
+BUFFER_CLEAN = BUFFER_POSITIVE.replace(
+    "    def _run(self):\n        self._counts[0] += 1",
+    "    def _run(self):\n"
+    "        with self._lock:\n"
+    "            self._counts[0] += 1",
+)
+
+
+class TestSharedBuffer:
+    def test_unlocked_cross_thread_mutation_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", BUFFER_POSITIVE)
+        assert codes(report) == ["RAP-LINT017"]
+        violation = report.violations[0]
+        events = [step.event for step in violation.flow_trace]
+        assert any("allocated" in event for event in events)
+        assert any("thread boundary" in event for event in events)
+
+    def test_noqa_suppresses(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", BUFFER_SUPPRESSED)
+        assert report.ok, report.render_text()
+
+    def test_locked_mutation_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "runtime/demo.py", BUFFER_CLEAN)
+        assert report.ok, report.render_text()
+
+
+class TestExplainAndStrict:
+    @pytest.mark.parametrize("code", NEW_CODES)
+    def test_explain_renders_rationale_and_fix(self, code):
+        text = explain_rule(code)
+        assert text.startswith(code)
+        assert "rationale:" in text
+        assert "example violation:" in text
+        assert "suggested fix:" in text
+
+    def test_strict_flags_bare_noqa_and_keeps_violation(self, tmp_path):
+        source = BLOCKING_POSITIVE.replace(
+            "            worker.join()",
+            "            worker.join()  # noqa",
+        )
+        relaxed = lint_snippet(tmp_path, "runtime/demo.py", source)
+        assert relaxed.ok
+        strict = lint_snippet(
+            tmp_path, "runtime/demo.py", source, strict=True
+        )
+        assert sorted(codes(strict)) == ["RAP-LINT016", "RAP-NOQA"]
+
+    def test_strict_flags_reasonless_percode_noqa_but_suppresses(
+        self, tmp_path
+    ):
+        source = BLOCKING_POSITIVE.replace(
+            "            worker.join()",
+            "            worker.join()  # noqa: RAP-LINT016",
+        )
+        strict = lint_snippet(
+            tmp_path, "runtime/demo.py", source, strict=True
+        )
+        assert codes(strict) == ["RAP-NOQA"]
+
+    def test_strict_accepts_percode_noqa_with_reason(self, tmp_path):
+        strict = lint_snippet(
+            tmp_path, "runtime/demo.py", BLOCKING_SUPPRESSED, strict=True
+        )
+        assert strict.ok, strict.render_text()

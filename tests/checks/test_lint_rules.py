@@ -443,9 +443,9 @@ class TestRunner:
         with pytest.raises(FileNotFoundError):
             lint_paths([str(tmp_path / "no_such_dir")])
 
-    def test_registry_exposes_all_twelve_rules(self):
+    def test_registry_exposes_every_rule(self):
         assert all_rule_codes() == [
-            f"RAP-LINT{index:03d}" for index in range(1, 13)
+            f"RAP-LINT{index:03d}" for index in range(1, 18)
         ]
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 
 from repro.checks.__main__ import main
+from repro.checks.lint import all_rule_codes, rule_count
 
 
 class TestSelfClean:
@@ -29,9 +30,15 @@ class TestSelfClean:
         payload = json.loads(capsys.readouterr().out)
         assert payload["version"] == 2
         assert payload["violation_count"] == 0
-        assert set(payload["rules"]) == {
-            f"RAP-LINT{index:03d}" for index in range(1, 13)
-        }
+        assert set(payload["rules"]) == set(all_rule_codes())
+
+    def test_catalog_lists_every_registered_rule(self, capsys):
+        assert main(["--catalog"]) == 0
+        out = capsys.readouterr().out
+        for code in all_rule_codes():
+            assert code in out
+        # one header, one separator, one row per rule
+        assert len(out.strip().splitlines()) == rule_count() + 2
 
     def test_unknown_rule_code_exits_2(self, capsys):
         assert main(["--select", "RAP-LINT999"]) == 2

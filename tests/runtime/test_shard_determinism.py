@@ -125,6 +125,38 @@ class TestDeterminism:
         assert shape(first._root) == shape(second._root)  # noqa: SLF001
 
 
+class TestSanitizedRuns:
+    """The race sanitizer must observe nothing — and change nothing."""
+
+    def test_sanitized_run_is_clean_and_matches_unsanitized(self):
+        rng = random.Random(131)
+        values = zipf_stream(rng, UNIVERSE, 30_000)
+        plain = profiled_snapshot(values, 4)
+        config = RapConfig(UNIVERSE, epsilon=EPS, debug_sanitize=True)
+        with Profiler(config, shards=4) as profiler:
+            profiler.ingest(np.asarray(values, dtype=np.uint64))
+            sanitized = profiler.snapshot()
+        sanitizer = profiler.sanitizer
+        assert sanitizer is not None
+        assert sanitizer.violations == ()
+        report = sanitizer.report()
+        assert report["trees_tracked"] == 4
+        assert report["queues_tracked"] == 4
+        assert report["events_logged"] > 0
+        # Instrumentation is observation-only: identical tree shape.
+        assert shape(sanitized._root) == shape(plain._root)  # noqa: SLF001 - shape oracle
+
+    def test_sanitized_serial_run_is_clean(self):
+        rng = random.Random(137)
+        values = zipf_stream(rng, UNIVERSE, 10_000)
+        config = RapConfig(UNIVERSE, epsilon=EPS, debug_sanitize=True)
+        with Profiler(config, shards=2, executor="serial") as profiler:
+            profiler.ingest(np.asarray(values, dtype=np.uint64))
+            snapshot = profiler.snapshot()
+        assert snapshot.events == len(values)
+        assert profiler.sanitizer.violations == ()
+
+
 class TestAcceptanceScenario:
     """ISSUE acceptance: 4 shards, 200k zipf events, hot ranges vs oracle."""
 
