@@ -8,7 +8,9 @@ deterministic stream shapes replayed under the full
 :class:`~repro.checks.audit.TreeAuditor` — so a single command guards
 both the source and the live data structure. ``--catalog`` prints the
 registry-derived rule catalog as the markdown table embedded in
-``docs/checks.md``.
+``docs/checks.md``; ``--catalog-check PATH`` fails if that file has
+drifted from the registry. ``--selfcheck`` audits the registry and the
+numeric-rule fixtures (see :mod:`repro.checks.selfcheck`).
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from typing import List, Optional
 
 from .audit import self_audit
 from .lint import all_rule_codes, catalog_markdown, lint_paths
+from .selfcheck import DEFAULT_FIXTURES, self_check
 
 
 def _default_paths() -> List[str]:
@@ -57,18 +60,75 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print the registry-derived rule catalog table and exit",
     )
     parser.add_argument(
-        "--select", default=None, help="comma-separated rule codes to run"
+        "--catalog-check",
+        metavar="PATH",
+        default=None,
+        help=(
+            "exit nonzero unless PATH (docs/checks.md) embeds the "
+            "current registry catalog verbatim"
+        ),
     )
     parser.add_argument(
-        "--ignore", default=None, help="comma-separated rule codes to skip"
+        "--selfcheck",
+        action="store_true",
+        help=(
+            "audit the registry (catalog metadata, --explain text) and "
+            "the numeric-rule fixtures, then exit"
+        ),
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text"
+        "--fixtures",
+        metavar="DIR",
+        default=str(DEFAULT_FIXTURES),
+        help="fixture root for --selfcheck (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (RAP-LINT02* wildcards ok)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule codes to skip (wildcards ok)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
     )
     args = parser.parse_args(argv)
 
     if args.catalog:
         print(catalog_markdown())
+        return 0
+
+    if args.catalog_check is not None:
+        try:
+            embedded = Path(args.catalog_check).read_text(encoding="utf-8")
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if catalog_markdown() not in embedded:
+            print(
+                f"catalog drift: {args.catalog_check} does not embed the "
+                f"current {len(all_rule_codes())}-rule catalog; regenerate "
+                "with 'python -m repro.checks --catalog'",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"catalog in {args.catalog_check} matches the registry")
+        return 0
+
+    if args.selfcheck:
+        problems = self_check(Path(args.fixtures))
+        for problem in problems:
+            print(f"selfcheck: {problem}", file=sys.stderr)
+        if problems:
+            print(f"{len(problems)} selfcheck problem(s)", file=sys.stderr)
+            return 1
+        print(
+            f"selfcheck ok: {len(all_rule_codes())} rules with metadata, "
+            "explain text, and fixture coverage"
+        )
         return 0
 
     try:
@@ -86,6 +146,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     failed = not report.ok
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(report.to_sarif())
     else:
         print(report.render_text())
 

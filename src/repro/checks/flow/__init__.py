@@ -18,10 +18,14 @@ values *through* a function:
   aliases, plus witness-trace reconstruction.
 * :mod:`repro.checks.flow.rules` — the flow-sensitive lint rules
   RAP-LINT006..010, each emitting a ``flow_trace`` witness path.
+* :mod:`repro.checks.flow.numeric` — numeric/array abstract
+  interpretation (dtype lattice + overflow intervals + array traits)
+  behind RAP-LINT018..023.
 """
 
 from .analyses import live_variables, reaching_definitions
 from .cfg import CFG, CFGNode, build_cfg, iter_units
+from .numeric import NumericAnalysis, NumValue
 from .solver import DataflowProblem, solve
 from .taint import (
     KIND_CHILDREN,
@@ -37,6 +41,8 @@ __all__ = [
     "CFG",
     "CFGNode",
     "DataflowProblem",
+    "NumValue",
+    "NumericAnalysis",
     "KIND_CHILDREN",
     "KIND_CLOCK",
     "KIND_COUNTER",

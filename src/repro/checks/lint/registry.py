@@ -2,9 +2,11 @@
 
 Combines the syntactic rules (RAP-LINT001..005 and 011..012, from
 :mod:`repro.checks.lint.rules`) with the flow-sensitive rules
-(RAP-LINT006..010, from :mod:`repro.checks.flow.rules`) and the
+(RAP-LINT006..010, from :mod:`repro.checks.flow.rules`), the
 interprocedural concurrency rules (RAP-LINT013..017, from
-:mod:`repro.checks.flow.concurrency`). Everything that needs "all the
+:mod:`repro.checks.flow.concurrency`), and the numeric/array
+abstract-interpretation rules (RAP-LINT018..023, from
+:mod:`repro.checks.flow.numeric`). Everything that needs "all the
 rules" — the runner, ``--select``/``--ignore`` resolution,
 ``--explain``, the CLI banner, the docs catalog — goes through this
 module so the rule families stay independently importable and the
@@ -16,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..flow.concurrency import CONCURRENCY_RULES
+from ..flow.numeric import NUMERIC_RULES
 from ..flow.rules import FLOW_RULES
 from .rules import SYNTACTIC_RULES, Rule
 
@@ -23,6 +26,7 @@ RULES: Dict[str, Rule] = {
     **SYNTACTIC_RULES,
     **FLOW_RULES,
     **CONCURRENCY_RULES,
+    **NUMERIC_RULES,
 }
 
 

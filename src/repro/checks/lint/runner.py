@@ -3,8 +3,11 @@
 The runner walks the requested paths, parses every ``*.py`` file once,
 applies the selected rules from :mod:`repro.checks.lint.rules`, filters
 suppressed lines (``# noqa`` / ``# noqa: RAP-LINT003``), and folds the
-survivors into a :class:`LintReport` that renders as text or as
-schema-stable JSON (``{"version": 1, ...}``) for CI.
+survivors into a :class:`LintReport` that renders as text, as
+schema-stable JSON (``{"version": 2, ...}``) for CI, or as SARIF 2.1.0
+for GitHub code scanning. ``--select``/``--ignore`` accept exact codes
+and ``*``-suffix prefixes (``RAP-LINT02*``) so CI can stage new rule
+families.
 
 Strict mode (``rap lint --strict``) tightens the suppression contract:
 a bare ``# noqa`` no longer silences anything and is reported as its
@@ -104,6 +107,110 @@ class LintReport:
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
+    def to_sarif(self) -> str:
+        """The report as a SARIF 2.1.0 log (GitHub code scanning).
+
+        One run, one ``rap-lint`` driver; every registered rule that ran
+        gets a descriptor (rationale as full description, fix as help),
+        and each violation becomes a result whose ``flow_trace`` witness
+        is preserved as a SARIF code flow. Columns are converted from
+        our 0-based AST offsets to SARIF's 1-based convention.
+        """
+        driver_rules = []
+        descriptor_index: Dict[str, int] = {}
+        described = set(self.rules_run) | {
+            violation.rule for violation in self.violations
+        }
+        for code in sorted(described):
+            rule = RULES.get(code)
+            descriptor = {
+                "id": code,
+                "name": rule.name if rule else code.lower(),
+                "shortDescription": {
+                    "text": rule.catches if rule else code
+                },
+            }
+            if rule:
+                descriptor["fullDescription"] = {"text": rule.rationale}
+                if rule.fix:
+                    descriptor["help"] = {"text": rule.fix}
+                descriptor["properties"] = {
+                    "kind": rule.kind,
+                    "scope": rule.scope,
+                }
+            descriptor_index[code] = len(driver_rules)
+            driver_rules.append(descriptor)
+        results = []
+        for violation in self.violations:
+            uri = Path(violation.path).as_posix()
+            result = {
+                "ruleId": violation.rule,
+                "ruleIndex": descriptor_index[violation.rule],
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": uri},
+                            "region": {
+                                "startLine": violation.line,
+                                "startColumn": violation.column + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+            if violation.flow_trace:
+                result["codeFlows"] = [
+                    {
+                        "threadFlows": [
+                            {
+                                "locations": [
+                                    {
+                                        "location": {
+                                            "physicalLocation": {
+                                                "artifactLocation": {
+                                                    "uri": uri
+                                                },
+                                                "region": {
+                                                    "startLine": step.line,
+                                                    "startColumn": (
+                                                        step.column + 1
+                                                    ),
+                                                },
+                                            },
+                                            "message": {
+                                                "text": step.event
+                                            },
+                                        }
+                                    }
+                                    for step in violation.flow_trace
+                                ]
+                            }
+                        ]
+                    }
+                ]
+            results.append(result)
+        log = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "rap-lint",
+                            "rules": driver_rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(log, indent=2, sort_keys=True)
+
 
 def _discover(paths: Sequence[str]) -> List[Path]:
     files: List[Path] = []
@@ -142,23 +249,48 @@ def _module_relpath(file: Path, root: Path) -> str:
         return file.name
 
 
+def _expand_codes(requested: Iterable[str]) -> List[str]:
+    """Expand exact codes and ``*``-suffix prefixes against the registry.
+
+    ``RAP-LINT02*`` selects every registered ``RAP-LINT02x`` rule, which
+    is how CI stages a new rule family before it joins the default
+    gate. Unknown exact codes and prefixes matching nothing both raise,
+    so a typo never silently selects an empty rule set.
+    """
+    expanded: List[str] = []
+    unknown: List[str] = []
+    for raw in requested:
+        code = raw.strip().upper()
+        if not code:
+            continue
+        if code.endswith("*"):
+            prefix = code[:-1]
+            matched = [known for known in sorted(RULES) if
+                       known.startswith(prefix)]
+            if not matched:
+                unknown.append(raw)
+            expanded.extend(matched)
+        elif code in RULES:
+            expanded.append(code)
+        else:
+            unknown.append(raw)
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+    return expanded
+
+
 def select_rules(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
 ) -> Dict[str, Rule]:
-    """Resolve --select/--ignore code lists against the registry."""
+    """Resolve --select/--ignore code lists (with ``*`` wildcards)
+    against the registry."""
     chosen = dict(RULES)
     if select:
-        wanted = set(select)
-        unknown = wanted - set(RULES)
-        if unknown:
-            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+        wanted = set(_expand_codes(select))
         chosen = {code: RULES[code] for code in sorted(wanted)}
     if ignore:
-        unknown = set(ignore) - set(RULES)
-        if unknown:
-            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
-        for code in ignore:
+        for code in _expand_codes(ignore):
             chosen.pop(code, None)
     return chosen
 

@@ -1,0 +1,109 @@
+"""Registry + fixture self-check (``python -m repro.checks --selfcheck``).
+
+Every registered rule must carry complete catalog metadata and a
+renderable ``--explain`` block, and every *numeric* rule
+(RAP-LINT018..023) must additionally be demonstrated by checked-in
+fixtures under ``tests/checks/fixtures/numeric/<CODE>/``:
+
+* ``positive/`` — linting it with only that rule selected yields at
+  least one violation, and every violation carries a non-empty
+  ``flow_trace`` witness;
+* ``clean/`` — the same selection yields nothing (the rule does not
+  fire on the blessed pattern);
+* ``suppressed/`` (optional) — a ``# noqa: <CODE> - reason`` on the
+  violation line silences it in non-strict mode.
+
+Fixture trees are laid out like the package (``.../positive/core/x.py``)
+so scoped rules resolve the same module relpaths they see in ``src``.
+CI runs this after the strict lint pass: a rule that loses its fixtures,
+its rationale, or its catalog row fails the build, which keeps the
+documented rule surface and the executable one from drifting apart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .lint.registry import RULES, explain_rule
+from .lint.runner import lint_paths
+
+#: Rule families whose fixtures are mandatory (code -> fixture subdir).
+FIXTURE_CHECKED_PREFIX = "RAP-LINT0"
+FIXTURE_RULES: Sequence[str] = (
+    "RAP-LINT018",
+    "RAP-LINT019",
+    "RAP-LINT020",
+    "RAP-LINT021",
+    "RAP-LINT022",
+    "RAP-LINT023",
+)
+
+DEFAULT_FIXTURES = Path("tests/checks/fixtures/numeric")
+
+
+def _check_metadata(problems: List[str]) -> None:
+    for code, rule in sorted(RULES.items()):
+        for field in ("name", "rationale", "catches", "kind", "scope"):
+            if not getattr(rule, field, ""):
+                problems.append(f"{code}: empty catalog field {field!r}")
+        try:
+            text = explain_rule(code)
+        except ValueError as error:
+            problems.append(f"{code}: --explain failed: {error}")
+            continue
+        if "rationale:" not in text:
+            problems.append(f"{code}: --explain text has no rationale block")
+
+
+def _check_fixtures(problems: List[str], fixtures: Path) -> None:
+    if not fixtures.is_dir():
+        problems.append(f"fixture root missing: {fixtures}")
+        return
+    for code in FIXTURE_RULES:
+        base = fixtures / code
+        positive = base / "positive"
+        clean = base / "clean"
+        if not positive.is_dir():
+            problems.append(f"{code}: no positive fixture dir ({positive})")
+        else:
+            report = lint_paths([str(positive)], select=[code])
+            hits = [v for v in report.violations if v.rule == code]
+            if not hits:
+                problems.append(
+                    f"{code}: positive fixture produced no violation"
+                )
+            for violation in hits:
+                if not violation.flow_trace:
+                    problems.append(
+                        f"{code}: positive violation at "
+                        f"{violation.path}:{violation.line} has no "
+                        f"flow_trace witness"
+                    )
+        if not clean.is_dir():
+            problems.append(f"{code}: no clean fixture dir ({clean})")
+        else:
+            report = lint_paths([str(clean)], select=[code])
+            for violation in report.violations:
+                problems.append(
+                    f"{code}: clean fixture fired at "
+                    f"{violation.path}:{violation.line}: "
+                    f"{violation.message}"
+                )
+        suppressed = base / "suppressed"
+        if suppressed.is_dir():
+            report = lint_paths([str(suppressed)], select=[code])
+            for violation in report.violations:
+                problems.append(
+                    f"{code}: suppressed fixture still fired at "
+                    f"{violation.path}:{violation.line} (noqa ignored?)"
+                )
+
+
+def self_check(fixtures: Optional[Path] = None) -> List[str]:
+    """Run the registry/fixture audit; the return value lists every
+    problem found (empty means the check passed)."""
+    problems: List[str] = []
+    _check_metadata(problems)
+    _check_fixtures(problems, fixtures or DEFAULT_FIXTURES)
+    return problems

@@ -188,18 +188,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories (default: the repro package)",
     )
     lint.add_argument(
-        "--select", default=None, help="comma-separated rule codes to run"
+        "--select",
+        default=None,
+        help=(
+            "comma-separated rule codes to run; a trailing * matches by "
+            "prefix (RAP-LINT02*), which is how CI stages new rules"
+        ),
     )
     lint.add_argument(
-        "--ignore", default=None, help="comma-separated rule codes to skip"
+        "--ignore",
+        default=None,
+        help="comma-separated rule codes to skip (wildcards ok)",
     )
     lint.add_argument(
         "--strict",
         action="store_true",
         help=(
-            "run every registered rule (overrides --select/--ignore) "
-            "and tighten noqa handling: bare suppressions are flagged, "
-            "per-code ones must carry a reason"
+            "tighten noqa handling: bare suppressions are flagged and "
+            "per-code ones must carry a reason; composes with "
+            "--select/--ignore"
         ),
     )
     lint.add_argument(
@@ -208,7 +215,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print a rule's rationale, example, and fix, then exit",
     )
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
     return parser
 
 
@@ -485,13 +494,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return None
             return [c.strip().upper() for c in raw.split(",") if c.strip()]
 
-        select = None if args.strict else parse_codes(args.select)
-        ignore = None if args.strict else parse_codes(args.ignore)
         try:
             report = lint_paths(
                 args.paths or [__file__.rsplit("/", 1)[0]],
-                select=select,
-                ignore=ignore,
+                select=parse_codes(args.select),
+                ignore=parse_codes(args.ignore),
                 strict=args.strict,
             )
         except (ValueError, FileNotFoundError) as error:
@@ -500,6 +507,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if args.format == "json":
             print(report.to_json())
+        elif args.format == "sarif":
+            print(report.to_sarif())
         else:
             print(report.render_text())
         return 0 if report.ok else 1

@@ -56,11 +56,14 @@ vectorized mask merely *routes* items (an item it cannot prove safe
 goes to the scalar path, which decides authoritatively), so the two
 backends produce identical trees for identical operation sequences.
 
-Exactness caveat: the vectorized fit mask compares int64 totals against
-float64 thresholds (and sums per-owner deposits in float64), which
-rounds above 2**53 where CPython's int arithmetic is exact. Counters
-that large are out of scope for every supported workload; below 2**53
-the arithmetic is bit-identical.
+Exactness: the vectorized fit mask works entirely on the integer side.
+Per-owner deposits are summed exactly in int64 (``_exact_bincount``
+splits each weight into 32-bit halves so every float64 partial sum that
+``np.bincount`` computes internally stays below 2**53), and totals are
+compared against ``math.floor`` of the float threshold — for integral
+``x``, ``x <= t`` iff ``x <= floor(t)`` — so the mask agrees with the
+object backend's CPython int arithmetic at every magnitude, including
+counters past 2**53 (RAP-LINT019/020 gate regressions here).
 
 Construct through ``RapTree.from_config(RapConfig(backend="columnar"))``
 — importing this module's internals elsewhere is flagged by RAP-LINT012.
@@ -68,6 +71,7 @@ Construct through ``RapTree.from_config(RapConfig(backend="columnar"))``
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -97,6 +101,29 @@ _ROUND_MISS = 64
 # Below this many remaining items the fixed numpy overhead of a round
 # costs more than just finishing the tail through the scalar fast path.
 _MIN_VECTOR_TAIL = 48
+
+# int64 split point for _exact_bincount: weights are divided at 32 bits
+# so each half's float64 bincount sum stays exact (see the docstring).
+_LOW32 = (1 << 32) - 1
+_INT64_MAX = 2**63 - 1
+
+
+def _exact_bincount(
+    owners: np.ndarray, weights: np.ndarray, minlength: int
+) -> np.ndarray:
+    """Exact int64 per-owner sums of non-negative int64 ``weights``.
+
+    ``np.bincount(..., weights=...)`` always accumulates in float64,
+    which rounds individual deposits above 2**53. Splitting each weight
+    into 32-bit halves keeps every float64 partial sum exact — a window
+    holds at most ``_WINDOW_MAX`` (2**14) items, so each half sums to
+    below 2**14 * 2**32 = 2**46 < 2**53 — and the recombined int64
+    total is exact for any per-owner sum that fits int64.
+    """
+    low = np.bincount(owners, weights=weights & _LOW32, minlength=minlength)
+    high = np.bincount(owners, weights=weights >> 32, minlength=minlength)
+    return low.astype(np.int64) + (high.astype(np.int64) << 32)
+
 
 _LIST_COLUMNS: Tuple[str, ...] = (
     "_counts_list",
@@ -985,17 +1012,19 @@ class ColumnarRapTree:
             th0 = self._eps_over_height * first_n
             if th0 < self._min_threshold:
                 th0 = self._min_threshold
+            # Integer-side threshold: for integral totals, x <= th0 iff
+            # x <= floor(th0), so the mask never compares int64 against
+            # float64 (inexact above 2**53). Clamped to int64 range —
+            # past the clamp every representable total fits anyway.
+            th_int = min(math.floor(th0), _INT64_MAX)
             counts = self._counts[:size]
             if ones:
                 totals = np.bincount(owners, minlength=size)
             else:
-                # Float64 per-owner sums are exact below 2**53 (module
-                # docstring caveat).
-                totals = np.bincount(
-                    owners, weights=carr[start : start + limit],
-                    minlength=size,
+                totals = _exact_bincount(
+                    owners, carr[start : start + limit], size
                 )
-            owner_ok = self._is_item[:size] | (counts + totals <= th0)
+            owner_ok = self._is_item[:size] | (counts + totals <= th_int)
             bad_at = np.flatnonzero(~owner_ok[owners])
             if bad_at.size:
                 # The window total overshoots for hot owners that are
@@ -1026,8 +1055,10 @@ class ColumnarRapTree:
                         running = count0 + np.cumsum(
                             carr[start : start + limit][positions]
                         )
+                        # running is int64-exact; x > th0 iff
+                        # x > floor(th0) for integral x.
                         first_over = int(
-                            positions[np.flatnonzero(running > th0)[0]]
+                            positions[np.flatnonzero(running > th_int)[0]]
                         )
                     if first_over < applied:
                         applied = first_over
@@ -1041,17 +1072,13 @@ class ColumnarRapTree:
             elif ones:
                 sums = np.bincount(owners[:applied], minlength=size)
             else:
-                sums = np.bincount(
-                    owners[:applied],
-                    weights=carr[start : start + applied],
-                    minlength=size,
+                sums = _exact_bincount(
+                    owners[:applied], carr[start : start + applied], size
                 )
             touched = np.flatnonzero(sums)
-            deposits = (
-                sums[touched]
-                if sums.dtype == np.int64
-                else sums[touched].astype(np.int64)
-            )
+            # Both bincount shapes produce integer sums (unweighted
+            # bincount returns intp; _exact_bincount returns int64).
+            deposits = sums[touched]
             self._counts[touched] += deposits
             counts_list = self._counts_list
             dirty = self._dirty

@@ -1,0 +1,19 @@
+"""RAP-LINT018 clean: one signedness per dataflow.
+
+Casting the uint64 column at the boundary keeps the arithmetic in
+int64, where numpy never promotes to float64.
+"""
+
+import numpy as np
+
+
+def coverage_gaps(size):
+    starts = np.zeros(size, dtype=np.uint64)
+    counts = np.zeros(size, dtype=np.int64)
+    return starts.astype(np.int64) - counts
+
+
+def same_signedness(size):
+    starts = np.zeros(size, dtype=np.uint64)
+    widths = np.ones(size, dtype=np.uint64)
+    return starts + widths

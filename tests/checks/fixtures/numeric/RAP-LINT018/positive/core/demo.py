@@ -1,0 +1,19 @@
+"""RAP-LINT018 positive: uint64 bound column meets int64 counter column.
+
+numpy has no integer type holding both, so `starts - counts` promotes
+both operands to float64 and the difference is inexact above 2**53.
+"""
+
+import numpy as np
+
+
+def coverage_gaps(size):
+    starts = np.zeros(size, dtype=np.uint64)
+    counts = np.zeros(size, dtype=np.int64)
+    return starts - counts
+
+
+def threshold_compare(size, bound):
+    starts = np.zeros(size, dtype=np.uint64)
+    mirror = np.zeros(size, dtype=np.int64)
+    return starts > mirror

@@ -1,0 +1,23 @@
+"""RAP-LINT019 clean: the post-fix fit mask, integer side throughout.
+
+Deposits are summed exactly in int64 (32-bit split halves) and the
+comparison floors the float threshold — for integral x, ``x <= t`` iff
+``x <= floor(t)`` — so no counter is ever compared in float64.
+"""
+
+import math
+
+import numpy as np
+
+
+class ColumnarFitMaskFixed:
+    def fit_mask(self, owners, weights, size, th0):
+        counts = self._counts[:size]
+        th_int = math.floor(th0)
+        low = np.bincount(
+            owners, weights=weights & 0xFFFFFFFF, minlength=size
+        )
+        high = np.bincount(owners, weights=weights >> 32, minlength=size)
+        totals = low.astype(np.int64) + (high.astype(np.int64) << 32)
+        owner_ok = self._is_item[:size] | (counts + totals <= th_int)
+        return owner_ok

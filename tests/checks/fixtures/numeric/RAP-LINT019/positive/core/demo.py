@@ -1,0 +1,22 @@
+"""RAP-LINT019 positive: the pre-fix columnar fit mask, pinned.
+
+This is the exact shape ``ColumnarRapTree._vector_round`` shipped
+before the integer-side rewrite: int64 counter totals plus float64
+``bincount`` sums compared against a float threshold under numpy array
+semantics. RAP-LINT019 must fire on this pattern forever — it is the
+documented exactness caveat the rule exists to catch statically.
+"""
+
+import numpy as np
+
+
+class ColumnarFitMask:
+    def fit_mask(self, owners, carr, start, limit, size, th0):
+        counts = self._counts[:size]
+        totals = np.bincount(
+            owners,
+            weights=carr[start : start + limit],
+            minlength=size,
+        )
+        owner_ok = self._is_item[:size] | (counts + totals <= th0)
+        return owner_ok

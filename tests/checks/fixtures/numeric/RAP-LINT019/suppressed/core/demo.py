@@ -1,0 +1,10 @@
+"""RAP-LINT019 suppressed: float comparison kept, with a reason."""
+
+import numpy as np
+
+
+class ApproximateMask:
+    def fit_mask(self, owners, size, th0):
+        counts = self._counts[:size]
+        totals = np.bincount(owners, minlength=size)
+        return (counts + totals) * 1.0 <= th0  # noqa: RAP-LINT019 - fixture: display-only estimate, exactness not required

@@ -1,0 +1,26 @@
+"""RAP-LINT020 clean: the 32-bit-split exact accumulation idiom.
+
+Each half is provably below 2**32, so the float64 partial sums inside
+``bincount`` stay exact and the recombined int64 totals are exact for
+any per-owner sum that fits int64.
+"""
+
+import numpy as np
+
+
+class ExactDepositScatter:
+    def scatter(self, owners, size):
+        deposits = self._counts[:size]
+        low = np.bincount(
+            owners, weights=deposits & 0xFFFFFFFF, minlength=size
+        )
+        high = np.bincount(owners, weights=deposits >> 32, minlength=size)
+        return low.astype(np.int64) + (high.astype(np.int64) << 32)
+
+
+class IntRunningTotal:
+    def drain(self, batch):
+        total = self.count
+        for item in batch:
+            total += 1
+        return total

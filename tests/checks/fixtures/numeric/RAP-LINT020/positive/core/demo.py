@@ -1,0 +1,23 @@
+"""RAP-LINT020 positive: counter accumulation through float64 carriers.
+
+``np.bincount`` with weights always sums in float64, and casting the
+result back to int64 launders the rounding — deposits above 2**53 come
+back changed.
+"""
+
+import numpy as np
+
+
+class DepositScatter:
+    def scatter(self, owners, size):
+        deposits = self._counts[:size]
+        totals = np.bincount(owners, weights=deposits, minlength=size)
+        return totals.astype(np.int64)
+
+
+class FloatRunningTotal:
+    def drain(self, batch):
+        total = self.count
+        for item in batch:
+            total += 0.5
+        return total

@@ -1,0 +1,21 @@
+"""RAP-LINT021 clean: copy before mutating, or write through the base.
+
+A ``.copy()`` detaches the scratch buffer from the base's memory, and
+an explicit ``counts[start:stop] += ...`` makes the base write visible
+at the call site instead of hiding it behind a view alias.
+"""
+
+import numpy as np
+
+
+def bump_window(counts, start, stop, deposits):
+    counts = np.asarray(counts, dtype=np.int64)
+    scratch = counts[start:stop].copy()
+    scratch += deposits
+    return scratch
+
+
+def bump_base(counts, start, stop, deposits):
+    counts = np.asarray(counts, dtype=np.int64)
+    counts[start:stop] += deposits
+    return counts

@@ -1,0 +1,21 @@
+"""RAP-LINT021 positive: in-place mutation of possibly-aliased views.
+
+``counts[start:stop]`` shares memory with ``counts``; the augmented
+assignment silently rewrites the base array (and every other alias).
+"""
+
+import numpy as np
+
+
+def bump_window(counts, start, stop, deposits):
+    counts = np.asarray(counts, dtype=np.int64)
+    window = counts[start:stop]
+    window += deposits
+    return counts
+
+
+def sort_view(table):
+    table = np.asarray(table, dtype=np.int64)
+    head = table[:8]
+    head.sort()
+    return table

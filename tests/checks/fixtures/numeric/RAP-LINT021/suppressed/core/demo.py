@@ -1,0 +1,10 @@
+"""RAP-LINT021 suppressed: deliberate write-through, with a reason."""
+
+import numpy as np
+
+
+def bump_window(counts, start, stop, deposits):
+    counts = np.asarray(counts, dtype=np.int64)
+    window = counts[start:stop]
+    window += deposits  # noqa: RAP-LINT021 - fixture: write-through is the point, callers hold no other alias
+    return counts

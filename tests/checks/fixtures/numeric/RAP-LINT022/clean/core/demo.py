@@ -1,0 +1,27 @@
+"""RAP-LINT022 clean: buffers hoisted out of the hot loop.
+
+One allocation before the loop, refilled per iteration; cold functions
+(no marker, not in the hotspec) may allocate freely.
+"""
+
+import numpy as np
+
+
+class Kernel:
+    # rap: hot
+    def drain(self, chunks, size):
+        out = []
+        buf = np.zeros(size, dtype=np.int64)
+        for chunk in chunks:
+            buf.fill(0)
+            buf[chunk] += 1
+            out.append(buf.sum())
+        return out
+
+
+class ColdSetup:
+    def rebuild(self, shards, size):
+        tables = []
+        for shard in shards:
+            tables.append(np.zeros(size, dtype=np.int64))
+        return tables

@@ -1,0 +1,31 @@
+"""RAP-LINT022 positive: allocation inside a loop of a hot function.
+
+The ``# rap: hot`` marker opts the function into the hotspec contract
+(production code lists its hot set in ``repro.checks.hotspec``); the
+per-iteration ``np.zeros`` is then a measured throughput regression.
+"""
+
+import numpy as np
+
+
+class Kernel:
+    # rap: hot
+    def drain(self, chunks, size):
+        out = []
+        for chunk in chunks:
+            buf = np.zeros(size, dtype=np.int64)
+            buf[chunk] += 1
+            out.append(buf)
+        return out
+
+    # rap: hot
+    def merge_rounds(self, rounds):
+        merged = None
+        while rounds:
+            head = rounds.pop()
+            merged = (
+                head
+                if merged is None
+                else np.concatenate([merged, head])
+            )
+        return merged

@@ -1,0 +1,26 @@
+"""RAP-LINT023 clean: vectorized equivalents, or an explicit tolist.
+
+Reductions and boolean masks keep the sweep inside numpy; when per-item
+Python logic is genuinely needed, one ``.tolist()`` unboxes the whole
+array up front so the loop works on plain CPython ints.
+"""
+
+import numpy as np
+
+
+def total_deposits(owners, size):
+    deposits = np.bincount(owners, minlength=size)
+    return int(deposits.sum())
+
+
+def count_over(values, threshold):
+    values = np.asarray(values, dtype=np.int64)
+    return int((values > threshold).sum())
+
+
+def route_items(slots):
+    slots = np.asarray(slots, dtype=np.int64)
+    routed = []
+    for slot in slots.tolist():
+        routed.append(slot * 2 + 1)
+    return routed

@@ -1,0 +1,11 @@
+"""RAP-LINT023 suppressed: scalar sweep kept, with a reason."""
+
+import numpy as np
+
+
+def total_deposits(owners, size):
+    deposits = np.bincount(owners, minlength=size)
+    total = 0
+    for deposit in deposits:  # noqa: RAP-LINT023 - fixture: size <= 4 here, ufunc dispatch costs more than the loop
+        total += deposit
+    return total

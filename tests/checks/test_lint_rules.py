@@ -445,7 +445,7 @@ class TestRunner:
 
     def test_registry_exposes_every_rule(self):
         assert all_rule_codes() == [
-            f"RAP-LINT{index:03d}" for index in range(1, 18)
+            f"RAP-LINT{index:03d}" for index in range(1, 24)
         ]
 
 

@@ -147,3 +147,52 @@ class TestMixedOperations:
                 getattr(obj, kind)(pairs)
                 getattr(col, kind)(pairs)
         assert_equivalent(obj, col)
+
+
+class TestExtremeCounts:
+    """Exactness of the vectorized fit mask above 2**53.
+
+    float64 cannot represent 2**53 + 1, so a float-side mask rounds a
+    counter total of 2**53 + 1 down to 2**53 and wrongly proves a batch
+    inline against a threshold of exactly 2**53. The kernel now sums
+    deposits exactly in int64 (``_exact_bincount``) and compares against
+    ``floor`` of the threshold, so the vectorized path must agree with
+    the object backend's unbounded-int arithmetic at any magnitude.
+    """
+
+    def _trees(self):
+        config = RapConfig(
+            UNIVERSE,
+            epsilon=1e-6,
+            min_split_threshold=float(2**53),
+            merge_initial_interval=2**62,
+        )
+        return (
+            RapTree.from_config(config),
+            RapTree.from_config(config.with_updates(backend="columnar")),
+        )
+
+    def test_fit_mask_exact_at_2_53_boundary(self):
+        """A counted batch whose running total lands on 2**53 + 1 —
+        one past the largest odd float64 integer — must split exactly
+        where the object backend splits."""
+        obj, col = self._trees()
+        pairs = [(200_000, 2**53 - 63)] + [
+            (100 if i % 2 else 300_000, 1) for i in range(64)
+        ]
+        obj.add_counted(pairs)
+        col.add_counted(pairs)
+        assert obj.events == 2**53 + 1
+        assert_equivalent(obj, col)
+
+    def test_fit_mask_exact_below_boundary_no_split(self):
+        """The same batch one deposit short stays below the threshold on
+        both backends (guards against the fix over-flooring)."""
+        obj, col = self._trees()
+        pairs = [(200_000, 2**53 - 64)] + [
+            (100 if i % 2 else 300_000, 1) for i in range(64)
+        ]
+        obj.add_counted(pairs)
+        col.add_counted(pairs)
+        assert obj.events == 2**53
+        assert_equivalent(obj, col)
