@@ -31,8 +31,11 @@ strictly within their own lineage — ``...[object]`` against
 object-backend regression cannot hide behind a columnar speedup. On
 top of the baseline comparison, the candidate run must uphold the
 columnar value proposition itself: its sustained-ingest columnar mean
-must be at least ``SPEEDUP_FLOOR``x faster than its object mean. That
-ratio is intra-run, so machine calibration cancels out of it.
+must be at least ``SPEEDUP_FLOOR``x faster than its object mean, and
+on the batch kernel (pre-combined sorted chunks, the layout's home
+turf) columnar must be at least as fast as object even at smoke
+scale. Both ratios are intra-run, so machine calibration cancels out
+of them.
 """
 
 from __future__ import annotations
@@ -57,6 +60,15 @@ SUSTAINED_INGEST = "test_sustained_ingest_throughput"
 SPEEDUP_FLOOR = 3.0
 SPEEDUP_GATE_MIN_EVENTS = 50_000
 
+#: The contiguous kernel's own row: pre-combined sorted chunks through
+#: ``add_batch``. Unlike the sustained gate this one holds from the 10k
+#: smoke scale up — the fully contiguous layout wins cold ingest too,
+#: so a smoke run where object beats columnar here means the batch
+#: kernel regressed, whatever the absolute numbers are.
+BATCH_KERNEL = "test_batch_kernel_throughput"
+BATCH_KERNEL_FLOOR = 1.0
+BATCH_KERNEL_MIN_EVENTS = 10_000
+
 
 def load_payload(path: pathlib.Path) -> dict:
     payload = json.loads(path.read_text(encoding="utf-8"))
@@ -78,8 +90,8 @@ def lineage_means(payload: dict) -> dict:
     }
 
 
-def sustained_speedup(payload: dict):
-    """Object-vs-columnar ratio on the sustained-ingest row.
+def backend_speedup(payload: dict, benchmark: str):
+    """Object-vs-columnar ratio on ``benchmark``'s paired rows.
 
     Uses each row's ``min_s``: the minimum is the standard noise-robust
     statistic for intra-run ratios (scheduler/GC interference only ever
@@ -89,7 +101,7 @@ def sustained_speedup(payload: dict):
     mins = {
         row.get("backend", "object"): row["min_s"]
         for row in payload["results"]
-        if row["name"].startswith(SUSTAINED_INGEST + "[")
+        if row["name"].startswith(benchmark + "[")
     }
     if "object" in mins and "columnar" in mins and mins["columnar"]:
         return mins["object"] / mins["columnar"]
@@ -161,7 +173,7 @@ def main(argv=None) -> int:
 
     # The columnar backend must keep earning its keep: candidate's own
     # sustained-ingest object/columnar ratio (calibration-free).
-    speedup = sustained_speedup(candidate)
+    speedup = backend_speedup(candidate, SUSTAINED_INGEST)
     if speedup is None:
         print(
             f"SKIP columnar speedup gate: no paired {SUSTAINED_INGEST} "
@@ -181,6 +193,29 @@ def main(argv=None) -> int:
         )
         if status == "FAIL":
             failures.append("columnar-sustained-ingest-speedup")
+
+    # And the batch kernel must never fall behind the object backend,
+    # smoke scale included (intra-run min ratio, calibration-free).
+    batch = backend_speedup(candidate, BATCH_KERNEL)
+    if batch is None:
+        print(
+            f"SKIP columnar batch-kernel gate: no paired {BATCH_KERNEL} "
+            "rows in candidate"
+        )
+    elif candidate["events"] < BATCH_KERNEL_MIN_EVENTS:
+        print(
+            f"SKIP columnar batch-kernel gate: measured {batch:.2f}x at "
+            f"{candidate['events']} events; the gate applies from "
+            f"{BATCH_KERNEL_MIN_EVENTS} events up"
+        )
+    else:
+        status = "OK" if batch >= BATCH_KERNEL_FLOOR else "FAIL"
+        print(
+            f"{status:4s} columnar batch-kernel speedup: "
+            f"{batch:.2f}x object (floor {BATCH_KERNEL_FLOOR:.1f}x)"
+        )
+        if status == "FAIL":
+            failures.append("columnar-batch-kernel-speedup")
 
     if failures:
         print(

@@ -34,11 +34,14 @@ def value_stream():
     return load_benchmark("gzip").value_stream(EVENTS, seed=1)
 
 
-def test_tree_update_throughput(benchmark, code_values):
-    """Single-event adds: the software hot path."""
+@pytest.mark.parametrize("backend", ["object", "columnar"])
+def test_tree_update_throughput(benchmark, backend, code_values):
+    """Raw-stream ingest from a cold tree: the software hot path."""
 
     def run():
-        tree = RapTree(RapConfig(range_max=2**32, epsilon=0.05))
+        tree = RapTree.from_config(
+            RapConfig(range_max=2**32, epsilon=0.05, backend=backend)
+        )
         tree.extend(code_values)
         return tree
 
@@ -135,20 +138,35 @@ def test_wide_universe_value_profiling(benchmark, value_stream):
     assert tree.events == EVENTS
 
 
-def test_hot_range_extraction(benchmark, value_stream):
-    tree = RapTree(RapConfig(range_max=value_stream.universe, epsilon=0.01))
+@pytest.mark.parametrize("backend", ["object", "columnar"])
+def test_hot_range_extraction(benchmark, backend, value_stream):
+    """Hot-range fold over a settled profile, per backend.
+
+    The columnar lineage times the level-kernel fast path
+    (``_hot_range_rows``); the object lineage times the reference
+    post-order walk. Both must return the identical ranges.
+    """
+    tree = RapTree.from_config(
+        RapConfig(
+            range_max=value_stream.universe, epsilon=0.01, backend=backend
+        )
+    )
     tree.add_stream(iter(value_stream), combine_chunk=4096)
     hot = benchmark(find_hot_ranges, tree, 0.10)
     assert hot
 
 
-def test_merge_pass(benchmark, value_stream):
+@pytest.mark.parametrize("backend", ["object", "columnar"])
+def test_merge_pass(benchmark, backend, value_stream):
+    """Build with merging deferred, then one full-tree merge pass."""
+
     def run():
-        tree = RapTree(
+        tree = RapTree.from_config(
             RapConfig(
                 range_max=value_stream.universe,
                 epsilon=0.01,
                 merge_initial_interval=10**9,  # defer all merging
+                backend=backend,
             )
         )
         tree.add_stream(iter(value_stream), combine_chunk=4096)

@@ -82,6 +82,26 @@ class TreeBackend(Protocol):
 
     def total_weight(self) -> int: ...
 
+    def memory_bytes(self, bits_per_node: int = 128) -> int:
+        """Bytes this backend actually holds for the profile.
+
+        Backend-specific by design: the object backend reports the
+        paper's per-node model (its Python objects have no meaningful
+        hardware analogue), the columnar backend reports real column
+        allocation including free-list slack. Cross-backend analyses
+        that mean the *paper's* figure must use
+        :meth:`modeled_memory_bytes`, which is identical everywhere.
+        """
+        ...
+
+    def modeled_memory_bytes(self, bits_per_node: int = 128) -> int:
+        """The paper's memory model: ``node_count`` × 128 bits (§4.2).
+
+        Identical on every backend — this is what figure 7 and the
+        accuracy/memory trade-off analyses plot.
+        """
+        ...
+
     # -- runtime hooks -------------------------------------------------
     def clone(self) -> "TreeBackend": ...
 

@@ -1,69 +1,84 @@
 """Struct-of-arrays RAP tree kernel with vectorized batch ingest.
 
-:class:`ColumnarRapTree` stores the range tree in parallel columns
-instead of linked :class:`~repro.core.node.RapNode` objects. One *slot*
-(column index) is one node; freed slots are recycled through a free
-list. The layout per slot is hybrid — numpy arrays for the columns the
-vectorized kernel gathers from, plain Python lists for the columns the
-scalar cascade walks (CPython list indexing is an order of magnitude
-faster than numpy scalar indexing, and the scalar path is all
-single-element access):
+:class:`ColumnarRapTree` stores the range tree in parallel numpy
+columns instead of linked :class:`~repro.core.node.RapNode` objects.
+One *slot* (column index) is one node; freed slots are recycled through
+a free stack. Every column has exactly one copy — there is no Python
+shadow list and no mirror to refresh:
 
-========================  ==========  =========================================
-column                    storage     meaning
-========================  ==========  =========================================
-``_counts_list``          list        the node's counter (canonical)
-``_counts``               int64 array lazily refreshed mirror of the counters
-                                      (vector gather/scatter + range queries)
-``_is_item``              bool array  ``lo == hi`` (vector fit predicate)
-``_los`` / ``_his``       list        closed range bounds (universe to 2**64)
-``_parents``              list        parent slot (-1 at the root)
-``_first_child``          list        head of the sorted sibling chain (-1)
-``_next_sibling``         list        next sibling in ``lo`` order (-1 at end)
-``_n_children``           list        chain length (avoids walks on fan-out)
-``_dirty``                list        dirty-frontier flag (see tree.py)
-``_cached_weight``        list        subtree weight at last merge visit
-``_cached_min``           list        min subtree weight at last merge visit
-``_live``                 list        slot is an allocated node
-========================  ==========  =========================================
+========================  ============  ===================================
+column                    dtype         meaning
+========================  ============  ===================================
+``_counts``               int64         the node's counter (canonical)
+``_los`` / ``_his``       uint64        closed range bounds (universe 2**64)
+``_parents``              int32         parent slot (-1 at the root)
+``_first_child``          int32         head of the sorted sibling chain
+``_next_sibling``         int32         next sibling in ``lo`` order
+``_n_children``           int32         chain length (avoids walks)
+``_depth``                int32         node depth (root 0; level kernels)
+``_is_item``              bool          ``lo == hi`` (vector fit predicate)
+``_dirty``                bool          dirty-frontier flag (see tree.py)
+``_cached_weight``        int64         subtree weight at last merge visit
+``_cached_min``           int64         min subtree weight at last visit
+``_live``                 bool          slot is an allocated node
+``_free_slots``           int32         free stack (``_free_top`` entries)
+========================  ============  ===================================
 
 On top of the slots sits the *cover index*: the deepest covering node is
 piecewise constant over the value space, so ``_cov_starts`` (sorted
 segment starts) and ``_cov_owner`` (owning slot per segment) answer
 "smallest covering range" with one ``searchsorted`` — for a whole batch
-at once. The index is maintained lazily: splits queue their splice on
-``_cov_pending`` and the next vectorized round folds every queued splice
-into one concatenate-and-argsort pass (a split node's owned region is
-exactly its missing partition cells); the rare merge passes schedule a
-wholesale rebuild instead. The scalar path never touches the index — it
-descends the sibling chains from a finger-cached slot, exactly like the
-object backend's ``_locate``.
+at once. The index is maintained incrementally in both directions:
+splits queue positioned-insert splices on ``_cov_pending`` (a split
+node's owned region is exactly its missing partition cells), and merge
+passes remap every segment to the nearest surviving ancestor of its old
+owner and coalesce equal-owner runs — no wholesale rebuild on either
+path (``_rebuild_cover`` survives only as the oracle that
+``check_invariants`` compares against).
 
-Batch ingest (`extend` / `add_counted` / `add_batch`) runs *vectorized
-rounds*: look up every window item's owner through the cover index, and
-apply the longest prefix whose items provably fit inline — per-owner
-window totals below the split threshold, before the next merge trigger
-— with one ``bincount`` scatter. The first item the mask cannot prove
-safe drops to an exact scalar port of the object backend's ``add``
-cascade (same closed-form split crossing points, same mid-count
-merges); once the stream fits inline again the kernel re-vectorizes the
-tail. Both the window size and the scalar stretch length adapt: calm
-regions run huge windows, split-heavy regions stay scalar (where the
-kernel is as fast as the object backend's inline loop) instead of
-paying for rounds that apply almost nothing. The scalar path is
-arithmetic-identical to :class:`repro.core.tree.RapTree`, and the
-vectorized mask merely *routes* items (an item it cannot prove safe
-goes to the scalar path, which decides authoritatively), so the two
-backends produce identical trees for identical operation sequences.
+Batch ingest (`extend` / `add_counted` / `add_batch`) consumes one
+*window* per round. The round routes the window through the cover
+index, cuts it before the next merge trigger and before any malformed
+item, and partitions the cut into *safe* positions — provably inline at
+their arrival moment — and *holdout* positions. Safe positions are
+applied with one exact ``bincount`` scatter; holdouts (the tail of each
+owner that crosses the split threshold) replay through the exact scalar
+cascade in arrival order, each with ``events`` rewound to its arrival
+value, so split cascades land exactly where the object backend puts
+them. Unlike a prefix mask, a blocked owner never stalls the rest of
+the window: every other owner's items still vectorize. The scalar
+cascade is arithmetic-identical to :class:`repro.core.tree.RapTree`
+(same closed-form split crossing points, same mid-count merges), so the
+two backends produce identical trees for identical operation sequences.
 
-Exactness: the vectorized fit mask works entirely on the integer side.
+Why the safe/holdout partition is exact: within one cut window no merge
+can fire (the cut ends before the trigger) and thresholds only grow, so
+a deposit that keeps its owner's counter at or below the *first* item's
+threshold fits at its own (later) arrival too. An owner's safe
+positions all precede its first crossing, so scattering them before
+replaying the holdouts reproduces the object backend's per-item
+counter states: a holdout cascade reads its owner's counter after
+exactly the deposits that preceded it in arrival order, and splits it
+performs only re-route items of that same owner (owner regions are
+disjoint, so other owners' routing is unaffected).
+
+Exactness: the fit predicate works entirely on the integer side.
 Per-owner deposits are summed exactly in int64 (``_exact_bincount``
 splits each weight into 32-bit halves so every float64 partial sum that
-``np.bincount`` computes internally stays below 2**53), and totals are
+``np.bincount`` computes internally stays below 2**53), totals are
 compared against ``math.floor`` of the float threshold — for integral
-``x``, ``x <= t`` iff ``x <= floor(t)`` — so the mask agrees with the
-object backend's CPython int arithmetic at every magnitude, including
-counters past 2**53 (RAP-LINT019/020 gate regressions here).
+``x``, ``x <= t`` iff ``x <= floor(t)`` — and the merge-trigger cut
+compares int64 running totals against ``math.ceil`` of the trigger, so
+no float64 rounding ever enters a routing decision, including counters
+past 2**53 (RAP-LINT019/020 gate regressions here). The scalar cascade
+converts every counter it reads to a Python int before comparing
+against float thresholds, preserving CPython's exact int-float
+comparison. Totals beyond int64 are out of the kernel's domain: a
+counter store past 2**63-1 raises (``ValueError`` from the memoryview
+store on the scalar paths, ``OverflowError`` from the array store on
+the vectorized scatter) instead of wrapping (the object backend's
+Python ints keep going; the paper's ``n`` sits far below either
+bound).
 
 Construct through ``RapTree.from_config(RapConfig(backend="columnar"))``
 — importing this module's internals elsewhere is flagged by RAP-LINT012.
@@ -73,7 +88,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,29 +98,24 @@ from .stats import TreeStats
 
 _NO_SLOT = -1
 _INITIAL_CAPACITY = 64
-# Scalar-stretch length before the first re-vectorization attempt. The
-# stretch doubles (up to the max) every time a round comes back nearly
-# empty, so split-heavy phases stay on the scalar fast path instead of
-# paying for rounds that apply a handful of items.
-_STREAK_MIN = 16
-_STREAK_MAX = 1024
-# Vectorized window sizing: grows while rounds apply their whole window,
-# shrinks when they block early, bounding the work a blocked round
-# throws away.
+# Vectorized window sizing: grows while rounds come back nearly
+# holdout-free, shrinks while the holdout fraction is high (cold-start
+# split storms), bounding the threshold staleness a long window causes.
 _WINDOW_MIN = 512
 _WINDOW_START = 1024
 _WINDOW_MAX = 16384
-# A round that applied less than this is considered a miss for the
-# adaptive streak/window logic.
-_ROUND_MISS = 64
 # Below this many remaining items the fixed numpy overhead of a round
-# costs more than just finishing the tail through the scalar fast path.
-_MIN_VECTOR_TAIL = 48
+# (array conversion, argsort, mask passes) costs more than finishing
+# the tail through the scalar kernel, which runs ~1us per item.
+_MIN_VECTOR_TAIL = 384
 
 # int64 split point for _exact_bincount: weights are divided at 32 bits
 # so each half's float64 bincount sum stays exact (see the docstring).
 _LOW32 = (1 << 32) - 1
 _INT64_MAX = 2**63 - 1
+# float64(2**63), exact: thresholds at or above it exceed every int64
+# counter, so the integer-side comparison clamps to _INT64_MAX there.
+_TWO_POW_63 = 9223372036854775808.0
 
 
 def _exact_bincount(
@@ -115,24 +125,33 @@ def _exact_bincount(
 
     ``np.bincount(..., weights=...)`` always accumulates in float64,
     which rounds individual deposits above 2**53. Splitting each weight
-    into 32-bit halves keeps every float64 partial sum exact — a window
-    holds at most ``_WINDOW_MAX`` (2**14) items, so each half sums to
-    below 2**14 * 2**32 = 2**46 < 2**53 — and the recombined int64
-    total is exact for any per-owner sum that fits int64.
+    into 32-bit halves keeps every float64 partial sum exact — with
+    fewer than 2**21 contributions per owner each half sums to below
+    2**21 * 2**32 = 2**53 (an ingest window holds at most ``_WINDOW_MAX``
+    = 2**14 items) — and the recombined int64 total is exact for any
+    sum that fits int64. Where the accumulation is an indexed add of
+    existing int64 values rather than a ``weights=`` sum (the merge
+    pass), ``np.add.at`` is exact and cheaper — this helper is for the
+    bincount-shaped reductions only.
     """
     low = np.bincount(owners, weights=weights & _LOW32, minlength=minlength)
     high = np.bincount(owners, weights=weights >> 32, minlength=minlength)
     return low.astype(np.int64) + (high.astype(np.int64) << 32)
 
 
-_LIST_COLUMNS: Tuple[str, ...] = (
-    "_counts_list",
+#: Per-slot columns, grown together (see _grow). ``_free_slots`` rides
+#: along at the same capacity: every slot can be on the stack at most
+#: once, so pushes can never overflow it.
+_ARRAY_COLUMNS: Tuple[str, ...] = (
+    "_counts",
     "_los",
     "_his",
     "_parents",
     "_first_child",
     "_next_sibling",
     "_n_children",
+    "_depth",
+    "_is_item",
     "_dirty",
     "_cached_weight",
     "_cached_min",
@@ -152,28 +171,42 @@ class ColumnarRapTree:
 
     def __init__(self, config: RapConfig) -> None:
         self._config = config
-        self._counts = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
-        self._is_item = np.zeros(_INITIAL_CAPACITY, dtype=np.bool_)
-        self._counts_list: List[int] = []
-        self._los: List[int] = []
-        self._his: List[int] = []
-        self._parents: List[int] = []
-        self._first_child: List[int] = []
-        self._next_sibling: List[int] = []
-        self._n_children: List[int] = []
-        self._dirty: List[bool] = []
-        self._cached_weight: List[int] = []
-        self._cached_min: List[int] = []
-        self._live: List[bool] = []
-        self._free: List[int] = []
+        capacity = _INITIAL_CAPACITY
+        self._capacity = capacity
+        self._counts = np.zeros(capacity, dtype=np.int64)
+        self._los = np.zeros(capacity, dtype=np.uint64)
+        self._his = np.zeros(capacity, dtype=np.uint64)
+        self._parents = np.zeros(capacity, dtype=np.int32)
+        self._first_child = np.zeros(capacity, dtype=np.int32)
+        self._next_sibling = np.zeros(capacity, dtype=np.int32)
+        self._n_children = np.zeros(capacity, dtype=np.int32)
+        self._depth = np.zeros(capacity, dtype=np.int32)
+        self._is_item = np.zeros(capacity, dtype=np.bool_)
+        self._dirty = np.zeros(capacity, dtype=np.bool_)
+        self._cached_weight = np.zeros(capacity, dtype=np.int64)
+        self._cached_min = np.zeros(capacity, dtype=np.int64)
+        self._live = np.zeros(capacity, dtype=np.bool_)
+        self._free_slots = np.zeros(capacity, dtype=np.int32)
+        self._free_top = 0
         self._size = 0
-        # Mirror staleness: slots whose canonical (list) counter moved
-        # since the numpy mirror was last refreshed, or everything after
-        # a merge pass rewired the tree.
-        self._mirror_stale: List[int] = []
-        self._mirror_all_stale = False
-        root = self._alloc(0, config.range_max - 1)
+        # Allocation-default pre-fill: fresh (never-allocated) slots
+        # already hold the state _alloc would write — leaf chain head,
+        # dirty, live — and freed slots are restored to it in bulk when
+        # the merge pass recycles them, so the allocation hot path only
+        # stores the per-node fields (bounds, depth, item flag). The
+        # live pre-fill is safe: every _live read is masked to the
+        # allocated prefix ``[:size]``.
+        self._first_child.fill(_NO_SLOT)
+        self._dirty.fill(True)
+        self._live.fill(True)
+        self._rebind_views()
+        root = self._alloc(0, config.range_max - 1, 0)
         assert root == 0, "root must occupy slot 0"
+        # _alloc leaves parent/sibling pointers to _set_children; the
+        # root is never anyone's child, so pin its pointers here once.
+        self._parents[0] = _NO_SLOT
+        self._next_sibling[0] = _NO_SLOT
+        self._root_hi = config.range_max - 1
         self._node_count = 1
         self._events = 0
         self._scheduler = MergeScheduler(
@@ -193,104 +226,109 @@ class ColumnarRapTree:
         # Cover index: one segment, the whole universe, owned by the root.
         self._cov_starts = np.zeros(1, dtype=np.uint64)
         self._cov_owner = np.zeros(1, dtype=np.int64)
-        # Lazy maintenance state: queued split splices, or a wholesale
-        # rebuild request after a merge restructured the tree.
+        # Queued split splices, folded in batch by the next _sync_cover.
         self._cov_pending: List[Tuple[int, List[int]]] = []
-        self._cov_rebuild = False
-        # Cross-round owner cache (see _vector_round): owners resolved
-        # for varr[_owner_cache_start:...] in the last round of the
-        # current ingest, plus the structural changes since then that
-        # decide how much of it is still valid.
-        self._owner_cache: Optional[np.ndarray] = None
-        self._owner_cache_start = 0
-        self._splits_since_round: List[int] = []
-        self._merged_since_round = False
         # Materialized RapNode view, cached per mutation generation.
         self._view_root: Optional[RapNode] = None
         self._view_generation = -1
+        # Bulk-ingest mode flag, persistent across _ingest calls: a
+        # cold tree starts in a holdout storm (every deposit crosses
+        # the still-tiny thresholds), and chunked feeders like
+        # add_stream re-enter _ingest mid-storm. Purely a routing
+        # heuristic — both modes are the exact scalar semantics.
+        # ``_calm`` counts consecutive low-fallback scalar windows; the
+        # storm only ends after two, so one quiet window between split
+        # bursts (common in chunked counted feeds) does not buy a
+        # wasted convert-and-vectorize round trip.
+        self._storm = True
+        self._calm = 0
 
     # ------------------------------------------------------------------
     # Slot management
     # ------------------------------------------------------------------
 
-    def _alloc(self, lo: int, hi: int) -> int:
-        """Take a slot off the free list (or grow) and initialize it.
+    def _rebind_views(self) -> None:
+        """Rebind the zero-copy scalar read views over the columns.
+
+        ``memoryview`` indexing returns plain Python ints/bools straight
+        off the numpy buffers (no array-scalar boxing), which makes the
+        scalar cascade's per-element reads ~3x cheaper while keeping a
+        single copy of every column — the views alias the same memory,
+        so every vectorized write is visible through them immediately.
+        Scalar *writes* go through the views too (~1.5-2x cheaper than
+        a numpy scalar store), counters included: an int64 counter
+        store that overflows raises ``ValueError`` from the memoryview
+        (numpy's array store would raise ``OverflowError``) — either
+        way a loud failure, never a silent wrap; the module docstring
+        pins the exception types. Must be called whenever a column
+        array object is replaced (``_grow``/``clone``).
+        """
+        self._v_counts = memoryview(self._counts)
+        self._v_los = memoryview(self._los)
+        self._v_his = memoryview(self._his)
+        self._v_parents = memoryview(self._parents)
+        self._v_first_child = memoryview(self._first_child)
+        self._v_next_sibling = memoryview(self._next_sibling)
+        self._v_n_children = memoryview(self._n_children)
+        self._v_depth = memoryview(self._depth)
+        self._v_is_item = memoryview(self._is_item)
+        self._v_dirty = memoryview(self._dirty)
+        self._v_live = memoryview(self._live)
+        self._v_free_slots = memoryview(self._free_slots)
+
+    def _alloc(self, lo: int, hi: int, depth: int) -> int:
+        """Pop a slot off the free stack (or extend) and initialize it.
 
         Recycled slots had their counter and item flag reset when the
-        merge pass freed them, so allocation touches the numpy columns
-        only for the rare single-item node.
+        merge pass freed them, so a zero counter is an invariant of
+        every non-live slot (estimate/total_weight sum the raw column).
+        This path stores only the per-node fields (bounds, depth, item
+        flag). Everything else already holds the allocation default:
+        parent and sibling pointers are immediately overwritten by the
+        caller's chain build (the root's are set once in ``__init__``),
+        a dirty slot's cached weight/min are never read before the next
+        merge pass rewrites them wholesale, and the leaf/dirty/live
+        state is pre-filled for fresh slots and bulk-restored when the
+        merge pass frees a batch (only ``live`` needs a store on the
+        recycle branch — frees are what cleared it).
         """
-        if self._free:
-            slot = self._free.pop()
-            self._los[slot] = lo
-            self._his[slot] = hi
-            self._parents[slot] = _NO_SLOT
-            self._first_child[slot] = _NO_SLOT
-            self._next_sibling[slot] = _NO_SLOT
-            self._n_children[slot] = 0
-            # New nodes start dirty with zeroed caches, like RapNode.
-            self._dirty[slot] = True
-            self._cached_weight[slot] = 0
-            self._cached_min[slot] = 0
-            self._live[slot] = True
+        if self._free_top:
+            self._free_top -= 1
+            slot = self._v_free_slots[self._free_top]
+            self._v_live[slot] = True
         else:
             slot = self._size
-            self._size += 1
-            if slot == len(self._counts):
+            if slot == self._capacity:
                 self._grow()
-            self._counts_list.append(0)
-            self._los.append(lo)
-            self._his.append(hi)
-            self._parents.append(_NO_SLOT)
-            self._first_child.append(_NO_SLOT)
-            self._next_sibling.append(_NO_SLOT)
-            self._n_children.append(0)
-            self._dirty.append(True)
-            self._cached_weight.append(0)
-            self._cached_min.append(0)
-            self._live.append(True)
+            self._size += 1
+        self._v_los[slot] = lo
+        self._v_his[slot] = hi
+        self._v_depth[slot] = depth
         if lo == hi:
-            self._is_item[slot] = True
+            self._v_is_item[slot] = True
         return slot
 
     def _grow(self) -> None:
-        capacity = max(_INITIAL_CAPACITY, 2 * len(self._counts))
-        for name in ("_counts", "_is_item"):
+        capacity = max(_INITIAL_CAPACITY, 2 * self._capacity)
+        old_capacity = self._capacity
+        for name in _ARRAY_COLUMNS + ("_free_slots",):
             old = getattr(self, name)
             grown = np.zeros(capacity, dtype=old.dtype)
-            grown[: len(old)] = old
+            grown[: old.size] = old
             setattr(self, name, grown)
-
-    def _free_slot(self, slot: int) -> None:
-        self._live[slot] = False
-        self._free.append(slot)
-
-    def _refresh_mirror(self) -> None:
-        """Bring the numpy counter mirror up to date with the lists.
-
-        Wholesale ``fromiter`` when everything is stale (after merges)
-        or when many individual slots moved; targeted scalar writes
-        otherwise.
-        """
-        stale = self._mirror_stale
-        if self._mirror_all_stale or len(stale) > self._size // 8:
-            self._counts[: self._size] = np.fromiter(
-                self._counts_list, dtype=np.int64, count=self._size
-            )
-            self._mirror_all_stale = False
-        elif stale:
-            counts = self._counts
-            counts_list = self._counts_list
-            for slot in stale:
-                counts[slot] = counts_list[slot]
-        if stale:
-            self._mirror_stale = []
+        # Restore the allocation-default pre-fill on the fresh tail
+        # (see __init__) so _alloc can keep skipping those stores.
+        self._first_child[old_capacity:] = _NO_SLOT
+        self._dirty[old_capacity:] = True
+        self._live[old_capacity:] = True
+        self._capacity = capacity
+        self._rebind_views()
 
     def _children_slots(self, slot: int) -> List[int]:
         """Direct children of ``slot`` in ``lo`` order."""
         out: List[int] = []
-        child = self._first_child[slot]
-        next_sibling = self._next_sibling
+        child = self._v_first_child[slot]
+        next_sibling = self._v_next_sibling
         while child != _NO_SLOT:
             out.append(child)
             child = next_sibling[child]
@@ -298,37 +336,41 @@ class ColumnarRapTree:
 
     def _set_children(self, slot: int, kids: List[int]) -> None:
         """Rebuild the sibling chain of ``slot`` from a sorted slot list."""
-        self._n_children[slot] = len(kids)
-        self._first_child[slot] = kids[0] if kids else _NO_SLOT
-        parents = self._parents
-        next_sibling = self._next_sibling
+        self._v_n_children[slot] = len(kids)
+        self._v_first_child[slot] = kids[0] if kids else _NO_SLOT
+        parents = self._v_parents
+        next_sibling = self._v_next_sibling
         last = len(kids) - 1
         for index, kid in enumerate(kids):
             parents[kid] = slot
             next_sibling[kid] = kids[index + 1] if index < last else _NO_SLOT
 
-    def _subtree_slots(self, slot: int) -> List[int]:
-        """Every slot in the subtree rooted at ``slot`` (incl. itself)."""
-        out: List[int] = []
-        stack = [slot]
-        first_child = self._first_child
-        next_sibling = self._next_sibling
-        while stack:
-            current = stack.pop()
-            out.append(current)
-            child = first_child[current]
-            while child != _NO_SLOT:
-                stack.append(child)
-                child = next_sibling[child]
-        return out
-
     def _mark_dirty(self, slot: int) -> None:
         """Mark ``slot`` and its clean ancestors dirty (early-exit walk)."""
+        vdirty = self._v_dirty
+        vparents = self._v_parents
+        while slot != _NO_SLOT and not vdirty[slot]:
+            vdirty[slot] = True
+            slot = vparents[slot]
+
+    def _mark_dirty_many(self, touched: np.ndarray) -> None:
+        """Vectorized dirty propagation for a batch of deposited slots.
+
+        Level-by-level frontier walk: same final dirty set as calling
+        :meth:`_mark_dirty` per slot (a slot already dirty stops the
+        climb; ancestors of newly dirtied slots continue it).
+        """
         dirty = self._dirty
         parents = self._parents
-        while slot != _NO_SLOT and not dirty[slot]:
-            dirty[slot] = True
-            slot = parents[slot]
+        current = touched[~dirty[touched]]
+        while current.size:
+            dirty[current] = True
+            up = parents[current]
+            up = up[up != _NO_SLOT]
+            if not up.size:
+                return
+            up = np.unique(up)
+            current = up[~dirty[up]]
 
     # ------------------------------------------------------------------
     # Scalar descent (finger search over the sibling chains)
@@ -340,59 +382,60 @@ class ColumnarRapTree:
         Finger search, exactly like ``RapTree._locate``: walk up from
         the cached slot until the value is covered, then descend the
         sorted sibling chains. Consecutive events land near each other
-        (loops, hot ranges), so the walk is usually O(1).
+        (loops, hot ranges), so the walk is usually O(1). All reads go
+        through the memoryview accessors (plain Python ints out).
         """
-        los = self._los
-        his = self._his
+        los = self._v_los
+        his = self._v_his
+        no_slot = _NO_SLOT
         slot = self._cached_slot
         if value < los[slot] or value > his[slot]:
-            parents = self._parents
+            parents = self._v_parents
             slot = parents[slot]
-            while slot != _NO_SLOT and (value < los[slot] or value > his[slot]):
+            while slot != no_slot and (
+                value < los[slot] or value > his[slot]
+            ):
                 slot = parents[slot]
-            if slot == _NO_SLOT:
+            if slot == no_slot:
                 slot = 0
-        first_child = self._first_child
-        next_sibling = self._next_sibling
+        first_child = self._v_first_child
+        next_sibling = self._v_next_sibling
         while True:
             child = first_child[slot]
-            while child != _NO_SLOT:
-                if los[child] > value:
-                    child = _NO_SLOT
-                    break
-                if value <= his[child]:
-                    break
+            while child != no_slot and value > his[child]:
                 child = next_sibling[child]
-            if child == _NO_SLOT:
+            if child == no_slot or los[child] > value:
                 self._cached_slot = slot
                 return slot
             slot = child
 
     # ------------------------------------------------------------------
-    # Cover index (vector rounds only; maintained lazily)
+    # Cover index (incremental in both directions)
     # ------------------------------------------------------------------
 
     def _rebuild_cover(self) -> None:
         """Recompute the full cover index from the sibling chains.
 
-        O(nodes); only merge passes (rare, geometric spacing) pay this.
-        Splits queue in-place splices on ``_cov_pending`` instead.
+        The incremental splices (split inserts in ``_sync_cover``, the
+        merge remap in ``_merge_frontier``) keep the live index equal to
+        this recursive emission; ``check_invariants`` asserts exactly
+        that, so this survives as the oracle, not a maintenance path.
         """
         starts: List[int] = []
         owners: List[int] = []
 
         def emit(slot: int) -> None:
-            position = self._los[slot]
-            child = self._first_child[slot]
+            position = int(self._los[slot])
+            child = int(self._first_child[slot])
             while child != _NO_SLOT:
-                child_lo = self._los[child]
+                child_lo = int(self._los[child])
                 if child_lo > position:
                     starts.append(position)
                     owners.append(slot)
                 emit(child)
-                position = self._his[child] + 1
-                child = self._next_sibling[child]
-            if position <= self._his[slot]:
+                position = int(self._his[child]) + 1
+                child = int(self._next_sibling[child])
+            if position <= int(self._his[slot]):
                 starts.append(position)
                 owners.append(slot)
 
@@ -401,20 +444,15 @@ class ColumnarRapTree:
         self._cov_owner = np.array(owners, dtype=np.int64)
 
     def _sync_cover(self) -> None:
-        """Fold queued split splices (or a rebuild) into the cover index.
+        """Fold queued split splices into the cover index.
 
         After a split every missing partition cell gained a child, so the
         split node owns nothing: its segments are exactly the union of
         the new children's ranges. Batching the queued splits means one
-        concatenate-and-argsort per vectorized round instead of one per
-        split; a fresh child that itself split later in the same batch
+        positioned insert per vectorized round instead of one per split;
+        a fresh child that itself split later in the same batch
         contributes no segment (its own children do).
         """
-        if self._cov_rebuild:
-            self._rebuild_cover()
-            self._cov_rebuild = False
-            self._cov_pending.clear()
-            return
         pending = self._cov_pending
         if not pending:
             return
@@ -432,15 +470,13 @@ class ColumnarRapTree:
         split_table = np.zeros(self._size, dtype=np.bool_)
         split_table[list(split_slots)] = True
         keep = ~split_table[self._cov_owner]
-        los = self._los
         kept_starts = self._cov_starts[keep]
         kept_owner = self._cov_owner[keep]
-        new_owners.sort(key=los.__getitem__)
-        new_starts = np.fromiter(
-            (los[kid] for kid in new_owners),
-            dtype=np.uint64,
-            count=len(new_owners),
-        )
+        owner_arr = np.asarray(new_owners, dtype=np.int64)
+        new_starts = self._los[owner_arr]
+        order = np.argsort(new_starts, kind="stable")
+        new_starts = new_starts[order]
+        owner_arr = owner_arr[order]
         # Both sides are sorted, so a positioned insert replaces the
         # concatenate-and-argsort: O(segments) copy, no sort. Done by
         # hand (shared scatter mask) — np.insert's argument handling
@@ -453,7 +489,7 @@ class ColumnarRapTree:
         old_at = np.ones(grown, dtype=np.bool_)
         old_at[at] = False
         starts_out[at] = new_starts
-        owner_out[at] = np.asarray(new_owners, dtype=np.int64)
+        owner_out[at] = owner_arr
         starts_out[old_at] = kept_starts
         owner_out[old_at] = kept_owner
         self._cov_starts = starts_out
@@ -506,7 +542,28 @@ class ColumnarRapTree:
         return self._config.epsilon * self._events
 
     def memory_bytes(self, bits_per_node: int = 128) -> int:
-        """Current memory footprint at the paper's 128 bits/node (§4.2)."""
+        """Actual bytes held by the column arrays.
+
+        Counts every allocated slot — free-list slack and the unused
+        capacity tail included — plus the cover index and the free
+        stack: what the process really pays for this profile, not the
+        paper's per-node model. ``bits_per_node`` is accepted for
+        signature compatibility across backends but only the model
+        (:meth:`modeled_memory_bytes`) uses it.
+        """
+        total = (
+            self._free_slots.nbytes
+            + self._cov_starts.nbytes
+            + self._cov_owner.nbytes
+        )
+        for name in _ARRAY_COLUMNS:
+            total += getattr(self, name).nbytes
+        return total
+
+    def modeled_memory_bytes(self, bits_per_node: int = 128) -> int:
+        """The paper's memory model: ``node_count`` at 128 bits/node
+        (§4.2). This is what figure 7 and the accuracy/memory analyses
+        plot — hardware cost, not host-process allocation."""
         return (self._node_count * bits_per_node + 7) // 8
 
     # ------------------------------------------------------------------
@@ -539,16 +596,17 @@ class ColumnarRapTree:
         round-trip and preserve exactly the same state: structure,
         counters, merge-schedule position and the mutation generation.
         Statistics timelines are not carried over (same contract as
-        ``RapTree.clone``).
+        ``RapTree.clone``). Reading is allowed from any thread, so a
+        confined shard tree can be cloned by the fold coordinator while
+        the owning worker is quiesced.
         """
         self._sync_cover()
-        self._refresh_mirror()
         other = ColumnarRapTree(self._config)
-        other._counts = self._counts.copy()
-        other._is_item = self._is_item.copy()
-        for name in _LIST_COLUMNS:
-            setattr(other, name, list(getattr(self, name)))
-        other._free = list(self._free)
+        for name in _ARRAY_COLUMNS + ("_free_slots",):
+            setattr(other, name, getattr(self, name).copy())
+        other._rebind_views()
+        other._capacity = self._capacity
+        other._free_top = self._free_top
         other._size = self._size
         other._node_count = self._node_count
         other._events = self._events
@@ -557,6 +615,8 @@ class ColumnarRapTree:
         other._generation = self._generation
         other._cov_starts = self._cov_starts.copy()
         other._cov_owner = self._cov_owner.copy()
+        other._storm = self._storm
+        other._calm = self._calm
         return other
 
     # ------------------------------------------------------------------
@@ -574,9 +634,9 @@ class ColumnarRapTree:
             self._assert_owner()
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
-        if value < 0 or value > self._his[0]:
+        if value < 0 or value > self._root_hi:
             raise ValueError(
-                f"value {value} outside universe [0, {self._his[0]}]"
+                f"value {value} outside universe [0, {self._root_hi}]"
             )
         self._absorb_slot(self._deepest_slot(value), value, count)
         self._generation += 1
@@ -593,9 +653,11 @@ class ColumnarRapTree:
     def _absorb_slot(self, slot: int, value: int, count: int) -> None:
         """Deposit ``count`` units of ``value`` starting at ``slot``.
 
-        Line-for-line port of ``RapTree._absorb`` onto slots; every
-        threshold comparison uses Python ints/floats, so the cascade
-        arithmetic matches the object backend bit for bit.
+        Line-for-line port of ``RapTree._absorb`` onto slots. Every
+        counter read is converted to a Python int before the float
+        threshold comparison (CPython compares int vs float exactly at
+        any magnitude; numpy would round the int64 side past 2**53), so
+        the cascade arithmetic matches the object backend bit for bit.
         """
         remaining = count
         events = self._events
@@ -603,8 +665,12 @@ class ColumnarRapTree:
         min_th = self._min_threshold
         scheduler = self._scheduler
         stats = self._stats
-        counts = self._counts_list
-        stale = self._mirror_stale
+        vcounts = self._v_counts
+        vitem = self._v_is_item
+        vdirty = self._v_dirty
+        vparents = self._v_parents
+        no_slot = _NO_SLOT
+        cap = self._capacity
         while True:
             next_at = scheduler.next_at
             m_merge = int(next_at - events)
@@ -615,8 +681,8 @@ class ColumnarRapTree:
             m = remaining if remaining < m_merge else m_merge
 
             m_split = 0
-            if self._los[slot] != self._his[slot]:
-                c0 = counts[slot]
+            c0 = vcounts[slot]
+            if not vitem[slot]:
                 cap_th = eps_h * (events + m)
                 if cap_th < min_th:
                     cap_th = min_th
@@ -627,37 +693,77 @@ class ColumnarRapTree:
                     if c0 > int(th1):
                         # Already over threshold before absorbing (merge
                         # churn re-deposited weight): split dry and push
-                        # the whole run down to the covering child.
+                        # the whole run down to the covering child. The
+                        # split may grow (reallocate) the columns and
+                        # rebind the views — re-hoist before the scan.
                         self._split_slot(slot)
-                        slot = self._deepest_slot(value)
+                        if cap != self._capacity:
+                            cap = self._capacity
+                            vcounts = self._v_counts
+                            vitem = self._v_is_item
+                            vdirty = self._v_dirty
+                            vparents = self._v_parents
+                        vlos = self._v_los
+                        vhis = self._v_his
+                        vnext = self._v_next_sibling
+                        child = self._v_first_child[slot]
+                        while child != no_slot and not (
+                            vlos[child] <= value <= vhis[child]
+                        ):
+                            child = vnext[child]
+                        assert child != no_slot, (
+                            "split left the value uncovered"
+                        )
+                        slot = child
                         continue
                     m_split = split_crossing_point(c0, events, eps_h, min_th)
                     if 0 < m_split < m:
                         m = m_split
 
-            counts[slot] += m
-            stale.append(slot)
+            vcounts[slot] = c0 + m
             events += m
             remaining -= m
             self._events = events
-            self._mark_dirty(slot)
+            walk = slot
+            while walk != no_slot and not vdirty[walk]:
+                vdirty[walk] = True
+                walk = vparents[walk]
             split_now = m_split != 0 and m == m_split
             if split_now:
                 self._split_slot(slot)
+                if cap != self._capacity:
+                    cap = self._capacity
+                    vcounts = self._v_counts
+                    vitem = self._v_is_item
+                    vdirty = self._v_dirty
+                    vparents = self._v_parents
             stats.observe_weight(m, self._node_count)
 
             if events >= next_at:
                 self.merge_now()
                 if not remaining:
                     return
-                stale = self._mirror_stale
+                # The merge may have recycled our slot; re-descend from
+                # the root-side finger. (Merges never reallocate the
+                # columns, so the hoisted views stay valid.)
                 slot = self._deepest_slot(value)
             elif not remaining:
+                self._cached_slot = slot
                 return
             else:
-                # A split boundary was hit with units left: descend into
-                # the fresh child (the deepest cover after our split).
-                slot = self._deepest_slot(value)
+                # A split boundary was hit with units left: descend one
+                # level into the covering child of the just-split slot
+                # (a sibling-chain scan — no full finger search needed).
+                vlos = self._v_los
+                vhis = self._v_his
+                vnext = self._v_next_sibling
+                child = self._v_first_child[slot]
+                while child != no_slot and not (
+                    vlos[child] <= value <= vhis[child]
+                ):
+                    child = vnext[child]
+                assert child != no_slot, "split left the value uncovered"
+                slot = child
 
     # ------------------------------------------------------------------
     # Updates — vectorized batch ingest
@@ -671,14 +777,12 @@ class ColumnarRapTree:
         used outright so those hooks see every event.
         """
         items = values if isinstance(values, list) else list(values)
-        self._ingest(items, None)
+        self._ingest(items, True)
 
     def add_counted(self, pairs: Iterable[Tuple[int, int]]) -> None:
         """Feed pre-combined ``(value, count)`` pairs in arrival order."""
         items = pairs if isinstance(pairs, list) else list(pairs)
-        self._ingest(
-            [pair[0] for pair in items], [pair[1] for pair in items]
-        )
+        self._ingest(items, False)
 
     def add_batch(self, pairs: Iterable[Tuple[int, int]]) -> None:
         """Feed ``(value, count)`` pairs, sorted once and routed in bulk.
@@ -686,10 +790,7 @@ class ColumnarRapTree:
         Observably identical to ``add_counted(sorted(pairs))`` — the
         same contract as the object backend's batch kernel.
         """
-        items = sorted(pairs)
-        self._ingest(
-            [pair[0] for pair in items], [pair[1] for pair in items]
-        )
+        self._ingest(sorted(pairs), False)
 
     def add_stream(self, values: Iterable[int], combine_chunk: int = 0) -> None:
         """Feed a stream, optionally combining duplicates per chunk."""
@@ -708,15 +809,19 @@ class ColumnarRapTree:
         if chunk:
             self.add_batch(chunk.items())
 
-    def _ingest(
-        self, values: List[int], counts: Optional[List[int]]
-    ) -> None:
+    def _ingest(self, items: Sequence, ones: bool) -> None:
         """Shared bulk kernel behind extend/add_counted/add_batch.
 
-        Alternates vectorized rounds (apply the provably-inline prefix
-        in one bincount scatter) with exact scalar stretches around
-        split and merge boundaries. ``counts is None`` means all ones
-        (a raw stream).
+        One vectorized round per window: scatter the provably-safe
+        positions, replay the holdouts through the exact scalar cascade
+        (see the module docstring). Items a round cannot start on —
+        merge triggers and malformed items — go through :meth:`add`,
+        which fires the merge mid-count or raises exactly like the
+        object backend. ``ones`` means ``items`` is a raw value stream;
+        otherwise it is a list of ``(value, count)`` pairs, consumed
+        as-is (the scalar kernel unpacks the tuples exactly like the
+        object backend's loops — no column transpose unless a
+        vectorized round actually runs).
         """
         if self._confined_ident is not None:
             self._assert_owner()
@@ -724,211 +829,521 @@ class ColumnarRapTree:
         if stats.sample_every > 0 or self._audit_every:
             # Sampling/audit hooks must see every event: per-event path.
             add = self.add
-            if counts is None:
-                for value in values:
+            if ones:
+                for value in items:
                     add(value)
             else:
-                for value, count in zip(values, counts):
+                for value, count in items:
                     add(value, count)
             return
-        total = len(values)
+        total = len(items)
         if not total:
             return
-        try:
-            varr = np.asarray(values, dtype=np.uint64)
-            carr = (
-                np.ones(total, dtype=np.int64)
-                if counts is None
-                else np.asarray(counts, dtype=np.int64)
-            )
-        except (OverflowError, TypeError, ValueError):
-            # Out-of-dtype input (negative / huge / non-integer values):
-            # take the exact per-item path, which raises the same errors
-            # at the same item the object backend would.
-            add = self.add
-            if counts is None:
-                for value in values:
-                    add(value)
-            else:
-                for value, count in zip(values, counts):
-                    add(value, count)
-            return
-
-        root_hi = self._his[0]
-        # Precomputed per-ingest: running event totals after each item
-        # (events at any point is the start total plus this prefix — every
-        # item deposits exactly once, in order) and the positions of
-        # items the bulk path must hand to add() for error parity.
-        cum_counts = np.cumsum(carr)
-        invalid_at = np.flatnonzero(
-            (varr > np.uint64(root_hi)) | (carr <= 0)
-        )
-        ones = counts is None
-        pending_events = 0
-        pending_updates = 0
+        # All numpy-side state is computed lazily on the first
+        # vectorized round: storm-mode windows run on the Python lists
+        # directly (validity checked inline, like the object backend's
+        # fast loops), so a fully-stormed ingest never pays the
+        # list-to-array conversion at all. ``varr is None`` doubles as
+        # the not-yet-converted marker; ``cum_counts`` holds running
+        # event totals after each item (events at any point is the
+        # start total plus this prefix — every item deposits exactly
+        # once, in order) and ``invalid_at`` the positions the vector
+        # path must hand to add() for error parity.
+        varr = None
+        carr = None
+        cum_counts = None
+        invalid_at = None
         index = 0
         window = _WINDOW_START
-        streak_limit = _STREAK_MIN
-        # The owner cache only spans one ingest (indices are into this
-        # call's varr).
-        self._owner_cache = None
-        self._splits_since_round = []
-        self._merged_since_round = False
+        # Storm mode: while thresholds are tiny (cold tree, small n)
+        # nearly every item is a true crossing, so a vectorized round
+        # would compute masks just to route the whole window into the
+        # replay loop. Run those windows through the scalar kernel
+        # directly and come back to vectorized rounds once crossings
+        # thin out. The flag persists across calls (chunked feeders
+        # re-enter here mid-storm).
+        storm = self._storm
+        calm = self._calm
         try:
             while index < total:
-                if total - index >= _MIN_VECTOR_TAIL:
-                    index, applied, hit_end = self._vector_round(
-                        varr, carr, cum_counts, invalid_at, ones,
-                        index, window,
+                if total - index < _MIN_VECTOR_TAIL:
+                    # Short tail: the scalar kernel, storm or not (it is
+                    # the exact cascade, just without the numpy round).
+                    next_index, fallbacks = self._scalar_run(
+                        items, ones, index, total - index
                     )
-                    if hit_end:
-                        # The whole window went in: open it wider and
-                        # drop back to eager re-vectorization.
-                        if window < _WINDOW_MAX:
-                            window *= 2
-                        streak_limit = _STREAK_MIN
+                    if next_index == index:
+                        # Malformed item at the head: add() raises the
+                        # object backend's exact error.
+                        if ones:
+                            self.add(items[index])
+                        else:
+                            self.add(*items[index])
+                        index += 1
                         continue
-                    # Blocked round: retarget the window to roughly twice
-                    # what this round managed (bounding how much owner
-                    # lookup a future blocked round throws away), and
-                    # lengthen the scalar stretch if rounds are applying
-                    # almost nothing (boundary-cluster phases).
-                    resized = 2 * applied
-                    if resized < _WINDOW_MIN:
-                        resized = _WINDOW_MIN
-                    elif resized > _WINDOW_MAX:
-                        resized = _WINDOW_MAX
-                    if resized < window:
-                        window = resized
-                    if applied < _ROUND_MISS and streak_limit < _STREAK_MAX:
-                        streak_limit *= 2
-                    if index >= total:
-                        break
-                # Boundary cluster (or a short tail): exact scalar mode —
-                # the object backend's inline fast path with the finger
-                # descent inlined — until the stream fits inline again.
-                streak = 0
-                los = self._los
-                his = self._his
-                parents = self._parents
-                first_child = self._first_child
-                next_sibling = self._next_sibling
-                dirty = self._dirty
-                counts_list = self._counts_list
-                stale = self._mirror_stale
-                eps_h = self._eps_over_height
-                min_th = self._min_threshold
-                scheduler = self._scheduler
-                slot = self._cached_slot
-                while index < total and streak < streak_limit:
-                    value = values[index]
-                    count = 1 if ones else counts[index]
-                    if count > 0 and 0 <= value <= root_hi:
-                        if value < los[slot] or value > his[slot]:
-                            slot = parents[slot]
-                            while slot != _NO_SLOT and (
-                                value < los[slot] or value > his[slot]
-                            ):
-                                slot = parents[slot]
-                            if slot == _NO_SLOT:
-                                slot = 0
-                        while True:
-                            child = first_child[slot]
-                            while child != _NO_SLOT:
-                                if los[child] > value:
-                                    child = _NO_SLOT
-                                    break
-                                if value <= his[child]:
-                                    break
-                                child = next_sibling[child]
-                            if child == _NO_SLOT:
-                                break
-                            slot = child
-                        n = self._events + count
-                        if n < scheduler.next_at:
-                            if los[slot] == his[slot]:
-                                fits = True
-                            else:
-                                threshold = eps_h * n
-                                if threshold < min_th:
-                                    threshold = min_th
-                                fits = counts_list[slot] + count <= threshold
-                            if fits:
-                                counts_list[slot] += count
-                                stale.append(slot)
-                                self._events = n
-                                if not dirty[slot]:
-                                    self._mark_dirty(slot)
-                                pending_events += count
-                                pending_updates += 1
-                                streak += 1
+                    consumed = next_index - index
+                    index = next_index
+                    if 64 * fallbacks > consumed:
+                        storm = True
+                        calm = 0
+                    else:
+                        calm += 1
+                        if calm >= 2:
+                            storm = False
+                    continue
+                if storm:
+                    next_index, fallbacks = self._scalar_run(
+                        items, ones, index, window
+                    )
+                    if next_index == index:
+                        # Malformed item at the head: add() raises the
+                        # object backend's exact error.
+                        if ones:
+                            self.add(items[index])
+                        else:
+                            self.add(*items[index])
+                        index += 1
+                        continue
+                    consumed = next_index - index
+                    index = next_index
+                    # Leave the storm only when true crossings have
+                    # been rare for two windows running: the vectorized
+                    # rounds win solely through the safe scatter, a
+                    # single crossing owner can drag its whole camp
+                    # into the (pricier) replay loop, and one quiet
+                    # window mid-storm is usually just the gap between
+                    # split bursts.
+                    if 64 * fallbacks > consumed:
+                        storm = True
+                        calm = 0
+                    else:
+                        calm += 1
+                        if calm >= 2:
+                            storm = False
+                    continue
+                if varr is None:
+                    try:
+                        if ones:
+                            varr = np.asarray(items, dtype=np.uint64)
+                            carr = None
+                        else:
+                            vcols, ccols = zip(*items)
+                            varr = np.asarray(vcols, dtype=np.uint64)
+                            carr = np.asarray(ccols, dtype=np.int64)
+                    except (OverflowError, TypeError, ValueError):
+                        # Out-of-dtype input (negative / huge /
+                        # non-integer values): finish on the exact
+                        # per-item path, which raises the same errors
+                        # at the same item the object backend would.
+                        add = self.add
+                        if ones:
+                            while index < total:
+                                add(items[index])
                                 index += 1
-                                continue
-                    if pending_events:
-                        stats.observe_batch(
-                            pending_events, pending_updates, self._node_count
+                        else:
+                            while index < total:
+                                add(*items[index])
+                                index += 1
+                        break
+                    if ones:
+                        invalid_at = np.flatnonzero(
+                            varr > np.uint64(self._root_hi)
                         )
-                        pending_events = 0
-                        pending_updates = 0
-                    self._cached_slot = slot
-                    self.add(value, count)
-                    # add() may merge, which swaps the stale list and
-                    # resets the finger.
-                    stale = self._mirror_stale
-                    slot = self._cached_slot
-                    streak = 0
-                    index += 1
-                self._cached_slot = slot
-        finally:
-            if pending_events:
-                stats.observe_batch(
-                    pending_events, pending_updates, self._node_count
+                    else:
+                        invalid_at = np.flatnonzero(
+                            (varr > np.uint64(self._root_hi)) | (carr <= 0)
+                        )
+                        cum_counts = np.cumsum(carr)
+                next_index, holdouts = self._vector_round(
+                    varr, carr, cum_counts, invalid_at, ones, index, window
                 )
+                if next_index == index:
+                    # Blocked at the head: merge trigger or malformed
+                    # item — the scalar port decides authoritatively.
+                    if ones:
+                        self.add(items[index])
+                    else:
+                        self.add(*items[index])
+                    index += 1
+                    continue
+                consumed = next_index - index
+                index = next_index
+                storm = 4 * holdouts >= consumed
+                if storm:
+                    calm = 0
+                # Window adaptation: long windows amortize the numpy
+                # overhead but stale-threshold more items into holdouts;
+                # track the observed holdout fraction.
+                if 8 * holdouts <= consumed:
+                    if consumed == window and window < _WINDOW_MAX:
+                        window *= 2
+                elif 4 * holdouts >= consumed and window > _WINDOW_MIN:
+                    window //= 2
+        finally:
+            self._storm = storm
+            self._calm = calm
             self._generation += 1
             self._view_root = None
 
-    def _vector_round(
+    def _scalar_run(
+        self,
+        items: Sequence,
+        ones: bool,
+        start: int,
+        window: int,
+    ) -> Tuple[int, int]:
+        """Storm-mode window: the exact scalar kernel, no vector pass.
+
+        This is the replay loop of :meth:`_vector_round` applied to the
+        whole window — finger search, inline fit check, full cascade
+        only on true threshold/merge crossings, consecutive equal
+        values run-combined — without first computing a safe mask that
+        a cold window would route to the replay anyway. Semantics are
+        the scalar port's by construction; there is no mask to prove
+        anything about. Runs on the Python list directly (no array
+        conversion, and for counted feeds no column transpose — the
+        pair tuples are unpacked in place, exactly like the object
+        backend's loops): malformed items — out-of-universe values,
+        non-positive counts — are detected inline and stop the window
+        at their position. Returns ``(next_index, fallbacks)`` where
+        ``fallbacks`` counts full-cascade deposits — the storm-exit
+        signal (few crossings means thresholds have outgrown typical
+        deposits and the vectorized rounds pay again). A return of
+        ``start`` means a malformed item sits at the head; the caller
+        routes it through add() for error parity.
+        """
+        total = len(items)
+        end = start + window
+        if end > total:
+            end = total
+        absorb = self._absorb_slot
+        scheduler = self._scheduler
+        stats = self._stats
+        eps_h = self._eps_over_height
+        min_th = self._min_threshold
+        root_hi = self._root_hi
+        next_at_now = scheduler.next_at
+        vcounts = self._v_counts
+        vitem = self._v_is_item
+        vdirty = self._v_dirty
+        vparents = self._v_parents
+        vlos = self._v_los
+        vhis = self._v_his
+        vfirst = self._v_first_child
+        vnext = self._v_next_sibling
+        cached = self._cached_slot
+        no_slot = _NO_SLOT
+        cap = self._capacity
+        pending_weight = 0
+        pending_updates = 0
+        fallbacks = 0
+        evt = self._events
+        # Leaf cache: between fallbacks no split, merge or grow can
+        # happen, so the deepest leaf that took the last deposit — its
+        # bounds, is_item flag and running counter — stays valid as
+        # plain Python ints. A stream camped on one leaf then deposits
+        # with a single column store and zero reads. ``flo > fhi``
+        # marks the cache empty; every cascade invalidates it.
+        floc = 0
+        flo = 1
+        fhi = 0
+        fitem = False
+        fcount = 0
+        if ones:
+            # Raw stream: indexed loop so consecutive equal values
+            # (common in address traces) combine into one deposit.
+            i = start
+            while i < end:
+                value = items[i]
+                if value < 0 or value > root_hi:
+                    end = i
+                    break
+                j = i + 1
+                while j < end and items[j] == value:
+                    j += 1
+                item_count = j - i
+                i = j
+                if flo <= value <= fhi:
+                    # Cached-leaf fast path: one store, no reads.
+                    landed = evt + item_count
+                    if landed < next_at_now:
+                        if fitem:
+                            fits = True
+                        else:
+                            th = eps_h * landed
+                            if th < min_th:
+                                th = min_th
+                            # Python int vs float: exact at any
+                            # magnitude.
+                            fits = fcount + item_count <= th
+                        if fits:
+                            fcount += item_count
+                            vcounts[floc] = fcount
+                            evt = landed
+                            pending_weight += item_count
+                            pending_updates += item_count
+                            continue
+                    slot = floc
+                else:
+                    # Inline finger search (the body of _deepest_slot,
+                    # with the finger kept in a local across
+                    # iterations).
+                    slot = cached
+                    if value < vlos[slot] or value > vhis[slot]:
+                        slot = vparents[slot]
+                        while slot != no_slot and (
+                            value < vlos[slot] or value > vhis[slot]
+                        ):
+                            slot = vparents[slot]
+                        if slot == no_slot:
+                            slot = 0
+                    # Descent: siblings sit in lo order, so the first
+                    # child whose hi reaches the value is the only
+                    # candidate; one lo read then decides
+                    # covered-vs-gap (merge passes can leave gaps
+                    # between surviving siblings).
+                    while True:
+                        child = vfirst[slot]
+                        while child != no_slot and value > vhis[child]:
+                            child = vnext[child]
+                        if child == no_slot or vlos[child] > value:
+                            break
+                        slot = child
+                    cached = slot
+                    landed = evt + item_count
+                    if landed < next_at_now:
+                        c0 = vcounts[slot]
+                        isit = vitem[slot]
+                        if isit:
+                            fits = True
+                        else:
+                            th = eps_h * landed
+                            if th < min_th:
+                                th = min_th
+                            # Python int vs float: exact at any
+                            # magnitude.
+                            fits = c0 + item_count <= th
+                        if fits:
+                            c0 += item_count
+                            vcounts[slot] = c0
+                            evt = landed
+                            pending_weight += item_count
+                            pending_updates += item_count
+                            if not vdirty[slot]:
+                                walk = slot
+                                while walk != no_slot and not vdirty[walk]:
+                                    vdirty[walk] = True
+                                    walk = vparents[walk]
+                            if vfirst[slot] == no_slot:
+                                # Childless: any in-range value is
+                                # deepest here. (``child == no_slot``
+                                # is weaker — children left of the
+                                # value also end the scan that way,
+                                # and they must keep catching their
+                                # own deposits.)
+                                floc = slot
+                                flo = vlos[slot]
+                                fhi = vhis[slot]
+                                fitem = isit
+                                fcount = c0
+                            continue
+                # True crossing (or merge boundary): the full cascade,
+                # which can split (growing and rebinding the column
+                # views) or merge (moving next_at and recycling slots —
+                # stale finger) — re-hoist the loop locals and drop the
+                # leaf cache.
+                flo = 1
+                fhi = 0
+                self._events = evt
+                absorb(slot, value, item_count)
+                stats.observe_update()
+                fallbacks += 1
+                evt = self._events
+                next_at_now = scheduler.next_at
+                if cap != self._capacity:
+                    # The cascade grew the columns: the memoryviews
+                    # were rebound — re-hoist. (Merges recycle slots
+                    # in place and never reallocate.)
+                    cap = self._capacity
+                    vcounts = self._v_counts
+                    vitem = self._v_is_item
+                    vdirty = self._v_dirty
+                    vparents = self._v_parents
+                    vlos = self._v_los
+                    vhis = self._v_his
+                    vfirst = self._v_first_child
+                    vnext = self._v_next_sibling
+                cached = self._cached_slot
+        else:
+            # Counted pairs: iterate at C speed like the object
+            # backend's fast loops (no run-combining — combined feeds
+            # carry unique values, so the lookahead never pays). Each
+            # pair deposits on its own, exactly like the object
+            # backend's per-pair path.
+            hit_bad = False
+            for value, item_count in items[start:end]:
+                if item_count <= 0 or value < 0 or value > root_hi:
+                    hit_bad = True
+                    break
+                if flo <= value <= fhi:
+                    # Cached-leaf fast path: one store, no reads.
+                    landed = evt + item_count
+                    if landed < next_at_now:
+                        if fitem:
+                            fits = True
+                        else:
+                            th = eps_h * landed
+                            if th < min_th:
+                                th = min_th
+                            # Python int vs float: exact at any
+                            # magnitude.
+                            fits = fcount + item_count <= th
+                        if fits:
+                            fcount += item_count
+                            vcounts[floc] = fcount
+                            evt = landed
+                            pending_weight += item_count
+                            pending_updates += 1
+                            continue
+                    slot = floc
+                else:
+                    slot = cached
+                    if value < vlos[slot] or value > vhis[slot]:
+                        slot = vparents[slot]
+                        while slot != no_slot and (
+                            value < vlos[slot] or value > vhis[slot]
+                        ):
+                            slot = vparents[slot]
+                        if slot == no_slot:
+                            slot = 0
+                    # Descent: siblings sit in lo order, so the first
+                    # child whose hi reaches the value is the only
+                    # candidate; one lo read then decides
+                    # covered-vs-gap (merge passes can leave gaps
+                    # between surviving siblings).
+                    while True:
+                        child = vfirst[slot]
+                        while child != no_slot and value > vhis[child]:
+                            child = vnext[child]
+                        if child == no_slot or vlos[child] > value:
+                            break
+                        slot = child
+                    cached = slot
+                    landed = evt + item_count
+                    if landed < next_at_now:
+                        c0 = vcounts[slot]
+                        isit = vitem[slot]
+                        if isit:
+                            fits = True
+                        else:
+                            th = eps_h * landed
+                            if th < min_th:
+                                th = min_th
+                            # Python int vs float: exact at any
+                            # magnitude.
+                            fits = c0 + item_count <= th
+                        if fits:
+                            c0 += item_count
+                            vcounts[slot] = c0
+                            evt = landed
+                            pending_weight += item_count
+                            pending_updates += 1
+                            if not vdirty[slot]:
+                                walk = slot
+                                while walk != no_slot and not vdirty[walk]:
+                                    vdirty[walk] = True
+                                    walk = vparents[walk]
+                            if vfirst[slot] == no_slot:
+                                # Childless: any in-range value is
+                                # deepest here (see the ones loop).
+                                floc = slot
+                                flo = vlos[slot]
+                                fhi = vhis[slot]
+                                fitem = isit
+                                fcount = c0
+                            continue
+                flo = 1
+                fhi = 0
+                self._events = evt
+                absorb(slot, value, item_count)
+                stats.observe_update()
+                fallbacks += 1
+                evt = self._events
+                next_at_now = scheduler.next_at
+                if cap != self._capacity:
+                    # The cascade grew the columns: the memoryviews
+                    # were rebound — re-hoist. (Merges recycle slots
+                    # in place and never reallocate.)
+                    cap = self._capacity
+                    vcounts = self._v_counts
+                    vitem = self._v_is_item
+                    vdirty = self._v_dirty
+                    vparents = self._v_parents
+                    vlos = self._v_los
+                    vhis = self._v_his
+                    vfirst = self._v_first_child
+                    vnext = self._v_next_sibling
+                cached = self._cached_slot
+            if hit_bad:
+                # Recover the malformed pair's index: every pair before
+                # it was valid (the loop deposited them), so the first
+                # invalid position from ``start`` is exactly where the
+                # iteration stopped.
+                at = start
+                while True:
+                    value, item_count = items[at]
+                    if (
+                        item_count <= 0
+                        or value < 0
+                        or value > root_hi
+                    ):
+                        break
+                    at += 1
+                end = at
+        self._events = evt
+        self._cached_slot = cached
+        if pending_updates:
+            stats.observe_batch(
+                pending_weight, pending_updates, self._node_count
+            )
+        return end, fallbacks
+
+    def _vector_round(  # noqa: RAP-LINT023 - holdout replay is the exact scalar port, measured faster inline
         self,
         varr: np.ndarray,
-        carr: np.ndarray,
-        cum_counts: np.ndarray,
+        carr: Optional[np.ndarray],
+        cum_counts: Optional[np.ndarray],
         invalid_at: np.ndarray,
         ones: bool,
         start: int,
         window: int,
-    ) -> Tuple[int, int, bool]:
-        """Apply the longest provably-inline prefix of one window.
+    ) -> Tuple[int, int]:
+        """Consume one window: safe scatter plus exact holdout replay.
 
-        Returns ``(next_index, applied, hit_end)`` — the index of the
-        first unapplied item, how many items went in, and whether the
-        round consumed its whole window (as opposed to stopping on an
-        item the mask could not prove safe).
+        Returns ``(next_index, holdouts)`` — the index of the first
+        unconsumed item and how many items replayed through the scalar
+        cascade (the adaptive window signal). A return of ``start``
+        means the round could not start (merge trigger or malformed
+        item at the head); the caller routes that item through add().
 
-        The fit predicate is a *conservative* form of the object
-        backend's inline fast path: an item is safe if its owner's
-        total deposit over the candidate prefix stays at or below the
-        split threshold of the *first* item. That proves the exact
-        inline condition for every item of the prefix at once — an
-        item's own deposit plus the deposits before it never exceed the
-        prefix total, and thresholds only grow within a round — so one
-        ``bincount`` per round decides the whole mask, no sorting. The
-        prefix also ends before the next merge trigger and before any
-        item ``add()`` must reject. Items left out are handed to the
-        exact scalar path, which replays the object backend's per-item
-        decision authoritatively: the mask routes, it never decides
-        semantics.
+        The fit predicate is exact per *position*: a position is safe
+        when its owner's running deposit through it stays at or below
+        the item's own arrival threshold — the same comparison the
+        scalar cascade would make at that moment (the window is cut
+        before the next merge trigger, so arrival event totals are
+        known up front). Positions at or past their owner's first
+        crossing replay through the scalar cascade with ``events``
+        rewound to each item's arrival value, which reproduces the
+        object backend's split decisions exactly — the mask routes, it
+        never decides semantics.
         """
         self._sync_cover()
-        self._refresh_mirror()
-        total = len(varr)
+        total = varr.size
         if start + window > total:
             window = total - start
         size = self._size
         events_before = self._events
         next_at = self._scheduler.next_at
-        # The provable prefix must stop before the merge trigger and
-        # before any malformed item (out-of-universe value, count <= 0).
-        n_after = None
         if ones:
             # Raw stream: the j-th window item lands at events + j, so
             # the merge cap is a scalar, no prefix array needed.
@@ -938,163 +1353,254 @@ class ColumnarRapTree:
             while events_before + can_take + 1 < next_at:
                 can_take += 1
             limit = window if can_take >= window else max(can_take, 0)
+            n_after = None
         else:
             base = int(cum_counts[start - 1]) if start else 0
             n_after = (
                 cum_counts[start : start + window] - base
             ) + events_before
-            limit = int(np.searchsorted(n_after, next_at))
+            # First item pushing events to >= next_at ends the window
+            # before it. Integral n >= next_at iff n >= ceil(next_at),
+            # so the cut compares int64 against an int64 scalar — exact
+            # at any magnitude (searchsorted against the raw float
+            # would round n_after past 2**53).
+            cap = math.ceil(next_at)
+            if cap > _INT64_MAX:
+                limit = window
+            else:
+                limit = int(np.searchsorted(n_after, np.int64(cap)))
         if invalid_at.size:
             bad_index = np.searchsorted(invalid_at, start)
             if bad_index < invalid_at.size:
                 next_invalid = int(invalid_at[bad_index]) - start
                 if next_invalid < limit:
                     limit = next_invalid
-        applied = 0
-        totals = None
-        if limit:
-            # Owner lookup, reusing the previous round's resolutions for
-            # the stretch it scanned but could not apply. Splits since
-            # then invalidate exactly the positions owned by the split
-            # slots (their regions were handed to new children); merges
-            # invalidate everything.
-            cache = self._owner_cache
-            if self._merged_since_round:
-                cache = None
-                self._merged_since_round = False
-                self._splits_since_round = []
-            reused = None
-            if cache is not None:
-                offset = start - self._owner_cache_start
-                if 0 <= offset < cache.size:
-                    reused = cache[offset : offset + limit]
-                    splits = self._splits_since_round
-                    if splits:
-                        table = np.zeros(size, dtype=np.bool_)
-                        table[splits] = True
-                        stale_at = np.flatnonzero(table[reused])
-                        if stale_at.size:
-                            reused = reused.copy()
-                            reused[stale_at] = self._cov_owner[
-                                np.searchsorted(
-                                    self._cov_starts,
-                                    varr[start + stale_at],
-                                    side="right",
-                                )
-                                - 1
-                            ]
-            if reused is None:
-                owners = self._cov_owner[
-                    np.searchsorted(
-                        self._cov_starts, varr[start : start + limit],
-                        side="right",
-                    )
-                    - 1
-                ]
-            elif reused.size < limit:
-                fresh = self._cov_owner[
-                    np.searchsorted(
-                        self._cov_starts,
-                        varr[start + reused.size : start + limit],
-                        side="right",
-                    )
-                    - 1
-                ]
-                owners = np.concatenate([reused, fresh])
-            else:
-                owners = reused
-            self._owner_cache = owners
-            self._owner_cache_start = start
-            self._splits_since_round = []
-            first_n = (
-                events_before + 1 if ones else int(n_after[0])
+        if limit <= 0:
+            return start, 0
+        owners = self._cov_owner[
+            np.searchsorted(
+                self._cov_starts, varr[start : start + limit], side="right"
             )
-            th0 = self._eps_over_height * first_n
-            if th0 < self._min_threshold:
-                th0 = self._min_threshold
-            # Integer-side threshold: for integral totals, x <= th0 iff
-            # x <= floor(th0), so the mask never compares int64 against
-            # float64 (inexact above 2**53). Clamped to int64 range —
-            # past the clamp every representable total fits anyway.
-            th_int = min(math.floor(th0), _INT64_MAX)
-            counts = self._counts[:size]
+            - 1
+        ]
+        first_n = events_before + 1 if ones else int(n_after[0])
+        th0 = self._eps_over_height * first_n
+        if th0 < self._min_threshold:
+            th0 = self._min_threshold
+        # Integer-side threshold: for integral totals, x <= th0 iff
+        # x <= floor(th0), so the mask never compares int64 against
+        # float64 (inexact above 2**53). Clamped to int64 range —
+        # past the clamp every representable total fits anyway.
+        th_int = min(math.floor(th0), _INT64_MAX)
+        counts = self._counts
+        weights = None if ones else carr[start : start + limit]
+        if ones:
+            totals = np.bincount(owners, minlength=size)
+        else:
+            totals = _exact_bincount(owners, weights, size)
+        owner_ok = self._is_item[:size] | (counts[:size] + totals <= th_int)
+        bad_at = np.flatnonzero(~owner_ok[owners])
+        hold_pos = None
+        if bad_at.size:
+            # The window total overshoots for hot owners that are not
+            # actually about to split — their early items fit even
+            # though the whole window's worth would not. Refine exactly
+            # for just the flagged owners, against each item's *own*
+            # arrival threshold (the th0 pre-filter uses the round's
+            # first — smallest — threshold; late-window items see a
+            # larger n and a larger budget). An item fits iff the
+            # owner's running deposit through it stays at or below
+            # max(eps_h * landed, min_th) with ``landed`` the global
+            # event total after the item — exactly the scalar fast
+            # path's predicate. From the owner's first true crossing
+            # onward every later item is held regardless of threshold:
+            # the crossing splits the owner, so the scalar cascade
+            # routes those items to a fresh child (groupwise
+            # cumulative-OR via a cumsum over the crossing flags).
+            # One groupwise running sum over the flagged positions —
+            # grouped with a stable owner sort so each group keeps
+            # arrival order — replaces a per-owner scan of the window.
+            bowners = owners[bad_at]
+            group_order = np.argsort(bowners, kind="stable")
+            bpos = bad_at[group_order]
+            bowners = bowners[group_order]
+            flagged = bpos.size
+            group_start = np.empty(flagged, dtype=np.bool_)
+            group_start[0] = True
+            np.not_equal(bowners[1:], bowners[:-1], out=group_start[1:])
+            at = np.arange(flagged, dtype=np.int64)
+            heads = np.maximum.accumulate(np.where(group_start, at, 0))
+            owner_base = counts[bowners]
             if ones:
-                totals = np.bincount(owners, minlength=size)
+                running = owner_base + (at - heads) + 1
+                landed = events_before + 1 + bpos
             else:
-                totals = _exact_bincount(
-                    owners, carr[start : start + limit], size
+                wts = weights[bpos]
+                deposited = np.cumsum(wts)
+                running = (
+                    owner_base + deposited - (deposited[heads] - wts[heads])
                 )
-            owner_ok = self._is_item[:size] | (counts + totals <= th_int)
-            bad_at = np.flatnonzero(~owner_ok[owners])
-            if bad_at.size:
-                # The window total overshoots for hot owners that are
-                # not actually about to split — their early items fit
-                # even though the whole window's worth would not. Refine
-                # exactly for just the flagged owners: an owner's items
-                # fit until its own running deposit crosses th0, and
-                # every other owner already passed on its full total.
-                applied = limit
-                for owner in np.unique(owners[bad_at]).tolist():
-                    count0 = int(counts[owner])
-                    if ones:
-                        # Closed form: the k-th occurrence is the first
-                        # over, with the same float predicate (and ±1
-                        # fixup) as the scalar path.
-                        k = int(th0) - count0 + 1
-                        if k < 1:
-                            k = 1
-                        while count0 + k <= th0:
-                            k += 1
-                        while k > 1 and count0 + k - 1 > th0:
-                            k -= 1
-                        first_over = int(
-                            np.flatnonzero(owners == owner)[k - 1]
-                        )
-                    else:
-                        positions = np.flatnonzero(owners == owner)
-                        running = count0 + np.cumsum(
-                            carr[start : start + limit][positions]
-                        )
-                        # running is int64-exact; x > th0 iff
-                        # x > floor(th0) for integral x.
-                        first_over = int(
-                            positions[np.flatnonzero(running > th_int)[0]]
-                        )
-                    if first_over < applied:
-                        applied = first_over
-                if applied < limit:
-                    totals = None
-            else:
-                applied = limit
-        if applied:
-            if applied == limit:
-                sums = totals
-            elif ones:
-                sums = np.bincount(owners[:applied], minlength=size)
+                landed = n_after[bpos]
+            # Integer-side thresholds, vectorized: float64(landed)
+            # rounds exactly like the scalar port's int-to-float
+            # conversion, and integral running > th iff running >
+            # floor(th). Thresholds at or past 2**63 are clamped to
+            # _INT64_MAX (no int64 counter can exceed them) before the
+            # cast, which would otherwise overflow.
+            th_arr = self._eps_over_height * landed.astype(np.float64)
+            np.maximum(th_arr, self._min_threshold, out=th_arr)
+            big = th_arr >= _TWO_POW_63
+            big_any = bool(big.any())
+            if big_any:
+                th_arr[big] = 0.0
+            th_per = np.floor(th_arr).astype(np.int64)
+            if big_any:
+                th_per[big] = _INT64_MAX
+            crossed = running > th_per
+            crossed_csum = np.cumsum(crossed)
+            held = (
+                crossed_csum - (crossed_csum[heads] - crossed[heads])
+            ) > 0
+            hold_mask = np.zeros(limit, dtype=np.bool_)
+            hold_mask[bpos[held]] = True
+            hold_pos = np.flatnonzero(hold_mask)
+            safe_pos = np.flatnonzero(~hold_mask)
+            if ones:
+                sums = np.bincount(owners[safe_pos], minlength=size)
             else:
                 sums = _exact_bincount(
-                    owners[:applied], carr[start : start + applied], size
+                    owners[safe_pos], weights[safe_pos], size
                 )
-            touched = np.flatnonzero(sums)
+            safe_count = int(safe_pos.size)
+        else:
+            sums = totals
+            safe_count = limit
+        touched = np.flatnonzero(sums)
+        if touched.size:
             # Both bincount shapes produce integer sums (unweighted
             # bincount returns intp; _exact_bincount returns int64).
-            deposits = sums[touched]
-            self._counts[touched] += deposits
-            counts_list = self._counts_list
-            dirty = self._dirty
-            for slot, deposit in zip(touched.tolist(), deposits.tolist()):
-                counts_list[slot] += deposit
-                if not dirty[slot]:
-                    self._mark_dirty(slot)
-            self._events = (
-                events_before + applied
-                if ones
-                else int(n_after[applied - 1])
+            counts[touched] += sums[touched]
+            self._mark_dirty_many(touched)
+            safe_weight = (
+                safe_count if ones else int(sums[touched].sum())
             )
             self._stats.observe_batch(
-                self._events - events_before, applied, self._node_count
+                safe_weight, safe_count, self._node_count
             )
-        return start + applied, applied, applied == window
+        holdouts = 0
+        if hold_pos is not None and hold_pos.size:
+            holdouts = int(hold_pos.size)
+            stats = self._stats
+            hold_values = varr[start + hold_pos].tolist()
+            hold_counts = (
+                None if ones else carr[start + hold_pos].tolist()
+            )
+            # Events at each held item's arrival, computed in one
+            # vector op (the cut prefix through its predecessor).
+            if ones:
+                arrivals = (events_before + hold_pos).tolist()
+            else:
+                arrivals = np.where(
+                    hold_pos == 0,
+                    np.int64(events_before),
+                    events_before
+                    + cum_counts[start + hold_pos - 1]
+                    - base,
+                ).tolist()
+            # Replay loop: the same inline fast path as the object
+            # backend's extend kernel. A held item whose whole deposit
+            # fits its deepest cover at its arrival moment (an earlier
+            # holdout's split usually deepened the cover under it) is a
+            # one-store update — only true threshold/merge crossings
+            # take the full cascade. The finger search (_deepest_slot)
+            # resolves in ~O(1) because consecutive holdouts of one
+            # owner sit near each other. Fallbacks can split (growing
+            # and rebinding the column views) or merge (moving
+            # next_at), so the loop re-hoists its locals after each.
+            #
+            # Equal-value holdouts at *consecutive* window positions
+            # collapse into one counted deposit first: the cascade
+            # advances ``events`` per sub-deposit exactly as the object
+            # backend's per-item loop would (same thresholds at every
+            # intermediate total — this is the very equivalence
+            # ``add_counted`` is built on), and consecutiveness
+            # guarantees no other item's arrival lands in between. A
+            # camped stream's holdout storm becomes a handful of
+            # cascade calls instead of thousands.
+            positions_run = hold_pos.tolist()
+            deepest = self._deepest_slot
+            absorb = self._absorb_slot
+            scheduler = self._scheduler
+            eps_h = self._eps_over_height
+            min_th = self._min_threshold
+            next_at_now = scheduler.next_at
+            vcounts = self._v_counts
+            vitem = self._v_is_item
+            vdirty = self._v_dirty
+            vparents = self._v_parents
+            no_slot = _NO_SLOT
+            cap = self._capacity
+            pending_weight = 0
+            pending_updates = 0
+            i = 0
+            n_hold = holdouts
+            while i < n_hold:
+                value = hold_values[i]
+                evt = arrivals[i]
+                item_count = 1 if ones else hold_counts[i]
+                runs = 1
+                j = i + 1
+                while (
+                    j < n_hold
+                    and hold_values[j] == value
+                    and positions_run[j] == positions_run[j - 1] + 1
+                ):
+                    item_count += 1 if ones else hold_counts[j]
+                    runs += 1
+                    j += 1
+                i = j
+                slot = deepest(value)
+                landed = evt + item_count
+                if landed < next_at_now:
+                    c0 = vcounts[slot]
+                    if vitem[slot]:
+                        fits = True
+                    else:
+                        th = eps_h * landed
+                        if th < min_th:
+                            th = min_th
+                        # Python int vs float: exact at any magnitude.
+                        fits = c0 + item_count <= th
+                    if fits:
+                        vcounts[slot] = c0 + item_count
+                        pending_weight += item_count
+                        pending_updates += runs
+                        if not vdirty[slot]:
+                            walk = slot
+                            while walk != no_slot and not vdirty[walk]:
+                                vdirty[walk] = True
+                                walk = vparents[walk]
+                        continue
+                self._events = evt
+                absorb(slot, value, item_count)
+                stats.observe_update()
+                next_at_now = scheduler.next_at
+                if cap != self._capacity:
+                    cap = self._capacity
+                    vcounts = self._v_counts
+                    vitem = self._v_is_item
+                    vdirty = self._v_dirty
+                    vparents = self._v_parents
+            if pending_updates:
+                stats.observe_batch(
+                    pending_weight, pending_updates, self._node_count
+                )
+        # The whole cut is absorbed; land events on the cut's end (the
+        # last holdout's cascade may have left it mid-window).
+        self._events = (
+            events_before + limit if ones else int(n_after[limit - 1])
+        )
+        return start + limit, holdouts
 
     # ------------------------------------------------------------------
     # Split
@@ -1109,35 +1615,93 @@ class ColumnarRapTree:
         marked dirty. The cover splice is queued for the next vectorized
         round rather than applied here.
         """
-        lo = self._los[slot]
-        hi = self._his[slot]
-        kids = self._children_slots(slot)
-        if kids:
-            existing = {(self._los[k], self._his[k]) for k in kids}
+        lo = self._v_los[slot]
+        hi = self._v_his[slot]
+        kid_depth = self._v_depth[slot] + 1
+        if self._v_n_children[slot]:
+            cells = partition_range(lo, hi, self._config.branching)
+            kids = self._children_slots(slot)
+            los = self._v_los
+            his = self._v_his
+            existing = {(los[k], his[k]) for k in kids}
             created = [
-                self._alloc(cell_lo, cell_hi)
-                for cell_lo, cell_hi in partition_range(
-                    lo, hi, self._config.branching
-                )
+                self._alloc(cell_lo, cell_hi, kid_depth)
+                for cell_lo, cell_hi in cells
                 if (cell_lo, cell_hi) not in existing
             ]
+            if created:
+                # _alloc may have grown (reallocated) the columns:
+                # re-read the bounds view before sorting the chain.
+                los = self._v_los
+                merged = [
+                    kid
+                    for _, kid in sorted(
+                        [(los[k], k) for k in kids]
+                        + [(los[k], k) for k in created]
+                    )
+                ]
+                self._set_children(slot, merged)
+                self._node_count += len(created)
+                self._cov_pending.append((slot, created))
         else:
-            created = [
-                self._alloc(cell_lo, cell_hi)
-                for cell_lo, cell_hi in partition_range(
-                    lo, hi, self._config.branching
-                )
-            ]
-        if created:
-            if kids:
-                los = self._los
-                merged = sorted(kids + created, key=los.__getitem__)
-            else:
-                merged = created
-            self._set_children(slot, merged)
+            # Fast path (no surviving children): every cell is fresh
+            # and emitted in ``lo`` order, so the sibling chain is just
+            # the allocation order — allocate the partition cells
+            # directly (the same boundaries ``partition_range``
+            # computes: up to ``b`` near-equal cells, the remainder
+            # spread over the leading ones) and chain them inline.
+            width = hi - lo + 1
+            branching = self._config.branching
+            cells_n = branching if width >= branching else width
+            base_w = width // cells_n
+            extra = width % cells_n
+            # Batched allocation: same pop-then-extend order as
+            # per-cell _alloc calls, but with capacity ensured up
+            # front so no view can rebind mid-loop.
+            while self._size + cells_n - self._free_top > self._capacity:
+                self._grow()
+            free_top = self._free_top
+            size = self._size
+            vfree = self._v_free_slots
+            vlive = self._v_live
+            vlos = self._v_los
+            vhis = self._v_his
+            vdepth = self._v_depth
+            vis_item = self._v_is_item
+            parents = self._v_parents
+            next_sibling = self._v_next_sibling
+            created = []
+            cell_lo = lo
+            for cell_index in range(cells_n):
+                cell_w = base_w + 1 if cell_index < extra else base_w
+                if free_top:
+                    free_top -= 1
+                    kid = vfree[free_top]
+                    vlive[kid] = True
+                else:
+                    kid = size
+                    size += 1
+                cell_hi = cell_lo + cell_w - 1
+                vlos[kid] = cell_lo
+                vhis[kid] = cell_hi
+                vdepth[kid] = kid_depth
+                if cell_w == 1:
+                    vis_item[kid] = True
+                created.append(kid)
+                cell_lo = cell_hi + 1
+            self._free_top = free_top
+            self._size = size
+            prev = created[0]
+            self._v_first_child[slot] = prev
+            parents[prev] = slot
+            for kid in created[1:]:
+                parents[kid] = slot
+                next_sibling[prev] = kid
+                prev = kid
+            next_sibling[prev] = _NO_SLOT
+            self._v_n_children[slot] = len(created)
             self._node_count += len(created)
             self._cov_pending.append((slot, created))
-            self._splits_since_round.append(slot)
         self._mark_dirty(slot)
         self._stats.observe_split()
 
@@ -1148,107 +1712,189 @@ class ColumnarRapTree:
     def merge_now(self) -> int:
         """Run one batched merge pass; returns the number of nodes removed.
 
-        Port of ``RapTree.merge_now`` — the same dirty-frontier walk
-        over slots; a removed node schedules a wholesale cover-index
-        rebuild for the next vectorized round (merges are rare;
-        geometric spacing amortizes the O(nodes) rebuild to nothing).
+        Observably identical to ``RapTree.merge_now`` — the reference's
+        dirty-frontier walk is documented to produce exactly the tree a
+        full post-order pass would, and after either pass every node is
+        clean with exact cached values, so the vectorized full pass in
+        :meth:`_merge_frontier` lands on the same state. The cover index
+        is spliced in place (no rebuild).
         """
         if self._confined_ident is not None:
             self._assert_owner()
+        self._sync_cover()
         threshold = self._config.merge_threshold(self._events)
         before = self._node_count
-        free_before = len(self._free)
         visited = self._merge_frontier(threshold)
         removed = before - self._node_count
         self._stats.observe_merge_batch(removed, nodes_scanned=visited)
         self._scheduler.fired(self._events)
         self._generation += 1
         if removed:
-            self._cov_rebuild = True
-            self._cov_pending.clear()
+            # Recycled slots may be anywhere; park the finger at the root.
             self._cached_slot = 0
-            self._merged_since_round = True
-            self._mirror_all_stale = True
-            self._mirror_stale = []
-            # Reset the recycled slots so _alloc never has to touch the
-            # numpy columns (dead slots must read as count 0: estimate
-            # and total_weight sum the raw counter column).
-            counts_list = self._counts_list
-            recycled = self._free[free_before:]
-            for slot in recycled:
-                counts_list[slot] = 0
-            self._is_item[np.asarray(recycled, dtype=np.int64)] = False
         return removed
 
     def _merge_frontier(self, threshold: float) -> int:
-        """Dirty-frontier post-order merge; returns slots examined.
+        """One vectorized merge pass over the level structure.
 
-        Frames carry ``[slot, next_child_slot, weight_accumulator,
-        kept_children]`` — the chain pointer replaces the object
-        backend's child index, everything else is the same walk.
+        Level-ordered array kernels replace the object backend's
+        post-order frame walk: subtree weights bottom-up (exact int64
+        bincount), collapsibility top-down, chain rebuild and cache
+        finalization wholesale. Equivalent to the reference walk
+        because collapsing is closed under the maximal-subtree rule:
+        a subtree collapses iff its total weight is at or below the
+        threshold, wherever the walk encounters it. Returns the number
+        of slots examined (the whole live set, or 1 on the clean-root
+        early exit — this *is* a full scan, unlike the object walk,
+        which is the price of doing it in constant Python overhead).
         """
-        if not self._dirty[0] and self._cached_min[0] > threshold:
+        if not self._dirty[0] and int(self._cached_min[0]) > threshold:
             return 1
-        visited = 1
-        counts = self._counts_list
+        size = self._size
+        counts = self._counts
+        parents = self._parents
+        live = self._live
+        live_idx = np.flatnonzero(live[:size])
+        visited = int(live_idx.size)
+        levels = self._depth[live_idx]
+        order = np.argsort(levels, kind="stable")
+        by_depth = live_idx[order]
+        level_of = levels[order]
+        max_depth = int(level_of[-1])
+        bounds = np.searchsorted(level_of, np.arange(max_depth + 2))
+        # Subtree weights, bottom-up by level. ``np.add.at`` is an
+        # unbuffered indexed add straight in int64 — exact at any
+        # magnitude (the float64-splitting ``_exact_bincount`` is only
+        # needed where a ``weights=`` accumulation is unavoidable) and,
+        # on the shallow per-level slot groups of a deep tree, several
+        # times cheaper than two bincounts over the whole slot space.
+        subtree = counts[:size].copy()
+        for level in range(max_depth, 0, -1):
+            slots = by_depth[bounds[level] : bounds[level + 1]]
+            np.add.at(subtree, parents[slots], subtree[slots])
+        # Integral weights: w <= threshold iff w <= floor(threshold).
+        if threshold < 0:
+            floor_t = -1
+        else:
+            floor_t = min(math.floor(threshold), _INT64_MAX)
+        collapsible = (subtree <= floor_t) & live[:size]
+        collapsible[0] = False
+        collapsible_idx = np.flatnonzero(collapsible)
+        if collapsible_idx.size == 0:
+            self._finalize_clean(by_depth, bounds, max_depth, subtree, None)
+            return visited
+        # A slot is removed when any ancestor-or-self collapses
+        # (top-down propagation down the levels). Nothing above the
+        # shallowest collapsible slot can inherit a removal, so the
+        # walk starts one level below it — on a deep tree collapses
+        # are usually confined to the fresh camps near the bottom.
+        removed = collapsible.copy()
+        start_level = int(self._depth[collapsible_idx].min()) + 1
+        for level in range(start_level, max_depth + 1):
+            slots = by_depth[bounds[level] : bounds[level + 1]]
+            removed[slots] |= removed[parents[slots]]
+        removed_idx = np.flatnonzero(removed)
+        survives = live[:size] & ~removed
+        # Maximal collapsed subtrees (removed slots whose parent
+        # survives — necessarily collapsible themselves) fold their
+        # whole weight into the surviving parent.
+        tops = removed_idx[survives[parents[removed_idx]]]
+        np.add.at(counts, parents[tops], subtree[tops])
+        # Free the removed slots: reset counters/item flags so dead
+        # slots keep reading as zero, restore the allocation defaults
+        # _alloc relies on (leaf chain head, dirty), push onto the
+        # free stack.
+        counts[removed_idx] = 0
+        self._is_item[removed_idx] = False
+        self._first_child[removed_idx] = _NO_SLOT
+        self._n_children[removed_idx] = 0
+        self._dirty[removed_idx] = True
+        live[removed_idx] = False
+        freed = removed_idx.size
+        self._free_slots[self._free_top : self._free_top + freed] = removed_idx
+        self._free_top += int(freed)
+        self._node_count -= int(freed)
+        surv_idx = np.flatnonzero(survives)
+        self._rebuild_chains(surv_idx)
+        self._finalize_clean(by_depth, bounds, max_depth, subtree, survives)
+        # Cover splice: a value's new deepest cover is the nearest
+        # surviving ancestor of its old one (collapses remove whole
+        # subtrees). Remap owners top-down, then coalesce equal-owner
+        # runs — the result is exactly what _rebuild_cover would emit.
+        ancestor = np.arange(size, dtype=np.int64)
+        for level in range(start_level - 1, max_depth + 1):
+            slots = by_depth[bounds[level] : bounds[level + 1]]
+            gone = slots[removed[slots]]
+            ancestor[gone] = ancestor[parents[gone]]
+        owner_new = ancestor[self._cov_owner]
+        keep = np.empty(owner_new.size, dtype=np.bool_)
+        keep[0] = True
+        np.not_equal(owner_new[1:], owner_new[:-1], out=keep[1:])
+        self._cov_starts = self._cov_starts[keep]
+        self._cov_owner = owner_new[keep]
+        return visited
+
+    def _finalize_clean(
+        self,
+        by_depth: np.ndarray,
+        bounds: np.ndarray,
+        max_depth: int,
+        subtree: np.ndarray,
+        survives: Optional[np.ndarray],
+    ) -> None:
+        """Re-finalize surviving slots as clean with exact cached values.
+
+        ``cached_weight`` is the (collapse-invariant) subtree weight;
+        ``cached_min`` is the bottom-up minimum of subtree weights over
+        the surviving slots — exactly what the reference walk's
+        per-frame ``min`` accumulates.
+        """
+        parents = self._parents
+        minima = subtree.copy()
+        for level in range(max_depth, 0, -1):
+            slots = by_depth[bounds[level] : bounds[level + 1]]
+            if survives is not None:
+                slots = slots[survives[slots]]
+            np.minimum.at(minima, parents[slots], minima[slots])
+        if survives is None:
+            idx = by_depth
+        else:
+            idx = np.flatnonzero(survives)
+        self._cached_weight[idx] = subtree[idx]
+        self._cached_min[idx] = minima[idx]
+        self._dirty[idx] = False
+
+    def _rebuild_chains(self, surv_idx: np.ndarray) -> None:
+        """Rewire every surviving sibling chain in one lexsort.
+
+        Children are grouped by parent and ordered by ``lo`` — the same
+        order every chain already had, so surviving structure is
+        preserved and collapsed children simply vanish.
+        """
+        parents = self._parents
         first_child = self._first_child
         next_sibling = self._next_sibling
-        dirty = self._dirty
-        cached_weight = self._cached_weight
-        cached_min = self._cached_min
-        frames: List[list] = [[0, first_child[0], counts[0], []]]
-        while frames:
-            frame = frames[-1]
-            slot = frame[0]
-            child = frame[1]
-            if child != _NO_SLOT:
-                frame[1] = next_sibling[child]
-                if not dirty[child]:
-                    visited += 1
-                    child_weight = cached_weight[child]
-                    if child_weight <= threshold:
-                        # Unchanged subtree at or below threshold:
-                        # collapse it wholesale without walking it.
-                        counts[slot] += child_weight
-                        subtree = self._subtree_slots(child)
-                        self._node_count -= len(subtree)
-                        for freed in subtree:
-                            self._free_slot(freed)
-                        frame[2] += child_weight
-                        continue
-                    if cached_min[child] > threshold:
-                        # Nothing inside can collapse; keep as is.
-                        frame[2] += child_weight
-                        frame[3].append(child)
-                        continue
-                visited += 1
-                frames.append([child, first_child[child], counts[child], []])
-                continue
-            # All children resolved: finalize this slot.
-            frames.pop()
-            weight = frame[2]
-            kept = frame[3]
-            self._set_children(slot, kept)
-            cached_weight[slot] = weight
-            minimum = weight
-            for kid in kept:
-                kid_min = cached_min[kid]
-                if kid_min < minimum:
-                    minimum = kid_min
-            cached_min[slot] = minimum
-            dirty[slot] = False
-            if frames:
-                parent_frame = frames[-1]
-                parent_frame[2] += weight
-                if weight <= threshold:
-                    # Every child already collapsed into this slot, so it
-                    # is a leaf here (kept is empty).
-                    counts[parent_frame[0]] += weight
-                    self._free_slot(slot)
-                    self._node_count -= 1
-                else:
-                    parent_frame[3].append(slot)
-        return visited
+        n_children = self._n_children
+        first_child[surv_idx] = _NO_SLOT
+        next_sibling[surv_idx] = _NO_SLOT
+        n_children[surv_idx] = 0
+        kids = surv_idx[surv_idx != 0]
+        if not kids.size:
+            return
+        kid_parents = parents[kids]
+        order = np.lexsort((self._los[kids], kid_parents))
+        kids = kids[order]
+        kid_parents = kid_parents[order]
+        heads = np.empty(kids.size, dtype=np.bool_)
+        heads[0] = True
+        np.not_equal(kid_parents[1:], kid_parents[:-1], out=heads[1:])
+        head_at = np.flatnonzero(heads)
+        first_child[kid_parents[head_at]] = kids[head_at]
+        tail = ~heads[1:]
+        next_sibling[kids[:-1][tail]] = kids[1:][tail]
+        n_children[kid_parents[head_at]] = np.diff(
+            np.append(head_at, kids.size)
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -1256,9 +1902,9 @@ class ColumnarRapTree:
 
     def smallest_covering(self, value: int) -> RapNode:
         """The deepest node whose range covers ``value`` (view node)."""
-        if value < 0 or value > self._his[0]:
+        if value < 0 or value > self._root_hi:
             raise ValueError(
-                f"value {value} outside universe [0, {self._his[0]}]"
+                f"value {value} outside universe [0, {self._root_hi}]"
             )
         node = self._materialize()
         while True:
@@ -1278,18 +1924,6 @@ class ColumnarRapTree:
                 return None
             node = child
 
-    def _bounds_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Range bounds of every slot as arrays (query-time gather).
-
-        Queries are orders of magnitude rarer than updates, so the
-        bounds live in lists (fast scalar access) and are gathered on
-        demand here.
-        """
-        size = self._size
-        los = np.fromiter(self._los, dtype=np.uint64, count=size)
-        his = np.fromiter(self._his, dtype=np.uint64, count=size)
-        return los, his
-
     def estimate(self, lo: int, hi: int) -> int:
         """Lower-bound estimate of events that fell in ``[lo, hi]``.
 
@@ -1301,29 +1935,27 @@ class ColumnarRapTree:
         """
         if lo > hi:
             raise ValueError(f"empty query range [{lo}, {hi}]")
-        root_hi = self._his[0]
+        root_hi = self._root_hi
         if hi < 0 or lo > root_hi:
             return 0
-        self._refresh_mirror()
+        size = self._size
         query_lo = np.uint64(max(lo, 0))
         query_hi = np.uint64(min(hi, root_hi))
-        los, his = self._bounds_arrays()
-        mask = (los >= query_lo) & (his <= query_hi)
-        return int(self._counts[: self._size][mask].sum())
+        mask = (self._los[:size] >= query_lo) & (self._his[:size] <= query_hi)
+        return int(self._counts[:size][mask].sum())
 
     def estimate_upper(self, lo: int, hi: int) -> int:
         """Upper-bound estimate: every overlapping counter contributes."""
         if lo > hi:
             raise ValueError(f"empty query range [{lo}, {hi}]")
-        root_hi = self._his[0]
+        root_hi = self._root_hi
         if hi < 0 or lo > root_hi:
             return 0
-        self._refresh_mirror()
+        size = self._size
         query_lo = np.uint64(max(lo, 0))
         query_hi = np.uint64(min(hi, root_hi))
-        los, his = self._bounds_arrays()
-        mask = (los <= query_hi) & (his >= query_lo)
-        return int(self._counts[: self._size][mask].sum())
+        mask = (self._los[:size] <= query_hi) & (self._his[:size] >= query_lo)
+        return int(self._counts[:size][mask].sum())
 
     def nodes(self) -> Iterator[RapNode]:
         """Pre-order iteration over the materialized view."""
@@ -1341,24 +1973,90 @@ class ColumnarRapTree:
         Dead slots hold count 0 (reset at merge time), so the raw
         column sum is the tree total.
         """
-        self._refresh_mirror()
         return int(self._counts[: self._size].sum())
 
     def depth(self) -> int:
-        """Height of the tree (root alone has depth 0)."""
-        best = 0
-        stack = [(0, 0)]
-        first_child = self._first_child
-        next_sibling = self._next_sibling
-        while stack:
-            slot, depth = stack.pop()
-            if depth > best:
-                best = depth
-            child = first_child[slot]
-            while child != _NO_SLOT:
-                stack.append((child, depth + 1))
-                child = next_sibling[child]
-        return best
+        """Height of the tree (root alone has depth 0).
+
+        The depth column is maintained at allocation time (merges never
+        re-depth a surviving node), so this is a masked max, not a walk.
+        """
+        size = self._size
+        return int(self._depth[:size][self._live[:size]].max())
+
+    def _hot_range_rows(
+        self, cutoff: float
+    ) -> List[Tuple[int, int, int, int, int]]:
+        """Hot nodes as ``(lo, hi, exclusive, inclusive, depth)`` rows.
+
+        The vectorized port of :func:`repro.core.hot_ranges.find_hot_ranges`'
+        post-order walk: inclusive weights are plain subtree sums;
+        exclusive weights fold in only the children that are themselves
+        below the cutoff, accumulated level by level. The float cutoff
+        is compared on the integer side (``e < cutoff`` iff
+        ``e <= ceil(cutoff) - 1`` for integral ``e``), matching the
+        reference's exact int-float comparisons.
+
+        Rows are ordered exactly as the reference walk appends them —
+        post-order position, which over a laminar range family is
+        ``(hi ascending, depth descending)`` — so the caller's stable
+        sort by weight produces the identical final order, ties and all.
+
+        Everything runs on the *compacted* live set (``node_count``
+        rows), not the slot space: inclusive weights come from one
+        int64 prefix sum over the preorder layout (a subtree is a
+        contiguous preorder run — laminar family, siblings disjoint —
+        whose end is the first later position with ``lo > hi``), and
+        the exclusive fold walks levels through a compact parent-
+        position map with ``np.add.at``. Cost is O(n log n) in the
+        live node count, independent of tree depth and slot capacity.
+        """
+        size = self._size
+        live_idx = np.flatnonzero(self._live[:size])
+        n = int(live_idx.size)
+        depth = self._depth[live_idx]
+        # Preorder: lo ascending, ancestors (shallower) before equal-lo
+        # descendants.
+        order = np.lexsort((depth, self._los[live_idx]))
+        slots = live_idx[order]
+        pre_los = self._los[slots]
+        pre_his = self._his[slots]
+        pre_depth = depth[order]
+        pre_counts = self._counts[slots]
+        csum = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(pre_counts, out=csum[1:])
+        ends = np.searchsorted(pre_los, pre_his, side="right")
+        inclusive = csum[ends] - csum[:n]
+        cut_m1 = min(math.ceil(cutoff) - 1, _INT64_MAX)
+        # Exclusive fold, bottom-up by level: a child below the cutoff
+        # donates its (already folded) weight to its parent. np.add.at
+        # accumulates duplicates exactly in int64.
+        pos_of = np.empty(size, dtype=np.int64)
+        pos_of[slots] = np.arange(n, dtype=np.int64)
+        parent_pos = pos_of[self._parents[slots]]
+        by_depth = np.argsort(pre_depth, kind="stable")
+        level_of = pre_depth[by_depth]
+        max_depth = int(level_of[-1]) if n else 0
+        bounds = np.searchsorted(level_of, np.arange(max_depth + 2))
+        exclusive = pre_counts.astype(np.int64, copy=True)
+        for level in range(max_depth, 0, -1):
+            rows = by_depth[bounds[level] : bounds[level + 1]]
+            cold = rows[exclusive[rows] <= cut_m1]
+            np.add.at(exclusive, parent_pos[cold], exclusive[cold])
+        hot_rows = np.flatnonzero(exclusive > cut_m1)
+        if not hot_rows.size:
+            return []
+        post = np.lexsort((-pre_depth[hot_rows], pre_his[hot_rows]))
+        hot_rows = hot_rows[post]
+        return list(
+            zip(
+                pre_los[hot_rows].tolist(),
+                pre_his[hot_rows].tolist(),
+                exclusive[hot_rows].tolist(),
+                inclusive[hot_rows].tolist(),
+                pre_depth[hot_rows].tolist(),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Materialized view
@@ -1369,40 +2067,47 @@ class ColumnarRapTree:
 
         Cached per mutation generation: serializers, auditors and folds
         may walk it repeatedly between mutations for free. The view is a
-        snapshot — mutating it does not write back.
+        snapshot — mutating it does not write back. Columns convert via
+        ``tolist`` (one C pass each) so the per-node construction reads
+        Python ints, not numpy scalars.
         """
         if (
             self._view_root is not None
             and self._view_generation == self._generation
         ):
             return self._view_root
-        root = self._view_node(0, None)
+        size = self._size
+        los = self._los[:size].tolist()
+        his = self._his[:size].tolist()
+        counts = self._counts[:size].tolist()
+        first_child = self._first_child[:size].tolist()
+        next_sibling = self._next_sibling[:size].tolist()
+        dirty = self._dirty[:size].tolist()
+        cached_weight = self._cached_weight[:size].tolist()
+        cached_min = self._cached_min[:size].tolist()
+
+        def build(slot: int, parent: Optional[RapNode]) -> RapNode:
+            node = RapNode(
+                los[slot], his[slot], count=counts[slot], parent=parent
+            )
+            node.dirty = dirty[slot]
+            node.cached_weight = cached_weight[slot]
+            node.cached_min = cached_min[slot]
+            return node
+
+        root = build(0, None)
         stack = [(0, root)]
-        first_child = self._first_child
-        next_sibling = self._next_sibling
         while stack:
             slot, node = stack.pop()
             child = first_child[slot]
             while child != _NO_SLOT:
-                view_child = self._view_node(child, node)
+                view_child = build(child, node)
                 node.attach_child(view_child)
                 stack.append((child, view_child))
                 child = next_sibling[child]
         self._view_root = root
         self._view_generation = self._generation
         return root
-
-    def _view_node(self, slot: int, parent: Optional[RapNode]) -> RapNode:
-        node = RapNode(
-            self._los[slot],
-            self._his[slot],
-            count=self._counts_list[slot],
-            parent=parent,
-        )
-        node.dirty = self._dirty[slot]
-        node.cached_weight = self._cached_weight[slot]
-        node.cached_min = self._cached_min[slot]
-        return node
 
     # ------------------------------------------------------------------
     # Validation
@@ -1421,8 +2126,9 @@ class ColumnarRapTree:
         Runs the object backend's full check against the materialized
         view (geometry, conservation, parent pointers, merge-cache
         coherence), then audits the columnar bookkeeping itself: the
-        free list, the live column, the recycled-slot resets, the
-        counter mirror and the cover index.
+        free stack, the live/depth columns, the recycled-slot resets
+        and the incrementally-spliced cover index (compared against a
+        from-scratch rebuild).
         """
         from .tree import RapTree
 
@@ -1438,19 +2144,21 @@ class ColumnarRapTree:
             f"live column counts {len(live_slots)} slots, "
             f"node_count says {self._node_count}"
         )
-        free_set = set(self._free)
-        assert len(free_set) == len(self._free), "free list has duplicates"
+        free_list = self._free_slots[: self._free_top].tolist()
+        free_set = set(free_list)
+        assert len(free_set) == len(free_list), "free stack has duplicates"
         assert len(free_set) + len(live_slots) == size, (
-            "free list and live column disagree on slot accounting"
+            "free stack and live column disagree on slot accounting"
         )
-        for slot in self._free:
+        for slot in free_list:
             assert not self._live[slot], f"free slot {slot} is still live"
-            assert self._counts_list[slot] == 0, (
+            assert self._counts[slot] == 0, (
                 f"free slot {slot} holds a nonzero count"
             )
             assert not self._is_item[slot], (
                 f"free slot {slot} still flagged as an item"
             )
+        assert int(self._depth[0]) == 0, "root depth must be 0"
         for slot in live_slots:
             kids = self._children_slots(slot)
             assert self._n_children[slot] == len(kids), (
@@ -1464,10 +2172,9 @@ class ColumnarRapTree:
                 assert self._parents[kid] == slot, (
                     f"child {kid} has wrong parent pointer"
                 )
-        self._refresh_mirror()
-        assert self._counts[:size].tolist() == self._counts_list, (
-            "counter mirror diverged from the canonical counters"
-        )
+                assert self._depth[kid] == self._depth[slot] + 1, (
+                    f"child {kid} depth disagrees with parent {slot}"
+                )
         self._sync_cover()
         expected_starts = self._cov_starts
         expected_owner = self._cov_owner

@@ -79,8 +79,27 @@ def find_hot_ranges(
     if events == 0:
         return []
     cutoff = hot_fraction * events
-    found: List[HotRange] = []
-    _walk(tree.root, cutoff, events, 0, found)
+    rows = getattr(tree, "_hot_range_rows", None)
+    if rows is not None:
+        # Columnar fast path: the backend computes the same post-order
+        # exclusive/inclusive fold with level-wise array kernels and
+        # returns rows in the reference walk's append order, so the
+        # stable sort below reproduces the object ordering exactly,
+        # ties included.
+        found = [
+            HotRange(
+                lo=lo,
+                hi=hi,
+                weight=exclusive,
+                fraction=exclusive / events,  # noqa: RAP-LINT006 - intentional float statistic
+                depth=depth,
+                inclusive_weight=inclusive,
+            )
+            for lo, hi, exclusive, inclusive, depth in rows(cutoff)
+        ]
+    else:
+        found = []
+        _walk(tree.root, cutoff, events, 0, found)
     found.sort(key=lambda item: item.weight, reverse=True)
     return found
 

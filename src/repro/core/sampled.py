@@ -147,3 +147,6 @@ class SampledRapTree:
 
     def memory_bytes(self, bits_per_node: int = 128) -> int:
         return self._tree.memory_bytes(bits_per_node)
+
+    def modeled_memory_bytes(self, bits_per_node: int = 128) -> int:
+        return self._tree.modeled_memory_bytes(bits_per_node)

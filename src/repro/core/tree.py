@@ -151,7 +151,18 @@ class RapTree:
         return self._config.epsilon * self._events
 
     def memory_bytes(self, bits_per_node: int = 128) -> int:
-        """Current memory footprint at the paper's 128 bits/node (§4.2)."""
+        """Current memory footprint at the paper's 128 bits/node (§4.2).
+
+        For the object backend the model *is* the report — a linked
+        Python object graph has no hardware-meaningful byte count. The
+        columnar backend reports its real column allocation here
+        instead; use :meth:`modeled_memory_bytes` when an analysis
+        means the paper's figure regardless of backend.
+        """
+        return (self._node_count * bits_per_node + 7) // 8
+
+    def modeled_memory_bytes(self, bits_per_node: int = 128) -> int:
+        """The paper's memory model, identical across backends (§4.2)."""
         return (self._node_count * bits_per_node + 7) // 8
 
     # ------------------------------------------------------------------

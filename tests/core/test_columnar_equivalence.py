@@ -149,6 +149,92 @@ class TestMixedOperations:
         assert_equivalent(obj, col)
 
 
+class TestCoherenceUnderChurn:
+    """Mutation-generation coherence of the single-copy columnar layout.
+
+    The contiguous kernel keeps exactly one copy of every column, so
+    there is no mirror to refresh — but every *derived* structure (the
+    materialized node view, the cover index, query-side caches keyed on
+    ``mutation_generation``) must still track mutations exactly. These
+    tests interleave every mutating operation with dump/estimate reads
+    so a stale view or a skipped generation bump shows up as a direct
+    divergence from the object backend.
+    """
+
+    def test_mutation_generation_bumps_and_views_track(self):
+        rng = random.Random(stable_seed("coherence"))
+        obj, col = both_trees(1e-2)
+        # Mirror every op onto both trees with identical inputs.
+        for step in range(12):
+            kind = rng.choice(["add", "extend", "add_counted", "add_batch"])
+            if kind == "add":
+                value, count = rng.randrange(UNIVERSE), rng.randint(1, 60)
+                inputs = [(value, count)]
+            else:
+                inputs = [
+                    (rng.randrange(UNIVERSE), rng.randint(1, 12))
+                    for _ in range(rng.randint(64, 500))
+                ]
+            before = col.mutation_generation
+            if kind == "add":
+                obj.add(value, count)
+                col.add(value, count)
+            elif kind == "extend":
+                values = [value for value, _ in inputs]
+                obj.extend(values)
+                col.extend(values)
+            else:
+                getattr(obj, kind)(inputs)
+                getattr(col, kind)(inputs)
+            assert col.mutation_generation > before, (
+                f"{kind} did not bump mutation_generation"
+            )
+            # Reads between mutations must reflect the newest state:
+            # a stale cached view would reproduce the previous epoch.
+            assert dump_tree(col) == dump_tree(obj)
+            for _ in range(4):
+                lo = rng.randrange(UNIVERSE)
+                hi = rng.randrange(lo, UNIVERSE)
+                assert col.estimate(lo, hi) == obj.estimate(lo, hi)
+                assert col.estimate_upper(lo, hi) == obj.estimate_upper(lo, hi)
+            assert col.total_weight() == col.events
+        before = col.mutation_generation
+        obj.merge_now()
+        col.merge_now()
+        assert col.mutation_generation > before
+        assert_equivalent(obj, col)
+
+    def test_free_list_churn_split_merge_free_realloc_cycles(self):
+        """Camp/collapse cycles: slots split into existence, merge back
+        onto the free stack, and get recycled by the next camp.
+
+        Each cycle camps the stream in a fresh narrow window (forcing
+        split cascades and fresh allocations), then fires an explicit
+        merge pass (collapsing the previous camp and freeing its slots).
+        The columnar tree must stay dump-identical to the object tree
+        through every cycle while its free list actually churns.
+        """
+        rng = random.Random(stable_seed("churn"))
+        obj, col = both_trees(1e-2)
+        saw_free_slots = False
+        saw_reuse = False
+        for cycle in range(6):
+            base = rng.randrange(UNIVERSE - 2048)
+            values = [base + rng.randrange(512) for _ in range(2_000)]
+            free_before = col._free_top  # noqa: SLF001 - churn probe
+            obj.extend(values)
+            col.extend(values)
+            if col._free_top < free_before:  # noqa: SLF001 - churn probe
+                saw_reuse = True
+            obj.merge_now()
+            col.merge_now()
+            if col._free_top > 0:  # noqa: SLF001 - churn probe
+                saw_free_slots = True
+            assert_equivalent(obj, col)
+        assert saw_free_slots, "merge passes never freed a slot"
+        assert saw_reuse, "allocation never reused a freed slot"
+
+
 class TestExtremeCounts:
     """Exactness of the vectorized fit mask above 2**53.
 
