@@ -65,6 +65,19 @@ def _multi_shard(values, universe, backend="object"):
     )
 
 
+def _process_shard(values, universe, backend="columnar"):
+    """The multiprocess path: same partition/budget, worker processes
+    over shared-memory columnar trees fed raw partitioned frames that
+    each worker duplicate-combines in its own combining buffer."""
+    return Profiler(
+        RapConfig(range_max=universe, epsilon=EPSILON, backend=backend),
+        shards=SHARDS,
+        executor="process",
+        shard_epsilon=SHARDS * EPSILON,
+        batch_size=BATCH,
+    )
+
+
 def _timed_ingest(profiler, values):
     """The measured section: producer dispatch plus, for threaded
     profilers, ``drain()`` so every accepted batch is applied before
@@ -104,6 +117,17 @@ def test_runtime_single_shard_ingest(benchmark, value_stream):
 def test_runtime_multi_shard_ingest(benchmark, backend, value_stream):
     def make(values, universe):
         return _multi_shard(values, universe, backend)
+
+    _bench_ingest(benchmark, make, *value_stream)
+
+
+# Parametrized like the threaded row so the two lineages pair by
+# backend; only "columnar" exists — the process executor keeps shard
+# trees in shared-memory column arrays by construction.
+@pytest.mark.parametrize("backend", ["columnar"])
+def test_runtime_process_shard_ingest(benchmark, backend, value_stream):
+    def make(values, universe):
+        return _process_shard(values, universe, backend)
 
     _bench_ingest(benchmark, make, *value_stream)
 
@@ -155,4 +179,47 @@ def test_multi_shard_speedup_is_at_least_2x(value_stream):
         assert speedup >= 2.0, (
             f"multi-shard ingest only {speedup:.2f}x the single-shard "
             f"baseline at {EVENTS} events (required >= 2x)"
+        )
+
+
+def test_process_speedup_is_at_least_1_5x(value_stream):
+    """The ``executor="process"`` acceptance gate, at the full 50k scale.
+
+    Same methodology as the 2x floor above — pure ingest plus
+    ``drain()``, best of three — comparing the multiprocess executor
+    against the threaded executor on the *same* columnar backend, so
+    the ratio isolates what the process executor adds: no GIL over the
+    shard kernels, raw-frame dispatch, and each worker's cross-frame
+    combining buffer feeding the cold-start bulk build. Mirrored in CI
+    by ``check_regression.py``'s process-executor gate over the same
+    two rows of ``BENCH_core_throughput.json``. Smoke scales run both
+    paths but skip the floor: process spawn and pipe handshakes
+    dominate there.
+    """
+    values, universe = value_stream
+
+    def timed_ingest(make_profiler, runs=3):
+        best = float("inf")
+        for _ in range(runs):
+            with make_profiler(values, universe) as profiler:
+                start = time.perf_counter()
+                profiler.ingest(values)
+                profiler.drain()
+                best = min(best, time.perf_counter() - start)
+                assert profiler.snapshot().events == EVENTS
+        return best
+
+    threaded = timed_ingest(
+        lambda v, u: _multi_shard(v, u, backend="columnar")
+    )
+    process = timed_ingest(_process_shard)
+    speedup = threaded / process
+    print(
+        f"\nthreaded {EVENTS / threaded:,.0f} ev/s, "
+        f"process {EVENTS / process:,.0f} ev/s ({speedup:.2f}x)"
+    )
+    if EVENTS >= 50_000:
+        assert speedup >= 1.5, (
+            f"process-executor ingest only {speedup:.2f}x the threaded "
+            f"executor at {EVENTS} events (required >= 1.5x)"
         )

@@ -642,6 +642,70 @@ class ColumnarInternalsImportRule(Rule):
                     yield self._flag(context, node)
 
 
+class SharedMemoryImportRule(Rule):
+    code = "RAP-LINT024"
+    name = "raw-shared-memory-import"
+    scope = "all but runtime/shm.py"
+    catches = "imports of multiprocessing.shared_memory outside the arena"
+    rationale = (
+        "the stdlib's shared-memory lifecycle needs three corrections "
+        "(manual resource-tracker ownership, grow-as-remap retirement "
+        "that must not close mapped segments early, prefix-named "
+        "segments for crash sweeps) that live in repro.runtime.shm; a "
+        "raw SharedMemory at any other call site reintroduces the "
+        "unlink races and segfault-on-close hazards the arena exists "
+        "to contain"
+    )
+    example = (
+        "from multiprocessing import shared_memory   "
+        "# outside repro.runtime.shm"
+    )
+    fix = (
+        "allocate through the arena: ShmArena(prefix).allocate(name, "
+        "dtype, capacity) on the owning side, ShmAttachment(table) on "
+        "the attaching side, sweep_prefix(prefix) for crash cleanup "
+        "(all exported from repro.runtime)"
+    )
+
+    # runtime/shm.py *is* the arena — the one sanctioned call site.
+    _exempt_scopes = ("runtime/shm.py",)
+    _target = "multiprocessing.shared_memory"
+
+    def _flag(self, context: LintContext, node: ast.AST) -> Violation:
+        return self.violation(
+            context,
+            node,
+            "imports multiprocessing.shared_memory outside "
+            "repro.runtime.shm; go through ShmArena / ShmAttachment / "
+            "sweep_prefix so segment ownership, retirement and crash "
+            "sweeps stay in one place",
+        )
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if context.in_package(*self._exempt_scopes):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == self._target or alias.name.startswith(
+                        self._target + "."
+                    ):
+                        yield self._flag(context, node)
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                # `from multiprocessing.shared_memory import SharedMemory`
+                names_module = module == self._target or module.startswith(
+                    self._target + "."
+                )
+                # `from multiprocessing import shared_memory`
+                names_parent = module == "multiprocessing" and any(
+                    alias.name == "shared_memory" for alias in node.names
+                )
+                if names_module or names_parent:
+                    yield self._flag(context, node)
+
+
 #: The purely syntactic rules defined in this module. The full
 #: registry — these plus the flow-sensitive RAP-LINT006..010 — lives in
 #: :mod:`repro.checks.lint.registry`.
@@ -655,5 +719,6 @@ SYNTACTIC_RULES: Dict[str, Rule] = {
         WallClockRule(),
         DirectTreeConstructionRule(),
         ColumnarInternalsImportRule(),
+        SharedMemoryImportRule(),
     )
 }

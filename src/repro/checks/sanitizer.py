@@ -33,16 +33,18 @@ package too).
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-#: Mutating TreeBackend methods guarded by owner-thread assertions.
+#: Mutating TreeBackend methods guarded by owner assertions.
 TREE_MUTATORS: Tuple[str, ...] = (
     "add",
     "extend",
     "add_counted",
+    "add_counted_arrays",
     "add_batch",
     "merge_now",
 )
@@ -156,11 +158,19 @@ class RapSanitizer:
         self._state_lock = threading.Lock()
         self._events: Deque[SanitizerEvent] = deque(maxlen=log_capacity)
         self._violations: List[str] = []
-        # id(tree) -> (label, owning thread ident or None when unconfined)
-        self._tree_owner: Dict[int, Tuple[str, Optional[int]]] = {}
+        # id(tree) -> (label, owning (pid, thread ident) or None when
+        # unconfined). The pid half generalizes confinement from the
+        # threaded executor to the process executor: a worker-confined
+        # tree rejects mutation from any other process too.
+        self._tree_owner: Dict[
+            int, Tuple[str, Optional[Tuple[int, int]]]
+        ] = {}
         # id(queue) -> (label, consumer thread ident or None before first take)
         self._queue_consumer: Dict[int, Tuple[str, Optional[int]]] = {}
         self._locks: List[_TrackedLock] = []
+        # label -> latest report() dict received from a remote (worker
+        # process) sanitizer; folded into this sanitizer's report.
+        self._worker_reports: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     # Reporting
@@ -177,15 +187,46 @@ class RapSanitizer:
             return tuple(self._events)
 
     def report(self) -> Dict[str, object]:
-        """Summary dict for CLI output and assertions in tests."""
+        """Summary dict for CLI output and assertions in tests.
+
+        Includes the latest summary merged from every worker-process
+        sanitizer (see :meth:`merge_worker_report`); remote violations
+        are folded into the top-level ``violations`` list, prefixed
+        with the worker's label, so "no violations anywhere" stays a
+        single assertion regardless of executor.
+        """
         with self._state_lock:
+            violations = list(self._violations)
+            for label, summary in sorted(self._worker_reports.items()):
+                for message in summary.get("violations", ()):
+                    violations.append(f"[{label}] {message}")
             return {
                 "events_logged": self._logged,
-                "violations": list(self._violations),
+                "violations": violations,
                 "trees_tracked": len(self._tree_owner),
                 "queues_tracked": len(self._queue_consumer),
                 "locks_tracked": [lock.name for lock in self._locks],
+                "workers": {
+                    label: dict(summary)
+                    for label, summary in sorted(
+                        self._worker_reports.items()
+                    )
+                },
             }
+
+    def merge_worker_report(
+        self, label: str, summary: Dict[str, object]
+    ) -> None:
+        """Fold a worker-process sanitizer's ``report()`` into this one.
+
+        The process executor runs one sanitizer inside each shard
+        worker (the parent cannot wrap objects living in another
+        address space); workers ship their summary dict back with
+        every sync frame and the parent merges the latest one here,
+        keyed by shard label.
+        """
+        with self._state_lock:
+            self._worker_reports[label] = dict(summary)
 
     # ------------------------------------------------------------------
     # Internal bookkeeping
@@ -250,9 +291,9 @@ class RapSanitizer:
 
         def wrap_confine(inner: Callable[[], None]) -> Callable[[], None]:
             def confine() -> None:
-                ident = threading.get_ident()
+                owner = (os.getpid(), threading.get_ident())
                 with self._state_lock:
-                    self._tree_owner[id(tree)] = (label, ident)
+                    self._tree_owner[id(tree)] = (label, owner)
                 self._record("tree.confine", label)
                 inner()
 
@@ -271,15 +312,19 @@ class RapSanitizer:
             method_name: str, inner: Callable[..., Any]
         ) -> Callable[..., Any]:
             def mutate(*args: Any, **kwargs: Any) -> Any:
-                ident = threading.get_ident()
+                here = (os.getpid(), threading.get_ident())
                 with self._state_lock:
                     _, owner = self._tree_owner[id(tree)]
-                if owner is not None and owner != ident:
+                if owner is not None and owner != here:
+                    where = (
+                        "process" if owner[0] != here[0] else "thread"
+                    )
                     self._violation(
                         f"confined tree {label} mutated via "
-                        f".{method_name}() from thread "
-                        f"{threading.current_thread().name}; it is owned "
-                        f"by thread ident {owner}"
+                        f".{method_name}() from the wrong {where} "
+                        f"(thread {threading.current_thread().name}, "
+                        f"pid {here[0]}); it is owned by (pid, thread) "
+                        f"{owner}"
                     )
                 self._record("tree.mutate", f"{label}.{method_name}()")
                 return inner(*args, **kwargs)

@@ -1,13 +1,17 @@
 """Registry + fixture self-check (``python -m repro.checks --selfcheck``).
 
 Every registered rule must carry complete catalog metadata and a
-renderable ``--explain`` block, and every *numeric* rule
-(RAP-LINT018..023) must additionally be demonstrated by checked-in
-fixtures under ``tests/checks/fixtures/numeric/<CODE>/``:
+renderable ``--explain`` block. Two rule families must additionally be
+demonstrated by checked-in fixtures: the *numeric* rules
+(RAP-LINT018..023, under ``tests/checks/fixtures/numeric/<CODE>/``,
+whose positive violations must carry a non-empty ``flow_trace``
+witness) and the fixture-checked *syntactic* rules (currently
+RAP-LINT024, under ``tests/checks/fixtures/syntactic/<CODE>/``, no
+flow-trace requirement — syntactic violations have no data flow to
+witness). Each ``<CODE>/`` directory holds:
 
 * ``positive/`` — linting it with only that rule selected yields at
-  least one violation, and every violation carries a non-empty
-  ``flow_trace`` witness;
+  least one violation;
 * ``clean/`` — the same selection yields nothing (the rule does not
   fire on the blessed pattern);
 * ``suppressed/`` (optional) — a ``# noqa: <CODE> - reason`` on the
@@ -38,8 +42,11 @@ FIXTURE_RULES: Sequence[str] = (
     "RAP-LINT022",
     "RAP-LINT023",
 )
+#: Syntactic rules with mandatory fixtures (no flow-trace requirement).
+SYNTACTIC_FIXTURE_RULES: Sequence[str] = ("RAP-LINT024",)
 
 DEFAULT_FIXTURES = Path("tests/checks/fixtures/numeric")
+DEFAULT_SYNTACTIC_FIXTURES = Path("tests/checks/fixtures/syntactic")
 
 
 def _check_metadata(problems: List[str]) -> None:
@@ -56,11 +63,16 @@ def _check_metadata(problems: List[str]) -> None:
             problems.append(f"{code}: --explain text has no rationale block")
 
 
-def _check_fixtures(problems: List[str], fixtures: Path) -> None:
+def _check_fixtures(
+    problems: List[str],
+    fixtures: Path,
+    rules: Sequence[str] = FIXTURE_RULES,
+    require_flow_trace: bool = True,
+) -> None:
     if not fixtures.is_dir():
         problems.append(f"fixture root missing: {fixtures}")
         return
-    for code in FIXTURE_RULES:
+    for code in rules:
         base = fixtures / code
         positive = base / "positive"
         clean = base / "clean"
@@ -74,7 +86,7 @@ def _check_fixtures(problems: List[str], fixtures: Path) -> None:
                     f"{code}: positive fixture produced no violation"
                 )
             for violation in hits:
-                if not violation.flow_trace:
+                if require_flow_trace and not violation.flow_trace:
                     problems.append(
                         f"{code}: positive violation at "
                         f"{violation.path}:{violation.line} has no "
@@ -100,10 +112,19 @@ def _check_fixtures(problems: List[str], fixtures: Path) -> None:
                 )
 
 
-def self_check(fixtures: Optional[Path] = None) -> List[str]:
+def self_check(
+    fixtures: Optional[Path] = None,
+    syntactic_fixtures: Optional[Path] = None,
+) -> List[str]:
     """Run the registry/fixture audit; the return value lists every
     problem found (empty means the check passed)."""
     problems: List[str] = []
     _check_metadata(problems)
     _check_fixtures(problems, fixtures or DEFAULT_FIXTURES)
+    _check_fixtures(
+        problems,
+        syntactic_fixtures or DEFAULT_SYNTACTIC_FIXTURES,
+        rules=SYNTACTIC_FIXTURE_RULES,
+        require_flow_trace=False,
+    )
     return problems

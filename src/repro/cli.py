@@ -127,7 +127,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("kind", choices=["code", "value", "narrow"])
     serve.add_argument("--shards", type=int, default=4)
     serve.add_argument(
-        "--executor", choices=["thread", "serial"], default="thread"
+        "--executor",
+        choices=["thread", "serial", "process"],
+        default="thread",
     )
     serve.add_argument(
         "--partition", choices=["hash", "range"], default="hash"
@@ -350,7 +352,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             stream = spec.value_stream(args.events, seed=args.seed)
         else:
             stream = spec.narrow_operand_stream(args.events, seed=args.seed)
-        config = RapConfig(stream.universe, epsilon=args.epsilon)
+        config = RapConfig(
+            stream.universe,
+            epsilon=args.epsilon,
+            # The process executor keeps shard trees in shared-memory
+            # column arrays, which only the columnar backend provides.
+            backend="columnar" if args.executor == "process" else "object",
+        )
         profiler = Profiler.from_config(
             config,
             shards=args.shards,

@@ -87,8 +87,19 @@ Construct through ``RapTree.from_config(RapConfig(backend="columnar"))``
 from __future__ import annotations
 
 import math
+import os
 import threading
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -169,24 +180,51 @@ class ColumnarRapTree:
     backends identically. Mutating the view does not affect the tree.
     """
 
-    def __init__(self, config: RapConfig) -> None:
+    #: dtype of every slot column plus the free stack, in
+    #: ``_ARRAY_COLUMNS + ("_free_slots",)`` order. The shared-memory
+    #: arena (:mod:`repro.runtime.shm`) sizes its segments from this
+    #: table, and :meth:`attach_columns` validates against it.
+    COLUMN_DTYPES: Dict[str, np.dtype] = {
+        "_counts": np.dtype(np.int64),
+        "_los": np.dtype(np.uint64),
+        "_his": np.dtype(np.uint64),
+        "_parents": np.dtype(np.int32),
+        "_first_child": np.dtype(np.int32),
+        "_next_sibling": np.dtype(np.int32),
+        "_n_children": np.dtype(np.int32),
+        "_depth": np.dtype(np.int32),
+        "_is_item": np.dtype(np.bool_),
+        "_dirty": np.dtype(np.bool_),
+        "_cached_weight": np.dtype(np.int64),
+        "_cached_min": np.dtype(np.int64),
+        "_live": np.dtype(np.bool_),
+        "_free_slots": np.dtype(np.int32),
+    }
+
+    def __init__(
+        self,
+        config: RapConfig,
+        *,
+        allocator: Optional[
+            Callable[[str, np.dtype, int], np.ndarray]
+        ] = None,
+    ) -> None:
         self._config = config
+        # Optional column allocator hook: ``allocator(name, dtype,
+        # capacity)`` returns a zero-filled 1-D array of exactly
+        # ``capacity`` elements. The process-executor runtime passes the
+        # shared-memory arena's allocator so every column (and every
+        # ``_grow`` remap) lands in a SharedMemory block the parent can
+        # attach; ``None`` keeps plain heap-backed numpy arrays.
+        self._allocator = allocator
         capacity = _INITIAL_CAPACITY
         self._capacity = capacity
-        self._counts = np.zeros(capacity, dtype=np.int64)
-        self._los = np.zeros(capacity, dtype=np.uint64)
-        self._his = np.zeros(capacity, dtype=np.uint64)
-        self._parents = np.zeros(capacity, dtype=np.int32)
-        self._first_child = np.zeros(capacity, dtype=np.int32)
-        self._next_sibling = np.zeros(capacity, dtype=np.int32)
-        self._n_children = np.zeros(capacity, dtype=np.int32)
-        self._depth = np.zeros(capacity, dtype=np.int32)
-        self._is_item = np.zeros(capacity, dtype=np.bool_)
-        self._dirty = np.zeros(capacity, dtype=np.bool_)
-        self._cached_weight = np.zeros(capacity, dtype=np.int64)
-        self._cached_min = np.zeros(capacity, dtype=np.int64)
-        self._live = np.zeros(capacity, dtype=np.bool_)
-        self._free_slots = np.zeros(capacity, dtype=np.int32)
+        for name in _ARRAY_COLUMNS + ("_free_slots",):
+            setattr(
+                self,
+                name,
+                self._new_column(name, self.COLUMN_DTYPES[name], capacity),
+            )
         self._free_top = 0
         self._size = 0
         # Allocation-default pre-fill: fresh (never-allocated) slots
@@ -219,7 +257,7 @@ class ColumnarRapTree:
         self._audit_every = config.audit_every
         self._next_audit = config.audit_every
         self._generation = 0
-        self._confined_ident: Optional[int] = None
+        self._confined_ident: Optional[Tuple[int, int]] = None
         # Finger cache for scalar descents (same role as RapTree's
         # ``_cached_node``); reset to the root after merges recycle slots.
         self._cached_slot = 0
@@ -246,6 +284,14 @@ class ColumnarRapTree:
     # ------------------------------------------------------------------
     # Slot management
     # ------------------------------------------------------------------
+
+    def _new_column(
+        self, name: str, dtype: np.dtype, capacity: int
+    ) -> np.ndarray:
+        """Allocate one zero-filled column through the allocator hook."""
+        if self._allocator is not None:
+            return self._allocator(name, dtype, capacity)
+        return np.zeros(capacity, dtype=dtype)
 
     def _rebind_views(self) -> None:
         """Rebind the zero-copy scalar read views over the columns.
@@ -313,7 +359,10 @@ class ColumnarRapTree:
         old_capacity = self._capacity
         for name in _ARRAY_COLUMNS + ("_free_slots",):
             old = getattr(self, name)
-            grown = np.zeros(capacity, dtype=old.dtype)
+            # Under the allocator hook this is the shared-memory "grow
+            # by remap": a fresh (larger) segment per column, the live
+            # prefix copied over, the old segment retired by the arena.
+            grown = self._new_column(name, old.dtype, capacity)
             grown[: old.size] = old
             setattr(self, name, grown)
         # Restore the allocation-default pre-fill on the fresh tail
@@ -571,22 +620,31 @@ class ColumnarRapTree:
     # ------------------------------------------------------------------
 
     def confine_to_current_thread(self) -> None:
-        """Restrict mutations to the calling thread (see RapTree)."""
-        self._confined_ident = threading.get_ident()
+        """Restrict mutations to the calling thread *and process*.
+
+        The owner key is ``(pid, thread ident)``: a shard tree confined
+        inside a worker process rejects mutation from any other process
+        too (thread idents alone can collide across processes, and a
+        fork inherits the parent's confinement marker verbatim).
+        """
+        self._confined_ident = (os.getpid(), threading.get_ident())
 
     def unconfine(self) -> None:
-        """Lift thread confinement (any thread may mutate again)."""
+        """Lift confinement (any thread in any process may mutate)."""
         self._confined_ident = None
 
     def _assert_owner(self) -> None:
-        ident = self._confined_ident
-        if ident is not None and ident != threading.get_ident():
+        owner = self._confined_ident
+        if owner is None:
+            return
+        here = (os.getpid(), threading.get_ident())
+        if owner != here:
+            kind = "process" if owner[0] != here[0] else "thread"
             raise RuntimeError(
-                "ColumnarRapTree is confined to thread "
-                f"{ident}; mutation attempted from thread "
-                f"{threading.get_ident()}. Shard trees are "
-                "single-writer — route events through the owning "
-                "worker's queue (see repro.runtime)."
+                "ColumnarRapTree is confined to (pid, thread) "
+                f"{owner}; mutation attempted from the wrong {kind} "
+                f"{here}. Shard trees are single-writer — route events "
+                "through the owning worker's queue (see repro.runtime)."
             )
 
     def clone(self) -> "ColumnarRapTree":
@@ -618,6 +676,80 @@ class ColumnarRapTree:
         other._storm = self._storm
         other._calm = self._calm
         return other
+
+    def column_state(self) -> Dict[str, object]:
+        """Scalar state that travels with the columns across processes.
+
+        Everything :meth:`attach_columns` needs beyond the column
+        arrays themselves: slot accounting, event totals and the
+        merge-schedule position. A shard worker sends this dict (plain
+        ints/floats/bools — trivially picklable) alongside its
+        shared-memory segment table; the parent reconstructs an
+        equivalent tree without copying a single column.
+        """
+        return {
+            "capacity": self._capacity,
+            "size": self._size,
+            "free_top": self._free_top,
+            "node_count": self._node_count,
+            "events": self._events,
+            "next_at": self._scheduler.next_at,
+            "batches_fired": self._scheduler.batches_fired,
+            "generation": self._generation,
+            "storm": self._storm,
+            "calm": self._calm,
+        }
+
+    @classmethod
+    def attach_columns(
+        cls,
+        config: RapConfig,
+        columns: Mapping[str, np.ndarray],
+        state: Mapping[str, object],
+    ) -> "ColumnarRapTree":
+        """Wrap already-populated column arrays as a read-only tree.
+
+        The process executor's zero-copy fold path: the parent maps a
+        quiesced worker's shared-memory segments as numpy arrays and
+        wraps them here without copying. ``columns`` maps every name in
+        ``_ARRAY_COLUMNS + ("_free_slots",)`` to an array of the
+        :attr:`COLUMN_DTYPES` dtype; ``state`` is the owning tree's
+        :meth:`column_state`. All reads work as usual — estimates,
+        ``nodes()`` views, serialization, ``combine_many`` folds, and
+        :meth:`clone` (which copies the columns into a writable
+        heap-backed tree). The attached arrays are marked read-only so
+        an accidental mutation of live worker state raises immediately
+        instead of corrupting the shard.
+        """
+        tree = cls(config)
+        capacity = int(state["capacity"])
+        for name in _ARRAY_COLUMNS + ("_free_slots",):
+            arr = np.asarray(columns[name])
+            expected = cls.COLUMN_DTYPES[name]
+            if arr.dtype != expected or arr.shape != (capacity,):
+                raise ValueError(
+                    f"column {name!r} must be a 1-D {expected} array of "
+                    f"{capacity} slots, got {arr.dtype} {arr.shape}"
+                )
+            view = arr.view()
+            view.flags.writeable = False
+            setattr(tree, name, view)
+        tree._capacity = capacity
+        tree._free_top = int(state["free_top"])
+        tree._size = int(state["size"])
+        tree._node_count = int(state["node_count"])
+        tree._events = int(state["events"])
+        tree._scheduler.next_at = float(state["next_at"])
+        tree._scheduler.batches_fired = int(state["batches_fired"])
+        tree._generation = int(state["generation"])
+        tree._storm = bool(state["storm"])
+        tree._calm = int(state["calm"])
+        tree._cached_slot = 0
+        tree._view_root = None
+        tree._view_generation = -1
+        tree._rebind_views()
+        tree._rebuild_cover()
+        return tree
 
     # ------------------------------------------------------------------
     # Updates — scalar path (exact port of RapTree.add/_absorb)
@@ -792,6 +924,265 @@ class ColumnarRapTree:
         """
         self._ingest(sorted(pairs), False)
 
+    def add_counted_arrays(
+        self, values: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Feed pre-combined ``(value, count)`` columns, array-native.
+
+        Observably identical to
+        ``add_counted(list(zip(values.tolist(), counts.tolist())))``,
+        but the pair list is never built unless a scalar window needs
+        it: the vectorized rounds consume the arrays directly. This is
+        the process executor's frame path — shard workers receive
+        ``(values, counts)`` ndarray frames off the pipe and ingest
+        them without a tuple transpose on either side. Inputs the
+        column dtypes cannot represent faithfully (negative or
+        non-integer values, counts past int64) take the exact per-item
+        path instead, which raises the object backend's errors at the
+        same item.
+        """
+        values = np.asarray(values)
+        counts = np.asarray(counts)
+        if values.shape != counts.shape or values.ndim != 1:
+            raise ValueError(
+                "values and counts must be matching 1-D arrays, got "
+                f"shapes {values.shape} and {counts.shape}"
+            )
+        if (
+            values.dtype.kind not in "iu"
+            or counts.dtype.kind not in "iu"
+            or (
+                values.dtype.kind == "i"
+                and values.size
+                and int(values.min()) < 0
+            )
+            or (
+                counts.dtype.kind == "u"
+                and counts.size
+                and int(counts.max()) > _INT64_MAX
+            )
+        ):
+            # astype would wrap these silently (ndarray casts do not
+            # range-check like Python ints); the list path validates
+            # per item and raises exactly like the object backend.
+            self._ingest(list(zip(values.tolist(), counts.tolist())), False)
+            return
+        self._ingest(
+            None,
+            False,
+            columns=(
+                values.astype(np.uint64, copy=False),
+                counts.astype(np.int64, copy=False),
+            ),
+        )
+
+    def bootstrap_counted_arrays(
+        self, values: np.ndarray, counts: np.ndarray
+    ) -> bool:
+        """Cold-start bulk build from one sorted counted frame.
+
+        Top-down offline construction of the adaptive partition for a
+        *fresh* tree: recursively burst every range whose frame mass
+        exceeds the split threshold at the final event count, working
+        level by level with array kernels (one ``searchsorted`` over
+        the frame per level) instead of replaying the per-event
+        cascade. The result is not the same shape the online kernel
+        would build — it is a *different reachable* RAP state with the
+        same contracts, because both guarantees are structural, not
+        historical: every counter is real mass from inside its range
+        (estimates stay exact lower bounds), and every non-item node
+        holds at most ``split_threshold(n)``, so a query's undercount —
+        mass on nodes straddling its boundary, at most one per level
+        per side — stays within ``epsilon * n`` exactly as Section 3.2
+        argues for the online tree. The build ends with the standard
+        catch-up merge, leaving the merge schedule where any online
+        ingest of ``n`` events would have left it.
+
+        This is the process executor's first-flush path: a shard
+        worker's combining buffer hands the whole opening window to the
+        empty shard tree in one frame, and building that tree directly
+        is several times cheaper than cascading 30k+ deposits through
+        a cold tree that splits under nearly every one. Callers that
+        need the online shape (``add_counted_arrays`` is documented
+        observably identical to ``add_counted``) must not use this.
+
+        Returns ``True`` when the bulk build ran. Returns ``False`` —
+        tree untouched — when a precondition fails: the tree is not
+        fresh, per-event hooks (timeline sampling, auditing) must see
+        every event, or the frame is not strictly-increasing in-range
+        values with positive int64 counts. Fall back to
+        :meth:`add_counted_arrays` in that case.
+        """
+        if self._confined_ident is not None:
+            self._assert_owner()
+        if (
+            self._events != 0
+            or self._node_count != 1
+            or self._size != 1
+            or self._free_top != 0
+            or self._stats.sample_every > 0
+            or self._audit_every
+        ):
+            return False
+        values = np.asarray(values)
+        counts = np.asarray(counts)
+        if (
+            values.ndim != 1
+            or values.shape != counts.shape
+            or values.size == 0
+            or values.dtype.kind not in "iu"
+            or counts.dtype.kind not in "iu"
+        ):
+            return False
+        if values.dtype.kind == "i" and int(values.min()) < 0:
+            return False
+        if counts.dtype.kind == "u" and int(counts.max()) > _INT64_MAX:
+            return False
+        varr = values.astype(np.uint64, copy=False)
+        carr = counts.astype(np.int64, copy=False)
+        if (
+            int(carr.min()) <= 0
+            or int(varr[-1]) > self._root_hi
+            or not bool(np.all(varr[:-1] < varr[1:]))
+            # Rules out int64 overflow in the exact sum below.
+            or float(carr.sum(dtype=np.float64)) >= float(_INT64_MAX)
+        ):
+            return False
+        total = int(carr.sum())
+        floor_t = min(
+            math.floor(self._config.split_threshold(total)), _INT64_MAX
+        )
+        branching = self._config.branching
+        # Prefix masses: frame slice [i, j) weighs cum[j] - cum[i].
+        cum = np.zeros(varr.size + 1, dtype=np.int64)
+        np.cumsum(carr, out=cum[1:])
+
+        created = 0
+        bursts = 0
+        if total <= floor_t or self._root_hi == 0:
+            self._v_counts[0] = total
+        else:
+            # Root level in exact Python ints — the root's width (the
+            # whole universe) can overflow the uint64 cell arithmetic
+            # the deeper levels use; its cells never can.
+            bursts += 1
+            cells = partition_range(0, self._root_hi, branching)
+            cell_lo = np.array([lo for lo, _ in cells], dtype=np.uint64)
+            cell_hi = np.array([hi for _, hi in cells], dtype=np.uint64)
+            bounds = np.empty(len(cells) + 1, dtype=np.int64)
+            bounds[0] = 0
+            bounds[-1] = varr.size
+            bounds[1:-1] = np.searchsorted(varr, cell_lo[1:])
+            mass = cum[bounds[1:]] - cum[bounds[:-1]]
+            keep = np.flatnonzero(mass)
+            sel_lo = cell_lo[keep]
+            sel_hi = cell_hi[keep]
+            sel_mass = mass[keep]
+            sel_plo = bounds[:-1][keep]
+            sel_phi = bounds[1:][keep]
+            parent_rows = np.zeros(keep.size, dtype=np.int64)
+            parent_slots = np.zeros(1, dtype=np.int64)
+            group_sizes = np.array([keep.size], dtype=np.int64)
+            depth = 1
+            while True:
+                spawned = int(sel_lo.size)
+                while self._size + spawned > self._capacity:
+                    self._grow()
+                base_slot = self._size
+                slots = base_slot + np.arange(spawned, dtype=np.int64)
+                self._los[slots] = sel_lo
+                self._his[slots] = sel_hi
+                self._depth[slots] = depth
+                self._parents[slots] = parent_slots[parent_rows]
+                item = sel_lo == sel_hi
+                self._is_item[slots] = item
+                # Sibling chains: slots are handed out in row-major
+                # (parent, ascending-lo) order, so each parent's group
+                # is a contiguous ascending run — link the whole level
+                # with one shifted store, then cut at group ends.
+                group_ends = base_slot + np.cumsum(group_sizes) - 1
+                self._next_sibling[slots[:-1]] = slots[1:]
+                self._next_sibling[group_ends] = _NO_SLOT
+                self._first_child[parent_slots] = np.concatenate(
+                    (slots[:1], group_ends[:-1] + 1)
+                )
+                self._n_children[parent_slots] = group_sizes
+                self._size += spawned
+                created += spawned
+                leaf = item | (sel_mass <= floor_t)
+                leaf_slots = slots[leaf]
+                self._counts[leaf_slots] = sel_mass[leaf]
+                recurse = np.flatnonzero(~leaf)
+                if recurse.size == 0:
+                    break
+                bursts += int(recurse.size)
+                parent_slots = slots[recurse]
+                p_lo = sel_lo[recurse]
+                p_hi = sel_hi[recurse]
+                p_plo = sel_plo[recurse]
+                p_phi = sel_phi[recurse]
+                # One vectorized burst per surviving parent: the exact
+                # partition_range geometry, computed for all parents at
+                # once (cells = min(b, width), base + spread remainder).
+                width = p_hi - p_lo + np.uint64(1)
+                cells_n = np.minimum(
+                    width, np.uint64(branching)
+                ).astype(np.int64)
+                base = width // cells_n.astype(np.uint64)
+                extra = width - base * cells_n.astype(np.uint64)
+                j = np.arange(branching, dtype=np.uint64)[None, :]
+                starts = (
+                    p_lo[:, None]
+                    + j * base[:, None]
+                    + np.minimum(j, extra[:, None])
+                )
+                idx = np.empty(
+                    (starts.shape[0], branching + 1), dtype=np.int64
+                )
+                idx[:, 0] = p_plo
+                idx[:, -1] = p_phi
+                if branching > 1:
+                    idx[:, 1:-1] = np.searchsorted(varr, starts[:, 1:])
+                    # Columns past a narrow parent's cell count carry
+                    # garbage starts; pin them to the parent's end so
+                    # those cells read as empty.
+                    short = (
+                        np.arange(1, branching)[None, :] >= cells_n[:, None]
+                    )
+                    if short.any():
+                        idx[:, 1:-1][short] = np.broadcast_to(
+                            p_phi[:, None], short.shape
+                        )[short]
+                ends = np.empty_like(starts)
+                ends[:, :-1] = starts[:, 1:] - np.uint64(1)
+                ends[:, -1] = p_hi
+                narrow = np.flatnonzero(cells_n < branching)
+                if narrow.size:
+                    ends[narrow, cells_n[narrow] - 1] = p_hi[narrow]
+                mass = cum[idx[:, 1:]] - cum[idx[:, :-1]]
+                nonzero = mass > 0
+                flat = np.flatnonzero(nonzero.ravel())
+                rows = flat // branching
+                cols = flat - rows * branching
+                sel_lo = starts[rows, cols]
+                sel_hi = ends[rows, cols]
+                sel_mass = mass[rows, cols]
+                sel_plo = idx[rows, cols]
+                sel_phi = idx[rows, cols + 1]
+                parent_rows = rows
+                group_sizes = nonzero.sum(axis=1)
+                depth += 1
+        self._node_count += created
+        self._events = total
+        self._stats.observe_batch(total, int(varr.size), self._node_count)
+        self._stats.splits += bursts
+        self._generation += 1
+        self._cached_slot = 0
+        self._rebuild_cover()
+        if self._scheduler.due(self._events):
+            self.merge_now()
+        return True
+
     def add_stream(self, values: Iterable[int], combine_chunk: int = 0) -> None:
         """Feed a stream, optionally combining duplicates per chunk."""
         if combine_chunk <= 0:
@@ -809,7 +1200,12 @@ class ColumnarRapTree:
         if chunk:
             self.add_batch(chunk.items())
 
-    def _ingest(self, items: Sequence, ones: bool) -> None:
+    def _ingest(
+        self,
+        items: Optional[Sequence],
+        ones: bool,
+        columns: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
         """Shared bulk kernel behind extend/add_counted/add_batch.
 
         One vectorized round per window: scatter the provably-safe
@@ -822,21 +1218,45 @@ class ColumnarRapTree:
         as-is (the scalar kernel unpacks the tuples exactly like the
         object backend's loops — no column transpose unless a
         vectorized round actually runs).
+
+        ``columns`` is the array-native entry
+        (:meth:`add_counted_arrays`): ``items`` is passed as ``None``
+        and the ``(values, counts)`` arrays — already validated to fit
+        the column dtypes — feed the vectorized rounds directly. The
+        pair list is materialized lazily, only if a scalar window or a
+        per-item error path actually needs it.
         """
         if self._confined_ident is not None:
             self._assert_owner()
+
+        if columns is not None:
+            col_values, col_counts = columns
+            total = int(col_values.size)
+        else:
+            col_values = col_counts = None
+            total = len(items)
+
+        def _pairs() -> Sequence:
+            # Lazy pair list for the scalar windows of an array-native
+            # ingest; cached so storms pay the transpose once.
+            nonlocal items
+            if items is None:
+                items = list(
+                    zip(col_values.tolist(), col_counts.tolist())
+                )
+            return items
+
         stats = self._stats
         if stats.sample_every > 0 or self._audit_every:
             # Sampling/audit hooks must see every event: per-event path.
             add = self.add
             if ones:
-                for value in items:
+                for value in _pairs():
                     add(value)
             else:
-                for value, count in items:
+                for value, count in _pairs():
                     add(value, count)
             return
-        total = len(items)
         if not total:
             return
         # All numpy-side state is computed lazily on the first
@@ -870,7 +1290,7 @@ class ColumnarRapTree:
                     # Short tail: the scalar kernel, storm or not (it is
                     # the exact cascade, just without the numpy round).
                     next_index, fallbacks = self._scalar_run(
-                        items, ones, index, total - index
+                        _pairs(), ones, index, total - index
                     )
                     if next_index == index:
                         # Malformed item at the head: add() raises the
@@ -893,7 +1313,7 @@ class ColumnarRapTree:
                     continue
                 if storm:
                     next_index, fallbacks = self._scalar_run(
-                        items, ones, index, window
+                        _pairs(), ones, index, window
                     )
                     if next_index == index:
                         # Malformed item at the head: add() raises the
@@ -922,29 +1342,36 @@ class ColumnarRapTree:
                             storm = False
                     continue
                 if varr is None:
-                    try:
-                        if ones:
-                            varr = np.asarray(items, dtype=np.uint64)
-                            carr = None
-                        else:
-                            vcols, ccols = zip(*items)
-                            varr = np.asarray(vcols, dtype=np.uint64)
-                            carr = np.asarray(ccols, dtype=np.int64)
-                    except (OverflowError, TypeError, ValueError):
-                        # Out-of-dtype input (negative / huge /
-                        # non-integer values): finish on the exact
-                        # per-item path, which raises the same errors
-                        # at the same item the object backend would.
-                        add = self.add
-                        if ones:
-                            while index < total:
-                                add(items[index])
-                                index += 1
-                        else:
-                            while index < total:
-                                add(*items[index])
-                                index += 1
-                        break
+                    if col_values is not None:
+                        # Array-native ingest: dtypes were validated by
+                        # add_counted_arrays, no conversion to attempt.
+                        varr = col_values
+                        carr = col_counts
+                    else:
+                        try:
+                            if ones:
+                                varr = np.asarray(items, dtype=np.uint64)
+                                carr = None
+                            else:
+                                vcols, ccols = zip(*items)
+                                varr = np.asarray(vcols, dtype=np.uint64)
+                                carr = np.asarray(ccols, dtype=np.int64)
+                        except (OverflowError, TypeError, ValueError):
+                            # Out-of-dtype input (negative / huge /
+                            # non-integer values): finish on the exact
+                            # per-item path, which raises the same
+                            # errors at the same item the object
+                            # backend would.
+                            add = self.add
+                            if ones:
+                                while index < total:
+                                    add(items[index])
+                                    index += 1
+                            else:
+                                while index < total:
+                                    add(*items[index])
+                                    index += 1
+                            break
                     if ones:
                         invalid_at = np.flatnonzero(
                             varr > np.uint64(self._root_hi)
@@ -961,9 +1388,17 @@ class ColumnarRapTree:
                     # Blocked at the head: merge trigger or malformed
                     # item — the scalar port decides authoritatively.
                     if ones:
-                        self.add(items[index])
+                        self.add(_pairs()[index])
                     else:
-                        self.add(*items[index])
+                        if items is None:
+                            # Array-native head item: no pair list yet,
+                            # and one blocked item does not justify the
+                            # full transpose.
+                            self.add(
+                                int(varr[index]), int(carr[index])
+                            )
+                        else:
+                            self.add(*items[index])
                     index += 1
                     continue
                 consumed = next_index - index

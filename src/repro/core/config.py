@@ -69,6 +69,18 @@ class RapConfig:
         are observably equivalent — identical serialized trees for
         identical operation sequences — so this is purely a performance
         knob; it is construction-time only and never serialized.
+    executor:
+        Which runtime a :class:`~repro.runtime.profiler.Profiler` built
+        from this config uses to drive its shards: ``"serial"``
+        (inline on the calling thread), ``"thread"`` (one worker thread
+        per shard behind bounded queues, the default) or ``"process"``
+        (one worker process per shard, each owning a columnar tree in
+        shared memory — requires ``backend="columnar"``). Like
+        ``backend`` it selects an observably-equivalent engine, is
+        construction-time only, and is never serialized.
+    shards:
+        How many shard trees that profiler partitions the stream
+        across (``>= 1``). Construction-time only, never serialized.
     debug_sanitize:
         If true, a :class:`~repro.checks.sanitizer.RapSanitizer` is
         attached to every :class:`~repro.runtime.profiler.Profiler`
@@ -91,6 +103,8 @@ class RapConfig:
     timeline_sample_every: int = 0
     audit_every: int = 0
     backend: str = "object"
+    executor: str = "thread"
+    shards: int = 1
     debug_sanitize: bool = False
 
     def __post_init__(self) -> None:
@@ -127,6 +141,22 @@ class RapConfig:
             raise ValueError(
                 "backend must be 'object' or 'columnar', got "
                 f"{self.backend!r}"
+            )
+        if self.executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                "executor must be 'serial', 'thread' or 'process', got "
+                f"{self.executor!r}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.executor == "process" and self.backend != "columnar":
+            raise ValueError(
+                "executor='process' requires backend='columnar': worker "
+                "processes keep their shard trees in shared-memory column "
+                "arrays, which the object backend's linked RapNode graph "
+                "cannot provide. Use RapConfig(..., backend='columnar', "
+                "executor='process'), or keep backend='object' with the "
+                "'thread' or 'serial' executor."
             )
 
     @property

@@ -18,6 +18,12 @@ parent of each node is the most recent shallower node — enough to rebuild
 the exact tree without pointers. Round-tripping is exact and is covered
 by property tests.
 
+Deployment knobs are deliberately *not* serialized: ``backend``,
+``executor``, ``shards`` and ``debug_sanitize`` describe how a tree is
+hosted, not what it summarizes. A dump taken from a process-executor
+shard loads as a plain object-backend tree on the default serial
+executor; the receiving side re-chooses its own runtime.
+
 Version 2 added the ``scheduler`` line and the ``timeline_sample_every``/
 ``audit_every`` config fields. Version 1 dumps carried neither, which
 made a reloaded tree think its *first* merge batch was still ahead — a

@@ -31,6 +31,7 @@ Hot-path engineering (see "Performance notes" in ``DESIGN.md``):
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -78,9 +79,10 @@ class RapTree:
         # Mutation epoch for query-side caches (see repro.core.quantiles).
         # Bumped whenever counters or structure change.
         self._generation = 0
-        # Thread confinement (see repro.runtime): when set, only the
-        # owning thread may mutate this tree. ``None`` means unconfined.
-        self._confined_ident: Optional[int] = None
+        # Owner confinement (see repro.runtime): when set, only the
+        # owning (pid, thread) may mutate this tree. ``None`` means
+        # unconfined.
+        self._confined_ident: Optional[Tuple[int, int]] = None
 
     @classmethod
     def from_config(cls, config: RapConfig) -> "RapTree":
@@ -170,30 +172,36 @@ class RapTree:
     # ------------------------------------------------------------------
 
     def confine_to_current_thread(self) -> None:
-        """Restrict mutations to the calling thread.
+        """Restrict mutations to the calling thread *and process*.
 
-        The sharded runtime gives each worker thread a private tree;
-        confinement turns an accidental cross-thread mutation (a data
+        The sharded runtime gives each worker a private tree;
+        confinement turns an accidental cross-owner mutation (a data
         race that would silently corrupt counters) into an immediate
-        ``RuntimeError``. Reads are not restricted — snapshot folds walk
-        shard trees from the coordinating thread while workers are
-        quiesced.
+        ``RuntimeError``. The owner key is ``(pid, thread ident)`` so
+        the check generalizes from the threaded executor to the
+        process executor: thread idents can collide across processes,
+        and a fork inherits the parent's marker verbatim. Reads are not
+        restricted — snapshot folds walk shard trees from the
+        coordinating side while workers are quiesced.
         """
-        self._confined_ident = threading.get_ident()
+        self._confined_ident = (os.getpid(), threading.get_ident())
 
     def unconfine(self) -> None:
-        """Lift thread confinement (any thread may mutate again)."""
+        """Lift confinement (any thread in any process may mutate)."""
         self._confined_ident = None
 
     def _assert_owner(self) -> None:
-        ident = self._confined_ident
-        if ident is not None and ident != threading.get_ident():
+        owner = self._confined_ident
+        if owner is None:
+            return
+        here = (os.getpid(), threading.get_ident())
+        if owner != here:
+            kind = "process" if owner[0] != here[0] else "thread"
             raise RuntimeError(
-                "RapTree is confined to thread "
-                f"{ident}; mutation attempted from thread "
-                f"{threading.get_ident()}. Shard trees are "
-                "single-writer — route events through the owning "
-                "worker's queue (see repro.runtime)."
+                "RapTree is confined to (pid, thread) "
+                f"{owner}; mutation attempted from the wrong {kind} "
+                f"{here}. Shard trees are single-writer — route events "
+                "through the owning worker's queue (see repro.runtime)."
             )
 
     def clone(self) -> "RapTree":

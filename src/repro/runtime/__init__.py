@@ -4,16 +4,21 @@ The paper's RAP engine is a one-pass streaming summarizer whose trees
 are mergeable by construction (``combine_many`` folds shard profiles
 with the undercount bound ``sum_i(epsilon_i * n_i)``). This package
 turns that mergeability into a service: an event stream is partitioned
-across ``N`` worker shards — each owning a private, thread-confined
+across ``N`` worker shards — each owning a private, confined
 :class:`~repro.core.tree.RapTree` — fed through bounded batch queues
 with explicit backpressure, and periodically folded into a consistent
 global snapshot on an epoch boundary.
 
 Entry point is :class:`Profiler` — ``open() / ingest(batch) /
 snapshot() / query(range) / close()`` — the blessed v2 ingestion
-surface for workloads, experiments and the CLI. See ``docs/runtime.md``
-for the architecture, partitioning schemes, backpressure policies and
-the snapshot consistency model.
+surface for workloads, experiments and the CLI. The executor is chosen
+uniformly through ``RapConfig(executor=..., shards=...)``: ``"serial"``
+(inline), ``"thread"`` (one worker thread per shard) or ``"process"``
+(one worker process per shard over shared-memory columnar trees — see
+:mod:`repro.runtime.shm`; a dead worker surfaces as
+:class:`WorkerCrashed` instead of a hang). See ``docs/runtime.md`` for
+the architecture, executor selection, partitioning schemes,
+backpressure policies and the snapshot consistency model.
 """
 
 from .metrics import RuntimeMetrics, ShardMetrics
@@ -23,8 +28,9 @@ from .partition import (
     RangePartitioner,
     make_partitioner,
 )
-from .profiler import Profiler
+from .profiler import Profiler, WorkerCrashed
 from .queues import QueueClosed, ShardQueue
+from .shm import ShmArena, ShmAttachment, sweep_prefix
 
 __all__ = [
     "HashPartitioner",
@@ -35,5 +41,9 @@ __all__ = [
     "RuntimeMetrics",
     "ShardMetrics",
     "ShardQueue",
+    "ShmArena",
+    "ShmAttachment",
+    "WorkerCrashed",
     "make_partitioner",
+    "sweep_prefix",
 ]

@@ -2,8 +2,9 @@
 
 ``Profiler`` is the API v2 top-level entry point for profiling a
 stream. It owns ``N`` shard trees, a deterministic partitioner mapping
-each event value to its shard, and (in the threaded executor) one
-worker thread per shard fed through a bounded :class:`ShardQueue`:
+each event value to its shard, and — depending on the executor — a
+worker thread or worker *process* per shard fed through a bounded
+:class:`ShardQueue`:
 
 .. code-block:: text
 
@@ -15,18 +16,40 @@ worker thread per shard fed through a bounded :class:`ShardQueue`:
     snapshot()  =  quiesce every queue, then fold the shard trees
                    with ``combine_many`` into one consistent tree
 
+The executor is selected uniformly through the config —
+``RapConfig(executor="serial"|"thread"|"process", shards=N)`` — with
+the constructor keywords as call-site overrides:
+
+* ``"serial"`` applies every batch inline on the calling thread.
+* ``"thread"`` (default) runs one worker thread per shard; shard trees
+  live in this process, thread-confined.
+* ``"process"`` runs one worker *process* per shard (requires
+  ``backend="columnar"``): each worker owns a columnar tree whose
+  columns live in shared memory (:mod:`repro.runtime.shm`), fed
+  array-shaped counted frames over a pipe by a per-shard feeder thread
+  that drains the same bounded :class:`ShardQueue` — so the
+  block/drop/spill backpressure discipline, dispositions and metrics
+  are identical across executors. Snapshots attach the quiesced
+  workers' columns zero-copy and fold them in the parent (serialized
+  exchange as fallback when shared memory is unavailable).
+
 Lifecycle: ``open() → ingest()* → snapshot()* → close()``; the object
 is also a context manager. ``query(lo, hi)`` is sugar for
 ``snapshot().estimate(lo, hi)`` (snapshots are cached per epoch, so
-repeated queries between ingests fold only once).
+repeated queries between ingests fold only once). ``close()`` reaps
+every worker — threads joined, processes exited and their
+shared-memory segments unlinked — on all paths, including after a
+worker failure.
 
 Consistency model: a snapshot is taken on an *epoch boundary* — new
-ingests are locked out, every accepted batch is drained, and only then
-are the shard trees folded. The snapshot therefore reflects exactly the
-events accepted before the call, no torn batches. Under the ``block``
-and ``spill`` backpressure policies the shard trees (and hence every
-snapshot) are a deterministic function of the ingested stream; ``drop``
-trades that determinism for bounded memory and latency.
+ingests are locked out, every accepted batch is drained (and, under
+the process executor, every worker acknowledges a sync marker that
+trails its batches in pipe order), and only then are the shard trees
+folded. The snapshot therefore reflects exactly the events accepted
+before the call, no torn batches. Under the ``block`` and ``spill``
+backpressure policies the shard trees (and hence every snapshot) are a
+deterministic function of the ingested stream; ``drop`` trades that
+determinism for bounded memory and latency.
 
 Accuracy: each shard undercounts by at most ``eps_shard * n_shard``, so
 the folded snapshot undercounts any range by at most
@@ -42,8 +65,20 @@ bound relaxing to ``shard_epsilon * n_total``.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -53,11 +88,39 @@ from ..core.tree import RapTree
 from .metrics import RuntimeMetrics, ShardMetrics
 from .partition import Partitioner, make_partitioner
 from .queues import Batch, ShardQueue
+from .shm import ShmAttachment, sweep_prefix
 
 Clock = Callable[[], float]
 Values = Union[np.ndarray, Iterable[int]]
 
-_EXECUTORS = ("serial", "thread")
+_EXECUTORS = ("serial", "thread", "process")
+
+#: How long (seconds) to poll a live worker for a protocol reply before
+#: re-checking liveness, and how long to wait for voluntary exit before
+#: escalating to terminate/kill. Generous — a live worker replies as
+#: soon as it drains the frames ahead of the request.
+_POLL_INTERVAL = 0.1
+_EXIT_GRACE = 5.0
+
+
+class WorkerCrashed(RuntimeError):
+    """A shard worker process died without completing the protocol.
+
+    Raised by ``drain()``/``snapshot()``/``close()`` instead of hanging
+    when a worker was killed (OOM, SIGKILL, crash): carries the shard
+    index and exit code so the failure is diagnosable from the message.
+    """
+
+    def __init__(self, shard: int, exitcode: Optional[int], doing: str):
+        self.shard = shard
+        self.exitcode = exitcode
+        super().__init__(
+            f"shard {shard} worker process died while {doing} "
+            f"(exit code {exitcode}); its accepted events are lost — "
+            "the profiler cannot produce a consistent snapshot. "
+            "Check worker memory limits and logs; shared-memory "
+            "segments are reclaimed on close()."
+        )
 
 
 class Profiler:
@@ -68,13 +131,24 @@ class Profiler:
     config:
         Tree configuration; ``config.epsilon`` is the accuracy target of
         the folded snapshot (see ``shard_epsilon`` for the trade-off).
+        ``config.executor`` and ``config.shards`` are the declarative
+        defaults for the two runtime knobs below.
     shards:
-        Number of shard trees (``>= 1``).
+        Number of shard trees (``>= 1``). ``None`` (default) inherits
+        ``config.shards``.
     executor:
-        ``"thread"`` (default) runs one worker thread per shard behind
-        bounded queues; ``"serial"`` processes every batch inline on the
-        calling thread — deterministic scheduling, no queues, the mode
-        the deprecation shim and oracle tests use.
+        ``None`` (default) inherits ``config.executor``. ``"thread"``
+        runs one worker thread per shard behind bounded queues;
+        ``"serial"`` processes every batch inline on the calling thread
+        — deterministic scheduling, no queues, the mode the deprecation
+        shim and oracle tests use; ``"process"`` runs one worker
+        process per shard over shared-memory columnar trees (requires
+        ``backend="columnar"``).
+    threads:
+        Deprecated alias from the thread-only runtime: ``threads=N``
+        means ``shards=N, executor="thread"``. Emits a
+        ``DeprecationWarning``; use ``shards=``/``executor=`` (or the
+        config fields) instead.
     partition:
         ``"hash"`` (default) or ``"range"`` — see
         :mod:`repro.runtime.partition`.
@@ -85,9 +159,9 @@ class Profiler:
         ``shard_epsilon * n`` snapshot bound (the equal-memory config
         the multi-shard benchmark uses).
     queue_capacity / backpressure:
-        Bounds and overflow policy of each shard queue (threaded
-        executor only) — ``"block"`` / ``"drop"`` / ``"spill"``, see
-        :mod:`repro.runtime.queues`.
+        Bounds and overflow policy of each shard queue (threaded and
+        process executors) — ``"block"`` / ``"drop"`` / ``"spill"``,
+        see :mod:`repro.runtime.queues`.
     batch_size:
         Ingest calls chop their input into chunks of this many events
         before partitioning, bounding queue memory per slot.
@@ -102,8 +176,9 @@ class Profiler:
         self,
         config: RapConfig,
         *,
-        shards: int = 1,
-        executor: str = "thread",
+        shards: Optional[int] = None,
+        executor: Optional[str] = None,
+        threads: Optional[int] = None,
         partition: str = "hash",
         shard_epsilon: Optional[float] = None,
         queue_capacity: int = 8,
@@ -111,6 +186,22 @@ class Profiler:
         batch_size: int = 4096,
         clock: Optional[Clock] = None,
     ) -> None:
+        if threads is not None:
+            warnings.warn(
+                "Profiler(threads=N) is deprecated; use "
+                "Profiler(config, shards=N, executor='thread') or set "
+                "RapConfig(shards=N, executor='thread')",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if shards is None:
+                shards = threads
+            if executor is None:
+                executor = "thread"
+        if shards is None:
+            shards = config.shards
+        if executor is None:
+            executor = config.executor
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if executor not in _EXECUTORS:
@@ -119,6 +210,10 @@ class Profiler:
             )
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        # Route the resolved knobs through the config's own validation
+        # so every executor/backend combination fails with one message
+        # (notably executor='process' + backend='object').
+        config.with_updates(executor=executor, shards=shards)
         self._config = config
         self._shards = shards
         self._executor = executor
@@ -131,22 +226,40 @@ class Profiler:
         self._shard_config = shard_config
         self._batch_size = batch_size
         self._clock = clock
-        self._trees: List[RapTree] = [
-            RapTree.from_config(shard_config) for _ in range(shards)
-        ]
+        # In-process shard trees (serial and thread executors). Under
+        # the process executor the trees live in the workers; the
+        # parent holds per-shard sync state instead.
+        self._trees: List[RapTree] = []
+        if executor != "process":
+            self._trees = [
+                RapTree.from_config(shard_config) for _ in range(shards)
+            ]
         self._queues: List[ShardQueue] = []
-        self._workers: List[threading.Thread] = []
-        if executor == "thread":
+        if executor in ("thread", "process"):
             self._queues = [
                 ShardQueue(queue_capacity, backpressure)
                 for _ in range(shards)
             ]
+        self._workers: List[threading.Thread] = []
+        # Process-executor plumbing: one worker process + duplex pipe +
+        # feeder thread per shard, plus the latest synced payload.
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._conns: List = []
+        self._shard_states: List[Optional[Dict[str, object]]] = [
+            None for _ in range(shards)
+        ]
+        # Namespace for this profiler's shared-memory segments; close()
+        # sweeps it as a crash backstop, so it must exist before open().
+        self._shm_prefix = f"rap-{os.getpid():x}-{os.urandom(3).hex()}-"
         # created → open → closed
         self._state = "created"
         # Serializes producers against snapshot epochs.
         self._ingest_lock = threading.Lock()
         # Optional race sanitizer: wraps the trees, queues and the
-        # ingest lock with confinement/lock-discipline assertions.
+        # ingest lock with confinement/lock-discipline assertions. The
+        # process executor runs one more sanitizer *inside* each worker
+        # (trees in another address space cannot be wrapped from here)
+        # and merges their reports on every sync.
         self._sanitizer = None
         if config.debug_sanitize:
             # Lazy import: checks.sanitizer is a debug facility and the
@@ -189,6 +302,11 @@ class Profiler:
         return self._shards
 
     @property
+    def executor(self) -> str:
+        """The resolved executor this profiler runs on."""
+        return self._executor
+
+    @property
     def closed(self) -> bool:
         return self._state == "closed"
 
@@ -198,13 +316,19 @@ class Profiler:
         return self._sanitizer
 
     def open(self) -> "Profiler":
-        """Start the runtime (spawns workers under the threaded executor)."""
+        """Start the runtime (spawns workers under thread/process executors)."""
         if self._state != "created":
             raise RuntimeError(f"cannot open a {self._state} Profiler")
+        if self._executor == "process":
+            self._spawn_processes()
         self._state = "open"
         for shard in range(len(self._queues)):
             worker = threading.Thread(
-                target=self._worker_loop,
+                target=(
+                    self._feeder_loop
+                    if self._executor == "process"
+                    else self._worker_loop
+                ),
                 args=(shard,),
                 name=f"rap-shard-{shard}",
                 daemon=True,
@@ -212,6 +336,44 @@ class Profiler:
             self._workers.append(worker)
             worker.start()
         return self
+
+    def _spawn_processes(self) -> None:
+        """Fork one worker per shard, before any feeder thread exists.
+
+        Fork context when the platform offers it (cheap, inherits the
+        loaded interpreter; safe here because no profiler threads are
+        running yet), spawn otherwise. Workers are daemonic so a
+        crashed parent cannot leave orphans ingesting forever.
+        """
+        # Lazy import, noqa'd like the fold path: the worker module
+        # necessarily names the columnar kernel.
+        from .worker import worker_main
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        try:
+            for shard in range(self._shards):
+                parent_conn, worker_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(
+                        worker_conn,
+                        self._shard_config,
+                        shard,
+                        self._shm_prefix,
+                    ),
+                    name=f"rap-shard-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                worker_conn.close()  # parent keeps only its own end
+                self._processes.append(process)
+                self._conns.append(parent_conn)
+        except BaseException:
+            self._reap_processes()
+            raise
 
     def __enter__(self) -> "Profiler":
         return self.open()
@@ -225,23 +387,86 @@ class Profiler:
 
         After ``close()`` the profiler accepts no more events;
         ``snapshot()`` and ``query()`` keep answering from the final
-        fold.
+        fold. Worker teardown is unconditional: even when a shard
+        failed mid-ingest and this raises, every worker thread is
+        joined, every worker process is exited (terminated if it will
+        not go), and every shared-memory segment is unlinked.
         """
         if self._state == "closed":
-            assert self._snapshot_cache is not None
+            if self._snapshot_cache is None:
+                raise RuntimeError(
+                    "Profiler was closed after a worker failure; "
+                    "no final snapshot exists"
+                )
             return self._snapshot_cache
         if self._state != "open":
             raise RuntimeError("cannot close a Profiler that was never opened")
         with self._ingest_lock:
-            for queue in self._queues:
-                queue.close()
-            for worker in self._workers:
-                worker.join()  # noqa: RAP-LINT016 - workers never take this lock
-            self._raise_worker_errors()
-            self._state = "closed"
-            for tree in self._trees:
-                tree.unconfine()
-            return self._fold_locked()
+            try:
+                for queue in self._queues:
+                    queue.close()
+                for worker in self._workers:
+                    worker.join()  # noqa: RAP-LINT016 - workers never take this lock
+                if self._executor == "process":
+                    self._sync_workers()
+                self._raise_worker_errors()
+                for tree in self._trees:
+                    tree.unconfine()
+                return self._fold_locked()
+            finally:
+                self._state = "closed"
+                self._reap_processes()
+
+    def _reap_processes(self) -> None:
+        """Exit, join and if necessary kill every worker process.
+
+        Ends with a sweep of this profiler's shared-memory namespace:
+        workers unlink their own segments on a clean exit, so the sweep
+        normally removes nothing — it exists for killed workers. Safe
+        to call repeatedly and on partially-constructed state.
+        """
+        if not self._processes:
+            if self._executor == "process":
+                sweep_prefix(self._shm_prefix)
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for shard, conn in enumerate(self._conns):
+            # Wait for the goodbye (sent *after* the worker unlinks its
+            # segments) so a clean shutdown leaves /dev/shm empty the
+            # moment close() returns; a dead worker just times out.
+            process = self._processes[shard]
+            waited = 0.0
+            try:
+                while waited < _EXIT_GRACE:
+                    if conn.poll(_POLL_INTERVAL):
+                        if conn.recv()[0] == "bye":
+                            break
+                    elif not process.is_alive():
+                        break
+                    else:
+                        waited += _POLL_INTERVAL
+            except (EOFError, OSError):
+                pass
+        for process in self._processes:
+            process.join(_EXIT_GRACE)  # noqa: RAP-LINT016 - worker processes live in another address space and cannot take this lock
+            if process.is_alive():
+                process.terminate()
+                process.join(_EXIT_GRACE)  # noqa: RAP-LINT016 - bounded wait on a terminated process; no lock interaction possible
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(_EXIT_GRACE)  # noqa: RAP-LINT016 - bounded wait on a killed process; no lock interaction possible
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._processes = []
+        self._conns = []
+        sweep_prefix(self._shm_prefix)
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -252,7 +477,7 @@ class Profiler:
 
         Values are chopped into chunks of ``batch_size``, partitioned to
         shards, duplicate-combined per shard (``np.unique``), and either
-        enqueued to the shard workers (threaded) or applied inline
+        enqueued to the shard workers (thread/process) or applied inline
         (serial). Returns once every chunk is accepted — which, under
         ``block`` backpressure, may wait for queue space.
         """
@@ -287,7 +512,26 @@ class Profiler:
             for shard, bucket in enumerate(buckets):
                 if bucket:
                     weight = sum(count for _, count in bucket)
-                    self._submit(shard, bucket, weight)
+                    if self._executor == "process":
+                        # Array-shaped counted frame; the worker's
+                        # combining buffer treats its counts as
+                        # weights, so this is observably one
+                        # pre-combined batch like the threaded path's.
+                        bucket.sort()
+                        frame = (
+                            "cbatch",
+                            np.asarray(
+                                [value for value, _ in bucket],
+                                dtype=np.uint64,
+                            ),
+                            np.asarray(
+                                [count for _, count in bucket],
+                                dtype=np.int64,
+                            ),
+                        )
+                        self._submit(shard, frame, weight)
+                    else:
+                        self._submit(shard, bucket, weight)
         if clock is not None:
             self._ingest_seconds += clock() - start
 
@@ -301,6 +545,16 @@ class Profiler:
             self._shard_events[0] += len(chunk)
             self._shard_batches[0] += 1
             return
+        if self._executor == "process":
+            # Raw partitioned frames: no producer-side np.unique. The
+            # worker buffers frames and duplicate-combines its whole
+            # buffered substream in one pass (see ``worker_main``),
+            # which both shrinks the pipe payload and moves the
+            # combining sort off the dispatching thread.
+            for shard, part in enumerate(self._partitioner.split(chunk)):
+                if len(part):
+                    self._submit(shard, ("batch", part), len(part))
+            return
         for shard, batch in enumerate(
             self._partitioner.split_counted(chunk)
         ):
@@ -308,7 +562,7 @@ class Profiler:
                 weight = sum(count for _, count in batch)
                 self._submit(shard, batch, weight)
 
-    def _submit(self, shard: int, batch: Batch, weight: int) -> None:
+    def _submit(self, shard: int, batch, weight: int) -> None:
         if self._executor == "serial":
             self._trees[shard].add_batch(batch)
             self._shard_events[shard] += weight
@@ -344,6 +598,42 @@ class Profiler:
                     failed = True
             queue.task_done()
 
+    def _feeder_loop(self, shard: int) -> None:
+        """Producer-side pump: shard queue → worker pipe (process mode).
+
+        Backpressure stays on the queue (identical policies and
+        counters across executors); the feeder just forwards accepted
+        frames in FIFO order. ``task_done`` fires only after the send,
+        so ``queue.join()`` implies every accepted frame is *in the
+        pipe ahead of any subsequent sync marker* — the ordering the
+        epoch-boundary protocol relies on. A dead worker breaks the
+        pipe; the feeder records the diagnosis and keeps draining so
+        joins and closes never hang on a crashed shard.
+        """
+        queue = self._queues[shard]
+        conn = self._conns[shard]
+        broken = False
+        while True:
+            frames = queue.take_all()
+            if frames is None:
+                return
+            if not broken:
+                try:
+                    # Frames are enqueued pipe-ready (("batch", values)
+                    # or ("cbatch", values, counts)) — forward as-is.
+                    for frame in frames:
+                        conn.send(frame)
+                except (BrokenPipeError, OSError):
+                    broken = True
+                    self._errors.append(
+                        WorkerCrashed(
+                            shard,
+                            self._processes[shard].exitcode,
+                            "receiving batches",
+                        )
+                    )
+            queue.task_done()
+
     def _check_ingestible(self) -> None:
         if self._state != "open":
             hint = " (call open() first)" if self._state == "created" else ""
@@ -359,6 +649,65 @@ class Profiler:
             ) from self._errors[0]
 
     # ------------------------------------------------------------------
+    # Process-executor protocol (parent side)
+    # ------------------------------------------------------------------
+
+    def _recv_reply(self, shard: int, expected: str):
+        """Receive one protocol reply, failing fast on a dead worker."""
+        conn = self._conns[shard]
+        process = self._processes[shard]
+        while True:
+            try:
+                if conn.poll(_POLL_INTERVAL):
+                    reply = conn.recv()
+                    break
+            except (EOFError, OSError):
+                raise WorkerCrashed(
+                    shard, process.exitcode, f"answering {expected!r}"
+                ) from None
+            if not process.is_alive():
+                raise WorkerCrashed(
+                    shard, process.exitcode, f"answering {expected!r}"
+                )
+        if reply[0] != expected:
+            raise RuntimeError(
+                f"shard {shard} worker protocol error: expected "
+                f"{expected!r}, got {reply[0]!r}"
+            )
+        return reply[1]
+
+    def _sync_workers(self) -> None:
+        """Quiesce every worker and cache its synced state.
+
+        Callers hold the ingest lock with all queues joined (or closed
+        and feeders exited), so no feeder is mid-send and the sync
+        marker trails every accepted batch frame in pipe order: a
+        ``synced`` reply proves the worker applied them all. Worker
+        ingest failures and sanitizer reports ride back on the reply.
+        """
+        for shard, conn in enumerate(self._conns):
+            process = self._processes[shard]
+            try:
+                conn.send(("sync",))
+            except (BrokenPipeError, OSError):
+                raise WorkerCrashed(
+                    shard, process.exitcode, "accepting a sync marker"
+                ) from None
+            payload = self._recv_reply(shard, "synced")
+            self._shard_states[shard] = payload
+            if payload.get("sanitizer") and self._sanitizer is not None:
+                self._sanitizer.merge_worker_report(
+                    str(payload["label"]), payload["sanitizer"]
+                )
+            if payload.get("error"):
+                self._errors.append(
+                    RuntimeError(
+                        f"shard {shard} worker ingest failed:\n"
+                        f"{payload['error']}"
+                    )
+                )
+
+    # ------------------------------------------------------------------
     # Snapshots and queries
     # ------------------------------------------------------------------
 
@@ -368,13 +717,17 @@ class Profiler:
         A quiesce without the fold: after ``drain()`` returns, the shard
         trees reflect every event accepted so far, but no snapshot is
         built. Useful to bound ingest latency measurements and to make
-        backpressure deterministic before reading :attr:`metrics`.
+        backpressure deterministic before reading :attr:`metrics` (under
+        the process executor this also refreshes the per-shard synced
+        state those metrics are served from).
         """
         if self._state != "open":
             raise RuntimeError("cannot drain a Profiler that is not open")
         with self._ingest_lock:
             for queue in self._queues:
                 queue.join()  # noqa: RAP-LINT016 - drain locks out producers; workers never take this lock
+            if self._executor == "process":
+                self._sync_workers()
             self._raise_worker_errors()
 
     def snapshot(self) -> RapTree:
@@ -383,45 +736,116 @@ class Profiler:
         Locks out new ingests, drains every accepted batch, then folds
         the shard trees with :func:`~repro.core.combine.combine_many`.
         The result is independent of the live shards (single-shard
-        profiles are cloned) and cached: repeated snapshots with no
-        intervening ingest return the same tree without re-folding.
+        profiles are cloned; process-executor shards are folded from
+        attached or serialized copies) and cached: repeated snapshots
+        with no intervening ingest return the same tree without
+        re-folding.
         """
         if self._state == "closed":
-            assert self._snapshot_cache is not None
+            if self._snapshot_cache is None:
+                raise RuntimeError(
+                    "Profiler was closed after a worker failure; "
+                    "no final snapshot exists"
+                )
             return self._snapshot_cache
         if self._state != "open":
             raise RuntimeError("cannot snapshot a Profiler that is not open")
         with self._ingest_lock:
             for queue in self._queues:
                 queue.join()  # noqa: RAP-LINT016 - epoch boundary locks out producers; workers never take this lock
+            if self._executor == "process":
+                self._sync_workers()
             self._raise_worker_errors()
             return self._fold_locked()
 
     def _fold_locked(self) -> RapTree:
         if self._sanitizer is not None:
             self._sanitizer.begin_fold("Profiler._ingest_lock")
-        epoch = tuple(tree.mutation_generation for tree in self._trees)
-        if (
-            self._snapshot_cache is not None
-            and epoch == self._snapshot_epoch
-        ):
+        try:
+            if self._executor == "process":
+                epoch = tuple(
+                    int(state["state"]["generation"])  # type: ignore[index]
+                    for state in self._shard_states
+                )
+            else:
+                epoch = tuple(
+                    tree.mutation_generation for tree in self._trees
+                )
+            if (
+                self._snapshot_cache is not None
+                and epoch == self._snapshot_epoch
+            ):
+                return self._snapshot_cache
+            clock = self._clock
+            start = clock() if clock is not None else 0.0
+            if self._executor == "process":
+                folded = self._fold_process_locked()
+            elif len(self._trees) == 1:
+                folded = self._trees[0].clone()
+            else:
+                folded = combine_many(self._trees)
+            if clock is not None:
+                self._snapshot_seconds += clock() - start
+            self._snapshots += 1
+            self._snapshot_cache = folded
+            self._snapshot_epoch = epoch
+            return folded
+        finally:
             if self._sanitizer is not None:
                 self._sanitizer.end_fold()
-            return self._snapshot_cache
-        clock = self._clock
-        start = clock() if clock is not None else 0.0
-        if len(self._trees) == 1:
-            folded = self._trees[0].clone()
-        else:
-            folded = combine_many(self._trees)
-        if clock is not None:
-            self._snapshot_seconds += clock() - start
-        self._snapshots += 1
-        self._snapshot_cache = folded
-        self._snapshot_epoch = epoch
-        if self._sanitizer is not None:
-            self._sanitizer.end_fold()
-        return folded
+
+    def _fold_process_locked(self) -> RapTree:
+        """Fold synced worker shards: zero-copy attach, dump fallback.
+
+        Every worker is quiesced (``_sync_workers`` ran under this
+        lock). Shards whose columns live in shared memory are attached
+        read-only and wrapped via ``ColumnarRapTree.attach_columns`` —
+        the fold walks them without copying a column; shards without
+        shared memory are fetched as serialized-v2 text. The result is
+        always independent of worker state: a single shard is cloned,
+        multiple shards fold through ``combine_many`` (which builds a
+        fresh tree from the constituents' node views).
+        """
+        from ..core.columnar import ColumnarRapTree  # noqa: RAP-LINT012 - the fold attaches worker column segments; the attach protocol is columnar-only by design
+        from ..core.serialize import load_tree
+
+        trees: List[RapTree] = []
+        attachments: List[ShmAttachment] = []
+        try:
+            for shard, payload in enumerate(self._shard_states):
+                assert payload is not None, "fold before first sync"
+                if payload["shm"]:
+                    attachment = ShmAttachment(payload["table"])  # type: ignore[arg-type]
+                    attachments.append(attachment)
+                    trees.append(
+                        ColumnarRapTree.attach_columns(
+                            self._shard_config,
+                            attachment.arrays,
+                            payload["state"],  # type: ignore[arg-type]
+                        )
+                    )
+                else:
+                    try:
+                        self._conns[shard].send(("dump",))
+                    except (BrokenPipeError, OSError):
+                        raise WorkerCrashed(
+                            shard,
+                            self._processes[shard].exitcode,
+                            "accepting a dump request",
+                        ) from None
+                    trees.append(
+                        load_tree(self._recv_reply(shard, "dumped"))
+                    )
+            if len(trees) == 1:
+                return trees[0].clone()
+            return combine_many(trees)
+        finally:
+            # Attached trees (and their memoryview rebinds) must die
+            # before the mappings close; the fold result never aliases
+            # worker memory.
+            del trees
+            for attachment in attachments:
+                attachment.close()
 
     def query(self, lo: int, hi: int) -> int:
         """Lower-bound estimate of events in ``[lo, hi]`` (snapshot sugar)."""
@@ -451,18 +875,34 @@ class Profiler:
 
     @property
     def metrics(self) -> RuntimeMetrics:
-        """Current per-shard and aggregate runtime metrics."""
+        """Current per-shard and aggregate runtime metrics.
+
+        Producer-side counters (events, batches, backpressure) are
+        always live. Tree-side fields (splits, merges, node counts)
+        read the live trees under the serial/thread executors; under
+        the process executor they come from each shard's latest synced
+        state — call :meth:`drain` (or take a snapshot) first for
+        exact, deterministic values.
+        """
         shards: List[ShardMetrics] = []
-        for index, tree in enumerate(self._trees):
-            stats = tree.stats
+        for index in range(self._shards):
             entry = ShardMetrics(
                 shard=index,
                 events=self._shard_events[index],
                 batches=self._shard_batches[index],
-                splits=stats.splits,
-                merge_batches=stats.merge_batches,
-                node_count=tree.node_count,
             )
+            if self._executor == "process":
+                payload = self._shard_states[index]
+                if payload is not None:
+                    entry.splits = int(payload["splits"])  # type: ignore[arg-type]
+                    entry.merge_batches = int(payload["merge_batches"])  # type: ignore[arg-type]
+                    entry.node_count = int(payload["node_count"])  # type: ignore[arg-type]
+            else:
+                tree = self._trees[index]
+                stats = tree.stats
+                entry.splits = stats.splits
+                entry.merge_batches = stats.merge_batches
+                entry.node_count = tree.node_count
             if self._queues:
                 queue = self._queues[index]
                 entry.dropped_batches = queue.dropped_batches
@@ -478,7 +918,18 @@ class Profiler:
         )
 
     def shard_trees(self) -> Sequence[RapTree]:
-        """The live shard trees (read-only view; do not mutate)."""
+        """The live shard trees (read-only view; do not mutate).
+
+        Serial and thread executors only: process-executor shard trees
+        live in worker address spaces — take a :meth:`snapshot` (or use
+        :attr:`metrics`) instead of reaching for the live objects.
+        """
+        if self._executor == "process":
+            raise RuntimeError(
+                "shard_trees() is not available under executor='process': "
+                "the trees live in worker processes; use snapshot() for a "
+                "folded copy or metrics for per-shard counters"
+            )
         return tuple(self._trees)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,245 @@
+"""Shard worker process: a columnar tree in shared memory, fed by pipe.
+
+``worker_main`` is the entry point the process executor spawns once per
+shard. The worker owns a :class:`~repro.core.columnar.ColumnarRapTree`
+whose columns live in a :class:`~repro.runtime.shm.ShmArena` (so the
+parent can attach them zero-copy at fold time), confines it to itself,
+and services a tiny command protocol on its pipe end:
+
+``("batch", values)``
+    Raw partitioned value frame, as produced by ``Partitioner.split``
+    (one occurrence per element, producer chunk order). Frames are
+    *buffered*, not ingested one by one: the worker accumulates them
+    in a combining buffer and duplicate-combines the whole buffered
+    substream in a single ``np.unique`` pass right before feeding one
+    sorted counted frame to ``add_counted_arrays`` — the paper's
+    event-combining buffer (Section 3.3, stage 0) stretched across
+    frames, which is where the process executor's ingest advantage
+    over the per-chunk-combining threaded path comes from. The buffer
+    flushes when it holds ``_COMBINE_WINDOW`` events and at every
+    sync, so its memory is bounded and its flush points are a pure
+    function of the frame sequence (pipe FIFO = producer dispatch
+    order): repeat runs build bit-identical trees. No reply; an
+    ingest failure is remembered and surfaced on the next sync.
+``("cbatch", values, counts)``
+    Pre-counted frame (the ``ingest_counted`` path): sorted unique
+    values with positive counts. Enters the same combining buffer
+    with its counts as weights.
+``("sync",)``
+    Quiesce point: flushes the combining buffer, then replies
+    ``("synced", payload)`` where the payload carries the
+    shared-memory segment table, the tree's scalar state
+    (:meth:`~repro.core.columnar.ColumnarRapTree.column_state`),
+    ingest statistics, the recorded failure (if any) and the worker
+    sanitizer's report. Because frames are processed in pipe order,
+    a sync reply proves every earlier batch frame is applied.
+``("dump",)``
+    Replies ``("dumped", text)`` with the serialized-v2 tree — the
+    fold fallback when shared memory is unavailable on this host.
+``("exit",)``
+    Tear down: drop the tree, unlink every shared-memory segment,
+    reply ``("bye",)`` and return. The reply comes *after* the unlink,
+    so a parent that has seen it knows ``/dev/shm`` is clean.
+
+The worker never touches the parent's queues or locks; backpressure
+lives entirely on the parent side (the feeder thread drains a
+:class:`~repro.runtime.queues.ShardQueue` into this pipe). If the pipe
+dies (parent crash), the worker cleans up its segments and exits — the
+arena is unlinked on every path out of :func:`worker_main`.
+"""
+
+from __future__ import annotations
+
+import gc
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import RapConfig
+from ..core.columnar import ColumnarRapTree  # noqa: RAP-LINT012 - the worker owns its shard kernel: the shm allocator hook and column_state/attach protocol are columnar-only by design
+from ..core.serialize import dump_tree
+from .shm import ShmArena
+
+# Combining-buffer flush threshold, in buffered events. Large enough
+# that a typical drain-bounded burst coalesces into one tree pass,
+# small enough to bound worker memory under sustained overload (2**17
+# uint64 values is 1 MiB). Flushes depend only on the frame sequence,
+# never on timing, so the built tree stays a pure function of the
+# stream.
+_COMBINE_WINDOW = 1 << 17
+
+
+def _combine_frames(
+    raw: List[np.ndarray],
+    counted: List[Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Duplicate-combine buffered frames into one sorted counted frame.
+
+    ``raw`` frames weight each occurrence 1; ``counted`` frames carry
+    explicit counts. The result is exactly ``np.unique`` with counts
+    over the concatenated expansion — ascending values, summed
+    weights — without ever materializing the expansion. Dtypes pass
+    through untouched: ``add_counted_arrays`` owns validation, so
+    malformed values raise there exactly as they would have
+    frame by frame.
+    """
+    if not counted:
+        uniques, counts = np.unique(
+            np.concatenate(raw), return_counts=True
+        )
+        return uniques, counts.astype(np.int64, copy=False)
+    parts = list(raw) + [values for values, _ in counted]
+    weights = [
+        np.ones(len(values), dtype=np.int64) for values in raw
+    ] + [counts for _, counts in counted]
+    uniques, inverse = np.unique(
+        np.concatenate(parts), return_inverse=True
+    )
+    combined = np.zeros(uniques.size, dtype=np.int64)
+    np.add.at(combined, inverse, np.concatenate(weights))
+    return uniques, combined
+
+
+def worker_main(
+    conn: Any,
+    config: RapConfig,
+    shard_index: int,
+    shm_prefix: Optional[str],
+) -> None:
+    """Run one shard worker until ``exit`` or pipe loss.
+
+    ``conn`` is the worker end of a duplex pipe; ``config`` is the
+    (epsilon-adjusted) shard tree configuration; ``shm_prefix`` names
+    this worker's shared-memory namespace, or ``None`` to force
+    heap-backed columns (folds then use the serialize fallback).
+    """
+    label = f"shard[{shard_index}]"
+    arena: Optional[ShmArena] = None
+    tree: Optional[ColumnarRapTree] = None
+    if shm_prefix is not None:
+        try:
+            arena = ShmArena(f"{shm_prefix}s{shard_index}-")
+            tree = ColumnarRapTree(config, allocator=arena.allocate)
+        except OSError:
+            # No usable POSIX shared memory on this host: fall through
+            # to heap columns; the parent folds via serialized dumps.
+            if arena is not None:
+                arena.close()
+            arena = None
+            tree = None
+    if tree is None:
+        tree = ColumnarRapTree(config)
+
+    sanitizer = None
+    if config.debug_sanitize:
+        # Lazy import, same reasoning as the profiler: the runtime must
+        # stay importable without the checks package.
+        from ..checks.sanitizer import RapSanitizer
+
+        sanitizer = RapSanitizer()
+        sanitizer.attach_tree(tree, label)
+    tree.confine_to_current_thread()
+
+    failed: Optional[str] = None
+    pending_raw: List[np.ndarray] = []
+    pending_counted: List[Tuple[np.ndarray, np.ndarray]] = []
+    buffered = 0
+
+    def flush() -> None:
+        # One combining pass over everything buffered, then one tree
+        # ingest. Buffers are cleared even on failure (and after one,
+        # dropped unprocessed) so a poisoned batch cannot cascade into
+        # misleading follow-ups or pin memory.
+        nonlocal failed, buffered
+        raw = pending_raw[:]
+        counted = pending_counted[:]
+        pending_raw.clear()
+        pending_counted.clear()
+        buffered = 0
+        if failed is not None or not (raw or counted):
+            return
+        try:
+            values, counts = _combine_frames(raw, counted)
+            # First flush on a fresh tree: build the partition offline
+            # in one pass (same bounds, far cheaper than cascading a
+            # cold tree through per-event splits). Preconditions not
+            # met — or any later flush — take the online kernel.
+            if not (
+                tree.events == 0
+                and tree.bootstrap_counted_arrays(values, counts)
+            ):
+                tree.add_counted_arrays(values, counts)
+        except BaseException:
+            # Remembered, reported on the next sync.
+            failed = traceback.format_exc()
+
+    try:
+        while True:
+            try:
+                frame = conn.recv()
+            except (EOFError, OSError):
+                # Parent went away; clean up and die quietly.
+                return
+            kind = frame[0]
+            if kind == "batch":
+                pending_raw.append(frame[1])
+                buffered += len(frame[1])
+                if buffered >= _COMBINE_WINDOW:
+                    flush()
+            elif kind == "cbatch":
+                pending_counted.append((frame[1], frame[2]))
+                buffered += int(np.sum(frame[2]))
+                if buffered >= _COMBINE_WINDOW:
+                    flush()
+            elif kind == "sync":
+                flush()
+                if arena is not None:
+                    arena.reap_retired()
+                conn.send(("synced", _sync_payload(
+                    label, tree, arena, failed, sanitizer
+                )))
+            elif kind == "dump":
+                flush()
+                conn.send(("dumped", dump_tree(tree)))
+            elif kind == "exit":
+                return
+            else:  # pragma: no cover - protocol bug, not a data path
+                failed = f"unknown worker frame {kind!r}"
+    finally:
+        tree.unconfine()
+        # Drop every ndarray/memoryview export over the arena's buffers
+        # before unlinking, so the segments can actually close. The
+        # sanitizer's method wrappers form a reference cycle with the
+        # tree, so a collect is needed to actually release the views.
+        del tree
+        gc.collect()
+        if arena is not None:
+            arena.close()
+        try:
+            conn.send(("bye",))
+        except (BrokenPipeError, OSError):
+            pass
+        conn.close()
+
+
+def _sync_payload(
+    label: str,
+    tree: ColumnarRapTree,
+    arena: Optional[ShmArena],
+    failed: Optional[str],
+    sanitizer: Any,
+) -> Dict[str, object]:
+    stats = tree.stats
+    return {
+        "label": label,
+        "shm": arena is not None,
+        "table": arena.segment_table() if arena is not None else None,
+        "state": tree.column_state(),
+        "events": tree.events,
+        "node_count": tree.node_count,
+        "splits": stats.splits,
+        "merge_batches": stats.merge_batches,
+        "error": failed,
+        "sanitizer": sanitizer.report() if sanitizer is not None else None,
+    }

@@ -1,0 +1,16 @@
+"""RAP-LINT024 clean: the blessed pattern — go through the arena.
+
+``multiprocessing`` itself is fine to import; only the
+``shared_memory`` submodule is fenced.
+"""
+
+import multiprocessing
+
+from repro.runtime import ShmArena, ShmAttachment, sweep_prefix
+
+
+def shard_columns(prefix: str, table):
+    arena = ShmArena(prefix)
+    attachment = ShmAttachment(table)
+    context = multiprocessing.get_context("spawn")
+    return arena, attachment, context, sweep_prefix(prefix)

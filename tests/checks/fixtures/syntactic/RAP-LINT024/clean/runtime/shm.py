@@ -1,0 +1,11 @@
+"""RAP-LINT024 clean: the arena module itself is the sanctioned site.
+
+Laid out as ``runtime/shm.py`` so the rule's scope exemption resolves
+the same module relpath it sees in ``src``.
+"""
+
+from multiprocessing import shared_memory
+
+
+def allocate(name: str, size: int) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(name=name, create=True, size=size)

@@ -1,0 +1,20 @@
+"""RAP-LINT024 positive: raw shared-memory imports outside the arena.
+
+Every spelling that binds ``multiprocessing.shared_memory`` at a call
+site other than ``repro.runtime.shm`` — the raw SharedMemory lifecycle
+(resource-tracker ownership, retirement, crash sweeps) must stay inside
+the arena module.
+"""
+
+import multiprocessing.shared_memory
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_segment(name: str, size: int):
+    segment = SharedMemory(name=name, create=True, size=size)
+    return segment, shared_memory.SharedMemory(name=name)
+
+
+def leaky_alias(name: str):
+    return multiprocessing.shared_memory.SharedMemory(name=name)

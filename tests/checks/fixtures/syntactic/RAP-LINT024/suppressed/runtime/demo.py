@@ -1,0 +1,7 @@
+"""RAP-LINT024 suppressed: a justified per-line opt-out."""
+
+from multiprocessing import shared_memory  # noqa: RAP-LINT024 - fixture demonstrating a justified suppression
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(name=name)

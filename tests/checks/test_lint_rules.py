@@ -395,6 +395,66 @@ class TestColumnarInternalsImport:
         assert report.ok, report.render_text()
 
 
+class TestSharedMemoryImport:
+    """RAP-LINT024: multiprocessing.shared_memory is arena-private."""
+
+    def test_flags_from_parent_import(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/demo.py",
+            "from multiprocessing import shared_memory\n",
+            select=["RAP-LINT024"],
+        )
+        assert codes(report) == ["RAP-LINT024"]
+        assert "ShmArena" in report.violations[0].message
+
+    def test_flags_module_import(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "import multiprocessing.shared_memory\n",
+            select=["RAP-LINT024"],
+        )
+        assert codes(report) == ["RAP-LINT024"]
+
+    def test_flags_class_import(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "analysis/demo.py",
+            "from multiprocessing.shared_memory import SharedMemory\n",
+            select=["RAP-LINT024"],
+        )
+        assert codes(report) == ["RAP-LINT024"]
+
+    def test_arena_module_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/shm.py",
+            "from multiprocessing import shared_memory\n",
+            select=["RAP-LINT024"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_plain_multiprocessing_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/demo.py",
+            "import multiprocessing\n"
+            "from multiprocessing import get_context\n",
+            select=["RAP-LINT024"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_arena_api_is_the_blessed_pattern(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "experiments/demo.py",
+            "from repro.runtime import ShmArena, ShmAttachment\n",
+            select=["RAP-LINT024"],
+        )
+        assert report.ok, report.render_text()
+
+
 class TestRunner:
     def test_live_src_tree_is_lint_clean(self):
         report = lint_paths([SRC_PACKAGE])
@@ -445,7 +505,7 @@ class TestRunner:
 
     def test_registry_exposes_every_rule(self):
         assert all_rule_codes() == [
-            f"RAP-LINT{index:03d}" for index in range(1, 24)
+            f"RAP-LINT{index:03d}" for index in range(1, 25)
         ]
 
 

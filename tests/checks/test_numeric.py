@@ -331,6 +331,7 @@ class TestSelectIgnoreWildcards:
             "RAP-LINT021",
             "RAP-LINT022",
             "RAP-LINT023",
+            "RAP-LINT024",
         ]
 
     def test_wildcard_ignore(self):

@@ -1,0 +1,160 @@
+"""The cold-start bulk build (``bootstrap_counted_arrays``).
+
+The process executor's first-flush path constructs the adaptive
+partition offline — top-down from one sorted counted frame — instead
+of replaying the per-event cascade. That is a *different* tree shape
+than online ingest builds, so its contract is structural, not
+shape-equivalence: exact lower-bound estimates, undercount within
+``epsilon * n``, full ``check_invariants`` coherence, and seamless
+online ingest afterwards. Preconditions are strict; anything unmet
+must leave the tree untouched and report ``False`` so callers fall
+back to ``add_counted_arrays``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import RapConfig, RapTree, dump_tree
+
+from .test_tree_fastpath import zipf_stream
+
+
+def columnar_tree(universe, **overrides):
+    base = dict(epsilon=0.05, backend="columnar")
+    base.update(overrides)
+    return RapTree.from_config(RapConfig(universe, **base))
+
+
+def counted_frame(values):
+    uniques, counts = np.unique(
+        np.asarray(values, dtype=np.uint64), return_counts=True
+    )
+    return uniques, counts.astype(np.int64)
+
+
+def exact_in(sorted_values, lo, hi):
+    return int(
+        np.searchsorted(sorted_values, hi, side="right")
+        - np.searchsorted(sorted_values, lo)
+    )
+
+
+@pytest.mark.parametrize(
+    "universe,n",
+    [(2**16, 30_000), (2**40, 12_000), (257, 800), (2, 16)],
+)
+def test_bootstrap_meets_the_accuracy_contract(universe, n):
+    rng = random.Random(universe % 9973)
+    values = zipf_stream(rng, universe, n)
+    tree = columnar_tree(universe)
+    assert tree.bootstrap_counted_arrays(*counted_frame(values))
+    assert tree.events == n
+    tree.check_invariants()
+    sorted_values = np.sort(np.asarray(values, dtype=np.uint64))
+    budget = 0.05 * n
+    for _ in range(50):
+        lo = rng.randrange(universe)
+        hi = rng.randrange(lo, universe)
+        exact = exact_in(sorted_values, lo, hi)
+        estimate = tree.estimate(lo, hi)
+        assert estimate <= exact, (lo, hi)
+        assert exact - estimate <= budget, (lo, hi)
+
+
+def test_online_ingest_continues_seamlessly_after_bootstrap():
+    rng = random.Random(31)
+    first = zipf_stream(rng, 2**20, 20_000)
+    second = zipf_stream(rng, 2**20, 5_000)
+    tree = columnar_tree(2**20)
+    assert tree.bootstrap_counted_arrays(*counted_frame(first))
+    tree.extend(second)
+    tree.check_invariants()
+    total = len(first) + len(second)
+    assert tree.events == total
+    sorted_values = np.sort(np.asarray(first + second, dtype=np.uint64))
+    budget = 0.05 * total
+    for _ in range(40):
+        lo = rng.randrange(2**20)
+        hi = rng.randrange(lo, 2**20)
+        exact = exact_in(sorted_values, lo, hi)
+        estimate = tree.estimate(lo, hi)
+        assert estimate <= exact, (lo, hi)
+        assert exact - estimate <= budget, (lo, hi)
+
+
+def test_bootstrap_is_deterministic():
+    rng = random.Random(47)
+    values = zipf_stream(rng, 2**24, 15_000)
+    frame = counted_frame(values)
+    first = columnar_tree(2**24)
+    second = columnar_tree(2**24)
+    assert first.bootstrap_counted_arrays(*frame)
+    assert second.bootstrap_counted_arrays(*frame)
+    assert dump_tree(first) == dump_tree(second)
+
+
+def test_bootstrap_refuses_a_non_fresh_tree():
+    tree = columnar_tree(1 << 16)
+    tree.add(5)
+    values, counts = counted_frame([1, 2, 3])
+    assert not tree.bootstrap_counted_arrays(values, counts)
+    assert tree.events == 1
+    tree.check_invariants()
+
+
+def test_bootstrap_refuses_per_event_hooks():
+    sampled = columnar_tree(1 << 16, timeline_sample_every=100)
+    values, counts = counted_frame([1, 2, 3])
+    assert not sampled.bootstrap_counted_arrays(values, counts)
+    assert sampled.events == 0
+
+
+@pytest.mark.parametrize(
+    "values,counts",
+    [
+        (np.array([], dtype=np.uint64), np.array([], dtype=np.int64)),
+        (  # unsorted
+            np.array([9, 3], dtype=np.uint64),
+            np.array([1, 1], dtype=np.int64),
+        ),
+        (  # duplicate values
+            np.array([3, 3], dtype=np.uint64),
+            np.array([1, 1], dtype=np.int64),
+        ),
+        (  # non-positive count
+            np.array([3, 9], dtype=np.uint64),
+            np.array([1, 0], dtype=np.int64),
+        ),
+        (  # negative value
+            np.array([-1, 9], dtype=np.int64),
+            np.array([1, 1], dtype=np.int64),
+        ),
+        (  # out of the universe
+            np.array([1 << 20], dtype=np.uint64),
+            np.array([1], dtype=np.int64),
+        ),
+        (  # float values
+            np.array([1.5], dtype=np.float64),
+            np.array([1], dtype=np.int64),
+        ),
+    ],
+)
+def test_bootstrap_refuses_malformed_frames(values, counts):
+    tree = columnar_tree(1 << 16)
+    assert not tree.bootstrap_counted_arrays(values, counts)
+    assert tree.events == 0
+    tree.check_invariants()
+
+
+def test_bootstrap_single_heavy_value_stays_exact():
+    tree = columnar_tree(1 << 32)
+    values = np.array([123_456_789], dtype=np.uint64)
+    counts = np.array([10_000], dtype=np.int64)
+    assert tree.bootstrap_counted_arrays(values, counts)
+    assert tree.events == 10_000
+    tree.check_invariants()
+    assert tree.estimate(123_456_789, 123_456_789) == 10_000

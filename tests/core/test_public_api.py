@@ -48,7 +48,11 @@ RUNTIME_SURFACE = [
     "RuntimeMetrics",
     "ShardMetrics",
     "ShardQueue",
+    "ShmArena",
+    "ShmAttachment",
+    "WorkerCrashed",
     "make_partitioner",
+    "sweep_prefix",
 ]
 
 
@@ -91,6 +95,61 @@ class TestKeywordOnlyContracts:
             "allow_mismatched_epsilon"
         ]
         assert parameter.kind is inspect.Parameter.KEYWORD_ONLY
+
+
+class TestExecutorSelection:
+    """The executor= surface: config-level defaults, overrides, shims."""
+
+    def test_config_declares_executor_and_shards(self):
+        config = RapConfig(256, executor="serial", shards=3)
+        assert config.executor == "serial" and config.shards == 3
+
+    def test_config_defaults_flow_into_profiler(self):
+        config = RapConfig(256, executor="serial", shards=2)
+        profiler = Profiler.from_config(config)
+        assert profiler.executor == "serial" and profiler.shards == 2
+
+    def test_constructor_keywords_override_config(self):
+        config = RapConfig(256, executor="serial", shards=2)
+        profiler = Profiler(config, shards=4, executor="thread")
+        assert profiler.executor == "thread" and profiler.shards == 4
+
+    def test_process_executor_is_blessed(self):
+        config = RapConfig(
+            256, backend="columnar", executor="process", shards=2
+        )
+        assert Profiler.from_config(config).executor == "process"
+
+    def test_process_executor_rejects_object_backend_actionably(self):
+        with pytest.raises(ValueError) as excinfo:
+            RapConfig(256, executor="process")
+        message = str(excinfo.value)
+        assert "backend='columnar'" in message
+        assert "executor='process'" in message
+
+    def test_profiler_rejects_object_backend_for_process_executor(self):
+        # Same single validation path when the knob arrives as an
+        # override rather than a config field.
+        with pytest.raises(ValueError, match="columnar"):
+            Profiler(RapConfig(256), executor="process")
+
+    def test_unknown_executor_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="executor"):
+            RapConfig(256, executor="fork")
+        with pytest.raises(ValueError, match="executor"):
+            Profiler(RapConfig(256), executor="fork")
+
+    def test_threads_keyword_is_a_deprecation_shim(self):
+        with pytest.warns(DeprecationWarning, match="threads"):
+            profiler = Profiler(RapConfig(256), threads=3)
+        assert profiler.shards == 3 and profiler.executor == "thread"
+
+    def test_explicit_keywords_win_over_the_shim(self):
+        with pytest.warns(DeprecationWarning):
+            profiler = Profiler(
+                RapConfig(256), threads=3, shards=2, executor="serial"
+            )
+        assert profiler.shards == 2 and profiler.executor == "serial"
 
 
 class TestBlessedConstructors:

@@ -1,0 +1,175 @@
+"""Process-executor lifecycle: shared memory, teardown, crashed workers.
+
+The multiprocess executor owns real OS resources — worker processes and
+named POSIX shared-memory segments — so beyond the accuracy contract
+(covered by ``test_shard_determinism``) its tests pin the resource
+contract:
+
+* every ``close()`` path (clean, mid-ingest exception, crashed worker)
+  leaves no segment in ``/dev/shm`` and no live child process;
+* a worker killed out from under the profiler surfaces a diagnostic
+  :class:`WorkerCrashed` from ``drain()``/``snapshot()``/``close()``
+  instead of hanging a queue join forever;
+* the sanitizer, metrics and snapshot-epoch machinery behave
+  identically to the threaded executor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RapConfig
+from repro.runtime import Profiler, WorkerCrashed
+
+from tests.core.test_tree_fastpath import zipf_stream
+
+UNIVERSE = 2**16
+EPS = 0.05
+
+
+def process_config(**overrides) -> RapConfig:
+    options = dict(
+        epsilon=EPS, backend="columnar", executor="process", shards=2
+    )
+    options.update(overrides)
+    return RapConfig(UNIVERSE, **options)
+
+
+def shm_leftovers() -> list:
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return [entry for entry in entries if entry.startswith("rap-")]
+
+
+def assert_no_leaks() -> None:
+    __tracebackhide__ = True
+    assert shm_leftovers() == []
+    assert multiprocessing.active_children() == []
+
+
+class TestLifecycle:
+    def test_clean_session_leaves_nothing_behind(self):
+        rng = random.Random(41)
+        values = np.asarray(
+            zipf_stream(rng, UNIVERSE, 30_000), dtype=np.uint64
+        )
+        with Profiler.from_config(process_config(shards=4)) as profiler:
+            profiler.ingest(values)
+            snapshot = profiler.snapshot()
+            assert snapshot.events == len(values)
+        assert_no_leaks()
+
+    def test_close_returns_final_snapshot_and_is_idempotent(self):
+        profiler = Profiler.from_config(process_config()).open()
+        profiler.ingest(np.arange(5_000) % 1234)
+        final = profiler.close()
+        assert final.events == 5_000
+        assert profiler.close() is final
+        assert profiler.closed
+        assert_no_leaks()
+
+    def test_mid_ingest_exception_path_still_reaps_everything(self):
+        values = np.arange(10_000) % 4321
+        with pytest.raises(RuntimeError, match="boom"):
+            with Profiler.from_config(process_config()) as profiler:
+                profiler.ingest(values)
+                raise RuntimeError("boom")
+        assert_no_leaks()
+
+    def test_snapshot_epoch_cache_spans_syncs(self):
+        with Profiler.from_config(process_config()) as profiler:
+            profiler.ingest(np.arange(8_000) % 999)
+            first = profiler.snapshot()
+            # No intervening ingest: same epoch, same folded object.
+            assert profiler.snapshot() is first
+            profiler.ingest(np.arange(100) % 999)
+            assert profiler.snapshot() is not first
+        assert_no_leaks()
+
+    def test_metrics_aggregate_like_other_executors(self):
+        with Profiler.from_config(process_config(shards=4)) as profiler:
+            profiler.ingest(np.arange(20_000) % 15_000)
+            profiler.drain()
+            metrics = profiler.metrics
+        assert metrics.events == 20_000
+        assert len(metrics.shards) == 4
+        assert all(shard.node_count > 0 for shard in metrics.shards)
+        assert metrics.dropped_events == 0
+        assert_no_leaks()
+
+    def test_shard_trees_are_not_reachable(self):
+        with Profiler.from_config(process_config()) as profiler:
+            with pytest.raises(RuntimeError, match="worker process"):
+                profiler.shard_trees()
+        assert_no_leaks()
+
+    def test_ingest_counted_routes_by_shard(self):
+        with Profiler.from_config(process_config()) as profiler:
+            profiler.ingest_counted([(7, 10), (40_000, 3), (7, 5)])
+            snapshot = profiler.snapshot()
+        assert snapshot.events == 18
+        assert snapshot.estimate(7, 7) >= 0
+        assert_no_leaks()
+
+    def test_sanitized_process_run_is_clean(self):
+        config = process_config(debug_sanitize=True)
+        with Profiler.from_config(config, shards=2) as profiler:
+            profiler.ingest(np.arange(10_000) % 2_000)
+            profiler.drain()
+        sanitizer = profiler.sanitizer
+        assert sanitizer is not None
+        report = sanitizer.report()
+        assert report["violations"] == []
+        # Worker-side sanitizers reported in on the sync.
+        assert set(report["workers"]) == {"shard[0]", "shard[1]"}
+        assert_no_leaks()
+
+
+class TestCrashedWorker:
+    """A killed worker is a diagnosable error, never a hang."""
+
+    def _kill_shard(self, profiler: Profiler, shard: int) -> None:
+        os.kill(profiler._processes[shard].pid, signal.SIGKILL)  # noqa: SLF001 - crash injection needs the real pid
+        deadline = time.monotonic() + 10.0
+        while profiler._processes[shard].is_alive():  # noqa: SLF001
+            if time.monotonic() > deadline:  # pragma: no cover
+                pytest.fail("killed worker still alive")
+            time.sleep(0.01)
+
+    def test_drain_surfaces_worker_death(self):
+        profiler = Profiler.from_config(process_config()).open()
+        try:
+            profiler.ingest(np.arange(2_000) % 999)
+            profiler.drain()
+            self._kill_shard(profiler, 0)
+            with pytest.raises((WorkerCrashed, RuntimeError)) as excinfo:
+                profiler.ingest(np.arange(2_000) % 999)
+                profiler.drain()
+            message = str(excinfo.value) + str(excinfo.value.__cause__)
+            assert "worker process died" in message
+        finally:
+            with pytest.raises((WorkerCrashed, RuntimeError)):
+                profiler.close()
+        assert_no_leaks()
+
+    def test_crashed_close_reports_and_reaps(self):
+        profiler = Profiler.from_config(process_config()).open()
+        profiler.ingest(np.arange(2_000) % 999)
+        profiler.drain()
+        self._kill_shard(profiler, 1)
+        with pytest.raises((WorkerCrashed, RuntimeError)):
+            profiler.close()
+        assert profiler.closed
+        # A post-crash profiler has no final snapshot to answer from.
+        with pytest.raises(RuntimeError, match="worker failure"):
+            profiler.snapshot()
+        assert_no_leaks()

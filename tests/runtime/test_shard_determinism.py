@@ -50,7 +50,10 @@ def random_ranges(rng: random.Random, n: int) -> List[Tuple[int, int]]:
 
 
 def profiled_snapshot(values: Sequence[int], shards: int, **options) -> RapTree:
-    config = RapConfig(UNIVERSE, epsilon=EPS)
+    # The process executor hosts shard trees in shared-memory columns,
+    # which only the columnar backend provides.
+    backend = "columnar" if options.get("executor") == "process" else "object"
+    config = RapConfig(UNIVERSE, epsilon=EPS, backend=backend)
     with Profiler(config, shards=shards, **options) as profiler:
         profiler.ingest(np.asarray(values, dtype=np.uint64))
         return profiler.snapshot()
@@ -123,6 +126,50 @@ class TestDeterminism:
         first = profiled_snapshot(values, 4)
         second = profiled_snapshot(values, 4)
         assert shape(first._root) == shape(second._root)  # noqa: SLF001
+
+
+class TestProcessExecutorOracle:
+    """The multiprocess executor honors the same accuracy contract.
+
+    Same fold (``combine_many``), same partitioner, same per-shard
+    undercount budget — only the shard trees live in worker processes
+    over shared memory. The envelope is therefore identical:
+    ``eps * n`` against exact counts, hence ``eps * n`` against any
+    other executor's snapshot too.
+    """
+
+    def test_200k_zipf_within_bound_of_single_tree_oracle(self):
+        rng = random.Random(2006)
+        values = zipf_stream(rng, UNIVERSE, 200_000)
+        sorted_values = exact_counts(values)
+        oracle = RapTree.from_config(RapConfig(UNIVERSE, epsilon=EPS))
+        oracle.extend(values)
+        snapshot = profiled_snapshot(values, 4, executor="process")
+        assert snapshot.events == oracle.events == len(values)
+        budget = EPS * len(values)
+        for lo, hi in random_ranges(rng, 60):
+            exact = exact_in(sorted_values, lo, hi)
+            estimate = snapshot.estimate(lo, hi)
+            assert estimate <= exact, (lo, hi)
+            assert exact - estimate <= budget, (lo, hi)
+            assert abs(estimate - oracle.estimate(lo, hi)) <= budget, (lo, hi)
+
+    def test_repeat_process_runs_are_identical(self):
+        rng = random.Random(113)
+        values = zipf_stream(rng, UNIVERSE, 15_000)
+        first = profiled_snapshot(values, 4, executor="process")
+        second = profiled_snapshot(values, 4, executor="process")
+        assert shape(first._root) == shape(second._root)  # noqa: SLF001
+
+    def test_process_within_envelope_of_threaded(self):
+        rng = random.Random(127)
+        values = zipf_stream(rng, UNIVERSE, 20_000)
+        threaded = profiled_snapshot(values, 4, executor="thread")
+        process = profiled_snapshot(values, 4, executor="process")
+        budget = 2 * EPS * len(values)  # each side undercounts <= eps*n
+        for lo, hi in random_ranges(rng, 40):
+            delta = abs(process.estimate(lo, hi) - threaded.estimate(lo, hi))
+            assert delta <= budget, (lo, hi)
 
 
 class TestSanitizedRuns:
