@@ -1,7 +1,8 @@
 """The full RAP-LINT rule registry.
 
-Combines the syntactic rules (RAP-LINT001..005 and 011..012, from
-:mod:`repro.checks.lint.rules`) with the flow-sensitive rules
+Combines the syntactic rules (RAP-LINT001..005, 011..012 and
+024..025, from :mod:`repro.checks.lint.rules`) with the flow-sensitive
+rules
 (RAP-LINT006..010, from :mod:`repro.checks.flow.rules`), the
 interprocedural concurrency rules (RAP-LINT013..017, from
 :mod:`repro.checks.flow.concurrency`), and the numeric/array

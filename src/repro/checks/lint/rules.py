@@ -706,6 +706,110 @@ class SharedMemoryImportRule(Rule):
                     yield self._flag(context, node)
 
 
+class HotPathPickleRule(Rule):
+    code = "RAP-LINT025"
+    name = "hot-path-pickle"
+    scope = "runtime/{profiler,worker,ring}.py"
+    catches = "pickle imports and dumps/loads calls on the shard data path"
+    rationale = (
+        "the ring transport's zero-copy contract holds only while the "
+        "shard data path never serializes: frames are counted binary "
+        "records (repro.core.serialize) written straight into shared "
+        "memory and decoded as read-only ndarray views. A pickle-family "
+        "import or a dumps/loads call in the producer (profiler.py), "
+        "the consumer (worker.py) or the ring itself quietly "
+        "reintroduces the per-frame encode/copy the transport was "
+        "built to delete — quietly, because the pipe fallback keeps "
+        "everything functionally correct while the throughput claim "
+        "rots"
+    )
+    example = (
+        "payload = pickle.dumps(frame)   # in repro/runtime/worker.py"
+    )
+    fix = (
+        "stay on the counted-frame codec: encode_frame_into(view, ...) "
+        "into a ring slice on the producer side, decode_frame(view) on "
+        "the consumer side (both in repro.core.serialize). Control-"
+        "plane messages may ride the multiprocessing pipe — its "
+        "pickling happens inside the stdlib, not in these modules"
+    )
+
+    #: The zero-copy data path: producer, consumer, and the ring itself.
+    _hot_paths = (
+        "runtime/profiler.py",
+        "runtime/worker.py",
+        "runtime/ring.py",
+    )
+    #: Serialization modules whose mere import is a red flag here.
+    _modules = (
+        "pickle",
+        "_pickle",
+        "cPickle",
+        "cloudpickle",
+        "dill",
+        "marshal",
+    )
+    #: Pickle-protocol verbs; dump/load only flagged when resolved to a
+    #: serialization module (np.load et al. stay legal), dumps/loads on
+    #: any receiver — every stdlib/third-party spelling of those two is
+    #: a byte-level serializer.
+    _verbs = ("dump", "load")
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        if not context.in_package(*self._hot_paths):
+            return
+        aliases = _import_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in self._modules:
+                        yield self.violation(
+                            context,
+                            node,
+                            f"imports {alias.name.split('.')[0]} in a "
+                            "zero-copy hot-path module; frames travel as "
+                            "counted binary records via "
+                            "repro.core.serialize (encode_frame_into / "
+                            "decode_frame)",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if not node.level and module.split(".")[0] in self._modules:
+                    yield self.violation(
+                        context,
+                        node,
+                        f"imports from {module.split('.')[0]} in a "
+                        "zero-copy hot-path module; use the counted-"
+                        "frame codec in repro.core.serialize instead",
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = _resolved_call_name(node, aliases) or ""
+                head, _, _ = resolved.partition(".")
+                leaf = resolved.rsplit(".", 1)[-1]
+                if head in self._modules and leaf in self._verbs + (
+                    "dumps",
+                    "loads",
+                ):
+                    yield self.violation(
+                        context,
+                        node,
+                        f"calls {resolved}() on the shard data path; "
+                        "encode with encode_frame_into / decode with "
+                        "decode_frame (repro.core.serialize) instead of "
+                        "serializing",
+                    )
+                elif leaf in ("dumps", "loads"):
+                    yield self.violation(
+                        context,
+                        node,
+                        f"calls {leaf}() on the shard data path; byte-"
+                        "level serialization is banned in the zero-copy "
+                        "transport modules — use the counted-frame "
+                        "codec in repro.core.serialize",
+                    )
+
+
 #: The purely syntactic rules defined in this module. The full
 #: registry — these plus the flow-sensitive RAP-LINT006..010 — lives in
 #: :mod:`repro.checks.lint.registry`.
@@ -720,5 +824,6 @@ SYNTACTIC_RULES: Dict[str, Rule] = {
         DirectTreeConstructionRule(),
         ColumnarInternalsImportRule(),
         SharedMemoryImportRule(),
+        HotPathPickleRule(),
     )
 }

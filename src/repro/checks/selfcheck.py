@@ -6,7 +6,7 @@ demonstrated by checked-in fixtures: the *numeric* rules
 (RAP-LINT018..023, under ``tests/checks/fixtures/numeric/<CODE>/``,
 whose positive violations must carry a non-empty ``flow_trace``
 witness) and the fixture-checked *syntactic* rules (currently
-RAP-LINT024, under ``tests/checks/fixtures/syntactic/<CODE>/``, no
+RAP-LINT024..025, under ``tests/checks/fixtures/syntactic/<CODE>/``, no
 flow-trace requirement — syntactic violations have no data flow to
 witness). Each ``<CODE>/`` directory holds:
 
@@ -43,7 +43,7 @@ FIXTURE_RULES: Sequence[str] = (
     "RAP-LINT023",
 )
 #: Syntactic rules with mandatory fixtures (no flow-trace requirement).
-SYNTACTIC_FIXTURE_RULES: Sequence[str] = ("RAP-LINT024",)
+SYNTACTIC_FIXTURE_RULES: Sequence[str] = ("RAP-LINT024", "RAP-LINT025")
 
 DEFAULT_FIXTURES = Path("tests/checks/fixtures/numeric")
 DEFAULT_SYNTACTIC_FIXTURES = Path("tests/checks/fixtures/syntactic")

@@ -472,23 +472,30 @@ class ColumnarRapTree:
         """
         starts: List[int] = []
         owners: List[int] = []
-
-        def emit(slot: int) -> None:
-            position = int(self._los[slot])
-            child = int(self._first_child[slot])
+        # Plain-list mirrors of the columns: one C-speed conversion each,
+        # then the per-node walk runs on native ints instead of paying a
+        # numpy scalar extraction per field per node. The walk itself is
+        # the recursive emission unrolled onto an explicit stack of
+        # (slot, resume position, next child) frames, so arbitrarily deep
+        # trees cannot hit the interpreter recursion limit either.
+        los = self._los.tolist()
+        his = self._his.tolist()
+        first_child = self._first_child.tolist()
+        next_sibling = self._next_sibling.tolist()
+        stack = [(0, los[0], first_child[0])]
+        while stack:
+            slot, position, child = stack.pop()
             while child != _NO_SLOT:
-                child_lo = int(self._los[child])
-                if child_lo > position:
+                if los[child] > position:
                     starts.append(position)
                     owners.append(slot)
-                emit(child)
-                position = int(self._his[child]) + 1
-                child = int(self._next_sibling[child])
-            if position <= int(self._his[slot]):
+                stack.append((slot, his[child] + 1, next_sibling[child]))
+                slot = child
+                position = los[slot]
+                child = first_child[slot]
+            if position <= his[slot]:
                 starts.append(position)
                 owners.append(slot)
-
-        emit(0)
         self._cov_starts = np.array(starts, dtype=np.uint64)
         self._cov_owner = np.array(owners, dtype=np.int64)
 
@@ -1059,8 +1066,18 @@ class ColumnarRapTree:
 
         created = 0
         bursts = 0
+        # Cover segments, collected level by level as the build walks
+        # down: a leaf's whole range, and each burst parent's runs of
+        # empty cells (cell-aligned by construction). One argsort at
+        # the end replaces the per-node recursive emission of
+        # ``_rebuild_cover`` — which stays the oracle this collection
+        # is checked against (``check_invariants``).
+        cover_start_parts: List[np.ndarray] = []
+        cover_owner_parts: List[np.ndarray] = []
         if total <= floor_t or self._root_hi == 0:
             self._v_counts[0] = total
+            cover_start_parts.append(self._los[:1].astype(np.uint64))
+            cover_owner_parts.append(np.zeros(1, dtype=np.int64))
         else:
             # Root level in exact Python ints — the root's width (the
             # whole universe) can overflow the uint64 cell arithmetic
@@ -1074,6 +1091,16 @@ class ColumnarRapTree:
             bounds[-1] = varr.size
             bounds[1:-1] = np.searchsorted(varr, cell_lo[1:])
             mass = cum[bounds[1:]] - cum[bounds[:-1]]
+            # Root-owned segments: each maximal run of empty cells is
+            # one gap (emit() merges consecutive empty cells too).
+            root_gap = mass == 0
+            root_run = root_gap.copy()
+            root_run[1:] &= ~root_gap[:-1]
+            if root_run.any():
+                cover_start_parts.append(cell_lo[root_run])
+                cover_owner_parts.append(
+                    np.zeros(int(root_run.sum()), dtype=np.int64)
+                )
             keep = np.flatnonzero(mass)
             sel_lo = cell_lo[keep]
             sel_hi = cell_hi[keep]
@@ -1112,6 +1139,11 @@ class ColumnarRapTree:
                 leaf = item | (sel_mass <= floor_t)
                 leaf_slots = slots[leaf]
                 self._counts[leaf_slots] = sel_mass[leaf]
+                if leaf_slots.size:
+                    cover_start_parts.append(
+                        sel_lo[leaf].astype(np.uint64, copy=False)
+                    )
+                    cover_owner_parts.append(leaf_slots)
                 recurse = np.flatnonzero(~leaf)
                 if recurse.size == 0:
                     break
@@ -1161,6 +1193,20 @@ class ColumnarRapTree:
                     ends[narrow, cells_n[narrow] - 1] = p_hi[narrow]
                 mass = cum[idx[:, 1:]] - cum[idx[:, :-1]]
                 nonzero = mass > 0
+                # Parent-owned segments: runs of empty *valid* cells
+                # (columns past a narrow parent's cell count are
+                # padding, not range).
+                valid = (
+                    np.arange(branching, dtype=np.int64)[None, :]
+                    < cells_n[:, None]
+                )
+                gap = ~nonzero & valid
+                gap_run = gap.copy()
+                gap_run[:, 1:] &= ~gap[:, :-1]
+                g_rows, g_cols = np.nonzero(gap_run)
+                if g_rows.size:
+                    cover_start_parts.append(starts[g_rows, g_cols])
+                    cover_owner_parts.append(parent_slots[g_rows])
                 flat = np.flatnonzero(nonzero.ravel())
                 rows = flat // branching
                 cols = flat - rows * branching
@@ -1178,7 +1224,14 @@ class ColumnarRapTree:
         self._stats.splits += bursts
         self._generation += 1
         self._cached_slot = 0
-        self._rebuild_cover()
+        starts_all = np.concatenate(cover_start_parts)
+        owners_all = np.concatenate(cover_owner_parts)
+        # Segment starts are globally unique (one deepest owner per
+        # position), so this ordering is deterministic; stable only to
+        # make that self-evident.
+        order = np.argsort(starts_all, kind="stable")
+        self._cov_starts = starts_all[order]
+        self._cov_owner = owners_all[order]
         if self._scheduler.due(self._events):
             self.merge_now()
         return True

@@ -35,7 +35,10 @@ the dumped stream must already have passed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
 
 from .config import RapConfig
 from .node import RapNode
@@ -187,3 +190,250 @@ def load_from_file(path: str) -> RapTree:
     """Read a tree previously written by :func:`dump_to_file`."""
     with open(path, "r", encoding="ascii") as fh:
         return load_tree(fh.read())
+
+
+# ----------------------------------------------------------------------
+# Binary counted-frame format (shard transport / network framing)
+# ----------------------------------------------------------------------
+#
+# The ASCII format above ships whole trees; this section frames the
+# *stream* — the partitioned batch/counted-batch/sync frames the process
+# executor moves between producer and shard workers, and the unit the
+# planned network ingest tier will put on the wire. The layout is a
+# fixed little-endian header followed by the payload arrays verbatim,
+# so an encoder can write a frame into any writable byte region
+# (a shared-memory ring slot, a socket buffer) with two slice
+# assignments and a decoder can hand back *views*, never copies:
+#
+# .. code-block:: text
+#
+#     offset  size  field
+#          0     4  magic  b"RAPF"
+#          4     2  format version (currently 1)
+#          6     1  kind: 1=batch  2=cbatch  3=sync
+#          7     1  value dtype tag: 0=none 1=<u8 2=<i8 3=<f8
+#          8     8  count — number of payload values
+#         16     8  sequence — producer frame counter (diagnostics,
+#                   sync acknowledgement)
+#         24     8  reserved (zero)
+#         32     …  values[count]  (8-byte elements, tag dtype)
+#          +     …  counts[count]  (<i8, cbatch frames only)
+#
+# Every field and payload element is 8 bytes or a divisor of its
+# offset, so a frame placed at an 8-byte-aligned address has every
+# array it contains aligned too. ``sync`` frames are header-only
+# (count 0, tag 0): they exist to order a quiesce point *behind* the
+# data frames that precede it in the same byte stream.
+
+FRAME_MAGIC = b"RAPF"
+FRAME_VERSION = 1
+FRAME_HEADER_BYTES = 32
+
+FRAME_BATCH = 1
+FRAME_CBATCH = 2
+FRAME_SYNC = 3
+
+_FRAME_KINDS = (FRAME_BATCH, FRAME_CBATCH, FRAME_SYNC)
+
+_FRAME_HEADER_DTYPE = np.dtype(
+    [
+        ("magic", "<u4"),
+        ("version", "<u2"),
+        ("kind", "u1"),
+        ("vtag", "u1"),
+        ("count", "<u8"),
+        ("sequence", "<u8"),
+        ("reserved", "<u8"),
+    ]
+)
+assert _FRAME_HEADER_DTYPE.itemsize == FRAME_HEADER_BYTES
+
+_FRAME_MAGIC_U32 = int(np.frombuffer(FRAME_MAGIC, dtype="<u4")[0])
+
+#: Supported value dtypes. Everything is 8 bytes wide on purpose: the
+#: profiler's event values are ``uint64`` (``int64`` when they arrive as
+#: plain Python lists) and the float tag reserves room for value-weight
+#: streams without a format bump.
+_TAG_NONE = 0
+_TAG_BY_DTYPE = {
+    np.dtype("<u8"): 1,
+    np.dtype("<i8"): 2,
+    np.dtype("<f8"): 3,
+}
+_DTYPE_BY_TAG = {tag: dtype for dtype, tag in _TAG_BY_DTYPE.items()}
+_COUNTS_DTYPE = np.dtype("<i8")
+
+FrameBuffer = Union[np.ndarray, bytes, bytearray, memoryview]
+
+
+class FrameError(ValueError):
+    """A binary frame failed validation (bad header, truncated payload).
+
+    Raised by :func:`decode_frame` for *any* malformed input — garbage
+    magic, unsupported version, unknown kind, impossible count — so a
+    corrupted transport surfaces as a clean Python exception, never a
+    mis-parse silently feeding wrong events into a tree.
+    """
+
+
+@dataclass(frozen=True)
+class BinaryFrame:
+    """One decoded frame: header fields plus zero-copy payload views.
+
+    ``values``/``counts`` are read-only ndarray views over the buffer
+    the frame was decoded from — they stay valid exactly as long as
+    that buffer does (a ring consumer must copy before releasing the
+    region). ``nbytes`` is the total encoded size, i.e. how far the
+    next frame starts.
+    """
+
+    kind: int
+    sequence: int
+    values: Optional[np.ndarray]
+    counts: Optional[np.ndarray]
+    nbytes: int
+
+
+def frame_nbytes(kind: int, count: int) -> int:
+    """Encoded size in bytes of a frame with ``count`` payload values."""
+    if kind == FRAME_SYNC:
+        return FRAME_HEADER_BYTES
+    payload = count * 8
+    if kind == FRAME_CBATCH:
+        payload *= 2
+    return FRAME_HEADER_BYTES + payload
+
+
+def _payload_tag(values: np.ndarray) -> int:
+    tag = _TAG_BY_DTYPE.get(values.dtype.newbyteorder("<"))
+    if tag is None:
+        raise FrameError(
+            f"unsupported frame value dtype {values.dtype}; expected one "
+            f"of {sorted(str(d) for d in _TAG_BY_DTYPE)}"
+        )
+    return tag
+
+
+def encode_frame_into(
+    target: np.ndarray,
+    kind: int,
+    values: Optional[np.ndarray] = None,
+    counts: Optional[np.ndarray] = None,
+    sequence: int = 0,
+) -> int:
+    """Write one frame at the start of ``target``; return its size.
+
+    ``target`` is any writable contiguous ``uint8`` array at least
+    :func:`frame_nbytes` long — typically a slice of a shared-memory
+    ring. The payload arrays are copied in via dtype-punned slice
+    assignment (one vectorized copy each, no intermediate ``bytes``).
+    ``counts`` is required for ``FRAME_CBATCH``, forbidden otherwise;
+    ``FRAME_SYNC`` takes no payload at all.
+    """
+    if kind not in _FRAME_KINDS:
+        raise FrameError(f"unknown frame kind {kind!r}")
+    if kind == FRAME_SYNC:
+        count = 0
+        tag = _TAG_NONE
+    else:
+        if values is None:
+            raise FrameError(f"frame kind {kind} requires a values array")
+        count = len(values)
+        tag = _payload_tag(values)
+    if (counts is not None) != (kind == FRAME_CBATCH):
+        raise FrameError("counts are required for cbatch frames only")
+    if counts is not None and len(counts) != count:
+        raise FrameError(
+            f"counts length {len(counts)} != values length {count}"
+        )
+    total = frame_nbytes(kind, count)
+    if len(target) < total:
+        raise FrameError(
+            f"target holds {len(target)} bytes; frame needs {total}"
+        )
+    header = target[:FRAME_HEADER_BYTES].view(_FRAME_HEADER_DTYPE)
+    header[0] = (
+        _FRAME_MAGIC_U32, FRAME_VERSION, kind, tag, count, sequence, 0,
+    )
+    if count:
+        at = FRAME_HEADER_BYTES
+        span = count * 8
+        target[at:at + span].view(_DTYPE_BY_TAG[tag])[:] = values
+        if counts is not None:
+            at += span
+            target[at:at + span].view(_COUNTS_DTYPE)[:] = counts
+    return total
+
+
+def encode_frame(
+    kind: int,
+    values: Optional[np.ndarray] = None,
+    counts: Optional[np.ndarray] = None,
+    sequence: int = 0,
+) -> bytes:
+    """Encode one frame into a fresh ``bytes`` (tests, socket senders)."""
+    count = 0 if values is None else len(values)
+    buffer = np.zeros(frame_nbytes(kind, count), dtype=np.uint8)
+    used = encode_frame_into(buffer, kind, values, counts, sequence)
+    return buffer[:used].tobytes()
+
+
+def decode_frame(buffer: FrameBuffer) -> BinaryFrame:
+    """Decode the frame at the start of ``buffer`` without copying.
+
+    ``buffer`` may be longer than the frame (a ring region, a socket
+    read): ``BinaryFrame.nbytes`` says where the next frame starts.
+    The payload views are marked read-only — decoding never grants
+    write access to transport memory. Raises :class:`FrameError` on
+    any malformed input.
+    """
+    if isinstance(buffer, np.ndarray):
+        data = buffer.reshape(-1).view(np.uint8)
+    else:
+        data = np.frombuffer(buffer, dtype=np.uint8)
+    if len(data) < FRAME_HEADER_BYTES:
+        raise FrameError(
+            f"truncated frame: {len(data)} bytes < "
+            f"{FRAME_HEADER_BYTES}-byte header"
+        )
+    header = data[:FRAME_HEADER_BYTES].view(_FRAME_HEADER_DTYPE)[0]
+    if int(header["magic"]) != _FRAME_MAGIC_U32:
+        raise FrameError(
+            f"bad frame magic 0x{int(header['magic']):08x}; "
+            f"expected {FRAME_MAGIC!r}"
+        )
+    if int(header["version"]) != FRAME_VERSION:
+        raise FrameError(
+            f"unsupported frame version {int(header['version'])}; "
+            f"this reader speaks version {FRAME_VERSION}"
+        )
+    kind = int(header["kind"])
+    if kind not in _FRAME_KINDS:
+        raise FrameError(f"unknown frame kind {kind}")
+    tag = int(header["vtag"])
+    count = int(header["count"])
+    sequence = int(header["sequence"])
+    if kind == FRAME_SYNC:
+        if tag != _TAG_NONE or count != 0:
+            raise FrameError(
+                f"sync frame carries a payload (tag {tag}, count {count})"
+            )
+        return BinaryFrame(kind, sequence, None, None, FRAME_HEADER_BYTES)
+    if tag not in _DTYPE_BY_TAG:
+        raise FrameError(f"unknown value dtype tag {tag}")
+    total = frame_nbytes(kind, count)
+    if len(data) < total:
+        raise FrameError(
+            f"truncated frame payload: header declares {total} bytes, "
+            f"buffer holds {len(data)}"
+        )
+    at = FRAME_HEADER_BYTES
+    span = count * 8
+    values = data[at:at + span].view(_DTYPE_BY_TAG[tag])
+    values.flags.writeable = False
+    counts = None
+    if kind == FRAME_CBATCH:
+        at += span
+        counts = data[at:at + span].view(_COUNTS_DTYPE)
+        counts.flags.writeable = False
+    return BinaryFrame(kind, sequence, values, counts, total)

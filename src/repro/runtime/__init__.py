@@ -30,14 +30,26 @@ from .partition import (
 )
 from .profiler import Profiler, WorkerCrashed
 from .queues import QueueClosed, ShardQueue
+from .ring import (
+    DEFAULT_RING_BYTES,
+    MIN_RING_BYTES,
+    RingConsumer,
+    RingProducer,
+    RingStalled,
+)
 from .shm import ShmArena, ShmAttachment, sweep_prefix
 
 __all__ = [
+    "DEFAULT_RING_BYTES",
     "HashPartitioner",
+    "MIN_RING_BYTES",
     "Partitioner",
     "Profiler",
     "QueueClosed",
     "RangePartitioner",
+    "RingConsumer",
+    "RingProducer",
+    "RingStalled",
     "RuntimeMetrics",
     "ShardMetrics",
     "ShardQueue",

@@ -18,7 +18,18 @@ from typing import Dict, List
 
 @dataclass
 class ShardMetrics:
-    """Ingestion counters for one worker shard."""
+    """Ingestion counters for one worker shard.
+
+    ``transport_stalls`` / ``transport_stall_s`` count how often (and,
+    with a clock, for how long) the producer blocked waiting for the
+    shard's transport to make room — ring-space waits under the
+    process executor's ring transport. They read zero under the serial
+    and thread executors and the pipe transport, whose blocking waits
+    are already visible as queue backpressure. ``ring_peak_bytes`` is
+    the high-water occupancy of the shard's ring (zero off-ring);
+    ``transport_stall_s`` is time-shaped and stays ``0.0`` without a
+    clock, like every other duration here.
+    """
 
     shard: int
     events: int = 0
@@ -27,11 +38,14 @@ class ShardMetrics:
     dropped_events: int = 0
     spilled_batches: int = 0
     max_queue_depth: int = 0
+    transport_stalls: int = 0
+    transport_stall_s: float = 0.0
+    ring_peak_bytes: int = 0
     splits: int = 0
     merge_batches: int = 0
     node_count: int = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "shard": self.shard,
             "events": self.events,
@@ -40,6 +54,9 @@ class ShardMetrics:
             "dropped_events": self.dropped_events,
             "spilled_batches": self.spilled_batches,
             "max_queue_depth": self.max_queue_depth,
+            "transport_stalls": self.transport_stalls,
+            "transport_stall_s": self.transport_stall_s,
+            "ring_peak_bytes": self.ring_peak_bytes,
             "splits": self.splits,
             "merge_batches": self.merge_batches,
             "node_count": self.node_count,
@@ -73,6 +90,16 @@ class RuntimeMetrics:
         return sum(shard.node_count for shard in self.shards)
 
     @property
+    def transport_stalls(self) -> int:
+        """Producer waits for transport space, summed over shards."""
+        return sum(shard.transport_stalls for shard in self.shards)
+
+    @property
+    def transport_stall_s(self) -> float:
+        """Seconds spent in those waits; ``0.0`` without a clock."""
+        return sum(shard.transport_stall_s for shard in self.shards)
+
+    @property
     def events_per_second(self) -> float:
         """Ingest throughput; ``0.0`` unless a clock was supplied."""
         if self.ingest_seconds <= 0.0:
@@ -85,6 +112,8 @@ class RuntimeMetrics:
             "dropped_events": self.dropped_events,
             "spilled_batches": self.spilled_batches,
             "node_count": self.node_count,
+            "transport_stalls": self.transport_stalls,
+            "transport_stall_s": self.transport_stall_s,
             "snapshots": self.snapshots,
             "snapshot_seconds": self.snapshot_seconds,
             "ingest_seconds": self.ingest_seconds,

@@ -84,11 +84,18 @@ import numpy as np
 
 from ..core.config import RapConfig
 from ..core.combine import combine_many
+from ..core.serialize import FRAME_BATCH, FRAME_CBATCH
 from ..core.tree import RapTree
 from .metrics import RuntimeMetrics, ShardMetrics
 from .partition import Partitioner, make_partitioner
 from .queues import Batch, ShardQueue
-from .shm import ShmAttachment, sweep_prefix
+from .ring import (
+    DEFAULT_RING_BYTES,
+    MIN_RING_BYTES,
+    RingProducer,
+    RingStalled,
+)
+from .shm import ShmArena, ShmAttachment, sweep_prefix
 
 Clock = Callable[[], float]
 Values = Union[np.ndarray, Iterable[int]]
@@ -102,6 +109,30 @@ _EXECUTORS = ("serial", "thread", "process")
 _POLL_INTERVAL = 0.1
 _EXIT_GRACE = 5.0
 
+#: Value dtypes the binary frame format carries natively.
+_FRAME_DTYPES = (np.dtype("<u8"), np.dtype("<i8"), np.dtype("<f8"))
+
+
+def _frame_values(part: np.ndarray) -> np.ndarray:
+    """Coerce a partitioned slice to a frame-encodable dtype.
+
+    Workload arrays are already ``uint64`` and pass through untouched;
+    plain Python lists arrive as ``int64`` (also native). Anything else
+    — ``int32``, object arrays of Python ints — is widened once here.
+    Values the tree would reject (negatives, non-integers) still flow
+    through and fail inside the worker exactly as the pipe transport's
+    pickled frames would, except out-of-``int64``-range object arrays,
+    which are re-tried as ``uint64``.
+    """
+    if part.dtype in _FRAME_DTYPES:
+        return part
+    if part.dtype.kind == "u":
+        return part.astype(np.uint64)
+    try:
+        return part.astype(np.int64)
+    except OverflowError:
+        return part.astype(np.uint64)
+
 
 class WorkerCrashed(RuntimeError):
     """A shard worker process died without completing the protocol.
@@ -109,17 +140,37 @@ class WorkerCrashed(RuntimeError):
     Raised by ``drain()``/``snapshot()``/``close()`` instead of hanging
     when a worker was killed (OOM, SIGKILL, crash): carries the shard
     index and exit code so the failure is diagnosable from the message.
+    Under the ring transport it also carries the ring's frame counters
+    — ``committed`` frames published by the producer and ``consumed``
+    frames the worker had taken — pinpointing exactly how far the
+    shard's stream got before the crash.
     """
 
-    def __init__(self, shard: int, exitcode: Optional[int], doing: str):
+    def __init__(
+        self,
+        shard: int,
+        exitcode: Optional[int],
+        doing: str,
+        *,
+        committed: Optional[int] = None,
+        consumed: Optional[int] = None,
+    ):
         self.shard = shard
         self.exitcode = exitcode
+        self.committed = committed
+        self.consumed = consumed
+        detail = ""
+        if committed is not None:
+            detail = (
+                f" Ring state at death: {committed} frames committed by "
+                f"the producer, {consumed} consumed by the worker."
+            )
         super().__init__(
             f"shard {shard} worker process died while {doing} "
             f"(exit code {exitcode}); its accepted events are lost — "
             "the profiler cannot produce a consistent snapshot. "
             "Check worker memory limits and logs; shared-memory "
-            "segments are reclaimed on close()."
+            "segments are reclaimed on close()." + detail
         )
 
 
@@ -159,12 +210,32 @@ class Profiler:
         ``shard_epsilon * n`` snapshot bound (the equal-memory config
         the multi-shard benchmark uses).
     queue_capacity / backpressure:
-        Bounds and overflow policy of each shard queue (threaded and
-        process executors) — ``"block"`` / ``"drop"`` / ``"spill"``,
-        see :mod:`repro.runtime.queues`.
+        Bounds and overflow policy of the per-shard transport —
+        ``"block"`` / ``"drop"`` / ``"spill"``. Under the thread
+        executor (and the process executor's pipe transport) the policy
+        lives on each bounded :class:`ShardQueue`; under the ring
+        transport the same policy vocabulary, dispositions and
+        counters apply to the shared-memory ring directly
+        (``queue_capacity`` is then unused — the bound is
+        ``ring_bytes``). See :mod:`repro.runtime.queues` and
+        :mod:`repro.runtime.ring`.
     batch_size:
         Ingest calls chop their input into chunks of this many events
         before partitioning, bounding queue memory per slot.
+    transport:
+        Process-executor frame transport: ``"ring"`` (shared-memory
+        SPSC ring buffers carrying binary counted frames — the
+        default, zero pickle on the data path) or ``"pipe"``
+        (pickle-framed pipes fed by feeder threads). ``None``
+        (default) inherits ``config.transport``. Ignored by the
+        serial and thread executors. If POSIX shared memory turns out
+        to be unavailable at ``open()``, the profiler falls back to
+        ``"pipe"`` automatically.
+    ring_bytes:
+        Size of each shard's shared ring region under the ring
+        transport (counter header included). The default (4 MiB)
+        comfortably holds several worker combining windows; tests use
+        small rings to exercise wrap-around and backpressure.
     clock:
         Optional zero-arg callable returning seconds (e.g.
         ``time.perf_counter`` passed *as a function*). When provided,
@@ -184,6 +255,8 @@ class Profiler:
         queue_capacity: int = 8,
         backpressure: str = "block",
         batch_size: int = 4096,
+        transport: Optional[str] = None,
+        ring_bytes: int = DEFAULT_RING_BYTES,
         clock: Optional[Clock] = None,
     ) -> None:
         if threads is not None:
@@ -210,13 +283,24 @@ class Profiler:
             )
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if transport is None:
+            transport = config.transport
+        if ring_bytes < MIN_RING_BYTES:
+            raise ValueError(
+                f"ring_bytes must be >= {MIN_RING_BYTES}, got {ring_bytes}"
+            )
         # Route the resolved knobs through the config's own validation
-        # so every executor/backend combination fails with one message
-        # (notably executor='process' + backend='object').
-        config.with_updates(executor=executor, shards=shards)
+        # so every executor/backend/transport combination fails with one
+        # message (notably executor='process' + backend='object').
+        config.with_updates(
+            executor=executor, shards=shards, transport=transport
+        )
         self._config = config
         self._shards = shards
         self._executor = executor
+        self._transport = transport
+        self._backpressure = backpressure
+        self._ring_bytes = ring_bytes
         self._partitioner: Partitioner = make_partitioner(
             partition, shards, config.range_max
         )
@@ -241,10 +325,19 @@ class Profiler:
                 for _ in range(shards)
             ]
         self._workers: List[threading.Thread] = []
-        # Process-executor plumbing: one worker process + duplex pipe +
-        # feeder thread per shard, plus the latest synced payload.
+        # Process-executor plumbing: one worker process + duplex pipe
+        # per shard (plus, under the pipe transport, a feeder thread),
+        # plus the latest synced payload. Under the ring transport the
+        # parent owns one ring arena + producer per shard; the final
+        # producer stats survive teardown for post-close metrics.
         self._processes: List[multiprocessing.process.BaseProcess] = []
         self._conns: List = []
+        self._ring_arenas: List[ShmArena] = []
+        self._rings: List[RingProducer] = []
+        self._ring_tables: List[Optional[Dict[str, object]]] = []
+        self._ring_stats: List[Optional[Dict[str, object]]] = [
+            None for _ in range(shards)
+        ]
         self._shard_states: List[Optional[Dict[str, object]]] = [
             None for _ in range(shards)
         ]
@@ -307,6 +400,15 @@ class Profiler:
         return self._executor
 
     @property
+    def transport(self) -> str:
+        """The resolved frame transport (``"ring"`` or ``"pipe"``).
+
+        Meaningful under the process executor only; after ``open()``
+        this reflects any fallback from ring to pipe.
+        """
+        return self._transport
+
+    @property
     def closed(self) -> bool:
         return self._state == "closed"
 
@@ -320,8 +422,16 @@ class Profiler:
         if self._state != "created":
             raise RuntimeError(f"cannot open a {self._state} Profiler")
         if self._executor == "process":
+            if self._transport == "ring":
+                self._setup_rings()  # may fall back to the pipe transport
             self._spawn_processes()
         self._state = "open"
+        if self._executor == "process" and self._transport == "ring":
+            # Ring transport: the dispatching thread writes frames
+            # straight into each shard's ring — no feeder threads, no
+            # queue hop, no pickle. The queues stay constructed but
+            # idle (close() and drain() treat them uniformly).
+            return self
         for shard in range(len(self._queues)):
             worker = threading.Thread(
                 target=(
@@ -336,6 +446,80 @@ class Profiler:
             self._workers.append(worker)
             worker.start()
         return self
+
+    def _setup_rings(self) -> None:
+        """Allocate one shared ring region + producer per shard.
+
+        Runs before the workers fork so both sides see the segments.
+        If this host has no usable POSIX shared memory the profiler
+        silently falls back to the pipe transport — the same probe the
+        workers run for their column arenas.
+        """
+        try:
+            for shard in range(self._shards):
+                arena = ShmArena(f"{self._shm_prefix}r{shard}-")
+                self._ring_arenas.append(arena)
+                region = arena.allocate("ring", np.uint8, self._ring_bytes)
+                self._rings.append(
+                    RingProducer(
+                        region,
+                        policy=self._backpressure,
+                        liveness=self._worker_alive(shard),
+                        on_wake=self._nudger(shard),
+                        clock=self._clock,
+                    )
+                )
+                self._ring_tables.append(arena.segment_table())
+        except OSError:
+            self._teardown_rings(keep_stats=False)
+            self._transport = "pipe"
+
+    def _worker_alive(self, shard: int) -> Callable[[], bool]:
+        def alive() -> bool:
+            if shard >= len(self._processes):
+                return True  # not spawned yet — nothing to be dead
+            return self._processes[shard].is_alive()
+
+        return alive
+
+    def _nudger(self, shard: int) -> Callable[[], None]:
+        # Edge-triggered wakeup: the producer calls this when it writes
+        # into an *empty* ring, so a worker parked on its control pipe
+        # re-checks the ring immediately instead of after the poll
+        # timeout. Low rate by construction (one nudge per
+        # empty-to-non-empty transition, not per frame).
+        def nudge() -> None:
+            if shard >= len(self._conns):
+                return
+            try:
+                self._conns[shard].send(("wake",))
+            except (BrokenPipeError, OSError):
+                pass  # a dead worker surfaces via liveness, not here
+
+        return nudge
+
+    def _teardown_rings(self, keep_stats: bool = True) -> None:
+        """Drop producers and unlink ring arenas (idempotent).
+
+        Producer views must die before the arena mappings close; the
+        final counters are snapshotted first so :attr:`metrics` keeps
+        reporting transport stalls after close().
+        """
+        if keep_stats:
+            for shard, producer in enumerate(self._rings):
+                self._ring_stats[shard] = {
+                    "transport_stalls": producer.stalls,
+                    "transport_stall_s": producer.stall_seconds,
+                    "ring_peak_bytes": producer.peak_bytes,
+                    "dropped_batches": producer.dropped_batches,
+                    "dropped_events": producer.dropped_events,
+                    "spilled_batches": producer.spilled_batches,
+                }
+        self._rings = []
+        self._ring_tables = []
+        for arena in self._ring_arenas:
+            arena.close()
+        self._ring_arenas = []
 
     def _spawn_processes(self) -> None:
         """Fork one worker per shard, before any feeder thread exists.
@@ -363,6 +547,11 @@ class Profiler:
                         self._shard_config,
                         shard,
                         self._shm_prefix,
+                        (
+                            self._ring_tables[shard]
+                            if self._transport == "ring" and self._ring_tables
+                            else None
+                        ),
                     ),
                     name=f"rap-shard-{shard}",
                     daemon=True,
@@ -371,6 +560,14 @@ class Profiler:
                 worker_conn.close()  # parent keeps only its own end
                 self._processes.append(process)
                 self._conns.append(parent_conn)
+            # Wait for every worker's ready handshake (sent after it
+            # has built its tree and warmed its ingest path), so
+            # open() returns a runtime that is actually ready to
+            # ingest — start-up cost lands here, not inside the first
+            # ingest/drain. Waiting after starting them all lets the
+            # warm-ups overlap across workers.
+            for shard in range(self._shards):
+                self._recv_reply(shard, "ready")
         except BaseException:
             self._reap_processes()
             raise
@@ -427,6 +624,7 @@ class Profiler:
         """
         if not self._processes:
             if self._executor == "process":
+                self._teardown_rings()
                 sweep_prefix(self._shm_prefix)
             return
         for conn in self._conns:
@@ -466,6 +664,7 @@ class Profiler:
                 pass
         self._processes = []
         self._conns = []
+        self._teardown_rings()
         sweep_prefix(self._shm_prefix)
 
     # ------------------------------------------------------------------
@@ -518,18 +717,22 @@ class Profiler:
                         # weights, so this is observably one
                         # pre-combined batch like the threaded path's.
                         bucket.sort()
-                        frame = (
-                            "cbatch",
-                            np.asarray(
-                                [value for value, _ in bucket],
-                                dtype=np.uint64,
-                            ),
-                            np.asarray(
-                                [count for _, count in bucket],
-                                dtype=np.int64,
-                            ),
+                        values = np.asarray(
+                            [value for value, _ in bucket],
+                            dtype=np.uint64,
                         )
-                        self._submit(shard, frame, weight)
+                        counts = np.asarray(
+                            [count for _, count in bucket],
+                            dtype=np.int64,
+                        )
+                        if self._transport == "ring":
+                            self._submit_ring(
+                                shard, FRAME_CBATCH, values, counts, weight
+                            )
+                        else:
+                            self._submit(
+                                shard, ("cbatch", values, counts), weight
+                            )
                     else:
                         self._submit(shard, bucket, weight)
         if clock is not None:
@@ -549,11 +752,23 @@ class Profiler:
             # Raw partitioned frames: no producer-side np.unique. The
             # worker buffers frames and duplicate-combines its whole
             # buffered substream in one pass (see ``worker_main``),
-            # which both shrinks the pipe payload and moves the
-            # combining sort off the dispatching thread.
+            # which both shrinks the transport payload and moves the
+            # combining sort off the dispatching thread. Under the
+            # ring transport the partitioner's output arrays are
+            # encoded straight into each shard's shared ring — no
+            # queue hop, no feeder thread, no pickle.
             for shard, part in enumerate(self._partitioner.split(chunk)):
                 if len(part):
-                    self._submit(shard, ("batch", part), len(part))
+                    if self._transport == "ring":
+                        self._submit_ring(
+                            shard,
+                            FRAME_BATCH,
+                            _frame_values(part),
+                            None,
+                            len(part),
+                        )
+                    else:
+                        self._submit(shard, ("batch", part), len(part))
             return
         for shard, batch in enumerate(
             self._partitioner.split_counted(chunk)
@@ -561,6 +776,37 @@ class Profiler:
             if batch:
                 weight = sum(count for _, count in batch)
                 self._submit(shard, batch, weight)
+
+    def _submit_ring(
+        self,
+        shard: int,
+        kind: int,
+        values: np.ndarray,
+        counts: Optional[np.ndarray],
+        weight: int,
+    ) -> None:
+        """Write one binary frame into the shard's ring (ring transport).
+
+        Runs on the dispatching thread under the ingest lock (which is
+        what makes the producer side single-writer). A consumer that
+        died while we were blocked on ring space surfaces as
+        :class:`WorkerCrashed` with the ring's commit counters.
+        """
+        producer = self._rings[shard]
+        try:
+            disposition = producer.write_frame(kind, values, counts)  # noqa: RAP-LINT016 - ring waits block on the worker *process*, which never takes this lock; liveness-checked so a dead peer raises instead of deadlocking
+        except RingStalled as stall:
+            raise WorkerCrashed(
+                shard,
+                self._processes[shard].exitcode,
+                "draining its ring",
+                committed=stall.committed,
+                consumed=stall.consumed,
+            ) from None
+        if disposition != "dropped":
+            self._shard_events[shard] += weight
+            self._shard_batches[shard] += 1
+        self._raise_worker_errors()
 
     def _submit(self, shard: int, batch, weight: int) -> None:
         if self._executor == "serial":
@@ -652,6 +898,23 @@ class Profiler:
     # Process-executor protocol (parent side)
     # ------------------------------------------------------------------
 
+    def _worker_crashed(self, shard: int, doing: str) -> WorkerCrashed:
+        """Build the dead-worker diagnostic, with ring counters when the
+        ring transport is live: the last-committed/last-consumed frame
+        sequences pinpoint how far the shard's stream got."""
+        committed = consumed = None
+        if self._transport == "ring" and shard < len(self._rings):
+            producer = self._rings[shard]
+            committed = producer.committed_frames
+            consumed = producer.consumed_frames
+        return WorkerCrashed(
+            shard,
+            self._processes[shard].exitcode,
+            doing,
+            committed=committed,
+            consumed=consumed,
+        )
+
     def _recv_reply(self, shard: int, expected: str):
         """Receive one protocol reply, failing fast on a dead worker."""
         conn = self._conns[shard]
@@ -662,13 +925,11 @@ class Profiler:
                     reply = conn.recv()
                     break
             except (EOFError, OSError):
-                raise WorkerCrashed(
-                    shard, process.exitcode, f"answering {expected!r}"
+                raise self._worker_crashed(
+                    shard, f"answering {expected!r}"
                 ) from None
             if not process.is_alive():
-                raise WorkerCrashed(
-                    shard, process.exitcode, f"answering {expected!r}"
-                )
+                raise self._worker_crashed(shard, f"answering {expected!r}")
         if reply[0] != expected:
             raise RuntimeError(
                 f"shard {shard} worker protocol error: expected "
@@ -680,11 +941,41 @@ class Profiler:
         """Quiesce every worker and cache its synced state.
 
         Callers hold the ingest lock with all queues joined (or closed
-        and feeders exited), so no feeder is mid-send and the sync
-        marker trails every accepted batch frame in pipe order: a
+        and feeders exited), so no frame is mid-flight and the sync
+        marker trails every accepted frame in transport order: a
         ``synced`` reply proves the worker applied them all. Worker
         ingest failures and sanitizer reports ride back on the reply.
+
+        Under the ring transport the sync travels *in-band* — a sync
+        frame written behind the shard's data frames — and is broadcast
+        to every ring before any reply is collected, so the workers'
+        wakeup and flush latencies overlap instead of serializing one
+        sync round-trip per shard. Each reply echoes the sync frame's
+        sequence number, proving it answers *this* epoch boundary.
         """
+        if self._transport == "ring" and self._rings:
+            expected: List[int] = []
+            for shard, producer in enumerate(self._rings):
+                try:
+                    expected.append(producer.write_sync())  # noqa: RAP-LINT016 - ring waits block on the worker *process*, which never takes this lock; liveness-checked so a dead peer raises instead of deadlocking
+                except RingStalled as stall:
+                    raise WorkerCrashed(
+                        shard,
+                        self._processes[shard].exitcode,
+                        "accepting a sync frame",
+                        committed=stall.committed,
+                        consumed=stall.consumed,
+                    ) from None
+            for shard in range(self._shards):
+                payload = self._recv_reply(shard, "synced")
+                if payload.get("sync_seq") != expected[shard]:
+                    raise RuntimeError(
+                        f"shard {shard} worker protocol error: sync reply "
+                        f"for frame {payload.get('sync_seq')!r}, expected "
+                        f"{expected[shard]}"
+                    )
+                self._accept_sync_payload(shard, payload)
+            return
         for shard, conn in enumerate(self._conns):
             process = self._processes[shard]
             try:
@@ -693,19 +984,26 @@ class Profiler:
                 raise WorkerCrashed(
                     shard, process.exitcode, "accepting a sync marker"
                 ) from None
-            payload = self._recv_reply(shard, "synced")
-            self._shard_states[shard] = payload
-            if payload.get("sanitizer") and self._sanitizer is not None:
-                self._sanitizer.merge_worker_report(
-                    str(payload["label"]), payload["sanitizer"]
+            self._accept_sync_payload(
+                shard, self._recv_reply(shard, "synced")
+            )
+
+    def _accept_sync_payload(
+        self, shard: int, payload: Dict[str, object]
+    ) -> None:
+        """Record one shard's synced state; surface its errors/reports."""
+        self._shard_states[shard] = payload
+        if payload.get("sanitizer") and self._sanitizer is not None:
+            self._sanitizer.merge_worker_report(
+                str(payload["label"]), payload["sanitizer"]
+            )
+        if payload.get("error"):
+            self._errors.append(
+                RuntimeError(
+                    f"shard {shard} worker ingest failed:\n"
+                    f"{payload['error']}"
                 )
-            if payload.get("error"):
-                self._errors.append(
-                    RuntimeError(
-                        f"shard {shard} worker ingest failed:\n"
-                        f"{payload['error']}"
-                    )
-                )
+            )
 
     # ------------------------------------------------------------------
     # Snapshots and queries
@@ -909,6 +1207,27 @@ class Profiler:
                 entry.dropped_events = queue.dropped_events
                 entry.spilled_batches = queue.spilled_batches
                 entry.max_queue_depth = queue.max_depth
+            # Ring transport: backpressure lives on the ring producer,
+            # not the (idle) queue — its counters override the queue
+            # zeros above. Live producers win; after teardown the
+            # snapshot taken by ``_teardown_rings`` keeps answering.
+            if index < len(self._rings):
+                producer = self._rings[index]
+                entry.dropped_batches = producer.dropped_batches
+                entry.dropped_events = producer.dropped_events
+                entry.spilled_batches = producer.spilled_batches
+                entry.transport_stalls = producer.stalls
+                entry.transport_stall_s = producer.stall_seconds
+                entry.ring_peak_bytes = producer.peak_bytes
+            elif self._ring_stats[index] is not None:
+                stats = self._ring_stats[index]
+                assert stats is not None
+                entry.dropped_batches = int(stats["dropped_batches"])  # type: ignore[arg-type]
+                entry.dropped_events = int(stats["dropped_events"])  # type: ignore[arg-type]
+                entry.spilled_batches = int(stats["spilled_batches"])  # type: ignore[arg-type]
+                entry.transport_stalls = int(stats["transport_stalls"])  # type: ignore[arg-type]
+                entry.transport_stall_s = float(stats["transport_stall_s"])  # type: ignore[arg-type]
+                entry.ring_peak_bytes = int(stats["ring_peak_bytes"])  # type: ignore[arg-type]
             shards.append(entry)
         return RuntimeMetrics(
             shards=shards,

@@ -1,10 +1,22 @@
-"""Shard worker process: a columnar tree in shared memory, fed by pipe.
+"""Shard worker process: a columnar tree in shared memory.
 
 ``worker_main`` is the entry point the process executor spawns once per
 shard. The worker owns a :class:`~repro.core.columnar.ColumnarRapTree`
 whose columns live in a :class:`~repro.runtime.shm.ShmArena` (so the
 parent can attach them zero-copy at fold time), confines it to itself,
-and services a tiny command protocol on its pipe end:
+and consumes the partitioned event stream over one of two transports:
+
+* **ring** (the default): data frames arrive as binary counted frames
+  (:mod:`repro.core.serialize`) through a shared-memory SPSC ring
+  (:class:`~repro.runtime.ring.RingConsumer`), decoded as read-only
+  ndarray *views* over ring memory — zero copies until the combining
+  flush. The pipe stays attached but carries only low-rate control
+  (``wake``/``dump``/``exit``); sync markers travel *in-band* through
+  the ring so they order behind every data frame by construction.
+* **pipe** (fallback): every frame is a pickled tuple on the duplex
+  pipe — the protocol below, unchanged.
+
+Pipe command protocol:
 
 ``("batch", values)``
     Raw partitioned value frame, as produced by ``Partitioner.split``
@@ -42,7 +54,9 @@ and services a tiny command protocol on its pipe end:
     so a parent that has seen it knows ``/dev/shm`` is clean.
 
 The worker never touches the parent's queues or locks; backpressure
-lives entirely on the parent side (the feeder thread drains a
+lives entirely on the parent side (under the ring transport the
+producer blocks/drops/spills against the ring itself; under the pipe
+transport a feeder thread drains a
 :class:`~repro.runtime.queues.ShardQueue` into this pipe). If the pipe
 dies (parent crash), the worker cleans up its segments and exits — the
 arena is unlinked on every path out of :func:`worker_main`.
@@ -58,8 +72,9 @@ import numpy as np
 
 from ..core.config import RapConfig
 from ..core.columnar import ColumnarRapTree  # noqa: RAP-LINT012 - the worker owns its shard kernel: the shm allocator hook and column_state/attach protocol are columnar-only by design
-from ..core.serialize import dump_tree
-from .shm import ShmArena
+from ..core.serialize import FRAME_CBATCH, FRAME_SYNC, dump_tree
+from .ring import RingConsumer
+from .shm import ShmArena, ShmAttachment
 
 # Combining-buffer flush threshold, in buffered events. Large enough
 # that a typical drain-bounded burst coalesces into one tree pass,
@@ -68,6 +83,14 @@ from .shm import ShmArena
 # never on timing, so the built tree stays a pure function of the
 # stream.
 _COMBINE_WINDOW = 1 << 17
+
+# How long the ring consumer parks on the control pipe when the ring is
+# empty. The producer nudges the pipe ("wake") whenever it writes into
+# an empty ring, so this timeout is only a lost-wakeup backstop — it
+# bounds the worst-case latency of noticing an in-band frame after a
+# nudge raced the park, not the steady-state latency (which is the
+# nudge itself).
+_RING_IDLE_POLL = 0.05
 
 
 def _combine_frames(
@@ -101,11 +124,38 @@ def _combine_frames(
     return uniques, combined
 
 
+def _warm_ingest_path(config: RapConfig) -> None:
+    """Exercise the flush pipeline once on a scratch tree (then drop it).
+
+    Runs the exact code the first real flush runs — cross-frame
+    combining, the offline bootstrap build, the online counted kernel —
+    over a tiny synthetic stream on heap-backed columns. Purely a
+    warm-up: nothing escapes, and the profiler's trees are untouched.
+    """
+    try:
+        span = min(4096, config.range_max)
+        values = (np.arange(2048, dtype=np.uint64) * 7) % span
+        uniques, counts = _combine_frames(
+            [values], [(np.arange(8, dtype=np.uint64), np.ones(8, np.int64))]
+        )
+        scratch = ColumnarRapTree(config)
+        if not scratch.bootstrap_counted_arrays(uniques, counts):
+            scratch.add_counted_arrays(uniques, counts)
+        scratch.add_counted_arrays(
+            np.arange(16, dtype=np.uint64), np.full(16, 2, dtype=np.int64)
+        )
+    except BaseException:
+        # Best-effort by definition: a failed warm-up must never take
+        # the worker down — the real stream decides what actually fails.
+        pass
+
+
 def worker_main(
     conn: Any,
     config: RapConfig,
     shard_index: int,
     shm_prefix: Optional[str],
+    ring_table: Optional[Dict[str, Tuple[str, str, int, int]]] = None,
 ) -> None:
     """Run one shard worker until ``exit`` or pipe loss.
 
@@ -113,6 +163,8 @@ def worker_main(
     (epsilon-adjusted) shard tree configuration; ``shm_prefix`` names
     this worker's shared-memory namespace, or ``None`` to force
     heap-backed columns (folds then use the serialize fallback).
+    ``ring_table`` is the parent-allocated ring region's segment table
+    under the ring transport, or ``None`` for the pipe transport.
     """
     label = f"shard[{shard_index}]"
     arena: Optional[ShmArena] = None
@@ -140,6 +192,18 @@ def worker_main(
         sanitizer = RapSanitizer()
         sanitizer.attach_tree(tree, label)
     tree.confine_to_current_thread()
+
+    # Warm the ingest path on a throwaway heap tree before reporting
+    # ready: the first pass through the combining/bootstrap code in a
+    # fresh process pays interpreter specialization and allocator
+    # cold-start costs that belong to open(), not to the first
+    # ingest's latency. The parent waits for the ``ready`` below, so
+    # all of this happens before it dispatches a single frame.
+    _warm_ingest_path(config)
+    try:
+        conn.send(("ready", None))
+    except (BrokenPipeError, OSError):
+        pass  # parent gone already; the loops below exit the same way
 
     failed: Optional[str] = None
     pending_raw: List[np.ndarray] = []
@@ -174,7 +238,26 @@ def worker_main(
             # Remembered, reported on the next sync.
             failed = traceback.format_exc()
 
-    try:
+    def materialize() -> None:
+        # Copy buffered ring views into worker-owned arrays so the ring
+        # bytes under them can be released early (congestion relief).
+        # Invisible to the tree: flush points and the combined stream
+        # are unchanged — this only rebinds where the bytes live.
+        pending_raw[:] = [np.array(part) for part in pending_raw]
+        pending_counted[:] = [
+            (np.array(values), np.array(counts))
+            for values, counts in pending_counted
+        ]
+
+    def sync_payload(sync_seq: Optional[int]) -> Dict[str, object]:
+        if arena is not None:
+            arena.reap_retired()
+        payload = _sync_payload(label, tree, arena, failed, sanitizer)
+        payload["sync_seq"] = sync_seq
+        return payload
+
+    def pipe_loop() -> None:
+        nonlocal failed, buffered
         while True:
             try:
                 frame = conn.recv()
@@ -194,11 +277,7 @@ def worker_main(
                     flush()
             elif kind == "sync":
                 flush()
-                if arena is not None:
-                    arena.reap_retired()
-                conn.send(("synced", _sync_payload(
-                    label, tree, arena, failed, sanitizer
-                )))
+                conn.send(("synced", sync_payload(None)))
             elif kind == "dump":
                 flush()
                 conn.send(("dumped", dump_tree(tree)))
@@ -206,6 +285,78 @@ def worker_main(
                 return
             else:  # pragma: no cover - protocol bug, not a data path
                 failed = f"unknown worker frame {kind!r}"
+
+    def ring_loop(consumer: RingConsumer) -> None:
+        # Data and sync frames arrive in-band through the ring; the
+        # pipe is polled only when the ring runs empty, and then with a
+        # timeout, so a "wake" nudge (or the backstop timeout) gets the
+        # worker back onto the ring. Frames are *views* into ring
+        # memory: the ring bytes are released right after each flush
+        # copies them out, or copied aside (``materialize``) if the
+        # buffered window starts crowding the producer.
+        nonlocal failed, buffered
+        congested = consumer.capacity // 2
+        while True:
+            frame = consumer.try_next()
+            if frame is not None:
+                if frame.kind == FRAME_SYNC:
+                    flush()
+                    consumer.release()
+                    conn.send(("synced", sync_payload(frame.sequence)))
+                elif frame.kind == FRAME_CBATCH:
+                    pending_counted.append((frame.values, frame.counts))
+                    buffered += int(np.sum(frame.counts))
+                    if buffered >= _COMBINE_WINDOW:
+                        flush()
+                        consumer.release()
+                    elif consumer.bytes_held > congested:
+                        materialize()
+                        consumer.release()
+                else:
+                    pending_raw.append(frame.values)
+                    buffered += len(frame.values)
+                    if buffered >= _COMBINE_WINDOW:
+                        flush()
+                        consumer.release()
+                    elif consumer.bytes_held > congested:
+                        materialize()
+                        consumer.release()
+                continue
+            try:
+                if not conn.poll(_RING_IDLE_POLL):
+                    # Idle a full poll period with ring bytes still
+                    # pinned by buffered views: copy them aside and
+                    # free the space. Without this a producer whose
+                    # next frame needs more than the unpinned
+                    # remainder (large frame, small ring) would wait
+                    # on a consumer that is parked waiting for it —
+                    # a standoff neither side can break.
+                    if consumer.bytes_held:
+                        materialize()
+                        consumer.release()
+                    continue
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            kind = message[0]
+            if kind == "wake":
+                continue  # nudge: data is (or was) in the ring
+            if kind == "dump":
+                flush()
+                consumer.release()
+                conn.send(("dumped", dump_tree(tree)))
+            elif kind == "exit":
+                return
+            else:  # pragma: no cover - protocol bug, not a data path
+                failed = f"unknown worker control {kind!r}"
+
+    ring_attachment: Optional[ShmAttachment] = None
+    try:
+        if ring_table is not None:
+            ring_attachment = ShmAttachment(ring_table)
+            ring_loop(RingConsumer(ring_attachment.arrays["ring"]))
+        else:
+            pipe_loop()
     finally:
         tree.unconfine()
         # Drop every ndarray/memoryview export over the arena's buffers
@@ -213,9 +364,13 @@ def worker_main(
         # sanitizer's method wrappers form a reference cycle with the
         # tree, so a collect is needed to actually release the views.
         del tree
+        pending_raw.clear()
+        pending_counted.clear()
         gc.collect()
         if arena is not None:
             arena.close()
+        if ring_attachment is not None:
+            ring_attachment.close()
         try:
             conn.send(("bye",))
         except (BrokenPipeError, OSError):

@@ -1,0 +1,13 @@
+"""RAP-LINT025 clean: pickle outside the hot-path trio is not fenced.
+
+The rule guards ``runtime/{profiler,worker,ring}.py`` specifically —
+an offline journal module may serialize however it likes (other rules
+permitting); this file exists so the inclusion scope is demonstrated
+from both sides.
+"""
+
+import pickle
+
+
+def checkpoint(state) -> bytes:
+    return pickle.dumps(state)

@@ -1,0 +1,20 @@
+"""RAP-LINT025 clean: the blessed zero-copy pattern.
+
+Frames cross the process boundary as counted binary records decoded
+into read-only ndarray views — no serializer anywhere on the data
+path. ``np.frombuffer`` and the codec helpers are exactly what the
+rule wants to see.
+"""
+
+import numpy as np
+
+from repro.core.serialize import decode_frame, encode_frame_into
+
+
+def produce(view, values, counts, sequence):
+    encode_frame_into(view, 2, values, counts, sequence=sequence)
+
+
+def consume(view):
+    frame = decode_frame(view)
+    return np.frombuffer(view, dtype=np.uint8), frame

@@ -1,0 +1,20 @@
+"""RAP-LINT025 positive: serialization creeping back into the hot path.
+
+Laid out as ``runtime/worker.py`` — one of the three zero-copy
+transport modules — so the rule's inclusion scope resolves the same
+module relpath it sees in ``src``. Every spelling is banned: the
+import alone, the resolved ``pickle.dumps`` call, and bare
+``dumps``/``loads`` whatever module they came from.
+"""
+
+import pickle
+from marshal import dumps
+
+
+def reframe(frame):
+    payload = pickle.dumps(frame)
+    return pickle.loads(payload)
+
+
+def shortcut(frame):
+    return dumps(frame)

@@ -1,0 +1,7 @@
+"""RAP-LINT025 suppressed: a justified per-line opt-out."""
+
+import pickle  # noqa: RAP-LINT025 - fixture demonstrating a justified suppression
+
+
+def debug_snapshot(state) -> bytes:
+    return pickle.dumps(state)  # noqa: RAP-LINT025 - cold diagnostics path, never per-frame

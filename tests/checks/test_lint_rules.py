@@ -455,6 +455,85 @@ class TestSharedMemoryImport:
         assert report.ok, report.render_text()
 
 
+class TestHotPathPickle:
+    """RAP-LINT025: no serialization on the zero-copy shard data path."""
+
+    def test_flags_pickle_import_in_worker(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/worker.py",
+            "import pickle\n",
+            select=["RAP-LINT025"],
+        )
+        assert codes(report) == ["RAP-LINT025"]
+        assert "repro.core.serialize" in report.violations[0].message
+
+    def test_flags_resolved_pickle_calls(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/profiler.py",
+            "import pickle as p\n"
+            "def f(frame):\n"
+            "    return p.loads(p.dumps(frame))\n",
+            select=["RAP-LINT025"],
+        )
+        # The aliased import plus both calls.
+        assert codes(report) == ["RAP-LINT025"] * 3
+
+    def test_flags_bare_dumps_loads_from_any_module(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/ring.py",
+            "import json\n"
+            "def f(frame):\n"
+            "    return json.dumps(frame)\n",
+            select=["RAP-LINT025"],
+        )
+        assert codes(report) == ["RAP-LINT025"]
+        assert "dumps()" in report.violations[0].message
+
+    def test_other_runtime_modules_are_out_of_scope(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/queues.py",
+            "import pickle\nx = pickle.dumps([1])\n",
+            select=["RAP-LINT025"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_codec_and_views_are_the_blessed_pattern(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/worker.py",
+            "import numpy as np\n"
+            "from repro.core.serialize import decode_frame\n"
+            "def f(view):\n"
+            "    return decode_frame(view), np.load\n",
+            select=["RAP-LINT025"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_np_load_style_calls_stay_legal(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/worker.py",
+            "import numpy as np\n"
+            "def f(path):\n"
+            "    return np.load(path)\n",
+            select=["RAP-LINT025"],
+        )
+        assert report.ok, report.render_text()
+
+    def test_reasoned_noqa_suppresses(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "runtime/ring.py",
+            "import pickle  # noqa: RAP-LINT025 - debug-only snapshot\n",
+            select=["RAP-LINT025"],
+        )
+        assert report.ok, report.render_text()
+
+
 class TestRunner:
     def test_live_src_tree_is_lint_clean(self):
         report = lint_paths([SRC_PACKAGE])
@@ -505,7 +584,7 @@ class TestRunner:
 
     def test_registry_exposes_every_rule(self):
         assert all_rule_codes() == [
-            f"RAP-LINT{index:03d}" for index in range(1, 25)
+            f"RAP-LINT{index:03d}" for index in range(1, 26)
         ]
 
 

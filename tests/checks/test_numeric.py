@@ -332,6 +332,7 @@ class TestSelectIgnoreWildcards:
             "RAP-LINT022",
             "RAP-LINT023",
             "RAP-LINT024",
+            "RAP-LINT025",
         ]
 
     def test_wildcard_ignore(self):

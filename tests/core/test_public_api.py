@@ -40,11 +40,16 @@ TOP_LEVEL_V2 = [
 ]
 
 RUNTIME_SURFACE = [
+    "DEFAULT_RING_BYTES",
     "HashPartitioner",
+    "MIN_RING_BYTES",
     "Partitioner",
     "Profiler",
     "QueueClosed",
     "RangePartitioner",
+    "RingConsumer",
+    "RingProducer",
+    "RingStalled",
     "RuntimeMetrics",
     "ShardMetrics",
     "ShardQueue",

@@ -161,6 +161,75 @@ class TestCrashedWorker:
                 profiler.close()
         assert_no_leaks()
 
+    def test_ring_stall_on_dead_worker_carries_frame_counters(self):
+        """A worker SIGKILLed mid-stream must not wedge the producer.
+
+        The ring is sized to the minimum, so pushing a large batch
+        through a dead shard fills it; the producer's liveness check
+        converts the stall into :class:`WorkerCrashed` carrying the
+        ring's committed/consumed frame sequences instead of spinning
+        forever on a consumer that will never free space.
+        """
+        from repro.runtime import MIN_RING_BYTES
+
+        profiler = Profiler.from_config(
+            process_config(transport="ring"),
+            ring_bytes=MIN_RING_BYTES,
+            batch_size=256,
+        ).open()
+        try:
+            profiler.ingest(np.arange(1_000) % 999)
+            profiler.drain()
+            self._kill_shard(profiler, 0)
+            start = time.monotonic()
+            with pytest.raises((WorkerCrashed, RuntimeError)) as excinfo:
+                # Enough frames to wrap the minimum ring many times over
+                # — guaranteed to stall on the dead shard.
+                for _ in range(50):
+                    profiler.ingest(np.arange(2_000) % 999)
+                profiler.drain()
+            assert time.monotonic() - start < 30.0, "producer wedged"
+            crash = excinfo.value
+            while crash is not None and not isinstance(crash, WorkerCrashed):
+                crash = crash.__cause__
+            assert isinstance(crash, WorkerCrashed)
+            assert crash.shard == 0
+            assert crash.committed is not None
+            assert crash.consumed is not None
+            assert crash.committed >= crash.consumed >= 0
+            assert "Ring state at death" in str(crash)
+        finally:
+            with pytest.raises((WorkerCrashed, RuntimeError)):
+                profiler.close()
+        assert_no_leaks()
+
+    def test_ring_sync_death_carries_frame_counters(self):
+        """Death detected at the sync reply (ring not full) still
+        reports how far the frame stream got before the crash."""
+        profiler = Profiler.from_config(
+            process_config(transport="ring")
+        ).open()
+        try:
+            profiler.ingest(np.arange(4_000) % 999)
+            profiler.drain()
+            self._kill_shard(profiler, 1)
+            profiler.ingest(np.arange(4_000) % 999)
+            with pytest.raises((WorkerCrashed, RuntimeError)) as excinfo:
+                profiler.drain()
+            crash = excinfo.value
+            while crash is not None and not isinstance(crash, WorkerCrashed):
+                crash = crash.__cause__
+            assert isinstance(crash, WorkerCrashed)
+            assert crash.committed is not None
+            # Every accepted frame was published under the commit
+            # protocol (length word last), so the committed counter can
+            # only ever lead the consumed one.
+            assert crash.committed >= crash.consumed
+        finally:
+            with pytest.raises((WorkerCrashed, RuntimeError)):
+                profiler.close()
+        assert_no_leaks()
+
     def test_crashed_close_reports_and_reaps(self):
         profiler = Profiler.from_config(process_config()).open()
         profiler.ingest(np.arange(2_000) % 999)

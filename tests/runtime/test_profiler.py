@@ -247,6 +247,57 @@ class TestMetrics:
             payload["shards"][0]
         )
 
+    def test_metrics_dict_shape_is_pinned(self):
+        # The exact key sets are part of the metrics contract: dashboards
+        # and the regression harness key into these dumps by name, so a
+        # rename or a dropped field must fail loudly here first.
+        with Profiler(config(), shards=2, executor="serial") as profiler:
+            profiler.ingest([1, 2, 3])
+            payload = profiler.metrics.as_dict()
+        assert set(payload) == {
+            "events",
+            "dropped_events",
+            "spilled_batches",
+            "node_count",
+            "transport_stalls",
+            "transport_stall_s",
+            "snapshots",
+            "snapshot_seconds",
+            "ingest_seconds",
+            "events_per_second",
+            "shards",
+        }
+        assert set(payload["shards"][0]) == {
+            "shard",
+            "events",
+            "batches",
+            "dropped_batches",
+            "dropped_events",
+            "spilled_batches",
+            "max_queue_depth",
+            "transport_stalls",
+            "transport_stall_s",
+            "ring_peak_bytes",
+            "splits",
+            "merge_batches",
+            "node_count",
+        }
+
+    def test_transport_fields_read_zero_off_ring(self):
+        # Ring-space stalls are a process/ring phenomenon; the serial
+        # and thread executors never touch a ring, so every transport
+        # field stays exactly zero and metric dumps stay reproducible.
+        for executor in ("serial", "thread"):
+            with Profiler(config(), shards=2, executor=executor) as profiler:
+                profiler.ingest(zipf_values(31, 4000))
+                metrics = profiler.metrics
+            assert metrics.transport_stalls == 0
+            assert metrics.transport_stall_s == 0.0
+            for shard in metrics.shards:
+                assert shard.transport_stalls == 0
+                assert shard.transport_stall_s == 0.0
+                assert shard.ring_peak_bytes == 0
+
 
 class TestHotRanges:
     def test_hot_report_finds_the_heavy_value(self):

@@ -1,0 +1,416 @@
+"""SPSC ring transport: stress, backpressure, wrap, crash forensics.
+
+The ring is the process executor's data plane, so its tests are
+property-style rather than example-style: hundreds of random-sized
+frames pushed through a deliberately tiny ring must come out the other
+side byte-exact, in order, across many wrap boundaries, under every
+backpressure policy, with syncs interleaved at arbitrary points — and
+a malformed byte stream must always surface as a clean
+:class:`FrameError`, never a mis-parse or a crash.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import (
+    FRAME_BATCH,
+    FRAME_CBATCH,
+    FRAME_HEADER_BYTES,
+    FRAME_MAGIC,
+    FRAME_SYNC,
+    FrameError,
+    decode_frame,
+    encode_frame,
+)
+from repro.runtime import (
+    MIN_RING_BYTES,
+    RingConsumer,
+    RingProducer,
+    ShmArena,
+    ShmAttachment,
+    sweep_prefix,
+)
+from repro.runtime.ring import RING_HEADER_BYTES
+
+
+def make_ring(data_bytes: int = 4096) -> np.ndarray:
+    """A private (non-shared) ring region: SPSC logic is memory-layout
+    only, so plain process-local memory exercises it identically."""
+    return np.zeros(RING_HEADER_BYTES + data_bytes, dtype=np.uint8)
+
+
+def drain(consumer: RingConsumer) -> list:
+    frames = []
+    while True:
+        frame = consumer.try_next()
+        if frame is None:
+            return frames
+        frames.append(frame)
+
+
+def concat_values(frames) -> np.ndarray:
+    parts = [f.values for f in frames if f.values is not None]
+    if not parts:
+        return np.empty(0, dtype=np.uint64)
+    return np.concatenate([np.asarray(p) for p in parts])
+
+
+class TestRegionValidation:
+    def test_undersized_region_rejected(self):
+        with pytest.raises(ValueError, match="minimum"):
+            RingProducer(np.zeros(MIN_RING_BYTES - 1, dtype=np.uint8))
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError, match="uint8"):
+            RingProducer(np.zeros(MIN_RING_BYTES, dtype=np.uint64))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            RingProducer(make_ring(), policy="belay")
+
+
+class TestSpscStress:
+    """The core property: random frames in, identical bytes out."""
+
+    def test_random_frames_across_wraps_are_byte_exact(self):
+        rng = random.Random(2006)
+        region = make_ring(16384)
+        producer = RingProducer(region, policy="spill")
+        consumer = RingConsumer(region)
+
+        sent_batch, sent_cbatch_v, sent_cbatch_c = [], [], []
+        got_batch, got_cbatch_v, got_cbatch_c = [], [], []
+        syncs_seen = 0
+
+        def pump(frames):
+            nonlocal syncs_seen
+            for frame in frames:
+                if frame.kind == FRAME_BATCH:
+                    # Zero-copy, read-only views over the ring itself.
+                    assert not frame.values.flags.writeable
+                    got_batch.append(np.asarray(frame.values).copy())
+                elif frame.kind == FRAME_CBATCH:
+                    got_cbatch_v.append(np.asarray(frame.values).copy())
+                    got_cbatch_c.append(np.asarray(frame.counts).copy())
+                else:
+                    syncs_seen += 1
+
+        for round_no in range(120):
+            batch = rng.random() < 0.5
+            # Sized so a frame's split pieces (wrap pad included)
+            # always fit a fully drained ring together — the single-
+            # threaded quiesce below re-offers the spill backlog
+            # non-blocking, which is all-or-nothing per frame — while
+            # still forcing the oversized-frame split path for both
+            # kinds (cbatch payloads are twice as wide, hence the
+            # lower bound).
+            count = rng.randrange(0, 1200 if batch else 650)
+            values = (
+                np.arange(count, dtype=np.uint64) * 2654435761
+                + round_no
+            ) % (1 << 48)
+            if batch:
+                sent_batch.append(values)
+                producer.write_frame(FRAME_BATCH, values)
+            else:
+                counts = np.full(count, 1 + round_no % 3, dtype=np.int64)
+                sent_cbatch_v.append(values)
+                sent_cbatch_c.append(counts)
+                producer.write_frame(FRAME_CBATCH, values, counts)
+            # Consume at random cadence so occupancy sweeps the whole
+            # range and the tail wraps many times.
+            if rng.random() < 0.7:
+                pump(drain(consumer))
+                if rng.random() < 0.5:
+                    consumer.release()
+            if round_no % 17 == 16:
+                # Quiesce, then interleave a sync and check its echo.
+                # (The backlog only re-offers on producer-side calls.)
+                while producer.spill_backlog:
+                    pump(drain(consumer))
+                    consumer.release()
+                    producer._drain_spill(block=False)  # noqa: SLF001
+                pump(drain(consumer))
+                consumer.release()
+                expected_seq = producer.write_sync()
+                (sync,) = drain(consumer)
+                assert sync.kind == FRAME_SYNC
+                assert sync.sequence == expected_seq
+                syncs_seen += 1
+                consumer.release()
+
+        while producer.spill_backlog:
+            pump(drain(consumer))
+            consumer.release()
+            producer._drain_spill(block=False)  # noqa: SLF001
+        pump(drain(consumer))
+        consumer.release()
+
+        assert producer.tail > producer.capacity, "stream never wrapped"
+        assert syncs_seen == 120 // 17
+        for sent, got in (
+            (sent_batch, got_batch),
+            (sent_cbatch_v, got_cbatch_v),
+            (sent_cbatch_c, got_cbatch_c),
+        ):
+            np.testing.assert_array_equal(
+                np.concatenate(sent) if sent else np.empty(0),
+                np.concatenate(got) if got else np.empty(0),
+            )
+
+    def test_blocked_producer_waits_for_release_then_completes(self):
+        """Full-ring backpressure under ``block``: a slow consumer
+        must throttle, never lose, never deadlock."""
+        region = make_ring(2048)
+        producer = RingProducer(
+            region, policy="block", liveness=lambda: True
+        )
+        consumer = RingConsumer(region)
+        total_frames = 60
+        per_frame = 96  # 60 * (32 + 768) >> 2 KiB: guaranteed stalls
+        failures = []
+
+        def produce():
+            try:
+                for i in range(total_frames):
+                    values = np.full(per_frame, i, dtype=np.uint64)
+                    producer.write_frame(FRAME_BATCH, values)
+            except Exception as error:  # pragma: no cover
+                failures.append(error)
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        seen = []
+        deadline = time.monotonic() + 30.0
+        while len(seen) < total_frames:
+            assert time.monotonic() < deadline, "consumer starved"
+            frame = consumer.try_next()
+            if frame is None:
+                time.sleep(0.001)
+                continue
+            seen.append(int(np.asarray(frame.values)[0]))
+            consumer.release()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive() and not failures
+        assert seen == list(range(total_frames))
+        assert producer.stalls > 0
+        # No injected clock: stall seconds must stay untouched (the
+        # RAP-LINT005 discipline — no wall-clock reads by default).
+        assert producer.stall_seconds == 0.0
+
+    def test_drop_policy_discards_and_counts(self):
+        region = make_ring(1024)
+        producer = RingProducer(region, policy="drop")
+        values = np.arange(24, dtype=np.uint64)
+        dispositions = set()
+        for _ in range(20):
+            dispositions.add(
+                producer.write_frame(FRAME_CBATCH, values,
+                                     np.full(24, 2, dtype=np.int64))
+            )
+        assert dispositions == {"queued", "dropped"}
+        assert producer.dropped_batches > 0
+        # Counted frames weigh their counts, not their lengths.
+        assert producer.dropped_events == producer.dropped_batches * 48
+
+    def test_spill_policy_preserves_order_through_backlog(self):
+        region = make_ring(1024)
+        producer = RingProducer(region, policy="spill")
+        consumer = RingConsumer(region)
+        for i in range(30):
+            producer.write_frame(
+                FRAME_BATCH, np.full(48, i, dtype=np.uint64)
+            )
+        assert producer.spilled_batches > 0
+        assert producer.spill_backlog > 0
+        seen = []
+        while len(seen) < 30:
+            frame = consumer.try_next()
+            if frame is None:
+                consumer.release()
+                # The backlog is re-offered on producer-side calls; a
+                # zero-length frame drives that without adding events.
+                producer.write_frame(
+                    FRAME_BATCH, np.empty(0, dtype=np.uint64)
+                )
+                continue
+            if len(frame.values):
+                seen.append(int(np.asarray(frame.values)[0]))
+        assert seen == list(range(30))
+
+
+def _hammer_child(table, conn, rounds):  # pragma: no cover - subprocess
+    attachment = ShmAttachment(table)
+    consumer = RingConsumer(attachment.arrays["ring"])
+    checksum = 0
+    syncs = 0
+    try:
+        while syncs < rounds:
+            frame = consumer.try_next()
+            if frame is None:
+                # Checksums are folded immediately, so nothing pins
+                # the ring bytes: unpin before napping, exactly like
+                # the real worker's park path, so a producer waiting
+                # on space can always proceed.
+                consumer.release()
+                time.sleep(0.0002)
+                continue
+            if frame.kind == FRAME_SYNC:
+                syncs += 1
+                consumer.release()
+                conn.send(checksum)
+            else:
+                checksum += int(np.asarray(frame.values).sum())
+                if frame.counts is not None:
+                    checksum += int(np.asarray(frame.counts).sum())
+                if consumer.bytes_held > consumer.capacity // 2:
+                    consumer.release()
+    finally:
+        conn.close()
+        attachment.close()
+
+
+class TestTwoProcessHammer:
+    """A real producer process and consumer process must never
+    deadlock, whatever the interleaving — and the checksums must
+    agree at every sync epoch."""
+
+    def test_cross_process_stream_is_exact_and_live(self):
+        rng = random.Random(7)
+        rounds = 8
+        sweep_prefix("rap-testring-")  # reclaim any prior crashed run
+        arena = ShmArena("rap-testring-")
+        region = arena.allocate("ring", np.uint8, RING_HEADER_BYTES + 8192)
+        parent_conn, child_conn = multiprocessing.Pipe()
+        child = multiprocessing.Process(
+            target=_hammer_child,
+            args=(arena.segment_table(), child_conn, rounds),
+            daemon=True,
+        )
+        child.start()
+        child_conn.close()
+        producer = RingProducer(
+            region, policy="block", liveness=child.is_alive
+        )
+        try:
+            expected = 0
+            for epoch in range(rounds):
+                for _ in range(25):
+                    count = rng.randrange(0, 900)
+                    values = np.arange(count, dtype=np.uint64) + epoch
+                    if rng.random() < 0.5:
+                        producer.write_frame(FRAME_BATCH, values)
+                        expected += int(values.sum())
+                    else:
+                        counts = np.full(count, 2, dtype=np.int64)
+                        producer.write_frame(FRAME_CBATCH, values, counts)
+                        expected += int(values.sum()) + int(counts.sum())
+                producer.write_sync()
+                assert parent_conn.poll(30.0), "worker went silent"
+                assert parent_conn.recv() == expected
+            child.join(timeout=30.0)
+            assert not child.is_alive()
+            assert child.exitcode == 0
+        finally:
+            if child.is_alive():  # pragma: no cover - failure path
+                child.terminate()
+                child.join()
+            parent_conn.close()
+            arena.close()
+
+
+class TestFrameFuzz:
+    """Malformed transport bytes must die loudly and typed."""
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(FrameError, match="truncated"):
+            decode_frame(b"RAPF")
+
+    def test_bad_magic_raises(self):
+        good = bytearray(
+            encode_frame(FRAME_BATCH, np.arange(4, dtype=np.uint64))
+        )
+        good[:4] = b"JUNK"
+        with pytest.raises(FrameError, match="magic"):
+            decode_frame(bytes(good))
+
+    def test_unsupported_version_raises(self):
+        good = bytearray(encode_frame(FRAME_SYNC))
+        good[4] = 250
+        with pytest.raises(FrameError, match="version"):
+            decode_frame(bytes(good))
+
+    def test_unknown_kind_raises(self):
+        good = bytearray(encode_frame(FRAME_SYNC))
+        good[6] = 99
+        with pytest.raises(FrameError, match="kind"):
+            decode_frame(bytes(good))
+
+    def test_sync_with_payload_raises(self):
+        good = bytearray(encode_frame(FRAME_SYNC))
+        good[8] = 4  # count != 0
+        with pytest.raises(FrameError, match="sync"):
+            decode_frame(bytes(good))
+
+    def test_truncated_payload_raises(self):
+        full = encode_frame(FRAME_CBATCH, np.arange(16, dtype=np.uint64),
+                            np.ones(16, dtype=np.int64))
+        with pytest.raises(FrameError, match="truncated"):
+            decode_frame(full[: FRAME_HEADER_BYTES + 8])
+
+    def test_random_garbage_never_escapes_frame_error(self):
+        rng = random.Random(41)
+        for _ in range(300):
+            blob = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(0, 128))
+            )
+            try:
+                decode_frame(blob)
+            except FrameError:
+                continue
+            except Exception as error:  # pragma: no cover
+                pytest.fail(f"non-FrameError escape: {error!r}")
+
+    def test_magic_prefixed_garbage_never_escapes_frame_error(self):
+        rng = random.Random(43)
+        for _ in range(300):
+            blob = FRAME_MAGIC + bytes(
+                rng.randrange(256) for _ in range(rng.randrange(0, 128))
+            )
+            try:
+                decode_frame(blob)
+            except FrameError:
+                continue
+            except Exception as error:  # pragma: no cover
+                pytest.fail(f"non-FrameError escape: {error!r}")
+
+    def test_corrupt_length_word_raises_in_consumer(self):
+        region = make_ring(1024)
+        producer = RingProducer(region)
+        consumer = RingConsumer(region)
+        producer.write_frame(FRAME_BATCH, np.arange(8, dtype=np.uint64))
+        # Smash the committed record's length word to an impossible
+        # value: the consumer must refuse, not walk off the ring.
+        region[RING_HEADER_BYTES:RING_HEADER_BYTES + 8].view(
+            np.uint64
+        )[0] = 1 << 40
+        with pytest.raises(FrameError, match="corrupt"):
+            consumer.try_next()
+
+    def test_zero_length_record_raises_in_consumer(self):
+        region = make_ring(1024)
+        producer = RingProducer(region)
+        consumer = RingConsumer(region)
+        producer.write_frame(FRAME_BATCH, np.arange(8, dtype=np.uint64))
+        region[RING_HEADER_BYTES:RING_HEADER_BYTES + 8].view(
+            np.uint64
+        )[0] = 0
+        with pytest.raises(FrameError, match="corrupt"):
+            consumer.try_next()

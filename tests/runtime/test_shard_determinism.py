@@ -161,6 +161,35 @@ class TestProcessExecutorOracle:
         second = profiled_snapshot(values, 4, executor="process")
         assert shape(first._root) == shape(second._root)  # noqa: SLF001
 
+    @pytest.mark.parametrize("transport", ["ring", "pipe"])
+    def test_repeat_runs_identical_on_each_transport(self, transport):
+        rng = random.Random(2010)
+        values = zipf_stream(rng, UNIVERSE, 15_000)
+        first = profiled_snapshot(
+            values, 4, executor="process", transport=transport
+        )
+        second = profiled_snapshot(
+            values, 4, executor="process", transport=transport
+        )
+        assert shape(first._root) == shape(second._root)  # noqa: SLF001
+
+    def test_ring_and_pipe_transports_agree_bit_for_bit(self):
+        # Flush points are a pure function of the frame sequence, and
+        # both transports carry the identical sequence of partitioned
+        # frames — so the folded trees must serialize identically, not
+        # merely land within the accuracy envelope of each other.
+        from repro.core import dump_tree
+
+        rng = random.Random(2014)
+        values = zipf_stream(rng, UNIVERSE, 30_000)
+        ring = profiled_snapshot(
+            values, 4, executor="process", transport="ring"
+        )
+        pipe = profiled_snapshot(
+            values, 4, executor="process", transport="pipe"
+        )
+        assert dump_tree(ring) == dump_tree(pipe)
+
     def test_process_within_envelope_of_threaded(self):
         rng = random.Random(127)
         values = zipf_stream(rng, UNIVERSE, 20_000)
